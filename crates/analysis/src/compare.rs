@@ -1,0 +1,192 @@
+//! Two-sample comparison: rank-sum statistics for "algorithm A beats
+//! algorithm B" claims.
+//!
+//! Experiment verdicts like "f-backoff recovers faster than smoothed BEB"
+//! should not rest on two means alone. [`rank_sum`] computes the
+//! Mann–Whitney U statistic with a normal approximation for the p-value
+//! (adequate for the ≥5-seed samples the harness produces), and
+//! [`common_language_effect`] reports the probability that a random
+//! observation from A is smaller than one from B — an effect size readers
+//! can interpret directly.
+
+/// Result of a Mann–Whitney U rank-sum comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSum {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Two-sided p-value under the normal approximation (ties handled by
+    /// midranks; continuity-corrected).
+    pub p_value: f64,
+    /// P(random a < random b) + ½·P(tie) — the common-language effect size.
+    pub effect: f64,
+}
+
+/// Mann–Whitney U test of `a` vs `b`. Returns `None` when either sample is
+/// empty.
+pub fn rank_sum(a: &[f64], b: &[f64]) -> Option<RankSum> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Midranks over the pooled sample.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in sample"));
+    let mut ranks = vec![0.0f64; pooled.len()];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = mid;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, side), _)| *side == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    // U₁ counts pairs where a > b (plus half-ties), so P(a < b) + ½P(tie)
+    // is its complement over the n₁·n₂ pairs.
+    let effect = 1.0 - u1 / (n1 * n2);
+
+    // Normal approximation with tie correction and continuity correction.
+    let mean = n1 * n2 / 2.0;
+    let n = n1 + n2;
+    let var = n1 * n2 / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+    let p_value = if var <= 0.0 {
+        1.0
+    } else {
+        let z = (u1 - mean).abs() - 0.5;
+        let z = z.max(0.0) / var.sqrt();
+        2.0 * (1.0 - normal_cdf(z))
+    };
+    Some(RankSum {
+        u: u1,
+        p_value: p_value.clamp(0.0, 1.0),
+        effect,
+    })
+}
+
+/// Common-language effect size: P(a < b) + ½·P(a = b).
+pub fn common_language_effect(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut wins = 0.0f64;
+    for &x in a {
+        for &y in b {
+            if x < y {
+                wins += 1.0;
+            } else if x == y {
+                wins += 0.5;
+            }
+        }
+    }
+    Some(wins / (a.len() * b.len()) as f64)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5e-7 — ample for experiment verdicts).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_and_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn clearly_separated_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+        let r = rank_sum(&a, &b).unwrap();
+        assert_eq!(r.u, 0.0); // every a below every b → a never "wins" a rank pair
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert_eq!(r.effect, 1.0, "P(a < b) must be 1");
+        assert_eq!(common_language_effect(&a, &b), Some(1.0));
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [5.0, 6.0, 7.0, 8.0];
+        let r = rank_sum(&a, &a).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        assert!((r.effect - 0.5).abs() < 1e-9);
+        assert_eq!(common_language_effect(&a, &a), Some(0.5));
+    }
+
+    #[test]
+    fn overlapping_samples_moderate_p() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        let r = rank_sum(&a, &b).unwrap();
+        assert!(r.p_value > 0.2);
+        // a "wins" 6 of 16 rank pairs → P(a < b) = 10/16 = 0.625.
+        assert!((r.effect - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ties_are_midranked() {
+        let a = [1.0, 2.0, 2.0];
+        let b = [2.0, 3.0, 4.0];
+        let r = rank_sum(&a, &b).unwrap();
+        // a is stochastically smaller (with ties) → P(a < b) above ½.
+        assert!(r.effect > 0.5);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+        // rank_sum's effect must agree with the direct pair count.
+        let direct = common_language_effect(&a, &b).unwrap();
+        assert!((r.effect - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        assert!(rank_sum(&[], &[1.0]).is_none());
+        assert!(rank_sum(&[1.0], &[]).is_none());
+        assert!(common_language_effect(&[], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn symmetry_of_effect() {
+        let a = [1.0, 2.0, 9.0];
+        let b = [3.0, 4.0, 5.0];
+        let e_ab = common_language_effect(&a, &b).unwrap();
+        let e_ba = common_language_effect(&b, &a).unwrap();
+        assert!((e_ab + e_ba - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Log-scale histograms for heavy-tailed distributions.
+//!
+//! Latency and completion-time distributions in this domain are heavy-
+//! tailed (see Claim 3.5.1's straggler analysis), so linear bins are
+//! useless: [`LogHistogram`] uses base-2 geometric bins, renders as an
+//! ASCII bar chart, and reports tail mass directly.
+
+use std::fmt::Write as _;
+
+/// A histogram with geometric (powers-of-two) bins.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    /// `bins[k]` counts samples in `[2^k, 2^{k+1})`.
+    bins: Vec<u64>,
+    /// Samples equal to zero (their log bin is undefined).
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a non-negative sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or not finite.
+    pub fn insert(&mut self, x: f64) {
+        assert!(x.is_finite() && x >= 0.0, "samples must be finite and >= 0");
+        self.count += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+        if x < 1.0 {
+            self.zeros += 1;
+            return;
+        }
+        let bin = x.log2().floor() as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+    }
+
+    /// Extend from an iterator of samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.insert(x);
+        }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Fraction of samples at or above `threshold`.
+    pub fn tail_fraction(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut above = 0u64;
+        for (k, &c) in self.bins.iter().enumerate() {
+            // The whole bin [2^k, 2^{k+1}) is above if 2^{k+1} <= threshold
+            // is false… count bins whose low edge is >= threshold;
+            // conservative for the bin straddling the threshold.
+            if (1u64 << k) as f64 >= threshold {
+                above += c;
+            }
+        }
+        above as f64 / self.count as f64
+    }
+
+    /// Render as an ASCII bar chart (one row per occupied bin).
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(self.zeros);
+        if peak == 0 {
+            let _ = writeln!(out, "(empty histogram)");
+            return out;
+        }
+        let bar = |count: u64| {
+            let w = ((count as f64 / peak as f64) * width as f64).round() as usize;
+            "#".repeat(w.max(usize::from(count > 0)))
+        };
+        if self.zeros > 0 {
+            let _ = writeln!(out, "[0,1)        | {:>8} | {}", self.zeros, bar(self.zeros));
+        }
+        for (k, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = 1u64 << k;
+            let hi = 1u64 << (k + 1);
+            let _ = writeln!(out, "[{lo}, {hi}) | {c:>8} | {}", bar(c));
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for LogHistogram {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut h = LogHistogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_powers_of_two() {
+        let h: LogHistogram = [0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 1000.0]
+            .into_iter()
+            .collect();
+        assert_eq!(h.count(), 7);
+        // 0.5 -> zeros; 1.0,1.5 -> bin0; 2.0,3.9 -> bin1; 4.0 -> bin2;
+        // 1000 -> bin9.
+        assert!((h.mean() - (0.5 + 1.0 + 1.5 + 2.0 + 3.9 + 4.0 + 1000.0) / 7.0).abs() < 1e-9);
+        assert_eq!(h.max(), 1000.0);
+        let render = h.render(20);
+        assert!(render.contains("[1, 2)"));
+        assert!(render.contains("[512, 1024)"));
+        assert!(render.contains("[0,1)"));
+    }
+
+    #[test]
+    fn tail_fraction() {
+        let h: LogHistogram = (0..100).map(|i| f64::from(i)).collect();
+        // Samples >= 64: 64..=99 → 36 of 100.
+        assert!((h.tail_fraction(64.0) - 0.36).abs() < 1e-9);
+        assert_eq!(h.tail_fraction(1e9), 0.0);
+        assert_eq!(LogHistogram::new().tail_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_render() {
+        assert!(LogHistogram::new().render(10).contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        LogHistogram::new().insert(f64::NAN);
+    }
+
+    #[test]
+    fn heavy_tail_visible() {
+        // A Pareto-ish tail puts mass in high bins; a uniform one doesn't.
+        let heavy: LogHistogram = (1..200).map(|i| f64::from(i * i)).collect();
+        let light: LogHistogram = (1..200).map(f64::from).collect();
+        assert!(heavy.tail_fraction(1024.0) > light.tail_fraction(1024.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # contention-analysis
+//!
+//! Statistics and reporting for the contention-resolution experiments:
+//!
+//! * [`stats`] — summaries, quantiles, confidence intervals;
+//! * [`regression`] — one-parameter growth-model fitting (`c·x`,
+//!   `c·x·log x`, `c·x/log x`, …) with model ranking, used to verify the
+//!   paper's asymptotic *shapes* empirically;
+//! * [`table`] — ASCII tables for experiment reports;
+//! * [`series`] — labeled series, CSV export, ASCII plots ("figures").
+//!
+//! The crate is dependency-free (no serde/plotting) so the whole workspace
+//! stays within the offline crate set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod compare;
+pub mod histogram;
+pub mod regression;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use compare::{common_language_effect, normal_cdf, rank_sum, RankSum};
+pub use histogram::LogHistogram;
+pub use regression::{best_fit, fit, flatness, Fit, GrowthModel};
+pub use series::{csv_escape, Figure, Series};
+pub use stats::{geometric_mean, quantile, Summary};
+pub use table::{fnum, Align, Table};

@@ -1,0 +1,245 @@
+//! Growth-model fitting.
+//!
+//! The experiments check *shapes*: e.g. "completion time grows like
+//! `n·ln n`, not like `n`" (Claim 3.5.1), or "successes in `t` slots grow
+//! like `t/log t`" (the constant-jamming headline). [`GrowthModel`]
+//! enumerates the candidate shapes; [`fit`] computes the least-squares
+//! scale for one model; [`best_fit`] ranks models by relative residual so a
+//! test can assert which shape wins.
+
+use std::fmt;
+
+/// A one-parameter growth model `y ≈ c·φ(x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrowthModel {
+    /// `φ(x) = 1` (constant).
+    Constant,
+    /// `φ(x) = log₂ x`.
+    Log,
+    /// `φ(x) = x`.
+    Linear,
+    /// `φ(x) = x·log₂ x`.
+    LinearLog,
+    /// `φ(x) = x / log₂ x`.
+    LinearOverLog,
+    /// `φ(x) = x / log₂² x`.
+    LinearOverLogSq,
+    /// `φ(x) = x²`.
+    Quadratic,
+    /// `φ(x) = log₂² x`.
+    LogSq,
+}
+
+impl GrowthModel {
+    /// Evaluate the basis function `φ(x)` (log terms clamped at `x ≤ 2`).
+    pub fn basis(&self, x: f64) -> f64 {
+        let lg = x.max(2.0).log2();
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::Log => lg,
+            GrowthModel::Linear => x,
+            GrowthModel::LinearLog => x * lg,
+            GrowthModel::LinearOverLog => x / lg,
+            GrowthModel::LinearOverLogSq => x / (lg * lg),
+            GrowthModel::Quadratic => x * x,
+            GrowthModel::LogSq => lg * lg,
+        }
+    }
+
+    /// All models, for exhaustive ranking.
+    pub fn all() -> &'static [GrowthModel] {
+        &[
+            GrowthModel::Constant,
+            GrowthModel::Log,
+            GrowthModel::Linear,
+            GrowthModel::LinearLog,
+            GrowthModel::LinearOverLog,
+            GrowthModel::LinearOverLogSq,
+            GrowthModel::Quadratic,
+            GrowthModel::LogSq,
+        ]
+    }
+}
+
+impl fmt::Display for GrowthModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GrowthModel::Constant => "c",
+            GrowthModel::Log => "c*log(x)",
+            GrowthModel::Linear => "c*x",
+            GrowthModel::LinearLog => "c*x*log(x)",
+            GrowthModel::LinearOverLog => "c*x/log(x)",
+            GrowthModel::LinearOverLogSq => "c*x/log^2(x)",
+            GrowthModel::Quadratic => "c*x^2",
+            GrowthModel::LogSq => "c*log^2(x)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of fitting one model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// The model.
+    pub model: GrowthModel,
+    /// Least-squares scale `c`.
+    pub scale: f64,
+    /// Relative RMS residual: `sqrt(mean((y - c·φ(x))²)) / mean(|y|)`.
+    pub rel_residual: f64,
+}
+
+/// Least-squares fit of `y ≈ c·φ(x)` in *relative* (log-friendly) error:
+/// minimizes `Σ (y_i − c·φ_i)² / y_i²`, which weights each point by its
+/// magnitude so that doubling the data range doesn't drown the small-`x`
+/// shape. Returns `None` for fewer than 2 points or degenerate data.
+pub fn fit(model: GrowthModel, points: &[(f64, f64)]) -> Option<Fit> {
+    if points.len() < 2 {
+        return None;
+    }
+    // Weighted least squares with weights 1/y²:
+    // c = Σ (φ/y) / Σ (φ/y)² · ... derive: minimize Σ (y-cφ)²/y²
+    // d/dc: Σ -2φ(y-cφ)/y² = 0 => c = Σ(φ/y) / Σ(φ²/y²).
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(x, y) in points {
+        if y <= 0.0 || !y.is_finite() {
+            return None;
+        }
+        let phi = model.basis(x);
+        num += phi / y;
+        den += (phi / y) * (phi / y);
+    }
+    if den == 0.0 {
+        return None;
+    }
+    let scale = num / den;
+    let mean_abs_y: f64 =
+        points.iter().map(|&(_, y)| y.abs()).sum::<f64>() / points.len() as f64;
+    let mse: f64 = points
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - scale * model.basis(x);
+            e * e
+        })
+        .sum::<f64>()
+        / points.len() as f64;
+    Some(Fit {
+        model,
+        scale,
+        rel_residual: mse.sqrt() / mean_abs_y.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Fit all models and return them sorted by relative residual (best first).
+pub fn best_fit(points: &[(f64, f64)]) -> Vec<Fit> {
+    let mut fits: Vec<Fit> = GrowthModel::all()
+        .iter()
+        .filter_map(|&m| fit(m, points))
+        .collect();
+    fits.sort_by(|a, b| {
+        a.rel_residual
+            .partial_cmp(&b.rel_residual)
+            .expect("residuals are finite")
+    });
+    fits
+}
+
+/// Ratio-based shape check: the per-point ratio `y / φ(x)` of the best
+/// model should be roughly flat. Returns `max ratio / min ratio` for the
+/// given model (closer to 1 = flatter = better).
+pub fn flatness(model: GrowthModel, points: &[(f64, f64)]) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    let ratios: Vec<f64> = points
+        .iter()
+        .map(|&(x, y)| y / model.basis(x).max(f64::MIN_POSITIVE))
+        .collect();
+    let mx = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let mn = ratios.iter().cloned().fold(f64::MAX, f64::min);
+    if mn <= 0.0 {
+        return None;
+    }
+    Some(mx / mn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        (4..=16).map(|k| {
+            let x = (1u64 << k) as f64;
+            (x, f(x))
+        }).collect()
+    }
+
+    #[test]
+    fn fits_exact_linear() {
+        let pts = series(|x| 3.0 * x);
+        let f = fit(GrowthModel::Linear, &pts).unwrap();
+        assert!((f.scale - 3.0).abs() < 1e-9);
+        assert!(f.rel_residual < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_identifies_nlogn() {
+        let pts = series(|x| 0.5 * x * x.log2());
+        let ranked = best_fit(&pts);
+        assert_eq!(ranked[0].model, GrowthModel::LinearLog);
+        assert!(ranked[0].rel_residual < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_identifies_t_over_log() {
+        let pts = series(|x| 2.0 * x / x.log2());
+        let ranked = best_fit(&pts);
+        assert_eq!(ranked[0].model, GrowthModel::LinearOverLog);
+    }
+
+    #[test]
+    fn best_fit_separates_linear_from_nlogn() {
+        let pts = series(|x| x * x.log2());
+        let ranked = best_fit(&pts);
+        let lin_pos = ranked.iter().position(|f| f.model == GrowthModel::Linear);
+        let nlogn_pos = ranked.iter().position(|f| f.model == GrowthModel::LinearLog);
+        assert!(nlogn_pos < lin_pos);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate() {
+        assert!(fit(GrowthModel::Linear, &[]).is_none());
+        assert!(fit(GrowthModel::Linear, &[(1.0, 1.0)]).is_none());
+        assert!(fit(GrowthModel::Linear, &[(1.0, 0.0), (2.0, 1.0)]).is_none());
+        assert!(fit(GrowthModel::Linear, &[(1.0, f64::NAN), (2.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn flatness_of_correct_model_is_near_one() {
+        let pts = series(|x| 5.0 * x);
+        assert!(flatness(GrowthModel::Linear, &pts).unwrap() < 1.0001);
+        // The wrong model has large spread across a 2^12 range.
+        assert!(flatness(GrowthModel::Constant, &pts).unwrap() > 1000.0);
+        assert!(flatness(GrowthModel::Linear, &[]).is_none());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GrowthModel::LinearOverLog.to_string(), "c*x/log(x)");
+        assert_eq!(GrowthModel::all().len(), 8);
+    }
+
+    #[test]
+    fn fit_with_noise_still_ranks_right() {
+        // Deterministic pseudo-noise ±10%.
+        let pts: Vec<(f64, f64)> = (4..=16)
+            .map(|k| {
+                let x = (1u64 << k) as f64;
+                let noise = 1.0 + 0.1 * ((k as f64 * 2.7).sin());
+                (x, x * x.log2() * noise)
+            })
+            .collect();
+        let ranked = best_fit(&pts);
+        assert_eq!(ranked[0].model, GrowthModel::LinearLog);
+    }
+}

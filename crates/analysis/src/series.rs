@@ -1,0 +1,224 @@
+//! Labeled numeric series with CSV export and a quick ASCII sparkline —
+//! the "figure" primitive of the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A labeled (x, y) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series label (legend entry).
+    pub label: String,
+    /// The data points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Build from an iterator of points.
+    pub fn from_points(
+        label: impl Into<String>,
+        pts: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
+        Series {
+            label: label.into(),
+            points: pts.into_iter().collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A bundle of series sharing an x axis — one "figure".
+#[derive(Debug, Clone, Default)]
+pub struct Figure {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New figure with axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Render as CSV: header `x,<label1>,<label2>,…`, one row per distinct
+    /// x (missing values empty). Series are aligned by exact x match.
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+        xs.dedup();
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", csv_escape(&s.label));
+        }
+        out.push('\n');
+        for &x in &xs {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.iter().find(|p| p.0 == x) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, ",{y}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render a crude ASCII plot (log-friendly visual check in terminals).
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if all.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let (xmin, xmax) = all
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+        let (ymin, ymax) = all
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+        let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
+        let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
+        let mut grid = vec![vec![' '; width]; height];
+        let marks = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        for (si, s) in self.series.iter().enumerate() {
+            let mark = marks[si % marks.len()];
+            for &(x, y) in &s.points {
+                let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+                let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+                let r = height - 1 - row.min(height - 1);
+                grid[r][col.min(width - 1)] = mark;
+            }
+        }
+        for row in grid {
+            let line: String = row.into_iter().collect();
+            let _ = writeln!(out, "|{line}");
+        }
+        let _ = writeln!(out, "+{}", "-".repeat(width));
+        let _ = writeln!(
+            out,
+            " x: {} in [{xmin:.3}, {xmax:.3}]   y: {} in [{ymin:.3}, {ymax:.3}]",
+            self.x_label, self.y_label
+        );
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} = {}", marks[si % marks.len()], s.label);
+        }
+        out
+    }
+}
+
+/// Minimal CSV field escaping (quotes fields containing `,` or `"`).
+pub fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_and_len() {
+        let mut s = Series::new("a");
+        assert!(s.is_empty());
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        assert_eq!(s.len(), 2);
+        let s2 = Series::from_points("b", [(1.0, 2.0)]);
+        assert_eq!(s2.points, vec![(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn csv_output_aligns_by_x() {
+        let mut fig = Figure::new("t", "x", "y");
+        fig.add(Series::from_points("s1", [(1.0, 10.0), (2.0, 20.0)]));
+        fig.add(Series::from_points("s2", [(2.0, 200.0), (3.0, 300.0)]));
+        let csv = fig.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,s1,s2");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn ascii_plot_contains_marks_and_legend() {
+        let mut fig = Figure::new("demo", "n", "slots");
+        fig.add(Series::from_points("lin", (1..=10).map(|i| (i as f64, i as f64))));
+        let art = fig.to_ascii(40, 10);
+        assert!(art.contains("== demo =="));
+        assert!(art.contains('*'));
+        assert!(art.contains("lin"));
+    }
+
+    #[test]
+    fn ascii_plot_empty() {
+        let fig = Figure::new("none", "x", "y");
+        assert!(fig.to_ascii(10, 5).contains("(no data)"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Summary statistics for experiment replications.
+
+/// Summary of a sample of f64 observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (midpoint interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute the summary of `data`. Returns `None` for an empty sample.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let sem = std_dev / (n as f64).sqrt();
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev,
+            sem,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        })
+    }
+
+    /// Normal-approximation 95% confidence half-width (`1.96·sem`).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem
+    }
+}
+
+/// The `q`-quantile of `data` (nearest-rank with linear interpolation).
+/// Returns `None` on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Geometric mean of strictly positive data. Returns `None` if the sample is
+/// empty or contains non-positive values.
+pub fn geometric_mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() || data.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = data.iter().map(|x| x.ln()).sum();
+    Some((log_sum / data.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_odd_median() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(5.0));
+        assert_eq!(quantile(&data, 0.5), Some(3.0));
+        assert_eq!(quantile(&data, 0.25), Some(2.0));
+        assert_eq!(quantile(&data, 0.1), Some(1.4));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&data, 1.5), None);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        let gm = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((gm - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+}

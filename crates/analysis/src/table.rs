@@ -1,0 +1,204 @@
+//! ASCII table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple ASCII table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Table with the given column headers; the first column defaults to
+    /// left alignment, the rest to right.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Set a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Override column alignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of alignments differs from the column count.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |cells: &[String], aligns: &[Align], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for i in 0..cols {
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match aligns[i] {
+                    Align::Left => {
+                        s.push(' ');
+                        s.push_str(cell);
+                        s.push_str(&" ".repeat(pad + 1));
+                    }
+                    Align::Right => {
+                        s.push_str(&" ".repeat(pad + 1));
+                        s.push_str(cell);
+                        s.push(' ');
+                    }
+                }
+                s.push('|');
+            }
+            s
+        };
+        let _ = writeln!(out, "{sep}");
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &vec![Align::Left; cols], &widths));
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &self.aligns, &widths));
+        }
+        let _ = writeln!(out, "{sep}");
+        out
+    }
+}
+
+/// Format a float compactly for table cells: 4 significant-ish digits.
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let ax = x.abs();
+    if ax == 0.0 {
+        "0".to_string()
+    } else if !(0.001..10000.0).contains(&ax) {
+        format!("{x:.3e}")
+    } else if ax >= 100.0 {
+        format!("{x:.1}")
+    } else if ax >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_alignment() {
+        let mut t = Table::new(["algo", "throughput"]).with_title("demo");
+        t.row(["beb", "0.25"]);
+        t.row(["cjz-protocol", "0.9"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("| algo "));
+        assert!(s.contains("| beb "));
+        // Right-aligned number column.
+        assert!(s.contains("       0.9 |"), "rendered:\n{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn custom_aligns() {
+        let mut t = Table::new(["x", "y"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(["1", "left"]);
+        let s = t.render();
+        assert!(s.contains("| left"));
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(123.456), "123.5");
+        assert_eq!(fnum(0.01234), "0.0123");
+        assert!(fnum(1.0e7).contains('e'));
+        assert!(fnum(0.00001).contains('e'));
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new(["h1", "h2"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.contains("h1"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The sub-logarithmic function machinery of the paper.
+//!
+//! The algorithm is parameterized by a jamming-tolerance function `g` with
+//! `log g(x) = O(√(log x))` (Section 2.1). From `g` it derives
+//!
+//! ```text
+//! f(x) = a·c₂·log x / log²(g(x)/a)
+//! ```
+//!
+//! and the two batch schedules `h_ctrl(x) = c₃·log x / x`, `h_data(x) = 1/x`.
+//!
+//! [`GFunction`] provides the family of admissible `g`'s used throughout the
+//! experiments; [`FFunction`] evaluates the derived `f`. All logarithms are
+//! base 2 (the choice only shifts constants) and are clamped so that every
+//! function is total, positive and finite for all inputs — small-`x`
+//! pathologies are absorbed into the constants, exactly as the paper's
+//! "sufficiently large" constants do.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Base-2 logarithm clamped below at inputs ≤ 2 (so the result is ≥ 1).
+///
+/// The clamp keeps derived quantities (which divide by `log²`) finite on the
+/// first few slots, where the asymptotic formulas are meaningless anyway.
+#[inline]
+pub fn log2c(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// `√(log₂ x)`, clamped like [`log2c`].
+#[inline]
+pub fn sqrt_log2(x: f64) -> f64 {
+    log2c(x).sqrt()
+}
+
+/// A jamming-tolerance function `g`.
+///
+/// The admissible range in Theorem 1.2 is `log g(x) = O(√(log x))`:
+/// from constants (tolerating a constant fraction of jammed slots, the
+/// worst case) up to `2^Θ(√log x)` (the largest jamming budget compatible
+/// with constant throughput — Remark 2).
+#[derive(Clone)]
+pub enum GFunction {
+    /// `g(x) = c` — constant-fraction jamming tolerance; yields
+    /// `f(x) = Θ(log x)` and throughput `Θ(1/log x)`.
+    Constant(f64),
+    /// `g(x) = log₂ x`.
+    Log,
+    /// `g(x) = (log₂ x)^k`.
+    PolyLog(u32),
+    /// `g(x) = 2^(c·√(log₂ x))` — the maximum admissible growth; yields
+    /// constant `f` and hence constant throughput (Remark 2).
+    ExpSqrtLog(f64),
+    /// Arbitrary user-supplied function (validated only at use sites).
+    Custom(Arc<dyn Fn(f64) -> f64 + Send + Sync>),
+}
+
+impl GFunction {
+    /// Evaluate `g(x)`, clamped to `[1, ∞)` and finite.
+    pub fn eval(&self, x: f64) -> f64 {
+        let v = match self {
+            GFunction::Constant(c) => *c,
+            GFunction::Log => log2c(x),
+            GFunction::PolyLog(k) => log2c(x).powi(*k as i32),
+            GFunction::ExpSqrtLog(c) => (c * sqrt_log2(x)).exp2(),
+            GFunction::Custom(f) => f(x),
+        };
+        if v.is_finite() {
+            v.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Evaluate at an integer slot count.
+    #[inline]
+    pub fn at(&self, t: u64) -> f64 {
+        self.eval(t as f64)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            GFunction::Constant(c) => format!("g=const({c})"),
+            GFunction::Log => "g=log".to_string(),
+            GFunction::PolyLog(k) => format!("g=log^{k}"),
+            GFunction::ExpSqrtLog(c) => format!("g=2^({c}*sqrt(log))"),
+            GFunction::Custom(_) => "g=custom".to_string(),
+        }
+    }
+}
+
+impl fmt::Debug for GFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl PartialEq for GFunction {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (GFunction::Constant(a), GFunction::Constant(b)) => a == b,
+            (GFunction::Log, GFunction::Log) => true,
+            (GFunction::PolyLog(a), GFunction::PolyLog(b)) => a == b,
+            (GFunction::ExpSqrtLog(a), GFunction::ExpSqrtLog(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// The derived throughput function `f(x) = a·c₂·log₂ x / log₂²(g(x)/a)`.
+///
+/// `a` is the paper's global constant (also scaling the budget curves) and
+/// `c₂` the backoff density constant from Lemma 3.3. Both default to 1 and
+/// are calibrated empirically (see DESIGN.md §2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FFunction {
+    g: GFunction,
+    a: f64,
+    c2: f64,
+}
+
+impl FFunction {
+    /// Build `f` from `g` with constants `a`, `c₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `c2` is not strictly positive and finite.
+    pub fn new(g: GFunction, a: f64, c2: f64) -> Self {
+        assert!(a.is_finite() && a > 0.0, "a must be positive");
+        assert!(c2.is_finite() && c2 > 0.0, "c2 must be positive");
+        FFunction { g, a, c2 }
+    }
+
+    /// Build with default constants `a = 1`, `c₂ = 1`.
+    pub fn from_g(g: GFunction) -> Self {
+        Self::new(g, 1.0, 1.0)
+    }
+
+    /// Evaluate `f(x)` (clamped to `[1, ∞)`: an (f,g) bound with `f < 1`
+    /// would be vacuous since each arrival occupies at least one slot).
+    pub fn eval(&self, x: f64) -> f64 {
+        let denom = log2c(self.g.eval(x) / self.a).max(1.0);
+        let v = self.a * self.c2 * log2c(x) / (denom * denom);
+        v.max(1.0)
+    }
+
+    /// Evaluate at an integer slot count.
+    #[inline]
+    pub fn at(&self, t: u64) -> f64 {
+        self.eval(t as f64)
+    }
+
+    /// The per-stage send count `h(L) = f(L)/a` of the paper's
+    /// `(f/a)`-backoff, rounded to an integer ≥ 1.
+    pub fn backoff_send_count(&self, stage_len: u64) -> u64 {
+        let h = self.eval(stage_len as f64) / self.a;
+        (h.round() as u64).clamp(1, stage_len)
+    }
+
+    /// The underlying `g`.
+    pub fn g(&self) -> &GFunction {
+        &self.g
+    }
+
+    /// The constant `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// The constant `c₂`.
+    pub fn c2(&self) -> f64 {
+        self.c2
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        format!("f[{} a={} c2={}]", self.g.label(), self.a, self.c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2c_clamps_small_inputs() {
+        assert_eq!(log2c(0.0), 1.0);
+        assert_eq!(log2c(1.0), 1.0);
+        assert_eq!(log2c(2.0), 1.0);
+        assert_eq!(log2c(8.0), 3.0);
+        assert_eq!(log2c(-5.0), 1.0);
+    }
+
+    #[test]
+    fn sqrt_log2_matches() {
+        assert!((sqrt_log2(16.0) - 2.0).abs() < 1e-12);
+        assert_eq!(sqrt_log2(1.0), 1.0);
+    }
+
+    #[test]
+    fn g_constant() {
+        let g = GFunction::Constant(5.0);
+        assert_eq!(g.eval(10.0), 5.0);
+        assert_eq!(g.eval(1e9), 5.0);
+        // Clamped to >= 1.
+        assert_eq!(GFunction::Constant(0.1).eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn g_log_and_polylog() {
+        assert_eq!(GFunction::Log.eval(1024.0), 10.0);
+        assert_eq!(GFunction::PolyLog(2).eval(1024.0), 100.0);
+        assert_eq!(GFunction::PolyLog(3).at(1024), 1000.0);
+    }
+
+    #[test]
+    fn g_exp_sqrt_log() {
+        // At x = 2^16: sqrt(log x) = 4, so g = 2^4 = 16 with c = 1.
+        let g = GFunction::ExpSqrtLog(1.0);
+        assert!((g.eval(65536.0) - 16.0).abs() < 1e-9);
+        // c = 2 doubles the exponent.
+        let g2 = GFunction::ExpSqrtLog(2.0);
+        assert!((g2.eval(65536.0) - 256.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn g_custom_and_nonfinite_guard() {
+        let g = GFunction::Custom(Arc::new(|x| x / 2.0));
+        assert_eq!(g.eval(10.0), 5.0);
+        let bad = GFunction::Custom(Arc::new(|_| f64::NAN));
+        assert_eq!(bad.eval(10.0), 1.0);
+        let inf = GFunction::Custom(Arc::new(|_| f64::INFINITY));
+        assert_eq!(inf.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn g_labels() {
+        assert_eq!(GFunction::Log.label(), "g=log");
+        assert!(GFunction::Constant(2.0).label().contains("const"));
+        assert!(format!("{:?}", GFunction::PolyLog(2)).contains("log^2"));
+    }
+
+    #[test]
+    fn g_equality() {
+        assert_eq!(GFunction::Log, GFunction::Log);
+        assert_eq!(GFunction::Constant(2.0), GFunction::Constant(2.0));
+        assert_ne!(GFunction::Constant(2.0), GFunction::Constant(3.0));
+        assert_ne!(GFunction::Log, GFunction::PolyLog(1));
+    }
+
+    #[test]
+    fn f_constant_g_gives_log_growth() {
+        // g constant => denominator constant => f = Θ(log x).
+        let f = FFunction::new(GFunction::Constant(2.0), 1.0, 1.0);
+        let f10 = f.eval(1024.0);
+        let f20 = f.eval(1024.0 * 1024.0);
+        assert!(f20 > f10 * 1.8 && f20 < f10 * 2.2, "f10={f10} f20={f20}");
+    }
+
+    #[test]
+    fn f_exp_sqrt_log_gives_constant() {
+        // g = 2^√log x => log g = √log x => f = log x / log x = const.
+        let f = FFunction::new(GFunction::ExpSqrtLog(1.0), 1.0, 1.0);
+        let v1 = f.eval(1u64.wrapping_shl(16) as f64);
+        let v2 = f.eval((1u64 << 30) as f64);
+        let v3 = f.eval((1u64 << 60) as f64);
+        assert!((v1 - v2).abs() / v1 < 0.2, "v1={v1} v2={v2}");
+        assert!((v2 - v3).abs() / v2 < 0.2, "v2={v2} v3={v3}");
+    }
+
+    #[test]
+    fn f_is_at_least_one() {
+        let f = FFunction::from_g(GFunction::ExpSqrtLog(4.0));
+        for t in [1u64, 2, 3, 10, 1000, 1 << 40] {
+            assert!(f.at(t) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn f_monotone_in_c2() {
+        let lo = FFunction::new(GFunction::Log, 1.0, 1.0);
+        let hi = FFunction::new(GFunction::Log, 1.0, 3.0);
+        assert!(hi.eval(4096.0) > lo.eval(4096.0));
+    }
+
+    #[test]
+    fn backoff_send_count_bounds() {
+        let f = FFunction::new(GFunction::Constant(2.0), 1.0, 1.0);
+        // Always within [1, stage_len].
+        for k in 0..30 {
+            let len = 1u64 << k;
+            let c = f.backoff_send_count(len);
+            assert!(c >= 1 && c <= len, "len={len} count={c}");
+        }
+        // Stage length 1 forces exactly one send.
+        assert_eq!(f.backoff_send_count(1), 1);
+    }
+
+    #[test]
+    fn backoff_send_count_grows_with_log_for_constant_g() {
+        let f = FFunction::new(GFunction::Constant(2.0), 1.0, 1.0);
+        assert!(f.backoff_send_count(1 << 20) > f.backoff_send_count(1 << 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be positive")]
+    fn f_rejects_bad_a() {
+        let _ = FFunction::new(GFunction::Log, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "c2 must be positive")]
+    fn f_rejects_bad_c2() {
+        let _ = FFunction::new(GFunction::Log, 1.0, f64::NAN);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = FFunction::new(GFunction::Log, 2.0, 3.0);
+        assert_eq!(f.a(), 2.0);
+        assert_eq!(f.c2(), 3.0);
+        assert_eq!(*f.g(), GFunction::Log);
+        assert!(f.label().contains("g=log"));
+    }
+}

@@ -1,0 +1,274 @@
+//! The `h`-backoff subroutine (Section 2.1).
+//!
+//! > Let `h : ℕ⁺ → ℕ⁺`. A node runs `h`-backoff starting from slot `l` if,
+//! > for any `k ∈ ℕ`, in the slot interval `I_k = [l−1+2^k, l−1+2^{k+1})`,
+//! > the node sends in `h(|I_k|)` slots drawn uniformly at random (with
+//! > replacement) from `I_k`.
+//!
+//! Stage `k` has length `2^k`; stage 0 has length 1 so a fresh `h`-backoff
+//! always broadcasts in its very first slot. The subroutine is *adaptive* in
+//! the sense of Theorem 4.2: conditioned on the draws, the node's sending
+//! indicator in a slot is correlated with its other sends within the stage —
+//! the property plain schedules lack and that makes backoff necessary for
+//! jamming-resistance.
+//!
+//! [`HBackoff`] is driven one *channel slot* at a time via
+//! [`HBackoff::next`]; mapping channel slots onto the odd/even physical
+//! channels is the caller's job (the protocol layer).
+
+use rand::Rng;
+use rand::RngCore;
+
+/// Stage-based send counter: stage length ↦ number of sends in the stage.
+pub trait SendCount {
+    /// How many sends in a stage of `stage_len` slots; implementations
+    /// should return a value in `[0, stage_len]` (the driver clamps anyway).
+    fn count(&self, stage_len: u64) -> u64;
+}
+
+impl<F> SendCount for F
+where
+    F: Fn(u64) -> u64,
+{
+    fn count(&self, stage_len: u64) -> u64 {
+        self(stage_len)
+    }
+}
+
+/// Always one send per stage — the sparsest useful backoff (classical
+/// windowed binary exponential backoff expressed in stage form).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnePerStage;
+
+impl SendCount for OnePerStage {
+    fn count(&self, _stage_len: u64) -> u64 {
+        1
+    }
+}
+
+/// Driver for the `h`-backoff subroutine over an abstract channel-slot
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct HBackoff<C> {
+    counter: C,
+    stage: u32,
+    pos: u64,
+    /// Sorted, deduplicated send offsets within the current stage.
+    sends: Vec<u64>,
+    cursor: usize,
+    total_sends: u64,
+}
+
+/// Cap on the stage exponent to keep `2^stage` in range; stages beyond this
+/// would outlast any feasible simulation by many orders of magnitude.
+const MAX_STAGE: u32 = 62;
+
+impl<C: SendCount> HBackoff<C> {
+    /// Fresh backoff at stage 0 (the next [`next`](Self::next) call is its
+    /// first channel slot).
+    pub fn new(counter: C) -> Self {
+        HBackoff {
+            counter,
+            stage: 0,
+            pos: 0,
+            sends: Vec::new(),
+            cursor: 0,
+            total_sends: 0,
+        }
+    }
+
+    /// The current stage index `k` (length `2^k`).
+    pub fn stage(&self) -> u32 {
+        self.stage
+    }
+
+    /// Length of the current stage.
+    pub fn stage_len(&self) -> u64 {
+        1u64 << self.stage.min(MAX_STAGE)
+    }
+
+    /// Offset within the current stage (0-based).
+    pub fn stage_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total broadcast decisions so far.
+    pub fn total_sends(&self) -> u64 {
+        self.total_sends
+    }
+
+    fn draw_stage(&mut self, rng: &mut dyn RngCore) {
+        let len = self.stage_len();
+        let want = self.counter.count(len).clamp(0, len);
+        self.sends.clear();
+        for _ in 0..want {
+            self.sends.push(rng.gen_range(0..len));
+        }
+        self.sends.sort_unstable();
+        self.sends.dedup();
+        self.cursor = 0;
+    }
+
+    /// Advance one channel slot; returns whether the node sends in it.
+    ///
+    /// Drawing happens lazily at each stage boundary, consuming
+    /// `h(2^k)` uniform samples from `rng`.
+    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.pos == 0 {
+            self.draw_stage(rng);
+        }
+        let send = self.cursor < self.sends.len() && self.sends[self.cursor] == self.pos;
+        if send {
+            self.cursor += 1;
+            self.total_sends += 1;
+        }
+        self.pos += 1;
+        if self.pos == self.stage_len() {
+            self.pos = 0;
+            self.stage = (self.stage + 1).min(MAX_STAGE);
+        }
+        send
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn first_slot_always_sends_with_positive_count() {
+        // Stage 0 has length 1 and count >= 1 => must send in slot 0.
+        for seed in 0..20 {
+            let mut b = HBackoff::new(OnePerStage);
+            let mut r = rng(seed);
+            assert!(b.next(&mut r), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn one_per_stage_sends_exactly_once_per_stage() {
+        let mut b = HBackoff::new(OnePerStage);
+        let mut r = rng(3);
+        // Stages 0..=9 cover 2^10 - 1 slots.
+        let mut sends_by_stage = vec![0u64; 10];
+        for _ in 0..((1u64 << 10) - 1) {
+            let stage = b.stage() as usize;
+            if b.next(&mut r) {
+                sends_by_stage[stage] += 1;
+            }
+        }
+        assert_eq!(sends_by_stage, vec![1; 10]);
+    }
+
+    #[test]
+    fn counter_closure_respected_up_to_dedup() {
+        // Ask for 4 sends per stage; duplicates may reduce the realized
+        // count, but it stays in [1, 4] for stages of length >= 4.
+        let mut b = HBackoff::new(|_len: u64| 4u64);
+        let mut r = rng(5);
+        let mut per_stage = std::collections::HashMap::new();
+        for _ in 0..((1u64 << 12) - 1) {
+            let stage = b.stage();
+            if b.next(&mut r) {
+                *per_stage.entry(stage).or_insert(0u64) += 1;
+            }
+        }
+        for (stage, count) in per_stage {
+            let len = 1u64 << stage;
+            let expected_max = 4.min(len);
+            assert!(
+                count >= 1 && count <= expected_max,
+                "stage {stage} count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_count_sends_nothing_in_stage() {
+        // Count 0 in every stage: never sends.
+        let mut b = HBackoff::new(|_len: u64| 0u64);
+        let mut r = rng(9);
+        for _ in 0..1000 {
+            assert!(!b.next(&mut r));
+        }
+        assert_eq!(b.total_sends(), 0);
+    }
+
+    #[test]
+    fn count_clamped_to_stage_len() {
+        // Absurd count: clamped to `len` draws. Draws are with replacement,
+        // so duplicates may leave gaps, but sends stay within [1, len] per
+        // stage and the stage-0 slot (length 1) always sends.
+        let mut b = HBackoff::new(|_len: u64| u64::MAX);
+        let mut r = rng(11);
+        let mut sends = 0u64;
+        // Stage 0 (1 slot) + stage 1 (2 slots) + stage 2 (4 slots).
+        let first = b.next(&mut r);
+        assert!(first, "stage 0 must send");
+        sends += 1;
+        for _ in 0..6 {
+            if b.next(&mut r) {
+                sends += 1;
+            }
+        }
+        assert!((3..=7).contains(&sends), "sends {sends}");
+    }
+
+    #[test]
+    fn stage_progression() {
+        let mut b = HBackoff::new(OnePerStage);
+        let mut r = rng(1);
+        assert_eq!(b.stage(), 0);
+        assert_eq!(b.stage_len(), 1);
+        b.next(&mut r);
+        assert_eq!(b.stage(), 1);
+        b.next(&mut r);
+        assert_eq!(b.stage_pos(), 1);
+        b.next(&mut r);
+        assert_eq!(b.stage(), 2);
+        assert_eq!(b.stage_len(), 4);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed| {
+            let mut b = HBackoff::new(|l: u64| (l as f64).log2() as u64 + 1);
+            let mut r = rng(seed);
+            (0..500).map(|_| b.next(&mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn uniform_spread_within_stage() {
+        // With one send per stage, over many independent runs the chosen
+        // slot in stage 10 (length 1024) should cover both halves.
+        let mut lo = 0;
+        let mut hi = 0;
+        for seed in 0..200 {
+            let mut b = HBackoff::new(OnePerStage);
+            let mut r = rng(seed);
+            // Skip stages 0..=9 (1023 slots).
+            let mut sent_at = None;
+            for i in 0..(1u64 << 11) - 1 {
+                let in_stage_10 = i >= 1023;
+                if b.next(&mut r) && in_stage_10 {
+                    sent_at = Some(i - 1023);
+                }
+            }
+            match sent_at {
+                Some(p) if p < 512 => lo += 1,
+                Some(_) => hi += 1,
+                None => panic!("no send in stage 10"),
+            }
+        }
+        assert!(lo > 50 && hi > 50, "lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,182 @@
+//! The `h`-batch subroutine (Section 2.1).
+//!
+//! > Let `h : ℕ⁺ → ℝ⁺`. A node runs `h`-batch starting from slot `l` if, for
+//! > any `k ∈ ℕ⁺`, it sends with probability `min(1, h(k))` in slot
+//! > `l − 1 + k`.
+//!
+//! This is a *non-adaptive* probability schedule (cf. Theorem 4.2) indexed
+//! by the slots since the batch started. The paper instantiates it twice in
+//! Phase 3: `h_ctrl(x) = c₃·log x / x` on the control channel and
+//! `h_data(x) = 1/x` on the data channel.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::schedule::Schedule;
+
+/// Driver for an `h`-batch over an abstract channel-slot sequence.
+#[derive(Debug, Clone)]
+pub struct HBatch {
+    schedule: Schedule,
+    /// Next slot index `k` (1-based) to be consumed.
+    next_index: u64,
+    total_sends: u64,
+}
+
+impl HBatch {
+    /// Fresh batch; the next [`next`](Self::next) call is slot `k = 1`.
+    pub fn new(schedule: Schedule) -> Self {
+        HBatch {
+            schedule,
+            next_index: 1,
+            total_sends: 0,
+        }
+    }
+
+    /// The paper's data-channel batch (`h(x) = 1/x`), i.e. smoothed binary
+    /// exponential backoff.
+    pub fn data() -> Self {
+        Self::new(Schedule::h_data())
+    }
+
+    /// The paper's control-channel batch (`h(x) = c₃·log x / x`).
+    pub fn ctrl(c3: f64) -> Self {
+        Self::new(Schedule::h_ctrl(c3))
+    }
+
+    /// The 1-based index of the next slot to be consumed.
+    pub fn position(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Probability that the *next* slot sends.
+    pub fn next_prob(&self) -> f64 {
+        self.schedule.prob(self.next_index)
+    }
+
+    /// Total broadcasts so far.
+    pub fn total_sends(&self) -> u64 {
+        self.total_sends
+    }
+
+    /// The underlying schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Advance one channel slot; returns whether the node sends in it.
+    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
+        let p = self.schedule.prob(self.next_index);
+        self.next_index += 1;
+        let send = p > 0.0 && (p >= 1.0 || rng.gen::<f64>() < p);
+        if send {
+            self.total_sends += 1;
+        }
+        send
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn data_batch_sends_first_slot_always() {
+        // h_data(1) = 1 => certain send.
+        for seed in 0..10 {
+            let mut b = HBatch::data();
+            let mut r = rng(seed);
+            assert!(b.next(&mut r));
+        }
+    }
+
+    #[test]
+    fn position_advances() {
+        let mut b = HBatch::data();
+        let mut r = rng(0);
+        assert_eq!(b.position(), 1);
+        b.next(&mut r);
+        assert_eq!(b.position(), 2);
+        assert!((b.next_prob() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_batch_send_rate_matches_harmonic_sum() {
+        // E[sends over 1..n] = H_n ≈ ln n + γ. For n = 10000, H_n ≈ 9.79.
+        let mut total = 0u64;
+        const TRIALS: u64 = 60;
+        for seed in 0..TRIALS {
+            let mut b = HBatch::data();
+            let mut r = rng(seed);
+            for _ in 0..10_000 {
+                if b.next(&mut r) {
+                    total += 1;
+                }
+            }
+        }
+        let mean = total as f64 / TRIALS as f64;
+        assert!((mean - 9.79).abs() < 1.0, "mean sends {mean}");
+    }
+
+    #[test]
+    fn ctrl_batch_sends_more_than_data_batch() {
+        let mut data_total = 0u64;
+        let mut ctrl_total = 0u64;
+        for seed in 0..30 {
+            let mut d = HBatch::data();
+            let mut c = HBatch::ctrl(4.0);
+            let mut rd = rng(seed);
+            let mut rc = rng(seed + 1000);
+            for _ in 0..4096 {
+                data_total += u64::from(d.next(&mut rd));
+                ctrl_total += u64::from(c.next(&mut rc));
+            }
+        }
+        assert!(
+            ctrl_total > 2 * data_total,
+            "ctrl {ctrl_total} vs data {data_total}"
+        );
+    }
+
+    #[test]
+    fn zero_schedule_never_sends() {
+        let mut b = HBatch::new(Schedule::Constant(0.0));
+        let mut r = rng(1);
+        for _ in 0..100 {
+            assert!(!b.next(&mut r));
+        }
+        assert_eq!(b.total_sends(), 0);
+    }
+
+    #[test]
+    fn certain_schedule_always_sends() {
+        let mut b = HBatch::new(Schedule::Constant(1.0));
+        let mut r = rng(1);
+        for _ in 0..100 {
+            assert!(b.next(&mut r));
+        }
+        assert_eq!(b.total_sends(), 100);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed| {
+            let mut b = HBatch::ctrl(2.0);
+            let mut r = rng(seed);
+            (0..500).map(|_| b.next(&mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn schedule_accessor() {
+        let b = HBatch::ctrl(3.0);
+        assert!(b.schedule().label().contains("log"));
+    }
+}

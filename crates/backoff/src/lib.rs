@@ -1,0 +1,39 @@
+//! # contention-backoff
+//!
+//! Backoff primitives and function machinery for contention resolution,
+//! implementing the subroutines of Chen–Jiang–Zheng (PODC 2021) plus the
+//! classical baselines they are compared against:
+//!
+//! * [`hbackoff::HBackoff`] — the paper's stage-based `h`-backoff
+//!   (adaptive; the jamming-resistant workhorse of Phases 1–2);
+//! * [`hbatch::HBatch`] — the paper's `h`-batch (a probability schedule;
+//!   instantiated as `h_ctrl = c₃·log x/x` and `h_data = 1/x` in Phase 3);
+//! * [`window::WindowBackoff`] — classical windowed binary
+//!   exponential / polynomial / linear backoff;
+//! * [`sawtooth::Sawtooth`] — sawtooth (backon) backoff;
+//! * [`schedule::Schedule`] — arbitrary non-adaptive probability schedules
+//!   (the class ruled out by Theorem 4.2);
+//! * [`functions`] — the sub-logarithmic `g` family and the derived
+//!   `f(x) = Θ(log x / log² g(x))` of Theorem 1.2.
+//!
+//! All drivers advance one *channel slot* per call and draw exclusively from
+//! a caller-provided RNG, so they compose deterministically inside the
+//! simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod functions;
+pub mod hbackoff;
+pub mod hbatch;
+pub mod sawtooth;
+pub mod schedule;
+pub mod window;
+
+pub use functions::{log2c, sqrt_log2, FFunction, GFunction};
+pub use hbackoff::{HBackoff, OnePerStage, SendCount};
+pub use hbatch::HBatch;
+pub use sawtooth::Sawtooth;
+pub use schedule::Schedule;
+pub use window::{WindowBackoff, WindowGrowth};

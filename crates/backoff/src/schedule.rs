@@ -1,0 +1,159 @@
+//! Non-adaptive sending-probability schedules.
+//!
+//! A schedule assigns each (1-based) slot index `i` a sending probability
+//! `p_i`, fixed in advance — exactly the class of algorithms Theorem 4.2
+//! proves sub-optimal under jamming. The paper's `h-batch` subroutine is a
+//! schedule; so is "send with probability 1/i in slot i" (the smoothed
+//! binary exponential backoff of Claim 3.5.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::functions::log2c;
+
+/// A pre-defined probability schedule `i ↦ p_i`.
+#[derive(Clone)]
+pub enum Schedule {
+    /// `p_i = min(1, 1/i)` — the `h_data` schedule (smoothed binary
+    /// exponential backoff).
+    Reciprocal,
+    /// `p_i = min(1, c·log₂(i)/i)` — the `h_ctrl` schedule with constant
+    /// `c = c₃`.
+    LogOverI {
+        /// The multiplicative constant `c₃`.
+        c: f64,
+    },
+    /// `p_i = min(1, c/i)`.
+    ScaledReciprocal {
+        /// The multiplicative constant.
+        c: f64,
+    },
+    /// Constant probability (slotted ALOHA).
+    Constant(f64),
+    /// `p_i = min(1, 1/i^e)` — polynomially decaying schedule.
+    PowerLaw {
+        /// The decay exponent `e > 0`.
+        exponent: f64,
+    },
+    /// Arbitrary user-supplied schedule.
+    Custom(Arc<dyn Fn(u64) -> f64 + Send + Sync>),
+}
+
+impl Schedule {
+    /// The probability for slot `i` (1-based), clamped into `[0, 1]`.
+    pub fn prob(&self, i: u64) -> f64 {
+        let i = i.max(1);
+        let x = i as f64;
+        let raw = match self {
+            Schedule::Reciprocal => 1.0 / x,
+            Schedule::LogOverI { c } => c * log2c(x) / x,
+            Schedule::ScaledReciprocal { c } => c / x,
+            Schedule::Constant(p) => *p,
+            Schedule::PowerLaw { exponent } => x.powf(-exponent),
+            Schedule::Custom(f) => f(i),
+        };
+        if raw.is_finite() {
+            raw.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The `h_data` schedule of the paper (`1/x`).
+    pub fn h_data() -> Self {
+        Schedule::Reciprocal
+    }
+
+    /// The `h_ctrl` schedule of the paper (`c₃·log x / x`).
+    pub fn h_ctrl(c3: f64) -> Self {
+        Schedule::LogOverI { c: c3 }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::Reciprocal => "1/i".to_string(),
+            Schedule::LogOverI { c } => format!("{c}*log(i)/i"),
+            Schedule::ScaledReciprocal { c } => format!("{c}/i"),
+            Schedule::Constant(p) => format!("const({p})"),
+            Schedule::PowerLaw { exponent } => format!("i^-{exponent}"),
+            Schedule::Custom(_) => "custom".to_string(),
+        }
+    }
+}
+
+impl fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_values() {
+        let s = Schedule::Reciprocal;
+        assert_eq!(s.prob(1), 1.0);
+        assert_eq!(s.prob(2), 0.5);
+        assert_eq!(s.prob(4), 0.25);
+        // i = 0 treated as 1 defensively.
+        assert_eq!(s.prob(0), 1.0);
+    }
+
+    #[test]
+    fn log_over_i_clamps_to_one() {
+        let s = Schedule::h_ctrl(10.0);
+        assert_eq!(s.prob(1), 1.0); // 10*1/1 clamped
+        let p = s.prob(1024);
+        assert!((p - 10.0 * 10.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_reciprocal() {
+        let s = Schedule::ScaledReciprocal { c: 3.0 };
+        assert_eq!(s.prob(1), 1.0);
+        assert_eq!(s.prob(6), 0.5);
+    }
+
+    #[test]
+    fn constant_and_powerlaw() {
+        assert_eq!(Schedule::Constant(0.3).prob(999), 0.3);
+        assert_eq!(Schedule::Constant(2.0).prob(1), 1.0); // clamped
+        let s = Schedule::PowerLaw { exponent: 2.0 };
+        assert_eq!(s.prob(10), 0.01);
+    }
+
+    #[test]
+    fn custom_and_nan_guard() {
+        let s = Schedule::Custom(Arc::new(|i| 1.0 / (i as f64).sqrt()));
+        assert_eq!(s.prob(4), 0.5);
+        let bad = Schedule::Custom(Arc::new(|_| f64::NAN));
+        assert_eq!(bad.prob(3), 0.0);
+    }
+
+    #[test]
+    fn probabilities_always_in_unit_interval() {
+        let schedules = [
+            Schedule::Reciprocal,
+            Schedule::h_ctrl(5.0),
+            Schedule::ScaledReciprocal { c: 100.0 },
+            Schedule::Constant(0.7),
+            Schedule::PowerLaw { exponent: 0.5 },
+        ];
+        for s in &schedules {
+            for i in [1u64, 2, 3, 10, 1000, 1 << 40] {
+                let p = s.prob(i);
+                assert!((0.0..=1.0).contains(&p), "{} at {i} gave {p}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Schedule::Reciprocal.label(), "1/i");
+        assert!(Schedule::h_ctrl(2.0).label().contains("log"));
+        assert_eq!(format!("{:?}", Schedule::Constant(0.5)), "const(0.5)");
+    }
+}

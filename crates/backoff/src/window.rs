@@ -1,0 +1,229 @@
+//! Windowed backoff primitives: binary exponential, polynomial, linear.
+//!
+//! The classical (Ethernet-style) implementation of backoff: the node picks
+//! one uniformly random slot in its current *window*, transmits there, and —
+//! absent a success — moves to the next, larger window. Window growth
+//! distinguishes the family:
+//!
+//! * binary exponential: `|W_k| = 2^k` (doubling after each failure),
+//! * polynomial: `|W_k| = (k+1)^e`,
+//! * linear: `|W_k| = k+1`.
+//!
+//! Without collision detection a node cannot tell *why* its attempt failed;
+//! the windowed discipline only relies on the absence of its own success,
+//! which it knows (it would have left the system otherwise).
+
+use rand::Rng;
+use rand::RngCore;
+
+/// Window growth policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowGrowth {
+    /// `|W_k| = 2^k` — binary exponential backoff.
+    Binary,
+    /// `|W_k| = (k+1)^e` (rounded up) — polynomial backoff.
+    Polynomial(f64),
+    /// `|W_k| = k+1` — linear backoff.
+    Linear,
+}
+
+impl WindowGrowth {
+    /// Length of window `k` (0-based), always ≥ 1, saturating at `2^62`.
+    pub fn window_len(&self, k: u32) -> u64 {
+        const CAP: u64 = 1 << 62;
+        match self {
+            WindowGrowth::Binary => 1u64 << k.min(62),
+            WindowGrowth::Polynomial(e) => {
+                let v = ((k as f64) + 1.0).powf(*e).ceil();
+                if v.is_finite() && v < CAP as f64 {
+                    (v as u64).max(1)
+                } else {
+                    CAP
+                }
+            }
+            WindowGrowth::Linear => u64::from(k) + 1,
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            WindowGrowth::Binary => "binary".to_string(),
+            WindowGrowth::Polynomial(e) => format!("poly({e})"),
+            WindowGrowth::Linear => "linear".to_string(),
+        }
+    }
+}
+
+/// Driver for windowed backoff over an abstract slot sequence.
+#[derive(Debug, Clone)]
+pub struct WindowBackoff {
+    growth: WindowGrowth,
+    window: u32,
+    pos: u64,
+    chosen: Option<u64>,
+    total_sends: u64,
+}
+
+impl WindowBackoff {
+    /// Fresh backoff starting in window 0.
+    pub fn new(growth: WindowGrowth) -> Self {
+        WindowBackoff {
+            growth,
+            window: 0,
+            pos: 0,
+            chosen: None,
+            total_sends: 0,
+        }
+    }
+
+    /// Binary exponential backoff.
+    pub fn binary() -> Self {
+        Self::new(WindowGrowth::Binary)
+    }
+
+    /// Polynomial backoff with exponent `e`.
+    pub fn polynomial(e: f64) -> Self {
+        Self::new(WindowGrowth::Polynomial(e))
+    }
+
+    /// Current window index.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Length of the current window.
+    pub fn window_len(&self) -> u64 {
+        self.growth.window_len(self.window)
+    }
+
+    /// Total broadcasts so far.
+    pub fn total_sends(&self) -> u64 {
+        self.total_sends
+    }
+
+    /// The growth policy.
+    pub fn growth(&self) -> WindowGrowth {
+        self.growth
+    }
+
+    /// Advance one slot; returns whether the node transmits.
+    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.pos == 0 {
+            let len = self.window_len();
+            self.chosen = Some(rng.gen_range(0..len));
+        }
+        let send = self.chosen == Some(self.pos);
+        if send {
+            self.total_sends += 1;
+        }
+        self.pos += 1;
+        if self.pos >= self.window_len() {
+            self.pos = 0;
+            self.window = self.window.saturating_add(1);
+        }
+        send
+    }
+
+    /// Restart from window 0 (used by re-synchronizing protocol variants).
+    pub fn reset(&mut self) {
+        self.window = 0;
+        self.pos = 0;
+        self.chosen = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn window_lengths() {
+        assert_eq!(WindowGrowth::Binary.window_len(0), 1);
+        assert_eq!(WindowGrowth::Binary.window_len(10), 1024);
+        assert_eq!(WindowGrowth::Linear.window_len(0), 1);
+        assert_eq!(WindowGrowth::Linear.window_len(9), 10);
+        assert_eq!(WindowGrowth::Polynomial(2.0).window_len(0), 1);
+        assert_eq!(WindowGrowth::Polynomial(2.0).window_len(3), 16);
+        // Saturation.
+        assert_eq!(WindowGrowth::Binary.window_len(200), 1 << 62);
+        assert_eq!(WindowGrowth::Polynomial(100.0).window_len(1000), 1 << 62);
+    }
+
+    #[test]
+    fn exactly_one_send_per_window() {
+        let mut b = WindowBackoff::binary();
+        let mut r = rng(2);
+        // Windows 0..=9 span 2^10 - 1 slots.
+        let mut per_window = vec![0u64; 10];
+        for _ in 0..((1u64 << 10) - 1) {
+            let w = b.window() as usize;
+            if b.next(&mut r) {
+                per_window[w] += 1;
+            }
+        }
+        assert_eq!(per_window, vec![1; 10]);
+        assert_eq!(b.total_sends(), 10);
+    }
+
+    #[test]
+    fn first_slot_always_sends() {
+        // Window 0 has length 1.
+        for seed in 0..10 {
+            let mut b = WindowBackoff::binary();
+            assert!(b.next(&mut rng(seed)));
+        }
+    }
+
+    #[test]
+    fn polynomial_windows_grow_slower() {
+        let mut bin = WindowBackoff::binary();
+        let mut pol = WindowBackoff::polynomial(2.0);
+        let mut r1 = rng(1);
+        let mut r2 = rng(1);
+        // After many slots, the polynomial walker is in a much later window.
+        for _ in 0..100_000 {
+            bin.next(&mut r1);
+            pol.next(&mut r2);
+        }
+        assert!(pol.window() > bin.window());
+    }
+
+    #[test]
+    fn reset_restarts_window_zero() {
+        let mut b = WindowBackoff::binary();
+        let mut r = rng(5);
+        for _ in 0..100 {
+            b.next(&mut r);
+        }
+        assert!(b.window() > 0);
+        b.reset();
+        assert_eq!(b.window(), 0);
+        assert!(b.next(&mut r), "window 0 has length 1 → immediate send");
+    }
+
+    #[test]
+    fn growth_accessor_and_labels() {
+        assert_eq!(WindowBackoff::binary().growth(), WindowGrowth::Binary);
+        assert_eq!(WindowGrowth::Binary.label(), "binary");
+        assert_eq!(WindowGrowth::Polynomial(2.0).label(), "poly(2)");
+        assert_eq!(WindowGrowth::Linear.label(), "linear");
+    }
+
+    #[test]
+    fn determinism() {
+        let run = |seed| {
+            let mut b = WindowBackoff::polynomial(3.0);
+            let mut r = rng(seed);
+            (0..2000).map(|_| b.next(&mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the backoff primitives.
+
+use contention_backoff::{
+    FFunction, GFunction, HBackoff, HBatch, Sawtooth, Schedule, WindowBackoff, WindowGrowth,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// h-backoff: per-stage realized sends are within [min(1,count), count]
+    /// for any requested count, and stage lengths double.
+    #[test]
+    fn hbackoff_stage_send_bounds(seed in 0u64..5000, count in 0u64..20) {
+        let mut b = HBackoff::new(move |_len: u64| count);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut per_stage: Vec<u64> = Vec::new();
+        let mut current = 0u64;
+        let mut stage = 0u32;
+        for _ in 0..((1u64 << 10) - 1) {
+            if b.stage() != stage {
+                per_stage.push(current);
+                current = 0;
+                stage = b.stage();
+            }
+            if b.next(&mut rng) {
+                current += 1;
+            }
+        }
+        for (k, &sends) in per_stage.iter().enumerate() {
+            let len = 1u64 << k;
+            let max = count.min(len);
+            let min = if count == 0 { 0 } else { 1u64.min(max) };
+            prop_assert!(sends >= min && sends <= max,
+                "stage {k}: {sends} not in [{min}, {max}]");
+        }
+    }
+
+    /// h-batch respects its schedule exactly for deterministic schedules.
+    #[test]
+    fn hbatch_extremes(seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut always = HBatch::new(Schedule::Constant(1.0));
+        let mut never = HBatch::new(Schedule::Constant(0.0));
+        for _ in 0..200 {
+            prop_assert!(always.next(&mut rng));
+            prop_assert!(!never.next(&mut rng));
+        }
+    }
+
+    /// Schedules always produce probabilities in [0, 1].
+    #[test]
+    fn schedule_unit_interval(i in 1u64..u64::MAX, c in 0.0f64..100.0, e in 0.01f64..5.0) {
+        for s in [
+            Schedule::Reciprocal,
+            Schedule::LogOverI { c },
+            Schedule::ScaledReciprocal { c },
+            Schedule::Constant(c / 100.0),
+            Schedule::PowerLaw { exponent: e },
+        ] {
+            let p = s.prob(i);
+            prop_assert!((0.0..=1.0).contains(&p), "{} at {i} -> {p}", s.label());
+        }
+    }
+
+    /// Window backoff sends exactly once per window, for every growth rule.
+    #[test]
+    fn window_one_send_each(seed in 0u64..2000, which in 0u8..3) {
+        let growth = match which {
+            0 => WindowGrowth::Binary,
+            1 => WindowGrowth::Polynomial(2.0),
+            _ => WindowGrowth::Linear,
+        };
+        let mut b = WindowBackoff::new(growth);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut window = 0u32;
+        let mut sends_this_window = 0u32;
+        for _ in 0..4000u32 {
+            if b.window() != window {
+                prop_assert_eq!(sends_this_window, 1, "window {} of {:?}", window, growth);
+                window = b.window();
+                sends_this_window = 0;
+            }
+            if b.next(&mut rng) {
+                sends_this_window += 1;
+            }
+        }
+    }
+
+    /// f is eventually non-decreasing in x for every admissible g.
+    /// (Remark 1's conditions hold "for x ≥ x₀": the raw formula
+    /// log x / log² g(x) dips at small x — e.g. g = log gives f(4) = 2 but
+    /// f(16) = 1 — and the paper's constants absorb that region. k/log²k
+    /// is increasing from k ≈ 9, so we test k ≥ 9.)
+    #[test]
+    fn f_monotone_in_x(k1 in 9u32..50, k2 in 9u32..50) {
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        for g in [
+            GFunction::Constant(2.0),
+            GFunction::Log,
+            GFunction::PolyLog(2),
+            GFunction::ExpSqrtLog(1.0),
+        ] {
+            let f = FFunction::from_g(g);
+            let a = f.eval((1u64 << lo) as f64);
+            let b = f.eval((1u64 << hi) as f64);
+            prop_assert!(b >= a - 1e-9, "f not monotone: f(2^{lo})={a}, f(2^{hi})={b}");
+        }
+    }
+
+    /// g evaluation is finite and ≥ 1 on the whole admissible family.
+    #[test]
+    fn g_total_and_clamped(x in 0.0f64..1e18) {
+        for g in [
+            GFunction::Constant(0.0),
+            GFunction::Constant(7.0),
+            GFunction::Log,
+            GFunction::PolyLog(3),
+            GFunction::ExpSqrtLog(2.0),
+        ] {
+            let v = g.eval(x);
+            prop_assert!(v.is_finite() && v >= 1.0, "{} at {x} -> {v}", g.label());
+        }
+    }
+
+    /// Sawtooth probability is always a (negative) power of two in (0, ½].
+    #[test]
+    fn sawtooth_probability_range(seed in 0u64..500, steps in 1usize..2000) {
+        let mut s = Sawtooth::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let p = s.probability();
+            prop_assert!(p > 0.0 && p <= 0.5);
+            prop_assert_eq!(p.log2().fract(), 0.0, "p={} not a power of two", p);
+            s.next(&mut rng);
+        }
+    }
+
+    /// backoff_send_count is always within [1, stage_len].
+    #[test]
+    fn send_count_bounds(k in 0u32..50, c2 in 0.1f64..10.0) {
+        let f = FFunction::new(GFunction::Constant(2.0), 1.0, c2);
+        let len = 1u64 << k;
+        let c = f.backoff_send_count(len);
+        prop_assert!(c >= 1 && c <= len);
+    }
+}

@@ -1,0 +1,36 @@
+//! # contention-baselines
+//!
+//! Baseline contention-resolution protocols for comparison against the
+//! Chen–Jiang–Zheng algorithm:
+//!
+//! | Baseline | Kind | Why it's here |
+//! |---|---|---|
+//! | [`WindowProtocol::binary_exponential`] | windowed, oblivious | the classical Ethernet algorithm |
+//! | [`WindowProtocol::polynomial`] / [`WindowProtocol::linear`] | windowed | classical variants |
+//! | [`ScheduleProtocol::smoothed_beb`] | schedule `1/i` | the `h_data` batch; Claim 3.5.1's subject |
+//! | [`ScheduleProtocol::log_backoff`] | schedule `c·log i/i` | the `h_ctrl` "modified backoff" |
+//! | [`ScheduleProtocol::aloha`] | constant `p` | slotted ALOHA |
+//! | [`SawtoothProtocol`] | sweep | backon-style baseline |
+//! | [`FBackoffProtocol`] | stage-adaptive | the paper's backoff subroutine in isolation |
+//! | [`ResetOnSuccess`] / [`ResettingWindowProtocol`] | adaptive repair | naive re-synchronization heuristics |
+//!
+//! [`Baseline`] is a uniform registry (and [`ProtocolFactory`]) over all of
+//! them, used by the comparison experiments.
+//!
+//! [`ProtocolFactory`]: contention_sim::ProtocolFactory
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fbackoff;
+pub mod registry;
+pub mod sawtooth_proto;
+pub mod schedule_proto;
+pub mod window_proto;
+
+pub use fbackoff::FBackoffProtocol;
+pub use registry::Baseline;
+pub use sawtooth_proto::SawtoothProtocol;
+pub use schedule_proto::{ResetOnSuccess, ScheduleProtocol};
+pub use window_proto::{ResettingWindowProtocol, WindowProtocol};

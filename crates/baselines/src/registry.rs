@@ -1,0 +1,126 @@
+//! A uniform registry of baseline algorithms for comparison experiments.
+
+use contention_backoff::{GFunction, Schedule};
+use contention_sim::{NodeId, Protocol, ProtocolFactory};
+
+use crate::fbackoff::FBackoffProtocol;
+use crate::sawtooth_proto::SawtoothProtocol;
+use crate::schedule_proto::{ResetOnSuccess, ScheduleProtocol};
+use crate::window_proto::{ResettingWindowProtocol, WindowProtocol};
+
+/// A baseline algorithm identifier; doubles as a [`ProtocolFactory`].
+#[derive(Debug, Clone)]
+pub enum Baseline {
+    /// Windowed binary exponential backoff.
+    BinaryExponential,
+    /// Windowed polynomial backoff with the given exponent.
+    Polynomial(f64),
+    /// Windowed linear backoff.
+    Linear,
+    /// Smoothed BEB: `p_i = 1/i` (the `h_data` batch, Claim 3.5.1).
+    SmoothedBeb,
+    /// Log backoff: `p_i = c·log i / i` (the `h_ctrl` schedule).
+    LogBackoff(f64),
+    /// Slotted ALOHA with fixed probability.
+    Aloha(f64),
+    /// Sawtooth (backon) backoff.
+    Sawtooth,
+    /// The paper's `(f/a)`-backoff run standalone, tuned for jamming
+    /// tolerance `g`.
+    FBackoff(GFunction),
+    /// Smoothed BEB that restarts its schedule on every heard success.
+    ResetBeb,
+    /// Windowed BEB that resets its window on every heard success.
+    ResetWindowBeb,
+    /// Arbitrary non-adaptive schedule.
+    NonAdaptive(Schedule),
+}
+
+impl Baseline {
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::BinaryExponential => "beb",
+            Baseline::Polynomial(_) => "poly-backoff",
+            Baseline::Linear => "linear-backoff",
+            Baseline::SmoothedBeb => "smoothed-beb",
+            Baseline::LogBackoff(_) => "log-backoff",
+            Baseline::Aloha(_) => "aloha",
+            Baseline::Sawtooth => "sawtooth",
+            Baseline::FBackoff(_) => "f-backoff",
+            Baseline::ResetBeb => "reset-beb",
+            Baseline::ResetWindowBeb => "reset-window-beb",
+            Baseline::NonAdaptive(_) => "non-adaptive",
+        }
+    }
+
+    /// The default comparison roster used by experiment E7.
+    pub fn roster() -> Vec<Baseline> {
+        vec![
+            Baseline::BinaryExponential,
+            Baseline::Polynomial(2.0),
+            Baseline::SmoothedBeb,
+            Baseline::LogBackoff(2.0),
+            Baseline::Aloha(0.1),
+            Baseline::Sawtooth,
+            Baseline::FBackoff(GFunction::Constant(2.0)),
+            Baseline::ResetBeb,
+        ]
+    }
+}
+
+impl ProtocolFactory for Baseline {
+    fn spawn(&self, _id: NodeId) -> Box<dyn Protocol> {
+        match self {
+            Baseline::BinaryExponential => Box::new(WindowProtocol::binary_exponential()),
+            Baseline::Polynomial(e) => Box::new(WindowProtocol::polynomial(*e)),
+            Baseline::Linear => Box::new(WindowProtocol::linear()),
+            Baseline::SmoothedBeb => Box::new(ScheduleProtocol::smoothed_beb()),
+            Baseline::LogBackoff(c) => Box::new(ScheduleProtocol::log_backoff(*c)),
+            Baseline::Aloha(p) => Box::new(ScheduleProtocol::aloha(*p)),
+            Baseline::Sawtooth => Box::new(SawtoothProtocol::new()),
+            Baseline::FBackoff(g) => Box::new(FBackoffProtocol::new(g.clone(), 1.0, 1.0)),
+            Baseline::ResetBeb => Box::new(ResetOnSuccess::smoothed_beb()),
+            Baseline::ResetWindowBeb => Box::new(ResettingWindowProtocol::binary_exponential()),
+            Baseline::NonAdaptive(s) => {
+                Box::new(ScheduleProtocol::new("non-adaptive", s.clone()))
+            }
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        self.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_roster_entry_spawns() {
+        for b in Baseline::roster() {
+            let p = b.spawn(NodeId::new(0));
+            assert_eq!(p.name(), b.name(), "factory/protocol name mismatch");
+        }
+    }
+
+    #[test]
+    fn extra_variants_spawn() {
+        for b in [
+            Baseline::Linear,
+            Baseline::ResetWindowBeb,
+            Baseline::NonAdaptive(Schedule::PowerLaw { exponent: 0.5 }),
+        ] {
+            let p = b.spawn(NodeId::new(1));
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Baseline::BinaryExponential.name(), "beb");
+        assert_eq!(Baseline::SmoothedBeb.name(), "smoothed-beb");
+        assert_eq!(Baseline::FBackoff(GFunction::Log).name(), "f-backoff");
+    }
+}

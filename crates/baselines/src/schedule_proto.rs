@@ -1,0 +1,204 @@
+//! Non-adaptive schedule protocols (the Theorem 4.2 class).
+//!
+//! A [`ScheduleProtocol`] broadcasts with a pre-defined probability `p_i` in
+//! the `i`-th slot since its activation, independent of anything it hears —
+//! exactly the class of algorithms Theorem 4.2 proves cannot achieve the
+//! optimal trade-off under jamming. Instances include:
+//!
+//! * smoothed binary exponential backoff `p_i = 1/i` (the `h_data`-batch of
+//!   Claim 3.5.1),
+//! * the "modified backoff" `p_i = c·log i / i` (the `h_ctrl` schedule),
+//! * slotted ALOHA `p_i = p`.
+
+use contention_backoff::{HBatch, Schedule};
+use contention_sim::{Action, Feedback, Protocol};
+use rand::RngCore;
+
+/// A protocol that follows a fixed probability schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleProtocol {
+    batch: HBatch,
+    name: &'static str,
+}
+
+impl ScheduleProtocol {
+    /// Protocol following `schedule`, labelled `name`.
+    pub fn new(name: &'static str, schedule: Schedule) -> Self {
+        ScheduleProtocol {
+            batch: HBatch::new(schedule),
+            name,
+        }
+    }
+
+    /// Smoothed binary exponential backoff: `p_i = 1/i`.
+    pub fn smoothed_beb() -> Self {
+        Self::new("smoothed-beb", Schedule::Reciprocal)
+    }
+
+    /// The modified (log) backoff: `p_i = c·log i / i`.
+    pub fn log_backoff(c: f64) -> Self {
+        Self::new("log-backoff", Schedule::LogOverI { c })
+    }
+
+    /// Slotted ALOHA with fixed probability `p`.
+    pub fn aloha(p: f64) -> Self {
+        Self::new("aloha", Schedule::Constant(p))
+    }
+
+    /// Broadcast attempts so far.
+    pub fn total_sends(&self) -> u64 {
+        self.batch.total_sends()
+    }
+}
+
+impl Protocol for ScheduleProtocol {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {
+        if self.batch.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {
+        // Non-adaptive by definition: feedback is ignored.
+    }
+}
+
+/// A schedule protocol that *restarts* its schedule from `i = 1` whenever it
+/// hears a success — a simple adaptive repair heuristic used as an extra
+/// baseline (it mimics the "re-synchronize on success" idea without the
+/// paper's phase structure).
+#[derive(Debug, Clone)]
+pub struct ResetOnSuccess {
+    schedule: Schedule,
+    batch: HBatch,
+    name: &'static str,
+    resets: u64,
+}
+
+impl ResetOnSuccess {
+    /// Protocol following `schedule`, restarting it on every success heard.
+    pub fn new(name: &'static str, schedule: Schedule) -> Self {
+        ResetOnSuccess {
+            batch: HBatch::new(schedule.clone()),
+            schedule,
+            name,
+            resets: 0,
+        }
+    }
+
+    /// Smoothed BEB with restart-on-success.
+    pub fn smoothed_beb() -> Self {
+        Self::new("reset-beb", Schedule::Reciprocal)
+    }
+
+    /// Number of restarts so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+impl Protocol for ResetOnSuccess {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {
+        if self.batch.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn observe(&mut self, _local_slot: u64, feedback: Feedback) {
+        if feedback.is_success() {
+            self.batch = HBatch::new(self.schedule.clone());
+            self.resets += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_sim::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn smoothed_beb_first_slot_broadcasts() {
+        let mut p = ScheduleProtocol::smoothed_beb();
+        assert_eq!(p.act(0, &mut rng(0)), Action::Broadcast);
+        assert_eq!(p.name(), "smoothed-beb");
+    }
+
+    #[test]
+    fn schedule_ignores_feedback() {
+        let mut with_fb = ScheduleProtocol::smoothed_beb();
+        let mut without = ScheduleProtocol::smoothed_beb();
+        let mut r1 = rng(5);
+        let mut r2 = rng(5);
+        let mut same = true;
+        for slot in 0..200 {
+            let a = with_fb.act(slot, &mut r1);
+            let b = without.act(slot, &mut r2);
+            same &= a == b;
+            with_fb.observe(slot, Feedback::Success(NodeId::new(1)));
+            without.observe(slot, Feedback::NoSuccess);
+        }
+        assert!(same, "feedback must not influence a non-adaptive schedule");
+    }
+
+    #[test]
+    fn aloha_rate() {
+        let mut p = ScheduleProtocol::aloha(0.5);
+        let mut r = rng(1);
+        let sends = (0..10_000).filter(|&s| p.act(s, &mut r).is_broadcast()).count();
+        assert!((sends as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        assert_eq!(p.total_sends(), sends as u64);
+    }
+
+    #[test]
+    fn log_backoff_sends_more_than_beb() {
+        let mut log = ScheduleProtocol::log_backoff(2.0);
+        let mut beb = ScheduleProtocol::smoothed_beb();
+        let mut r1 = rng(2);
+        let mut r2 = rng(2);
+        for slot in 0..50_000 {
+            log.act(slot, &mut r1);
+            beb.act(slot, &mut r2);
+        }
+        assert!(log.total_sends() > beb.total_sends());
+    }
+
+    #[test]
+    fn reset_on_success_restarts() {
+        let mut p = ResetOnSuccess::smoothed_beb();
+        let mut r = rng(3);
+        for slot in 0..100 {
+            p.act(slot, &mut r);
+        }
+        // After 100 slots p_i is small; a success resets it to p_1 = 1.
+        p.observe(100, Feedback::Success(NodeId::new(9)));
+        assert_eq!(p.resets(), 1);
+        assert_eq!(p.act(101, &mut r), Action::Broadcast);
+    }
+
+    #[test]
+    fn reset_ignores_no_success() {
+        let mut p = ResetOnSuccess::smoothed_beb();
+        p.observe(0, Feedback::NoSuccess);
+        assert_eq!(p.resets(), 0);
+        assert_eq!(p.name(), "reset-beb");
+    }
+}

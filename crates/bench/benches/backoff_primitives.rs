@@ -1,0 +1,68 @@
+//! B4 — per-call cost of the backoff primitives.
+//!
+//! The simulator calls one primitive per node per slot, so primitive cost
+//! bounds achievable simulation scale. Criterion measures a single
+//! `next()` call (amortized over a long sequence).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use contention_backoff::{
+    FFunction, GFunction, HBackoff, HBatch, OnePerStage, Sawtooth, Schedule, WindowBackoff,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backoff_primitives");
+
+    group.bench_function("hbackoff_one_per_stage", |b| {
+        let mut bo = HBackoff::new(OnePerStage);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(bo.next(&mut rng)));
+    });
+
+    group.bench_function("hbackoff_f_density", |b| {
+        let f = FFunction::new(GFunction::Constant(2.0), 1.0, 1.0);
+        let mut bo = HBackoff::new(move |len: u64| f.backoff_send_count(len));
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(bo.next(&mut rng)));
+    });
+
+    group.bench_function("hbatch_data", |b| {
+        let mut bo = HBatch::data();
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(bo.next(&mut rng)));
+    });
+
+    group.bench_function("hbatch_ctrl", |b| {
+        let mut bo = HBatch::ctrl(2.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| black_box(bo.next(&mut rng)));
+    });
+
+    group.bench_function("window_binary", |b| {
+        let mut bo = WindowBackoff::binary();
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| black_box(bo.next(&mut rng)));
+    });
+
+    group.bench_function("sawtooth", |b| {
+        let mut bo = Sawtooth::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        b.iter(|| black_box(bo.next(&mut rng)));
+    });
+
+    group.bench_function("schedule_eval_log_over_i", |b| {
+        let s = Schedule::h_ctrl(2.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(s.prob(i))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! B3 — end-to-end batch drain (the E3 workload as a wall-clock bench).
+//!
+//! Full simulation of a jammed batch from injection to drain; tracks the
+//! cost of the complete reproduction pipeline and regressions anywhere in
+//! the stack.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use contention_bench::{run_batch, Algo};
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_scenario");
+    group.sample_size(10);
+    for &n in &[64u32, 256] {
+        group.bench_with_input(BenchmarkId::new("cjz_drain_jam25", n), &n, |b, &n| {
+            let algo = Algo::cjz_constant_jamming();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = run_batch(&algo, n, 0.25, seed, 100_000_000);
+                assert!(out.drained);
+                black_box(out.slots)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

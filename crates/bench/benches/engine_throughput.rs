@@ -1,0 +1,31 @@
+//! B1 — raw engine slot throughput.
+//!
+//! Measures slots/second of the simulation engine itself with populations
+//! of always-listening nodes (pure engine overhead: adversary call, action
+//! collection, resolution, feedback fan-out, trace recording).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use contention_sim::adversary::NullAdversary;
+use contention_sim::node::NeverBroadcast;
+use contention_sim::{NodeId, Protocol, SimConfig, Simulator};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    for &population in &[0u32, 1, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("slots_with_population", population),
+            &population,
+            |b, &population| {
+                let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(NeverBroadcast) };
+                let mut sim = Simulator::new(SimConfig::with_seed(1), factory, NullAdversary);
+                sim.seed_nodes(population);
+                b.iter(|| black_box(sim.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! B2 — per-slot cost of the full protocol state machines.
+//!
+//! Measures one engine step with a live population running each algorithm
+//! (the paper's protocol vs representative baselines), capturing the
+//! combined act/observe cost per slot.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use contention_baselines::Baseline;
+use contention_bench::Algo;
+use contention_sim::adversary::NullAdversary;
+use contention_sim::{SimConfig, Simulator};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_step");
+    let population = 64u32;
+    let algos = [
+        Algo::cjz_constant_jamming(),
+        Algo::Baseline(Baseline::BinaryExponential),
+        Algo::Baseline(Baseline::SmoothedBeb),
+        Algo::Baseline(Baseline::Sawtooth),
+    ];
+    for algo in &algos {
+        group.bench_with_input(
+            BenchmarkId::new("step_pop64", algo.name()),
+            algo,
+            |b, algo| {
+                let mut sim = Simulator::new(SimConfig::with_seed(7), algo.clone(), NullAdversary);
+                sim.seed_nodes(population);
+                // Warm the population past the synchronized burst.
+                sim.run_for(256);
+                b.iter(|| black_box(sim.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

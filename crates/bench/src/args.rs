@@ -1,0 +1,122 @@
+//! Minimal command-line argument handling shared by all experiment
+//! binaries (no external parser crates — the offline dependency set is
+//! deliberately small).
+
+/// Common experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpArgs {
+    /// Shrink workloads for a fast smoke run (`--quick`).
+    pub quick: bool,
+    /// Number of seeds / replications (`--seeds N`).
+    pub seeds: u64,
+    /// Optional horizon override (`--t N`).
+    pub horizon: Option<u64>,
+    /// Emit CSV blocks after each table/figure (`--csv`).
+    pub csv: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            quick: false,
+            seeds: 5,
+            horizon: None,
+            csv: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from an iterator of argument strings (excluding `argv[0]`).
+    ///
+    /// Unknown flags are ignored (so wrappers can pass extra options).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                "--seeds" => {
+                    if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                        out.seeds = v;
+                    }
+                }
+                "--t" => {
+                    out.horizon = it.next().and_then(|s| s.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        out.seeds = out.seeds.max(1);
+        out
+    }
+
+    /// Parse from the process environment.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Scale a size down in quick mode.
+    pub fn scaled(&self, full: u64, quick: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExpArgs {
+        ExpArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(!a.quick);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.horizon, None);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--quick", "--seeds", "9", "--t", "4096", "--csv"]);
+        assert!(a.quick);
+        assert_eq!(a.seeds, 9);
+        assert_eq!(a.horizon, Some(4096));
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn bad_values_ignored() {
+        let a = parse(&["--seeds", "zero", "--t", "NaN"]);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.horizon, None);
+    }
+
+    #[test]
+    fn seeds_clamped_to_one() {
+        let a = parse(&["--seeds", "0"]);
+        assert_eq!(a.seeds, 1);
+    }
+
+    #[test]
+    fn scaled_sizes() {
+        let quick = parse(&["--quick"]);
+        let full = parse(&[]);
+        assert_eq!(quick.scaled(1000, 10), 10);
+        assert_eq!(full.scaled(1000, 10), 1000);
+    }
+
+    #[test]
+    fn unknown_flags_ignored() {
+        let a = parse(&["--wat", "--quick"]);
+        assert!(a.quick);
+    }
+}

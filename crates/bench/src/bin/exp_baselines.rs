@@ -1,0 +1,151 @@
+//! **E7 — the baseline comparison table.**
+//!
+//! The introduction's motivating claims: plain backoff variants cannot
+//! sustain good throughput under adversarial arrivals and jamming; the
+//! paper's protocol can. This experiment pits the whole roster against four
+//! scenarios and reports messages delivered within a fixed horizon:
+//!
+//! * `batch` — one big batch, no jamming (the classical stress test);
+//! * `batch+jam` — one big batch, 25% of slots jammed;
+//! * `bursts+jam` — periodic adversarial bursts under 25% jamming;
+//! * `reactive` — bursts + an adaptive jammer that jams right after every
+//!   success (spite strategy, budgeted by its burst length).
+
+use contention_analysis::{fnum, Summary, Table};
+use contention_baselines::Baseline;
+use contention_bench::{replicate, run_fixed, Algo, ExpArgs};
+use contention_sim::adversary::{
+    Adversary, BatchArrival, BurstyArrival, CompositeAdversary, NoJamming, RandomJamming,
+    ReactiveJamming,
+};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scenario {
+    Batch,
+    BatchJam,
+    BurstsJam,
+    Reactive,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Batch => "batch",
+            Scenario::BatchJam => "batch+jam",
+            Scenario::BurstsJam => "bursts+jam",
+            Scenario::Reactive => "reactive",
+        }
+    }
+
+    fn adversary(self, n: u32, horizon: u64) -> Box<dyn Adversary> {
+        let burst = (n / 16).max(1);
+        let period = (horizon / 24).max(1);
+        match self {
+            Scenario::Batch => Box::new(CompositeAdversary::new(
+                BatchArrival::at_start(n),
+                NoJamming,
+            )),
+            Scenario::BatchJam => Box::new(CompositeAdversary::new(
+                BatchArrival::at_start(n),
+                RandomJamming::new(0.25),
+            )),
+            Scenario::BurstsJam => Box::new(CompositeAdversary::new(
+                BurstyArrival::new(period, 1, burst, 16),
+                RandomJamming::new(0.25),
+            )),
+            Scenario::Reactive => Box::new(CompositeAdversary::new(
+                BurstyArrival::new(period, 1, burst, 16),
+                ReactiveJamming::new(4),
+            )),
+        }
+    }
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let n = if args.quick { 128 } else { 512 };
+    // A tight horizon (24n) puts the table in the throughput-bound regime:
+    // slow algorithms visibly fail to finish, while a full jammed drain
+    // (≈ 1.9·n·log₂ n slots at 25% jamming, cf. E3) still fits.
+    let horizon = args.horizon.unwrap_or(24 * u64::from(n));
+
+    println!("E7: delivered messages within {horizon} slots (n = {n} per scenario)");
+    println!("seeds = {}\n", args.seeds);
+
+    let mut algos: Vec<Algo> = Baseline::roster().into_iter().map(Algo::Baseline).collect();
+    algos.push(Algo::cjz_constant_jamming());
+
+    let scenarios = [
+        Scenario::Batch,
+        Scenario::BatchJam,
+        Scenario::BurstsJam,
+        Scenario::Reactive,
+    ];
+
+    let mut table = Table::new({
+        let mut h = vec!["algorithm".to_string()];
+        h.extend(scenarios.iter().map(|s| s.name().to_string()));
+        h.push("mean latency (batch+jam)".to_string());
+        h
+    })
+    .with_title("E7: deliveries by scenario");
+
+    // (algo, scenario) -> mean deliveries; also track cjz vs best baseline.
+    let mut deliveries = vec![vec![0.0f64; scenarios.len()]; algos.len()];
+    for (ai, algo) in algos.iter().enumerate() {
+        let mut row = vec![algo.name()];
+        let mut batchjam_latency = f64::NAN;
+        for (si, sc) in scenarios.iter().enumerate() {
+            let runs = replicate(args.seeds, |seed| {
+                let adv = sc.adversary(n, horizon);
+                let trace = run_fixed(algo.clone(), adv, seed, horizon);
+                let lat = trace.mean_latency().unwrap_or(f64::NAN);
+                (trace.total_successes(), lat)
+            });
+            let succ = Summary::of(&runs.iter().map(|r| r.0 as f64).collect::<Vec<_>>()).unwrap();
+            deliveries[ai][si] = succ.mean;
+            row.push(fnum(succ.mean));
+            if *sc == Scenario::BatchJam {
+                let lats: Vec<f64> =
+                    runs.iter().map(|r| r.1).filter(|l| l.is_finite()).collect();
+                batchjam_latency = Summary::of(&lats).map(|s| s.mean).unwrap_or(f64::NAN);
+            }
+        }
+        row.push(fnum(batchjam_latency));
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    // Verdict: cjz delivers the full batch in every scenario and is within
+    // a small factor of the best baseline everywhere.
+    let cjz = deliveries.last().expect("cjz row");
+    let full_everywhere = cjz.iter().all(|&d| d >= 0.95 * f64::from(n));
+    let mut competitive = true;
+    for (si, sc) in scenarios.iter().enumerate() {
+        let best_baseline = deliveries[..deliveries.len() - 1]
+            .iter()
+            .map(|row| row[si])
+            .fold(0.0, f64::max);
+        if cjz[si] < 0.7 * best_baseline {
+            competitive = false;
+            println!(
+                "  note: cjz {} vs best baseline {} in {}",
+                fnum(cjz[si]),
+                fnum(best_baseline),
+                sc.name()
+            );
+        }
+    }
+    println!(
+        "cjz delivers ≥95% of offered messages in all scenarios: {}",
+        if full_everywhere { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "cjz within 0.7× of the best baseline everywhere: {}",
+        if competitive { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "(The paper's protocol is built for worst-case guarantees; the table shows it \
+         also stays competitive on average-case scenarios where baselines shine.)"
+    );
+}

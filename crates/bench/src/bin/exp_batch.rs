@@ -1,0 +1,149 @@
+//! **E3 — batch robustness: `Θ(n)` successes in `Θ(n)` slots despite
+//! jamming.**
+//!
+//! Section 2's framework claims the truncated-backoff batch is "extremely
+//! robust against jamming": if `n` nodes start simultaneously, then even
+//! with a constant fraction of slots jammed, the first `Θ(n)` slots yield
+//! `Θ(n)` successes (see also Scenario II in the appendix). The full
+//! protocol should therefore:
+//!
+//! 1. deliver at least a constant fraction of a batch within `C·n` slots,
+//!    for a constant `C` independent of `n`, at each jamming level; and
+//! 2. drain the whole batch in `O(n·f(n))` slots (`n·log n` for the
+//!    constant-`g` tuning — the extra `log` is the price of full drainage
+//!    under worst-case-tuned parameters; `O(n)` for the `2^√log` tuning
+//!    without jamming).
+
+use contention_analysis::{best_fit, fnum, Figure, GrowthModel, Series, Summary, Table};
+use contention_bench::{replicate, run_batch, Algo, ExpArgs};
+use contention_core::ProtocolParams;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let max_pow = if args.quick { 9 } else { 13 };
+    let min_pow = 6;
+    let early_window_factor = 16u64; // "C·n" for the early-success check
+    let jams = [0.0, 0.10, 0.25];
+
+    println!("E3: batch of n, fraction of slots jammed at random");
+    println!("n = 2^{min_pow}..2^{max_pow}, seeds = {}\n", args.seeds);
+
+    let algo = Algo::cjz_constant_jamming();
+    let mut drain_fig = Figure::new("E3: drain slots vs n", "n", "slots");
+
+    for &jam in &jams {
+        let mut table = Table::new([
+            "n",
+            "drain slots",
+            "slots/(n·log2 n)",
+            &format!("succ by {early_window_factor}n"),
+            "early fraction",
+        ])
+        .with_title(format!("E3: jam = {jam}"));
+
+        let mut drain_points: Vec<(f64, f64)> = Vec::new();
+        let mut early_fractions: Vec<f64> = Vec::new();
+        let mut series = Series::new(format!("jam={jam}"));
+
+        for p in min_pow..=max_pow {
+            let n = 1u32 << p;
+            let outs = replicate(args.seeds, |seed| {
+                let out = run_batch(&algo, n, jam, seed, 200_000_000);
+                assert!(out.drained, "batch n={n} jam={jam} failed to drain");
+                let cum = out.trace.cumulative();
+                let early = cum.successes(early_window_factor * u64::from(n));
+                (out.slots, early)
+            });
+            let drain = Summary::of(&outs.iter().map(|o| o.0 as f64).collect::<Vec<_>>()).unwrap();
+            let early = Summary::of(&outs.iter().map(|o| o.1 as f64).collect::<Vec<_>>()).unwrap();
+            let nf = f64::from(n);
+            let early_frac = early.mean / nf;
+            early_fractions.push(early_frac);
+            table.row([
+                format!("{n}"),
+                format!("{} ± {}", fnum(drain.mean), fnum(drain.ci95())),
+                fnum(drain.mean / (nf * nf.log2())),
+                fnum(early.mean),
+                fnum(early_frac),
+            ]);
+            drain_points.push((nf, drain.mean));
+            series.push(nf, drain.mean);
+        }
+        println!("{}", table.render());
+
+        let ranked = best_fit(&drain_points);
+        println!(
+            "  drain-time best fit at jam={jam}: {} (residual {})",
+            ranked[0].model,
+            fnum(ranked[0].rel_residual)
+        );
+        let nlogn_ok = ranked
+            .iter()
+            .position(|f| matches!(f.model, GrowthModel::LinearLog | GrowthModel::Linear))
+            .map(|pos| pos <= 1)
+            .unwrap_or(false);
+        // "Θ(n) successes in Θ(n) slots": the fraction delivered within
+        // C·n slots must stay bounded away from 0 as n grows — no
+        // systematic decay (a vanishing-throughput algorithm would show
+        // fraction → 0 like 1/log n or worse).
+        let min_frac = early_fractions.iter().cloned().fold(f64::MAX, f64::min);
+        let first = early_fractions.first().copied().unwrap_or(0.0);
+        let last = early_fractions.last().copied().unwrap_or(0.0);
+        let no_decay = min_frac >= 0.05 && last >= 0.4 * first;
+        println!(
+            "  early-window fraction bounded away from 0 across n: {} (min {}, first {}, last {})",
+            if no_decay { "PASS" } else { "FAIL" },
+            fnum(min_frac),
+            fnum(first),
+            fnum(last)
+        );
+        println!(
+            "  drain growth ≈ n·log n (or better): {}\n",
+            if nlogn_ok { "PASS" } else { "FAIL" }
+        );
+        drain_fig.add(series);
+    }
+
+    // Constant-throughput tuning without jamming: drain should be Θ(n).
+    println!("E3b: g = 2^sqrt(log) tuning, no jamming (constant-throughput regime)");
+    let algo_ct = Algo::Cjz(ProtocolParams::constant_throughput());
+    let mut pts: Vec<(f64, f64)> = Vec::new();
+    let mut table = Table::new(["n", "drain slots", "slots/n"])
+        .with_title("E3b: drain time, constant-throughput tuning");
+    for p in min_pow..=max_pow {
+        let n = 1u32 << p;
+        let outs = replicate(args.seeds, |seed| {
+            let out = run_batch(&algo_ct, n, 0.0, seed, 200_000_000);
+            assert!(out.drained);
+            out.slots
+        });
+        let drain = Summary::of(&outs.iter().map(|&s| s as f64).collect::<Vec<_>>()).unwrap();
+        table.row([
+            format!("{n}"),
+            format!("{} ± {}", fnum(drain.mean), fnum(drain.ci95())),
+            fnum(drain.mean / f64::from(n)),
+        ]);
+        pts.push((f64::from(n), drain.mean));
+    }
+    println!("{}", table.render());
+    let ranked = best_fit(&pts);
+    println!(
+        "E3b drain best fit: {} (residual {})",
+        ranked[0].model,
+        fnum(ranked[0].rel_residual)
+    );
+    let linear_ok = ranked
+        .iter()
+        .position(|f| f.model == GrowthModel::Linear)
+        .map(|pos| pos <= 1)
+        .unwrap_or(false);
+    println!(
+        "E3b drain ≈ Θ(n): {}",
+        if linear_ok { "PASS" } else { "FAIL" }
+    );
+
+    println!("\n{}", drain_fig.to_ascii(72, 16));
+    if args.csv {
+        println!("--- CSV ---\n{}", drain_fig.to_csv());
+    }
+}

@@ -1,0 +1,135 @@
+//! **E10 — tuning `g` to the true jamming level: the crossover.**
+//!
+//! The algorithm takes `g` as an input parameter — a *promise* about how
+//! much jamming it must survive. The trade-off theorem says this promise
+//! has a price: tolerating more jamming (smaller effective `f` denominator…
+//! i.e. larger `f`) costs throughput. So:
+//!
+//! * tuned for heavy jamming (`g` constant ⇒ `f = Θ(log t)`, dense
+//!   backoff), the protocol is slower when the channel is actually clean;
+//! * tuned for a clean channel (`g = 2^√log` ⇒ `f = Θ(1)`, sparse backoff),
+//!   it is faster when clean but degrades under heavy jamming.
+//!
+//! The experiment sweeps the actual jamming rate and reports batch drain
+//! time for both tunings; the curves should cross.
+
+use contention_analysis::{fnum, Figure, Series, Summary, Table};
+use contention_bench::{replicate, run_batch, Algo, ExpArgs};
+use contention_core::ProtocolParams;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let n = if args.quick { 128 } else { 512 };
+    let jams = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+    println!("E10: batch drain time vs actual jamming rate, two tunings (n = {n})");
+    println!("seeds = {}\n", args.seeds);
+
+    let tunings = [
+        ("tuned-heavy (g=const)", Algo::Cjz(ProtocolParams::constant_jamming())),
+        (
+            "tuned-clean (g=2^sqrt(log))",
+            Algo::Cjz(ProtocolParams::constant_throughput()),
+        ),
+    ];
+
+    let mut table = Table::new(["jam rate", tunings[0].0, tunings[1].0, "heavy/clean"])
+        .with_title("E10: mean drain slots");
+    let mut fig = Figure::new("E10: drain slots vs jam rate", "jam rate", "slots");
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); tunings.len()];
+
+    for &jam in &jams {
+        let mut means = Vec::new();
+        for (ti, (_, algo)) in tunings.iter().enumerate() {
+            let outs = replicate(args.seeds, |seed| {
+                let out = run_batch(algo, n, jam, seed, 1_000_000_000);
+                assert!(out.drained, "undrained at jam={jam}");
+                out.slots as f64
+            });
+            let s = Summary::of(&outs).unwrap();
+            curves[ti].push(s.mean);
+            means.push(s.mean);
+        }
+        table.row([
+            format!("{jam}"),
+            fnum(means[0]),
+            fnum(means[1]),
+            fnum(means[0] / means[1]),
+        ]);
+    }
+    println!("{}", table.render());
+
+    for (ti, (name, _)) in tunings.iter().enumerate() {
+        let s = Series::from_points(
+            *name,
+            jams.iter().zip(&curves[ti]).map(|(&x, &y)| (x, y)),
+        );
+        fig.add(s);
+    }
+    println!("{}", fig.to_ascii(72, 16));
+    if args.csv {
+        println!("--- CSV ---\n{}", fig.to_csv());
+    }
+
+    // E10b: the adversarial jamming pattern — a jam wall in front of a lone
+    // node — is what the heavy tuning's dense backoff is for. Random
+    // uniform jamming (above) barely distinguishes the tunings; the wall
+    // does, because recovery scales with the backoff density f.
+    use contention_sim::adversary::{BatchArrival, CompositeAdversary, FrontLoadedJamming};
+    println!("E10b: single node behind a jam wall of J slots — recovery time");
+    let walls: Vec<u64> = if args.quick {
+        vec![1 << 8, 1 << 10, 1 << 12]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    };
+    let mut wall_table = Table::new(["J", tunings[0].0, tunings[1].0, "clean/heavy"])
+        .with_title("E10b: mean recovery slots");
+    let mut heavy_last = 0.0;
+    let mut clean_last = 0.0;
+    for &j in &walls {
+        let mut means = Vec::new();
+        for (_, algo) in &tunings {
+            let recs = replicate(args.seeds, |seed| {
+                let adv =
+                    CompositeAdversary::new(BatchArrival::at_start(1), FrontLoadedJamming::new(j));
+                let out = contention_bench::run_trial(algo.clone(), adv, seed, 64 * j);
+                out.trace
+                    .departures()
+                    .first()
+                    .map(|d| (d.departure_slot - j) as f64)
+                    .unwrap_or((63 * j) as f64)
+            });
+            means.push(Summary::of(&recs).unwrap().mean);
+        }
+        heavy_last = means[0];
+        clean_last = means[1];
+        wall_table.row([
+            format!("{j}"),
+            fnum(means[0]),
+            fnum(means[1]),
+            fnum(means[1] / means[0]),
+        ]);
+    }
+    println!("{}", wall_table.render());
+
+    // Verdicts: each tuning wins its own regime — that's the crossover.
+    let clean_wins_at_zero = curves[1][0] <= curves[0][0];
+    println!(
+        "clean-tuned faster on the clean channel: {} ({} vs {})",
+        if clean_wins_at_zero { "PASS" } else { "FAIL" },
+        fnum(curves[1][0]),
+        fnum(curves[0][0])
+    );
+    println!(
+        "heavy-tuned recovers faster from the adversarial jam wall: {} ({} vs {})",
+        if heavy_last < clean_last { "PASS" } else { "FAIL" },
+        fnum(heavy_last),
+        fnum(clean_last)
+    );
+    println!(
+        "(The g parameter is a real dial: robustness is bought with throughput, and \
+         the winner flips with the adversary — the tight trade-off in action. Note \
+         uniform random jamming is benign; the lower-bound constructions use \
+         concentrated jamming, and that is exactly where the heavy tuning pays off.)"
+    );
+}

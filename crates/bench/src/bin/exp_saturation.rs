@@ -1,0 +1,101 @@
+//! **E12 (extension) — saturated-channel capacity.**
+//!
+//! Not a paper claim, but the natural engineering question downstream
+//! users ask: with the channel permanently backlogged (a fixed standing
+//! population, replenished on every delivery), how many messages per slot
+//! does each algorithm sustain, and how does jamming scale it?
+//!
+//! The paper's guarantees are worst-case; this table is the average-case
+//! complement. For reference, the theoretical optimum for *any* algorithm
+//! under saturation with backlog `B` is `1/e ≈ 0.368` deliveries per
+//! unjammed slot (perfectly tuned ALOHA), scaled by `(1 − jam)`.
+
+use contention_analysis::{fnum, Summary, Table};
+use contention_baselines::Baseline;
+use contention_bench::{replicate, run_fixed, Algo, ExpArgs};
+use contention_sim::adversary::{
+    Adversary, CompositeAdversary, NoJamming, RandomJamming, SaturatedArrival,
+};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let horizon = args.horizon.unwrap_or(args.scaled(1 << 15, 1 << 12));
+    let backlog = 32u64;
+    let jams = [0.0, 0.25];
+
+    println!("E12 (extension): saturated capacity, standing backlog = {backlog}");
+    println!("horizon = {horizon}, seeds = {}\n", args.seeds);
+
+    let mut algos: Vec<Algo> = vec![
+        Algo::cjz_constant_jamming(),
+        Algo::Baseline(Baseline::BinaryExponential),
+        Algo::Baseline(Baseline::SmoothedBeb),
+        Algo::Baseline(Baseline::LogBackoff(2.0)),
+        Algo::Baseline(Baseline::Sawtooth),
+        // ALOHA tuned exactly to the backlog: the saturation optimum.
+        Algo::Baseline(Baseline::Aloha(1.0 / backlog as f64)),
+    ];
+    algos.push(Algo::Baseline(Baseline::ResetBeb));
+
+    for &jam in &jams {
+        let mut table = Table::new([
+            "algorithm",
+            "deliveries",
+            "per slot",
+            "vs (1-jam)/e",
+            "oldest waiting",
+            "latency p99",
+        ])
+        .with_title(format!("E12: saturated throughput + fairness, jam = {jam}"));
+        let ideal = (1.0 - jam) / std::f64::consts::E;
+        for algo in &algos {
+            let runs = replicate(args.seeds, |seed| {
+                let adv: Box<dyn Adversary> = if jam > 0.0 {
+                    Box::new(CompositeAdversary::new(
+                        SaturatedArrival::new(backlog),
+                        RandomJamming::new(jam),
+                    ))
+                } else {
+                    Box::new(CompositeAdversary::new(
+                        SaturatedArrival::new(backlog),
+                        NoJamming,
+                    ))
+                };
+                let trace = run_fixed(algo.clone(), adv, seed, horizon);
+                // Fairness: age of the oldest node still waiting at the end
+                // (a starvation witness), and the p99 delivered latency.
+                let oldest = trace
+                    .survivors()
+                    .iter()
+                    .map(|s| horizon + 1 - s.arrival_slot)
+                    .max()
+                    .unwrap_or(0) as f64;
+                let p99 = trace.latency_quantile(0.99).unwrap_or(f64::NAN);
+                (trace.total_successes() as f64, oldest, p99)
+            });
+            let s = Summary::of(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
+            let oldest = Summary::of(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
+            let p99s: Vec<f64> = runs.iter().map(|r| r.2).filter(|x| x.is_finite()).collect();
+            let p99 = Summary::of(&p99s).map(|x| fnum(x.mean)).unwrap_or_else(|| "-".into());
+            let rate = s.mean / horizon as f64;
+            table.row([
+                algo.name(),
+                format!("{} ± {}", fnum(s.mean), fnum(s.ci95())),
+                fnum(rate),
+                fnum(rate / ideal),
+                fnum(oldest.mean),
+                p99,
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "(Read the rate column together with the fairness columns: windowed BEB posts \
+         rates above 1/e by running a revolving door — each freshly injected node sends \
+         in its first slot with certainty and wins, while the 31 older nodes starve with \
+         horizon-scale ages. ALOHA at p = 1/backlog is the symmetric optimum but must \
+         *know* the backlog. The paper's protocol sustains a lower raw rate, yet keeps \
+         ages bounded and retains its worst-case guarantees — saturation throughput, \
+         fairness, and robustness are three different axes.)"
+    );
+}

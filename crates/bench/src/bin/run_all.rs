@@ -1,0 +1,54 @@
+//! Run every experiment binary in sequence (a convenience driver for
+//! regenerating EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p contention-bench --bin run_all -- --quick
+//! ```
+//!
+//! Flags are forwarded to each experiment.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_tradeoff",
+    "exp_constant_jamming",
+    "exp_batch",
+    "exp_claim_351",
+    "exp_backoff_necessity",
+    "exp_smooth_latency",
+    "exp_baselines",
+    "exp_energy",
+    "exp_ablation",
+    "exp_crossover",
+    "exp_impossibility",
+    "exp_saturation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n================================================================");
+        println!("=== {exp} {}", args.join(" "));
+        println!("================================================================");
+        let status = Command::new(exe_dir.join(exp))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            failures.push(*exp);
+        }
+    }
+    println!("\n================================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

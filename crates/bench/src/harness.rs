@@ -1,0 +1,270 @@
+//! Shared experiment harness: the algorithm roster, scenario runners, and
+//! multi-seed replication.
+
+use contention_baselines::Baseline;
+use contention_core::{CjzFactory, OracleParityFactory, ProtocolParams};
+use contention_sim::adversary::{
+    Adversary, BatchArrival, CompositeAdversary, NoJamming, RandomJamming,
+};
+use contention_sim::{NodeId, Protocol, ProtocolFactory, SimConfig, Simulator, Trace};
+
+/// An algorithm under test: the paper's protocol (possibly ablated) or a
+/// baseline. Doubles as a [`ProtocolFactory`].
+#[derive(Debug, Clone)]
+pub enum Algo {
+    /// The paper's protocol with the given parameters.
+    Cjz(ProtocolParams),
+    /// Ablation: the protocol without the Phase-3 channel swap.
+    CjzNoSwap(ProtocolParams),
+    /// Oracle ablation: global-clock variant that skips Phase 1.
+    CjzOracle(ProtocolParams),
+    /// A baseline from the registry.
+    Baseline(Baseline),
+}
+
+impl Algo {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Algo::Cjz(p) => format!("cjz[{}]", p.g().label()),
+            Algo::CjzNoSwap(_) => "cjz-noswap".to_string(),
+            Algo::CjzOracle(_) => "cjz-oracle".to_string(),
+            Algo::Baseline(b) => b.name().to_string(),
+        }
+    }
+
+    /// The paper's protocol tuned for constant-fraction jamming.
+    pub fn cjz_constant_jamming() -> Self {
+        Algo::Cjz(ProtocolParams::constant_jamming())
+    }
+}
+
+impl ProtocolFactory for Algo {
+    fn spawn(&self, id: NodeId) -> Box<dyn Protocol> {
+        self.spawn_with_arrival(id, 1)
+    }
+
+    fn spawn_with_arrival(&self, id: NodeId, arrival_slot: u64) -> Box<dyn Protocol> {
+        match self {
+            Algo::Cjz(p) => CjzFactory::new(p.clone()).spawn(id),
+            Algo::CjzNoSwap(p) => CjzFactory::new(p.clone()).without_channel_swap().spawn(id),
+            Algo::CjzOracle(p) => {
+                OracleParityFactory::new(p.clone()).spawn_with_arrival(id, arrival_slot)
+            }
+            Algo::Baseline(b) => b.spawn(id),
+        }
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        match self {
+            Algo::Cjz(_) => "cjz",
+            Algo::CjzNoSwap(_) => "cjz-noswap",
+            Algo::CjzOracle(_) => "cjz-oracle",
+            Algo::Baseline(_) => "baseline",
+        }
+    }
+}
+
+/// Outcome of one simulation trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Slots actually executed.
+    pub slots: u64,
+    /// Whether the system drained before the slot limit.
+    pub drained: bool,
+}
+
+/// Run `factory` against `adversary` until drained or `max_slots`.
+pub fn run_trial<F, A>(factory: F, adversary: A, seed: u64, max_slots: u64) -> TrialOutcome
+where
+    F: ProtocolFactory,
+    A: Adversary,
+{
+    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+    let reason = sim.run_until_drained(max_slots);
+    let slots = sim.current_slot();
+    let drained = reason == contention_sim::StopReason::Drained;
+    TrialOutcome {
+        trace: sim.into_trace(),
+        slots,
+        drained,
+    }
+}
+
+/// Run `factory` against `adversary` for exactly `slots` slots.
+pub fn run_fixed<F, A>(factory: F, adversary: A, seed: u64, slots: u64) -> Trace
+where
+    F: ProtocolFactory,
+    A: Adversary,
+{
+    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+    sim.run_for(slots);
+    sim.into_trace()
+}
+
+/// Batch-of-`n` scenario with random jamming probability `jam_p`.
+pub fn run_batch(algo: &Algo, n: u32, jam_p: f64, seed: u64, max_slots: u64) -> TrialOutcome {
+    if jam_p > 0.0 {
+        run_trial(
+            algo.clone(),
+            CompositeAdversary::new(BatchArrival::at_start(n), RandomJamming::new(jam_p)),
+            seed,
+            max_slots,
+        )
+    } else {
+        run_trial(
+            algo.clone(),
+            CompositeAdversary::new(BatchArrival::at_start(n), NoJamming),
+            seed,
+            max_slots,
+        )
+    }
+}
+
+/// Batch-of-`n` scenario in memory-bounded mode: no per-slot records (the
+/// trace keeps aggregates and departures only), suitable for heavy-tailed
+/// completion measurements where a single run may span hundreds of
+/// millions of slots.
+pub fn run_batch_light(
+    algo: &Algo,
+    n: u32,
+    jam_p: f64,
+    seed: u64,
+    max_slots: u64,
+) -> TrialOutcome {
+    let config = SimConfig::with_seed(seed).without_slot_records();
+    let run = |adv: Box<dyn Adversary>| {
+        let mut sim = Simulator::new(config, algo.clone(), adv);
+        let reason = sim.run_until_drained(max_slots);
+        let slots = sim.current_slot();
+        TrialOutcome {
+            drained: reason == contention_sim::StopReason::Drained,
+            trace: sim.into_trace(),
+            slots,
+        }
+    };
+    if jam_p > 0.0 {
+        run(Box::new(CompositeAdversary::new(
+            BatchArrival::at_start(n),
+            RandomJamming::new(jam_p),
+        )))
+    } else {
+        run(Box::new(CompositeAdversary::new(
+            BatchArrival::at_start(n),
+            NoJamming,
+        )))
+    }
+}
+
+/// Replicate a seeded computation across `seeds` seeds in parallel (one
+/// thread per seed, bounded by available parallelism).
+pub fn replicate<T, F>(seeds: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_start in (0..seeds).step_by(max_threads.max(1)) {
+            let chunk_end = (chunk_start + max_threads as u64).min(seeds);
+            for seed in chunk_start..chunk_end {
+                handles.push((seed, scope.spawn(move || f(seed))));
+            }
+            // Join the chunk before spawning the next (bounds live threads).
+            for (seed, h) in handles.drain(..) {
+                let value = h.join().expect("trial thread panicked");
+                results[seed as usize] = Some(value);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Classical throughput of a finished trace: delivered messages per slot.
+pub fn delivery_rate(outcome: &TrialOutcome) -> f64 {
+    if outcome.slots == 0 {
+        return 0.0;
+    }
+    outcome.trace.total_successes() as f64 / outcome.slots as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_names() {
+        assert!(Algo::cjz_constant_jamming().name().starts_with("cjz["));
+        assert_eq!(
+            Algo::Baseline(Baseline::BinaryExponential).name(),
+            "beb"
+        );
+        assert_eq!(
+            Algo::CjzNoSwap(ProtocolParams::default()).name(),
+            "cjz-noswap"
+        );
+    }
+
+    #[test]
+    fn run_batch_drains_small_instance() {
+        let out = run_batch(&Algo::cjz_constant_jamming(), 8, 0.0, 1, 100_000);
+        assert!(out.drained);
+        assert_eq!(out.trace.total_successes(), 8);
+        assert!(delivery_rate(&out) > 0.0);
+    }
+
+    #[test]
+    fn run_batch_light_matches_heavy_totals() {
+        let heavy = run_batch(&Algo::cjz_constant_jamming(), 8, 0.2, 9, 100_000);
+        let light = run_batch_light(&Algo::cjz_constant_jamming(), 8, 0.2, 9, 100_000);
+        assert_eq!(heavy.slots, light.slots);
+        assert_eq!(heavy.trace.total_successes(), light.trace.total_successes());
+        assert_eq!(heavy.trace.total_jammed(), light.trace.total_jammed());
+        assert_eq!(light.trace.recorded_len(), 0, "light mode stores no slots");
+        assert_eq!(heavy.trace.departures(), light.trace.departures());
+    }
+
+    #[test]
+    fn run_fixed_runs_exact_slots() {
+        let trace = run_fixed(
+            Algo::Baseline(Baseline::SmoothedBeb),
+            CompositeAdversary::new(BatchArrival::at_start(4), NoJamming),
+            3,
+            500,
+        );
+        assert_eq!(trace.len(), 500);
+    }
+
+    #[test]
+    fn replicate_is_ordered_and_deterministic() {
+        let xs = replicate(8, |seed| seed * 2);
+        assert_eq!(xs, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn replicate_runs_real_trials() {
+        let drains = replicate(3, |seed| {
+            run_batch(&Algo::cjz_constant_jamming(), 4, 0.0, seed, 50_000).drained
+        });
+        assert!(drains.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn algo_spawns_protocols() {
+        for algo in [
+            Algo::cjz_constant_jamming(),
+            Algo::CjzNoSwap(ProtocolParams::default()),
+            Algo::Baseline(Baseline::Sawtooth),
+        ] {
+            let p = algo.spawn(NodeId::new(0));
+            assert!(!p.name().is_empty());
+        }
+    }
+}

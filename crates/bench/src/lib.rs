@@ -1,0 +1,37 @@
+//! # contention-bench
+//!
+//! Experiment harness reproducing every quantitative claim of the paper as
+//! a runnable binary (see EXPERIMENTS.md for the catalogue and expected
+//! shapes), plus Criterion micro/meso benchmarks.
+//!
+//! Binaries (`cargo run --release -p contention-bench --bin <name>`):
+//!
+//! | Binary | Claim |
+//! |---|---|
+//! | `exp_tradeoff` | Theorem 1.2: `a_t ≤ n_t f(t) + d_t g(t)` across the `g` spectrum |
+//! | `exp_constant_jamming` | headline: `Θ(t/log t)` successes under constant-fraction jamming |
+//! | `exp_batch` | batch robustness: `Θ(n)` successes in `Θ(n)` slots despite jamming |
+//! | `exp_claim_351` | Claim 3.5.1: `1/i`-batch needs `ω(n)` slots to finish |
+//! | `exp_backoff_necessity` | Theorem 4.2 mechanism: prefix jamming vs schedules |
+//! | `exp_smooth_latency` | Corollary 3.6: age bound under smooth adversaries |
+//! | `exp_baselines` | comparison table across protocols × scenarios |
+//! | `exp_energy` | channel accesses per delivered message |
+//! | `exp_ablation` | channel swap / oracle clock / send density / constants |
+//! | `exp_crossover` | tuning `g` to the true jamming level |
+//! | `exp_impossibility` | Theorem 1.3 mechanism: forced accesses + flood |
+//! | `exp_saturation` | extension: saturated capacity + fairness table |
+//! | `run_all` | run everything above in sequence |
+//!
+//! All binaries accept `--quick`, `--seeds N`, `--t N`, `--csv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod harness;
+
+pub use args::ExpArgs;
+pub use harness::{
+    delivery_rate, replicate, run_batch, run_batch_light, run_fixed, run_trial, Algo, TrialOutcome,
+};

@@ -1,0 +1,176 @@
+//! Protocol parameters.
+//!
+//! The algorithm takes the jamming-tolerance function `g` as input
+//! (Section 2.1) plus three constants:
+//!
+//! * `a`  — the paper's global throughput constant (appears in `f = a·c₂·…`
+//!   and in the `(1/a·f)`-backoff density);
+//! * `c₂` — the backoff density constant of Lemma 3.3;
+//! * `c₃` — the control-batch constant (`h_ctrl(x) = c₃·log x / x`).
+//!
+//! The proofs pick these "sufficiently large"; such values would push the
+//! asymptotics beyond any feasible simulation horizon, so the defaults here
+//! are calibrated empirically (see EXPERIMENTS.md) and every experiment
+//! reports the constants it ran with.
+
+use contention_backoff::{FFunction, GFunction};
+
+/// Parameters of the Chen–Jiang–Zheng protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolParams {
+    g: GFunction,
+    a: f64,
+    c2: f64,
+    c3: f64,
+}
+
+impl ProtocolParams {
+    /// Parameters for jamming tolerance `g` with calibrated default
+    /// constants (`a = 1`, `c₂ = 1`, `c₃ = 2`).
+    pub fn new(g: GFunction) -> Self {
+        ProtocolParams {
+            g,
+            a: 1.0,
+            c2: 1.0,
+            c3: 2.0,
+        }
+    }
+
+    /// Tolerate a constant fraction of jammed slots (`g` constant) — the
+    /// worst-case regime with best throughput `Θ(1/log t)`.
+    pub fn constant_jamming() -> Self {
+        Self::new(GFunction::Constant(2.0))
+    }
+
+    /// Maximum admissible `g` (`2^√log x`), giving constant throughput —
+    /// the no/low-jamming regime of Remark 2.
+    pub fn constant_throughput() -> Self {
+        Self::new(GFunction::ExpSqrtLog(1.0))
+    }
+
+    /// Override the constant `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not strictly positive and finite.
+    pub fn with_a(mut self, a: f64) -> Self {
+        assert!(a.is_finite() && a > 0.0, "a must be positive");
+        self.a = a;
+        self
+    }
+
+    /// Override the constant `c₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c2` is not strictly positive and finite.
+    pub fn with_c2(mut self, c2: f64) -> Self {
+        assert!(c2.is_finite() && c2 > 0.0, "c2 must be positive");
+        self.c2 = c2;
+        self
+    }
+
+    /// Override the constant `c₃`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c3` is not strictly positive and finite.
+    pub fn with_c3(mut self, c3: f64) -> Self {
+        assert!(c3.is_finite() && c3 > 0.0, "c3 must be positive");
+        self.c3 = c3;
+        self
+    }
+
+    /// The jamming-tolerance function `g`.
+    pub fn g(&self) -> &GFunction {
+        &self.g
+    }
+
+    /// The constant `a`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// The constant `c₂`.
+    pub fn c2(&self) -> f64 {
+        self.c2
+    }
+
+    /// The constant `c₃`.
+    pub fn c3(&self) -> f64 {
+        self.c3
+    }
+
+    /// The derived throughput function `f(x) = a·c₂·log x / log²(g(x)/a)`.
+    pub fn f(&self) -> FFunction {
+        FFunction::new(self.g.clone(), self.a, self.c2)
+    }
+
+    /// Label for reports.
+    pub fn label(&self) -> String {
+        format!(
+            "cjz[{} a={} c2={} c3={}]",
+            self.g.label(),
+            self.a,
+            self.c2,
+            self.c3
+        )
+    }
+}
+
+impl Default for ProtocolParams {
+    /// Defaults to the constant-jamming (worst-case) regime.
+    fn default() -> Self {
+        Self::constant_jamming()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let p = ProtocolParams::default();
+        assert_eq!(p.a(), 1.0);
+        assert_eq!(p.c2(), 1.0);
+        assert_eq!(p.c3(), 2.0);
+        assert_eq!(*p.g(), GFunction::Constant(2.0));
+    }
+
+    #[test]
+    fn builders() {
+        let p = ProtocolParams::new(GFunction::Log)
+            .with_a(2.0)
+            .with_c2(3.0)
+            .with_c3(4.0);
+        assert_eq!(p.a(), 2.0);
+        assert_eq!(p.c2(), 3.0);
+        assert_eq!(p.c3(), 4.0);
+        assert!(p.label().contains("g=log"));
+    }
+
+    #[test]
+    fn derived_f_uses_constants() {
+        let p = ProtocolParams::new(GFunction::Constant(2.0)).with_c2(2.0);
+        let f = p.f();
+        assert_eq!(f.c2(), 2.0);
+        // g constant 2, a=1: denominator 1 => f = 2·log2(x).
+        assert!((f.eval(1024.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_throughput_regime_has_flat_f() {
+        let p = ProtocolParams::constant_throughput();
+        let f = p.f();
+        let lo = f.at(1 << 16);
+        let hi = f.at(1 << 40);
+        assert!((hi / lo) < 1.5, "f should be ~constant: {lo} vs {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "c3 must be positive")]
+    fn rejects_bad_c3() {
+        let _ = ProtocolParams::default().with_c3(-1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Phase bookkeeping for the three-phase protocol (Section 2.1).
+//!
+//! A node moves through:
+//!
+//! * **Phase 1** — synchronize: `(f/a)`-backoff on the channel given by the
+//!   parity of its arrival slot, until it hears *any* success. The channel
+//!   that carried that success becomes (from this node's perspective) the
+//!   data channel.
+//! * **Phase 2** — queue at the control channel: `(f/a)`-backoff on the
+//!   *other* channel (the control channel), until a success occurs there.
+//!   That success synchronizes the node with everyone already in Phase 3.
+//! * **Phase 3** — batch: `h_ctrl`-batch on the control channel and
+//!   `h_data`-batch on the data channel, restarting (and thereby **swapping
+//!   channels**) at every control-channel success.
+//!
+//! All slot arithmetic is on the node's local clock; channels are parity
+//! classes of local slot indices relative to an *anchor* (the local slot of
+//! the success that started the current phase).
+
+use std::fmt;
+
+/// Which phase a node is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Phase 1: synchronizing via backoff on the arrival-parity channel.
+    One,
+    /// Phase 2: backoff on the control channel.
+    Two,
+    /// Phase 3: ctrl-batch + data-batch.
+    Three,
+}
+
+impl fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseKind::One => f.write_str("phase-1"),
+            PhaseKind::Two => f.write_str("phase-2"),
+            PhaseKind::Three => f.write_str("phase-3"),
+        }
+    }
+}
+
+/// Counters of phase activity, for diagnostics and the ablation experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Local slot at which Phase 2 was entered, if it was.
+    pub entered_phase2: Option<u64>,
+    /// Local slot at which Phase 3 was first entered, if it was.
+    pub entered_phase3: Option<u64>,
+    /// Number of Phase 3 (re)starts.
+    pub phase3_restarts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(PhaseKind::One.to_string(), "phase-1");
+        assert_eq!(PhaseKind::Two.to_string(), "phase-2");
+        assert_eq!(PhaseKind::Three.to_string(), "phase-3");
+    }
+
+    #[test]
+    fn stats_default() {
+        let s = PhaseStats::default();
+        assert_eq!(s.entered_phase2, None);
+        assert_eq!(s.entered_phase3, None);
+        assert_eq!(s.phase3_restarts, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The (f,g)-throughput verifier (Definition 1.1).
+//!
+//! An algorithm achieves (f,g)-throughput when, for every `t ≥ 1`,
+//!
+//! ```text
+//! a_t ≤ n_t·f(t) + d_t·g(t)      (w.h.p. in n_t)
+//! ```
+//!
+//! where `a_t` / `n_t` / `d_t` count active slots, arrivals, and jammed
+//! slots in `[1, t]`. [`ThroughputVerifier`] replays a [`Trace`] and reports
+//! the worst ratio `a_t / (n_t·f(t) + d_t·g(t))` over all prefixes — the
+//! quantity the trade-off experiments track. Ratios ≤ some constant,
+//! uniformly over `t` and workloads, are the empirical signature of
+//! Theorem 1.2; unbounded growth is the signature of Theorem 1.3 failure.
+
+use contention_backoff::{FFunction, GFunction};
+use contention_sim::{CumulativeTrace, Trace};
+
+/// Verdict of a throughput check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// `max_t a_t / (n_t·f(t) + d_t·g(t))` over checked prefixes with a
+    /// positive denominator.
+    pub max_ratio: f64,
+    /// The prefix length attaining `max_ratio`.
+    pub worst_t: u64,
+    /// Value of `a_t` at the worst prefix.
+    pub worst_active: u64,
+    /// Value of `n_t·f(t) + d_t·g(t)` at the worst prefix.
+    pub worst_budget: f64,
+    /// Ratio samples at dyadic prefixes `(t, ratio)` for series plots.
+    pub samples: Vec<(u64, f64)>,
+    /// Whether `max_ratio ≤ tolerance` for the tolerance passed to
+    /// [`ThroughputVerifier::check`].
+    pub ok: bool,
+}
+
+/// Checks a trace against an (f,g) budget.
+#[derive(Debug, Clone)]
+pub struct ThroughputVerifier {
+    f: FFunction,
+    g: GFunction,
+}
+
+impl ThroughputVerifier {
+    /// Verifier for the given `f` and `g`.
+    pub fn new(f: FFunction, g: GFunction) -> Self {
+        ThroughputVerifier { f, g }
+    }
+
+    /// Verifier matching a protocol's own parameters.
+    pub fn for_params(params: &crate::params::ProtocolParams) -> Self {
+        ThroughputVerifier {
+            f: params.f(),
+            g: params.g().clone(),
+        }
+    }
+
+    /// The budget `n_t·f(t) + d_t·g(t)` at prefix `t` of `cum`.
+    pub fn budget(&self, cum: &CumulativeTrace, t: u64) -> f64 {
+        cum.arrivals(t) as f64 * self.f.at(t) + cum.jammed(t) as f64 * self.g.at(t)
+    }
+
+    /// Check every prefix of `trace`; `ok` iff the worst ratio is at most
+    /// `tolerance`.
+    ///
+    /// Prefixes with zero budget are skipped when also inactive (`a_t = 0`);
+    /// a prefix with active slots but zero budget (possible only with
+    /// pre-seeded nodes that bypass the adversary) counts as ratio `∞`.
+    pub fn check(&self, trace: &Trace, tolerance: f64) -> ThroughputReport {
+        let cum = trace.cumulative();
+        let horizon = cum.len();
+        let mut max_ratio = 0.0f64;
+        let mut worst_t = 0u64;
+        let mut worst_active = 0u64;
+        let mut worst_budget = 0.0f64;
+        let mut samples = Vec::new();
+        let mut next_sample = 1u64;
+        for t in 1..=horizon {
+            let active = cum.active(t);
+            let budget = self.budget(&cum, t);
+            let ratio = if budget > 0.0 {
+                active as f64 / budget
+            } else if active == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            if ratio > max_ratio {
+                max_ratio = ratio;
+                worst_t = t;
+                worst_active = active;
+                worst_budget = budget;
+            }
+            if t == next_sample || t == horizon {
+                samples.push((t, ratio));
+                next_sample = next_sample.saturating_mul(2);
+            }
+        }
+        ThroughputReport {
+            max_ratio,
+            worst_t,
+            worst_active,
+            worst_budget,
+            samples,
+            ok: max_ratio <= tolerance,
+        }
+    }
+
+    /// The `f` in use.
+    pub fn f(&self) -> &FFunction {
+        &self.f
+    }
+
+    /// The `g` in use.
+    pub fn g(&self) -> &GFunction {
+        &self.g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ProtocolParams;
+    use contention_sim::prelude::*;
+    use contention_sim::node::AlwaysBroadcast;
+
+    fn drain_one_node_trace() -> Trace {
+        // One node, broadcasts immediately, succeeds in slot 1.
+        let factory = |_: NodeId| -> Box<dyn contention_sim::Protocol> {
+            Box::new(AlwaysBroadcast)
+        };
+        let adv = CompositeAdversary::new(BatchArrival::at_start(1), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(1), factory, adv);
+        sim.run_for(4);
+        sim.into_trace()
+    }
+
+    #[test]
+    fn single_success_within_budget() {
+        let trace = drain_one_node_trace();
+        let params = ProtocolParams::default();
+        let v = ThroughputVerifier::for_params(&params);
+        let rep = v.check(&trace, 1.0);
+        // 1 arrival, f(t) >= 1 always: a_t = 1 <= 1 * f(t).
+        assert!(rep.ok, "report: {rep:?}");
+        assert!(rep.max_ratio <= 1.0);
+        assert!(!rep.samples.is_empty());
+    }
+
+    #[test]
+    fn active_with_zero_budget_is_infinite() {
+        // Pre-seeded node (no adversary arrival => n_t = 0) that never
+        // sends: active slots with zero budget.
+        let factory = |_: NodeId| -> Box<dyn contention_sim::Protocol> {
+            Box::new(contention_sim::node::NeverBroadcast)
+        };
+        let mut sim = Simulator::new(SimConfig::with_seed(2), factory, NullAdversary);
+        sim.seed_nodes(1);
+        sim.run_for(3);
+        let trace = sim.into_trace();
+        let v = ThroughputVerifier::new(
+            ProtocolParams::default().f(),
+            ProtocolParams::default().g().clone(),
+        );
+        let rep = v.check(&trace, 1e9);
+        assert!(rep.max_ratio.is_infinite());
+        assert!(!rep.ok);
+    }
+
+    #[test]
+    fn empty_trace_trivially_ok() {
+        let trace = Trace::new();
+        let params = ProtocolParams::default();
+        let rep = ThroughputVerifier::for_params(&params).check(&trace, 1.0);
+        assert!(rep.ok);
+        assert_eq!(rep.max_ratio, 0.0);
+        assert_eq!(rep.worst_t, 0);
+    }
+
+    #[test]
+    fn budget_formula() {
+        let trace = drain_one_node_trace();
+        let cum = trace.cumulative();
+        let params = ProtocolParams::default(); // g = const 2, a = c2 = 1
+        let v = ThroughputVerifier::for_params(&params);
+        // n_4 = 1, d_4 = 0; f(4) = log2c(4)/log2c(2)^2 = 2/1 = 2.
+        assert!((v.budget(&cum, 4) - 2.0).abs() < 1e-12);
+        assert!(v.f().at(4) >= 1.0);
+        assert_eq!(*v.g(), contention_backoff::GFunction::Constant(2.0));
+    }
+
+    #[test]
+    fn jammed_slots_expand_budget() {
+        // All slots jammed, one node present: active but budgeted via d_t.
+        let factory = |_: NodeId| -> Box<dyn contention_sim::Protocol> {
+            Box::new(AlwaysBroadcast)
+        };
+        let adv = CompositeAdversary::new(BatchArrival::at_start(1), FrontLoadedJamming::new(100));
+        let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adv);
+        sim.run_for(100);
+        let trace = sim.into_trace();
+        assert_eq!(trace.total_successes(), 0);
+        let params = ProtocolParams::default();
+        let v = ThroughputVerifier::for_params(&params);
+        let rep = v.check(&trace, 2.0);
+        // a_t = t, budget ≈ f(t) + 2t: ratio < 1 for all t ≥ 1.
+        assert!(rep.ok, "max ratio {}", rep.max_ratio);
+    }
+
+    #[test]
+    fn samples_are_dyadic() {
+        let trace = drain_one_node_trace();
+        let params = ProtocolParams::default();
+        let rep = ThroughputVerifier::for_params(&params).check(&trace, 10.0);
+        let ts: Vec<u64> = rep.samples.iter().map(|s| s.0).collect();
+        assert_eq!(ts, vec![1, 2, 4]);
+    }
+}

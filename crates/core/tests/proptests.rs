@@ -1,0 +1,147 @@
+//! Property tests for the protocol state machine: total behaviour under
+//! arbitrary feedback sequences.
+
+use contention_core::{CjzProtocol, OracleParityProtocol, PhaseKind, ProtocolParams};
+use contention_sim::{Action, Feedback, NodeId, Protocol};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Arbitrary feedback: ~20% successes.
+fn feedback_strategy() -> impl Strategy<Value = bool> {
+    prop::bool::weighted(0.2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The protocol never panics and phases only move forward (1 → 2 → 3,
+    /// then stays in 3) under any feedback sequence.
+    #[test]
+    fn phases_progress_monotonically(
+        seed in 0u64..10_000,
+        feedback in prop::collection::vec(feedback_strategy(), 1..300),
+    ) {
+        let mut p = CjzProtocol::new(ProtocolParams::constant_jamming());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut best = 0u8;
+        for (slot, &succ) in feedback.iter().enumerate() {
+            let slot = slot as u64;
+            let _ = p.act(slot, &mut rng);
+            let fb = if succ {
+                Feedback::Success(NodeId::new(999))
+            } else {
+                Feedback::NoSuccess
+            };
+            p.observe(slot, fb);
+            let rank = match p.phase() {
+                PhaseKind::One => 0,
+                PhaseKind::Two => 1,
+                PhaseKind::Three => 2,
+            };
+            prop_assert!(rank >= best, "phase went backwards");
+            best = best.max(rank);
+        }
+    }
+
+    /// Without any success the node stays in Phase 1 forever and only
+    /// broadcasts on its arrival-parity (even local) slots.
+    #[test]
+    fn phase1_channel_discipline(seed in 0u64..10_000, slots in 1u64..500) {
+        let mut p = CjzProtocol::new(ProtocolParams::constant_jamming());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for slot in 0..slots {
+            let act = p.act(slot, &mut rng);
+            if slot % 2 == 1 {
+                prop_assert_eq!(act, Action::Listen, "phase-1 node acted on the other channel");
+            }
+            p.observe(slot, Feedback::NoSuccess);
+            prop_assert_eq!(p.phase(), PhaseKind::One);
+        }
+    }
+
+    /// Phase-3 restart counting: every control-channel success after
+    /// entering Phase 3 increments restarts by exactly one.
+    #[test]
+    fn restart_counting(seed in 0u64..10_000, extra_successes in 0u64..20) {
+        let mut p = CjzProtocol::new(ProtocolParams::constant_jamming());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Deterministic path to Phase 3: success at local 0 (→2), ctrl
+        // success at local 1 (→3, anchor 1; ctrl parity = parity(2) = even).
+        let _ = p.act(0, &mut rng);
+        p.observe(0, Feedback::Success(NodeId::new(1)));
+        let _ = p.act(1, &mut rng);
+        p.observe(1, Feedback::Success(NodeId::new(2)));
+        prop_assert_eq!(p.phase(), PhaseKind::Three);
+
+        // Feed successes on the *current* control channel each time; the
+        // anchor moves, so track parity.
+        let mut anchor = 1u64;
+        let mut slot = 2u64;
+        for _ in 0..extra_successes {
+            // Next control-channel slot: same parity as anchor+1.
+            while (slot.wrapping_sub(anchor + 1)) % 2 != 0 {
+                slot += 1;
+            }
+            let _ = p.act(slot, &mut rng);
+            p.observe(slot, Feedback::Success(NodeId::new(3)));
+            anchor = slot;
+            slot += 1;
+        }
+        prop_assert_eq!(p.stats().phase3_restarts, extra_successes);
+    }
+
+    /// The oracle variant is equally total and never regresses from batch
+    /// to sync.
+    #[test]
+    fn oracle_total(
+        seed in 0u64..10_000,
+        arrival in 1u64..1000,
+        feedback in prop::collection::vec(feedback_strategy(), 1..200),
+    ) {
+        let mut p = OracleParityProtocol::new(ProtocolParams::constant_jamming(), arrival);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut reached_batch = false;
+        for (slot, &succ) in feedback.iter().enumerate() {
+            let slot = slot as u64;
+            let _ = p.act(slot, &mut rng);
+            let fb = if succ { Feedback::Success(NodeId::new(7)) } else { Feedback::NoSuccess };
+            p.observe(slot, fb);
+            if p.phase() == PhaseKind::Three {
+                reached_batch = true;
+            }
+            if reached_batch {
+                prop_assert_eq!(p.phase(), PhaseKind::Three);
+            }
+        }
+    }
+
+    /// Determinism of the protocol object itself: same seed + same inputs
+    /// ⇒ same action sequence.
+    #[test]
+    fn protocol_determinism(
+        seed in 0u64..10_000,
+        feedback in prop::collection::vec(feedback_strategy(), 1..200),
+    ) {
+        let run = || {
+            let mut p = CjzProtocol::new(ProtocolParams::constant_jamming());
+            let mut rng = SmallRng::seed_from_u64(seed);
+            feedback
+                .iter()
+                .enumerate()
+                .map(|(slot, &succ)| {
+                    let slot = slot as u64;
+                    let a = p.act(slot, &mut rng);
+                    let fb = if succ {
+                        Feedback::Success(NodeId::new(0))
+                    } else {
+                        Feedback::NoSuccess
+                    };
+                    p.observe(slot, fb);
+                    a
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

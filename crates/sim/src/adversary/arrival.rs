@@ -1,0 +1,531 @@
+//! Arrival processes: when Eve injects new nodes.
+//!
+//! These mirror the arrival patterns studied in the contention-resolution
+//! literature: a single batch (the classical "n nodes wake up together"
+//! scenario), statistical arrivals (Poisson), adversarial bursts, fully
+//! scripted schedules, uniformly random injections over a horizon (the
+//! "random-injected" nodes of Lemma 4.1), and a saturating process that keeps
+//! a target backlog alive using only public information.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::history::PublicHistory;
+
+/// Decides how many nodes to inject at each slot.
+///
+/// Arrival processes see the same public history as the full adversary, so
+/// adaptive arrivals (e.g. injecting right after a success) are expressible.
+pub trait ArrivalProcess {
+    /// Number of nodes to inject at the beginning of `slot` (1-based).
+    fn arrivals(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> u32;
+
+    /// `true` once no further injections will ever happen.
+    fn exhausted(&self) -> bool {
+        false
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str {
+        "arrivals"
+    }
+}
+
+/// No arrivals at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoArrivals;
+
+impl ArrivalProcess for NoArrivals {
+    fn arrivals(&mut self, _: u64, _: &PublicHistory, _: &mut dyn RngCore) -> u32 {
+        0
+    }
+
+    fn exhausted(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Inject `count` nodes at slot `at`, nothing else — the batch scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchArrival {
+    at: u64,
+    count: u32,
+    done: bool,
+}
+
+impl BatchArrival {
+    /// A batch of `count` nodes at slot `at` (1-based).
+    pub fn new(at: u64, count: u32) -> Self {
+        BatchArrival {
+            at,
+            count,
+            done: false,
+        }
+    }
+
+    /// Convenience: batch at slot 1.
+    pub fn at_start(count: u32) -> Self {
+        Self::new(1, count)
+    }
+}
+
+impl ArrivalProcess for BatchArrival {
+    fn arrivals(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> u32 {
+        if !self.done && slot == self.at {
+            self.done = true;
+            self.count
+        } else {
+            if slot > self.at {
+                self.done = true;
+            }
+            0
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.done
+    }
+
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+}
+
+/// Poisson arrivals with a fixed expected rate per slot (statistical model).
+///
+/// Sampled by inversion with a hard cap to keep a single slot's injection
+/// bounded (the cap is astronomically unlikely to bind for sane rates).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrival {
+    rate: f64,
+    /// Stop injecting after this slot (`u64::MAX` = never stop).
+    horizon: u64,
+}
+
+impl PoissonArrival {
+    /// Poisson process with mean `rate` arrivals per slot, forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
+        PoissonArrival {
+            rate,
+            horizon: u64::MAX,
+        }
+    }
+
+    /// Stop injecting after `horizon` slots.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u32 {
+        // Knuth's algorithm; fine for small rates used in experiments.
+        let l = (-self.rate).exp();
+        let mut k = 0u32;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l || k >= 10_000 {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl ArrivalProcess for PoissonArrival {
+    fn arrivals(&mut self, slot: u64, _: &PublicHistory, rng: &mut dyn RngCore) -> u32 {
+        if slot > self.horizon || self.rate == 0.0 {
+            0
+        } else {
+            self.sample(rng)
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+/// Periodic bursts: `size` nodes every `period` slots, starting at `phase`,
+/// for at most `bursts` bursts.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstyArrival {
+    period: u64,
+    phase: u64,
+    size: u32,
+    bursts_left: u64,
+}
+
+impl BurstyArrival {
+    /// `size` nodes at slots `phase, phase+period, …` for `bursts` bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `phase == 0`.
+    pub fn new(period: u64, phase: u64, size: u32, bursts: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(phase > 0, "phase must be positive (slots are 1-based)");
+        BurstyArrival {
+            period,
+            phase,
+            size,
+            bursts_left: bursts,
+        }
+    }
+}
+
+impl ArrivalProcess for BurstyArrival {
+    fn arrivals(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> u32 {
+        if self.bursts_left == 0 || slot < self.phase {
+            return 0;
+        }
+        if (slot - self.phase).is_multiple_of(self.period) {
+            self.bursts_left -= 1;
+            self.size
+        } else {
+            0
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.bursts_left == 0
+    }
+
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+}
+
+/// Fully scripted arrivals: an explicit slot → count map.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedArrival {
+    script: BTreeMap<u64, u32>,
+    max_slot: u64,
+}
+
+impl ScriptedArrival {
+    /// Build from `(slot, count)` pairs; duplicate slots accumulate.
+    pub fn new<I: IntoIterator<Item = (u64, u32)>>(pairs: I) -> Self {
+        let mut script = BTreeMap::new();
+        let mut max_slot = 0;
+        for (slot, count) in pairs {
+            *script.entry(slot).or_insert(0) += count;
+            max_slot = max_slot.max(slot);
+        }
+        ScriptedArrival { script, max_slot }
+    }
+
+    /// Total scripted arrivals.
+    pub fn total(&self) -> u64 {
+        self.script.values().map(|&c| u64::from(c)).sum()
+    }
+
+    /// The last slot with a scripted arrival (0 if the script is empty).
+    pub fn last_slot(&self) -> u64 {
+        self.max_slot
+    }
+}
+
+impl ArrivalProcess for ScriptedArrival {
+    fn arrivals(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> u32 {
+        self.script.get(&slot).copied().unwrap_or(0)
+    }
+
+    fn exhausted(&self) -> bool {
+        // Conservative: scripted processes don't track the current slot, so
+        // only a truly empty script reports exhaustion. `BudgetedAdversary`
+        // or `run_for` bound the run anyway.
+        self.script.is_empty()
+    }
+
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+/// `total` nodes injected at slots chosen independently and uniformly at
+/// random from `[1, horizon]` — the "random-injected" nodes in the proof of
+/// Lemma 4.1.
+///
+/// Implemented by thinning: each slot `s ≤ horizon` draws
+/// `Binomial(remaining, 1/(horizon-s+1))` via sequential Bernoulli draws on
+/// the remaining budget, which reproduces the uniform allocation exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRandomArrival {
+    remaining: u64,
+    horizon: u64,
+}
+
+impl UniformRandomArrival {
+    /// `total` nodes spread uniformly over slots `1..=horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(total: u64, horizon: u64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        UniformRandomArrival {
+            remaining: total,
+            horizon,
+        }
+    }
+}
+
+impl ArrivalProcess for UniformRandomArrival {
+    fn arrivals(&mut self, slot: u64, _: &PublicHistory, rng: &mut dyn RngCore) -> u32 {
+        if slot > self.horizon || self.remaining == 0 {
+            return 0;
+        }
+        let slots_left = self.horizon - slot + 1;
+        if slots_left == 1 {
+            let k = self.remaining.min(u64::from(u32::MAX)) as u32;
+            self.remaining -= u64::from(k);
+            return k;
+        }
+        let p = 1.0 / slots_left as f64;
+        let mut k = 0u32;
+        // Binomial(remaining, p) by Bernoulli thinning; `remaining` is small
+        // in every experiment (≤ millions), and p is tiny, so this is cheap
+        // in expectation (E[k] = remaining/slots_left).
+        let n = self.remaining;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        self.remaining -= u64::from(k);
+        k
+    }
+
+    fn exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+/// Keeps the system saturated: tops the backlog up to `target` whenever the
+/// publicly inferable backlog (injections − successes) falls below it.
+///
+/// This is the canonical "adversarial full-load" arrival pattern for
+/// throughput experiments: the channel never starves, so active slots are
+/// maximal and the classical throughput `n_t / a_t` is meaningful.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturatedArrival {
+    target: u64,
+    /// Optional cap on total injections (`u64::MAX` = unlimited).
+    budget: u64,
+    injected: u64,
+    /// Stop injecting after this slot.
+    horizon: u64,
+}
+
+impl SaturatedArrival {
+    /// Keep `target` nodes outstanding, forever.
+    pub fn new(target: u64) -> Self {
+        SaturatedArrival {
+            target,
+            budget: u64::MAX,
+            injected: 0,
+            horizon: u64::MAX,
+        }
+    }
+
+    /// Cap total injections at `budget` nodes.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Stop injecting after `horizon` slots.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Nodes injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl ArrivalProcess for SaturatedArrival {
+    fn arrivals(&mut self, slot: u64, history: &PublicHistory, _: &mut dyn RngCore) -> u32 {
+        if slot > self.horizon || self.injected >= self.budget {
+            return 0;
+        }
+        let backlog = history.backlog();
+        if backlog >= self.target {
+            return 0;
+        }
+        let want = self.target - backlog;
+        let allowed = (self.budget - self.injected).min(want).min(u64::from(u32::MAX));
+        self.injected += allowed;
+        allowed as u32
+    }
+
+    fn exhausted(&self) -> bool {
+        self.injected >= self.budget
+    }
+
+    fn name(&self) -> &'static str {
+        "saturated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn batch_fires_once() {
+        let mut a = BatchArrival::new(3, 10);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert_eq!(a.arrivals(1, &h, &mut r), 0);
+        assert!(!a.exhausted());
+        assert_eq!(a.arrivals(2, &h, &mut r), 0);
+        assert_eq!(a.arrivals(3, &h, &mut r), 10);
+        assert!(a.exhausted());
+        assert_eq!(a.arrivals(4, &h, &mut r), 0);
+    }
+
+    #[test]
+    fn batch_at_start() {
+        let mut a = BatchArrival::at_start(5);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert_eq!(a.arrivals(1, &h, &mut r), 5);
+        assert!(a.exhausted());
+    }
+
+    #[test]
+    fn poisson_mean_is_rate() {
+        let mut a = PoissonArrival::new(0.5);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let total: u64 = (1..=20_000).map(|s| u64::from(a.arrivals(s, &h, &mut r))).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.05, "poisson mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn poisson_horizon_stops() {
+        let mut a = PoissonArrival::new(5.0).with_horizon(10);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        for s in 11..100 {
+            assert_eq!(a.arrivals(s, &h, &mut r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite")]
+    fn poisson_rejects_negative_rate() {
+        let _ = PoissonArrival::new(-1.0);
+    }
+
+    #[test]
+    fn bursty_schedule() {
+        let mut a = BurstyArrival::new(5, 2, 3, 2);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let got: Vec<u32> = (1..=12).map(|s| a.arrivals(s, &h, &mut r)).collect();
+        assert_eq!(got, vec![0, 3, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0]);
+        assert!(a.exhausted());
+    }
+
+    #[test]
+    fn scripted_accumulates_duplicates() {
+        let mut a = ScriptedArrival::new([(2, 1), (2, 2), (5, 4)]);
+        assert_eq!(a.total(), 7);
+        assert_eq!(a.last_slot(), 5);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert_eq!(a.arrivals(2, &h, &mut r), 3);
+        assert_eq!(a.arrivals(3, &h, &mut r), 0);
+        assert_eq!(a.arrivals(5, &h, &mut r), 4);
+    }
+
+    #[test]
+    fn uniform_random_injects_exact_total() {
+        let mut a = UniformRandomArrival::new(250, 1000);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let total: u64 = (1..=1000).map(|s| u64::from(a.arrivals(s, &h, &mut r))).sum();
+        assert_eq!(total, 250);
+        assert!(a.exhausted());
+    }
+
+    #[test]
+    fn uniform_random_dumps_remainder_at_horizon() {
+        let mut a = UniformRandomArrival::new(5, 1);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert_eq!(a.arrivals(1, &h, &mut r), 5);
+        assert!(a.exhausted());
+    }
+
+    #[test]
+    fn saturated_tracks_backlog() {
+        let mut a = SaturatedArrival::new(3).with_budget(5);
+        let mut h = PublicHistory::new();
+        let mut r = rng();
+        // Slot 1: backlog 0 -> inject 3.
+        assert_eq!(a.arrivals(1, &h, &mut r), 3);
+        h.record(crate::slot::Feedback::NoSuccess, 3, false);
+        // Slot 2: backlog 3 -> inject 0.
+        assert_eq!(a.arrivals(2, &h, &mut r), 0);
+        // A success frees one; budget has 2 left.
+        h.record(
+            crate::slot::Feedback::Success(crate::node::NodeId::new(0)),
+            0,
+            false,
+        );
+        assert_eq!(a.arrivals(3, &h, &mut r), 1);
+        assert_eq!(a.injected(), 4);
+        assert!(!a.exhausted());
+    }
+
+    #[test]
+    fn saturated_respects_budget() {
+        let mut a = SaturatedArrival::new(100).with_budget(10);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert_eq!(a.arrivals(1, &h, &mut r), 10);
+        assert!(a.exhausted());
+        assert_eq!(a.arrivals(2, &h, &mut r), 0);
+    }
+
+    #[test]
+    fn no_arrivals_is_exhausted() {
+        let mut a = NoArrivals;
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert_eq!(a.arrivals(1, &h, &mut r), 0);
+        assert!(a.exhausted());
+    }
+}

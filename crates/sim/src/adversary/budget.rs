@@ -1,0 +1,243 @@
+//! Budget enforcement: cap cumulative injections and jams against the
+//! `n_t`/`d_t` budgets of Definition 1.1.
+//!
+//! The (f,g)-throughput definition only constrains the *algorithm*; the
+//! adversary may do anything. But the interesting regime — where the bound
+//! `a_t ≤ n_t·f(t) + d_t·g(t)` is non-trivial (< t) — requires
+//! `n_t = O(t/f(t))` and `d_t = O(t/g(t))`. [`BudgetedAdversary`] wraps any
+//! adversary and clamps its decisions to such curves, so experiments can
+//! drive the system exactly at the critical load.
+
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SlotDecision};
+use crate::history::PublicHistory;
+
+/// A cumulative injection budget: at most `curve(t)` nodes in slots `1..=t`.
+pub struct ArrivalBudget {
+    curve: Box<dyn Fn(u64) -> f64>,
+    used: u64,
+}
+
+impl ArrivalBudget {
+    /// Budget defined by an arbitrary non-decreasing curve.
+    pub fn new(curve: impl Fn(u64) -> f64 + 'static) -> Self {
+        ArrivalBudget {
+            curve: Box::new(curve),
+            used: 0,
+        }
+    }
+
+    /// Unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::new(|_| f64::INFINITY)
+    }
+
+    /// How many more injections are allowed by slot `t`.
+    pub fn headroom(&self, t: u64) -> u64 {
+        let cap = (self.curve)(t);
+        if cap.is_infinite() {
+            return u64::MAX;
+        }
+        let cap = cap.max(0.0).floor() as u64;
+        cap.saturating_sub(self.used)
+    }
+
+    /// Consume `n` units.
+    pub fn consume(&mut self, n: u64) {
+        self.used += n;
+    }
+
+    /// Units consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+impl std::fmt::Debug for ArrivalBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrivalBudget").field("used", &self.used).finish()
+    }
+}
+
+/// A cumulative jamming budget: at most `curve(t)` jams in slots `1..=t`.
+pub struct JamBudget {
+    curve: Box<dyn Fn(u64) -> f64>,
+    used: u64,
+}
+
+impl JamBudget {
+    /// Budget defined by an arbitrary non-decreasing curve.
+    pub fn new(curve: impl Fn(u64) -> f64 + 'static) -> Self {
+        JamBudget {
+            curve: Box::new(curve),
+            used: 0,
+        }
+    }
+
+    /// Unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::new(|_| f64::INFINITY)
+    }
+
+    /// Whether one more jam is allowed by slot `t`.
+    pub fn allows(&self, t: u64) -> bool {
+        let cap = (self.curve)(t);
+        cap.is_infinite() || ((self.used + 1) as f64) <= cap.max(0.0)
+    }
+
+    /// Consume one jam.
+    pub fn consume(&mut self) {
+        self.used += 1;
+    }
+
+    /// Jams used so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+impl std::fmt::Debug for JamBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JamBudget").field("used", &self.used).finish()
+    }
+}
+
+/// Wraps an adversary, clamping its decisions to cumulative budgets.
+pub struct BudgetedAdversary<Inner> {
+    inner: Inner,
+    arrivals: ArrivalBudget,
+    jams: JamBudget,
+}
+
+impl<Inner: Adversary> BudgetedAdversary<Inner> {
+    /// Clamp `inner` to the given budgets.
+    pub fn new(inner: Inner, arrivals: ArrivalBudget, jams: JamBudget) -> Self {
+        BudgetedAdversary {
+            inner,
+            arrivals,
+            jams,
+        }
+    }
+
+    /// Injections actually performed.
+    pub fn injections_used(&self) -> u64 {
+        self.arrivals.used()
+    }
+
+    /// Jams actually performed.
+    pub fn jams_used(&self) -> u64 {
+        self.jams.used()
+    }
+
+    /// The wrapped adversary.
+    pub fn inner(&self) -> &Inner {
+        &self.inner
+    }
+}
+
+impl<Inner: Adversary> Adversary for BudgetedAdversary<Inner> {
+    fn decide(
+        &mut self,
+        slot: u64,
+        history: &PublicHistory,
+        rng: &mut dyn RngCore,
+    ) -> SlotDecision {
+        let raw = self.inner.decide(slot, history, rng);
+        let inject = u64::from(raw.inject).min(self.arrivals.headroom(slot)) as u32;
+        self.arrivals.consume(u64::from(inject));
+        let jam = raw.jam && self.jams.allows(slot);
+        if jam {
+            self.jams.consume();
+        }
+        SlotDecision { jam, inject }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.inner.exhausted()
+    }
+
+    fn name(&self) -> &'static str {
+        "budgeted"
+    }
+}
+
+impl<Inner: std::fmt::Debug> std::fmt::Debug for BudgetedAdversary<Inner> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetedAdversary")
+            .field("inner", &self.inner)
+            .field("arrivals", &self.arrivals)
+            .field("jams", &self.jams)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FnAdversary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrival_budget_headroom() {
+        let mut b = ArrivalBudget::new(|t| t as f64 / 2.0);
+        assert_eq!(b.headroom(4), 2);
+        b.consume(2);
+        assert_eq!(b.headroom(4), 0);
+        assert_eq!(b.headroom(10), 3);
+        assert_eq!(b.used(), 2);
+    }
+
+    #[test]
+    fn arrival_budget_unlimited() {
+        let b = ArrivalBudget::unlimited();
+        assert_eq!(b.headroom(1), u64::MAX);
+    }
+
+    #[test]
+    fn jam_budget_allows_and_consumes() {
+        let mut b = JamBudget::new(|t| (t as f64 / 4.0).floor());
+        assert!(!b.allows(3)); // cap(3) = 0
+        assert!(b.allows(4)); // cap = 1
+        b.consume();
+        assert!(!b.allows(4));
+        assert!(b.allows(8));
+        assert_eq!(b.used(), 1);
+    }
+
+    #[test]
+    fn budgeted_clamps_greedy_adversary() {
+        let greedy = FnAdversary::new("greedy", |_s, _h, _r| SlotDecision {
+            jam: true,
+            inject: 100,
+        });
+        let mut adv = BudgetedAdversary::new(
+            greedy,
+            ArrivalBudget::new(|t| t as f64), // ≤ t injections by slot t
+            JamBudget::new(|t| t as f64 / 2.0), // ≤ t/2 jams
+        );
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        let d1 = adv.decide(1, &h, &mut r);
+        assert_eq!(d1.inject, 1); // clamped to budget 1
+        assert!(!d1.jam); // jam cap at t=1 is 0.5 -> not allowed
+        let d2 = adv.decide(2, &h, &mut r);
+        assert_eq!(d2.inject, 1);
+        assert!(d2.jam); // cap(2) = 1
+        assert_eq!(adv.injections_used(), 2);
+        assert_eq!(adv.jams_used(), 1);
+    }
+
+    #[test]
+    fn budget_debug_impls() {
+        let adv = BudgetedAdversary::new(
+            crate::adversary::NullAdversary,
+            ArrivalBudget::unlimited(),
+            JamBudget::unlimited(),
+        );
+        let s = format!("{adv:?}");
+        assert!(s.contains("BudgetedAdversary"));
+        assert!(adv.exhausted());
+    }
+}

@@ -1,0 +1,92 @@
+//! Combining an arrival process with a jamming strategy into one adversary.
+
+use rand::RngCore;
+
+use crate::adversary::{Adversary, ArrivalProcess, JammingStrategy, SlotDecision};
+use crate::history::PublicHistory;
+
+/// An adversary built from an [`ArrivalProcess`] plus a [`JammingStrategy`].
+///
+/// Both halves see the same public history; the arrival half decides first
+/// (the order is observable only through the RNG stream, which each half
+/// shares — deterministic under a fixed seed either way).
+pub struct CompositeAdversary<A, J> {
+    arrivals: A,
+    jamming: J,
+}
+
+impl<A: ArrivalProcess, J: JammingStrategy> CompositeAdversary<A, J> {
+    /// Combine the two halves.
+    pub fn new(arrivals: A, jamming: J) -> Self {
+        CompositeAdversary { arrivals, jamming }
+    }
+
+    /// Access the arrival half.
+    pub fn arrivals(&self) -> &A {
+        &self.arrivals
+    }
+
+    /// Access the jamming half.
+    pub fn jamming(&self) -> &J {
+        &self.jamming
+    }
+}
+
+impl<A: ArrivalProcess, J: JammingStrategy> Adversary for CompositeAdversary<A, J> {
+    fn decide(
+        &mut self,
+        slot: u64,
+        history: &PublicHistory,
+        rng: &mut dyn RngCore,
+    ) -> SlotDecision {
+        let inject = self.arrivals.arrivals(slot, history, rng);
+        let jam = self.jamming.jam(slot, history, rng);
+        SlotDecision { jam, inject }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.arrivals.exhausted()
+    }
+
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+impl<A: std::fmt::Debug, J: std::fmt::Debug> std::fmt::Debug for CompositeAdversary<A, J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeAdversary")
+            .field("arrivals", &self.arrivals)
+            .field("jamming", &self.jamming)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BatchArrival, FrontLoadedJamming, NoArrivals, NoJamming};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn composite_combines_halves() {
+        let mut adv = CompositeAdversary::new(BatchArrival::new(2, 5), FrontLoadedJamming::new(1));
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        let d1 = adv.decide(1, &h, &mut r);
+        assert_eq!(d1, SlotDecision { jam: true, inject: 0 });
+        let d2 = adv.decide(2, &h, &mut r);
+        assert_eq!(d2, SlotDecision { jam: false, inject: 5 });
+        assert!(adv.exhausted());
+    }
+
+    #[test]
+    fn composite_exhaustion_tracks_arrivals() {
+        let adv = CompositeAdversary::new(NoArrivals, NoJamming);
+        assert!(adv.exhausted());
+        assert_eq!(adv.name(), "composite");
+        assert_eq!(adv.arrivals().name(), "none");
+        assert_eq!(adv.jamming().name(), "none");
+    }
+}

@@ -1,0 +1,445 @@
+//! Jamming strategies: which slots Eve disrupts.
+//!
+//! A jammed slot always resolves to no-success regardless of how many nodes
+//! broadcast. Strategies range from oblivious (random, periodic,
+//! front-loaded) to adaptive (reactive bursts triggered by observed
+//! successes) — the adaptive ones exercise the "adaptive adversary" clause of
+//! the model.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::history::PublicHistory;
+
+/// Decides whether to jam each slot.
+pub trait JammingStrategy {
+    /// Whether to jam global slot `slot` (1-based).
+    fn jam(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> bool;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str {
+        "jamming"
+    }
+}
+
+/// Never jams.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoJamming;
+
+impl JammingStrategy for NoJamming {
+    fn jam(&mut self, _: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Jams each slot independently with probability `p` — the standard
+/// "constant fraction of all slots jammed" model (g constant).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomJamming {
+    p: f64,
+}
+
+impl RandomJamming {
+    /// Jam with probability `p` per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        RandomJamming { p }
+    }
+
+    /// The per-slot jamming probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl JammingStrategy for RandomJamming {
+    fn jam(&mut self, _: u64, _: &PublicHistory, rng: &mut dyn RngCore) -> bool {
+        self.p > 0.0 && rng.gen::<f64>() < self.p
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Jams every `period`-th slot (slots where `(slot - phase) % period == 0`).
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicJamming {
+    period: u64,
+    phase: u64,
+}
+
+impl PeriodicJamming {
+    /// Jam slots `phase, phase+period, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `phase == 0`.
+    pub fn new(period: u64, phase: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(phase > 0, "phase must be positive (slots are 1-based)");
+        PeriodicJamming { period, phase }
+    }
+}
+
+impl JammingStrategy for PeriodicJamming {
+    fn jam(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
+        slot >= self.phase && (slot - self.phase).is_multiple_of(self.period)
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+/// Jams every slot in `[1, until]` — the prefix-jamming attack that defeats
+/// plain exponential backoff (a single node's sending probability decays
+/// while it is jammed; see Section 2, "Achieving jamming resistance", and the
+/// lower-bound constructions of Section 4).
+#[derive(Debug, Clone, Copy)]
+pub struct FrontLoadedJamming {
+    until: u64,
+}
+
+impl FrontLoadedJamming {
+    /// Jam slots `1..=until`.
+    pub fn new(until: u64) -> Self {
+        FrontLoadedJamming { until }
+    }
+}
+
+impl JammingStrategy for FrontLoadedJamming {
+    fn jam(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
+        slot <= self.until
+    }
+
+    fn name(&self) -> &'static str {
+        "front-loaded"
+    }
+}
+
+/// Adaptive strategy: after every observed success, jam the next `burst`
+/// slots (trying to break the synchronization that successes provide to the
+/// paper's algorithm). A per-burst budget check is the caller's job (wrap in
+/// [`super::BudgetedAdversary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReactiveJamming {
+    burst: u64,
+    remaining_burst: u64,
+}
+
+impl ReactiveJamming {
+    /// Jam `burst` slots after each success.
+    pub fn new(burst: u64) -> Self {
+        ReactiveJamming {
+            burst,
+            remaining_burst: 0,
+        }
+    }
+}
+
+impl JammingStrategy for ReactiveJamming {
+    fn jam(&mut self, _: u64, history: &PublicHistory, _: &mut dyn RngCore) -> bool {
+        if history.last_feedback().is_some_and(|fb| fb.is_success()) {
+            self.remaining_burst = self.burst;
+        }
+        if self.remaining_burst > 0 {
+            self.remaining_burst -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+}
+
+/// Two-state Markov (Gilbert–Elliott) jamming: bursts of interference.
+///
+/// The channel alternates between a *good* state (jam probability
+/// `p_good`, usually 0) and a *bad* state (jam probability `p_bad`,
+/// usually close to 1). Transitions happen per slot with probabilities
+/// `good_to_bad` and `bad_to_good`. This is the standard bursty-loss model
+/// for wireless links and gives experiments a realistic alternative to
+/// i.i.d. jamming: the same average jam rate, but concentrated — much
+/// closer to the adversarial patterns the lower bounds use.
+#[derive(Debug, Clone, Copy)]
+pub struct GilbertElliottJamming {
+    good_to_bad: f64,
+    bad_to_good: f64,
+    p_good: f64,
+    p_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliottJamming {
+    /// Build the chain; starts in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(good_to_bad: f64, bad_to_good: f64, p_good: f64, p_bad: f64) -> Self {
+        for (name, p) in [
+            ("good_to_bad", good_to_bad),
+            ("bad_to_good", bad_to_good),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1]");
+        }
+        GilbertElliottJamming {
+            good_to_bad,
+            bad_to_good,
+            p_good,
+            p_bad,
+            in_bad: false,
+        }
+    }
+
+    /// Convenience: bursts averaging `burst_len` slots arriving so that the
+    /// long-run jammed fraction is `fraction`; jams always in the bad
+    /// state, never in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len < 1`, or `fraction` not in `[0, 1)`.
+    pub fn bursts(fraction: f64, burst_len: f64) -> Self {
+        assert!(burst_len >= 1.0, "burst_len must be >= 1");
+        assert!((0.0..1.0).contains(&fraction), "fraction must be in [0,1)");
+        let bad_to_good = 1.0 / burst_len;
+        // Stationary P(bad) = g2b / (g2b + b2g) = fraction.
+        let good_to_bad = if fraction == 0.0 {
+            0.0
+        } else {
+            (bad_to_good * fraction / (1.0 - fraction)).min(1.0)
+        };
+        Self::new(good_to_bad, bad_to_good, 0.0, 1.0)
+    }
+
+    /// Whether the chain is currently in the bad state.
+    pub fn is_bad(&self) -> bool {
+        self.in_bad
+    }
+}
+
+impl JammingStrategy for GilbertElliottJamming {
+    fn jam(&mut self, _: u64, _: &PublicHistory, rng: &mut dyn RngCore) -> bool {
+        // Transition first, then emit.
+        let flip: f64 = rng.gen();
+        if self.in_bad {
+            if flip < self.bad_to_good {
+                self.in_bad = false;
+            }
+        } else if flip < self.good_to_bad {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { self.p_bad } else { self.p_good };
+        p > 0.0 && (p >= 1.0 || rng.gen::<f64>() < p)
+    }
+
+    fn name(&self) -> &'static str {
+        "gilbert-elliott"
+    }
+}
+
+/// Jams exactly the scripted set of slots.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedJamming {
+    slots: BTreeSet<u64>,
+}
+
+impl ScriptedJamming {
+    /// Jam exactly the given slots.
+    pub fn new<I: IntoIterator<Item = u64>>(slots: I) -> Self {
+        ScriptedJamming {
+            slots: slots.into_iter().collect(),
+        }
+    }
+
+    /// Number of scripted slots.
+    pub fn count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl JammingStrategy for ScriptedJamming {
+    fn jam(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
+        self.slots.contains(&slot)
+    }
+
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::slot::Feedback;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(777)
+    }
+
+    #[test]
+    fn random_jamming_frequency() {
+        let mut j = RandomJamming::new(0.25);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let count = (1..=40_000).filter(|&s| j.jam(s, &h, &mut r)).count();
+        let frac = count as f64 / 40_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "fraction {frac} far from 0.25");
+        assert_eq!(j.probability(), 0.25);
+    }
+
+    #[test]
+    fn random_jamming_zero_never_one_always() {
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let mut never = RandomJamming::new(0.0);
+        let mut always = RandomJamming::new(1.0);
+        for s in 1..100 {
+            assert!(!never.jam(s, &h, &mut r));
+            assert!(always.jam(s, &h, &mut r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0,1]")]
+    fn random_jamming_rejects_bad_p() {
+        let _ = RandomJamming::new(1.5);
+    }
+
+    #[test]
+    fn periodic_jams_on_schedule() {
+        let mut j = PeriodicJamming::new(4, 2);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let jammed: Vec<u64> = (1..=12).filter(|&s| j.jam(s, &h, &mut r)).collect();
+        assert_eq!(jammed, vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn front_loaded_prefix() {
+        let mut j = FrontLoadedJamming::new(5);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let jammed: Vec<u64> = (1..=10).filter(|&s| j.jam(s, &h, &mut r)).collect();
+        assert_eq!(jammed, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn reactive_bursts_after_success() {
+        let mut j = ReactiveJamming::new(2);
+        let mut h = PublicHistory::new();
+        let mut r = rng();
+        assert!(!j.jam(1, &h, &mut r));
+        h.record(Feedback::Success(NodeId::new(0)), 0, false);
+        assert!(j.jam(2, &h, &mut r));
+        h.record(Feedback::NoSuccess, 0, true);
+        assert!(j.jam(3, &h, &mut r));
+        h.record(Feedback::NoSuccess, 0, true);
+        assert!(!j.jam(4, &h, &mut r));
+    }
+
+    #[test]
+    fn reactive_burst_resets_on_new_success() {
+        let mut j = ReactiveJamming::new(3);
+        let mut h = PublicHistory::new();
+        let mut r = rng();
+        h.record(Feedback::Success(NodeId::new(0)), 0, false);
+        assert!(j.jam(2, &h, &mut r));
+        // Another success while mid-burst refills the burst.
+        h.record(Feedback::Success(NodeId::new(1)), 0, false);
+        assert!(j.jam(3, &h, &mut r));
+        h.record(Feedback::NoSuccess, 0, true);
+        assert!(j.jam(4, &h, &mut r));
+        h.record(Feedback::NoSuccess, 0, true);
+        assert!(j.jam(5, &h, &mut r));
+        h.record(Feedback::NoSuccess, 0, true);
+        assert!(!j.jam(6, &h, &mut r));
+    }
+
+    #[test]
+    fn scripted_exact_slots() {
+        let mut j = ScriptedJamming::new([3, 7, 7, 9]);
+        assert_eq!(j.count(), 3);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let jammed: Vec<u64> = (1..=10).filter(|&s| j.jam(s, &h, &mut r)).collect();
+        assert_eq!(jammed, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_fraction() {
+        let mut j = GilbertElliottJamming::bursts(0.25, 8.0);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let n = 200_000u64;
+        let jammed = (1..=n).filter(|&s| j.jam(s, &h, &mut r)).count();
+        let frac = jammed as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // Average run length of jammed slots should be near burst_len,
+        // i.e. much larger than the i.i.d. value 1/(1-p) ≈ 1.33.
+        let mut j = GilbertElliottJamming::bursts(0.25, 16.0);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        let mut runs = 0u64;
+        let mut jammed = 0u64;
+        let mut prev = false;
+        for s in 1..=200_000u64 {
+            let now = j.jam(s, &h, &mut r);
+            if now {
+                jammed += 1;
+                if !prev {
+                    runs += 1;
+                }
+            }
+            prev = now;
+        }
+        let mean_run = jammed as f64 / runs.max(1) as f64;
+        assert!(mean_run > 8.0, "mean run {mean_run} not bursty");
+    }
+
+    #[test]
+    fn gilbert_elliott_zero_fraction_never_jams() {
+        let mut j = GilbertElliottJamming::bursts(0.0, 4.0);
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert!((1..=1000).all(|s| !j.jam(s, &h, &mut r)));
+        assert!(!j.is_bad());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn gilbert_elliott_rejects_bad_probability() {
+        let _ = GilbertElliottJamming::new(1.5, 0.5, 0.0, 1.0);
+    }
+
+    #[test]
+    fn no_jamming_never_jams() {
+        let mut j = NoJamming;
+        let h = PublicHistory::new();
+        let mut r = rng();
+        assert!((1..=50).all(|s| !j.jam(s, &h, &mut r)));
+    }
+}

@@ -1,0 +1,317 @@
+//! Lower-bound adversaries from Section 4 of the paper.
+//!
+//! These reproduce, as executable workloads, the adversary strategies used in
+//! the impossibility proofs:
+//!
+//! * [`Lemma41Adversary`] — batch-injects heavily in the first `√t` slots and
+//!   scatters `m` "random-injected" nodes uniformly over `[1, t]`, the
+//!   construction showing that a node whose expected send count is too high
+//!   drowns the channel (Lemma 4.1).
+//! * [`Theorem13Adversary`] — injects a single node, jams the prefix
+//!   `[1, t/(4g(t))]`, the last slot, and `t/(4g(t))` random slots of the
+//!   remainder; used to show a single node must broadcast
+//!   `Ω(log²t / log²g(t))` times (Theorem 1.3).
+//! * [`Theorem42Adversary`] — jams the prefix and the last slot, injects two
+//!   nodes at slot 1 and a crowd at the last slot; defeats non-adaptive
+//!   schedules (Theorem 4.2).
+//!
+//! Experiments use these to demonstrate *mechanisms* (e.g. that prefix
+//! jamming wrecks plain exponential backoff) rather than to verify the
+//! impossibility theorems literally — those hold for all algorithms and
+//! cannot be "run".
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SlotDecision};
+use crate::history::PublicHistory;
+
+/// The Lemma 4.1 workload over a horizon of `t` slots: `batch_per_slot`
+/// nodes in each of the first `⌊√t⌋` slots plus `random_total` nodes at
+/// uniformly random slots of `[1, t]`.
+#[derive(Debug)]
+pub struct Lemma41Adversary {
+    horizon: u64,
+    sqrt_horizon: u64,
+    batch_per_slot: u32,
+    random_remaining: u64,
+}
+
+impl Lemma41Adversary {
+    /// Build the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`.
+    pub fn new(horizon: u64, batch_per_slot: u32, random_total: u64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        Lemma41Adversary {
+            horizon,
+            sqrt_horizon: (horizon as f64).sqrt().floor() as u64,
+            batch_per_slot,
+            random_remaining: random_total,
+        }
+    }
+}
+
+impl Adversary for Lemma41Adversary {
+    fn decide(&mut self, slot: u64, _: &PublicHistory, rng: &mut dyn RngCore) -> SlotDecision {
+        if slot > self.horizon {
+            return SlotDecision::IDLE;
+        }
+        let mut inject = 0u64;
+        if slot <= self.sqrt_horizon {
+            inject += u64::from(self.batch_per_slot);
+        }
+        // Thinning of the uniform allocation of the remaining random nodes.
+        let slots_left = self.horizon - slot + 1;
+        if self.random_remaining > 0 {
+            if slots_left == 1 {
+                inject += self.random_remaining;
+                self.random_remaining = 0;
+            } else {
+                let p = 1.0 / slots_left as f64;
+                let mut k = 0u64;
+                for _ in 0..self.random_remaining {
+                    if rng.gen::<f64>() < p {
+                        k += 1;
+                    }
+                }
+                self.random_remaining -= k;
+                inject += k;
+            }
+        }
+        SlotDecision {
+            jam: false,
+            inject: inject.min(u64::from(u32::MAX)) as u32,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.random_remaining == 0 && self.sqrt_horizon == 0
+    }
+
+    fn name(&self) -> &'static str {
+        "lemma-4.1"
+    }
+}
+
+/// The Theorem 1.3 adversary over horizon `t`: one node at slot 1, jam
+/// `[1, prefix]`, jam `extra` random slots of `(prefix, t]`, jam slot `t`.
+#[derive(Debug)]
+pub struct Theorem13Adversary {
+    horizon: u64,
+    prefix: u64,
+    /// Sorted random jam slots, drawn on first use.
+    random_jams: Option<Vec<u64>>,
+    extra: u64,
+    injected: bool,
+}
+
+impl Theorem13Adversary {
+    /// Build from horizon `t` and jam budget parameter `g_of_t = g(t)`:
+    /// prefix and random-jam counts are both `⌊t / (4·g(t))⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` or `g_of_t <= 0`.
+    pub fn new(horizon: u64, g_of_t: f64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(g_of_t > 0.0, "g(t) must be positive");
+        let prefix = ((horizon as f64) / (4.0 * g_of_t)).floor() as u64;
+        Theorem13Adversary {
+            horizon,
+            prefix,
+            random_jams: None,
+            extra: prefix,
+            injected: false,
+        }
+    }
+
+    /// Length of the jammed prefix.
+    pub fn prefix(&self) -> u64 {
+        self.prefix
+    }
+
+    fn ensure_random_jams(&mut self, rng: &mut dyn RngCore) {
+        if self.random_jams.is_some() {
+            return;
+        }
+        let lo = self.prefix + 1;
+        let hi = self.horizon;
+        let mut jams = Vec::with_capacity(self.extra as usize);
+        if lo <= hi {
+            for _ in 0..self.extra {
+                jams.push(rng.gen_range(lo..=hi));
+            }
+        }
+        jams.sort_unstable();
+        jams.dedup();
+        self.random_jams = Some(jams);
+    }
+}
+
+impl Adversary for Theorem13Adversary {
+    fn decide(&mut self, slot: u64, _: &PublicHistory, rng: &mut dyn RngCore) -> SlotDecision {
+        self.ensure_random_jams(rng);
+        let inject = if !self.injected && slot == 1 {
+            self.injected = true;
+            1
+        } else {
+            0
+        };
+        if slot > self.horizon {
+            return SlotDecision { jam: false, inject };
+        }
+        let jam = slot <= self.prefix
+            || slot == self.horizon
+            || self
+                .random_jams
+                .as_ref()
+                .is_some_and(|v| v.binary_search(&slot).is_ok());
+        SlotDecision { jam, inject }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.injected
+    }
+
+    fn name(&self) -> &'static str {
+        "theorem-1.3"
+    }
+}
+
+/// The Theorem 4.2 adversary over horizon `t`: jam `[1, prefix]` and slot
+/// `t`; inject 2 nodes at slot 1 and `final_crowd` nodes at slot `t`.
+#[derive(Debug)]
+pub struct Theorem42Adversary {
+    horizon: u64,
+    prefix: u64,
+    final_crowd: u32,
+    injected_start: bool,
+    injected_end: bool,
+}
+
+impl Theorem42Adversary {
+    /// Build from horizon `t`, `g(t)` (prefix = `t/(4g(t))`) and `f(t)`
+    /// (final crowd = `t/(4f(t))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0`, or `g_of_t`/`f_of_t` are not positive.
+    pub fn new(horizon: u64, g_of_t: f64, f_of_t: f64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(g_of_t > 0.0 && f_of_t > 0.0, "f(t), g(t) must be positive");
+        Theorem42Adversary {
+            horizon,
+            prefix: ((horizon as f64) / (4.0 * g_of_t)).floor() as u64,
+            final_crowd: ((horizon as f64) / (4.0 * f_of_t)).floor().min(u32::MAX as f64) as u32,
+            injected_start: false,
+            injected_end: false,
+        }
+    }
+
+    /// Length of the jammed prefix.
+    pub fn prefix(&self) -> u64 {
+        self.prefix
+    }
+}
+
+impl Adversary for Theorem42Adversary {
+    fn decide(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> SlotDecision {
+        let mut inject = 0u32;
+        if slot == 1 && !self.injected_start {
+            self.injected_start = true;
+            inject += 2;
+        }
+        if slot == self.horizon && !self.injected_end {
+            self.injected_end = true;
+            inject += self.final_crowd;
+        }
+        let jam = slot <= self.prefix || slot == self.horizon;
+        SlotDecision { jam, inject }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.injected_start && self.injected_end
+    }
+
+    fn name(&self) -> &'static str {
+        "theorem-4.2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lemma41_batches_then_scatters() {
+        let mut adv = Lemma41Adversary::new(100, 3, 20);
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut total = 0u64;
+        let mut batch_part = 0u64;
+        for slot in 1..=100 {
+            let d = adv.decide(slot, &h, &mut r);
+            assert!(!d.jam);
+            total += u64::from(d.inject);
+            if slot <= 10 {
+                batch_part += u64::from(d.inject);
+                assert!(d.inject >= 3, "slot {slot} must carry the batch");
+            }
+        }
+        // 10 batch slots * 3 + 20 random = 50 total.
+        assert_eq!(total, 50);
+        assert!(batch_part >= 30);
+        assert!(adv.exhausted() || adv.random_remaining == 0);
+    }
+
+    #[test]
+    fn theorem13_jams_prefix_and_last() {
+        let mut adv = Theorem13Adversary::new(64, 2.0);
+        assert_eq!(adv.prefix(), 8);
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut jams = 0u64;
+        let mut inject = 0u64;
+        for slot in 1..=64 {
+            let d = adv.decide(slot, &h, &mut r);
+            if slot <= 8 {
+                assert!(d.jam, "prefix slot {slot} must be jammed");
+            }
+            if slot == 64 {
+                assert!(d.jam, "last slot must be jammed");
+            }
+            jams += u64::from(d.jam);
+            inject += u64::from(d.inject);
+        }
+        assert_eq!(inject, 1);
+        // prefix (8) + last (1) + up to 8 random (deduped, some may collide
+        // with the last slot).
+        assert!((9..=17).contains(&jams), "jams {jams}");
+        assert!(adv.exhausted());
+    }
+
+    #[test]
+    fn theorem42_crowds_final_slot() {
+        let mut adv = Theorem42Adversary::new(40, 2.0, 1.0);
+        assert_eq!(adv.prefix(), 5);
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(3);
+        let d1 = adv.decide(1, &h, &mut r);
+        assert_eq!(d1.inject, 2);
+        assert!(d1.jam);
+        for slot in 2..40 {
+            let d = adv.decide(slot, &h, &mut r);
+            assert_eq!(d.inject, 0);
+            assert_eq!(d.jam, slot <= 5);
+        }
+        let dl = adv.decide(40, &h, &mut r);
+        assert!(dl.jam);
+        assert_eq!(dl.inject, 10); // 40 / (4*1)
+        assert!(adv.exhausted());
+    }
+}

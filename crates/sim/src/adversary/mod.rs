@@ -1,0 +1,218 @@
+//! Adversaries ("Eve"): adaptive control of node arrivals and jamming.
+//!
+//! Before each slot the engine asks the adversary for a [`SlotDecision`]
+//! given the [`PublicHistory`] — past channel feedback plus her own past
+//! decisions. She has no collision detection, mirroring the nodes.
+//!
+//! The module is organised around two composable halves:
+//!
+//! * [`ArrivalProcess`] — when and how many nodes to inject;
+//! * [`JammingStrategy`] — which slots to jam;
+//!
+//! combined by [`CompositeAdversary`], optionally wrapped in
+//! [`BudgetedAdversary`] (hard caps matching the `n_t`/`d_t` budgets of
+//! Definition 1.1) or [`SmoothAdversary`] (the windowed constraint of
+//! Corollary 3.6). Special-purpose lower-bound adversaries from Section 4
+//! live in [`lowerbound`].
+
+mod arrival;
+mod budget;
+mod composite;
+mod jamming;
+pub mod lowerbound;
+mod smooth;
+
+pub use arrival::{
+    ArrivalProcess, BatchArrival, BurstyArrival, NoArrivals, PoissonArrival, SaturatedArrival,
+    ScriptedArrival, UniformRandomArrival,
+};
+pub use budget::{ArrivalBudget, BudgetedAdversary, JamBudget};
+pub use composite::CompositeAdversary;
+pub use jamming::{
+    FrontLoadedJamming, GilbertElliottJamming, JammingStrategy, NoJamming, PeriodicJamming,
+    RandomJamming, ReactiveJamming, ScriptedJamming,
+};
+pub use smooth::{SmoothAdversary, SmoothConfig};
+
+use rand::RngCore;
+
+use crate::history::PublicHistory;
+
+/// The adversary's decision for one upcoming slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotDecision {
+    /// Whether to jam the slot (a jammed slot always resolves to
+    /// no-success, regardless of broadcasters).
+    pub jam: bool,
+    /// How many new nodes to inject at the beginning of the slot.
+    pub inject: u32,
+}
+
+impl SlotDecision {
+    /// Neither jam nor inject.
+    pub const IDLE: SlotDecision = SlotDecision {
+        jam: false,
+        inject: 0,
+    };
+
+    /// Inject `n` nodes without jamming.
+    pub fn inject(n: u32) -> Self {
+        SlotDecision {
+            jam: false,
+            inject: n,
+        }
+    }
+
+    /// Jam without injecting.
+    pub fn jam() -> Self {
+        SlotDecision {
+            jam: true,
+            inject: 0,
+        }
+    }
+}
+
+/// An adaptive adversary: decides jamming and injections slot by slot from
+/// public information only.
+pub trait Adversary {
+    /// Decide for global slot `slot` (1-based), before the slot runs.
+    ///
+    /// `history` covers slots `1..slot`; `rng` is the adversary's private
+    /// deterministic stream.
+    fn decide(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore)
+        -> SlotDecision;
+
+    /// `true` once the adversary will never inject again (used by
+    /// `run_until_drained` to detect quiescence). Conservative default:
+    /// `false` (never claims exhaustion).
+    fn exhausted(&self) -> bool {
+        false
+    }
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+/// Boxed adversaries delegate, so heterogeneous scenario tables can hand
+/// out `Box<dyn Adversary>` values.
+impl Adversary for Box<dyn Adversary> {
+    fn decide(
+        &mut self,
+        slot: u64,
+        history: &PublicHistory,
+        rng: &mut dyn RngCore,
+    ) -> SlotDecision {
+        (**self).decide(slot, history, rng)
+    }
+
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The empty adversary: no arrivals, no jamming. Useful with pre-seeded
+/// populations in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullAdversary;
+
+impl Adversary for NullAdversary {
+    fn decide(&mut self, _: u64, _: &PublicHistory, _: &mut dyn RngCore) -> SlotDecision {
+        SlotDecision::IDLE
+    }
+
+    fn exhausted(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Adapter running a closure as an adversary; handy in tests.
+pub struct FnAdversary<F> {
+    f: F,
+    name: &'static str,
+}
+
+impl<F> FnAdversary<F>
+where
+    F: FnMut(u64, &PublicHistory, &mut dyn RngCore) -> SlotDecision,
+{
+    /// Wrap a closure.
+    pub fn new(name: &'static str, f: F) -> Self {
+        FnAdversary { f, name }
+    }
+}
+
+impl<F> Adversary for FnAdversary<F>
+where
+    F: FnMut(u64, &PublicHistory, &mut dyn RngCore) -> SlotDecision,
+{
+    fn decide(
+        &mut self,
+        slot: u64,
+        history: &PublicHistory,
+        rng: &mut dyn RngCore,
+    ) -> SlotDecision {
+        (self.f)(slot, history, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<F> std::fmt::Debug for FnAdversary<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnAdversary").field("name", &self.name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn slot_decision_constructors() {
+        assert_eq!(SlotDecision::IDLE, SlotDecision { jam: false, inject: 0 });
+        assert_eq!(SlotDecision::inject(4), SlotDecision { jam: false, inject: 4 });
+        assert_eq!(SlotDecision::jam(), SlotDecision { jam: true, inject: 0 });
+    }
+
+    #[test]
+    fn null_adversary_is_idle_and_exhausted() {
+        let mut adv = NullAdversary;
+        let h = PublicHistory::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(adv.decide(1, &h, &mut rng), SlotDecision::IDLE);
+        assert!(adv.exhausted());
+        assert_eq!(adv.name(), "null");
+    }
+
+    #[test]
+    fn fn_adversary_delegates() {
+        let mut adv = FnAdversary::new("test", |slot, _h, _r| {
+            if slot == 3 {
+                SlotDecision::inject(2)
+            } else {
+                SlotDecision::IDLE
+            }
+        });
+        let h = PublicHistory::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(adv.decide(1, &h, &mut rng).inject, 0);
+        assert_eq!(adv.decide(3, &h, &mut rng).inject, 2);
+        assert!(!adv.exhausted());
+        assert_eq!(adv.name(), "test");
+        assert!(format!("{adv:?}").contains("test"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The "smooth" adversary of Corollary 3.6.
+//!
+//! An adversary strategy is *smooth* for an interval `[1, t]` when, for every
+//! suffix window `[t−j, t]`, the number of arrivals in the window is
+//! `O(j / f(j))` and the number of jammed slots is `O(j / g(j))`. Under a
+//! smooth strategy, an algorithm with (f,g)-throughput guarantees that every
+//! node arriving before slot `t−j` has left the system by slot `t`, w.h.p.
+//! in `j` — the latency corollary that experiment E6 validates.
+//!
+//! [`SmoothAdversary`] wraps an arbitrary inner adversary and *suppresses*
+//! any decision that would violate the window constraints. Checking every
+//! window every slot would be quadratic, so constraints are enforced on
+//! dyadic (power-of-two) window lengths; any window is sandwiched between
+//! two dyadic ones, so this preserves smoothness up to a factor of 2 in the
+//! constants — invisible inside the O(·).
+
+use rand::RngCore;
+
+use crate::adversary::{Adversary, SlotDecision};
+use crate::history::PublicHistory;
+
+/// Window budget curves for smoothness.
+pub struct SmoothConfig {
+    /// Max arrivals allowed in any suffix window of length `j`.
+    pub arrival_curve: Box<dyn Fn(u64) -> f64>,
+    /// Max jams allowed in any suffix window of length `j`.
+    pub jam_curve: Box<dyn Fn(u64) -> f64>,
+}
+
+impl SmoothConfig {
+    /// Constraint curves `arrivals(j) ≤ ca·j/f(j)` and `jams(j) ≤ cd·j/g(j)`
+    /// for user-provided `f`, `g` and constants.
+    ///
+    /// Both curves are clamped to at least 1 so that short windows don't
+    /// floor to zero and silence the adversary entirely — a one-event
+    /// allowance per window is within the `O(·)` of the smoothness
+    /// definition.
+    pub fn from_fg(
+        f: impl Fn(u64) -> f64 + 'static,
+        g: impl Fn(u64) -> f64 + 'static,
+        ca: f64,
+        cd: f64,
+    ) -> Self {
+        SmoothConfig {
+            arrival_curve: Box::new(move |j| (ca * j as f64 / f(j).max(1.0)).max(1.0)),
+            jam_curve: Box::new(move |j| (cd * j as f64 / g(j).max(1.0)).max(1.0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for SmoothConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmoothConfig").finish_non_exhaustive()
+    }
+}
+
+/// Enforces [`SmoothConfig`] on top of any adversary.
+pub struct SmoothAdversary<Inner> {
+    inner: Inner,
+    config: SmoothConfig,
+    /// `cum_arrivals[s]` = arrivals in slots `1..=s` (index 0 = 0).
+    cum_arrivals: Vec<u64>,
+    /// `cum_jams[s]` = jams in slots `1..=s`.
+    cum_jams: Vec<u64>,
+}
+
+impl<Inner: Adversary> SmoothAdversary<Inner> {
+    /// Wrap `inner` with smoothness enforcement.
+    pub fn new(inner: Inner, config: SmoothConfig) -> Self {
+        SmoothAdversary {
+            inner,
+            config,
+            cum_arrivals: vec![0],
+            cum_jams: vec![0],
+        }
+    }
+
+    /// Max `k` such that injecting `k` at slot `t` keeps all dyadic suffix
+    /// windows within budget.
+    fn arrival_headroom(&self, t: u64) -> u64 {
+        let mut head = u64::MAX;
+        let mut j = 1u64;
+        loop {
+            // Window (t-j, t], counting the pending slot t itself.
+            let start = t.saturating_sub(j); // completed slots strictly after `start`
+            let in_window = self.completed_arrivals(start, t - 1);
+            let cap = (self.config.arrival_curve)(j).max(0.0).floor() as u64;
+            head = head.min(cap.saturating_sub(in_window));
+            if j >= t {
+                break;
+            }
+            j = j.saturating_mul(2);
+        }
+        head
+    }
+
+    /// Whether jamming slot `t` keeps all dyadic suffix windows within
+    /// budget.
+    fn jam_allowed(&self, t: u64) -> bool {
+        let mut j = 1u64;
+        loop {
+            let start = t.saturating_sub(j);
+            let in_window = self.completed_jams(start, t - 1);
+            let cap = (self.config.jam_curve)(j).max(0.0).floor() as u64;
+            if in_window + 1 > cap {
+                return false;
+            }
+            if j >= t {
+                break;
+            }
+            j = j.saturating_mul(2);
+        }
+        true
+    }
+
+    /// Arrivals in completed slots `(from, to]`.
+    fn completed_arrivals(&self, from: u64, to: u64) -> u64 {
+        let hi = (to as usize).min(self.cum_arrivals.len() - 1);
+        let lo = (from as usize).min(hi);
+        self.cum_arrivals[hi] - self.cum_arrivals[lo]
+    }
+
+    /// Jams in completed slots `(from, to]`.
+    fn completed_jams(&self, from: u64, to: u64) -> u64 {
+        let hi = (to as usize).min(self.cum_jams.len() - 1);
+        let lo = (from as usize).min(hi);
+        self.cum_jams[hi] - self.cum_jams[lo]
+    }
+
+    fn record(&mut self, inject: u32, jam: bool) {
+        let last_a = *self.cum_arrivals.last().expect("non-empty");
+        let last_j = *self.cum_jams.last().expect("non-empty");
+        self.cum_arrivals.push(last_a + u64::from(inject));
+        self.cum_jams.push(last_j + u64::from(jam));
+    }
+}
+
+impl<Inner: Adversary> Adversary for SmoothAdversary<Inner> {
+    fn decide(
+        &mut self,
+        slot: u64,
+        history: &PublicHistory,
+        rng: &mut dyn RngCore,
+    ) -> SlotDecision {
+        let raw = self.inner.decide(slot, history, rng);
+        let inject = u64::from(raw.inject).min(self.arrival_headroom(slot)) as u32;
+        let jam = raw.jam && self.jam_allowed(slot);
+        self.record(inject, jam);
+        SlotDecision { jam, inject }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.inner.exhausted()
+    }
+
+    fn name(&self) -> &'static str {
+        "smooth"
+    }
+}
+
+impl<Inner: std::fmt::Debug> std::fmt::Debug for SmoothAdversary<Inner> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmoothAdversary")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FnAdversary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn greedy() -> FnAdversary<impl FnMut(u64, &PublicHistory, &mut dyn RngCore) -> SlotDecision>
+    {
+        FnAdversary::new("greedy", |_s, _h, _r| SlotDecision {
+            jam: true,
+            inject: 1000,
+        })
+    }
+
+    #[test]
+    fn smooth_clamps_single_slot_window() {
+        // Any window of length j allows 2j arrivals and 0 jams, so the
+        // binding constraint is the length-1 window: 2 arrivals per slot.
+        let config = SmoothConfig {
+            arrival_curve: Box::new(|j| 2.0 * j as f64),
+            jam_curve: Box::new(|_j| 0.0),
+        };
+        let mut adv = SmoothAdversary::new(greedy(), config);
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        for slot in 1..=5 {
+            let d = adv.decide(slot, &h, &mut r);
+            assert_eq!(d.inject, 2, "slot {slot}");
+            assert!(!d.jam, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn smooth_enforces_window_totals() {
+        // Arrivals: at most j in window length j  => at most 1 per slot and
+        // the long-run rate is 1/slot.
+        let config = SmoothConfig {
+            arrival_curve: Box::new(|j| j as f64),
+            jam_curve: Box::new(|j| (j as f64 / 2.0).max(1.0)),
+        };
+        let mut adv = SmoothAdversary::new(greedy(), config);
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        let mut total_inject = 0u64;
+        let mut total_jam = 0u64;
+        for slot in 1..=64 {
+            let d = adv.decide(slot, &h, &mut r);
+            total_inject += u64::from(d.inject);
+            total_jam += u64::from(d.jam);
+        }
+        assert!(total_inject <= 64);
+        // Jam cap for window 64 is 32.
+        assert!(total_jam <= 32, "jams {total_jam}");
+        // The greedy adversary should be able to use a decent share.
+        assert!(total_jam >= 16, "jams {total_jam}");
+        assert!(total_inject >= 32);
+    }
+
+    #[test]
+    fn from_fg_builds_expected_curves() {
+        let config = SmoothConfig::from_fg(|_j| 2.0, |_j| 4.0, 1.0, 1.0);
+        assert!(((config.arrival_curve)(8) - 4.0).abs() < 1e-12);
+        assert!(((config.jam_curve)(8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_name_and_debug() {
+        let config = SmoothConfig::from_fg(|_| 1.0, |_| 1.0, 1.0, 1.0);
+        let adv = SmoothAdversary::new(crate::adversary::NullAdversary, config);
+        assert_eq!(adv.name(), "smooth");
+        assert!(adv.exhausted());
+        assert!(format!("{adv:?}").contains("SmoothAdversary"));
+    }
+}

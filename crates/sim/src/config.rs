@@ -1,0 +1,58 @@
+//! Simulation configuration.
+
+/// Configuration for a [`crate::engine::Simulator`] run.
+///
+/// Kept deliberately small: everything behavioural lives in the protocol
+/// factory and the adversary; the config pins down determinism and safety
+/// rails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Master seed; the entire run is a deterministic function of it.
+    pub seed: u64,
+    /// Whether to store one [`crate::metrics::SlotRecord`] per slot in the
+    /// trace (memory linear in the horizon). Disable for endurance runs
+    /// with heavy-tailed lengths — aggregate totals and departure records
+    /// are kept either way.
+    pub record_slots: bool,
+}
+
+impl SimConfig {
+    /// Config with the given master seed (slot recording on).
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            record_slots: true,
+        }
+    }
+
+    /// Disable per-slot records (O(1) trace memory; totals and departures
+    /// still recorded).
+    pub fn without_slot_records(mut self) -> Self {
+        self.record_slots = false;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xC0FFEE,
+            record_slots: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_seed_sets_seed() {
+        assert_eq!(SimConfig::with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn default_seed_is_stable() {
+        assert_eq!(SimConfig::default(), SimConfig::default());
+    }
+}

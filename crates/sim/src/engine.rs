@@ -1,0 +1,499 @@
+//! The slot-synchronous simulation engine.
+//!
+//! Per slot (global index `t`, 1-based):
+//!
+//! 1. the adversary sees the public history of slots `1..t` and returns a
+//!    [`SlotDecision`](crate::adversary::SlotDecision) (jam? inject how many?);
+//! 2. injected nodes activate at the beginning of `t` and may act in `t`;
+//! 3. every active node picks [`Action::Broadcast`] or [`Action::Listen`];
+//! 4. the slot resolves: jammed ⇒ no success; exactly one broadcaster ⇒
+//!    success (sender leaves); otherwise ⇒ no success;
+//! 5. all remaining nodes and the adversary observe the same, *collision-
+//!    detection-free* feedback.
+//!
+//! The engine is fully deterministic given the master seed in
+//! [`SimConfig`]: nodes and the adversary each draw from independent derived
+//! streams (see [`crate::rng::SeedSequence`]).
+
+use crate::adversary::Adversary;
+use crate::config::SimConfig;
+use crate::history::PublicHistory;
+use crate::metrics::{DepartureRecord, SlotRecord, SurvivorRecord, Trace};
+use crate::node::{NodeId, Protocol, ProtocolFactory};
+use crate::rng::SeedSequence;
+use crate::slot::{Action, SlotOutcome};
+
+use rand::rngs::SmallRng;
+
+struct ActiveNode {
+    id: NodeId,
+    arrival_slot: u64,
+    local_slot: u64,
+    accesses: u64,
+    rng: SmallRng,
+    proto: Box<dyn Protocol>,
+}
+
+/// Why a run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The requested number of slots elapsed.
+    SlotLimit,
+    /// The system drained: no active nodes and the adversary is exhausted.
+    Drained,
+}
+
+/// The simulator. Owns the node population, the adversary, the public
+/// history and the recorded [`Trace`].
+pub struct Simulator<F, A> {
+    config: SimConfig,
+    seeds: SeedSequence,
+    factory: F,
+    adversary: A,
+    adversary_rng: SmallRng,
+    history: PublicHistory,
+    nodes: Vec<ActiveNode>,
+    trace: Trace,
+    next_node: u64,
+    current_slot: u64,
+}
+
+impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
+    /// Build a simulator from a config, a protocol factory and an adversary.
+    pub fn new(config: SimConfig, factory: F, adversary: A) -> Self {
+        let seeds = SeedSequence::new(config.seed);
+        let adversary_rng = seeds.adversary_rng();
+        let mut history = PublicHistory::new();
+        if !config.record_slots {
+            // Memory-bounded mode: cap the adversary-visible window too
+            // (aggregates stay exact; deep per-slot lookups return None).
+            history.set_retention(Some(4096));
+        }
+        Simulator {
+            config,
+            seeds,
+            factory,
+            adversary,
+            adversary_rng,
+            history,
+            nodes: Vec::new(),
+            trace: Trace::new(),
+            next_node: 0,
+            current_slot: 0,
+        }
+    }
+
+    /// Number of nodes currently in the system.
+    pub fn active_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The last completed global slot (0 before the first step).
+    pub fn current_slot(&self) -> u64 {
+        self.current_slot
+    }
+
+    /// The public history (what the adversary sees).
+    pub fn history(&self) -> &PublicHistory {
+        &self.history
+    }
+
+    /// The recorded trace so far (privileged view).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The adversary (for post-run inspection).
+    pub fn adversary(&self) -> &A {
+        &self.adversary
+    }
+
+    /// Inject `count` nodes directly (bypassing the adversary), activating
+    /// at the *next* slot. Useful for pre-seeding test populations.
+    pub fn seed_nodes(&mut self, count: u32) {
+        let at = self.current_slot + 1;
+        for _ in 0..count {
+            self.spawn_node(at);
+        }
+    }
+
+    fn spawn_node(&mut self, arrival_slot: u64) {
+        let id = NodeId::new(self.next_node);
+        let rng = self.seeds.node_rng(self.next_node);
+        self.next_node += 1;
+        let proto = self.factory.spawn_with_arrival(id, arrival_slot);
+        self.nodes.push(ActiveNode {
+            id,
+            arrival_slot,
+            local_slot: 0,
+            accesses: 0,
+            rng,
+            proto,
+        });
+    }
+
+    /// Execute one slot. Returns the recorded [`SlotRecord`].
+    pub fn step(&mut self) -> SlotRecord {
+        let slot = self.current_slot + 1;
+
+        // 1. Adversary decision from public info only.
+        let decision = self
+            .adversary
+            .decide(slot, &self.history, &mut self.adversary_rng);
+
+        // 2. Inject new nodes; they act in this slot with local_slot 0.
+        // Pre-seeded nodes (seed_nodes) already have arrival_slot == slot.
+        let arrivals = decision.inject;
+        for _ in 0..arrivals {
+            self.spawn_node(slot);
+        }
+
+        let population = self.nodes.len() as u64;
+        let active = population > 0;
+
+        // 3. Collect actions.
+        let mut broadcasters: Vec<usize> = Vec::new();
+        for (idx, node) in self.nodes.iter_mut().enumerate() {
+            debug_assert!(node.arrival_slot <= slot);
+            let action = node.proto.act(node.local_slot, &mut node.rng);
+            if action == Action::Broadcast {
+                node.accesses += 1;
+                broadcasters.push(idx);
+            }
+        }
+
+        // 4. Resolve.
+        let outcome = if decision.jam {
+            SlotOutcome::Jammed {
+                broadcasters: broadcasters.len() as u32,
+            }
+        } else {
+            match broadcasters.len() {
+                0 => SlotOutcome::Silence,
+                1 => SlotOutcome::Delivered(self.nodes[broadcasters[0]].id),
+                n => SlotOutcome::Collision {
+                    broadcasters: n as u32,
+                },
+            }
+        };
+        let feedback = outcome.feedback();
+
+        // 5. Departure of the successful sender (before feedback fan-out —
+        // it has left the system and needs no feedback).
+        if let SlotOutcome::Delivered(_) = outcome {
+            let idx = broadcasters[0];
+            let node = self.nodes.swap_remove(idx);
+            self.trace.push_departure(DepartureRecord {
+                node: node.id,
+                arrival_slot: node.arrival_slot,
+                departure_slot: slot,
+                accesses: node.accesses,
+            });
+        }
+
+        // 6. Feedback fan-out to remaining nodes; local clocks advance.
+        for node in &mut self.nodes {
+            node.proto.observe(node.local_slot, feedback);
+            node.local_slot += 1;
+        }
+
+        // 7. Bookkeeping.
+        self.history.record(feedback, arrivals, decision.jam);
+        let record = SlotRecord {
+            arrivals,
+            broadcasters: outcome.broadcasters(),
+            jammed: decision.jam,
+            active,
+            population,
+            outcome,
+        };
+        if self.config.record_slots {
+            self.trace.push_slot(record);
+        } else {
+            self.trace.note_slot(&record);
+        }
+        self.current_slot = slot;
+        record
+    }
+
+    /// Run exactly `slots` more slots.
+    pub fn run_for(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Run until the system drains (no active nodes and the adversary is
+    /// exhausted) or `max_slots` elapse, whichever comes first.
+    pub fn run_until_drained(&mut self, max_slots: u64) -> StopReason {
+        for _ in 0..max_slots {
+            if self.nodes.is_empty() && self.adversary.exhausted() {
+                return StopReason::Drained;
+            }
+            self.step();
+        }
+        if self.nodes.is_empty() && self.adversary.exhausted() {
+            StopReason::Drained
+        } else {
+            StopReason::SlotLimit
+        }
+    }
+
+    /// Finish the run: snapshot survivors into the trace and return it.
+    pub fn into_trace(mut self) -> Trace {
+        let survivors = self
+            .nodes
+            .iter()
+            .map(|n| SurvivorRecord {
+                node: n.id,
+                arrival_slot: n.arrival_slot,
+                accesses: n.accesses,
+            })
+            .collect();
+        self.trace.set_survivors(survivors);
+        self.trace
+    }
+
+    /// Ages (in slots, inclusive) of nodes still in the system, relative to
+    /// the current slot.
+    pub fn survivor_ages(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| self.current_slot + 1 - n.arrival_slot)
+            .collect()
+    }
+}
+
+impl<F, A> std::fmt::Debug for Simulator<F, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("slot", &self.current_slot)
+            .field("active", &self.nodes.len())
+            .field("seed", &self.config.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{
+        BatchArrival, CompositeAdversary, FnAdversary, NoJamming, NullAdversary, RandomJamming,
+        ScriptedJamming, SlotDecision,
+    };
+    use crate::node::{AlwaysBroadcast, NeverBroadcast, Protocol};
+    use crate::slot::Feedback;
+    use rand::RngCore;
+
+    fn always() -> impl ProtocolFactory {
+        |_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) }
+    }
+
+    fn never() -> impl ProtocolFactory {
+        |_: NodeId| -> Box<dyn Protocol> { Box::new(NeverBroadcast) }
+    }
+
+    #[test]
+    fn empty_system_is_inactive() {
+        let mut sim = Simulator::new(SimConfig::with_seed(1), always(), NullAdversary);
+        let rec = sim.step();
+        assert!(!rec.active);
+        assert_eq!(rec.outcome, SlotOutcome::Silence);
+        assert_eq!(sim.active_count(), 0);
+    }
+
+    #[test]
+    fn single_broadcaster_succeeds_and_leaves() {
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 1), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(1), always(), adv);
+        let rec = sim.step();
+        assert!(rec.active);
+        assert!(rec.is_success());
+        assert_eq!(sim.active_count(), 0);
+        let trace = sim.into_trace();
+        assert_eq!(trace.total_successes(), 1);
+        let d = trace.departures()[0];
+        assert_eq!(d.arrival_slot, 1);
+        assert_eq!(d.departure_slot, 1);
+        assert_eq!(d.accesses, 1);
+        assert_eq!(d.latency(), 1);
+    }
+
+    #[test]
+    fn two_broadcasters_collide_forever() {
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 2), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(1), always(), adv);
+        sim.run_for(10);
+        assert_eq!(sim.active_count(), 2);
+        let trace = sim.trace();
+        assert_eq!(trace.total_successes(), 0);
+        for rec in trace.slots() {
+            assert!(matches!(
+                rec.outcome,
+                SlotOutcome::Collision { broadcasters: 2 } | SlotOutcome::Silence
+            ));
+        }
+    }
+
+    #[test]
+    fn jamming_blocks_single_broadcaster() {
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 1), ScriptedJamming::new([1, 2]));
+        let mut sim = Simulator::new(SimConfig::with_seed(1), always(), adv);
+        sim.run_for(3);
+        let trace = sim.trace();
+        assert_eq!(
+            trace.slot(1).unwrap().outcome,
+            SlotOutcome::Jammed { broadcasters: 1 }
+        );
+        assert_eq!(
+            trace.slot(2).unwrap().outcome,
+            SlotOutcome::Jammed { broadcasters: 1 }
+        );
+        // Unjammed slot 3: the lone node finally succeeds.
+        assert!(trace.slot(3).unwrap().is_success());
+        assert_eq!(sim.active_count(), 0);
+    }
+
+    #[test]
+    fn feedback_hides_collision_vs_silence() {
+        // A protocol that records what it hears.
+        struct Recorder {
+            heard: Vec<Feedback>,
+        }
+        impl Protocol for Recorder {
+            fn name(&self) -> &'static str {
+                "recorder"
+            }
+            fn act(&mut self, _: u64, _: &mut dyn RngCore) -> Action {
+                Action::Listen
+            }
+            fn observe(&mut self, _: u64, fb: Feedback) {
+                self.heard.push(fb);
+            }
+        }
+        // Two always-broadcasters collide; one listener records.
+        // Engine-level check: feedback equals NoSuccess for collision,
+        // silence, and jam alike is already enforced by SlotOutcome tests;
+        // here we verify fan-out ordering and local clock.
+        let adv = FnAdversary::new("script", |slot, _h, _r| match slot {
+            1 => SlotDecision::inject(1), // the recorder joins alone, listens
+            _ => SlotDecision::IDLE,
+        });
+        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(Recorder { heard: vec![] }) };
+        let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adv);
+        sim.run_for(3);
+        assert_eq!(sim.active_count(), 1);
+        // The recorder heard 3 NoSuccess feedbacks (its own silence).
+        let trace = sim.trace();
+        assert_eq!(trace.total_successes(), 0);
+        assert_eq!(trace.slot(1).unwrap().population, 1);
+    }
+
+    #[test]
+    fn local_clock_starts_at_zero_on_arrival_slot() {
+        struct ClockCheck {
+            expected_next: u64,
+        }
+        impl Protocol for ClockCheck {
+            fn name(&self) -> &'static str {
+                "clock-check"
+            }
+            fn act(&mut self, local: u64, _: &mut dyn RngCore) -> Action {
+                assert_eq!(local, self.expected_next);
+                Action::Listen
+            }
+            fn observe(&mut self, local: u64, _: Feedback) {
+                assert_eq!(local, self.expected_next);
+                self.expected_next += 1;
+            }
+        }
+        let adv = CompositeAdversary::new(BatchArrival::new(5, 1), NoJamming);
+        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(ClockCheck { expected_next: 0 }) };
+        let mut sim = Simulator::new(SimConfig::with_seed(4), factory, adv);
+        sim.run_for(12);
+        assert_eq!(sim.active_count(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let adv =
+                CompositeAdversary::new(BatchArrival::new(1, 8), RandomJamming::new(0.3));
+            let mut sim = Simulator::new(SimConfig::with_seed(seed), always(), adv);
+            sim.run_for(200);
+            sim.into_trace()
+        };
+        let t1 = run(42);
+        let t2 = run(42);
+        assert_eq!(t1.slots(), t2.slots());
+        assert_eq!(t1.departures(), t2.departures());
+        let t3 = run(43);
+        // Different seed should differ somewhere (jam pattern at 30%).
+        assert_ne!(t1.slots(), t3.slots());
+    }
+
+    #[test]
+    fn run_until_drained_stops_on_drain() {
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 1), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(1), always(), adv);
+        let reason = sim.run_until_drained(100);
+        assert_eq!(reason, StopReason::Drained);
+        assert_eq!(sim.current_slot(), 1);
+    }
+
+    #[test]
+    fn run_until_drained_hits_limit() {
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 2), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(1), always(), adv);
+        let reason = sim.run_until_drained(50);
+        assert_eq!(reason, StopReason::SlotLimit);
+        assert_eq!(sim.current_slot(), 50);
+    }
+
+    #[test]
+    fn seed_nodes_preseeds_population() {
+        let mut sim = Simulator::new(SimConfig::with_seed(9), never(), NullAdversary);
+        sim.seed_nodes(3);
+        assert_eq!(sim.active_count(), 3);
+        sim.step();
+        let rec = sim.trace().slot(1).unwrap();
+        assert!(rec.active);
+        assert_eq!(rec.population, 3);
+        assert_eq!(sim.survivor_ages(), vec![1, 1, 1]);
+        sim.step();
+        assert_eq!(sim.survivor_ages(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn survivors_recorded_in_trace() {
+        let mut sim = Simulator::new(SimConfig::with_seed(9), never(), NullAdversary);
+        sim.seed_nodes(2);
+        sim.run_for(5);
+        let trace = sim.into_trace();
+        assert_eq!(trace.survivors().len(), 2);
+        assert_eq!(trace.survivors()[0].arrival_slot, 1);
+        assert_eq!(trace.survivors()[0].accesses, 0);
+    }
+
+    #[test]
+    fn population_counts_arrivals_same_slot() {
+        let adv = CompositeAdversary::new(BatchArrival::new(2, 7), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(5), never(), adv);
+        sim.run_for(2);
+        assert_eq!(sim.trace().slot(1).unwrap().population, 0);
+        assert_eq!(sim.trace().slot(2).unwrap().population, 7);
+        assert_eq!(sim.trace().slot(2).unwrap().arrivals, 7);
+        assert!(sim.trace().slot(2).unwrap().active);
+    }
+
+    #[test]
+    fn debug_impl_mentions_slot() {
+        let sim = Simulator::new(SimConfig::with_seed(1), always(), NullAdversary);
+        assert!(format!("{sim:?}").contains("Simulator"));
+    }
+}

@@ -1,0 +1,280 @@
+//! The public channel history visible to the adaptive adversary.
+//!
+//! The adversary ("Eve") is adaptive: before each slot she may use *past
+//! channel feedback* to decide whether to jam and how many nodes to inject.
+//! Crucially she has no collision detection either — she sees exactly the
+//! same [`Feedback`] stream as the nodes, plus knowledge of her own past
+//! injections and jams (she made those decisions herself).
+//!
+//! For endurance runs the engine caps the retained window (see
+//! `SimConfig::without_slot_records`); aggregate counters (successes,
+//! injections, jams, backlog) are exact regardless, only per-slot lookups
+//! beyond the window return `None`.
+
+use std::collections::VecDeque;
+
+use crate::node::NodeId;
+use crate::slot::Feedback;
+
+/// One retained slot entry.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    feedback: Feedback,
+    injections: u32,
+    jammed: bool,
+}
+
+/// Public information available to the adversary before slot `t+1`, namely
+/// everything about slots `1..=t`.
+#[derive(Debug, Clone, Default)]
+pub struct PublicHistory {
+    /// Retained entries for slots `first_retained..=len`.
+    window: VecDeque<Entry>,
+    /// Global slot index of the first retained entry (1-based); equals 1
+    /// until eviction starts.
+    first_retained: u64,
+    /// Completed slots.
+    len: u64,
+    /// Maximum retained entries (`None` = unlimited).
+    retention: Option<usize>,
+    successes: u64,
+    injected_total: u64,
+    jammed_total: u64,
+    last_success: Option<u64>,
+}
+
+impl PublicHistory {
+    /// An empty history (before slot 1).
+    pub fn new() -> Self {
+        PublicHistory {
+            first_retained: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Cap the retained per-slot window to `cap` entries (aggregates stay
+    /// exact). Called by the engine for memory-bounded runs.
+    pub(crate) fn set_retention(&mut self, cap: Option<usize>) {
+        self.retention = cap;
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        if let Some(cap) = self.retention {
+            while self.window.len() > cap {
+                self.window.pop_front();
+                self.first_retained += 1;
+            }
+        }
+    }
+
+    /// Number of completed slots.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` before the first slot completes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn entry(&self, slot: u64) -> Option<&Entry> {
+        if slot == 0 || slot > self.len || slot < self.first_retained {
+            return None;
+        }
+        self.window.get((slot - self.first_retained) as usize)
+    }
+
+    /// Feedback of a completed slot (1-based global index). `None` for
+    /// future slots and for slots evicted from a capped window.
+    pub fn feedback(&self, slot: u64) -> Option<Feedback> {
+        self.entry(slot).map(|e| e.feedback)
+    }
+
+    /// Feedback of the most recently completed slot.
+    pub fn last_feedback(&self) -> Option<Feedback> {
+        self.window.back().map(|e| e.feedback)
+    }
+
+    /// Total number of successful transmissions so far.
+    #[inline]
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Total number of nodes the adversary has injected so far.
+    #[inline]
+    pub fn injected(&self) -> u64 {
+        self.injected_total
+    }
+
+    /// Total number of slots the adversary has jammed so far.
+    #[inline]
+    pub fn jammed(&self) -> u64 {
+        self.jammed_total
+    }
+
+    /// Nodes injected but not yet successful — the *backlog* the adversary
+    /// can infer from public information (her injections minus observed
+    /// successes).
+    ///
+    /// This equals the true number of nodes in the system because a node
+    /// leaves exactly when its message succeeds.
+    #[inline]
+    pub fn backlog(&self) -> u64 {
+        self.injected_total.saturating_sub(self.successes)
+    }
+
+    /// Slot index of the most recent success, if any (1-based).
+    pub fn last_success_slot(&self) -> Option<u64> {
+        self.last_success
+    }
+
+    /// Iterate over `(slot, feedback)` pairs of the retained window, slots
+    /// 1-based.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Feedback)> + '_ {
+        self.window
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (self.first_retained + i as u64, e.feedback))
+    }
+
+    /// Id of the node that succeeded in `slot`, if that slot was a success.
+    pub fn success_in(&self, slot: u64) -> Option<NodeId> {
+        self.feedback(slot).and_then(Feedback::sender)
+    }
+
+    /// Record the outcome of a completed slot. Called by the engine only.
+    pub(crate) fn record(&mut self, feedback: Feedback, injections: u32, jammed: bool) {
+        self.len += 1;
+        if feedback.is_success() {
+            self.successes += 1;
+            self.last_success = Some(self.len);
+        }
+        self.window.push_back(Entry {
+            feedback,
+            injections,
+            jammed,
+        });
+        self.injected_total += u64::from(injections);
+        if jammed {
+            self.jammed_total += 1;
+        }
+        self.evict();
+    }
+
+    /// Eve's injection count in a completed slot (1-based index); `None`
+    /// outside the retained window.
+    pub fn injections_in(&self, slot: u64) -> Option<u32> {
+        self.entry(slot).map(|e| e.injections)
+    }
+
+    /// Whether Eve jammed a completed slot (1-based index); `None` outside
+    /// the retained window.
+    pub fn jammed_in(&self, slot: u64) -> Option<bool> {
+        self.entry(slot).map(|e| e.jammed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history() {
+        let h = PublicHistory::new();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.last_feedback(), None);
+        assert_eq!(h.feedback(1), None);
+        assert_eq!(h.feedback(0), None);
+        assert_eq!(h.successes(), 0);
+        assert_eq!(h.backlog(), 0);
+        assert_eq!(h.last_success_slot(), None);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut h = PublicHistory::new();
+        h.record(Feedback::NoSuccess, 3, true);
+        h.record(Feedback::Success(NodeId::new(1)), 0, false);
+        h.record(Feedback::NoSuccess, 2, false);
+
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.feedback(1), Some(Feedback::NoSuccess));
+        assert_eq!(h.feedback(2), Some(Feedback::Success(NodeId::new(1))));
+        assert_eq!(h.last_feedback(), Some(Feedback::NoSuccess));
+        assert_eq!(h.successes(), 1);
+        assert_eq!(h.injected(), 5);
+        assert_eq!(h.jammed(), 1);
+        assert_eq!(h.backlog(), 4);
+        assert_eq!(h.last_success_slot(), Some(2));
+        assert_eq!(h.success_in(2), Some(NodeId::new(1)));
+        assert_eq!(h.success_in(1), None);
+        assert_eq!(h.injections_in(1), Some(3));
+        assert_eq!(h.jammed_in(1), Some(true));
+        assert_eq!(h.jammed_in(3), Some(false));
+        assert_eq!(h.injections_in(4), None);
+    }
+
+    #[test]
+    fn iter_yields_one_based_slots() {
+        let mut h = PublicHistory::new();
+        h.record(Feedback::NoSuccess, 0, false);
+        h.record(Feedback::Success(NodeId::new(9)), 0, false);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].0, 1);
+        assert_eq!(v[1], (2, Feedback::Success(NodeId::new(9))));
+    }
+
+    #[test]
+    fn backlog_saturates() {
+        // Defensive: successes can never exceed injections in a real run,
+        // but backlog must not underflow even if misused.
+        let mut h = PublicHistory::new();
+        h.record(Feedback::Success(NodeId::new(0)), 0, false);
+        assert_eq!(h.backlog(), 0);
+    }
+
+    #[test]
+    fn retention_caps_window_but_keeps_aggregates() {
+        let mut h = PublicHistory::new();
+        h.set_retention(Some(3));
+        for i in 0..10u64 {
+            let fb = if i == 4 {
+                Feedback::Success(NodeId::new(i))
+            } else {
+                Feedback::NoSuccess
+            };
+            h.record(fb, 1, i % 2 == 0);
+        }
+        assert_eq!(h.len(), 10);
+        // Aggregates exact.
+        assert_eq!(h.injected(), 10);
+        assert_eq!(h.jammed(), 5);
+        assert_eq!(h.successes(), 1);
+        assert_eq!(h.last_success_slot(), Some(5));
+        // Window holds slots 8..=10 only.
+        assert_eq!(h.feedback(7), None);
+        assert!(h.feedback(8).is_some());
+        assert_eq!(h.iter().next().unwrap().0, 8);
+        assert_eq!(h.iter().count(), 3);
+        // last_feedback still works.
+        assert_eq!(h.last_feedback(), Some(Feedback::NoSuccess));
+    }
+
+    #[test]
+    fn retention_applied_retroactively() {
+        let mut h = PublicHistory::new();
+        for _ in 0..8 {
+            h.record(Feedback::NoSuccess, 0, false);
+        }
+        h.set_retention(Some(2));
+        assert_eq!(h.iter().count(), 2);
+        assert_eq!(h.feedback(6), None);
+        assert!(h.feedback(7).is_some());
+    }
+}

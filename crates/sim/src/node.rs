@@ -1,0 +1,197 @@
+//! Node identity and the [`Protocol`] trait implemented by every
+//! contention-resolution algorithm under test.
+
+use std::fmt;
+
+use rand::RngCore;
+
+use crate::slot::{Action, Feedback};
+
+/// Identifier of a node (player). Assigned by the engine in injection order.
+///
+/// Node ids exist purely for bookkeeping: the model is anonymous, and a
+/// conforming [`Protocol`] implementation never sees its own id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// A contention-resolution algorithm as run by a single node.
+///
+/// The engine drives each active node through the same two calls every slot:
+///
+/// 1. [`Protocol::act`] — decide whether to broadcast, given only the node's
+///    *local* slot index (`0` in its arrival slot) and a private RNG;
+/// 2. [`Protocol::observe`] — receive the public channel feedback for that
+///    slot.
+///
+/// A node that broadcasts successfully leaves the system immediately (the
+/// engine drops the protocol instance), so implementations never need to
+/// handle their own departure.
+///
+/// # Information constraints
+///
+/// The trait deliberately exposes nothing but local time and feedback:
+/// no global clock, no number of nodes in the system, no distinction between
+/// silence/collision/jamming. This enforces the paper's model at the type
+/// level.
+pub trait Protocol {
+    /// Short human-readable algorithm name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide the action for local slot `local_slot` (0-based: the arrival
+    /// slot is `0`).
+    ///
+    /// `rng` is a per-node deterministic RNG; implementations must draw all
+    /// randomness from it so that simulations replay exactly under a fixed
+    /// seed.
+    fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action;
+
+    /// Receive the public feedback for local slot `local_slot`.
+    ///
+    /// Called after every slot in which the node was in the system, including
+    /// slots in which the node itself broadcast unsuccessfully.
+    fn observe(&mut self, local_slot: u64, feedback: Feedback);
+}
+
+/// Spawns fresh [`Protocol`] instances for nodes injected by the adversary.
+///
+/// A factory corresponds to "the algorithm" A of the paper: every arriving
+/// node runs the same algorithm from its own local time origin.
+pub trait ProtocolFactory {
+    /// Create the protocol instance for a newly injected node.
+    fn spawn(&self, id: NodeId) -> Box<dyn Protocol>;
+
+    /// Create the protocol instance, additionally given the *global*
+    /// arrival slot.
+    ///
+    /// The paper's model has no global clock, so conforming algorithms must
+    /// ignore `arrival_slot` (the default implementation does). The hook
+    /// exists for *oracle* ablations that quantify what global time would
+    /// be worth (e.g. [`spawn`](Self::spawn)-ing a variant that skips the
+    /// Phase-1 channel-agreement step).
+    fn spawn_with_arrival(&self, id: NodeId, arrival_slot: u64) -> Box<dyn Protocol> {
+        let _ = arrival_slot;
+        self.spawn(id)
+    }
+
+    /// Name of the algorithm this factory spawns.
+    fn algorithm_name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// Blanket factory for closures returning boxed protocols.
+impl<F> ProtocolFactory for F
+where
+    F: Fn(NodeId) -> Box<dyn Protocol>,
+{
+    fn spawn(&self, id: NodeId) -> Box<dyn Protocol> {
+        self(id)
+    }
+}
+
+/// A trivial protocol that always broadcasts. Useful in tests and as the
+/// degenerate "maximally aggressive" baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysBroadcast;
+
+impl Protocol for AlwaysBroadcast {
+    fn name(&self) -> &'static str {
+        "always-broadcast"
+    }
+
+    fn act(&mut self, _local_slot: u64, _rng: &mut dyn RngCore) -> Action {
+        Action::Broadcast
+    }
+
+    fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {}
+}
+
+/// A trivial protocol that never broadcasts. Useful in tests (a system of
+/// `NeverBroadcast` nodes keeps slots active forever without successes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverBroadcast;
+
+impl Protocol for NeverBroadcast {
+    fn name(&self) -> &'static str {
+        "never-broadcast"
+    }
+
+    fn act(&mut self, _local_slot: u64, _rng: &mut dyn RngCore) -> Action {
+        Action::Listen
+    }
+
+    fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(NodeId::from(42u64), id);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_raw() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn always_broadcast_broadcasts() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut p = AlwaysBroadcast;
+        for s in 0..10 {
+            assert_eq!(p.act(s, &mut rng), Action::Broadcast);
+        }
+        assert_eq!(p.name(), "always-broadcast");
+    }
+
+    #[test]
+    fn never_broadcast_listens() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut p = NeverBroadcast;
+        for s in 0..10 {
+            assert_eq!(p.act(s, &mut rng), Action::Listen);
+        }
+    }
+
+    #[test]
+    fn closure_factory_spawns() {
+        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) };
+        let p = factory.spawn(NodeId::new(0));
+        assert_eq!(p.name(), "always-broadcast");
+    }
+}

@@ -1,0 +1,185 @@
+//! Streaming observers: memory-bounded metrics for very long runs.
+//!
+//! [`crate::metrics::Trace`] stores one record per slot, which is perfect
+//! for verification but costs memory linear in the horizon. For multi-
+//! billion-slot endurance runs, [`StreamingStats`] folds the same
+//! quantities online in O(1) space, plus dyadic checkpoint snapshots for
+//! growth-curve extraction.
+
+use crate::metrics::SlotRecord;
+
+/// Online accumulator of the Definition 1.1 quantities.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    slots: u64,
+    arrivals: u64,
+    jammed: u64,
+    active: u64,
+    successes: u64,
+    broadcasts: u64,
+    max_population: u64,
+    /// `(t, arrivals, jammed, active, successes)` at dyadic t.
+    checkpoints: Vec<(u64, u64, u64, u64, u64)>,
+    next_checkpoint: u64,
+}
+
+impl StreamingStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            next_checkpoint: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Fold one slot record.
+    pub fn record(&mut self, rec: &SlotRecord) {
+        self.slots += 1;
+        self.arrivals += u64::from(rec.arrivals);
+        self.jammed += u64::from(rec.jammed);
+        self.active += u64::from(rec.active);
+        self.successes += u64::from(rec.is_success());
+        self.broadcasts += u64::from(rec.broadcasters);
+        self.max_population = self.max_population.max(rec.population);
+        if self.slots == self.next_checkpoint {
+            self.checkpoints.push((
+                self.slots,
+                self.arrivals,
+                self.jammed,
+                self.active,
+                self.successes,
+            ));
+            self.next_checkpoint = self.next_checkpoint.saturating_mul(2);
+        }
+    }
+
+    /// Slots folded so far.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Total arrivals (`n_t`).
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Total jammed slots (`d_t`).
+    pub fn jammed(&self) -> u64 {
+        self.jammed
+    }
+
+    /// Total active slots (`a_t`).
+    pub fn active(&self) -> u64 {
+        self.active
+    }
+
+    /// Total successes.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Total broadcast attempts (summed contention).
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Largest population ever in the system.
+    pub fn max_population(&self) -> u64 {
+        self.max_population
+    }
+
+    /// Dyadic snapshots `(t, n_t, d_t, a_t, successes_t)`.
+    pub fn checkpoints(&self) -> &[(u64, u64, u64, u64, u64)] {
+        &self.checkpoints
+    }
+
+    /// Classical throughput `n_t / a_t` so far.
+    pub fn classical_throughput(&self) -> f64 {
+        if self.active == 0 {
+            if self.arrivals == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.arrivals as f64 / self.active as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::slot::SlotOutcome;
+
+    fn rec(arrivals: u32, jammed: bool, active: bool, outcome: SlotOutcome) -> SlotRecord {
+        SlotRecord {
+            arrivals,
+            broadcasters: outcome.broadcasters(),
+            jammed,
+            active,
+            population: u64::from(active) * 3,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn folds_counts() {
+        let mut s = StreamingStats::new();
+        s.record(&rec(2, false, true, SlotOutcome::Collision { broadcasters: 2 }));
+        s.record(&rec(0, true, true, SlotOutcome::Jammed { broadcasters: 1 }));
+        s.record(&rec(0, false, true, SlotOutcome::Delivered(NodeId::new(0))));
+        assert_eq!(s.slots(), 3);
+        assert_eq!(s.arrivals(), 2);
+        assert_eq!(s.jammed(), 1);
+        assert_eq!(s.active(), 3);
+        assert_eq!(s.successes(), 1);
+        assert_eq!(s.broadcasts(), 4);
+        assert_eq!(s.max_population(), 3);
+    }
+
+    #[test]
+    fn dyadic_checkpoints() {
+        let mut s = StreamingStats::new();
+        for _ in 0..10 {
+            s.record(&rec(1, false, true, SlotOutcome::Silence));
+        }
+        let ts: Vec<u64> = s.checkpoints().iter().map(|c| c.0).collect();
+        assert_eq!(ts, vec![1, 2, 4, 8]);
+        // Snapshot values at t=8: arrivals 8.
+        assert_eq!(s.checkpoints()[3], (8, 8, 0, 8, 0));
+    }
+
+    #[test]
+    fn classical_throughput_edge_cases() {
+        let mut s = StreamingStats::new();
+        assert_eq!(s.classical_throughput(), 1.0);
+        s.record(&rec(1, false, false, SlotOutcome::Silence));
+        assert!(s.classical_throughput().is_infinite());
+        s.record(&rec(0, false, true, SlotOutcome::Silence));
+        assert_eq!(s.classical_throughput(), 1.0);
+    }
+
+    #[test]
+    fn matches_trace_on_a_real_run() {
+        use crate::adversary::{BatchArrival, CompositeAdversary, RandomJamming};
+        use crate::config::SimConfig;
+        use crate::engine::Simulator;
+        use crate::node::{AlwaysBroadcast, Protocol};
+
+        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) };
+        let adv = CompositeAdversary::new(BatchArrival::at_start(1), RandomJamming::new(0.5));
+        let mut sim = Simulator::new(SimConfig::with_seed(9), factory, adv);
+        let mut stream = StreamingStats::new();
+        for _ in 0..100 {
+            let rec = sim.step();
+            stream.record(&rec);
+        }
+        let trace = sim.into_trace();
+        assert_eq!(stream.arrivals(), trace.total_arrivals());
+        assert_eq!(stream.jammed(), trace.total_jammed());
+        assert_eq!(stream.active(), trace.total_active());
+        assert_eq!(stream.successes(), trace.total_successes());
+    }
+}

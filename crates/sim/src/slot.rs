@@ -1,0 +1,251 @@
+//! Slot-level primitives: channel feedback, node actions, and parity.
+//!
+//! Time is divided into discrete, synchronized slots, numbered from `1`
+//! globally. Nodes, however, never see global slot numbers: each node only
+//! observes its *local* clock (slots since its own activation) and the
+//! channel feedback, exactly as in the paper's model, where no global clock
+//! is available.
+
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Channel feedback delivered to every listener at the end of a slot.
+///
+/// The model has **no collision detection**: a slot with zero broadcasters
+/// (silence), a slot with two or more broadcasters (collision), and a jammed
+/// slot are all reported identically as [`Feedback::NoSuccess`]. Only a slot
+/// in which exactly one node broadcast — and which was not jammed — produces
+/// [`Feedback::Success`].
+///
+/// The adversary receives the *same* feedback stream; she cannot distinguish
+/// silence from collision either (Section 1, "Additional model details").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feedback {
+    /// Exactly one node broadcast in an unjammed slot; its message was
+    /// received by every node in the system. The id identifies the sender so
+    /// that bookkeeping (and the sender itself) can tell whose message got
+    /// through; protocols must not extract any other information from it.
+    Success(NodeId),
+    /// Anything else: silence, collision, or jamming — indistinguishable.
+    NoSuccess,
+}
+
+impl Feedback {
+    /// Returns `true` if this feedback reports a successful transmission.
+    #[inline]
+    pub fn is_success(self) -> bool {
+        matches!(self, Feedback::Success(_))
+    }
+
+    /// Returns the id of the successful sender, if any.
+    #[inline]
+    pub fn sender(self) -> Option<NodeId> {
+        match self {
+            Feedback::Success(id) => Some(id),
+            Feedback::NoSuccess => None,
+        }
+    }
+}
+
+impl fmt::Display for Feedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feedback::Success(id) => write!(f, "success({id})"),
+            Feedback::NoSuccess => write!(f, "no-success"),
+        }
+    }
+}
+
+/// A node's decision for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Attempt to broadcast the node's message in this slot.
+    Broadcast,
+    /// Stay idle and listen to the channel.
+    Listen,
+}
+
+impl Action {
+    /// Returns `true` for [`Action::Broadcast`].
+    #[inline]
+    pub fn is_broadcast(self) -> bool {
+        matches!(self, Action::Broadcast)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Broadcast => f.write_str("broadcast"),
+            Action::Listen => f.write_str("listen"),
+        }
+    }
+}
+
+/// Parity of a slot index, used to split one physical channel into the
+/// conceptual "odd channel" and "even channel" of Section 2.
+///
+/// A node only ever computes parity of its *local* clock or of offsets
+/// between local events, so no global agreement on which parity class is
+/// "odd" is required (footnote 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Slots whose index is even.
+    Even,
+    /// Slots whose index is odd.
+    Odd,
+}
+
+impl Parity {
+    /// Parity of the given slot index.
+    #[inline]
+    pub fn of(slot: u64) -> Self {
+        if slot.is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    /// The opposite parity class (the "other channel", written ᾱ in the
+    /// paper).
+    #[inline]
+    pub fn other(self) -> Self {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+
+    /// Returns `true` if `slot` belongs to this parity class.
+    #[inline]
+    pub fn contains(self, slot: u64) -> bool {
+        Parity::of(slot) == self
+    }
+}
+
+impl fmt::Display for Parity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parity::Even => f.write_str("even"),
+            Parity::Odd => f.write_str("odd"),
+        }
+    }
+}
+
+/// Outcome of resolving one slot, as recorded by the engine.
+///
+/// This is *privileged* information (it distinguishes silence, collision and
+/// jamming); it is used only by metrics and tests, never fed back to nodes or
+/// to the adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// No node broadcast and the slot was not jammed.
+    Silence,
+    /// Exactly one node broadcast in an unjammed slot.
+    Delivered(NodeId),
+    /// Two or more nodes broadcast (collision), slot not jammed.
+    Collision {
+        /// Number of simultaneous broadcasters (≥ 2).
+        broadcasters: u32,
+    },
+    /// The adversary jammed the slot; `broadcasters` nodes attempted anyway.
+    Jammed {
+        /// Number of nodes that attempted to broadcast despite the jam.
+        broadcasters: u32,
+    },
+}
+
+impl SlotOutcome {
+    /// The public feedback corresponding to this outcome — the only part
+    /// visible to nodes and the adversary.
+    #[inline]
+    pub fn feedback(self) -> Feedback {
+        match self {
+            SlotOutcome::Delivered(id) => Feedback::Success(id),
+            _ => Feedback::NoSuccess,
+        }
+    }
+
+    /// Number of nodes that attempted to broadcast in the slot.
+    #[inline]
+    pub fn broadcasters(self) -> u32 {
+        match self {
+            SlotOutcome::Silence => 0,
+            SlotOutcome::Delivered(_) => 1,
+            SlotOutcome::Collision { broadcasters } | SlotOutcome::Jammed { broadcasters } => {
+                broadcasters
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feedback_success_accessors() {
+        let fb = Feedback::Success(NodeId::new(7));
+        assert!(fb.is_success());
+        assert_eq!(fb.sender(), Some(NodeId::new(7)));
+        assert!(!Feedback::NoSuccess.is_success());
+        assert_eq!(Feedback::NoSuccess.sender(), None);
+    }
+
+    #[test]
+    fn parity_of_and_other() {
+        assert_eq!(Parity::of(0), Parity::Even);
+        assert_eq!(Parity::of(1), Parity::Odd);
+        assert_eq!(Parity::of(2), Parity::Even);
+        assert_eq!(Parity::Even.other(), Parity::Odd);
+        assert_eq!(Parity::Odd.other(), Parity::Even);
+        assert!(Parity::Odd.contains(3));
+        assert!(!Parity::Odd.contains(4));
+    }
+
+    #[test]
+    fn parity_other_is_involution() {
+        for p in [Parity::Even, Parity::Odd] {
+            assert_eq!(p.other().other(), p);
+        }
+    }
+
+    #[test]
+    fn outcome_feedback_hides_cause() {
+        // Silence, collision, and jamming must be indistinguishable in the
+        // public feedback — the defining property of "no collision
+        // detection".
+        assert_eq!(SlotOutcome::Silence.feedback(), Feedback::NoSuccess);
+        assert_eq!(
+            SlotOutcome::Collision { broadcasters: 5 }.feedback(),
+            Feedback::NoSuccess
+        );
+        assert_eq!(
+            SlotOutcome::Jammed { broadcasters: 1 }.feedback(),
+            Feedback::NoSuccess
+        );
+        assert_eq!(
+            SlotOutcome::Delivered(NodeId::new(3)).feedback(),
+            Feedback::Success(NodeId::new(3))
+        );
+    }
+
+    #[test]
+    fn outcome_broadcaster_counts() {
+        assert_eq!(SlotOutcome::Silence.broadcasters(), 0);
+        assert_eq!(SlotOutcome::Delivered(NodeId::new(1)).broadcasters(), 1);
+        assert_eq!(SlotOutcome::Collision { broadcasters: 4 }.broadcasters(), 4);
+        assert_eq!(SlotOutcome::Jammed { broadcasters: 0 }.broadcasters(), 0);
+    }
+
+    #[test]
+    fn action_display_and_predicates() {
+        assert!(Action::Broadcast.is_broadcast());
+        assert!(!Action::Listen.is_broadcast());
+        assert_eq!(Action::Broadcast.to_string(), "broadcast");
+        assert_eq!(Feedback::NoSuccess.to_string(), "no-success");
+        assert_eq!(Parity::Even.to_string(), "even");
+    }
+}

@@ -1,0 +1,65 @@
+//! A sensor network under bursty (Gilbert–Elliott) interference.
+//!
+//! Real wireless interference arrives in bursts, not i.i.d. coin flips.
+//! This example runs dynamically arriving sensor reports through the
+//! paper's protocol while a two-state Markov jammer alternates between
+//! clean spells and interference bursts, at the same long-run jammed
+//! fraction as an i.i.d. jammer — and shows the burstiness is what hurts.
+//!
+//! ```sh
+//! cargo run --release --example bursty_interference
+//! ```
+
+use contention::prelude::*;
+use contention::sim::adversary::GilbertElliottJamming;
+
+fn run(label: &str, bursty: bool) -> (u64, f64, f64) {
+    let params = ProtocolParams::constant_jamming();
+    let factory = CjzFactory::new(params);
+    let horizon = 60_000u64;
+    // One sensor report every 25 slots on average.
+    let arrivals = PoissonArrival::new(0.04).with_horizon(horizon - 5_000);
+    let fraction = 0.25;
+    let mut sim: Simulator<_, Box<dyn Adversary>> = if bursty {
+        Simulator::new(
+            SimConfig::with_seed(11),
+            factory,
+            Box::new(CompositeAdversary::new(
+                arrivals,
+                GilbertElliottJamming::bursts(fraction, 64.0),
+            )),
+        )
+    } else {
+        Simulator::new(
+            SimConfig::with_seed(11),
+            factory,
+            Box::new(CompositeAdversary::new(
+                arrivals,
+                RandomJamming::new(fraction),
+            )),
+        )
+    };
+    sim.run_for(horizon);
+    let trace = sim.into_trace();
+    let delivered = trace.total_successes();
+    let p50 = trace.latency_quantile(0.5).unwrap_or(f64::NAN);
+    let p99 = trace.latency_quantile(0.99).unwrap_or(f64::NAN);
+    println!(
+        "{label:>14}: delivered {delivered:4} | jammed fraction {:.3} | latency p50 {p50:6.1} p99 {p99:8.1}",
+        trace.total_jammed() as f64 / trace.len() as f64,
+    );
+    (delivered, p50, p99)
+}
+
+fn main() {
+    println!("sensor reports vs 25% interference, i.i.d. vs bursts of ~64 slots\n");
+    let (d_iid, _, p99_iid) = run("i.i.d. jam", false);
+    let (d_burst, _, p99_burst) = run("bursty jam", true);
+    println!(
+        "\nSame average interference, different shape: bursts stretch the tail \
+         (p99 {p99_iid:.0} → {p99_burst:.0} slots) because a report arriving at the \
+         start of a 64-slot burst must out-wait it — exactly why the paper measures \
+         robustness against *adversarial* jamming budgets, not average rates."
+    );
+    assert_eq!(d_iid, d_burst, "both channels eventually deliver everything");
+}

@@ -1,0 +1,74 @@
+//! An adversarial jamming attack against a lone sensor node.
+//!
+//! The scenario behind the lower bounds (Section 4): a single node wakes up
+//! and an attacker jams the channel continuously for `J` slots, hoping the
+//! node's backoff decays so far that it stays silent long after the attack
+//! ends. Classical monotone backoff falls for this; the paper's
+//! stage-based `(f/a)`-backoff keeps enough sending density to recover in
+//! `o(J)` slots.
+//!
+//! ```sh
+//! cargo run --release --example jamming_attack
+//! ```
+
+use contention::prelude::*;
+
+fn recovery(factory: impl ProtocolFactory, jam_wall: u64, seed: u64) -> u64 {
+    let adversary = CompositeAdversary::new(
+        BatchArrival::at_start(1),
+        FrontLoadedJamming::new(jam_wall),
+    );
+    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+    sim.run_until_drained(128 * jam_wall);
+    match sim.trace().departures().first() {
+        Some(d) => d.departure_slot - jam_wall,
+        None => 127 * jam_wall, // censored: never recovered in the horizon
+    }
+}
+
+fn main() {
+    println!("A single node arrives; the attacker jams slots 1..=J.\n");
+
+    let mut table = Table::new([
+        "J (jam wall)",
+        "cjz",
+        "f-backoff",
+        "beb (window)",
+        "smoothed-beb",
+    ])
+    .with_title("slots from end of attack to delivery (mean of 5 seeds)");
+
+    for p in [8u32, 10, 12, 14] {
+        let j = 1u64 << p;
+        let mean = |mk: &dyn Fn() -> Box<dyn Protocol>| {
+            let total: u64 = (0..5)
+                .map(|seed| {
+                    let factory = |_: NodeId| mk();
+                    recovery(factory, j, seed)
+                })
+                .sum();
+            total as f64 / 5.0
+        };
+        table.row([
+            format!("2^{p}"),
+            fnum(mean(&|| {
+                Box::new(CjzProtocol::new(ProtocolParams::constant_jamming()))
+            })),
+            fnum(mean(&|| {
+                Box::new(contention::baselines::FBackoffProtocol::constant_jamming())
+            })),
+            fnum(mean(&|| {
+                Box::new(contention::baselines::WindowProtocol::binary_exponential())
+            })),
+            fnum(mean(&|| {
+                Box::new(contention::baselines::ScheduleProtocol::smoothed_beb())
+            })),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Monotone schedules have decayed to sending probability ~1/J by the end of \
+         the attack, so their recovery grows linearly in J. The stage-based backoff \
+         still sends Θ(log J) times per stage and recovers in ~J/log J."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run the paper's protocol on a jammed batch and verify the
+//! (f,g)-throughput bound.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use contention::prelude::*;
+
+fn main() {
+    // 1. Pick the jamming regime. `constant_jamming` tunes the protocol for
+    //    the worst case: Eve may jam a constant fraction of all slots.
+    let params = ProtocolParams::constant_jamming();
+    println!("protocol: {}", params.label());
+
+    // 2. Build a workload: 256 nodes arrive at once, and 25% of all slots
+    //    are jammed at random.
+    let adversary = CompositeAdversary::new(
+        BatchArrival::at_start(256),
+        RandomJamming::new(0.25),
+    );
+
+    // 3. Run. The whole simulation is a deterministic function of the seed.
+    let factory = CjzFactory::new(params.clone());
+    let mut sim = Simulator::new(SimConfig::with_seed(2024), factory, adversary);
+    let stop = sim.run_until_drained(10_000_000);
+    println!(
+        "stopped: {stop:?} after {} slots; delivered {} / 256 messages",
+        sim.current_slot(),
+        sim.trace().total_successes()
+    );
+
+    // 4. Inspect per-node statistics.
+    let trace = sim.into_trace();
+    println!(
+        "mean latency {:.1} slots, mean channel accesses {:.1}, max accesses {}",
+        trace.mean_latency().unwrap_or(f64::NAN),
+        trace.mean_accesses().unwrap_or(f64::NAN),
+        trace.max_accesses().unwrap_or(0),
+    );
+
+    // 5. Check Definition 1.1 on every prefix: active slots must stay below
+    //    n_t·f(t) + d_t·g(t) (up to the implementation's constant).
+    let report = ThroughputVerifier::for_params(&params).check(&trace, 8.0);
+    println!(
+        "(f,g)-throughput: worst prefix ratio {:.3} at t={} -> {}",
+        report.max_ratio,
+        report.worst_t,
+        if report.ok { "OK" } else { "VIOLATED" }
+    );
+
+    assert_eq!(trace.total_successes(), 256, "every message must deliver");
+    assert!(report.ok, "the throughput bound must hold");
+    println!("quickstart finished successfully");
+}

@@ -1,0 +1,73 @@
+//! Sweep the jamming-tolerance dial `g` and watch `f` respond.
+//!
+//! Theorem 1.2's trade-off in one loop: for each admissible `g`, the
+//! derived `f(x) = Θ(log x / log² g(x))` tells you the throughput price of
+//! that much robustness. The example prints the trade-off curve and then
+//! validates one point of it in simulation.
+//!
+//! ```sh
+//! cargo run --release --example tradeoff_sweep
+//! ```
+
+use contention::prelude::*;
+
+fn main() {
+    // The f/g frontier, tabulated at a horizon of 2^20 slots.
+    let horizon = 1u64 << 20;
+    let gs = [
+        GFunction::Constant(2.0),
+        GFunction::Log,
+        GFunction::PolyLog(2),
+        GFunction::ExpSqrtLog(1.0),
+        GFunction::ExpSqrtLog(2.0),
+    ];
+    let mut table = Table::new([
+        "g (jamming tolerance)",
+        "g(2^20)",
+        "f(2^20)",
+        "jam budget d_t",
+        "throughput ~ 1/f",
+    ])
+    .with_title("the tight trade-off at t = 2^20");
+    for g in &gs {
+        let f = FFunction::from_g(g.clone());
+        table.row([
+            g.label(),
+            fnum(g.at(horizon)),
+            fnum(f.at(horizon)),
+            fnum(horizon as f64 / g.at(horizon)),
+            fnum(1.0 / f.at(horizon)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Validate the worst-case end of the curve in simulation: constant g,
+    // 30% jamming, saturated arrivals at the critical density.
+    println!("validating the g=const end: 30% jamming, arrivals at t/(2f(t))…");
+    let params = ProtocolParams::constant_jamming();
+    let f = params.f();
+    let adversary = contention::sim::adversary::BudgetedAdversary::new(
+        CompositeAdversary::new(SaturatedArrival::new(u64::MAX), RandomJamming::new(0.3)),
+        contention::sim::adversary::ArrivalBudget::new(move |t| t as f64 / (2.0 * f.at(t))),
+        contention::sim::adversary::JamBudget::unlimited(),
+    );
+    let factory = CjzFactory::new(params.clone());
+    let mut sim = Simulator::new(SimConfig::with_seed(99), factory, adversary);
+    sim.run_for(1 << 14);
+    let trace = sim.into_trace();
+    let cum = trace.cumulative();
+    let t = cum.len();
+    println!(
+        "t={t}: arrivals {} delivered {} (backlog {}), jammed {}",
+        cum.arrivals(t),
+        cum.successes(t),
+        cum.arrivals(t) - cum.successes(t),
+        cum.jammed(t)
+    );
+    let report = ThroughputVerifier::for_params(&params).check(&trace, 8.0);
+    println!(
+        "worst (f,g) prefix ratio {:.3} -> {}",
+        report.max_ratio,
+        if report.ok { "bound holds" } else { "bound violated" }
+    );
+}

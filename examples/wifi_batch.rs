@@ -1,0 +1,55 @@
+//! A Wi-Fi-style saturation scenario: many stations wake at once.
+//!
+//! The intro's motivating workload (Ethernet/802.11 congestion): `n`
+//! stations become ready simultaneously and contend for one shared medium
+//! with no collision detection. This example compares the paper's protocol
+//! against classical binary exponential backoff and smoothed BEB at
+//! increasing station counts — first on a clean channel, then with
+//! electromagnetic interference modeled as 20% random jamming.
+//!
+//! ```sh
+//! cargo run --release --example wifi_batch
+//! ```
+
+use contention::prelude::*;
+
+fn drain_slots<F: ProtocolFactory + Clone>(factory: &F, n: u32, jam: f64, seed: u64) -> u64 {
+    let adversary = CompositeAdversary::new(
+        BatchArrival::at_start(n),
+        RandomJamming::new(jam),
+    );
+    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory.clone(), adversary);
+    sim.run_until_drained(500_000_000);
+    sim.current_slot()
+}
+
+fn main() {
+    let stations = [32u32, 128, 512];
+    let seeds = [1u64, 2, 3];
+
+    for jam in [0.0, 0.2] {
+        let mut table = Table::new(["stations", "cjz", "beb", "smoothed-beb"]).with_title(
+            format!("slots until every station has transmitted (jam = {jam})"),
+        );
+        for &n in &stations {
+            let mut cells = vec![format!("{n}")];
+            let cjz = CjzFactory::new(ProtocolParams::constant_jamming());
+            let mean = |f: &dyn Fn(u64) -> u64| {
+                seeds.iter().map(|&s| f(s) as f64).sum::<f64>() / seeds.len() as f64
+            };
+            cells.push(fnum(mean(&|s| drain_slots(&cjz, n, jam, s))));
+            cells.push(fnum(mean(&|s| {
+                drain_slots(&Baseline::BinaryExponential, n, jam, s)
+            })));
+            cells.push(fnum(mean(&|s| drain_slots(&Baseline::SmoothedBeb, n, jam, s))));
+            table.row(cells);
+        }
+        println!("{}", table.render());
+    }
+
+    println!(
+        "Note how the smoothed-BEB column grows super-linearly in the station count \
+         (Claim 3.5.1: its stragglers take ω(n) slots), while the paper's protocol \
+         drains in O(n·log n) even under interference."
+    );
+}

@@ -1,0 +1,35 @@
+//! # contention
+//!
+//! Umbrella crate for the reproduction of Chen–Jiang–Zheng,
+//! *Tight Trade-off in Contention Resolution without Collision Detection*
+//! (PODC 2021). Re-exports the workspace crates:
+//!
+//! * [`sim`] — the multiple-access channel simulator and adversaries;
+//! * [`backoff`] — backoff primitives and the `f`/`g` function machinery;
+//! * [`core`] — the paper's three-phase protocol and the
+//!   (f,g)-throughput verifier;
+//! * [`baselines`] — classical comparison protocols;
+//! * [`analysis`] — statistics, model fitting, and report rendering.
+//!
+//! See the `examples/` directory for runnable entry points and
+//! EXPERIMENTS.md for the experiment catalogue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use contention_analysis as analysis;
+pub use contention_backoff as backoff;
+pub use contention_baselines as baselines;
+pub use contention_core as core;
+pub use contention_sim as sim;
+
+/// Everything needed to run a simulation in one import.
+pub mod prelude {
+    pub use contention_analysis::{fnum, Figure, GrowthModel, Series, Summary, Table};
+    pub use contention_backoff::{FFunction, GFunction, Schedule};
+    pub use contention_baselines::Baseline;
+    pub use contention_core::{
+        CjzFactory, CjzProtocol, PhaseKind, ProtocolParams, ThroughputReport, ThroughputVerifier,
+    };
+    pub use contention_sim::prelude::*;
+}

@@ -1,0 +1,129 @@
+//! Integration: adversarial strategies end-to-end, including the
+//! lower-bound constructions of Section 4 and failure injection.
+
+use contention::prelude::*;
+use contention::sim::adversary::lowerbound::{
+    Lemma41Adversary, Theorem13Adversary, Theorem42Adversary,
+};
+use contention::sim::adversary::{ReactiveJamming, SmoothAdversary, SmoothConfig};
+
+#[test]
+fn reactive_jammer_cannot_stall_the_protocol_forever() {
+    // Jam 3 slots after every success — the protocol must still drain a
+    // batch (the jammer only reacts, it cannot keep the budget up forever).
+    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+    let adversary =
+        CompositeAdversary::new(BatchArrival::at_start(32), ReactiveJamming::new(3));
+    let mut sim = Simulator::new(SimConfig::with_seed(1), factory, adversary);
+    let stop = sim.run_until_drained(5_000_000);
+    assert_eq!(stop, StopReason::Drained);
+    assert_eq!(sim.trace().total_successes(), 32);
+}
+
+#[test]
+fn lemma41_flood_suppresses_early_successes() {
+    // The Lemma 4.1 flood: heavy per-slot batches in the first √t slots.
+    // Against an *aggressive* schedule (ALOHA p=0.5) no success should
+    // appear during the flood window — the contention argument in action.
+    let horizon = 1u64 << 12;
+    let adv = Lemma41Adversary::new(horizon, 20, 100);
+    let mut sim = Simulator::new(
+        SimConfig::with_seed(2),
+        Baseline::Aloha(0.5),
+        adv,
+    );
+    let sqrt_t = (horizon as f64).sqrt() as u64;
+    sim.run_for(sqrt_t);
+    assert_eq!(
+        sim.trace().total_successes(),
+        0,
+        "dense flood + aggressive schedule must collide throughout"
+    );
+}
+
+#[test]
+fn theorem13_adversary_executes_its_script() {
+    let horizon = 1u64 << 10;
+    let adv = Theorem13Adversary::new(horizon, 2.0);
+    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+    let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adv);
+    sim.run_for(horizon);
+    let trace = sim.trace();
+    assert_eq!(trace.total_arrivals(), 1);
+    // Prefix t/(4g) = 128 slots jammed, plus the last slot, plus randoms.
+    let cum = trace.cumulative();
+    assert!(cum.jammed(128) == 128, "prefix fully jammed");
+    assert!(trace.slot(horizon).unwrap().jammed, "last slot jammed");
+    let expected_max = 2 * 128 + 1;
+    assert!(trace.total_jammed() <= expected_max as u64);
+}
+
+#[test]
+fn theorem42_adversary_defeats_nonadaptive_schedule_in_window() {
+    // Jam prefix + inject crowd at the end: a monotone schedule (smoothed
+    // beb) should fail to deliver its slot-1 nodes quickly; measure that
+    // its first success comes only well after the prefix.
+    let horizon = 1u64 << 10;
+    let prefix = horizon / 8; // g(t) = 2 => t/(4*2)
+    let adv = Theorem42Adversary::new(horizon, 2.0, 1.0);
+    assert_eq!(adv.prefix(), prefix);
+    let mut sim = Simulator::new(SimConfig::with_seed(4), Baseline::SmoothedBeb, adv);
+    sim.run_for(horizon);
+    let trace = sim.trace();
+    if let Some(d) = trace.departures().first() {
+        assert!(
+            d.departure_slot > prefix,
+            "no delivery can precede the jammed prefix"
+        );
+    }
+}
+
+#[test]
+fn smooth_adversary_respects_its_own_windows() {
+    let params = ProtocolParams::constant_jamming();
+    let f = params.f();
+    let g = params.g().clone();
+    let inner = CompositeAdversary::new(SaturatedArrival::new(u64::MAX), RandomJamming::new(0.5));
+    let adv = SmoothAdversary::new(
+        inner,
+        SmoothConfig::from_fg(move |j| f.at(j), move |j| g.at(j), 1.0, 0.5),
+    );
+    let factory = CjzFactory::new(params.clone());
+    let mut sim = Simulator::new(SimConfig::with_seed(5), factory, adv);
+    let horizon = 1u64 << 12;
+    sim.run_for(horizon);
+    let cum = sim.trace().cumulative();
+    // Global counts obey the largest-window constraint (clamped curves).
+    let f2 = params.f();
+    let max_arr = (horizon as f64 / f2.at(horizon)).max(1.0) * 2.0;
+    assert!(
+        (cum.arrivals(horizon) as f64) <= max_arr + 1.0,
+        "arrivals {} exceed smooth budget {max_arr}",
+        cum.arrivals(horizon)
+    );
+    // And the protocol delivers the bulk of them.
+    assert!(cum.successes(horizon) as f64 >= 0.8 * cum.arrivals(horizon) as f64);
+}
+
+#[test]
+fn injection_on_success_slots_cannot_break_conservation() {
+    // Failure injection: Eve injects exactly when she hears a success
+    // (trying to race the phase transitions). Conservation must hold and
+    // the system must still make progress.
+    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+    let adv = contention::sim::adversary::FnAdversary::new("spawn-on-success", |slot, h, _r| {
+        if slot == 1 {
+            SlotDecision::inject(4)
+        } else if h.last_feedback().is_some_and(|f| f.is_success()) && h.injected() < 40 {
+            SlotDecision::inject(2)
+        } else {
+            SlotDecision::IDLE
+        }
+    });
+    let mut sim = Simulator::new(SimConfig::with_seed(6), factory, adv);
+    sim.run_for(200_000);
+    let trace = sim.trace();
+    let alive = sim.active_count() as u64;
+    assert_eq!(trace.total_arrivals(), trace.total_successes() + alive);
+    assert!(trace.total_successes() >= 30, "progress despite spite spawning");
+}

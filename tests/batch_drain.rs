@@ -1,0 +1,104 @@
+//! Integration: full-stack batch-drain scenarios across protocols.
+
+use contention::prelude::*;
+
+fn drain<F: ProtocolFactory>(factory: F, n: u32, jam: f64, seed: u64, max: u64) -> (bool, Trace) {
+    let adversary = CompositeAdversary::new(
+        BatchArrival::at_start(n),
+        RandomJamming::new(jam),
+    );
+    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+    let stop = sim.run_until_drained(max);
+    (stop == StopReason::Drained, sim.into_trace())
+}
+
+#[test]
+fn cjz_drains_batch_without_jamming() {
+    let f = CjzFactory::new(ProtocolParams::constant_jamming());
+    let (drained, trace) = drain(f, 64, 0.0, 1, 1_000_000);
+    assert!(drained);
+    assert_eq!(trace.total_successes(), 64);
+    assert!(trace.survivors().is_empty());
+}
+
+#[test]
+fn cjz_drains_batch_with_heavy_jamming() {
+    let f = CjzFactory::new(ProtocolParams::constant_jamming());
+    let (drained, trace) = drain(f, 64, 0.4, 2, 5_000_000);
+    assert!(drained);
+    assert_eq!(trace.total_successes(), 64);
+}
+
+#[test]
+fn cjz_constant_throughput_tuning_drains_linear_time() {
+    let f = CjzFactory::new(ProtocolParams::constant_throughput());
+    let (drained, trace) = drain(f, 256, 0.0, 3, 60 * 256);
+    assert!(drained, "expected drain within 60n slots");
+    assert_eq!(trace.total_successes(), 256);
+}
+
+#[test]
+fn every_baseline_drains_a_small_clean_batch() {
+    for b in Baseline::roster() {
+        // ALOHA with fixed p cannot reliably drain large batches; small is
+        // fine for all roster members.
+        let (drained, trace) = drain(b.clone(), 8, 0.0, 4, 10_000_000);
+        assert!(drained, "baseline {} failed to drain", b.name());
+        assert_eq!(trace.total_successes(), 8, "baseline {}", b.name());
+    }
+}
+
+#[test]
+fn departures_have_consistent_bookkeeping() {
+    let f = CjzFactory::new(ProtocolParams::constant_jamming());
+    let (_, trace) = drain(f, 32, 0.2, 5, 1_000_000);
+    for d in trace.departures() {
+        assert!(d.arrival_slot >= 1);
+        assert!(d.departure_slot >= d.arrival_slot);
+        assert!(d.accesses >= 1, "a delivered node broadcast at least once");
+        assert!(d.latency() >= 1);
+    }
+    // Node ids are unique.
+    let mut ids: Vec<_> = trace.departures().iter().map(|d| d.node).collect();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), trace.departures().len());
+}
+
+#[test]
+fn success_slots_match_departures() {
+    let f = CjzFactory::new(ProtocolParams::constant_jamming());
+    let (_, trace) = drain(f, 16, 0.1, 6, 1_000_000);
+    let success_slots: Vec<u64> = trace
+        .slots()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_success())
+        .map(|(i, _)| i as u64 + 1)
+        .collect();
+    let departure_slots: Vec<u64> = trace.departures().iter().map(|d| d.departure_slot).collect();
+    assert_eq!(success_slots, departure_slots);
+}
+
+#[test]
+fn jammed_slots_never_deliver() {
+    let f = CjzFactory::new(ProtocolParams::constant_jamming());
+    let (_, trace) = drain(f, 32, 0.5, 7, 5_000_000);
+    for rec in trace.slots() {
+        if rec.jammed {
+            assert!(!rec.is_success(), "a jammed slot cannot carry a success");
+        }
+    }
+}
+
+#[test]
+fn staggered_arrivals_all_deliver() {
+    // Nodes arrive one at a time while earlier ones are still working.
+    let script: Vec<(u64, u32)> = (0..20).map(|i| (1 + i * 37, 1)).collect();
+    let adversary = CompositeAdversary::new(ScriptedArrival::new(script), RandomJamming::new(0.2));
+    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+    let mut sim = Simulator::new(SimConfig::with_seed(8), factory, adversary);
+    sim.run_for(100_000);
+    assert_eq!(sim.trace().total_successes(), 20);
+    assert_eq!(sim.active_count(), 0);
+}

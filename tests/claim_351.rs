@@ -1,0 +1,79 @@
+//! Integration: Claim 3.5.1 at test scale, with rank-sum significance.
+//!
+//! The claim: `h_data`-batch (smoothed binary exponential backoff) cannot
+//! deliver all `n` batch messages in `O(n)` slots — completion is
+//! `Θ(n log n)`. We compare normalized completion times (slots/n) at two
+//! batch sizes: if completion were linear, the distributions would
+//! coincide; the claim predicts the larger batch is stochastically slower,
+//! and a Mann–Whitney test should call the separation significant.
+
+use contention::analysis::{rank_sum, Summary};
+use contention::prelude::*;
+
+fn completion_per_node(n: u32, seed: u64) -> f64 {
+    let adv = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
+    let mut sim = Simulator::new(
+        SimConfig::with_seed(seed),
+        Baseline::SmoothedBeb,
+        adv,
+    );
+    let stop = sim.run_until_drained(200_000_000);
+    assert_eq!(stop, StopReason::Drained, "smoothed-beb must drain eventually");
+    sim.current_slot() as f64 / f64::from(n)
+}
+
+#[test]
+fn smoothed_beb_completion_is_superlinear_and_significant() {
+    let small: Vec<f64> = (0..8).map(|s| completion_per_node(32, s)).collect();
+    let large: Vec<f64> = (0..8).map(|s| completion_per_node(256, 100 + s)).collect();
+
+    let s_small = Summary::of(&small).unwrap();
+    let s_large = Summary::of(&large).unwrap();
+    assert!(
+        s_large.mean > 1.4 * s_small.mean,
+        "slots/n should grow markedly with n: {} vs {}",
+        s_small.mean,
+        s_large.mean
+    );
+
+    let r = rank_sum(&small, &large).unwrap();
+    assert!(
+        r.p_value < 0.05,
+        "separation should be significant: p = {}",
+        r.p_value
+    );
+    // Completion is dominated by the last straggler and is heavy-tailed
+    // (a lone node at slot i waits ~i for its next send), so a few small-
+    // batch runs land above large-batch ones; 0.75 is a robust separation.
+    assert!(
+        r.effect > 0.75,
+        "most small-batch runs should beat large-batch runs: {}",
+        r.effect
+    );
+}
+
+#[test]
+fn cjz_completion_per_node_stays_bounded() {
+    // Contrast: the paper's protocol drains in O(n·f), so slots/n grows
+    // only mildly (≤ log factor) over the same range.
+    let per_node = |n: u32, seed: u64| {
+        let adv = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
+        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adv);
+        let stop = sim.run_until_drained(200_000_000);
+        assert_eq!(stop, StopReason::Drained);
+        sim.current_slot() as f64 / f64::from(n)
+    };
+    let small: Vec<f64> = (0..5).map(|s| per_node(32, s)).collect();
+    let large: Vec<f64> = (0..5).map(|s| per_node(256, 100 + s)).collect();
+    let s_small = Summary::of(&small).unwrap();
+    let s_large = Summary::of(&large).unwrap();
+    // An 8x batch growth may cost at most ~log(8x)/log(x) ≈ 1.6x per-node
+    // time for the n·log n bound; certainly below 2x.
+    assert!(
+        s_large.mean < 2.0 * s_small.mean,
+        "cjz per-node drain must stay near-constant: {} vs {}",
+        s_small.mean,
+        s_large.mean
+    );
+}

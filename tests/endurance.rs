@@ -1,0 +1,107 @@
+//! Integration: memory-bounded endurance runs.
+//!
+//! A million-slot run in aggregate-only mode must preserve every invariant
+//! the slot-recorded mode guarantees, while storing no per-slot state.
+
+use contention::prelude::*;
+
+#[test]
+fn million_slot_run_is_memory_bounded_and_consistent() {
+    let params = ProtocolParams::constant_jamming();
+    let factory = CjzFactory::new(params);
+    let adversary = CompositeAdversary::new(
+        PoissonArrival::new(0.01),
+        RandomJamming::new(0.25),
+    );
+    let config = SimConfig::with_seed(77).without_slot_records();
+    let mut sim = Simulator::new(config, factory, adversary);
+    let mut stream = StreamingStats::new();
+    let horizon = 1_000_000u64;
+    for _ in 0..horizon {
+        let rec = sim.step();
+        stream.record(&rec);
+    }
+    let alive = sim.active_count() as u64;
+    let trace = sim.trace();
+
+    // Aggregates agree between the trace counters and the streaming fold.
+    assert_eq!(trace.len(), horizon);
+    assert_eq!(trace.recorded_len(), 0, "no per-slot records stored");
+    assert_eq!(stream.slots(), horizon);
+    assert_eq!(stream.arrivals(), trace.total_arrivals());
+    assert_eq!(stream.jammed(), trace.total_jammed());
+    assert_eq!(stream.successes(), trace.total_successes());
+    assert_eq!(stream.active(), trace.total_active());
+
+    // Conservation and sanity at scale.
+    assert_eq!(trace.total_arrivals(), trace.total_successes() + alive);
+    let jam_frac = trace.total_jammed() as f64 / horizon as f64;
+    assert!((jam_frac - 0.25).abs() < 0.01, "jam fraction {jam_frac}");
+    // ~10k Poisson(0.01) arrivals; the protocol keeps up easily at this
+    // load, so the backlog stays tiny.
+    assert!(trace.total_arrivals() > 9_000);
+    assert!(alive < 50, "backlog exploded: {alive}");
+
+    // Dyadic checkpoints cover the run.
+    let last_cp = stream.checkpoints().last().copied().unwrap();
+    assert_eq!(last_cp.0, 1 << 19);
+}
+
+#[test]
+fn light_and_heavy_modes_agree_exactly() {
+    // Same seed, same adversary: per-slot recording must not perturb the
+    // dynamics in any way (recording is pure observation).
+    let run = |light: bool| {
+        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+        let adversary = CompositeAdversary::new(
+            BurstyArrival::new(97, 1, 5, 50),
+            RandomJamming::new(0.3),
+        );
+        let config = if light {
+            SimConfig::with_seed(5).without_slot_records()
+        } else {
+            SimConfig::with_seed(5)
+        };
+        let mut sim = Simulator::new(config, factory, adversary);
+        sim.run_for(20_000);
+        sim.into_trace()
+    };
+    let heavy = run(false);
+    let light = run(true);
+    assert_eq!(heavy.departures(), light.departures());
+    assert_eq!(heavy.total_arrivals(), light.total_arrivals());
+    assert_eq!(heavy.total_jammed(), light.total_jammed());
+    assert_eq!(heavy.total_active(), light.total_active());
+    assert_eq!(heavy.survivors(), light.survivors());
+}
+
+#[test]
+fn latency_histogram_of_long_run_is_heavy_tail_free_for_cjz() {
+    use contention::analysis::LogHistogram;
+    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+    let adversary = CompositeAdversary::new(
+        PoissonArrival::new(0.02).with_horizon(150_000),
+        RandomJamming::new(0.25),
+    );
+    let mut sim = Simulator::new(
+        SimConfig::with_seed(3).without_slot_records(),
+        factory,
+        adversary,
+    );
+    sim.run_for(200_000);
+    let trace = sim.into_trace();
+    let hist: LogHistogram = trace
+        .departures()
+        .iter()
+        .map(|d| d.latency() as f64)
+        .collect();
+    assert!(hist.count() > 2_500);
+    // Under light dynamic load, cjz latencies concentrate: less than 2% of
+    // deliveries should take 512+ slots (contrast E4's smoothed-beb, whose
+    // completion tail is power-law).
+    assert!(
+        hist.tail_fraction(512.0) < 0.02,
+        "tail fraction {}",
+        hist.tail_fraction(512.0)
+    );
+}

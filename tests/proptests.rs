@@ -1,0 +1,175 @@
+//! Property-based integration tests: simulator invariants that must hold
+//! for arbitrary seeds, populations, jamming rates and protocol choices.
+
+use contention::prelude::*;
+use proptest::prelude::*;
+
+/// Pick one of the protocol stacks under test.
+fn algo_strategy() -> impl Strategy<Value = u8> {
+    0u8..6
+}
+
+fn spawn_factory(which: u8) -> Box<dyn Fn(NodeId) -> Box<dyn Protocol>> {
+    match which {
+        0 => Box::new(|_| Box::new(CjzProtocol::new(ProtocolParams::constant_jamming()))),
+        1 => Box::new(|_| Box::new(CjzProtocol::new(ProtocolParams::constant_throughput()))),
+        2 => Box::new(|_| Box::new(contention::baselines::WindowProtocol::binary_exponential())),
+        3 => Box::new(|_| Box::new(contention::baselines::ScheduleProtocol::smoothed_beb())),
+        4 => Box::new(|_| Box::new(contention::baselines::SawtoothProtocol::new())),
+        _ => Box::new(|_| Box::new(contention::baselines::FBackoffProtocol::constant_jamming())),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every injected node is either delivered or survives.
+    #[test]
+    fn conservation(seed in 0u64..1000, n in 1u32..40, jam in 0.0f64..0.6, which in algo_strategy()) {
+        let factory = spawn_factory(which);
+        let factory = move |id: NodeId| factory(id);
+        let adversary = CompositeAdversary::new(
+            BatchArrival::at_start(n),
+            RandomJamming::new(jam),
+        );
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+        sim.run_for(3000);
+        let alive = sim.active_count() as u64;
+        let trace = sim.into_trace();
+        prop_assert_eq!(trace.total_arrivals(), u64::from(n));
+        prop_assert_eq!(trace.total_successes() + alive, u64::from(n));
+        prop_assert_eq!(trace.survivors().len() as u64, alive);
+    }
+
+    /// Exactly-one-broadcaster in an unjammed slot if and only if success.
+    #[test]
+    fn resolution_rule(seed in 0u64..500, n in 1u32..30, jam in 0.0f64..0.5) {
+        let factory = |_: NodeId| -> Box<dyn Protocol> {
+            Box::new(CjzProtocol::new(ProtocolParams::constant_jamming()))
+        };
+        let adversary = CompositeAdversary::new(
+            BatchArrival::at_start(n),
+            RandomJamming::new(jam),
+        );
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+        sim.run_for(1500);
+        for rec in sim.trace().slots() {
+            let success = rec.is_success();
+            let expected = !rec.jammed && rec.broadcasters == 1;
+            prop_assert_eq!(success, expected, "slot record {:?}", rec);
+            // Jam/collision/silence all produce NoSuccess feedback.
+            prop_assert_eq!(rec.outcome.feedback().is_success(), success);
+        }
+    }
+
+    /// Cumulative counters agree with raw slot records at every prefix.
+    #[test]
+    fn cumulative_consistency(seed in 0u64..200, n in 1u32..20) {
+        let factory = |_: NodeId| -> Box<dyn Protocol> {
+            Box::new(contention::baselines::ScheduleProtocol::smoothed_beb())
+        };
+        let adversary = CompositeAdversary::new(
+            BatchArrival::at_start(n),
+            PeriodicJamming::new(7, 3),
+        );
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+        sim.run_for(600);
+        let trace = sim.into_trace();
+        let cum = trace.cumulative();
+        let mut arrivals = 0u64;
+        let mut jammed = 0u64;
+        let mut active = 0u64;
+        for (i, rec) in trace.slots().iter().enumerate() {
+            arrivals += u64::from(rec.arrivals);
+            jammed += u64::from(rec.jammed);
+            active += u64::from(rec.active);
+            let t = i as u64 + 1;
+            prop_assert_eq!(cum.arrivals(t), arrivals);
+            prop_assert_eq!(cum.jammed(t), jammed);
+            prop_assert_eq!(cum.active(t), active);
+        }
+    }
+
+    /// The engine is a pure function of the seed.
+    #[test]
+    fn determinism(seed in 0u64..300, n in 1u32..20, jam in 0.0f64..0.5, which in algo_strategy()) {
+        let go = || {
+            let factory = spawn_factory(which);
+            let factory = move |id: NodeId| factory(id);
+            let adversary = CompositeAdversary::new(
+                BatchArrival::at_start(n),
+                RandomJamming::new(jam),
+            );
+            let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+            sim.run_for(800);
+            sim.into_trace()
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.slots(), b.slots());
+        prop_assert_eq!(a.departures(), b.departures());
+    }
+
+    /// Budget wrappers never exceed their curves.
+    #[test]
+    fn budget_enforcement(seed in 0u64..200, arr_cap in 1u64..50, jam_div in 2u64..10) {
+        use contention::sim::adversary::{ArrivalBudget, BudgetedAdversary, JamBudget, FnAdversary};
+        let greedy = FnAdversary::new("greedy", |_s, _h, _r| SlotDecision { jam: true, inject: 10 });
+        let cap = arr_cap;
+        let div = jam_div;
+        let adv = BudgetedAdversary::new(
+            greedy,
+            ArrivalBudget::new(move |_t| cap as f64),
+            JamBudget::new(move |t| t as f64 / div as f64),
+        );
+        let factory = |_: NodeId| -> Box<dyn Protocol> {
+            Box::new(contention::sim::node::NeverBroadcast)
+        };
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adv);
+        let horizon = 500u64;
+        sim.run_for(horizon);
+        let cum = sim.trace().cumulative();
+        prop_assert!(cum.arrivals(horizon) <= cap);
+        for t in 1..=horizon {
+            prop_assert!(cum.jammed(t) as f64 <= t as f64 / div as f64 + 1.0);
+        }
+    }
+
+    /// Latency of every delivered node is at least 1 and accesses at least 1.
+    #[test]
+    fn departure_sanity(seed in 0u64..300, n in 1u32..30, which in algo_strategy()) {
+        let factory = spawn_factory(which);
+        let factory = move |id: NodeId| factory(id);
+        let adversary = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+        sim.run_for(4000);
+        for d in sim.trace().departures() {
+            prop_assert!(d.latency() >= 1);
+            prop_assert!(d.accesses >= 1);
+            prop_assert!(d.departure_slot <= 4000);
+        }
+    }
+
+    /// The (f,g) verifier's budget is monotone in t for non-decreasing
+    /// inputs (arrivals/jams only accumulate).
+    #[test]
+    fn verifier_budget_monotone(seed in 0u64..100, n in 1u32..20) {
+        let params = ProtocolParams::constant_jamming();
+        let factory = CjzFactory::new(params.clone());
+        let adversary = CompositeAdversary::new(
+            BatchArrival::at_start(n),
+            RandomJamming::new(0.3),
+        );
+        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+        sim.run_for(512);
+        let trace = sim.into_trace();
+        let cum = trace.cumulative();
+        let v = ThroughputVerifier::for_params(&params);
+        let mut prev = 0.0f64;
+        for t in 1..=512u64 {
+            let b = v.budget(&cum, t);
+            prop_assert!(b >= prev - 1e-9, "budget dipped at t={t}: {b} < {prev}");
+            prev = b;
+        }
+    }
+}
