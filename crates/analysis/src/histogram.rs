@@ -102,7 +102,12 @@ impl LogHistogram {
             "#".repeat(w.max(usize::from(count > 0)))
         };
         if self.zeros > 0 {
-            let _ = writeln!(out, "[0,1)        | {:>8} | {}", self.zeros, bar(self.zeros));
+            let _ = writeln!(
+                out,
+                "[0,1)        | {:>8} | {}",
+                self.zeros,
+                bar(self.zeros)
+            );
         }
         for (k, &c) in self.bins.iter().enumerate() {
             if c == 0 {
@@ -130,9 +135,7 @@ mod tests {
 
     #[test]
     fn bins_are_powers_of_two() {
-        let h: LogHistogram = [0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 1000.0]
-            .into_iter()
-            .collect();
+        let h: LogHistogram = [0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 1000.0].into_iter().collect();
         assert_eq!(h.count(), 7);
         // 0.5 -> zeros; 1.0,1.5 -> bin0; 2.0,3.9 -> bin1; 4.0 -> bin2;
         // 1000 -> bin9.
@@ -146,7 +149,7 @@ mod tests {
 
     #[test]
     fn tail_fraction() {
-        let h: LogHistogram = (0..100).map(|i| f64::from(i)).collect();
+        let h: LogHistogram = (0..100).map(f64::from).collect();
         // Samples >= 64: 64..=99 → 36 of 100.
         assert!((h.tail_fraction(64.0) - 0.36).abs() < 1e-9);
         assert_eq!(h.tail_fraction(1e9), 0.0);

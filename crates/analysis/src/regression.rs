@@ -113,8 +113,7 @@ pub fn fit(model: GrowthModel, points: &[(f64, f64)]) -> Option<Fit> {
         return None;
     }
     let scale = num / den;
-    let mean_abs_y: f64 =
-        points.iter().map(|&(_, y)| y.abs()).sum::<f64>() / points.len() as f64;
+    let mean_abs_y: f64 = points.iter().map(|&(_, y)| y.abs()).sum::<f64>() / points.len() as f64;
     let mse: f64 = points
         .iter()
         .map(|&(x, y)| {
@@ -168,10 +167,12 @@ mod tests {
     use super::*;
 
     fn series(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
-        (4..=16).map(|k| {
-            let x = (1u64 << k) as f64;
-            (x, f(x))
-        }).collect()
+        (4..=16)
+            .map(|k| {
+                let x = (1u64 << k) as f64;
+                (x, f(x))
+            })
+            .collect()
     }
 
     #[test]
@@ -202,7 +203,9 @@ mod tests {
         let pts = series(|x| x * x.log2());
         let ranked = best_fit(&pts);
         let lin_pos = ranked.iter().position(|f| f.model == GrowthModel::Linear);
-        let nlogn_pos = ranked.iter().position(|f| f.model == GrowthModel::LinearLog);
+        let nlogn_pos = ranked
+            .iter()
+            .position(|f| f.model == GrowthModel::LinearLog);
         assert!(nlogn_pos < lin_pos);
     }
 

@@ -126,12 +126,12 @@ impl Figure {
             let _ = writeln!(out, "(no data)");
             return out;
         }
-        let (xmin, xmax) = all
-            .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
-        let (ymin, ymax) = all
-            .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+        let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+        let (ymin, ymax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
         let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
         let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
         let mut grid = vec![vec![' '; width]; height];
@@ -209,7 +209,10 @@ mod tests {
     #[test]
     fn ascii_plot_contains_marks_and_legend() {
         let mut fig = Figure::new("demo", "n", "slots");
-        fig.add(Series::from_points("lin", (1..=10).map(|i| (i as f64, i as f64))));
+        fig.add(Series::from_points(
+            "lin",
+            (1..=10).map(|i| (i as f64, i as f64)),
+        ));
         let art = fig.to_ascii(40, 10);
         assert!(art.contains("== demo =="));
         assert!(art.contains('*'));

@@ -120,7 +120,11 @@ impl Table {
             s
         };
         let _ = writeln!(out, "{sep}");
-        let _ = writeln!(out, "{}", fmt_row(&self.headers, &vec![Align::Left; cols], &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            fmt_row(&self.headers, &vec![Align::Left; cols], &widths)
+        );
         let _ = writeln!(out, "{sep}");
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &self.aligns, &widths));

@@ -82,14 +82,12 @@ impl ProtocolFactory for Baseline {
             Baseline::FBackoff(g) => Box::new(FBackoffProtocol::new(g.clone(), 1.0, 1.0)),
             Baseline::ResetBeb => Box::new(ResetOnSuccess::smoothed_beb()),
             Baseline::ResetWindowBeb => Box::new(ResettingWindowProtocol::binary_exponential()),
-            Baseline::NonAdaptive(s) => {
-                Box::new(ScheduleProtocol::new("non-adaptive", s.clone()))
-            }
+            Baseline::NonAdaptive(s) => Box::new(ScheduleProtocol::new("non-adaptive", s.clone())),
         }
     }
 
-    fn algorithm_name(&self) -> &'static str {
-        self.name()
+    fn algorithm_name(&self) -> String {
+        self.name().to_string()
     }
 }
 

@@ -163,7 +163,9 @@ mod tests {
     fn aloha_rate() {
         let mut p = ScheduleProtocol::aloha(0.5);
         let mut r = rng(1);
-        let sends = (0..10_000).filter(|&s| p.act(s, &mut r).is_broadcast()).count();
+        let sends = (0..10_000)
+            .filter(|&s| p.act(s, &mut r).is_broadcast())
+            .count();
         assert!((sends as f64 / 10_000.0 - 0.5).abs() < 0.03);
         assert_eq!(p.total_sends(), sends as u64);
     }

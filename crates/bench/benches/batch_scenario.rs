@@ -6,14 +6,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use contention_bench::{run_batch, Algo};
+use contention_bench::{run_batch, AlgoSpec};
 
 fn bench_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_scenario");
     group.sample_size(10);
     for &n in &[64u32, 256] {
         group.bench_with_input(BenchmarkId::new("cjz_drain_jam25", n), &n, |b, &n| {
-            let algo = Algo::cjz_constant_jamming();
+            let algo = AlgoSpec::cjz_constant_jamming();
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;

@@ -6,8 +6,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use contention_baselines::Baseline;
-use contention_bench::Algo;
+use contention_bench::scenario::BaselineSpec;
+use contention_bench::AlgoSpec;
 use contention_sim::adversary::NullAdversary;
 use contention_sim::{SimConfig, Simulator};
 
@@ -15,10 +15,10 @@ fn bench_protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_step");
     let population = 64u32;
     let algos = [
-        Algo::cjz_constant_jamming(),
-        Algo::Baseline(Baseline::BinaryExponential),
-        Algo::Baseline(Baseline::SmoothedBeb),
-        Algo::Baseline(Baseline::Sawtooth),
+        AlgoSpec::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+        AlgoSpec::Baseline(BaselineSpec::Sawtooth),
     ];
     for algo in &algos {
         group.bench_with_input(

@@ -1,7 +1,8 @@
 //! **E9 — ablations of the design choices.**
 //!
 //! The algorithm description (Section 2.1) makes several specific choices;
-//! this experiment quantifies each on the jammed-batch workload:
+//! this experiment quantifies each on the jammed-batch workload
+//! (`batch-jammed` in the registry):
 //!
 //! * **channel swap on Phase-3 restart** — "one important detail worth
 //!   noting": restarting Phase 3 swaps the data and control channels. The
@@ -14,11 +15,12 @@
 //!   sensitivity scan.
 
 use contention_analysis::{fnum, Summary, Table};
-use contention_backoff::GFunction;
-use contention_bench::{replicate, run_batch, Algo, ExpArgs};
-use contention_core::ProtocolParams;
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, JammingSpec, ParamsSpec, ScenarioRunner, ScenarioSpec,
+};
+use contention_bench::{replicate, run_batch, ExpArgs};
 
-fn drain_stats(algo: &Algo, n: u32, jam: f64, seeds: u64) -> (Summary, f64) {
+fn drain_stats(algo: &AlgoSpec, n: u32, jam: f64, seeds: u64) -> (Summary, f64) {
     let outs = replicate(seeds, |seed| {
         let out = run_batch(algo, n, jam, seed, 500_000_000);
         (out.slots as f64, if out.drained { 1.0 } else { 0.0 })
@@ -33,15 +35,18 @@ fn main() {
     let n = if args.quick { 128 } else { 1024 };
     let jam = 0.25;
 
-    println!("E9: ablations on the jammed batch (n = {n}, jam = {jam}, seeds = {})\n", args.seeds);
+    println!(
+        "E9: ablations on the jammed batch (n = {n}, jam = {jam}, seeds = {})\n",
+        args.seeds
+    );
 
-    let base = ProtocolParams::constant_jamming();
+    let base = ParamsSpec::constant_jamming();
 
     // 1. Channel swap.
     let mut t1 = Table::new(["variant", "drain slots", "vs baseline"])
         .with_title("E9a: Phase-3 channel swap");
-    let (base_stats, _) = drain_stats(&Algo::Cjz(base.clone()), n, jam, args.seeds);
-    let (noswap, _) = drain_stats(&Algo::CjzNoSwap(base.clone()), n, jam, args.seeds);
+    let (base_stats, _) = drain_stats(&AlgoSpec::Cjz(base.clone()), n, jam, args.seeds);
+    let (noswap, _) = drain_stats(&AlgoSpec::CjzNoSwap(base.clone()), n, jam, args.seeds);
     t1.row([
         "with swap (paper)".to_string(),
         format!("{} ± {}", fnum(base_stats.mean), fnum(base_stats.ci95())),
@@ -58,7 +63,7 @@ fn main() {
     // Phase 1 (channel agreement) entirely and pins the channel roles.
     let mut t1b = Table::new(["variant", "drain slots", "vs baseline"])
         .with_title("E9a': global-clock oracle (skips Phase 1)");
-    let (oracle, _) = drain_stats(&Algo::CjzOracle(base.clone()), n, jam, args.seeds);
+    let (oracle, _) = drain_stats(&AlgoSpec::CjzOracle(base.clone()), n, jam, args.seeds);
     t1b.row([
         "no clock (paper)".to_string(),
         format!("{} ± {}", fnum(base_stats.mean), fnum(base_stats.ci95())),
@@ -76,17 +81,20 @@ fn main() {
     // clock) vs dual (2 ideal channels, Section 2's thought experiment).
     {
         use contention_core::DualCjzFactory;
-        use contention_sim::adversary::{BatchArrival, CompositeAdversary, RandomJamming};
         use contention_sim::dual::DualSimulator;
         use contention_sim::SimConfig;
+        // The dual-channel thought experiment runs outside the standard
+        // engine; the workload (adversary stack) still comes from the
+        // scenario spec.
+        let workload = ScenarioSpec::batch(n, jam);
         let dual = {
-            let runs = contention_bench::replicate(args.seeds, |seed| {
-                let factory = DualCjzFactory::new(base.clone());
-                let adv = CompositeAdversary::new(
-                    BatchArrival::at_start(n),
-                    RandomJamming::new(jam),
+            let runs = replicate(args.seeds, |seed| {
+                let factory = DualCjzFactory::new(base.build());
+                let mut sim = DualSimulator::new(
+                    SimConfig::with_seed(seed),
+                    factory,
+                    workload.build_adversary(),
                 );
-                let mut sim = DualSimulator::new(SimConfig::with_seed(seed), factory, adv);
                 assert!(sim.run_until_drained(500_000_000));
                 sim.current_slot() as f64
             });
@@ -112,17 +120,21 @@ fn main() {
         println!("{}", t1c.render());
         println!(
             "  two ideal channels beat one: {}",
-            if dual.mean < base_stats.mean { "PASS" } else { "FAIL" }
+            if dual.mean < base_stats.mean {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
         println!();
     }
 
     // 2. Send density: c2 sweep (c2 -> 0 approximates 1-send-per-stage).
-    let mut t2 = Table::new(["c2", "drain slots", "vs c2=1"])
-        .with_title("E9b: backoff send density (c2)");
+    let mut t2 =
+        Table::new(["c2", "drain slots", "vs c2=1"]).with_title("E9b: backoff send density (c2)");
     for c2 in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let p = ProtocolParams::new(GFunction::Constant(2.0)).with_c2(c2);
-        let (s, _) = drain_stats(&Algo::Cjz(p), n, jam, args.seeds);
+        let algo = AlgoSpec::Cjz(ParamsSpec::constant_jamming().with_c2(c2));
+        let (s, _) = drain_stats(&algo, n, jam, args.seeds);
         t2.row([
             format!("{c2}"),
             format!("{} ± {}", fnum(s.mean), fnum(s.ci95())),
@@ -132,11 +144,11 @@ fn main() {
     println!("{}", t2.render());
 
     // 3. Control-batch constant c3.
-    let mut t3 = Table::new(["c3", "drain slots", "vs c3=2"])
-        .with_title("E9c: control-batch constant (c3)");
+    let mut t3 =
+        Table::new(["c3", "drain slots", "vs c3=2"]).with_title("E9c: control-batch constant (c3)");
     for c3 in [1.0, 2.0, 4.0, 8.0] {
-        let p = ProtocolParams::new(GFunction::Constant(2.0)).with_c3(c3);
-        let (s, _) = drain_stats(&Algo::Cjz(p), n, jam, args.seeds);
+        let algo = AlgoSpec::Cjz(ParamsSpec::constant_jamming().with_c3(c3));
+        let (s, _) = drain_stats(&algo, n, jam, args.seeds);
         t3.row([
             format!("{c3}"),
             format!("{} ± {}", fnum(s.mean), fnum(s.ci95())),
@@ -147,18 +159,20 @@ fn main() {
 
     // 4. Recovery ablation: single node behind a jam wall, c2 sweep —
     // density is what buys recovery (Theorem 4.2 mechanism).
-    use contention_sim::adversary::{BatchArrival, CompositeAdversary, FrontLoadedJamming};
     let j = if args.quick { 1u64 << 10 } else { 1u64 << 14 };
+    let wall = ScenarioRunner::new(
+        ScenarioSpec::new(format!("front-loaded/{j}"))
+            .arrivals(ArrivalSpec::batch(1))
+            .jamming(JammingSpec::FrontLoaded { until: j })
+            .until_drained(64 * j)
+            .seeds(args.seeds),
+    );
     let mut t4 = Table::new(["c2", "recovery slots"])
         .with_title(format!("E9d: single-node recovery after {j}-slot jam wall"));
     let mut recoveries = Vec::new();
     for c2 in [0.25, 1.0, 4.0] {
-        let p = ProtocolParams::new(GFunction::Constant(2.0)).with_c2(c2);
-        let algo = Algo::Cjz(p);
-        let recs = replicate(args.seeds, |seed| {
-            let adv =
-                CompositeAdversary::new(BatchArrival::at_start(1), FrontLoadedJamming::new(j));
-            let out = contention_bench::run_trial(algo.clone(), adv, seed, 64 * j);
+        let algo = AlgoSpec::Cjz(ParamsSpec::constant_jamming().with_c2(c2));
+        let recs = wall.collect(&algo, |_seed, out| {
             out.trace
                 .departures()
                 .first()
@@ -167,23 +181,28 @@ fn main() {
         });
         let s = Summary::of(&recs).unwrap();
         recoveries.push(s.mean);
-        t4.row([format!("{c2}"), format!("{} ± {}", fnum(s.mean), fnum(s.ci95()))]);
+        t4.row([
+            format!("{c2}"),
+            format!("{} ± {}", fnum(s.mean), fnum(s.ci95())),
+        ]);
     }
     println!("{}", t4.render());
 
     // Verdicts.
-    let swap_ok = noswap.mean < 4.0 * base_stats.mean;
     println!(
         "channel-swap ablation changes drain by {}x (informational)",
         fnum(noswap.mean / base_stats.mean)
     );
     println!(
         "denser backoff (higher c2) recovers faster from the jam wall: {} ({} → {})",
-        if recoveries.last() < recoveries.first() { "PASS" } else { "FAIL" },
+        if recoveries.last() < recoveries.first() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         fnum(recoveries[0]),
         fnum(*recoveries.last().unwrap())
     );
-    let _ = swap_ok;
     println!(
         "(Constants trade batch efficiency against jamming recovery — exactly the dilemma \
          the lower bounds formalize; the paper's choices sit on the optimal frontier.)"

@@ -8,23 +8,31 @@
 //!
 //! This experiment measures both horns:
 //!
-//! * **Recovery** — a single node arrives at slot 1 and Eve jams the first
-//!   `J` slots. How long after the jamming stops until the node delivers?
-//!   Monotone schedules have decayed to `p ≈ 1/J`, paying `Θ(J)` extra;
-//!   `(f/a)`-backoff still sends `f(L) ≈ log L` times per stage, paying only
-//!   `Θ(J / log J)`.
-//! * **Crowd** — `n` nodes arrive together (no jamming). Time to *first*
+//! * **Recovery** — the registry's `front-loaded/J` scenario: a single node
+//!   arrives at slot 1 and Eve jams the first `J` slots. How long after the
+//!   jamming stops until the node delivers? Monotone schedules have decayed
+//!   to `p ≈ 1/J`, paying `Θ(J)` extra; `(f/a)`-backoff still sends
+//!   `f(L) ≈ log L` times per stage, paying only `Θ(J / log J)`.
+//! * **Crowd** — the `batch/n` scenario without jamming. Time to *first*
 //!   success. Schedules that stay aggressive (to survive jamming) collide
 //!   forever; the backoff's stage structure thins out correctly.
 
 use contention_analysis::{fnum, Figure, Series, Summary, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, run_batch, run_trial, Algo, ExpArgs};
-use contention_sim::adversary::{BatchArrival, CompositeAdversary, FrontLoadedJamming, NoJamming};
+use contention_bench::scenario::{
+    registry, AlgoSpec, BaselineSpec, GSpec, ScenarioRunner, ScenarioSpec,
+};
+use contention_bench::ExpArgs;
 
 /// First-success slot of a trace, if any.
 fn first_success(trace: &contention_sim::Trace) -> Option<u64> {
     trace.departures().first().map(|d| d.departure_slot)
+}
+
+/// The jam-wall recovery scenario — the registry's `front-loaded/J`.
+fn recovery_scenario(j: u64, seeds: u64) -> ScenarioSpec {
+    registry::lookup(&format!("front-loaded/{j}"))
+        .expect("front-loaded is a registry family")
+        .seeds(seeds)
 }
 
 fn main() {
@@ -33,12 +41,12 @@ fn main() {
     let min_pow = 6;
 
     let algos = [
-        Algo::Baseline(Baseline::BinaryExponential),
-        Algo::Baseline(Baseline::SmoothedBeb),
-        Algo::Baseline(Baseline::Polynomial(2.0)),
-        Algo::Baseline(Baseline::Sawtooth),
-        Algo::Baseline(Baseline::FBackoff(contention_backoff::GFunction::Constant(2.0))),
-        Algo::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+        AlgoSpec::Baseline(BaselineSpec::Polynomial(2.0)),
+        AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+        AlgoSpec::Baseline(BaselineSpec::FBackoff(GSpec::Constant(2.0))),
+        AlgoSpec::cjz_constant_jamming(),
     ];
 
     println!("E5a: single node, first J slots jammed — recovery time after the jam ends");
@@ -56,14 +64,10 @@ fn main() {
 
     for p in min_pow..=max_pow {
         let j = 1u64 << p;
+        let runner = ScenarioRunner::new(recovery_scenario(j, args.seeds));
         let mut row = vec![format!("2^{p}")];
         for (ai, algo) in algos.iter().enumerate() {
-            let recs = replicate(args.seeds, |seed| {
-                let adv = CompositeAdversary::new(
-                    BatchArrival::at_start(1),
-                    FrontLoadedJamming::new(j),
-                );
-                let out = run_trial(algo.clone(), adv, seed, 64 * j + 1_000_000);
+            let recs = runner.collect(algo, |_seed, out| {
                 match first_success(&out.trace) {
                     Some(s) => (s.saturating_sub(j)) as f64,
                     // Never succeeded within the generous horizon: censor at
@@ -120,20 +124,20 @@ fn main() {
     .with_title("E5b: mean slots to first success");
     let mut worst_first: Vec<f64> = vec![0.0; algos.len()];
     for &n in &ns {
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::batch(n, 0.0)
+                .until_drained(4_000_000)
+                .seeds(args.seeds),
+        );
         let mut row = vec![format!("{n}")];
         for (ai, algo) in algos.iter().enumerate() {
-            let vals = replicate(args.seeds, |seed| {
-                let adv = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
-                let out = run_trial(algo.clone(), adv, seed, 4_000_000);
-                match first_success(&out.trace) {
-                    Some(s) => s as f64,
-                    None => 4_000_000.0,
-                }
+            let vals = runner.collect(algo, |_seed, out| match first_success(&out.trace) {
+                Some(s) => s as f64,
+                None => 4_000_000.0,
             });
             let s = Summary::of(&vals).unwrap();
             row.push(fnum(s.mean));
             worst_first[ai] = worst_first[ai].max(s.mean);
-            let _ = run_batch; // (suppress unused import at some configs)
         }
         crowd_table.row(row);
     }
@@ -146,7 +150,11 @@ fn main() {
     println!(
         "E5b verdict: cjz first success within 8·n for n = {}: {} ({} slots)",
         n_max,
-        if cjz_first <= 8.0 * n_max { "PASS" } else { "FAIL" },
+        if cjz_first <= 8.0 * n_max {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         fnum(cjz_first)
     );
     println!(

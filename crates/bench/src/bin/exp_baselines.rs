@@ -3,7 +3,8 @@
 //! The introduction's motivating claims: plain backoff variants cannot
 //! sustain good throughput under adversarial arrivals and jamming; the
 //! paper's protocol can. This experiment pits the whole roster against four
-//! scenarios and reports messages delivered within a fixed horizon:
+//! registry scenarios and reports messages delivered within a fixed
+//! horizon:
 //!
 //! * `batch` — one big batch, no jamming (the classical stress test);
 //! * `batch+jam` — one big batch, 25% of slots jammed;
@@ -12,12 +13,10 @@
 //!   success (spite strategy, budgeted by its burst length).
 
 use contention_analysis::{fnum, Summary, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, run_fixed, Algo, ExpArgs};
-use contention_sim::adversary::{
-    Adversary, BatchArrival, BurstyArrival, CompositeAdversary, NoJamming, RandomJamming,
-    ReactiveJamming,
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, BaselineSpec, JammingSpec, ScenarioRunner, ScenarioSpec,
 };
+use contention_bench::ExpArgs;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Scenario {
@@ -37,26 +36,25 @@ impl Scenario {
         }
     }
 
-    fn adversary(self, n: u32, horizon: u64) -> Box<dyn Adversary> {
+    fn spec(self, n: u32, horizon: u64) -> ScenarioSpec {
         let burst = (n / 16).max(1);
         let period = (horizon / 24).max(1);
+        let bursts = ArrivalSpec::Bursty {
+            period,
+            phase: 1,
+            size: burst,
+            bursts: 16,
+        };
+        let spec = ScenarioSpec::new(self.name()).fixed_horizon(horizon);
         match self {
-            Scenario::Batch => Box::new(CompositeAdversary::new(
-                BatchArrival::at_start(n),
-                NoJamming,
-            )),
-            Scenario::BatchJam => Box::new(CompositeAdversary::new(
-                BatchArrival::at_start(n),
-                RandomJamming::new(0.25),
-            )),
-            Scenario::BurstsJam => Box::new(CompositeAdversary::new(
-                BurstyArrival::new(period, 1, burst, 16),
-                RandomJamming::new(0.25),
-            )),
-            Scenario::Reactive => Box::new(CompositeAdversary::new(
-                BurstyArrival::new(period, 1, burst, 16),
-                ReactiveJamming::new(4),
-            )),
+            Scenario::Batch => spec.arrivals(ArrivalSpec::batch(n)),
+            Scenario::BatchJam => spec
+                .arrivals(ArrivalSpec::batch(n))
+                .jamming(JammingSpec::random(0.25)),
+            Scenario::BurstsJam => spec.arrivals(bursts).jamming(JammingSpec::random(0.25)),
+            Scenario::Reactive => spec
+                .arrivals(bursts)
+                .jamming(JammingSpec::Reactive { burst: 4 }),
         }
     }
 }
@@ -72,8 +70,11 @@ fn main() {
     println!("E7: delivered messages within {horizon} slots (n = {n} per scenario)");
     println!("seeds = {}\n", args.seeds);
 
-    let mut algos: Vec<Algo> = Baseline::roster().into_iter().map(Algo::Baseline).collect();
-    algos.push(Algo::cjz_constant_jamming());
+    let mut algos: Vec<AlgoSpec> = BaselineSpec::roster()
+        .into_iter()
+        .map(AlgoSpec::Baseline)
+        .collect();
+    algos.push(AlgoSpec::cjz_constant_jamming());
 
     let scenarios = [
         Scenario::Batch,
@@ -96,18 +97,16 @@ fn main() {
         let mut row = vec![algo.name()];
         let mut batchjam_latency = f64::NAN;
         for (si, sc) in scenarios.iter().enumerate() {
-            let runs = replicate(args.seeds, |seed| {
-                let adv = sc.adversary(n, horizon);
-                let trace = run_fixed(algo.clone(), adv, seed, horizon);
-                let lat = trace.mean_latency().unwrap_or(f64::NAN);
-                (trace.total_successes(), lat)
+            let runner = ScenarioRunner::new(sc.spec(n, horizon).seeds(args.seeds));
+            let runs = runner.collect(algo, |_seed, out| {
+                let lat = out.trace.mean_latency().unwrap_or(f64::NAN);
+                (out.trace.total_successes(), lat)
             });
             let succ = Summary::of(&runs.iter().map(|r| r.0 as f64).collect::<Vec<_>>()).unwrap();
             deliveries[ai][si] = succ.mean;
             row.push(fnum(succ.mean));
             if *sc == Scenario::BatchJam {
-                let lats: Vec<f64> =
-                    runs.iter().map(|r| r.1).filter(|l| l.is_finite()).collect();
+                let lats: Vec<f64> = runs.iter().map(|r| r.1).filter(|l| l.is_finite()).collect();
                 batchjam_latency = Summary::of(&lats).map(|s| s.mean).unwrap_or(f64::NAN);
             }
         }

@@ -15,8 +15,7 @@
 //!    without jamming).
 
 use contention_analysis::{best_fit, fnum, Figure, GrowthModel, Series, Summary, Table};
-use contention_bench::{replicate, run_batch, Algo, ExpArgs};
-use contention_core::ProtocolParams;
+use contention_bench::{replicate, run_batch, AlgoSpec, ExpArgs};
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -28,7 +27,7 @@ fn main() {
     println!("E3: batch of n, fraction of slots jammed at random");
     println!("n = 2^{min_pow}..2^{max_pow}, seeds = {}\n", args.seeds);
 
-    let algo = Algo::cjz_constant_jamming();
+    let algo = AlgoSpec::cjz_constant_jamming();
     let mut drain_fig = Figure::new("E3: drain slots vs n", "n", "slots");
 
     for &jam in &jams {
@@ -106,7 +105,7 @@ fn main() {
 
     // Constant-throughput tuning without jamming: drain should be Θ(n).
     println!("E3b: g = 2^sqrt(log) tuning, no jamming (constant-throughput regime)");
-    let algo_ct = Algo::Cjz(ProtocolParams::constant_throughput());
+    let algo_ct = AlgoSpec::cjz_constant_throughput();
     let mut pts: Vec<(f64, f64)> = Vec::new();
     let mut table = Table::new(["n", "drain slots", "slots/n"])
         .with_title("E3b: drain time, constant-throughput tuning");

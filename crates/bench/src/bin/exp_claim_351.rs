@@ -18,8 +18,8 @@
 //!   25%.
 
 use contention_analysis::{best_fit, fnum, quantile, Figure, GrowthModel, Series, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, run_batch_light, Algo, ExpArgs};
+use contention_bench::scenario::BaselineSpec;
+use contention_bench::{replicate, run_batch_light, AlgoSpec, ExpArgs};
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -27,9 +27,12 @@ fn main() {
     let min_pow = 5;
 
     println!("E4: Claim 3.5.1 — smoothed BEB (p_i = 1/i) on a batch of n");
-    println!("n = 2^{min_pow}..2^{max_pow}, seeds = {} (medians; heavy-tailed!)\n", args.seeds);
+    println!(
+        "n = 2^{min_pow}..2^{max_pow}, seeds = {} (medians; heavy-tailed!)\n",
+        args.seeds
+    );
 
-    let algo = Algo::Baseline(Baseline::SmoothedBeb);
+    let algo = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
 
     let mut table = Table::new([
         "n",

@@ -6,23 +6,21 @@
 //! (Theorems 1.2 + 1.3): the paper's algorithm delivers `Θ(t/log t)`
 //! messages in `t` slots, and nothing can do asymptotically better.
 //!
-//! Setup: arrivals are offered at exactly the critical density
-//! `n_t = t/(2f(t))` with `f = Θ(log t)`, and 25% of slots are jammed at
-//! random. A working algorithm *keeps up*: deliveries track arrivals
-//! (`Θ(t/log t)`) and the backlog stays bounded. Baselines run under the
-//! identical offered load for contrast — they fall behind, accumulating
-//! backlog. The growth-model fit on the paper algorithm's delivery curve
-//! should rank `c·t/log t` above both `c·t` and `c·t/log² t`.
+//! Setup: the registry's `constant-jamming` scenario — arrivals offered at
+//! exactly the critical density `n_t = t/(2f(t))` with `f = Θ(log t)`, and
+//! 25% of slots jammed at random. A working algorithm *keeps up*:
+//! deliveries track arrivals (`Θ(t/log t)`) and the backlog stays bounded.
+//! Baselines run under the identical offered load for contrast — they fall
+//! behind, accumulating backlog. The growth-model fit on the paper
+//! algorithm's delivery curve should rank `c·t/log t` above both `c·t` and
+//! `c·t/log² t`.
 
 use contention_analysis::{best_fit, fnum, Figure, GrowthModel, Series, Summary, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, Algo, ExpArgs};
-use contention_core::ProtocolParams;
-use contention_sim::adversary::{
-    ArrivalBudget, BudgetedAdversary, CompositeAdversary, JamBudget, RandomJamming,
-    SaturatedArrival,
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, JammingSpec, ParamsSpec,
+    ScenarioRunner, ScenarioSpec,
 };
-use contention_sim::{SimConfig, Simulator};
+use contention_bench::ExpArgs;
 
 struct AlgoRun {
     name: String,
@@ -35,30 +33,29 @@ struct AlgoRun {
     final_backlog: f64,
 }
 
-fn run_algo(
-    algo: &Algo,
-    jam: f64,
-    min_pow: u32,
-    max_pow: u32,
-    seeds: u64,
-) -> AlgoRun {
+/// The E2 workload: saturated arrivals clamped to the critical density
+/// `t/(2f(t))`, `jam` of all slots jammed, fixed horizon.
+fn scenario(jam: f64, horizon: u64, seeds: u64) -> ScenarioSpec {
+    ScenarioSpec::new(format!("constant-jamming/{jam}"))
+        .arrivals(ArrivalSpec::saturated())
+        .jamming(JammingSpec::random(jam))
+        .budget(BudgetSpec {
+            params: ParamsSpec::constant_jamming(),
+            arrivals: CurveSpec::CriticalArrivals { scale: 2.0 },
+            jams: CurveSpec::Unlimited,
+        })
+        .fixed_horizon(horizon)
+        .seeds(seeds)
+}
+
+fn run_algo(algo: &AlgoSpec, jam: f64, min_pow: u32, max_pow: u32, seeds: u64) -> AlgoRun {
     let horizon = 1u64 << max_pow;
-    let params = ProtocolParams::constant_jamming();
-    let runs = replicate(seeds, |seed| {
-        let f = params.f();
-        let inner = CompositeAdversary::new(
-            SaturatedArrival::new(u64::MAX),
-            RandomJamming::new(jam),
-        );
-        let adv = BudgetedAdversary::new(
-            inner,
-            ArrivalBudget::new(move |t| t as f64 / (2.0 * f.at(t))),
-            JamBudget::unlimited(),
-        );
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), algo.clone(), adv);
-        sim.run_for(horizon);
-        let cum = sim.into_trace().cumulative();
-        let succ: Vec<u64> = (min_pow..=max_pow).map(|p| cum.successes(1u64 << p)).collect();
+    let runner = ScenarioRunner::new(scenario(jam, horizon, seeds));
+    let runs = runner.collect(algo, |_seed, out| {
+        let cum = out.trace.cumulative();
+        let succ: Vec<u64> = (min_pow..=max_pow)
+            .map(|p| cum.successes(1u64 << p))
+            .collect();
         (succ, cum.arrivals(horizon))
     });
     let checkpoints = (max_pow - min_pow + 1) as usize;
@@ -89,13 +86,16 @@ fn main() {
     let jam = 0.25;
 
     println!("E2: messages delivered in t slots, 25% of slots jammed");
-    println!("offered load n_t = t/(2 f(t)), f = Θ(log t); t up to 2^{max_pow}; seeds = {}\n", args.seeds);
+    println!(
+        "offered load n_t = t/(2 f(t)), f = Θ(log t); t up to 2^{max_pow}; seeds = {}\n",
+        args.seeds
+    );
 
     let algos = [
-        Algo::cjz_constant_jamming(),
-        Algo::Baseline(Baseline::SmoothedBeb),
-        Algo::Baseline(Baseline::BinaryExponential),
-        Algo::Baseline(Baseline::Sawtooth),
+        AlgoSpec::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::Sawtooth),
     ];
     let results: Vec<AlgoRun> = algos
         .iter()

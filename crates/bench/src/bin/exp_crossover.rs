@@ -10,12 +10,15 @@
 //! * tuned for a clean channel (`g = 2^√log` ⇒ `f = Θ(1)`, sparse backoff),
 //!   it is faster when clean but degrades under heavy jamming.
 //!
-//! The experiment sweeps the actual jamming rate and reports batch drain
-//! time for both tunings; the curves should cross.
+//! The experiment sweeps the actual jamming rate over the registry's
+//! `batch` family and reports drain time for both tunings; the curves
+//! should cross.
 
 use contention_analysis::{fnum, Figure, Series, Summary, Table};
-use contention_bench::{replicate, run_batch, Algo, ExpArgs};
-use contention_core::ProtocolParams;
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, JammingSpec, ScenarioRunner, ScenarioSpec,
+};
+use contention_bench::ExpArgs;
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -26,10 +29,10 @@ fn main() {
     println!("seeds = {}\n", args.seeds);
 
     let tunings = [
-        ("tuned-heavy (g=const)", Algo::Cjz(ProtocolParams::constant_jamming())),
+        ("tuned-heavy (g=const)", AlgoSpec::cjz_constant_jamming()),
         (
             "tuned-clean (g=2^sqrt(log))",
-            Algo::Cjz(ProtocolParams::constant_throughput()),
+            AlgoSpec::cjz_constant_throughput(),
         ),
     ];
 
@@ -39,10 +42,14 @@ fn main() {
     let mut curves: Vec<Vec<f64>> = vec![Vec::new(); tunings.len()];
 
     for &jam in &jams {
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::batch(n, jam)
+                .until_drained(1_000_000_000)
+                .seeds(args.seeds),
+        );
         let mut means = Vec::new();
         for (ti, (_, algo)) in tunings.iter().enumerate() {
-            let outs = replicate(args.seeds, |seed| {
-                let out = run_batch(algo, n, jam, seed, 1_000_000_000);
+            let outs = runner.collect(algo, |_seed, out| {
                 assert!(out.drained, "undrained at jam={jam}");
                 out.slots as f64
             });
@@ -60,10 +67,7 @@ fn main() {
     println!("{}", table.render());
 
     for (ti, (name, _)) in tunings.iter().enumerate() {
-        let s = Series::from_points(
-            *name,
-            jams.iter().zip(&curves[ti]).map(|(&x, &y)| (x, y)),
-        );
+        let s = Series::from_points(*name, jams.iter().zip(&curves[ti]).map(|(&x, &y)| (x, y)));
         fig.add(s);
     }
     println!("{}", fig.to_ascii(72, 16));
@@ -75,7 +79,6 @@ fn main() {
     // node — is what the heavy tuning's dense backoff is for. Random
     // uniform jamming (above) barely distinguishes the tunings; the wall
     // does, because recovery scales with the backoff density f.
-    use contention_sim::adversary::{BatchArrival, CompositeAdversary, FrontLoadedJamming};
     println!("E10b: single node behind a jam wall of J slots — recovery time");
     let walls: Vec<u64> = if args.quick {
         vec![1 << 8, 1 << 10, 1 << 12]
@@ -87,12 +90,16 @@ fn main() {
     let mut heavy_last = 0.0;
     let mut clean_last = 0.0;
     for &j in &walls {
+        let wall = ScenarioRunner::new(
+            ScenarioSpec::new(format!("front-loaded/{j}"))
+                .arrivals(ArrivalSpec::batch(1))
+                .jamming(JammingSpec::FrontLoaded { until: j })
+                .until_drained(64 * j)
+                .seeds(args.seeds),
+        );
         let mut means = Vec::new();
         for (_, algo) in &tunings {
-            let recs = replicate(args.seeds, |seed| {
-                let adv =
-                    CompositeAdversary::new(BatchArrival::at_start(1), FrontLoadedJamming::new(j));
-                let out = contention_bench::run_trial(algo.clone(), adv, seed, 64 * j);
+            let recs = wall.collect(algo, |_seed, out| {
                 out.trace
                     .departures()
                     .first()
@@ -122,7 +129,11 @@ fn main() {
     );
     println!(
         "heavy-tuned recovers faster from the adversarial jam wall: {} ({} vs {})",
-        if heavy_last < clean_last { "PASS" } else { "FAIL" },
+        if heavy_last < clean_last {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         fnum(heavy_last),
         fnum(clean_last)
     );

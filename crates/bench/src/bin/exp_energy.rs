@@ -11,8 +11,8 @@
 //! per delivered node, checking the `log²`-normalized column stays flat.
 
 use contention_analysis::{best_fit, fnum, GrowthModel, Summary, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, run_batch_light, Algo, ExpArgs};
+use contention_bench::scenario::BaselineSpec;
+use contention_bench::{replicate, run_batch_light, AlgoSpec, ExpArgs};
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -23,7 +23,7 @@ fn main() {
     println!("E8: channel accesses per delivered message (batch of n)");
     println!("n = 2^{min_pow}..2^{max_pow}, seeds = {}\n", args.seeds);
 
-    let algo = Algo::cjz_constant_jamming();
+    let algo = AlgoSpec::cjz_constant_jamming();
 
     for &jam in &jams {
         let mut table = Table::new([
@@ -95,9 +95,9 @@ fn main() {
     // length T is the harmonic sum ≈ ln T — lower, but it pays with ω(n)
     // completion (E4). Report for context.
     println!("E8b: smoothed-beb energy for context (jam = 0)");
-    let beb = Algo::Baseline(Baseline::SmoothedBeb);
-    let mut table = Table::new(["n", "mean accesses", "max accesses"])
-        .with_title("E8b: smoothed-beb accesses");
+    let beb = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
+    let mut table =
+        Table::new(["n", "mean accesses", "max accesses"]).with_title("E8b: smoothed-beb accesses");
     for p in [min_pow, (min_pow + max_pow) / 2, max_pow] {
         let n = 1u32 << p;
         let outs = replicate(args.seeds, |seed| {
@@ -112,11 +112,7 @@ fn main() {
         });
         let mean_acc = Summary::of(&outs.iter().map(|o| o.0).collect::<Vec<_>>()).unwrap();
         let max_acc = Summary::of(&outs.iter().map(|o| o.1).collect::<Vec<_>>()).unwrap();
-        table.row([
-            format!("{n}"),
-            fnum(mean_acc.mean),
-            fnum(max_acc.mean),
-        ]);
+        table.row([format!("{n}"), fnum(mean_acc.mean), fnum(max_acc.mean)]);
     }
     println!("{}", table.render());
     println!(

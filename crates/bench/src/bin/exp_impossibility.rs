@@ -6,22 +6,24 @@
 //! `Ω(log² t / log² g(t))` broadcasts before its first success — that
 //! spending is *forced*, and Lemma 4.1 turns overspending into a
 //! throughput violation. Impossibility theorems quantify over all
-//! algorithms and cannot be "run"; what can be run is the mechanism:
+//! algorithms and cannot be "run"; what can be run is the mechanism (the
+//! registry's `lowerbound/*` scenarios):
 //!
-//! * **E11a** — a single node under the [`Theorem13Adversary`] script:
+//! * **E11a** — a single node under the `lowerbound/theorem13` script:
 //!   count its broadcasts before first success as the horizon grows. For
 //!   the paper's algorithm (g constant) the count should grow ≈ `log² t` —
 //!   matching the lower bound, i.e. the algorithm spends exactly the
 //!   forced budget (tightness from the algorithm side).
-//! * **E11b** — the Lemma 4.1 flood against an algorithm that *overspends*
-//!   (ALOHA, constant probability): no success appears in the whole
-//!   horizon, demonstrating how the adversary converts aggression into
-//!   zero throughput.
+//! * **E11b** — the `lowerbound/lemma41` flood against an algorithm that
+//!   *overspends* (ALOHA, constant probability): no success appears in the
+//!   whole horizon, demonstrating how the adversary converts aggression
+//!   into zero throughput.
 
 use contention_analysis::{best_fit, fnum, GrowthModel, Summary, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, run_trial, Algo, ExpArgs};
-use contention_sim::adversary::lowerbound::{Lemma41Adversary, Theorem13Adversary};
+use contention_bench::scenario::{
+    AdversarySpec, AlgoSpec, BaselineSpec, ScenarioRunner, ScenarioSpec,
+};
+use contention_bench::ExpArgs;
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -29,19 +31,30 @@ fn main() {
     let min_pow = 8;
 
     println!("E11a: broadcasts before first success under the Theorem 1.3 adversary");
-    println!("horizon t = 2^{min_pow}..2^{max_pow}, seeds = {}\n", args.seeds);
+    println!(
+        "horizon t = 2^{min_pow}..2^{max_pow}, seeds = {}\n",
+        args.seeds
+    );
 
-    let algo = Algo::cjz_constant_jamming();
+    let algo = AlgoSpec::cjz_constant_jamming();
     let mut table = Table::new(["t", "accesses to 1st success", "log2^2(t)", "ratio"])
         .with_title("E11a: forced channel accesses (cjz, g const)");
     let mut points: Vec<(f64, f64)> = Vec::new();
 
     for p in min_pow..=max_pow {
         let t = 1u64 << p;
-        let vals = replicate(args.seeds, |seed| {
-            // g(t) = 2 for the constant tuning.
-            let adv = Theorem13Adversary::new(t, 2.0);
-            let out = run_trial(algo.clone(), adv, seed, 4 * t);
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::new("lowerbound/theorem13")
+                .algo(algo.clone())
+                .adversary(AdversarySpec::Theorem13 {
+                    horizon: t,
+                    // g(t) = 2 for the constant tuning.
+                    g_of_t: 2.0,
+                })
+                .until_drained(4 * t)
+                .seeds(args.seeds),
+        );
+        let vals = runner.collect(&algo, |_seed, out| {
             // Accesses of the single node up to its delivery (or to the
             // horizon if censored).
             match out.trace.departures().first() {
@@ -92,18 +105,22 @@ fn main() {
     let horizon = 1u64 << if args.quick { 11 } else { 14 };
     let mut flood_table = Table::new(["algorithm", "successes in t", "first success"])
         .with_title(format!("E11b: flood horizon t = {horizon}"));
-    for algo in [
-        Algo::Baseline(Baseline::Aloha(0.3)),
-        Algo::Baseline(Baseline::Aloha(0.05)),
-        Algo::cjz_constant_jamming(),
-    ] {
-        let runs = replicate(args.seeds, |seed| {
-            let adv = Lemma41Adversary::new(
+    let flood = ScenarioRunner::new(
+        ScenarioSpec::new("lowerbound/lemma41")
+            .adversary(AdversarySpec::Lemma41 {
                 horizon,
-                8,                       // batch-injected per slot for the first √t slots
-                horizon / 64,            // random-injected over [1, t]
-            );
-            let out = run_trial(algo.clone(), adv, seed, horizon);
+                batch_per_slot: 8,          // per slot for the first √t slots
+                random_total: horizon / 64, // random-injected over [1, t]
+            })
+            .fixed_horizon(horizon)
+            .seeds(args.seeds),
+    );
+    for algo in [
+        AlgoSpec::Baseline(BaselineSpec::Aloha(0.3)),
+        AlgoSpec::Baseline(BaselineSpec::Aloha(0.05)),
+        AlgoSpec::cjz_constant_jamming(),
+    ] {
+        let runs = flood.collect(&algo, |_seed, out| {
             let first = out
                 .trace
                 .departures()

@@ -2,8 +2,9 @@
 //!
 //! Not a paper claim, but the natural engineering question downstream
 //! users ask: with the channel permanently backlogged (a fixed standing
-//! population, replenished on every delivery), how many messages per slot
-//! does each algorithm sustain, and how does jamming scale it?
+//! population, replenished on every delivery — the registry's `saturated`
+//! scenario), how many messages per slot does each algorithm sustain, and
+//! how does jamming scale it?
 //!
 //! The paper's guarantees are worst-case; this table is the average-case
 //! complement. For reference, the theoretical optimum for *any* algorithm
@@ -11,11 +12,10 @@
 //! unjammed slot (perfectly tuned ALOHA), scaled by `(1 − jam)`.
 
 use contention_analysis::{fnum, Summary, Table};
-use contention_baselines::Baseline;
-use contention_bench::{replicate, run_fixed, Algo, ExpArgs};
-use contention_sim::adversary::{
-    Adversary, CompositeAdversary, NoJamming, RandomJamming, SaturatedArrival,
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, BaselineSpec, JammingSpec, ScenarioRunner, ScenarioSpec,
 };
+use contention_bench::ExpArgs;
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -26,18 +26,29 @@ fn main() {
     println!("E12 (extension): saturated capacity, standing backlog = {backlog}");
     println!("horizon = {horizon}, seeds = {}\n", args.seeds);
 
-    let mut algos: Vec<Algo> = vec![
-        Algo::cjz_constant_jamming(),
-        Algo::Baseline(Baseline::BinaryExponential),
-        Algo::Baseline(Baseline::SmoothedBeb),
-        Algo::Baseline(Baseline::LogBackoff(2.0)),
-        Algo::Baseline(Baseline::Sawtooth),
+    let mut algos: Vec<AlgoSpec> = vec![
+        AlgoSpec::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+        AlgoSpec::Baseline(BaselineSpec::LogBackoff(2.0)),
+        AlgoSpec::Baseline(BaselineSpec::Sawtooth),
         // ALOHA tuned exactly to the backlog: the saturation optimum.
-        Algo::Baseline(Baseline::Aloha(1.0 / backlog as f64)),
+        AlgoSpec::Baseline(BaselineSpec::Aloha(1.0 / backlog as f64)),
     ];
-    algos.push(Algo::Baseline(Baseline::ResetBeb));
+    algos.push(AlgoSpec::Baseline(BaselineSpec::ResetBeb));
 
     for &jam in &jams {
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::new(format!("saturated/{backlog}"))
+                .arrivals(ArrivalSpec::Saturated {
+                    target: Some(backlog),
+                    budget: None,
+                    horizon: None,
+                })
+                .jamming(JammingSpec::random(jam))
+                .fixed_horizon(horizon)
+                .seeds(args.seeds),
+        );
         let mut table = Table::new([
             "algorithm",
             "deliveries",
@@ -49,34 +60,25 @@ fn main() {
         .with_title(format!("E12: saturated throughput + fairness, jam = {jam}"));
         let ideal = (1.0 - jam) / std::f64::consts::E;
         for algo in &algos {
-            let runs = replicate(args.seeds, |seed| {
-                let adv: Box<dyn Adversary> = if jam > 0.0 {
-                    Box::new(CompositeAdversary::new(
-                        SaturatedArrival::new(backlog),
-                        RandomJamming::new(jam),
-                    ))
-                } else {
-                    Box::new(CompositeAdversary::new(
-                        SaturatedArrival::new(backlog),
-                        NoJamming,
-                    ))
-                };
-                let trace = run_fixed(algo.clone(), adv, seed, horizon);
+            let runs = runner.collect(algo, |_seed, out| {
                 // Fairness: age of the oldest node still waiting at the end
                 // (a starvation witness), and the p99 delivered latency.
-                let oldest = trace
+                let oldest = out
+                    .trace
                     .survivors()
                     .iter()
                     .map(|s| horizon + 1 - s.arrival_slot)
                     .max()
                     .unwrap_or(0) as f64;
-                let p99 = trace.latency_quantile(0.99).unwrap_or(f64::NAN);
-                (trace.total_successes() as f64, oldest, p99)
+                let p99 = out.trace.latency_quantile(0.99).unwrap_or(f64::NAN);
+                (out.trace.total_successes() as f64, oldest, p99)
             });
             let s = Summary::of(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
             let oldest = Summary::of(&runs.iter().map(|r| r.1).collect::<Vec<_>>()).unwrap();
             let p99s: Vec<f64> = runs.iter().map(|r| r.2).filter(|x| x.is_finite()).collect();
-            let p99 = Summary::of(&p99s).map(|x| fnum(x.mean)).unwrap_or_else(|| "-".into());
+            let p99 = Summary::of(&p99s)
+                .map(|x| fnum(x.mean))
+                .unwrap_or_else(|| "-".into());
             let rate = s.mean / horizon as f64;
             table.row([
                 algo.name(),

@@ -5,19 +5,18 @@
 //! (f,g)-throughput algorithm guarantees that every node arriving before
 //! slot `t−j` has left by slot `t`, w.h.p. in `j`.
 //!
-//! The experiment drives the paper's algorithm with a smoothness-enforced
-//! greedy adversary and checks, at a sequence of checkpoint slots, the
-//! maximum *age* of any node still in the system. The corollary predicts
-//! ages stay small relative to elapsed time — and in particular do not grow
-//! linearly with the horizon (no starvation).
+//! The experiment drives the paper's algorithm with the registry's
+//! `smooth` scenario (a smoothness-enforced greedy adversary) and checks,
+//! at a sequence of checkpoint slots, the maximum *age* of any node still
+//! in the system. The corollary predicts ages stay small relative to
+//! elapsed time — and in particular do not grow linearly with the horizon
+//! (no starvation).
 
 use contention_analysis::{fnum, Summary, Table};
-use contention_bench::{replicate, Algo, ExpArgs};
-use contention_core::ProtocolParams;
-use contention_sim::adversary::{
-    CompositeAdversary, RandomJamming, SaturatedArrival, SmoothAdversary, SmoothConfig,
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, JammingSpec, ParamsSpec, ScenarioRunner, ScenarioSpec, SmoothSpec,
 };
-use contention_sim::{SimConfig, Simulator};
+use contention_bench::ExpArgs;
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -30,48 +29,44 @@ fn main() {
     println!("E6: max node age under a smooth adversary (Corollary 3.6)");
     println!("horizon = {horizon}, seeds = {}\n", args.seeds);
 
-    let params = ProtocolParams::constant_jamming();
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("smooth")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::saturated())
+        .jamming(JammingSpec::random(0.4))
+        .smooth(SmoothSpec {
+            params: ParamsSpec::constant_jamming(),
+            ca: 1.0, // arrivals ≤ ca·j/f(j) per window
+            cd: 0.5, // jams ≤ cd·j/g(j) per window
+        })
+        .fixed_horizon(horizon)
+        .seeds(args.seeds);
+    let runner = ScenarioRunner::new(spec);
 
-    let per_seed = replicate(args.seeds, |seed| {
-        let params = params.clone();
-        let f = params.f();
-        let g = params.g().clone();
-        let algo = Algo::Cjz(params);
-        let inner = CompositeAdversary::new(
-            SaturatedArrival::new(u64::MAX),
-            RandomJamming::new(0.4),
-        );
-        let adv = SmoothAdversary::new(
-            inner,
-            SmoothConfig::from_fg(
-                move |j| f.at(j),
-                move |j| g.at(j),
-                1.0, // ca: arrivals ≤ ca·j/f(j) per window
-                0.5, // cd: jams ≤ cd·j/g(j) per window
-            ),
-        );
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), algo, adv);
-        let mut ages = Vec::new();
-        let mut running_max_age = 0u64;
-        let mut next_cp = 0usize;
-        let checkpoints: Vec<u64> = (8..=63)
-            .map(|p| 1u64 << p)
-            .take_while(|&t| t <= horizon)
-            .collect();
-        for slot in 1..=horizon {
-            sim.step();
-            let oldest = sim.survivor_ages().into_iter().max().unwrap_or(0);
-            running_max_age = running_max_age.max(oldest);
-            if next_cp < checkpoints.len() && slot == checkpoints[next_cp] {
-                // Max age observed in any slot of (prev checkpoint, this one].
-                ages.push(running_max_age);
-                running_max_age = 0;
-                next_cp += 1;
+    // The age metric needs slot-by-slot inspection, so drive the
+    // spec-built simulator manually.
+    let per_seed = {
+        let checkpoints = checkpoints.clone();
+        runner.collect_sim(&algo, move |_seed, mut sim| {
+            let mut ages = Vec::new();
+            let mut running_max_age = 0u64;
+            let mut next_cp = 0usize;
+            for slot in 1..=horizon {
+                sim.step();
+                let oldest = sim.survivor_ages().into_iter().max().unwrap_or(0);
+                running_max_age = running_max_age.max(oldest);
+                if next_cp < checkpoints.len() && slot == checkpoints[next_cp] {
+                    // Max age observed in any slot of (prev checkpoint, this
+                    // one].
+                    ages.push(running_max_age);
+                    running_max_age = 0;
+                    next_cp += 1;
+                }
             }
-        }
-        let trace = sim.into_trace();
-        (ages, trace.total_arrivals(), trace.total_successes())
-    });
+            let trace = sim.into_trace();
+            (ages, trace.total_arrivals(), trace.total_successes())
+        })
+    };
 
     let mut table = Table::new(["checkpoint t", "max age (mean)", "max age (max)", "age / t"])
         .with_title("E6: worst node age observed in each dyadic window");
@@ -83,12 +78,7 @@ fn main() {
         if idx == checkpoints.len() - 1 {
             age_fraction_final = frac;
         }
-        table.row([
-            format!("{cp}"),
-            fnum(s.mean),
-            fnum(s.max),
-            fnum(frac),
-        ]);
+        table.row([format!("{cp}"), fnum(s.mean), fnum(s.max), fnum(frac)]);
     }
     println!("{}", table.render());
 

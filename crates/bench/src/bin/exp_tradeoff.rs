@@ -13,19 +13,19 @@
 //! a constant *uniformly in `t` and in `g`* — that bounded column is the
 //! reproduced "table". (Absolute constants are implementation-calibrated;
 //! the paper proves existence, not values.)
+//!
+//! The workload is the registry's `saturated-budgeted/<g>` family.
 
 use contention_analysis::{fnum, Figure, Series, Summary, Table};
-use contention_backoff::GFunction;
-use contention_bench::{replicate, Algo, ExpArgs};
-use contention_core::{ProtocolParams, ThroughputVerifier};
-use contention_sim::adversary::{
-    ArrivalBudget, BudgetedAdversary, CompositeAdversary, JamBudget, RandomJamming,
-    SaturatedArrival,
+use contention_bench::scenario::{
+    AlgoSpec, ArrivalSpec, BudgetSpec, GSpec, JammingSpec, ParamsSpec, ScenarioRunner, ScenarioSpec,
 };
-use contention_sim::{SimConfig, Simulator};
+use contention_bench::ExpArgs;
+use contention_core::ThroughputVerifier;
 
 struct GCase {
-    g: GFunction,
+    label: &'static str,
+    g: GSpec,
     jam_rate: f64,
 }
 
@@ -33,10 +33,26 @@ fn main() {
     let args = ExpArgs::from_env();
     let horizon = args.horizon.unwrap_or(args.scaled(1 << 16, 1 << 11));
     let cases = [
-        GCase { g: GFunction::Constant(2.0), jam_rate: 0.4 },
-        GCase { g: GFunction::Log, jam_rate: 0.25 },
-        GCase { g: GFunction::PolyLog(2), jam_rate: 0.15 },
-        GCase { g: GFunction::ExpSqrtLog(1.0), jam_rate: 0.1 },
+        GCase {
+            label: "const",
+            g: GSpec::Constant(2.0),
+            jam_rate: 0.4,
+        },
+        GCase {
+            label: "log",
+            g: GSpec::Log,
+            jam_rate: 0.25,
+        },
+        GCase {
+            label: "log2",
+            g: GSpec::PolyLog(2),
+            jam_rate: 0.15,
+        },
+        GCase {
+            label: "expsqrt",
+            g: GSpec::ExpSqrtLog(1.0),
+            jam_rate: 0.1,
+        },
     ];
 
     println!("E1: (f,g)-throughput at the critical budget (Theorem 1.2)");
@@ -62,32 +78,27 @@ fn main() {
 
     let mut all_bounded = true;
     for case in &cases {
-        let params = ProtocolParams::new(case.g.clone());
+        let params_spec = ParamsSpec::new(case.g.clone());
+        let params = params_spec.build();
         let f = params.f();
-        let g = case.g.clone();
-        let jam_rate = case.jam_rate;
+        let g = params.g().clone();
+        let algo = AlgoSpec::Cjz(params_spec.clone());
 
-        let runs = replicate(args.seeds, |seed| {
-            let params = params.clone();
-            let algo = Algo::Cjz(params.clone());
-            // Arrival budget t/(4 f(t)); jam budget t/(4 g(t)).
-            let fa = params.f();
-            let ga = params.g().clone();
-            let inner = CompositeAdversary::new(
-                SaturatedArrival::new(u64::MAX),
-                RandomJamming::new(jam_rate),
-            );
-            let adv = BudgetedAdversary::new(
-                inner,
-                ArrivalBudget::new(move |t| t as f64 / (4.0 * fa.at(t))),
-                JamBudget::new(move |t| t as f64 / (4.0 * ga.at(t))),
-            );
-            let mut sim = Simulator::new(SimConfig::with_seed(seed), algo, adv);
-            sim.run_for(horizon);
-            let trace = sim.into_trace();
+        // The registry's saturated-budgeted family: saturated arrivals and
+        // random jamming, clamped to the critical (f,g) budget curves.
+        let spec = ScenarioSpec::new(format!("saturated-budgeted/{}", case.label))
+            .algo(algo.clone())
+            .arrivals(ArrivalSpec::saturated())
+            .jamming(JammingSpec::random(case.jam_rate))
+            .budget(BudgetSpec::critical(params_spec.clone(), 4.0))
+            .fixed_horizon(horizon)
+            .seeds(args.seeds);
+        let runner = ScenarioRunner::new(spec);
+
+        let runs = runner.collect(&algo, |_seed, out| {
             let verifier = ThroughputVerifier::for_params(&params);
-            let report = verifier.check(&trace, f64::INFINITY);
-            let cum = trace.cumulative();
+            let report = verifier.check(&out.trace, f64::INFINITY);
+            let cum = out.trace.cumulative();
             (
                 report,
                 cum.arrivals(horizon),

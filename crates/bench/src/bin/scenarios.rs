@@ -1,0 +1,66 @@
+//! List and run the named scenario registry.
+//!
+//! ```sh
+//! # What workloads exist?
+//! cargo run --release -p contention-bench --bin scenarios
+//!
+//! # Run one by name (parameterized names work: batch/64, poisson/0.1, …)
+//! cargo run --release -p contention-bench --bin scenarios -- batch-jammed/128
+//!
+//! # Print a scenario as JSON instead of running it
+//! cargo run --release -p contention-bench --bin scenarios -- --json smooth
+//! ```
+
+use contention_analysis::{fnum, Table};
+use contention_bench::scenario::{entries, lookup, ScenarioRunner};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let name = args.iter().find(|a| !a.starts_with("--"));
+
+    let Some(name) = name else {
+        let mut table = Table::new(["name", "what it exercises"])
+            .with_title("scenario registry (names accept parameters, e.g. batch/64)");
+        for entry in entries() {
+            table.row([entry.name.to_string(), entry.summary.to_string()]);
+        }
+        println!("{}", table.render());
+        return;
+    };
+
+    let Some(spec) = lookup(name) else {
+        eprintln!("unknown scenario `{name}`; run without arguments to list the registry");
+        std::process::exit(2);
+    };
+
+    if json {
+        println!("{}", spec.to_json_string());
+        return;
+    }
+
+    println!("running `{}` ({} seed(s))…\n", spec.name, spec.seeds);
+    let report = ScenarioRunner::new(spec).run();
+    let mut table = Table::new([
+        "algorithm",
+        "mean delivered",
+        "mean slots",
+        "mean latency",
+        "all drained",
+    ])
+    .with_title(format!("scenario `{}`", report.name));
+    for algo in &report.algos {
+        table.row([
+            algo.name.clone(),
+            fnum(algo.mean_successes()),
+            fnum(algo.mean_slots()),
+            algo.mean_latency().map(fnum).unwrap_or_else(|| "-".into()),
+            if algo.all_drained() {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+}

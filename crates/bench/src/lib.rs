@@ -4,6 +4,13 @@
 //! a runnable binary (see EXPERIMENTS.md for the catalogue and expected
 //! shapes), plus Criterion micro/meso benchmarks.
 //!
+//! Workloads are **data**: every binary, example and integration test
+//! describes its experiment as a [`scenario::ScenarioSpec`] — the
+//! algorithm roster, arrival process, jamming strategy, optional `(f,g)`
+//! budgets, horizon/seed/record policy — and executes it through a
+//! [`scenario::ScenarioRunner`]. Named workloads live in
+//! [`scenario::registry`].
+//!
 //! Binaries (`cargo run --release -p contention-bench --bin <name>`):
 //!
 //! | Binary | Claim |
@@ -29,9 +36,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod args;
-pub mod harness;
+pub mod scenario;
 
 pub use args::ExpArgs;
-pub use harness::{
-    delivery_rate, replicate, run_batch, run_batch_light, run_fixed, run_trial, Algo, TrialOutcome,
+pub use scenario::{
+    replicate, run_batch, run_batch_light, AlgoSpec, ScenarioRunner, ScenarioSpec, TrialOutcome,
 };

@@ -1,0 +1,350 @@
+//! The named scenario registry: every workload the experiments and
+//! examples use, enumerable from one place.
+//!
+//! Names are `base` or `base/param` (e.g. `batch/64`,
+//! `constant-jamming/0.25`, `saturated-budgeted/log`): [`lookup`] parses
+//! the parameter, so one registry entry covers a whole family.
+//! [`names`] lists the canonical instances (what the registry smoke test
+//! runs); [`entries`] adds a one-line summary per family.
+
+use super::spec::{
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, GSpec, JammingSpec,
+    ParamsSpec, ScenarioSpec, SmoothSpec,
+};
+
+/// One registry family.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// Canonical instance name (`base` or `base/param`).
+    pub name: &'static str,
+    /// What the scenario exercises.
+    pub summary: &'static str,
+}
+
+/// The canonical registry instances with summaries.
+pub fn entries() -> Vec<RegistryEntry> {
+    vec![
+        RegistryEntry {
+            name: "batch/32",
+            summary: "n nodes arrive together on a clean channel (param: n)",
+        },
+        RegistryEntry {
+            name: "batch-jammed/256",
+            summary: "batch of n with 25% of slots jammed at random (param: n)",
+        },
+        RegistryEntry {
+            name: "constant-jamming/0.4",
+            summary: "critical offered load with fraction p of slots jammed (param: p)",
+        },
+        RegistryEntry {
+            name: "saturated/32",
+            summary: "standing backlog of n kept alive over a fixed horizon (param: n)",
+        },
+        RegistryEntry {
+            name: "saturated-budgeted/log",
+            summary: "saturated + jammed, clamped to the Definition-1.1 budget for g (param: const|log|log2|expsqrt)",
+        },
+        RegistryEntry {
+            name: "bursty",
+            summary: "periodic arrival bursts under 25% random jamming",
+        },
+        RegistryEntry {
+            name: "poisson/0.02",
+            summary: "Poisson arrivals at rate r under 25% random jamming (param: r)",
+        },
+        RegistryEntry {
+            name: "front-loaded/4096",
+            summary: "a lone node behind a J-slot jam wall (param: J)",
+        },
+        RegistryEntry {
+            name: "reactive/4",
+            summary: "arrival bursts + a jammer that jams b slots after every success (param: b)",
+        },
+        RegistryEntry {
+            name: "gilbert-elliott/0.25",
+            summary: "Poisson arrivals under two-state Markov interference bursts (param: jammed fraction)",
+        },
+        RegistryEntry {
+            name: "smooth",
+            summary: "greedy adversary constrained to Corollary-3.6 smoothness windows",
+        },
+        RegistryEntry {
+            name: "uniform-random",
+            summary: "nodes injected at uniformly random slots (Lemma 4.1's random nodes)",
+        },
+        RegistryEntry {
+            name: "staggered",
+            summary: "single nodes trickling in while earlier ones still work, 20% jamming",
+        },
+        RegistryEntry {
+            name: "lowerbound/theorem13",
+            summary: "the Theorem 1.3 forced-access script against a lone node",
+        },
+        RegistryEntry {
+            name: "lowerbound/lemma41",
+            summary: "the Lemma 4.1 flood that drowns aggressive senders",
+        },
+        RegistryEntry {
+            name: "lowerbound/theorem42",
+            summary: "the Theorem 4.2 prefix-jam + crowd script against schedules",
+        },
+    ]
+}
+
+/// The canonical registry names.
+pub fn names() -> Vec<&'static str> {
+    entries().into_iter().map(|e| e.name).collect()
+}
+
+/// Resolve a scenario name (canonical or parameterized) to its spec.
+pub fn lookup(name: &str) -> Option<ScenarioSpec> {
+    let (base, param) = match name.split_once('/') {
+        Some((base, param)) => (base, Some(param)),
+        None => (name, None),
+    };
+    let parse_u32 =
+        |default: u32| -> Option<u32> { param.map_or(Some(default), |p| p.parse().ok()) };
+    let parse_u64 =
+        |default: u64| -> Option<u64> { param.map_or(Some(default), |p| p.parse().ok()) };
+    let parse_f64 =
+        |default: f64| -> Option<f64> { param.map_or(Some(default), |p| p.parse().ok()) };
+
+    let spec = match base {
+        "batch" => {
+            let n = parse_u32(32)?;
+            ScenarioSpec::batch(n, 0.0)
+                .until_drained(drain_cap(n))
+                .seeds(5)
+        }
+        "batch-jammed" => {
+            let n = parse_u32(256)?;
+            ScenarioSpec::batch(n, 0.25)
+                .until_drained(drain_cap(n))
+                .seeds(5)
+        }
+        "constant-jamming" => {
+            let p = parse_f64(0.4)?;
+            ScenarioSpec::new(format!("constant-jamming/{p}"))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::saturated())
+                .jamming(JammingSpec::random(p))
+                .budget(BudgetSpec {
+                    params: ParamsSpec::constant_jamming(),
+                    arrivals: CurveSpec::CriticalArrivals { scale: 2.0 },
+                    jams: CurveSpec::Unlimited,
+                })
+                .fixed_horizon(1 << 14)
+                .seeds(5)
+        }
+        "saturated" => {
+            let n = parse_u64(32)?;
+            ScenarioSpec::new(format!("saturated/{n}"))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::Saturated {
+                    target: Some(n),
+                    budget: None,
+                    horizon: None,
+                })
+                .fixed_horizon(1 << 14)
+                .seeds(5)
+        }
+        "saturated-budgeted" => {
+            let (g, jam) = match param.unwrap_or("log") {
+                "const" => (GSpec::Constant(2.0), 0.4),
+                "log" => (GSpec::Log, 0.25),
+                "log2" => (GSpec::PolyLog(2), 0.15),
+                "expsqrt" => (GSpec::ExpSqrtLog(1.0), 0.1),
+                _ => return None,
+            };
+            let params = ParamsSpec::new(g);
+            ScenarioSpec::new(format!("saturated-budgeted/{}", param.unwrap_or("log")))
+                .algo(AlgoSpec::Cjz(params.clone()))
+                .arrivals(ArrivalSpec::saturated())
+                .jamming(JammingSpec::random(jam))
+                .budget(BudgetSpec::critical(params, 4.0))
+                .fixed_horizon(1 << 14)
+                .seeds(5)
+        }
+        "bursty" => ScenarioSpec::new("bursty")
+            .algo(AlgoSpec::cjz_constant_jamming())
+            .arrivals(ArrivalSpec::Bursty {
+                period: 512,
+                phase: 1,
+                size: 32,
+                bursts: 16,
+            })
+            .jamming(JammingSpec::random(0.25))
+            .fixed_horizon(1 << 14)
+            .seeds(5),
+        "poisson" => {
+            let rate = parse_f64(0.02)?;
+            ScenarioSpec::new(format!("poisson/{rate}"))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::Poisson {
+                    rate,
+                    horizon: None,
+                })
+                .jamming(JammingSpec::random(0.25))
+                .fixed_horizon(1 << 14)
+                .seeds(5)
+        }
+        "front-loaded" => {
+            let j = parse_u64(4096)?;
+            ScenarioSpec::new(format!("front-loaded/{j}"))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::batch(1))
+                .jamming(JammingSpec::FrontLoaded { until: j })
+                .until_drained(64 * j + 1_000_000)
+                .seeds(5)
+        }
+        "reactive" => {
+            let burst = parse_u64(4)?;
+            ScenarioSpec::new(format!("reactive/{burst}"))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::Bursty {
+                    period: 512,
+                    phase: 1,
+                    size: 32,
+                    bursts: 16,
+                })
+                .jamming(JammingSpec::Reactive { burst })
+                .fixed_horizon(1 << 14)
+                .seeds(5)
+        }
+        "gilbert-elliott" => {
+            let fraction = parse_f64(0.25)?;
+            ScenarioSpec::new(format!("gilbert-elliott/{fraction}"))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::Poisson {
+                    rate: 0.04,
+                    horizon: Some(55_000),
+                })
+                .jamming(JammingSpec::GilbertElliott {
+                    fraction,
+                    burst_len: 64.0,
+                })
+                .fixed_horizon(60_000)
+                .seeds(5)
+        }
+        "smooth" => {
+            let params = ParamsSpec::constant_jamming();
+            ScenarioSpec::new("smooth")
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::saturated())
+                .jamming(JammingSpec::random(0.4))
+                .smooth(SmoothSpec {
+                    params,
+                    ca: 1.0,
+                    cd: 0.5,
+                })
+                .fixed_horizon(1 << 14)
+                .seeds(5)
+        }
+        "uniform-random" => ScenarioSpec::new("uniform-random")
+            .algo(AlgoSpec::cjz_constant_jamming())
+            .arrivals(ArrivalSpec::UniformRandom {
+                total: 256,
+                horizon: 8192,
+            })
+            .until_drained(1_000_000)
+            .seeds(5),
+        "staggered" => ScenarioSpec::new("staggered")
+            .algo(AlgoSpec::cjz_constant_jamming())
+            .arrivals(ArrivalSpec::Scripted {
+                slots: (0..20).map(|i| (1 + i * 37, 1)).collect(),
+            })
+            .jamming(JammingSpec::random(0.2))
+            .until_drained(1_000_000)
+            .seeds(5),
+        "lowerbound" => match param? {
+            "theorem13" => ScenarioSpec::new("lowerbound/theorem13")
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .adversary(AdversarySpec::Theorem13 {
+                    horizon: 4096,
+                    g_of_t: 2.0,
+                })
+                .fixed_horizon(4096)
+                .seeds(5),
+            "lemma41" => ScenarioSpec::new("lowerbound/lemma41")
+                .algo(AlgoSpec::Baseline(BaselineSpec::Aloha(0.3)))
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .adversary(AdversarySpec::Lemma41 {
+                    horizon: 4096,
+                    batch_per_slot: 8,
+                    random_total: 64,
+                })
+                .fixed_horizon(4096)
+                .seeds(5),
+            "theorem42" => ScenarioSpec::new("lowerbound/theorem42")
+                .algo(AlgoSpec::Baseline(BaselineSpec::SmoothedBeb))
+                .adversary(AdversarySpec::Theorem42 {
+                    horizon: 4096,
+                    g_of_t: 2.0,
+                    f_of_t: 1.0,
+                })
+                .fixed_horizon(4096)
+                .seeds(5),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Drain-cap heuristic for batch scenarios: generous multiple of the
+/// worst-case `n log n` drain bound.
+fn drain_cap(n: u32) -> u64 {
+    4096u64.saturating_mul(u64::from(n).max(64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_canonical_name_resolves() {
+        for entry in entries() {
+            let spec = lookup(entry.name)
+                .unwrap_or_else(|| panic!("registry name {} must resolve", entry.name));
+            assert!(
+                !spec.algos.is_empty(),
+                "{} resolves to an empty roster",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn registry_has_at_least_ten_scenarios() {
+        assert!(names().len() >= 10, "registry too small: {:?}", names());
+    }
+
+    #[test]
+    fn parameterized_lookup_parses_values() {
+        let spec = lookup("batch/64").unwrap();
+        match &spec.adversary {
+            AdversarySpec::Composite { arrival, .. } => {
+                assert_eq!(*arrival, ArrivalSpec::Batch { at: 1, count: 64 })
+            }
+            other => panic!("unexpected adversary {other:?}"),
+        }
+        let spec = lookup("constant-jamming/0.25").unwrap();
+        match &spec.adversary {
+            AdversarySpec::Composite { jamming, .. } => {
+                assert_eq!(*jamming, JammingSpec::Random { p: 0.25 })
+            }
+            other => panic!("unexpected adversary {other:?}"),
+        }
+        assert!(lookup("batch/not-a-number").is_none());
+        assert!(lookup("no-such-scenario").is_none());
+        assert!(lookup("lowerbound/unknown").is_none());
+    }
+
+    #[test]
+    fn saturated_budgeted_covers_g_spectrum() {
+        for g in ["const", "log", "log2", "expsqrt"] {
+            let spec = lookup(&format!("saturated-budgeted/{g}")).unwrap();
+            assert!(spec.budget.is_some(), "budget missing for g={g}");
+        }
+    }
+}

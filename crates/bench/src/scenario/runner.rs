@@ -1,0 +1,378 @@
+//! Executing a [`ScenarioSpec`]: replication, record-mode policy, and
+//! metric extraction.
+//!
+//! The runner is the only place the bench layer touches the simulator:
+//! every experiment — batch binaries, examples, integration tests — goes
+//! `ScenarioSpec` → [`ScenarioRunner`] → [`TrialOutcome`]s, so record-mode
+//! policy (full traces vs memory-bounded aggregates), seed layout and
+//! thread-bounded replication live in exactly one place.
+
+use contention_sim::adversary::Adversary;
+use contention_sim::{SimConfig, Simulator, StopReason, Trace};
+
+use super::registry;
+use super::spec::{AlgoSpec, HorizonSpec, RecordMode, ScenarioSpec};
+
+/// Outcome of one simulation trial.
+#[derive(Debug, Clone)]
+pub struct TrialOutcome {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Slots actually executed.
+    pub slots: u64,
+    /// Whether the system drained before the slot limit.
+    pub drained: bool,
+}
+
+impl TrialOutcome {
+    /// Classical delivery rate: delivered messages per executed slot.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.trace.total_successes() as f64 / self.slots as f64
+        }
+    }
+}
+
+/// Replicate a seeded computation across `seeds` seeds in parallel (one
+/// thread per seed, bounded by available parallelism).
+pub fn replicate<T, F>(seeds: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_start in (0..seeds).step_by(max_threads.max(1)) {
+            let chunk_end = (chunk_start + max_threads as u64).min(seeds);
+            for seed in chunk_start..chunk_end {
+                handles.push((seed, scope.spawn(move || f(seed))));
+            }
+            // Join the chunk before spawning the next (bounds live threads).
+            for (seed, h) in handles.drain(..) {
+                let value = h.join().expect("trial thread panicked");
+                results[seed as usize] = Some(value);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Results of one algorithm across all of a scenario's seeds.
+#[derive(Debug, Clone)]
+pub struct AlgoReport {
+    /// The algorithm that ran.
+    pub algo: AlgoSpec,
+    /// Its display name.
+    pub name: String,
+    /// One outcome per seed, in seed order.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+impl AlgoReport {
+    /// Mean delivered messages across seeds.
+    pub fn mean_successes(&self) -> f64 {
+        mean(
+            self.outcomes
+                .iter()
+                .map(|o| o.trace.total_successes() as f64),
+        )
+    }
+
+    /// Mean executed slots across seeds.
+    pub fn mean_slots(&self) -> f64 {
+        mean(self.outcomes.iter().map(|o| o.slots as f64))
+    }
+
+    /// Mean delivered latency across seeds (seeds without departures are
+    /// skipped).
+    pub fn mean_latency(&self) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.trace.mean_latency())
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(mean(vals.iter().copied()))
+        }
+    }
+
+    /// Whether every seed drained.
+    pub fn all_drained(&self) -> bool {
+        self.outcomes.iter().all(|o| o.drained)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Results of a full scenario run (every algorithm × every seed).
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// One report per roster algorithm, in roster order.
+    pub algos: Vec<AlgoReport>,
+}
+
+/// Executes [`ScenarioSpec`]s.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioRunner {
+    /// Runner for a spec.
+    pub fn new(spec: ScenarioSpec) -> Self {
+        ScenarioRunner { spec }
+    }
+
+    /// Runner for a named registry scenario (see
+    /// [`registry::lookup`]).
+    pub fn from_registry(name: &str) -> Option<Self> {
+        registry::lookup(name).map(Self::new)
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Recover the spec.
+    pub fn into_spec(self) -> ScenarioSpec {
+        self.spec
+    }
+
+    fn config(&self, seed: u64) -> SimConfig {
+        let config = SimConfig::with_seed(seed);
+        match self.spec.record {
+            RecordMode::Full => config,
+            RecordMode::Aggregate => config.without_slot_records(),
+        }
+    }
+
+    /// Build the simulator for one (algorithm, seed) pair — the scenario's
+    /// adversary stack fully assembled, nothing run yet. For experiments
+    /// that need slot-by-slot inspection (ages, streaming stats).
+    pub fn sim(&self, algo: &AlgoSpec, seed: u64) -> Simulator<AlgoSpec, Box<dyn Adversary>> {
+        Simulator::new(self.config(seed), algo.clone(), self.spec.build_adversary())
+    }
+
+    /// Run one (algorithm, seed) pair under the scenario's horizon policy.
+    pub fn run_seed(&self, algo: &AlgoSpec, seed: u64) -> TrialOutcome {
+        let mut sim = self.sim(algo, seed);
+        let drained = match self.spec.horizon {
+            HorizonSpec::UntilDrained { max_slots } => {
+                sim.run_until_drained(max_slots) == StopReason::Drained
+            }
+            HorizonSpec::Fixed { slots } => {
+                sim.run_for(slots);
+                sim.active_count() == 0 && sim.adversary().exhausted()
+            }
+        };
+        let slots = sim.current_slot();
+        TrialOutcome {
+            trace: sim.into_trace(),
+            slots,
+            drained,
+        }
+    }
+
+    /// Run one algorithm across all seeds (`seed_base .. seed_base+seeds`,
+    /// replicated in parallel).
+    pub fn run_algo(&self, algo: &AlgoSpec) -> Vec<TrialOutcome> {
+        self.collect(algo, |_, outcome| outcome)
+    }
+
+    /// Run the whole roster.
+    pub fn run(&self) -> ScenarioReport {
+        ScenarioReport {
+            name: self.spec.name.clone(),
+            algos: self
+                .spec
+                .algos
+                .iter()
+                .map(|algo| AlgoReport {
+                    algo: algo.clone(),
+                    name: algo.name(),
+                    outcomes: self.run_algo(algo),
+                })
+                .collect(),
+        }
+    }
+
+    /// Run one algorithm across all seeds, extracting a custom metric
+    /// from each outcome. `f` receives `(seed, outcome)`.
+    pub fn collect<T, F>(&self, algo: &AlgoSpec, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64, TrialOutcome) -> T + Sync,
+    {
+        replicate(self.spec.seeds, |i| {
+            let seed = self.spec.seed_base + i;
+            f(seed, self.run_seed(algo, seed))
+        })
+    }
+
+    /// Run one algorithm across all seeds with full control of the
+    /// simulation loop: `f` receives `(seed, simulator)` with the
+    /// scenario's adversary stack assembled but no slots executed.
+    pub fn collect_sim<T, F>(&self, algo: &AlgoSpec, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64, Simulator<AlgoSpec, Box<dyn Adversary>>) -> T + Sync,
+    {
+        replicate(self.spec.seeds, |i| {
+            let seed = self.spec.seed_base + i;
+            f(seed, self.sim(algo, seed))
+        })
+    }
+}
+
+/// One-call convenience: run the classical batch scenario (`n` nodes at
+/// slot 1, jam probability `jam_p`) for one algorithm and seed, until
+/// drained or `max_slots`.
+pub fn run_batch(algo: &AlgoSpec, n: u32, jam_p: f64, seed: u64, max_slots: u64) -> TrialOutcome {
+    ScenarioRunner::new(
+        ScenarioSpec::batch(n, jam_p)
+            .algos([algo.clone()])
+            .until_drained(max_slots),
+    )
+    .run_seed(algo, seed)
+}
+
+/// [`run_batch`] in memory-bounded mode (aggregates and departures only),
+/// for heavy-tailed completion measurements spanning hundreds of millions
+/// of slots.
+pub fn run_batch_light(
+    algo: &AlgoSpec,
+    n: u32,
+    jam_p: f64,
+    seed: u64,
+    max_slots: u64,
+) -> TrialOutcome {
+    ScenarioRunner::new(
+        ScenarioSpec::batch(n, jam_p)
+            .algos([algo.clone()])
+            .until_drained(max_slots)
+            .aggregate_only(),
+    )
+    .run_seed(algo, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ArrivalSpec, BaselineSpec, JammingSpec};
+
+    #[test]
+    fn run_batch_drains_small_instance() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let out = run_batch(&algo, 8, 0.0, 1, 100_000);
+        assert!(out.drained);
+        assert_eq!(out.trace.total_successes(), 8);
+        assert!(out.delivery_rate() > 0.0);
+    }
+
+    #[test]
+    fn run_batch_light_matches_heavy_totals() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let heavy = run_batch(&algo, 8, 0.2, 9, 100_000);
+        let light = run_batch_light(&algo, 8, 0.2, 9, 100_000);
+        assert_eq!(heavy.slots, light.slots);
+        assert_eq!(heavy.trace.total_successes(), light.trace.total_successes());
+        assert_eq!(heavy.trace.total_jammed(), light.trace.total_jammed());
+        assert_eq!(light.trace.recorded_len(), 0, "light mode stores no slots");
+        assert_eq!(heavy.trace.departures(), light.trace.departures());
+    }
+
+    #[test]
+    fn fixed_horizon_runs_exact_slots() {
+        let algo = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::new("fixed")
+                .algo(algo.clone())
+                .arrivals(ArrivalSpec::batch(4))
+                .fixed_horizon(500),
+        );
+        let out = runner.run_seed(&algo, 3);
+        assert_eq!(out.trace.len(), 500);
+        assert_eq!(out.slots, 500);
+    }
+
+    #[test]
+    fn replicate_is_ordered_and_deterministic() {
+        let xs = replicate(8, |seed| seed * 2);
+        assert_eq!(xs, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn runner_replicates_with_seed_base() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::batch(4, 0.0)
+                .algos([algo.clone()])
+                .seeds(3)
+                .seed_base(100)
+                .until_drained(50_000),
+        );
+        let outs = runner.run_algo(&algo);
+        assert_eq!(outs.len(), 3);
+        assert!(outs.iter().all(|o| o.drained));
+        // collect() sees the absolute seeds.
+        let seeds = runner.collect(&algo, |seed, _| seed);
+        assert_eq!(seeds, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn report_aggregates_roster() {
+        let spec = ScenarioSpec::new("mini")
+            .algo(AlgoSpec::cjz_constant_jamming())
+            .algo(AlgoSpec::Baseline(BaselineSpec::BinaryExponential))
+            .arrivals(ArrivalSpec::batch(8))
+            .jamming(JammingSpec::random(0.1))
+            .seeds(2)
+            .until_drained(1_000_000);
+        let report = ScenarioRunner::new(spec).run();
+        assert_eq!(report.name, "mini");
+        assert_eq!(report.algos.len(), 2);
+        for algo in &report.algos {
+            assert!(algo.all_drained(), "{} failed to drain", algo.name);
+            assert_eq!(algo.mean_successes(), 8.0);
+            assert!(algo.mean_latency().is_some());
+            assert!(algo.mean_slots() > 0.0);
+        }
+    }
+
+    #[test]
+    fn collect_sim_exposes_raw_simulator() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let runner =
+            ScenarioRunner::new(ScenarioSpec::batch(4, 0.0).algos([algo.clone()]).seeds(2));
+        let counts = runner.collect_sim(&algo, |_, mut sim| {
+            sim.run_for(1);
+            sim.active_count()
+        });
+        // Slot 1 injects the batch; at most 4 remain after one slot.
+        assert_eq!(counts.len(), 2);
+        assert!(counts.iter().all(|&c| c <= 4));
+    }
+}

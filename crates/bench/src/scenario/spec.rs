@@ -1,0 +1,1041 @@
+//! The declarative scenario specification: experiments as data.
+//!
+//! A [`ScenarioSpec`] captures everything the paper's result statements
+//! quantify over — *protocol P against adversary class A at budget B* —
+//! as plain serializable data:
+//!
+//! * the algorithm roster ([`AlgoSpec`]);
+//! * the arrival process ([`ArrivalSpec`]) and jamming strategy
+//!   ([`JammingSpec`]), or a scripted lower-bound adversary
+//!   ([`AdversarySpec`]);
+//! * optional `(f,g)` budget clamps ([`BudgetSpec`]) and smoothness
+//!   constraints ([`SmoothSpec`]);
+//! * horizon, replication, and record-mode policy.
+//!
+//! Specs are pure data: building one performs no simulation. The
+//! [`ScenarioRunner`](crate::scenario::ScenarioRunner) turns a spec into
+//! traces; [`to_json_string`](ScenarioSpec::to_json_string) /
+//! [`from_json_str`](ScenarioSpec::from_json_str) round-trip specs as
+//! JSON.
+
+use contention_backoff::GFunction;
+use contention_baselines::Baseline;
+use contention_core::{CjzFactory, OracleParityFactory, ProtocolParams};
+use contention_sim::adversary::lowerbound::{
+    Lemma41Adversary, Theorem13Adversary, Theorem42Adversary,
+};
+use contention_sim::adversary::{
+    Adversary, ArrivalBudget, ArrivalProcess, BatchArrival, BudgetedAdversary, BurstyArrival,
+    CompositeAdversary, FrontLoadedJamming, GilbertElliottJamming, JamBudget, JammingStrategy,
+    NoArrivals, NoJamming, PeriodicJamming, PoissonArrival, RandomJamming, ReactiveJamming,
+    SaturatedArrival, ScriptedArrival, ScriptedJamming, SmoothAdversary, SmoothConfig,
+    UniformRandomArrival,
+};
+use contention_sim::{NodeId, Protocol, ProtocolFactory};
+
+/// A serializable jamming-tolerance function `g` — the closed-form family
+/// of [`GFunction`] (everything except `Custom`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GSpec {
+    /// `g(x) = c`.
+    Constant(f64),
+    /// `g(x) = log₂ x`.
+    Log,
+    /// `g(x) = (log₂ x)^k`.
+    PolyLog(u32),
+    /// `g(x) = 2^(c·√(log₂ x))`.
+    ExpSqrtLog(f64),
+}
+
+impl GSpec {
+    /// Materialize the [`GFunction`].
+    pub fn build(&self) -> GFunction {
+        match self {
+            GSpec::Constant(c) => GFunction::Constant(*c),
+            GSpec::Log => GFunction::Log,
+            GSpec::PolyLog(k) => GFunction::PolyLog(*k),
+            GSpec::ExpSqrtLog(c) => GFunction::ExpSqrtLog(*c),
+        }
+    }
+
+    /// Short label, matching [`GFunction::label`].
+    pub fn label(&self) -> String {
+        self.build().label()
+    }
+}
+
+/// Serializable [`ProtocolParams`]: the `g` choice plus optional constant
+/// overrides (`None` keeps the calibrated default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamsSpec {
+    /// The jamming-tolerance function.
+    pub g: GSpec,
+    /// Override for the global constant `a`.
+    pub a: Option<f64>,
+    /// Override for the backoff density constant `c₂`.
+    pub c2: Option<f64>,
+    /// Override for the control-batch constant `c₃`.
+    pub c3: Option<f64>,
+}
+
+impl ParamsSpec {
+    /// Parameters for jamming tolerance `g`, defaults for the constants.
+    pub fn new(g: GSpec) -> Self {
+        ParamsSpec {
+            g,
+            a: None,
+            c2: None,
+            c3: None,
+        }
+    }
+
+    /// The worst-case tuning (`g` constant), mirroring
+    /// [`ProtocolParams::constant_jamming`].
+    pub fn constant_jamming() -> Self {
+        Self::new(GSpec::Constant(2.0))
+    }
+
+    /// The clean-channel tuning (`g = 2^√log`), mirroring
+    /// [`ProtocolParams::constant_throughput`].
+    pub fn constant_throughput() -> Self {
+        Self::new(GSpec::ExpSqrtLog(1.0))
+    }
+
+    /// Override `a`.
+    pub fn with_a(mut self, a: f64) -> Self {
+        self.a = Some(a);
+        self
+    }
+
+    /// Override `c₂`.
+    pub fn with_c2(mut self, c2: f64) -> Self {
+        self.c2 = Some(c2);
+        self
+    }
+
+    /// Override `c₃`.
+    pub fn with_c3(mut self, c3: f64) -> Self {
+        self.c3 = Some(c3);
+        self
+    }
+
+    /// Materialize the [`ProtocolParams`].
+    pub fn build(&self) -> ProtocolParams {
+        let mut p = ProtocolParams::new(self.g.build());
+        if let Some(a) = self.a {
+            p = p.with_a(a);
+        }
+        if let Some(c2) = self.c2 {
+            p = p.with_c2(c2);
+        }
+        if let Some(c3) = self.c3 {
+            p = p.with_c3(c3);
+        }
+        p
+    }
+}
+
+/// A serializable baseline identifier — the closed-form subset of
+/// [`Baseline`] (everything except `NonAdaptive`, which carries an
+/// arbitrary schedule object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineSpec {
+    /// Windowed binary exponential backoff.
+    BinaryExponential,
+    /// Windowed polynomial backoff.
+    Polynomial(f64),
+    /// Windowed linear backoff.
+    Linear,
+    /// Smoothed BEB: `p_i = 1/i`.
+    SmoothedBeb,
+    /// Log backoff: `p_i = c·log i / i`.
+    LogBackoff(f64),
+    /// Slotted ALOHA with fixed probability.
+    Aloha(f64),
+    /// Sawtooth backoff.
+    Sawtooth,
+    /// The paper's `(f/a)`-backoff standalone, tuned for `g`.
+    FBackoff(GSpec),
+    /// Smoothed BEB restarting its schedule on every heard success.
+    ResetBeb,
+    /// Windowed BEB resetting its window on every heard success.
+    ResetWindowBeb,
+}
+
+impl BaselineSpec {
+    /// Materialize the [`Baseline`].
+    pub fn build(&self) -> Baseline {
+        match self {
+            BaselineSpec::BinaryExponential => Baseline::BinaryExponential,
+            BaselineSpec::Polynomial(e) => Baseline::Polynomial(*e),
+            BaselineSpec::Linear => Baseline::Linear,
+            BaselineSpec::SmoothedBeb => Baseline::SmoothedBeb,
+            BaselineSpec::LogBackoff(c) => Baseline::LogBackoff(*c),
+            BaselineSpec::Aloha(p) => Baseline::Aloha(*p),
+            BaselineSpec::Sawtooth => Baseline::Sawtooth,
+            BaselineSpec::FBackoff(g) => Baseline::FBackoff(g.build()),
+            BaselineSpec::ResetBeb => Baseline::ResetBeb,
+            BaselineSpec::ResetWindowBeb => Baseline::ResetWindowBeb,
+        }
+    }
+
+    /// The default comparison roster (mirrors [`Baseline::roster`]).
+    pub fn roster() -> Vec<BaselineSpec> {
+        vec![
+            BaselineSpec::BinaryExponential,
+            BaselineSpec::Polynomial(2.0),
+            BaselineSpec::SmoothedBeb,
+            BaselineSpec::LogBackoff(2.0),
+            BaselineSpec::Aloha(0.1),
+            BaselineSpec::Sawtooth,
+            BaselineSpec::FBackoff(GSpec::Constant(2.0)),
+            BaselineSpec::ResetBeb,
+        ]
+    }
+}
+
+/// An algorithm under test: the paper's protocol (possibly ablated) or a
+/// baseline. Serializable, and doubles as a [`ProtocolFactory`] — this is
+/// the roster type every scenario runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoSpec {
+    /// The paper's protocol with the given parameters.
+    Cjz(ParamsSpec),
+    /// Ablation: the protocol without the Phase-3 channel swap.
+    CjzNoSwap(ParamsSpec),
+    /// Oracle ablation: global-clock variant that skips Phase 1.
+    CjzOracle(ParamsSpec),
+    /// A baseline from the registry.
+    Baseline(BaselineSpec),
+}
+
+impl AlgoSpec {
+    /// The paper's protocol tuned for constant-fraction jamming.
+    pub fn cjz_constant_jamming() -> Self {
+        AlgoSpec::Cjz(ParamsSpec::constant_jamming())
+    }
+
+    /// The paper's protocol tuned for a clean channel.
+    pub fn cjz_constant_throughput() -> Self {
+        AlgoSpec::Cjz(ParamsSpec::constant_throughput())
+    }
+
+    /// Display name (stable across runs; used in report tables).
+    pub fn name(&self) -> String {
+        match self {
+            AlgoSpec::Cjz(p) => format!("cjz[{}]", p.g.label()),
+            AlgoSpec::CjzNoSwap(_) => "cjz-noswap".to_string(),
+            AlgoSpec::CjzOracle(_) => "cjz-oracle".to_string(),
+            AlgoSpec::Baseline(b) => b.build().name().to_string(),
+        }
+    }
+
+    /// The materialized protocol parameters, when this is a protocol
+    /// variant (`None` for baselines).
+    pub fn params(&self) -> Option<ProtocolParams> {
+        match self {
+            AlgoSpec::Cjz(p) | AlgoSpec::CjzNoSwap(p) | AlgoSpec::CjzOracle(p) => Some(p.build()),
+            AlgoSpec::Baseline(_) => None,
+        }
+    }
+}
+
+impl ProtocolFactory for AlgoSpec {
+    fn spawn(&self, id: NodeId) -> Box<dyn Protocol> {
+        self.spawn_with_arrival(id, 1)
+    }
+
+    fn spawn_with_arrival(&self, id: NodeId, arrival_slot: u64) -> Box<dyn Protocol> {
+        match self {
+            AlgoSpec::Cjz(p) => CjzFactory::new(p.build()).spawn(id),
+            AlgoSpec::CjzNoSwap(p) => CjzFactory::new(p.build()).without_channel_swap().spawn(id),
+            AlgoSpec::CjzOracle(p) => {
+                OracleParityFactory::new(p.build()).spawn_with_arrival(id, arrival_slot)
+            }
+            AlgoSpec::Baseline(b) => b.build().spawn(id),
+        }
+    }
+
+    fn algorithm_name(&self) -> String {
+        self.name()
+    }
+}
+
+/// A serializable arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// No arrivals (pre-seeded or lower-bound scenarios).
+    None,
+    /// `count` nodes at slot `at`.
+    Batch {
+        /// Injection slot (1-based).
+        at: u64,
+        /// Batch size.
+        count: u32,
+    },
+    /// Poisson arrivals at `rate` per slot, stopping after `horizon`.
+    Poisson {
+        /// Expected arrivals per slot.
+        rate: f64,
+        /// Stop injecting after this slot (`None` = never).
+        horizon: Option<u64>,
+    },
+    /// `size` nodes every `period` slots from `phase`, `bursts` times.
+    Bursty {
+        /// Slots between bursts.
+        period: u64,
+        /// First burst slot (1-based).
+        phase: u64,
+        /// Nodes per burst.
+        size: u32,
+        /// Number of bursts.
+        bursts: u64,
+    },
+    /// Explicit `(slot, count)` schedule.
+    Scripted {
+        /// The schedule; duplicate slots accumulate.
+        slots: Vec<(u64, u32)>,
+    },
+    /// `total` nodes at uniformly random slots of `[1, horizon]`.
+    UniformRandom {
+        /// Total nodes.
+        total: u64,
+        /// Allocation horizon.
+        horizon: u64,
+    },
+    /// Keep `target` nodes outstanding (`None` = unbounded backlog),
+    /// optionally capped at `budget` total injections / `horizon` slots.
+    Saturated {
+        /// Standing backlog target (`None` = u64::MAX, i.e. inject as
+        /// much as any budget wrapper allows).
+        target: Option<u64>,
+        /// Total injection cap (`None` = unlimited).
+        budget: Option<u64>,
+        /// Stop injecting after this slot (`None` = never).
+        horizon: Option<u64>,
+    },
+}
+
+impl ArrivalSpec {
+    /// Convenience: batch at slot 1.
+    pub fn batch(count: u32) -> Self {
+        ArrivalSpec::Batch { at: 1, count }
+    }
+
+    /// Convenience: unbounded saturation.
+    pub fn saturated() -> Self {
+        ArrivalSpec::Saturated {
+            target: None,
+            budget: None,
+            horizon: None,
+        }
+    }
+
+    /// Materialize the arrival process.
+    pub fn build(&self) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalSpec::None => Box::new(NoArrivals),
+            ArrivalSpec::Batch { at, count } => Box::new(BatchArrival::new(*at, *count)),
+            ArrivalSpec::Poisson { rate, horizon } => {
+                let mut p = PoissonArrival::new(*rate);
+                if let Some(h) = horizon {
+                    p = p.with_horizon(*h);
+                }
+                Box::new(p)
+            }
+            ArrivalSpec::Bursty {
+                period,
+                phase,
+                size,
+                bursts,
+            } => Box::new(BurstyArrival::new(*period, *phase, *size, *bursts)),
+            ArrivalSpec::Scripted { slots } => {
+                Box::new(ScriptedArrival::new(slots.iter().copied()))
+            }
+            ArrivalSpec::UniformRandom { total, horizon } => {
+                Box::new(UniformRandomArrival::new(*total, *horizon))
+            }
+            ArrivalSpec::Saturated {
+                target,
+                budget,
+                horizon,
+            } => {
+                let mut s = SaturatedArrival::new(target.unwrap_or(u64::MAX));
+                if let Some(b) = budget {
+                    s = s.with_budget(*b);
+                }
+                if let Some(h) = horizon {
+                    s = s.with_horizon(*h);
+                }
+                Box::new(s)
+            }
+        }
+    }
+}
+
+/// A serializable jamming strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JammingSpec {
+    /// Never jam.
+    None,
+    /// Jam each slot independently with probability `p`.
+    Random {
+        /// Per-slot jam probability.
+        p: f64,
+    },
+    /// Jam slots `phase, phase+period, …`.
+    Periodic {
+        /// Slots between jams.
+        period: u64,
+        /// First jammed slot (1-based).
+        phase: u64,
+    },
+    /// Jam every slot in `[1, until]` (the prefix attack).
+    FrontLoaded {
+        /// Last jammed slot.
+        until: u64,
+    },
+    /// Jam `burst` slots after every observed success.
+    Reactive {
+        /// Burst length.
+        burst: u64,
+    },
+    /// Two-state Markov (Gilbert–Elliott) bursts: long-run jammed
+    /// `fraction`, mean burst length `burst_len`.
+    GilbertElliott {
+        /// Long-run jammed fraction.
+        fraction: f64,
+        /// Mean burst length in slots.
+        burst_len: f64,
+    },
+    /// Jam exactly the scripted slots.
+    Scripted {
+        /// Slots to jam.
+        slots: Vec<u64>,
+    },
+}
+
+impl JammingSpec {
+    /// Random jamming, treating `p == 0` as no jamming.
+    pub fn random(p: f64) -> Self {
+        if p > 0.0 {
+            JammingSpec::Random { p }
+        } else {
+            JammingSpec::None
+        }
+    }
+
+    /// Materialize the jamming strategy.
+    pub fn build(&self) -> Box<dyn JammingStrategy> {
+        match self {
+            JammingSpec::None => Box::new(NoJamming),
+            JammingSpec::Random { p } => Box::new(RandomJamming::new(*p)),
+            JammingSpec::Periodic { period, phase } => {
+                Box::new(PeriodicJamming::new(*period, *phase))
+            }
+            JammingSpec::FrontLoaded { until } => Box::new(FrontLoadedJamming::new(*until)),
+            JammingSpec::Reactive { burst } => Box::new(ReactiveJamming::new(*burst)),
+            JammingSpec::GilbertElliott {
+                fraction,
+                burst_len,
+            } => Box::new(GilbertElliottJamming::bursts(*fraction, *burst_len)),
+            JammingSpec::Scripted { slots } => {
+                Box::new(ScriptedJamming::new(slots.iter().copied()))
+            }
+        }
+    }
+}
+
+/// The base adversary: either a composable arrival × jamming pair, or one
+/// of the scripted lower-bound constructions from Section 4.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversarySpec {
+    /// [`CompositeAdversary`] of an arrival process and a jamming
+    /// strategy.
+    Composite {
+        /// The arrival half.
+        arrival: ArrivalSpec,
+        /// The jamming half.
+        jamming: JammingSpec,
+    },
+    /// The Lemma 4.1 flood: heavy batches in the first `√horizon` slots
+    /// plus uniformly scattered nodes.
+    Lemma41 {
+        /// Construction horizon `t`.
+        horizon: u64,
+        /// Nodes per slot during the batch window.
+        batch_per_slot: u32,
+        /// Random-injected nodes over `[1, t]`.
+        random_total: u64,
+    },
+    /// The Theorem 1.3 script: one node, jammed prefix + random jams +
+    /// jammed last slot.
+    Theorem13 {
+        /// Construction horizon `t`.
+        horizon: u64,
+        /// `g(t)` (prefix and random-jam counts are `t/(4g(t))`).
+        g_of_t: f64,
+    },
+    /// The Theorem 4.2 script: jammed prefix, two nodes at slot 1, a
+    /// crowd at the last slot.
+    Theorem42 {
+        /// Construction horizon `t`.
+        horizon: u64,
+        /// `g(t)` (prefix is `t/(4g(t))`).
+        g_of_t: f64,
+        /// `f(t)` (final crowd is `t/(4f(t))`).
+        f_of_t: f64,
+    },
+}
+
+impl AdversarySpec {
+    /// An idle adversary (no arrivals, no jamming).
+    pub fn idle() -> Self {
+        AdversarySpec::Composite {
+            arrival: ArrivalSpec::None,
+            jamming: JammingSpec::None,
+        }
+    }
+
+    /// Materialize the adversary.
+    pub fn build(&self) -> Box<dyn Adversary> {
+        match self {
+            AdversarySpec::Composite { arrival, jamming } => {
+                Box::new(CompositeAdversary::new(arrival.build(), jamming.build()))
+            }
+            AdversarySpec::Lemma41 {
+                horizon,
+                batch_per_slot,
+                random_total,
+            } => Box::new(Lemma41Adversary::new(
+                *horizon,
+                *batch_per_slot,
+                *random_total,
+            )),
+            AdversarySpec::Theorem13 { horizon, g_of_t } => {
+                Box::new(Theorem13Adversary::new(*horizon, *g_of_t))
+            }
+            AdversarySpec::Theorem42 {
+                horizon,
+                g_of_t,
+                f_of_t,
+            } => Box::new(Theorem42Adversary::new(*horizon, *g_of_t, *f_of_t)),
+        }
+    }
+}
+
+/// A serializable cumulative budget curve (Definition 1.1 shapes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveSpec {
+    /// No cap.
+    Unlimited,
+    /// Flat cap: at most `cap` events, ever.
+    Constant(f64),
+    /// Linear cap: at most `coef · t` events by slot `t`.
+    PerSlot(f64),
+    /// The critical arrival density: `t / (scale · f(t))`, with `f`
+    /// derived from the budget's [`ParamsSpec`].
+    CriticalArrivals {
+        /// Denominator scale (the paper's "4" in `t/(4f(t))`).
+        scale: f64,
+    },
+    /// The critical jamming density: `t / (scale · g(t))`.
+    CriticalJams {
+        /// Denominator scale.
+        scale: f64,
+    },
+}
+
+impl CurveSpec {
+    fn curve(&self, params: &ProtocolParams) -> Box<dyn Fn(u64) -> f64> {
+        match self {
+            CurveSpec::Unlimited => Box::new(|_| f64::INFINITY),
+            CurveSpec::Constant(cap) => {
+                let cap = *cap;
+                Box::new(move |_| cap)
+            }
+            CurveSpec::PerSlot(coef) => {
+                let coef = *coef;
+                Box::new(move |t| coef * t as f64)
+            }
+            CurveSpec::CriticalArrivals { scale } => {
+                let f = params.f();
+                let scale = *scale;
+                Box::new(move |t| t as f64 / (scale * f.at(t)))
+            }
+            CurveSpec::CriticalJams { scale } => {
+                let g = params.g().clone();
+                let scale = *scale;
+                Box::new(move |t| t as f64 / (scale * g.at(t)))
+            }
+        }
+    }
+}
+
+/// Budget clamps for the adversary (the `n_t`/`d_t` curves of
+/// Definition 1.1), wrapping the base adversary in a
+/// [`BudgetedAdversary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSpec {
+    /// Parameters defining `f`/`g` for the critical-density curves.
+    pub params: ParamsSpec,
+    /// Cumulative injection cap.
+    pub arrivals: CurveSpec,
+    /// Cumulative jam cap.
+    pub jams: CurveSpec,
+}
+
+impl BudgetSpec {
+    /// The critical (f,g) budget: arrivals `t/(scale·f)`, jams
+    /// `t/(scale·g)`.
+    pub fn critical(params: ParamsSpec, scale: f64) -> Self {
+        BudgetSpec {
+            params,
+            arrivals: CurveSpec::CriticalArrivals { scale },
+            jams: CurveSpec::CriticalJams { scale },
+        }
+    }
+
+    /// Materialize the budget pair.
+    pub fn build(&self) -> (ArrivalBudget, JamBudget) {
+        let params = self.params.build();
+        let a = self.arrivals.curve(&params);
+        let j = self.jams.curve(&params);
+        (ArrivalBudget::new(a), JamBudget::new(j))
+    }
+}
+
+/// Windowed smoothness constraints (Corollary 3.6), wrapping the base
+/// adversary in a [`SmoothAdversary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothSpec {
+    /// Parameters defining `f`/`g` for the window curves.
+    pub params: ParamsSpec,
+    /// Arrival constant: arrivals ≤ `ca·j/f(j)` per window of length `j`.
+    pub ca: f64,
+    /// Jam constant: jams ≤ `cd·j/g(j)` per window.
+    pub cd: f64,
+}
+
+impl SmoothSpec {
+    /// Materialize the [`SmoothConfig`].
+    pub fn build(&self) -> SmoothConfig {
+        let params = self.params.build();
+        let f = params.f();
+        let g = params.g().clone();
+        SmoothConfig::from_fg(move |j| f.at(j), move |j| g.at(j), self.ca, self.cd)
+    }
+}
+
+/// When a run stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonSpec {
+    /// Run until the system drains, with a safety slot cap.
+    UntilDrained {
+        /// Hard slot cap.
+        max_slots: u64,
+    },
+    /// Run exactly this many slots.
+    Fixed {
+        /// Slot count.
+        slots: u64,
+    },
+}
+
+impl HorizonSpec {
+    /// The slot cap (fixed length or the drain safety cap).
+    pub fn cap(&self) -> u64 {
+        match self {
+            HorizonSpec::UntilDrained { max_slots } => *max_slots,
+            HorizonSpec::Fixed { slots } => *slots,
+        }
+    }
+}
+
+/// How much per-slot state a run stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordMode {
+    /// One [`SlotRecord`](contention_sim::SlotRecord) per slot (memory
+    /// linear in the horizon).
+    Full,
+    /// Aggregates and departures only (O(1) trace memory) — for
+    /// endurance runs with heavy-tailed lengths.
+    Aggregate,
+}
+
+/// A complete, serializable experiment description.
+///
+/// Build one with the constructors and builder methods, hand it to a
+/// [`ScenarioRunner`](crate::scenario::ScenarioRunner), or fetch a named
+/// one from the [`registry`](crate::scenario::registry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (registry key or free-form description).
+    pub name: String,
+    /// The algorithms to run.
+    pub algos: Vec<AlgoSpec>,
+    /// The base adversary.
+    pub adversary: AdversarySpec,
+    /// Optional Definition-1.1 budget clamps.
+    pub budget: Option<BudgetSpec>,
+    /// Optional Corollary-3.6 smoothness constraints.
+    pub smooth: Option<SmoothSpec>,
+    /// Stop policy.
+    pub horizon: HorizonSpec,
+    /// Number of replications (seeds `seed_base .. seed_base + seeds`).
+    pub seeds: u64,
+    /// First seed.
+    pub seed_base: u64,
+    /// Trace record policy.
+    pub record: RecordMode,
+}
+
+impl ScenarioSpec {
+    /// A new scenario with an idle adversary, one seed, full recording,
+    /// and a 1M-slot drain cap; compose the rest with the builder
+    /// methods.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            algos: Vec::new(),
+            adversary: AdversarySpec::idle(),
+            budget: None,
+            smooth: None,
+            horizon: HorizonSpec::UntilDrained {
+                max_slots: 1_000_000,
+            },
+            seeds: 1,
+            seed_base: 0,
+            record: RecordMode::Full,
+        }
+    }
+
+    /// The classical batch scenario: `n` nodes at slot 1, jamming
+    /// probability `jam_p`, run until drained.
+    pub fn batch(n: u32, jam_p: f64) -> Self {
+        Self::new(format!("batch/{n}"))
+            .algo(AlgoSpec::cjz_constant_jamming())
+            .arrivals(ArrivalSpec::batch(n))
+            .jamming(JammingSpec::random(jam_p))
+    }
+
+    /// Add one algorithm to the roster.
+    pub fn algo(mut self, algo: AlgoSpec) -> Self {
+        self.algos.push(algo);
+        self
+    }
+
+    /// Replace the roster.
+    pub fn algos(mut self, algos: impl IntoIterator<Item = AlgoSpec>) -> Self {
+        self.algos = algos.into_iter().collect();
+        self
+    }
+
+    /// Set the arrival half (keeps the jamming half; replaces a
+    /// lower-bound adversary with a composite one).
+    pub fn arrivals(mut self, arrival: ArrivalSpec) -> Self {
+        self.adversary = match self.adversary {
+            AdversarySpec::Composite { jamming, .. } => {
+                AdversarySpec::Composite { arrival, jamming }
+            }
+            _ => AdversarySpec::Composite {
+                arrival,
+                jamming: JammingSpec::None,
+            },
+        };
+        self
+    }
+
+    /// Set the jamming half (keeps the arrival half; replaces a
+    /// lower-bound adversary with a composite one).
+    pub fn jamming(mut self, jamming: JammingSpec) -> Self {
+        self.adversary = match self.adversary {
+            AdversarySpec::Composite { arrival, .. } => {
+                AdversarySpec::Composite { arrival, jamming }
+            }
+            _ => AdversarySpec::Composite {
+                arrival: ArrivalSpec::None,
+                jamming,
+            },
+        };
+        self
+    }
+
+    /// Replace the whole adversary.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Clamp the adversary to Definition-1.1 budgets.
+    pub fn budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Constrain the adversary to Corollary-3.6 smoothness.
+    pub fn smooth(mut self, smooth: SmoothSpec) -> Self {
+        self.smooth = Some(smooth);
+        self
+    }
+
+    /// Run for exactly `slots` slots.
+    pub fn fixed_horizon(mut self, slots: u64) -> Self {
+        self.horizon = HorizonSpec::Fixed { slots };
+        self
+    }
+
+    /// Run until drained (cap `max_slots`).
+    pub fn until_drained(mut self, max_slots: u64) -> Self {
+        self.horizon = HorizonSpec::UntilDrained { max_slots };
+        self
+    }
+
+    /// Replicate over `seeds` seeds.
+    pub fn seeds(mut self, seeds: u64) -> Self {
+        self.seeds = seeds.max(1);
+        self
+    }
+
+    /// Start replication at `seed_base`.
+    pub fn seed_base(mut self, seed_base: u64) -> Self {
+        self.seed_base = seed_base;
+        self
+    }
+
+    /// Memory-bounded mode: aggregates and departures only.
+    pub fn aggregate_only(mut self) -> Self {
+        self.record = RecordMode::Aggregate;
+        self
+    }
+
+    /// Materialize the fully wrapped adversary
+    /// (budget ∘ smooth ∘ base).
+    pub fn build_adversary(&self) -> Box<dyn Adversary> {
+        let mut adv: Box<dyn Adversary> = self.adversary.build();
+        if let Some(smooth) = &self.smooth {
+            adv = Box::new(SmoothAdversary::new(adv, smooth.build()));
+        }
+        if let Some(budget) = &self.budget {
+            let (arrivals, jams) = budget.build();
+            adv = Box::new(BudgetedAdversary::new(adv, arrivals, jams));
+        }
+        adv
+    }
+
+    /// Shrink the scenario to smoke-test scale: one seed, horizons capped
+    /// at a few thousand slots, populations capped at 32. Keeps the
+    /// structure (adversary class, budgets, roster) intact.
+    pub fn smoke(mut self) -> Self {
+        const HORIZON_CAP: u64 = 2_048;
+        const DRAIN_CAP: u64 = 200_000;
+        self.seeds = 1;
+        self.horizon = match self.horizon {
+            HorizonSpec::Fixed { slots } => HorizonSpec::Fixed {
+                slots: slots.min(HORIZON_CAP),
+            },
+            HorizonSpec::UntilDrained { max_slots } => HorizonSpec::UntilDrained {
+                max_slots: max_slots.min(DRAIN_CAP),
+            },
+        };
+        self.adversary = match self.adversary {
+            AdversarySpec::Composite { arrival, jamming } => {
+                let arrival = match arrival {
+                    ArrivalSpec::Batch { at, count } => ArrivalSpec::Batch {
+                        at,
+                        count: count.min(32),
+                    },
+                    ArrivalSpec::Bursty {
+                        period,
+                        phase,
+                        size,
+                        bursts,
+                    } => ArrivalSpec::Bursty {
+                        period,
+                        phase,
+                        size: size.min(8),
+                        bursts: bursts.min(8),
+                    },
+                    ArrivalSpec::UniformRandom { total, horizon } => ArrivalSpec::UniformRandom {
+                        total: total.min(32),
+                        horizon: horizon.min(HORIZON_CAP),
+                    },
+                    ArrivalSpec::Saturated {
+                        target,
+                        budget,
+                        horizon,
+                    } => ArrivalSpec::Saturated {
+                        target: target.map(|t| t.min(16)),
+                        budget,
+                        horizon,
+                    },
+                    ArrivalSpec::Poisson { rate, horizon } => ArrivalSpec::Poisson {
+                        rate,
+                        horizon: Some(horizon.unwrap_or(HORIZON_CAP).min(HORIZON_CAP)),
+                    },
+                    other => other,
+                };
+                let jamming = match jamming {
+                    JammingSpec::FrontLoaded { until } => JammingSpec::FrontLoaded {
+                        until: until.min(256),
+                    },
+                    other => other,
+                };
+                AdversarySpec::Composite { arrival, jamming }
+            }
+            AdversarySpec::Lemma41 {
+                horizon,
+                batch_per_slot,
+                random_total,
+            } => AdversarySpec::Lemma41 {
+                horizon: horizon.min(HORIZON_CAP),
+                batch_per_slot: batch_per_slot.min(4),
+                random_total: random_total.min(32),
+            },
+            AdversarySpec::Theorem13 { horizon, g_of_t } => AdversarySpec::Theorem13 {
+                horizon: horizon.min(HORIZON_CAP),
+                g_of_t,
+            },
+            AdversarySpec::Theorem42 {
+                horizon,
+                g_of_t,
+                f_of_t,
+            } => AdversarySpec::Theorem42 {
+                horizon: horizon.min(HORIZON_CAP),
+                g_of_t,
+                f_of_t,
+            },
+        };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_spec_names() {
+        assert!(AlgoSpec::cjz_constant_jamming().name().starts_with("cjz["));
+        assert_eq!(
+            AlgoSpec::Baseline(BaselineSpec::BinaryExponential).name(),
+            "beb"
+        );
+        assert_eq!(
+            AlgoSpec::CjzNoSwap(ParamsSpec::constant_jamming()).name(),
+            "cjz-noswap"
+        );
+        assert_eq!(
+            AlgoSpec::cjz_constant_jamming().algorithm_name(),
+            AlgoSpec::cjz_constant_jamming().name()
+        );
+    }
+
+    #[test]
+    fn algo_spec_spawns_protocols() {
+        for algo in [
+            AlgoSpec::cjz_constant_jamming(),
+            AlgoSpec::CjzNoSwap(ParamsSpec::constant_jamming()),
+            AlgoSpec::CjzOracle(ParamsSpec::constant_jamming()),
+            AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+        ] {
+            let p = algo.spawn(NodeId::new(0));
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn baseline_spec_roster_mirrors_baseline_roster() {
+        // BaselineSpec::roster() must stay in lockstep with
+        // Baseline::roster(): a baseline added to one list but not the
+        // other would silently vanish from spec-driven experiments.
+        let spec_names: Vec<String> = BaselineSpec::roster()
+            .iter()
+            .map(|b| b.build().name().to_string())
+            .collect();
+        let baseline_names: Vec<String> = Baseline::roster()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
+        assert_eq!(spec_names, baseline_names);
+    }
+
+    #[test]
+    fn params_spec_overrides_constants() {
+        let p = ParamsSpec::constant_jamming()
+            .with_c2(4.0)
+            .with_c3(8.0)
+            .build();
+        assert_eq!(p.c2(), 4.0);
+        assert_eq!(p.c3(), 8.0);
+        let d = ParamsSpec::constant_jamming().build();
+        assert_eq!(d, ProtocolParams::constant_jamming());
+        assert_eq!(
+            ParamsSpec::constant_throughput().build(),
+            ProtocolParams::constant_throughput()
+        );
+    }
+
+    #[test]
+    fn builder_composes_composite_halves() {
+        let spec = ScenarioSpec::batch(16, 0.25);
+        match &spec.adversary {
+            AdversarySpec::Composite { arrival, jamming } => {
+                assert_eq!(*arrival, ArrivalSpec::Batch { at: 1, count: 16 });
+                assert_eq!(*jamming, JammingSpec::Random { p: 0.25 });
+            }
+            other => panic!("unexpected adversary {other:?}"),
+        }
+        // Zero probability collapses to no jamming.
+        let clean = ScenarioSpec::batch(16, 0.0);
+        match &clean.adversary {
+            AdversarySpec::Composite { jamming, .. } => {
+                assert_eq!(*jamming, JammingSpec::None)
+            }
+            other => panic!("unexpected adversary {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jamming_builder_preserves_arrivals() {
+        let spec = ScenarioSpec::new("x")
+            .arrivals(ArrivalSpec::batch(4))
+            .jamming(JammingSpec::Reactive { burst: 2 });
+        match &spec.adversary {
+            AdversarySpec::Composite { arrival, jamming } => {
+                assert_eq!(*arrival, ArrivalSpec::Batch { at: 1, count: 4 });
+                assert_eq!(*jamming, JammingSpec::Reactive { burst: 2 });
+            }
+            other => panic!("unexpected adversary {other:?}"),
+        }
+    }
+
+    #[test]
+    fn smoke_shrinks_scale() {
+        let spec = ScenarioSpec::batch(4096, 0.25)
+            .seeds(10)
+            .until_drained(1_000_000_000)
+            .smoke();
+        assert_eq!(spec.seeds, 1);
+        assert_eq!(
+            spec.horizon,
+            HorizonSpec::UntilDrained { max_slots: 200_000 }
+        );
+        match &spec.adversary {
+            AdversarySpec::Composite { arrival, .. } => {
+                assert_eq!(*arrival, ArrivalSpec::Batch { at: 1, count: 32 })
+            }
+            other => panic!("unexpected adversary {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_adversary_wraps_budget() {
+        let spec = ScenarioSpec::new("budgeted")
+            .arrivals(ArrivalSpec::saturated())
+            .jamming(JammingSpec::Random { p: 1.0 })
+            .budget(BudgetSpec::critical(ParamsSpec::constant_jamming(), 4.0));
+        let adv = spec.build_adversary();
+        assert_eq!(adv.name(), "budgeted");
+    }
+}

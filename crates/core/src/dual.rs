@@ -79,7 +79,10 @@ impl DualProtocol for DualCjzProtocol {
         match &mut self.state {
             State::Sync { backoff } => {
                 let c = backoff.next(rng);
-                (Action::Listen, if c { Action::Broadcast } else { Action::Listen })
+                (
+                    Action::Listen,
+                    if c { Action::Broadcast } else { Action::Listen },
+                )
             }
             State::Batch { ctrl, data } => {
                 let d = data.next(rng);
@@ -193,11 +196,8 @@ mod tests {
 
             let single_factory = crate::CjzFactory::new(ProtocolParams::constant_jamming());
             let adv = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
-            let mut single = contention_sim::Simulator::new(
-                SimConfig::with_seed(seed),
-                single_factory,
-                adv,
-            );
+            let mut single =
+                contention_sim::Simulator::new(SimConfig::with_seed(seed), single_factory, adv);
             single.run_until_drained(10_000_000);
             single_total += single.current_slot();
         }

@@ -162,8 +162,8 @@ impl ProtocolFactory for OracleParityFactory {
         Box::new(OracleParityProtocol::new(self.params.clone(), arrival_slot))
     }
 
-    fn algorithm_name(&self) -> &'static str {
-        "cjz-oracle"
+    fn algorithm_name(&self) -> String {
+        "cjz-oracle".to_string()
     }
 }
 

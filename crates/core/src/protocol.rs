@@ -266,8 +266,8 @@ impl ProtocolFactory for CjzFactory {
         })
     }
 
-    fn algorithm_name(&self) -> &'static str {
-        "cjz"
+    fn algorithm_name(&self) -> String {
+        "cjz".to_string()
     }
 }
 

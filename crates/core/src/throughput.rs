@@ -122,14 +122,13 @@ impl ThroughputVerifier {
 mod tests {
     use super::*;
     use crate::params::ProtocolParams;
-    use contention_sim::prelude::*;
     use contention_sim::node::AlwaysBroadcast;
+    use contention_sim::prelude::*;
 
     fn drain_one_node_trace() -> Trace {
         // One node, broadcasts immediately, succeeds in slot 1.
-        let factory = |_: NodeId| -> Box<dyn contention_sim::Protocol> {
-            Box::new(AlwaysBroadcast)
-        };
+        let factory =
+            |_: NodeId| -> Box<dyn contention_sim::Protocol> { Box::new(AlwaysBroadcast) };
         let adv = CompositeAdversary::new(BatchArrival::at_start(1), NoJamming);
         let mut sim = Simulator::new(SimConfig::with_seed(1), factory, adv);
         sim.run_for(4);
@@ -193,9 +192,8 @@ mod tests {
     #[test]
     fn jammed_slots_expand_budget() {
         // All slots jammed, one node present: active but budgeted via d_t.
-        let factory = |_: NodeId| -> Box<dyn contention_sim::Protocol> {
-            Box::new(AlwaysBroadcast)
-        };
+        let factory =
+            |_: NodeId| -> Box<dyn contention_sim::Protocol> { Box::new(AlwaysBroadcast) };
         let adv = CompositeAdversary::new(BatchArrival::at_start(1), FrontLoadedJamming::new(100));
         let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adv);
         sim.run_for(100);

@@ -80,7 +80,7 @@ proptest! {
         let mut slot = 2u64;
         for _ in 0..extra_successes {
             // Next control-channel slot: same parity as anchor+1.
-            while (slot.wrapping_sub(anchor + 1)) % 2 != 0 {
+            while !(slot.wrapping_sub(anchor + 1)).is_multiple_of(2) {
                 slot += 1;
             }
             let _ = p.act(slot, &mut rng);

@@ -33,6 +33,23 @@ pub trait ArrivalProcess {
     }
 }
 
+/// Boxed arrival processes delegate, so spec-driven scenario tables can
+/// compose `Box<dyn ArrivalProcess>` halves into a
+/// [`CompositeAdversary`](crate::adversary::CompositeAdversary).
+impl ArrivalProcess for Box<dyn ArrivalProcess> {
+    fn arrivals(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> u32 {
+        (**self).arrivals(slot, history, rng)
+    }
+
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// No arrivals at all.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoArrivals;
@@ -115,7 +132,10 @@ impl PoissonArrival {
     ///
     /// Panics if `rate` is negative or not finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and non-negative"
+        );
         PoissonArrival {
             rate,
             horizon: u64::MAX,
@@ -376,7 +396,9 @@ impl ArrivalProcess for SaturatedArrival {
             return 0;
         }
         let want = self.target - backlog;
-        let allowed = (self.budget - self.injected).min(want).min(u64::from(u32::MAX));
+        let allowed = (self.budget - self.injected)
+            .min(want)
+            .min(u64::from(u32::MAX));
         self.injected += allowed;
         allowed as u32
     }
@@ -427,9 +449,14 @@ mod tests {
         let mut a = PoissonArrival::new(0.5);
         let h = PublicHistory::new();
         let mut r = rng();
-        let total: u64 = (1..=20_000).map(|s| u64::from(a.arrivals(s, &h, &mut r))).sum();
+        let total: u64 = (1..=20_000)
+            .map(|s| u64::from(a.arrivals(s, &h, &mut r)))
+            .sum();
         let mean = total as f64 / 20_000.0;
-        assert!((mean - 0.5).abs() < 0.05, "poisson mean {mean} far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.05,
+            "poisson mean {mean} far from 0.5"
+        );
     }
 
     #[test]
@@ -475,7 +502,9 @@ mod tests {
         let mut a = UniformRandomArrival::new(250, 1000);
         let h = PublicHistory::new();
         let mut r = rng();
-        let total: u64 = (1..=1000).map(|s| u64::from(a.arrivals(s, &h, &mut r))).sum();
+        let total: u64 = (1..=1000)
+            .map(|s| u64::from(a.arrivals(s, &h, &mut r)))
+            .sum();
         assert_eq!(total, 250);
         assert!(a.exhausted());
     }

@@ -56,7 +56,9 @@ impl ArrivalBudget {
 
 impl std::fmt::Debug for ArrivalBudget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ArrivalBudget").field("used", &self.used).finish()
+        f.debug_struct("ArrivalBudget")
+            .field("used", &self.used)
+            .finish()
     }
 }
 
@@ -99,7 +101,9 @@ impl JamBudget {
 
 impl std::fmt::Debug for JamBudget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JamBudget").field("used", &self.used).finish()
+        f.debug_struct("JamBudget")
+            .field("used", &self.used)
+            .finish()
     }
 }
 

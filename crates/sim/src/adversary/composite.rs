@@ -75,9 +75,21 @@ mod tests {
         let h = PublicHistory::new();
         let mut r = SmallRng::seed_from_u64(0);
         let d1 = adv.decide(1, &h, &mut r);
-        assert_eq!(d1, SlotDecision { jam: true, inject: 0 });
+        assert_eq!(
+            d1,
+            SlotDecision {
+                jam: true,
+                inject: 0
+            }
+        );
         let d2 = adv.decide(2, &h, &mut r);
-        assert_eq!(d2, SlotDecision { jam: false, inject: 5 });
+        assert_eq!(
+            d2,
+            SlotDecision {
+                jam: false,
+                inject: 5
+            }
+        );
         assert!(adv.exhausted());
     }
 

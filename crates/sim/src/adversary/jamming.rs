@@ -24,6 +24,19 @@ pub trait JammingStrategy {
     }
 }
 
+/// Boxed jamming strategies delegate, so spec-driven scenario tables can
+/// compose `Box<dyn JammingStrategy>` halves into a
+/// [`CompositeAdversary`](crate::adversary::CompositeAdversary).
+impl JammingStrategy for Box<dyn JammingStrategy> {
+    fn jam(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> bool {
+        (**self).jam(slot, history, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Never jams.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoJamming;

@@ -205,7 +205,9 @@ impl Theorem42Adversary {
         Theorem42Adversary {
             horizon,
             prefix: ((horizon as f64) / (4.0 * g_of_t)).floor() as u64,
-            final_crowd: ((horizon as f64) / (4.0 * f_of_t)).floor().min(u32::MAX as f64) as u32,
+            final_crowd: ((horizon as f64) / (4.0 * f_of_t))
+                .floor()
+                .min(u32::MAX as f64) as u32,
             injected_start: false,
             injected_end: false,
         }

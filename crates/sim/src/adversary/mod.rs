@@ -171,7 +171,9 @@ where
 
 impl<F> std::fmt::Debug for FnAdversary<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnAdversary").field("name", &self.name).finish()
+        f.debug_struct("FnAdversary")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -183,9 +185,27 @@ mod tests {
 
     #[test]
     fn slot_decision_constructors() {
-        assert_eq!(SlotDecision::IDLE, SlotDecision { jam: false, inject: 0 });
-        assert_eq!(SlotDecision::inject(4), SlotDecision { jam: false, inject: 4 });
-        assert_eq!(SlotDecision::jam(), SlotDecision { jam: true, inject: 0 });
+        assert_eq!(
+            SlotDecision::IDLE,
+            SlotDecision {
+                jam: false,
+                inject: 0
+            }
+        );
+        assert_eq!(
+            SlotDecision::inject(4),
+            SlotDecision {
+                jam: false,
+                inject: 4
+            }
+        );
+        assert_eq!(
+            SlotDecision::jam(),
+            SlotDecision {
+                jam: true,
+                inject: 0
+            }
+        );
     }
 
     #[test]

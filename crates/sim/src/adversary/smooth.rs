@@ -173,8 +173,7 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    fn greedy() -> FnAdversary<impl FnMut(u64, &PublicHistory, &mut dyn RngCore) -> SlotDecision>
-    {
+    fn greedy() -> FnAdversary<impl FnMut(u64, &PublicHistory, &mut dyn RngCore) -> SlotDecision> {
         FnAdversary::new("greedy", |_s, _h, _r| SlotDecision {
             jam: true,
             inject: 1000,

@@ -413,7 +413,8 @@ mod tests {
             }
         }
         let adv = CompositeAdversary::new(BatchArrival::new(5, 1), NoJamming);
-        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(ClockCheck { expected_next: 0 }) };
+        let factory =
+            |_: NodeId| -> Box<dyn Protocol> { Box::new(ClockCheck { expected_next: 0 }) };
         let mut sim = Simulator::new(SimConfig::with_seed(4), factory, adv);
         sim.run_for(12);
         assert_eq!(sim.active_count(), 1);
@@ -422,8 +423,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_trace() {
         let run = |seed: u64| {
-            let adv =
-                CompositeAdversary::new(BatchArrival::new(1, 8), RandomJamming::new(0.3));
+            let adv = CompositeAdversary::new(BatchArrival::new(1, 8), RandomJamming::new(0.3));
             let mut sim = Simulator::new(SimConfig::with_seed(seed), always(), adv);
             sim.run_for(200);
             sim.into_trace()

@@ -62,7 +62,7 @@ pub use config::SimConfig;
 pub use engine::{Simulator, StopReason};
 pub use history::PublicHistory;
 pub use metrics::{CumulativeTrace, DepartureRecord, SlotRecord, SurvivorRecord, Trace};
-pub use node::{NodeId, Protocol, ProtocolFactory};
+pub use node::{NamedFactory, NodeId, Protocol, ProtocolFactory};
 pub use observer::StreamingStats;
 pub use rng::SeedSequence;
 pub use slot::{Action, Feedback, Parity, SlotOutcome};
@@ -71,15 +71,15 @@ pub use slot::{Action, Feedback, Parity, SlotOutcome};
 pub mod prelude {
     pub use crate::adversary::{
         Adversary, ArrivalProcess, BatchArrival, BurstyArrival, CompositeAdversary,
-        FrontLoadedJamming, JammingStrategy, NoArrivals, NoJamming, NullAdversary,
-        PeriodicJamming, PoissonArrival, RandomJamming, SaturatedArrival, ScriptedArrival,
-        ScriptedJamming, SlotDecision,
+        FrontLoadedJamming, JammingStrategy, NoArrivals, NoJamming, NullAdversary, PeriodicJamming,
+        PoissonArrival, RandomJamming, SaturatedArrival, ScriptedArrival, ScriptedJamming,
+        SlotDecision,
     };
     pub use crate::config::SimConfig;
     pub use crate::engine::{Simulator, StopReason};
     pub use crate::history::PublicHistory;
     pub use crate::metrics::{CumulativeTrace, DepartureRecord, SlotRecord, Trace};
-    pub use crate::node::{NodeId, Protocol, ProtocolFactory};
+    pub use crate::node::{NamedFactory, NodeId, Protocol, ProtocolFactory};
     pub use crate::observer::StreamingStats;
     pub use crate::rng::SeedSequence;
     pub use crate::slot::{Action, Feedback, Parity, SlotOutcome};

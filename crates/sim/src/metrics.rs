@@ -231,7 +231,11 @@ impl Trace {
         if self.departures.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
-        let mut lats: Vec<u64> = self.departures.iter().map(DepartureRecord::latency).collect();
+        let mut lats: Vec<u64> = self
+            .departures
+            .iter()
+            .map(DepartureRecord::latency)
+            .collect();
         lats.sort_unstable();
         let pos = q * (lats.len() - 1) as f64;
         let lo = pos.floor() as usize;
@@ -249,8 +253,7 @@ impl Trace {
     /// `collision`, `jammed` — the privileged view, for offline analysis.
     pub fn slots_to_csv(&self) -> String {
         use std::fmt::Write as _;
-        let mut out =
-            String::from("slot,arrivals,broadcasters,jammed,active,population,outcome\n");
+        let mut out = String::from("slot,arrivals,broadcasters,jammed,active,population,outcome\n");
         for (i, r) in self.slots.iter().enumerate() {
             let outcome = match r.outcome {
                 SlotOutcome::Silence => "silence",
@@ -414,7 +417,12 @@ mod tests {
     #[test]
     fn cumulative_prefix_sums() {
         let mut t = Trace::new();
-        t.push_slot(rec(2, false, true, SlotOutcome::Collision { broadcasters: 2 }));
+        t.push_slot(rec(
+            2,
+            false,
+            true,
+            SlotOutcome::Collision { broadcasters: 2 },
+        ));
         t.push_slot(rec(0, true, true, SlotOutcome::Jammed { broadcasters: 1 }));
         t.push_slot(rec(1, false, true, SlotOutcome::Delivered(NodeId::new(0))));
         t.push_slot(rec(0, false, false, SlotOutcome::Silence));

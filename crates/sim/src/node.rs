@@ -99,19 +99,62 @@ pub trait ProtocolFactory {
         self.spawn(id)
     }
 
-    /// Name of the algorithm this factory spawns.
-    fn algorithm_name(&self) -> &'static str {
-        "unnamed"
+    /// Name of the algorithm this factory spawns, used in reports.
+    ///
+    /// The default is `"unnamed"`; named roster types (`AlgoSpec`, the
+    /// baseline registry, the concrete protocol factories) override it.
+    /// Closure factories cannot carry a name — wrap them with
+    /// [`named`](Self::named) when the name matters.
+    fn algorithm_name(&self) -> String {
+        "unnamed".to_string()
+    }
+
+    /// Attach a report name to this factory (most useful for closure
+    /// factories, whose blanket impl reports `"unnamed"`).
+    fn named(self, name: impl Into<String>) -> NamedFactory<Self>
+    where
+        Self: Sized,
+    {
+        NamedFactory {
+            name: name.into(),
+            inner: self,
+        }
     }
 }
 
 /// Blanket factory for closures returning boxed protocols.
+///
+/// Closures have no identity, so this impl inherits the `"unnamed"`
+/// [`ProtocolFactory::algorithm_name`]; use [`ProtocolFactory::named`] to
+/// attach one.
 impl<F> ProtocolFactory for F
 where
     F: Fn(NodeId) -> Box<dyn Protocol>,
 {
     fn spawn(&self, id: NodeId) -> Box<dyn Protocol> {
         self(id)
+    }
+}
+
+/// A factory wrapper that carries an explicit report name (see
+/// [`ProtocolFactory::named`]).
+#[derive(Debug, Clone)]
+pub struct NamedFactory<F> {
+    name: String,
+    inner: F,
+}
+
+impl<F: ProtocolFactory> ProtocolFactory for NamedFactory<F> {
+    fn spawn(&self, id: NodeId) -> Box<dyn Protocol> {
+        self.inner.spawn(id)
+    }
+
+    fn spawn_with_arrival(&self, id: NodeId, arrival_slot: u64) -> Box<dyn Protocol> {
+        self.inner.spawn_with_arrival(id, arrival_slot)
+    }
+
+    fn algorithm_name(&self) -> String {
+        self.name.clone()
     }
 }
 
@@ -192,6 +235,16 @@ mod tests {
     fn closure_factory_spawns() {
         let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) };
         let p = factory.spawn(NodeId::new(0));
+        assert_eq!(p.name(), "always-broadcast");
+        assert_eq!(factory.algorithm_name(), "unnamed");
+    }
+
+    #[test]
+    fn named_factory_threads_a_name_through() {
+        let factory =
+            (|_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) }).named("always");
+        assert_eq!(factory.algorithm_name(), "always");
+        let p = factory.spawn_with_arrival(NodeId::new(1), 7);
         assert_eq!(p.name(), "always-broadcast");
     }
 }

@@ -127,7 +127,12 @@ mod tests {
     #[test]
     fn folds_counts() {
         let mut s = StreamingStats::new();
-        s.record(&rec(2, false, true, SlotOutcome::Collision { broadcasters: 2 }));
+        s.record(&rec(
+            2,
+            false,
+            true,
+            SlotOutcome::Collision { broadcasters: 2 },
+        ));
         s.record(&rec(0, true, true, SlotOutcome::Jammed { broadcasters: 1 }));
         s.record(&rec(0, false, true, SlotOutcome::Delivered(NodeId::new(0))));
         assert_eq!(s.slots(), 3);

@@ -5,42 +5,38 @@
 //! paper's protocol while a two-state Markov jammer alternates between
 //! clean spells and interference bursts, at the same long-run jammed
 //! fraction as an i.i.d. jammer — and shows the burstiness is what hurts.
+//! The bursty half is the registry's `gilbert-elliott` scenario.
 //!
 //! ```sh
 //! cargo run --release --example bursty_interference
 //! ```
 
 use contention::prelude::*;
-use contention::sim::adversary::GilbertElliottJamming;
 
 fn run(label: &str, bursty: bool) -> (u64, f64, f64) {
-    let params = ProtocolParams::constant_jamming();
-    let factory = CjzFactory::new(params);
     let horizon = 60_000u64;
-    // One sensor report every 25 slots on average.
-    let arrivals = PoissonArrival::new(0.04).with_horizon(horizon - 5_000);
     let fraction = 0.25;
-    let mut sim: Simulator<_, Box<dyn Adversary>> = if bursty {
-        Simulator::new(
-            SimConfig::with_seed(11),
-            factory,
-            Box::new(CompositeAdversary::new(
-                arrivals,
-                GilbertElliottJamming::bursts(fraction, 64.0),
-            )),
-        )
-    } else {
-        Simulator::new(
-            SimConfig::with_seed(11),
-            factory,
-            Box::new(CompositeAdversary::new(
-                arrivals,
-                RandomJamming::new(fraction),
-            )),
-        )
+    // One sensor report every 25 slots on average.
+    let arrivals = ArrivalSpec::Poisson {
+        rate: 0.04,
+        horizon: Some(horizon - 5_000),
     };
-    sim.run_for(horizon);
-    let trace = sim.into_trace();
+    let jamming = if bursty {
+        JammingSpec::GilbertElliott {
+            fraction,
+            burst_len: 64.0,
+        }
+    } else {
+        JammingSpec::Random { p: fraction }
+    };
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new(label)
+        .algo(algo.clone())
+        .arrivals(arrivals)
+        .jamming(jamming)
+        .fixed_horizon(horizon);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 11);
+    let trace = &out.trace;
     let delivered = trace.total_successes();
     let p50 = trace.latency_quantile(0.5).unwrap_or(f64::NAN);
     let p99 = trace.latency_quantile(0.99).unwrap_or(f64::NAN);
@@ -61,5 +57,8 @@ fn main() {
          start of a 64-slot burst must out-wait it — exactly why the paper measures \
          robustness against *adversarial* jamming budgets, not average rates."
     );
-    assert_eq!(d_iid, d_burst, "both channels eventually deliver everything");
+    assert_eq!(
+        d_iid, d_burst,
+        "both channels eventually deliver everything"
+    );
 }

@@ -5,7 +5,7 @@
 //! node's backoff decays so far that it stays silent long after the attack
 //! ends. Classical monotone backoff falls for this; the paper's
 //! stage-based `(f/a)`-backoff keeps enough sending density to recover in
-//! `o(J)` slots.
+//! `o(J)` slots. The workload is the registry's `front-loaded/J` family.
 //!
 //! ```sh
 //! cargo run --release --example jamming_attack
@@ -13,21 +13,15 @@
 
 use contention::prelude::*;
 
-fn recovery(factory: impl ProtocolFactory, jam_wall: u64, seed: u64) -> u64 {
-    let adversary = CompositeAdversary::new(
-        BatchArrival::at_start(1),
-        FrontLoadedJamming::new(jam_wall),
-    );
-    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-    sim.run_until_drained(128 * jam_wall);
-    match sim.trace().departures().first() {
-        Some(d) => d.departure_slot - jam_wall,
-        None => 127 * jam_wall, // censored: never recovered in the horizon
-    }
-}
-
 fn main() {
     println!("A single node arrives; the attacker jams slots 1..=J.\n");
+
+    let algos = [
+        AlgoSpec::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::FBackoff(GSpec::Constant(2.0))),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+    ];
 
     let mut table = Table::new([
         "J (jam wall)",
@@ -40,30 +34,26 @@ fn main() {
 
     for p in [8u32, 10, 12, 14] {
         let j = 1u64 << p;
-        let mean = |mk: &dyn Fn() -> Box<dyn Protocol>| {
-            let total: u64 = (0..5)
-                .map(|seed| {
-                    let factory = |_: NodeId| mk();
-                    recovery(factory, j, seed)
-                })
-                .sum();
-            total as f64 / 5.0
-        };
-        table.row([
-            format!("2^{p}"),
-            fnum(mean(&|| {
-                Box::new(CjzProtocol::new(ProtocolParams::constant_jamming()))
-            })),
-            fnum(mean(&|| {
-                Box::new(contention::baselines::FBackoffProtocol::constant_jamming())
-            })),
-            fnum(mean(&|| {
-                Box::new(contention::baselines::WindowProtocol::binary_exponential())
-            })),
-            fnum(mean(&|| {
-                Box::new(contention::baselines::ScheduleProtocol::smoothed_beb())
-            })),
-        ]);
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::new(format!("front-loaded/{j}"))
+                .arrivals(ArrivalSpec::batch(1))
+                .jamming(JammingSpec::FrontLoaded { until: j })
+                .until_drained(128 * j)
+                .seeds(5),
+        );
+        let mut row = vec![format!("2^{p}")];
+        for algo in &algos {
+            let recoveries = runner.collect(algo, |_seed, out| {
+                match out.trace.departures().first() {
+                    Some(d) => (d.departure_slot - j) as f64,
+                    None => (127 * j) as f64, // censored: never recovered
+                }
+            });
+            row.push(fnum(
+                recoveries.iter().sum::<f64>() / recoveries.len() as f64,
+            ));
+        }
+        table.row(row);
     }
     println!("{}", table.render());
     println!(

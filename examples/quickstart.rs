@@ -13,25 +13,22 @@ fn main() {
     let params = ProtocolParams::constant_jamming();
     println!("protocol: {}", params.label());
 
-    // 2. Build a workload: 256 nodes arrive at once, and 25% of all slots
-    //    are jammed at random.
-    let adversary = CompositeAdversary::new(
-        BatchArrival::at_start(256),
-        RandomJamming::new(0.25),
-    );
+    // 2. Describe the workload as data: 256 nodes arrive at once, and 25%
+    //    of all slots are jammed at random. (`batch/256` in the registry.)
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::batch(256, 0.25).until_drained(10_000_000);
 
     // 3. Run. The whole simulation is a deterministic function of the seed.
-    let factory = CjzFactory::new(params.clone());
-    let mut sim = Simulator::new(SimConfig::with_seed(2024), factory, adversary);
-    let stop = sim.run_until_drained(10_000_000);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 2024);
     println!(
-        "stopped: {stop:?} after {} slots; delivered {} / 256 messages",
-        sim.current_slot(),
-        sim.trace().total_successes()
+        "drained: {} after {} slots; delivered {} / 256 messages",
+        out.drained,
+        out.slots,
+        out.trace.total_successes()
     );
 
     // 4. Inspect per-node statistics.
-    let trace = sim.into_trace();
+    let trace = &out.trace;
     println!(
         "mean latency {:.1} slots, mean channel accesses {:.1}, max accesses {}",
         trace.mean_latency().unwrap_or(f64::NAN),
@@ -41,7 +38,7 @@ fn main() {
 
     // 5. Check Definition 1.1 on every prefix: active slots must stay below
     //    n_t·f(t) + d_t·g(t) (up to the implementation's constant).
-    let report = ThroughputVerifier::for_params(&params).check(&trace, 8.0);
+    let report = ThroughputVerifier::for_params(&params).check(trace, 8.0);
     println!(
         "(f,g)-throughput: worst prefix ratio {:.3} at t={} -> {}",
         report.max_ratio,

@@ -3,7 +3,8 @@
 //! Theorem 1.2's trade-off in one loop: for each admissible `g`, the
 //! derived `f(x) = Θ(log x / log² g(x))` tells you the throughput price of
 //! that much robustness. The example prints the trade-off curve and then
-//! validates one point of it in simulation.
+//! validates one point of it in simulation (the registry's
+//! `constant-jamming` scenario).
 //!
 //! ```sh
 //! cargo run --release --example tradeoff_sweep
@@ -42,20 +43,22 @@ fn main() {
     println!("{}", table.render());
 
     // Validate the worst-case end of the curve in simulation: constant g,
-    // 30% jamming, saturated arrivals at the critical density.
+    // 30% jamming, saturated arrivals at the critical density t/(2f(t)).
     println!("validating the g=const end: 30% jamming, arrivals at t/(2f(t))…");
     let params = ProtocolParams::constant_jamming();
-    let f = params.f();
-    let adversary = contention::sim::adversary::BudgetedAdversary::new(
-        CompositeAdversary::new(SaturatedArrival::new(u64::MAX), RandomJamming::new(0.3)),
-        contention::sim::adversary::ArrivalBudget::new(move |t| t as f64 / (2.0 * f.at(t))),
-        contention::sim::adversary::JamBudget::unlimited(),
-    );
-    let factory = CjzFactory::new(params.clone());
-    let mut sim = Simulator::new(SimConfig::with_seed(99), factory, adversary);
-    sim.run_for(1 << 14);
-    let trace = sim.into_trace();
-    let cum = trace.cumulative();
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("constant-jamming/0.3")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::saturated())
+        .jamming(JammingSpec::random(0.3))
+        .budget(BudgetSpec {
+            params: ParamsSpec::constant_jamming(),
+            arrivals: CurveSpec::CriticalArrivals { scale: 2.0 },
+            jams: CurveSpec::Unlimited,
+        })
+        .fixed_horizon(1 << 14);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 99);
+    let cum = out.trace.cumulative();
     let t = cum.len();
     println!(
         "t={t}: arrivals {} delivered {} (backlog {}), jammed {}",
@@ -64,10 +67,14 @@ fn main() {
         cum.arrivals(t) - cum.successes(t),
         cum.jammed(t)
     );
-    let report = ThroughputVerifier::for_params(&params).check(&trace, 8.0);
+    let report = ThroughputVerifier::for_params(&params).check(&out.trace, 8.0);
     println!(
         "worst (f,g) prefix ratio {:.3} -> {}",
         report.max_ratio,
-        if report.ok { "bound holds" } else { "bound violated" }
+        if report.ok {
+            "bound holds"
+        } else {
+            "bound violated"
+        }
     );
 }

@@ -5,7 +5,8 @@
 //! with no collision detection. This example compares the paper's protocol
 //! against classical binary exponential backoff and smoothed BEB at
 //! increasing station counts — first on a clean channel, then with
-//! electromagnetic interference modeled as 20% random jamming.
+//! electromagnetic interference modeled as 20% random jamming. The
+//! workload is the registry's `batch`/`batch-jammed` family.
 //!
 //! ```sh
 //! cargo run --release --example wifi_batch
@@ -13,35 +14,33 @@
 
 use contention::prelude::*;
 
-fn drain_slots<F: ProtocolFactory + Clone>(factory: &F, n: u32, jam: f64, seed: u64) -> u64 {
-    let adversary = CompositeAdversary::new(
-        BatchArrival::at_start(n),
-        RandomJamming::new(jam),
-    );
-    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory.clone(), adversary);
-    sim.run_until_drained(500_000_000);
-    sim.current_slot()
-}
-
 fn main() {
     let stations = [32u32, 128, 512];
-    let seeds = [1u64, 2, 3];
+    let seeds = 3u64;
+
+    let algos = [
+        AlgoSpec::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+    ];
 
     for jam in [0.0, 0.2] {
-        let mut table = Table::new(["stations", "cjz", "beb", "smoothed-beb"]).with_title(
-            format!("slots until every station has transmitted (jam = {jam})"),
-        );
+        let mut table = Table::new(["stations", "cjz", "beb", "smoothed-beb"]).with_title(format!(
+            "slots until every station has transmitted (jam = {jam})"
+        ));
         for &n in &stations {
+            let runner = ScenarioRunner::new(
+                ScenarioSpec::batch(n, jam)
+                    .until_drained(500_000_000)
+                    .seeds(seeds)
+                    .seed_base(1),
+            );
             let mut cells = vec![format!("{n}")];
-            let cjz = CjzFactory::new(ProtocolParams::constant_jamming());
-            let mean = |f: &dyn Fn(u64) -> u64| {
-                seeds.iter().map(|&s| f(s) as f64).sum::<f64>() / seeds.len() as f64
-            };
-            cells.push(fnum(mean(&|s| drain_slots(&cjz, n, jam, s))));
-            cells.push(fnum(mean(&|s| {
-                drain_slots(&Baseline::BinaryExponential, n, jam, s)
-            })));
-            cells.push(fnum(mean(&|s| drain_slots(&Baseline::SmoothedBeb, n, jam, s))));
+            for algo in &algos {
+                let outs = runner.run_algo(algo);
+                let mean = outs.iter().map(|o| o.slots as f64).sum::<f64>() / outs.len() as f64;
+                cells.push(fnum(mean));
+            }
             table.row(cells);
         }
         println!("{}", table.render());

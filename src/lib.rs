@@ -9,7 +9,9 @@
 //! * [`core`] — the paper's three-phase protocol and the
 //!   (f,g)-throughput verifier;
 //! * [`baselines`] — classical comparison protocols;
-//! * [`analysis`] — statistics, model fitting, and report rendering.
+//! * [`analysis`] — statistics, model fitting, and report rendering;
+//! * [`bench`] — the declarative scenario API ([`bench::scenario`]) and
+//!   the experiment harness.
 //!
 //! See the `examples/` directory for runnable entry points and
 //! EXPERIMENTS.md for the experiment catalogue.
@@ -20,6 +22,7 @@
 pub use contention_analysis as analysis;
 pub use contention_backoff as backoff;
 pub use contention_baselines as baselines;
+pub use contention_bench as bench;
 pub use contention_core as core;
 pub use contention_sim as sim;
 
@@ -28,6 +31,11 @@ pub mod prelude {
     pub use contention_analysis::{fnum, Figure, GrowthModel, Series, Summary, Table};
     pub use contention_backoff::{FFunction, GFunction, Schedule};
     pub use contention_baselines::Baseline;
+    pub use contention_bench::scenario::{
+        AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, GSpec,
+        HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioRunner, ScenarioSpec, SmoothSpec,
+        TrialOutcome,
+    };
     pub use contention_core::{
         CjzFactory, CjzProtocol, PhaseKind, ProtocolParams, ThroughputReport, ThroughputVerifier,
     };

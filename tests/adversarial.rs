@@ -1,23 +1,23 @@
 //! Integration: adversarial strategies end-to-end, including the
-//! lower-bound constructions of Section 4 and failure injection.
+//! lower-bound constructions of Section 4 and failure injection. The
+//! scenario-shaped workloads go through the declarative API; the
+//! closure-adversary failure injection drives the simulator directly.
 
 use contention::prelude::*;
-use contention::sim::adversary::lowerbound::{
-    Lemma41Adversary, Theorem13Adversary, Theorem42Adversary,
-};
-use contention::sim::adversary::{ReactiveJamming, SmoothAdversary, SmoothConfig};
 
 #[test]
 fn reactive_jammer_cannot_stall_the_protocol_forever() {
     // Jam 3 slots after every success — the protocol must still drain a
     // batch (the jammer only reacts, it cannot keep the budget up forever).
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adversary =
-        CompositeAdversary::new(BatchArrival::at_start(32), ReactiveJamming::new(3));
-    let mut sim = Simulator::new(SimConfig::with_seed(1), factory, adversary);
-    let stop = sim.run_until_drained(5_000_000);
-    assert_eq!(stop, StopReason::Drained);
-    assert_eq!(sim.trace().total_successes(), 32);
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("reactive/3")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::batch(32))
+        .jamming(JammingSpec::Reactive { burst: 3 })
+        .until_drained(5_000_000);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 1);
+    assert!(out.drained);
+    assert_eq!(out.trace.total_successes(), 32);
 }
 
 #[test]
@@ -26,16 +26,19 @@ fn lemma41_flood_suppresses_early_successes() {
     // Against an *aggressive* schedule (ALOHA p=0.5) no success should
     // appear during the flood window — the contention argument in action.
     let horizon = 1u64 << 12;
-    let adv = Lemma41Adversary::new(horizon, 20, 100);
-    let mut sim = Simulator::new(
-        SimConfig::with_seed(2),
-        Baseline::Aloha(0.5),
-        adv,
-    );
     let sqrt_t = (horizon as f64).sqrt() as u64;
-    sim.run_for(sqrt_t);
+    let algo = AlgoSpec::Baseline(BaselineSpec::Aloha(0.5));
+    let spec = ScenarioSpec::new("lowerbound/lemma41")
+        .algo(algo.clone())
+        .adversary(AdversarySpec::Lemma41 {
+            horizon,
+            batch_per_slot: 20,
+            random_total: 100,
+        })
+        .fixed_horizon(sqrt_t);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 2);
     assert_eq!(
-        sim.trace().total_successes(),
+        out.trace.total_successes(),
         0,
         "dense flood + aggressive schedule must collide throughout"
     );
@@ -44,11 +47,16 @@ fn lemma41_flood_suppresses_early_successes() {
 #[test]
 fn theorem13_adversary_executes_its_script() {
     let horizon = 1u64 << 10;
-    let adv = Theorem13Adversary::new(horizon, 2.0);
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adv);
-    sim.run_for(horizon);
-    let trace = sim.trace();
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("lowerbound/theorem13")
+        .algo(algo.clone())
+        .adversary(AdversarySpec::Theorem13 {
+            horizon,
+            g_of_t: 2.0,
+        })
+        .fixed_horizon(horizon);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 3);
+    let trace = &out.trace;
     assert_eq!(trace.total_arrivals(), 1);
     // Prefix t/(4g) = 128 slots jammed, plus the last slot, plus randoms.
     let cum = trace.cumulative();
@@ -65,12 +73,17 @@ fn theorem42_adversary_defeats_nonadaptive_schedule_in_window() {
     // its first success comes only well after the prefix.
     let horizon = 1u64 << 10;
     let prefix = horizon / 8; // g(t) = 2 => t/(4*2)
-    let adv = Theorem42Adversary::new(horizon, 2.0, 1.0);
-    assert_eq!(adv.prefix(), prefix);
-    let mut sim = Simulator::new(SimConfig::with_seed(4), Baseline::SmoothedBeb, adv);
-    sim.run_for(horizon);
-    let trace = sim.trace();
-    if let Some(d) = trace.departures().first() {
+    let algo = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
+    let spec = ScenarioSpec::new("lowerbound/theorem42")
+        .algo(algo.clone())
+        .adversary(AdversarySpec::Theorem42 {
+            horizon,
+            g_of_t: 2.0,
+            f_of_t: 1.0,
+        })
+        .fixed_horizon(horizon);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 4);
+    if let Some(d) = out.trace.departures().first() {
         assert!(
             d.departure_slot > prefix,
             "no delivery can precede the jammed prefix"
@@ -81,21 +94,23 @@ fn theorem42_adversary_defeats_nonadaptive_schedule_in_window() {
 #[test]
 fn smooth_adversary_respects_its_own_windows() {
     let params = ProtocolParams::constant_jamming();
-    let f = params.f();
-    let g = params.g().clone();
-    let inner = CompositeAdversary::new(SaturatedArrival::new(u64::MAX), RandomJamming::new(0.5));
-    let adv = SmoothAdversary::new(
-        inner,
-        SmoothConfig::from_fg(move |j| f.at(j), move |j| g.at(j), 1.0, 0.5),
-    );
-    let factory = CjzFactory::new(params.clone());
-    let mut sim = Simulator::new(SimConfig::with_seed(5), factory, adv);
+    let algo = AlgoSpec::cjz_constant_jamming();
     let horizon = 1u64 << 12;
-    sim.run_for(horizon);
-    let cum = sim.trace().cumulative();
+    let spec = ScenarioSpec::new("smooth")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::saturated())
+        .jamming(JammingSpec::random(0.5))
+        .smooth(SmoothSpec {
+            params: ParamsSpec::constant_jamming(),
+            ca: 1.0,
+            cd: 0.5,
+        })
+        .fixed_horizon(horizon);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 5);
+    let cum = out.trace.cumulative();
     // Global counts obey the largest-window constraint (clamped curves).
-    let f2 = params.f();
-    let max_arr = (horizon as f64 / f2.at(horizon)).max(1.0) * 2.0;
+    let f = params.f();
+    let max_arr = (horizon as f64 / f.at(horizon)).max(1.0) * 2.0;
     assert!(
         (cum.arrivals(horizon) as f64) <= max_arr + 1.0,
         "arrivals {} exceed smooth budget {max_arr}",
@@ -108,8 +123,8 @@ fn smooth_adversary_respects_its_own_windows() {
 #[test]
 fn injection_on_success_slots_cannot_break_conservation() {
     // Failure injection: Eve injects exactly when she hears a success
-    // (trying to race the phase transitions). Conservation must hold and
-    // the system must still make progress.
+    // (trying to race the phase transitions). Closure adversaries are not
+    // serializable, so this one drives the simulator directly.
     let factory = CjzFactory::new(ProtocolParams::constant_jamming());
     let adv = contention::sim::adversary::FnAdversary::new("spawn-on-success", |slot, h, _r| {
         if slot == 1 {
@@ -125,5 +140,8 @@ fn injection_on_success_slots_cannot_break_conservation() {
     let trace = sim.trace();
     let alive = sim.active_count() as u64;
     assert_eq!(trace.total_arrivals(), trace.total_successes() + alive);
-    assert!(trace.total_successes() >= 30, "progress despite spite spawning");
+    assert!(
+        trace.total_successes() >= 30,
+        "progress despite spite spawning"
+    );
 }

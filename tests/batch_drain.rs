@@ -1,21 +1,22 @@
-//! Integration: full-stack batch-drain scenarios across protocols.
+//! Integration: full-stack batch-drain scenarios across protocols, driven
+//! through the declarative scenario API.
 
 use contention::prelude::*;
 
-fn drain<F: ProtocolFactory>(factory: F, n: u32, jam: f64, seed: u64, max: u64) -> (bool, Trace) {
-    let adversary = CompositeAdversary::new(
-        BatchArrival::at_start(n),
-        RandomJamming::new(jam),
-    );
-    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-    let stop = sim.run_until_drained(max);
-    (stop == StopReason::Drained, sim.into_trace())
+fn drain(algo: &AlgoSpec, n: u32, jam: f64, seed: u64, max: u64) -> (bool, Trace) {
+    let out = ScenarioRunner::new(
+        ScenarioSpec::batch(n, jam)
+            .algos([algo.clone()])
+            .until_drained(max),
+    )
+    .run_seed(algo, seed);
+    (out.drained, out.trace)
 }
 
 #[test]
 fn cjz_drains_batch_without_jamming() {
-    let f = CjzFactory::new(ProtocolParams::constant_jamming());
-    let (drained, trace) = drain(f, 64, 0.0, 1, 1_000_000);
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let (drained, trace) = drain(&algo, 64, 0.0, 1, 1_000_000);
     assert!(drained);
     assert_eq!(trace.total_successes(), 64);
     assert!(trace.survivors().is_empty());
@@ -23,35 +24,36 @@ fn cjz_drains_batch_without_jamming() {
 
 #[test]
 fn cjz_drains_batch_with_heavy_jamming() {
-    let f = CjzFactory::new(ProtocolParams::constant_jamming());
-    let (drained, trace) = drain(f, 64, 0.4, 2, 5_000_000);
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let (drained, trace) = drain(&algo, 64, 0.4, 2, 5_000_000);
     assert!(drained);
     assert_eq!(trace.total_successes(), 64);
 }
 
 #[test]
 fn cjz_constant_throughput_tuning_drains_linear_time() {
-    let f = CjzFactory::new(ProtocolParams::constant_throughput());
-    let (drained, trace) = drain(f, 256, 0.0, 3, 60 * 256);
+    let algo = AlgoSpec::cjz_constant_throughput();
+    let (drained, trace) = drain(&algo, 256, 0.0, 3, 60 * 256);
     assert!(drained, "expected drain within 60n slots");
     assert_eq!(trace.total_successes(), 256);
 }
 
 #[test]
 fn every_baseline_drains_a_small_clean_batch() {
-    for b in Baseline::roster() {
+    for b in BaselineSpec::roster() {
         // ALOHA with fixed p cannot reliably drain large batches; small is
         // fine for all roster members.
-        let (drained, trace) = drain(b.clone(), 8, 0.0, 4, 10_000_000);
-        assert!(drained, "baseline {} failed to drain", b.name());
-        assert_eq!(trace.total_successes(), 8, "baseline {}", b.name());
+        let algo = AlgoSpec::Baseline(b);
+        let (drained, trace) = drain(&algo, 8, 0.0, 4, 10_000_000);
+        assert!(drained, "baseline {} failed to drain", algo.name());
+        assert_eq!(trace.total_successes(), 8, "baseline {}", algo.name());
     }
 }
 
 #[test]
 fn departures_have_consistent_bookkeeping() {
-    let f = CjzFactory::new(ProtocolParams::constant_jamming());
-    let (_, trace) = drain(f, 32, 0.2, 5, 1_000_000);
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let (_, trace) = drain(&algo, 32, 0.2, 5, 1_000_000);
     for d in trace.departures() {
         assert!(d.arrival_slot >= 1);
         assert!(d.departure_slot >= d.arrival_slot);
@@ -67,8 +69,8 @@ fn departures_have_consistent_bookkeeping() {
 
 #[test]
 fn success_slots_match_departures() {
-    let f = CjzFactory::new(ProtocolParams::constant_jamming());
-    let (_, trace) = drain(f, 16, 0.1, 6, 1_000_000);
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let (_, trace) = drain(&algo, 16, 0.1, 6, 1_000_000);
     let success_slots: Vec<u64> = trace
         .slots()
         .iter()
@@ -76,14 +78,18 @@ fn success_slots_match_departures() {
         .filter(|(_, r)| r.is_success())
         .map(|(i, _)| i as u64 + 1)
         .collect();
-    let departure_slots: Vec<u64> = trace.departures().iter().map(|d| d.departure_slot).collect();
+    let departure_slots: Vec<u64> = trace
+        .departures()
+        .iter()
+        .map(|d| d.departure_slot)
+        .collect();
     assert_eq!(success_slots, departure_slots);
 }
 
 #[test]
 fn jammed_slots_never_deliver() {
-    let f = CjzFactory::new(ProtocolParams::constant_jamming());
-    let (_, trace) = drain(f, 32, 0.5, 7, 5_000_000);
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let (_, trace) = drain(&algo, 32, 0.5, 7, 5_000_000);
     for rec in trace.slots() {
         if rec.jammed {
             assert!(!rec.is_success(), "a jammed slot cannot carry a success");
@@ -93,12 +99,17 @@ fn jammed_slots_never_deliver() {
 
 #[test]
 fn staggered_arrivals_all_deliver() {
-    // Nodes arrive one at a time while earlier ones are still working.
-    let script: Vec<(u64, u32)> = (0..20).map(|i| (1 + i * 37, 1)).collect();
-    let adversary = CompositeAdversary::new(ScriptedArrival::new(script), RandomJamming::new(0.2));
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let mut sim = Simulator::new(SimConfig::with_seed(8), factory, adversary);
-    sim.run_for(100_000);
-    assert_eq!(sim.trace().total_successes(), 20);
-    assert_eq!(sim.active_count(), 0);
+    // Nodes arrive one at a time while earlier ones are still working —
+    // the registry's `staggered` scenario shape.
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("staggered")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::Scripted {
+            slots: (0..20).map(|i| (1 + i * 37, 1)).collect(),
+        })
+        .jamming(JammingSpec::random(0.2))
+        .fixed_horizon(100_000);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 8);
+    assert_eq!(out.trace.total_successes(), 20);
+    assert!(out.trace.survivors().is_empty());
 }

@@ -10,22 +10,24 @@
 use contention::analysis::{rank_sum, Summary};
 use contention::prelude::*;
 
-fn completion_per_node(n: u32, seed: u64) -> f64 {
-    let adv = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
-    let mut sim = Simulator::new(
-        SimConfig::with_seed(seed),
-        Baseline::SmoothedBeb,
-        adv,
-    );
-    let stop = sim.run_until_drained(200_000_000);
-    assert_eq!(stop, StopReason::Drained, "smoothed-beb must drain eventually");
-    sim.current_slot() as f64 / f64::from(n)
+fn completion_per_node(algo: &AlgoSpec, n: u32, seed: u64) -> f64 {
+    let out = ScenarioRunner::new(
+        ScenarioSpec::batch(n, 0.0)
+            .algos([algo.clone()])
+            .until_drained(200_000_000),
+    )
+    .run_seed(algo, seed);
+    assert!(out.drained, "{} must drain eventually", algo.name());
+    out.slots as f64 / f64::from(n)
 }
 
 #[test]
 fn smoothed_beb_completion_is_superlinear_and_significant() {
-    let small: Vec<f64> = (0..8).map(|s| completion_per_node(32, s)).collect();
-    let large: Vec<f64> = (0..8).map(|s| completion_per_node(256, 100 + s)).collect();
+    let beb = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
+    let small: Vec<f64> = (0..8).map(|s| completion_per_node(&beb, 32, s)).collect();
+    let large: Vec<f64> = (0..8)
+        .map(|s| completion_per_node(&beb, 256, 100 + s))
+        .collect();
 
     let s_small = Summary::of(&small).unwrap();
     let s_large = Summary::of(&large).unwrap();
@@ -56,16 +58,11 @@ fn smoothed_beb_completion_is_superlinear_and_significant() {
 fn cjz_completion_per_node_stays_bounded() {
     // Contrast: the paper's protocol drains in O(n·f), so slots/n grows
     // only mildly (≤ log factor) over the same range.
-    let per_node = |n: u32, seed: u64| {
-        let adv = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
-        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adv);
-        let stop = sim.run_until_drained(200_000_000);
-        assert_eq!(stop, StopReason::Drained);
-        sim.current_slot() as f64 / f64::from(n)
-    };
-    let small: Vec<f64> = (0..5).map(|s| per_node(32, s)).collect();
-    let large: Vec<f64> = (0..5).map(|s| per_node(256, 100 + s)).collect();
+    let cjz = AlgoSpec::cjz_constant_jamming();
+    let small: Vec<f64> = (0..5).map(|s| completion_per_node(&cjz, 32, s)).collect();
+    let large: Vec<f64> = (0..5)
+        .map(|s| completion_per_node(&cjz, 256, 100 + s))
+        .collect();
     let s_small = Summary::of(&small).unwrap();
     let s_large = Summary::of(&large).unwrap();
     // An 8x batch growth may cost at most ~log(8x)/log(x) ≈ 1.6x per-node

@@ -1,16 +1,25 @@
-//! Integration: determinism and seed-sensitivity of the full stack.
+//! Integration: determinism and seed-sensitivity of the full stack,
+//! driven through the declarative scenario API.
 
 use contention::prelude::*;
 
+fn bursty_spec(jam: f64) -> ScenarioSpec {
+    ScenarioSpec::new("bursty")
+        .arrivals(ArrivalSpec::Bursty {
+            period: 100,
+            phase: 1,
+            size: 8,
+            bursts: 10,
+        })
+        .jamming(JammingSpec::random(jam))
+        .fixed_horizon(4000)
+}
+
 fn run(seed: u64, jam: f64) -> Trace {
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adversary = CompositeAdversary::new(
-        BurstyArrival::new(100, 1, 8, 10),
-        RandomJamming::new(jam),
-    );
-    let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-    sim.run_for(4000);
-    sim.into_trace()
+    let algo = AlgoSpec::cjz_constant_jamming();
+    ScenarioRunner::new(bursty_spec(jam).algos([algo.clone()]))
+        .run_seed(&algo, seed)
+        .trace
 }
 
 #[test]
@@ -32,18 +41,21 @@ fn different_seeds_differ() {
 #[test]
 fn trace_replay_is_stable_across_protocol_mix() {
     // Baselines as well: the whole roster must replay byte-identically.
-    for b in Baseline::roster() {
+    for b in BaselineSpec::roster() {
+        let algo = AlgoSpec::Baseline(b);
         let go = |seed: u64| {
-            let adversary =
-                CompositeAdversary::new(BatchArrival::at_start(16), RandomJamming::new(0.2));
-            let mut sim = Simulator::new(SimConfig::with_seed(seed), b.clone(), adversary);
-            sim.run_for(2000);
-            sim.into_trace()
+            ScenarioRunner::new(
+                ScenarioSpec::batch(16, 0.2)
+                    .algos([algo.clone()])
+                    .fixed_horizon(2000),
+            )
+            .run_seed(&algo, seed)
+            .trace
         };
         let t1 = go(7);
         let t2 = go(7);
-        assert_eq!(t1.slots(), t2.slots(), "baseline {}", b.name());
-        assert_eq!(t1.departures(), t2.departures(), "baseline {}", b.name());
+        assert_eq!(t1.slots(), t2.slots(), "baseline {}", algo.name());
+        assert_eq!(t1.departures(), t2.departures(), "baseline {}", algo.name());
     }
 }
 
@@ -52,17 +64,21 @@ fn node_rng_streams_are_stable_under_population_changes() {
     // Adding extra nodes later must not perturb earlier nodes' RNG streams:
     // run A injects 1 node; run B injects the same node plus 4 more at slot
     // 100. Until slot 100 both traces must agree exactly.
+    let algo = AlgoSpec::cjz_constant_jamming();
     let go = |extra: bool| {
-        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-        let script = if extra {
-            ScriptedArrival::new([(1u64, 1u32), (100, 4)])
+        let slots = if extra {
+            vec![(1u64, 1u32), (100, 4)]
         } else {
-            ScriptedArrival::new([(1u64, 1u32)])
+            vec![(1u64, 1u32)]
         };
-        let adversary = CompositeAdversary::new(script, NoJamming);
-        let mut sim = Simulator::new(SimConfig::with_seed(11), factory, adversary);
-        sim.run_for(99);
-        sim.into_trace()
+        ScenarioRunner::new(
+            ScenarioSpec::new("staggered")
+                .algos([algo.clone()])
+                .arrivals(ArrivalSpec::Scripted { slots })
+                .fixed_horizon(99),
+        )
+        .run_seed(&algo, 11)
+        .trace
     };
     let without = go(false);
     let with = go(true);

@@ -2,27 +2,39 @@
 //!
 //! A million-slot run in aggregate-only mode must preserve every invariant
 //! the slot-recorded mode guarantees, while storing no per-slot state.
+//! Record-mode policy comes from the scenario spec (`aggregate_only`).
 
 use contention::prelude::*;
 
 #[test]
 fn million_slot_run_is_memory_bounded_and_consistent() {
-    let params = ProtocolParams::constant_jamming();
-    let factory = CjzFactory::new(params);
-    let adversary = CompositeAdversary::new(
-        PoissonArrival::new(0.01),
-        RandomJamming::new(0.25),
-    );
-    let config = SimConfig::with_seed(77).without_slot_records();
-    let mut sim = Simulator::new(config, factory, adversary);
-    let mut stream = StreamingStats::new();
+    let algo = AlgoSpec::cjz_constant_jamming();
     let horizon = 1_000_000u64;
-    for _ in 0..horizon {
-        let rec = sim.step();
-        stream.record(&rec);
-    }
-    let alive = sim.active_count() as u64;
-    let trace = sim.trace();
+    let spec = ScenarioSpec::new("poisson/0.01")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::Poisson {
+            rate: 0.01,
+            horizon: None,
+        })
+        .jamming(JammingSpec::random(0.25))
+        .fixed_horizon(horizon)
+        .aggregate_only();
+    let runner = ScenarioRunner::new(spec);
+
+    // Stream the run manually to fold StreamingStats alongside the trace.
+    let (stream, alive, trace) = runner
+        .collect_sim(&algo, |_seed, mut sim| {
+            let mut stream = StreamingStats::new();
+            for _ in 0..horizon {
+                let rec = sim.step();
+                stream.record(&rec);
+            }
+            let alive = sim.active_count() as u64;
+            (stream, alive, sim.into_trace())
+        })
+        .into_iter()
+        .next()
+        .unwrap();
 
     // Aggregates agree between the trace counters and the streaming fold.
     assert_eq!(trace.len(), horizon);
@@ -51,20 +63,24 @@ fn million_slot_run_is_memory_bounded_and_consistent() {
 fn light_and_heavy_modes_agree_exactly() {
     // Same seed, same adversary: per-slot recording must not perturb the
     // dynamics in any way (recording is pure observation).
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("bursty")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::Bursty {
+            period: 97,
+            phase: 1,
+            size: 5,
+            bursts: 50,
+        })
+        .jamming(JammingSpec::random(0.3))
+        .fixed_horizon(20_000);
     let run = |light: bool| {
-        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-        let adversary = CompositeAdversary::new(
-            BurstyArrival::new(97, 1, 5, 50),
-            RandomJamming::new(0.3),
-        );
-        let config = if light {
-            SimConfig::with_seed(5).without_slot_records()
+        let spec = if light {
+            spec.clone().aggregate_only()
         } else {
-            SimConfig::with_seed(5)
+            spec.clone()
         };
-        let mut sim = Simulator::new(config, factory, adversary);
-        sim.run_for(20_000);
-        sim.into_trace()
+        ScenarioRunner::new(spec).run_seed(&algo, 5).trace
     };
     let heavy = run(false);
     let light = run(true);
@@ -78,19 +94,19 @@ fn light_and_heavy_modes_agree_exactly() {
 #[test]
 fn latency_histogram_of_long_run_is_heavy_tail_free_for_cjz() {
     use contention::analysis::LogHistogram;
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adversary = CompositeAdversary::new(
-        PoissonArrival::new(0.02).with_horizon(150_000),
-        RandomJamming::new(0.25),
-    );
-    let mut sim = Simulator::new(
-        SimConfig::with_seed(3).without_slot_records(),
-        factory,
-        adversary,
-    );
-    sim.run_for(200_000);
-    let trace = sim.into_trace();
-    let hist: LogHistogram = trace
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::new("poisson/0.02")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::Poisson {
+            rate: 0.02,
+            horizon: Some(150_000),
+        })
+        .jamming(JammingSpec::random(0.25))
+        .fixed_horizon(200_000)
+        .aggregate_only();
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 3);
+    let hist: LogHistogram = out
+        .trace
         .departures()
         .iter()
         .map(|d| d.latency() as f64)

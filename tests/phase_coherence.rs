@@ -78,9 +78,9 @@ fn phase_three_entry_is_simultaneous_and_ctrl_parity_agrees() {
         c.step(false);
     }
     c.step(true); // global slot 9: everyone -> Phase 2
-    // In Phase 2 everyone's control channel is global parity of 10 (even):
-    // a success on an even global slot moves everyone to Phase 3; an odd
-    // one is ignored by all.
+                  // In Phase 2 everyone's control channel is global parity of 10 (even):
+                  // a success on an even global slot moves everyone to Phase 3; an odd
+                  // one is ignored by all.
     c.step(true); // global slot 10 (even): ctrl success
     for (arrival, p, _) in &c.nodes {
         assert_eq!(
@@ -94,7 +94,10 @@ fn phase_three_entry_is_simultaneous_and_ctrl_parity_agrees() {
     // must not restart anyone; one on an odd slot must restart everyone.
     c.step(false); // slot 11
     c.step(true); // slot 12 (even = data): no restart
-    assert!(c.nodes.iter().all(|(_, p, _)| p.stats().phase3_restarts == 0));
+    assert!(c
+        .nodes
+        .iter()
+        .all(|(_, p, _)| p.stats().phase3_restarts == 0));
     c.step(true); // slot 13 (odd = ctrl): restart for all
     assert!(
         c.nodes
@@ -108,8 +111,8 @@ fn phase_three_entry_is_simultaneous_and_ctrl_parity_agrees() {
 fn phase2_node_ignores_data_channel_successes_cluster_wide() {
     let mut c = Cluster::new(&[1, 2]);
     c.step(true); // slot 1: both (only node 1 active? node2 arrives slot 2)
-    // Node 1 active at slot 1, heard success -> Phase 2. Node 2 arrives at
-    // slot 2 in Phase 1.
+                  // Node 1 active at slot 1, heard success -> Phase 2. Node 2 arrives at
+                  // slot 2 in Phase 1.
     assert_eq!(c.nodes[0].1.phase(), PhaseKind::Two);
     assert_eq!(c.nodes[1].1.phase(), PhaseKind::One);
     // Node 1's ctrl = global parity of 2 (even). A success at odd slot 3 is

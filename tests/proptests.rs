@@ -1,5 +1,7 @@
 //! Property-based integration tests: simulator invariants that must hold
 //! for arbitrary seeds, populations, jamming rates and protocol choices.
+//! Scenario-shaped workloads are built as `ScenarioSpec`s; only the
+//! closure-adversary budget test drives the simulator directly.
 
 use contention::prelude::*;
 use proptest::prelude::*;
@@ -9,30 +11,34 @@ fn algo_strategy() -> impl Strategy<Value = u8> {
     0u8..6
 }
 
-fn spawn_factory(which: u8) -> Box<dyn Fn(NodeId) -> Box<dyn Protocol>> {
+fn algo_spec(which: u8) -> AlgoSpec {
     match which {
-        0 => Box::new(|_| Box::new(CjzProtocol::new(ProtocolParams::constant_jamming()))),
-        1 => Box::new(|_| Box::new(CjzProtocol::new(ProtocolParams::constant_throughput()))),
-        2 => Box::new(|_| Box::new(contention::baselines::WindowProtocol::binary_exponential())),
-        3 => Box::new(|_| Box::new(contention::baselines::ScheduleProtocol::smoothed_beb())),
-        4 => Box::new(|_| Box::new(contention::baselines::SawtoothProtocol::new())),
-        _ => Box::new(|_| Box::new(contention::baselines::FBackoffProtocol::constant_jamming())),
+        0 => AlgoSpec::cjz_constant_jamming(),
+        1 => AlgoSpec::cjz_constant_throughput(),
+        2 => AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        3 => AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+        4 => AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+        _ => AlgoSpec::Baseline(BaselineSpec::FBackoff(GSpec::Constant(2.0))),
     }
+}
+
+fn jammed_batch(algo: &AlgoSpec, n: u32, jam: f64, horizon: u64) -> ScenarioSpec {
+    ScenarioSpec::batch(n, jam)
+        .algos([algo.clone()])
+        .fixed_horizon(horizon)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Conservation: every injected node is either delivered or survives.
+    /// Drives the spec-built simulator manually so the engine's live
+    /// population can be cross-checked against the trace's survivor log.
     #[test]
     fn conservation(seed in 0u64..1000, n in 1u32..40, jam in 0.0f64..0.6, which in algo_strategy()) {
-        let factory = spawn_factory(which);
-        let factory = move |id: NodeId| factory(id);
-        let adversary = CompositeAdversary::new(
-            BatchArrival::at_start(n),
-            RandomJamming::new(jam),
-        );
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
+        let algo = algo_spec(which);
+        let runner = ScenarioRunner::new(jammed_batch(&algo, n, jam, 3000));
+        let mut sim = runner.sim(&algo, seed);
         sim.run_for(3000);
         let alive = sim.active_count() as u64;
         let trace = sim.into_trace();
@@ -44,16 +50,9 @@ proptest! {
     /// Exactly-one-broadcaster in an unjammed slot if and only if success.
     #[test]
     fn resolution_rule(seed in 0u64..500, n in 1u32..30, jam in 0.0f64..0.5) {
-        let factory = |_: NodeId| -> Box<dyn Protocol> {
-            Box::new(CjzProtocol::new(ProtocolParams::constant_jamming()))
-        };
-        let adversary = CompositeAdversary::new(
-            BatchArrival::at_start(n),
-            RandomJamming::new(jam),
-        );
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-        sim.run_for(1500);
-        for rec in sim.trace().slots() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let out = ScenarioRunner::new(jammed_batch(&algo, n, jam, 1500)).run_seed(&algo, seed);
+        for rec in out.trace.slots() {
             let success = rec.is_success();
             let expected = !rec.jammed && rec.broadcasters == 1;
             prop_assert_eq!(success, expected, "slot record {:?}", rec);
@@ -65,16 +64,14 @@ proptest! {
     /// Cumulative counters agree with raw slot records at every prefix.
     #[test]
     fn cumulative_consistency(seed in 0u64..200, n in 1u32..20) {
-        let factory = |_: NodeId| -> Box<dyn Protocol> {
-            Box::new(contention::baselines::ScheduleProtocol::smoothed_beb())
-        };
-        let adversary = CompositeAdversary::new(
-            BatchArrival::at_start(n),
-            PeriodicJamming::new(7, 3),
-        );
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-        sim.run_for(600);
-        let trace = sim.into_trace();
+        let algo = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
+        let spec = ScenarioSpec::new("periodic-jam")
+            .algo(algo.clone())
+            .arrivals(ArrivalSpec::batch(n))
+            .jamming(JammingSpec::Periodic { period: 7, phase: 3 })
+            .fixed_horizon(600);
+        let out = ScenarioRunner::new(spec).run_seed(&algo, seed);
+        let trace = out.trace;
         let cum = trace.cumulative();
         let mut arrivals = 0u64;
         let mut jammed = 0u64;
@@ -93,21 +90,25 @@ proptest! {
     /// The engine is a pure function of the seed.
     #[test]
     fn determinism(seed in 0u64..300, n in 1u32..20, jam in 0.0f64..0.5, which in algo_strategy()) {
+        let algo = algo_spec(which);
         let go = || {
-            let factory = spawn_factory(which);
-            let factory = move |id: NodeId| factory(id);
-            let adversary = CompositeAdversary::new(
-                BatchArrival::at_start(n),
-                RandomJamming::new(jam),
-            );
-            let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-            sim.run_for(800);
-            sim.into_trace()
+            ScenarioRunner::new(jammed_batch(&algo, n, jam, 800)).run_seed(&algo, seed).trace
         };
         let a = go();
         let b = go();
         prop_assert_eq!(a.slots(), b.slots());
         prop_assert_eq!(a.departures(), b.departures());
+    }
+
+    /// A spec survives the JSON round-trip for arbitrary parameters.
+    #[test]
+    fn spec_json_round_trip(n in 1u32..10_000, jam in 0.0f64..1.0, seeds in 1u64..50, which in algo_strategy()) {
+        let spec = ScenarioSpec::batch(n, jam)
+            .algos([algo_spec(which)])
+            .seeds(seeds)
+            .aggregate_only();
+        let parsed = ScenarioSpec::from_json_str(&spec.to_json_string());
+        prop_assert_eq!(parsed.as_ref(), Ok(&spec));
     }
 
     /// Budget wrappers never exceed their curves.
@@ -138,12 +139,9 @@ proptest! {
     /// Latency of every delivered node is at least 1 and accesses at least 1.
     #[test]
     fn departure_sanity(seed in 0u64..300, n in 1u32..30, which in algo_strategy()) {
-        let factory = spawn_factory(which);
-        let factory = move |id: NodeId| factory(id);
-        let adversary = CompositeAdversary::new(BatchArrival::at_start(n), NoJamming);
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-        sim.run_for(4000);
-        for d in sim.trace().departures() {
+        let algo = algo_spec(which);
+        let out = ScenarioRunner::new(jammed_batch(&algo, n, 0.0, 4000)).run_seed(&algo, seed);
+        for d in out.trace.departures() {
             prop_assert!(d.latency() >= 1);
             prop_assert!(d.accesses >= 1);
             prop_assert!(d.departure_slot <= 4000);
@@ -155,15 +153,9 @@ proptest! {
     #[test]
     fn verifier_budget_monotone(seed in 0u64..100, n in 1u32..20) {
         let params = ProtocolParams::constant_jamming();
-        let factory = CjzFactory::new(params.clone());
-        let adversary = CompositeAdversary::new(
-            BatchArrival::at_start(n),
-            RandomJamming::new(0.3),
-        );
-        let mut sim = Simulator::new(SimConfig::with_seed(seed), factory, adversary);
-        sim.run_for(512);
-        let trace = sim.into_trace();
-        let cum = trace.cumulative();
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let out = ScenarioRunner::new(jammed_batch(&algo, n, 0.3, 512)).run_seed(&algo, seed);
+        let cum = out.trace.cumulative();
         let v = ThroughputVerifier::for_params(&params);
         let mut prev = 0.0f64;
         for t in 1..=512u64 {

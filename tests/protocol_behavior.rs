@@ -1,8 +1,16 @@
 //! Integration: fine-grained behavioral checks of the three-phase protocol
-//! driven through the real engine.
+//! driven through the real engine, with workloads built as scenario specs.
 
 use contention::prelude::*;
-use contention::core::OracleParityFactory;
+
+fn cjz() -> AlgoSpec {
+    AlgoSpec::cjz_constant_jamming()
+}
+
+fn run(spec: ScenarioSpec, seed: u64) -> TrialOutcome {
+    let algo = cjz();
+    ScenarioRunner::new(spec.algos([algo.clone()])).run_seed(&algo, seed)
+}
 
 /// Drive a small cluster and inspect the phase machinery indirectly via
 /// delivery patterns.
@@ -11,84 +19,80 @@ fn lone_node_succeeds_immediately_on_clean_channel() {
     // A fresh Phase-1 node runs backoff stage 0 (length 1) on its arrival
     // slot: it must broadcast at once and, alone on a clean channel,
     // deliver in its very first slot.
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adv = CompositeAdversary::new(BatchArrival::at_start(1), NoJamming);
-    let mut sim = Simulator::new(SimConfig::with_seed(1), factory, adv);
-    sim.step();
-    let trace = sim.trace();
-    assert_eq!(trace.total_successes(), 1);
-    assert_eq!(trace.departures()[0].departure_slot, 1);
-    assert_eq!(trace.departures()[0].accesses, 1);
+    let out = run(ScenarioSpec::batch(1, 0.0).fixed_horizon(1), 1);
+    assert_eq!(out.trace.total_successes(), 1);
+    assert_eq!(out.trace.departures()[0].departure_slot, 1);
+    assert_eq!(out.trace.departures()[0].accesses, 1);
 }
 
 #[test]
 fn two_nodes_arriving_together_both_deliver() {
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adv = CompositeAdversary::new(BatchArrival::at_start(2), NoJamming);
-    let mut sim = Simulator::new(SimConfig::with_seed(2), factory, adv);
-    let stop = sim.run_until_drained(100_000);
-    assert_eq!(stop, StopReason::Drained);
-    assert_eq!(sim.trace().total_successes(), 2);
+    let out = run(ScenarioSpec::batch(2, 0.0).until_drained(100_000), 2);
+    assert!(out.drained);
+    assert_eq!(out.trace.total_successes(), 2);
 }
 
 #[test]
 fn late_arrival_joins_running_system() {
     // One node arrives at slot 1; another at slot 1000 (mid-Phase-3 of the
     // first). Both must deliver.
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adv = CompositeAdversary::new(ScriptedArrival::new([(1, 1), (1000, 1)]), NoJamming);
-    let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adv);
-    sim.run_until_drained(200_000);
-    assert_eq!(sim.trace().total_successes(), 2);
+    let spec = ScenarioSpec::new("staggered")
+        .arrivals(ArrivalSpec::Scripted {
+            slots: vec![(1, 1), (1000, 1)],
+        })
+        .until_drained(200_000);
+    let out = run(spec, 3);
+    assert_eq!(out.trace.total_successes(), 2);
 }
 
 #[test]
 fn arrival_during_full_jam_survives() {
     // A node arriving inside a long jam wall must not deadlock; it delivers
     // after the wall.
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adv = CompositeAdversary::new(
-        ScriptedArrival::new([(50, 1)]),
-        FrontLoadedJamming::new(5000),
-    );
-    let mut sim = Simulator::new(SimConfig::with_seed(4), factory, adv);
-    sim.run_until_drained(500_000);
-    let trace = sim.trace();
-    assert_eq!(trace.total_successes(), 1);
-    assert!(trace.departures()[0].departure_slot > 5000);
+    let spec = ScenarioSpec::new("jam-wall-arrival")
+        .arrivals(ArrivalSpec::Scripted {
+            slots: vec![(50, 1)],
+        })
+        .jamming(JammingSpec::FrontLoaded { until: 5000 })
+        .until_drained(500_000);
+    let out = run(spec, 4);
+    assert_eq!(out.trace.total_successes(), 1);
+    assert!(out.trace.departures()[0].departure_slot > 5000);
 }
 
 #[test]
 fn alternating_odd_even_arrivals_agree_on_channels() {
     // Arrivals on both parities: the Phase-1 agreement logic must converge
     // regardless of each node's private parity view.
-    let script: Vec<(u64, u32)> = (0..12).map(|i| (1 + i, 1)).collect();
-    let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-    let adv = CompositeAdversary::new(ScriptedArrival::new(script), NoJamming);
-    let mut sim = Simulator::new(SimConfig::with_seed(5), factory, adv);
-    sim.run_until_drained(200_000);
-    assert_eq!(sim.trace().total_successes(), 12);
+    let spec = ScenarioSpec::new("alternating")
+        .arrivals(ArrivalSpec::Scripted {
+            slots: (0..12).map(|i| (1 + i, 1)).collect(),
+        })
+        .until_drained(200_000);
+    let out = run(spec, 5);
+    assert_eq!(out.trace.total_successes(), 12);
 }
 
 #[test]
 fn oracle_variant_also_drains_dynamic_arrivals() {
-    let factory = OracleParityFactory::new(ProtocolParams::constant_jamming());
-    let script: Vec<(u64, u32)> = (0..10).map(|i| (1 + 31 * i, 1)).collect();
-    let adv = CompositeAdversary::new(ScriptedArrival::new(script), RandomJamming::new(0.2));
-    let mut sim = Simulator::new(SimConfig::with_seed(6), factory, adv);
-    sim.run_until_drained(500_000);
-    assert_eq!(sim.trace().total_successes(), 10);
+    let algo = AlgoSpec::CjzOracle(ParamsSpec::constant_jamming());
+    let spec = ScenarioSpec::new("staggered-oracle")
+        .algo(algo.clone())
+        .arrivals(ArrivalSpec::Scripted {
+            slots: (0..10).map(|i| (1 + 31 * i, 1)).collect(),
+        })
+        .jamming(JammingSpec::random(0.2))
+        .until_drained(500_000);
+    let out = ScenarioRunner::new(spec).run_seed(&algo, 6);
+    assert_eq!(out.trace.total_successes(), 10);
 }
 
 #[test]
 fn heavier_jamming_slows_but_does_not_stop_progress() {
     let drain = |jam: f64| {
-        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-        let adv = CompositeAdversary::new(BatchArrival::at_start(64), RandomJamming::new(jam));
-        let mut sim = Simulator::new(SimConfig::with_seed(7), factory, adv);
-        let stop = sim.run_until_drained(10_000_000);
-        assert_eq!(stop, StopReason::Drained, "jam={jam}");
-        sim.current_slot()
+        let out = run(ScenarioSpec::batch(64, jam).until_drained(10_000_000), 7);
+        assert!(out.drained, "jam={jam}");
+        out.slots
     };
     let clean = drain(0.0);
     let jammed = drain(0.5);
@@ -104,11 +108,8 @@ fn throughput_improves_with_cleaner_channel() {
     // Classical throughput n_t / a_t after drain should not degrade when
     // jamming is removed.
     let tp = |jam: f64| {
-        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-        let adv = CompositeAdversary::new(BatchArrival::at_start(128), RandomJamming::new(jam));
-        let mut sim = Simulator::new(SimConfig::with_seed(8), factory, adv);
-        sim.run_until_drained(10_000_000);
-        let cum = sim.into_trace().cumulative();
+        let out = run(ScenarioSpec::batch(128, jam).until_drained(10_000_000), 8);
+        let cum = out.trace.cumulative();
         let t = cum.len();
         cum.classical_throughput(t)
     };
@@ -118,11 +119,8 @@ fn throughput_improves_with_cleaner_channel() {
 #[test]
 fn energy_grows_with_jamming() {
     let acc = |jam: f64| {
-        let factory = CjzFactory::new(ProtocolParams::constant_jamming());
-        let adv = CompositeAdversary::new(BatchArrival::at_start(64), RandomJamming::new(jam));
-        let mut sim = Simulator::new(SimConfig::with_seed(9), factory, adv);
-        sim.run_until_drained(10_000_000);
-        sim.into_trace().mean_accesses().unwrap()
+        let out = run(ScenarioSpec::batch(64, jam).until_drained(10_000_000), 9);
+        out.trace.mean_accesses().unwrap()
     };
     // More jamming -> longer residence -> more accesses.
     assert!(acc(0.4) > acc(0.0));

@@ -1,0 +1,161 @@
+//! Integration: the declarative scenario API itself — JSON round-trips of
+//! rich specs, the named registry, and registry-wide smoke execution with
+//! determinism checks.
+
+use contention::bench::scenario::{entries, lookup, names};
+use contention::prelude::*;
+
+/// A spec exercising every optional layer: multi-algo roster, budget,
+/// fixed horizon, aggregate recording.
+fn rich_spec() -> ScenarioSpec {
+    ScenarioSpec::new("rich")
+        .algo(AlgoSpec::Cjz(
+            ParamsSpec::new(GSpec::PolyLog(2)).with_a(1.5).with_c2(0.5),
+        ))
+        .algo(AlgoSpec::CjzNoSwap(ParamsSpec::constant_jamming()))
+        .algo(AlgoSpec::CjzOracle(ParamsSpec::constant_throughput()))
+        .algo(AlgoSpec::Baseline(BaselineSpec::LogBackoff(2.0)))
+        .algo(AlgoSpec::Baseline(BaselineSpec::FBackoff(
+            GSpec::ExpSqrtLog(1.0),
+        )))
+        .arrivals(ArrivalSpec::Saturated {
+            target: Some(32),
+            budget: Some(4096),
+            horizon: None,
+        })
+        .jamming(JammingSpec::GilbertElliott {
+            fraction: 0.25,
+            burst_len: 64.0,
+        })
+        .budget(BudgetSpec {
+            params: ParamsSpec::new(GSpec::Log),
+            arrivals: CurveSpec::CriticalArrivals { scale: 4.0 },
+            jams: CurveSpec::PerSlot(0.125),
+        })
+        .fixed_horizon(1 << 12)
+        .seeds(3)
+        .seed_base(17)
+        .aggregate_only()
+}
+
+#[test]
+fn rich_spec_round_trips_through_json() {
+    let spec = rich_spec();
+    let json = spec.to_json_string();
+    let parsed = ScenarioSpec::from_json_str(&json).expect("round-trip parse");
+    assert_eq!(parsed, spec);
+    // Re-serializing is stable (canonical encoding).
+    assert_eq!(parsed.to_json_string(), json);
+}
+
+#[test]
+fn smooth_and_lowerbound_specs_round_trip() {
+    let smooth = ScenarioSpec::new("smooth")
+        .algo(AlgoSpec::cjz_constant_jamming())
+        .arrivals(ArrivalSpec::saturated())
+        .jamming(JammingSpec::random(0.4))
+        .smooth(SmoothSpec {
+            params: ParamsSpec::constant_jamming(),
+            ca: 1.0,
+            cd: 0.5,
+        })
+        .fixed_horizon(2048);
+    let parsed = ScenarioSpec::from_json_str(&smooth.to_json_string()).unwrap();
+    assert_eq!(parsed, smooth);
+
+    for adv in [
+        AdversarySpec::Theorem13 {
+            horizon: 4096,
+            g_of_t: 2.0,
+        },
+        AdversarySpec::Theorem42 {
+            horizon: 4096,
+            g_of_t: 2.0,
+            f_of_t: 1.0,
+        },
+        AdversarySpec::Lemma41 {
+            horizon: 4096,
+            batch_per_slot: 8,
+            random_total: 64,
+        },
+    ] {
+        let spec = ScenarioSpec::new("lb")
+            .algo(AlgoSpec::cjz_constant_jamming())
+            .adversary(adv)
+            .fixed_horizon(4096);
+        let parsed = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+}
+
+#[test]
+fn every_registry_spec_round_trips_through_json() {
+    for entry in entries() {
+        let spec = lookup(entry.name).expect(entry.name);
+        let parsed = ScenarioSpec::from_json_str(&spec.to_json_string())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert_eq!(parsed, spec, "{} changed across round-trip", entry.name);
+    }
+}
+
+#[test]
+fn from_json_rejects_malformed_specs() {
+    assert!(ScenarioSpec::from_json_str("not json").is_err());
+    assert!(ScenarioSpec::from_json_str("{}").is_err());
+    let spec = rich_spec();
+    // Renaming a required field must surface as a missing-field error.
+    let json = spec
+        .to_json_string()
+        .replace("\"burst_len\"", "\"bogus_len\"");
+    assert_ne!(json, spec.to_json_string(), "replacement must hit a field");
+    assert!(ScenarioSpec::from_json_str(&json).is_err());
+    let bad_kind = spec
+        .to_json_string()
+        .replace("\"kind\":\"gilbert-elliott\"", "\"kind\":\"nope\"");
+    assert!(ScenarioSpec::from_json_str(&bad_kind).is_err());
+}
+
+#[test]
+fn registry_smoke_every_scenario_runs_and_is_deterministic() {
+    assert!(names().len() >= 10, "registry must stay ≥ 10 scenarios");
+    for entry in entries() {
+        let spec = lookup(entry.name)
+            .unwrap_or_else(|| panic!("registry name {} must resolve", entry.name))
+            .smoke();
+        let runner = ScenarioRunner::new(spec.clone());
+        for algo in &spec.algos {
+            let seed = spec.seed_base;
+            let a = runner.run_seed(algo, seed);
+            let b = runner.run_seed(algo, seed);
+            assert_eq!(
+                a.trace.total_successes(),
+                b.trace.total_successes(),
+                "{}/{} not deterministic",
+                entry.name,
+                algo.name()
+            );
+            assert_eq!(a.slots, b.slots, "{}/{}", entry.name, algo.name());
+            // The smoke run must execute at least one slot and stay within
+            // the smoke caps.
+            assert!(a.slots > 0, "{} executed no slots", entry.name);
+            assert!(
+                a.slots <= 200_000,
+                "{} ran too long: {}",
+                entry.name,
+                a.slots
+            );
+        }
+    }
+}
+
+#[test]
+fn named_factory_names_flow_into_reports() {
+    // The AlgoSpec roster reports real names (satellite of the closure
+    // blanket-impl fix): every registry scenario's report carries them.
+    let spec = lookup("lowerbound/lemma41").unwrap().smoke();
+    let report = ScenarioRunner::new(spec).run();
+    let names: Vec<&str> = report.algos.iter().map(|a| a.name.as_str()).collect();
+    assert!(names.contains(&"aloha"));
+    assert!(names.iter().any(|n| n.starts_with("cjz[")));
+    assert!(!names.contains(&"unnamed"));
+}

@@ -1,0 +1,340 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors a small, high-quality implementation of exactly the
+//! surface the code uses:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / the [`Rng`] extension trait
+//!   (`gen`, `gen_bool`, `gen_range`);
+//! * [`rngs::SmallRng`] — xoshiro256++ (the same family the real
+//!   `SmallRng` uses on 64-bit targets), seeded via SplitMix64 exactly as
+//!   `rand_core`'s `seed_from_u64` does.
+//!
+//! Determinism contract: all simulations in this workspace are a pure
+//! function of their master seed *and this generator*. Replacing this stub
+//! with the real `rand` crate keeps the API compiling but changes the
+//! stream values, so recorded experiment numbers would shift (within
+//! statistical error).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number generation trait (object-safe).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Uniform draw from `[0, span)` (`span > 0`, `span <= 2^64`) by widening
+/// multiply; bias is at most 2^-64 and irrelevant at simulation scales.
+#[inline]
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= (1u128 << 64));
+    if span == (1u128 << 64) {
+        return rng.next_u64();
+    }
+    let x = rng.next_u64() as u128;
+    ((x * span) >> 64) as u64
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` uniformly.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    /// Sample uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with SplitMix64 (identical to
+    /// `rand_core`'s implementation, so seeds mean the same thing).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, out) in z.to_le_bytes().iter().zip(chunk.iter_mut()) {
+                *out = *b;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the same
+    /// family the real `SmallRng` uses on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.step().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(5u64..=10);
+            assert!((5..=10).contains(&x));
+            let y = r.gen_range(0u64..7);
+            assert!(y < 7);
+        }
+    }
+
+    #[test]
+    fn gen_range_mean_is_central() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let n = 100_000u64;
+        let sum: u64 = (0..n).map(|_| r.gen_range(0u64..100)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 49.5).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn dyn_rng_core_usable() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut r;
+        let x: f64 = dyn_rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        assert!(dyn_rng.next_u64() != dyn_rng.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
