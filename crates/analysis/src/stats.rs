@@ -1,9 +1,13 @@
 //! Summary statistics for experiment replications.
 
 /// Summary of a sample of f64 observations.
+///
+/// NaN observations are *excluded* from every statistic and surfaced in
+/// [`nan_count`](Summary::nan_count) instead: one degenerate trial must not
+/// poison (or panic) the reporting stage of a large sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
-    /// Number of observations.
+    /// Number of finite-or-infinite (non-NaN) observations summarized.
     pub n: usize,
     /// Arithmetic mean.
     pub mean: f64,
@@ -17,25 +21,30 @@ pub struct Summary {
     pub max: f64,
     /// Median (midpoint interpolation).
     pub median: f64,
+    /// NaN observations dropped from the sample before summarizing.
+    pub nan_count: usize,
 }
 
 impl Summary {
-    /// Compute the summary of `data`. Returns `None` for an empty sample.
+    /// Compute the summary of `data`, dropping NaN observations (their
+    /// count is reported in [`nan_count`](Summary::nan_count)). Returns
+    /// `None` when no non-NaN observation remains.
     pub fn of(data: &[f64]) -> Option<Summary> {
-        if data.is_empty() {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+        let nan_count = data.len() - sorted.len();
+        if sorted.is_empty() {
             return None;
         }
-        let n = data.len();
-        let mean = data.iter().sum::<f64>() / n as f64;
+        sorted.sort_unstable_by(f64::total_cmp);
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
         } else {
             0.0
         };
         let std_dev = var.sqrt();
         let sem = std_dev / (n as f64).sqrt();
-        let mut sorted: Vec<f64> = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
@@ -49,6 +58,7 @@ impl Summary {
             min: sorted[0],
             max: sorted[n - 1],
             median,
+            nan_count,
         })
     }
 
@@ -58,14 +68,18 @@ impl Summary {
     }
 }
 
-/// The `q`-quantile of `data` (nearest-rank with linear interpolation).
-/// Returns `None` on an empty sample or `q` outside `[0, 1]`.
+/// The `q`-quantile of `data` (nearest-rank with linear interpolation),
+/// ignoring NaN observations. Returns `None` when no non-NaN observation
+/// remains or `q` is outside `[0, 1]`.
 pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
-    if data.is_empty() || !(0.0..=1.0).contains(&q) {
+    if !(0.0..=1.0).contains(&q) {
         return None;
     }
-    let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_unstable_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -133,6 +147,42 @@ mod tests {
         assert_eq!(quantile(&data, 0.1), Some(1.4));
         assert_eq!(quantile(&[], 0.5), None);
         assert_eq!(quantile(&data, 1.5), None);
+    }
+
+    #[test]
+    fn summary_survives_nan_observations() {
+        // Regression: a single NaN used to panic the whole reporting stage
+        // via `partial_cmp(...).expect("NaN in sample")`.
+        let s = Summary::of(&[3.0, f64::NAN, 1.0, 2.0, f64::NAN]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.nan_count, 2);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // Clean samples report zero dropped observations.
+        assert_eq!(Summary::of(&[1.0]).unwrap().nan_count, 0);
+        // All-NaN collapses to None rather than a NaN-filled summary.
+        assert!(Summary::of(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantile_ignores_nan_observations() {
+        let data = [f64::NAN, 1.0, 3.0, f64::NAN, 5.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 0.5), Some(3.0));
+        assert_eq!(quantile(&data, 1.0), Some(5.0));
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn summary_handles_infinities_without_panicking() {
+        // total_cmp orders infinities correctly; they are kept (only NaN
+        // is dropped).
+        let s = Summary::of(&[f64::NEG_INFINITY, 0.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
+        assert_eq!(s.median, 0.0);
     }
 
     #[test]

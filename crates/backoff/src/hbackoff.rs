@@ -97,7 +97,7 @@ impl<C: SendCount> HBackoff<C> {
         self.total_sends
     }
 
-    fn draw_stage(&mut self, rng: &mut dyn RngCore) {
+    fn draw_stage<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
         let len = self.stage_len();
         let want = self.counter.count(len).clamp(0, len);
         self.sends.clear();
@@ -112,8 +112,10 @@ impl<C: SendCount> HBackoff<C> {
     /// Advance one channel slot; returns whether the node sends in it.
     ///
     /// Drawing happens lazily at each stage boundary, consuming
-    /// `h(2^k)` uniform samples from `rng`.
-    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
+    /// `h(2^k)` uniform samples from `rng`. Generic over the RNG so
+    /// monomorphizing callers skip virtual dispatch; the draw sequence is
+    /// identical either way.
+    pub fn next<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> bool {
         if self.pos == 0 {
             self.draw_stage(rng);
         }

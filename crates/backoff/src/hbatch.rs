@@ -12,12 +12,17 @@
 use rand::Rng;
 use rand::RngCore;
 
-use crate::schedule::Schedule;
+use crate::schedule::{ProbTable, Schedule};
 
 /// Driver for an `h`-batch over an abstract channel-slot sequence.
 #[derive(Debug, Clone)]
 pub struct HBatch {
     schedule: Schedule,
+    /// Interned prefix of the schedule's probabilities (empty when the
+    /// schedule has none) — bit-identical to [`Schedule::prob`], fetched
+    /// once per batch so the per-slot path skips transcendental
+    /// re-evaluation and is a single bounds check.
+    table: ProbTable,
     /// Next slot index `k` (1-based) to be consumed.
     next_index: u64,
     total_sends: u64,
@@ -27,6 +32,7 @@ impl HBatch {
     /// Fresh batch; the next [`next`](Self::next) call is slot `k = 1`.
     pub fn new(schedule: Schedule) -> Self {
         HBatch {
+            table: schedule.prob_table().unwrap_or_else(ProbTable::empty),
             schedule,
             next_index: 1,
             total_sends: 0,
@@ -51,7 +57,15 @@ impl HBatch {
 
     /// Probability that the *next* slot sends.
     pub fn next_prob(&self) -> f64 {
-        self.schedule.prob(self.next_index)
+        self.prob_at(self.next_index)
+    }
+
+    #[inline]
+    fn prob_at(&self, i: u64) -> f64 {
+        match self.table.get(i) {
+            Some(p) => p,
+            None => self.schedule.prob(i),
+        }
     }
 
     /// Total broadcasts so far.
@@ -65,10 +79,29 @@ impl HBatch {
     }
 
     /// Advance one channel slot; returns whether the node sends in it.
-    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
-        let p = self.schedule.prob(self.next_index);
-        self.next_index += 1;
-        let send = p > 0.0 && (p >= 1.0 || rng.gen::<f64>() < p);
+    ///
+    /// Generic over the RNG so monomorphizing callers (the engine's
+    /// concrete per-node RNG) avoid virtual dispatch on every draw;
+    /// `&mut dyn RngCore` callers keep working unchanged.
+    ///
+    /// Inside the interned table the Bernoulli check runs on precomputed
+    /// integer thresholds (`(next_u64() >> 11) < ceil(p·2⁵³)`), which is
+    /// outcome- and draw-identical to `rng.gen::<f64>() < p` under the
+    /// standard 53-bit sampling convention — see
+    /// [`ProbTable::threshold`](crate::schedule::ProbTable::threshold)
+    /// and the `threshold_matches_float_compare` test.
+    pub fn next<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let i = self.next_index;
+        self.next_index = i + 1;
+        let send = match self.table.threshold(i) {
+            Some(crate::schedule::THRESHOLD_CERTAIN) => true, // p ≥ 1: no draw
+            Some(0) => false,                                 // p ≤ 0: no draw
+            Some(thr) => (rng.next_u64() >> 11) < thr,
+            None => {
+                let p = self.schedule.prob(i);
+                p > 0.0 && (p >= 1.0 || rng.gen::<f64>() < p)
+            }
+        };
         if send {
             self.total_sends += 1;
         }

@@ -35,5 +35,5 @@ pub use functions::{log2c, sqrt_log2, FFunction, GFunction};
 pub use hbackoff::{HBackoff, OnePerStage, SendCount};
 pub use hbatch::HBatch;
 pub use sawtooth::Sawtooth;
-pub use schedule::Schedule;
+pub use schedule::{ProbTable, Schedule};
 pub use window::{WindowBackoff, WindowGrowth};

@@ -55,7 +55,7 @@ impl Sawtooth {
     }
 
     /// Advance one slot; returns whether the node transmits.
-    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
+    pub fn next<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> bool {
         let p = self.probability();
         let send = rng.gen::<f64>() < p;
         if send {

@@ -6,10 +6,132 @@
 //! schedule; so is "send with probability 1/i in slot i" (the smoothed
 //! binary exponential backoff of Claim 3.5.1).
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::functions::log2c;
+
+/// Length of the interned probability tables (see
+/// [`Schedule::prob_table`]). Batches restart their index at 1 on every
+/// phase restart, so in practice almost all lookups land inside the table.
+const PROB_TABLE_LEN: usize = 1 << 15;
+
+/// Sentinel threshold for "certain send, no RNG draw" (`p ≥ 1`). Strictly
+/// above every possible 53-bit draw and every real threshold
+/// (`ceil(p·2⁵³) ≤ 2⁵³` for `p < 1`).
+pub const THRESHOLD_CERTAIN: u64 = u64::MAX;
+
+/// Exact integer threshold for the standard 53-bit Bernoulli draw.
+///
+/// The `rand` convention samples `u64 → f64` as `(u >> 11) · 2⁻⁵³` and
+/// sends iff that value is `< p`. Because `u < 2⁵³`, the product is exact,
+/// and multiplying by `2⁵³` is an exact exponent shift, so
+/// `(u >> 11)·2⁻⁵³ < p  ⟺  (u >> 11) < ceil(p·2⁵³)` — the float compare
+/// can be replaced by an integer compare with *identical* outcomes for
+/// every `u`. `p ≥ 1` maps to [`THRESHOLD_CERTAIN`] (no draw) and `p ≤ 0`
+/// to `0` (no draw), mirroring the short-circuit branches of the float
+/// path so the RNG consumption stays byte-identical.
+fn bernoulli_threshold(p: f64) -> u64 {
+    if p >= 1.0 {
+        THRESHOLD_CERTAIN
+    } else if p > 0.0 {
+        // Exact: p ∈ (0,1) is a normal float, scaling by 2⁵³ only shifts
+        // the exponent; ceil of a value ≤ 2⁵³ fits u64.
+        (p * (1u64 << 53) as f64).ceil() as u64
+    } else {
+        0
+    }
+}
+
+/// An interned, immutable prefix of a schedule's probabilities:
+/// `probs[i-1] == schedule.prob(i)` for `1 ≤ i ≤ len` (bit-identical —
+/// the table is filled by calling [`Schedule::prob`] itself), plus the
+/// matching integer Bernoulli thresholds (see [`bernoulli_threshold`]).
+#[derive(Clone)]
+pub struct ProbTable {
+    probs: Arc<[f64]>,
+    thresholds: Arc<[u64]>,
+}
+
+impl ProbTable {
+    /// The empty table: every lookup misses. Used by drivers as the
+    /// "schedule has no interned table" representation, keeping the
+    /// per-slot path a single bounds check instead of an `Option` match.
+    pub fn empty() -> Self {
+        static EMPTY: OnceLock<ProbTable> = OnceLock::new();
+        EMPTY
+            .get_or_init(|| ProbTable {
+                probs: Arc::from([]),
+                thresholds: Arc::from([]),
+            })
+            .clone()
+    }
+
+    fn filled(probs: Arc<[f64]>) -> Self {
+        let thresholds = probs.iter().map(|&p| bernoulli_threshold(p)).collect();
+        ProbTable { probs, thresholds }
+    }
+
+    /// The cached probability for 1-based index `i`, or `None` beyond the
+    /// table.
+    #[inline]
+    pub fn get(&self, i: u64) -> Option<f64> {
+        self.probs.get((i as usize).wrapping_sub(1)).copied()
+    }
+
+    /// The cached integer Bernoulli threshold for 1-based index `i`, or
+    /// `None` beyond the table. `Some(0)` means never send (no draw),
+    /// `Some(`[`THRESHOLD_CERTAIN`]`)` means always send (no draw);
+    /// anything else compares against a 53-bit draw.
+    #[inline]
+    pub fn threshold(&self, i: u64) -> Option<u64> {
+        self.thresholds.get((i as usize).wrapping_sub(1)).copied()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the table is empty (never true for interned tables).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+}
+
+impl fmt::Debug for ProbTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProbTable(len={})", self.probs.len())
+    }
+}
+
+fn fill_table(schedule: &Schedule) -> Arc<[f64]> {
+    (1..=PROB_TABLE_LEN as u64)
+        .map(|i| schedule.prob(i))
+        .collect()
+}
+
+/// Interned table for [`Schedule::Reciprocal`] (parameter-free).
+fn reciprocal_table() -> ProbTable {
+    static TABLE: OnceLock<ProbTable> = OnceLock::new();
+    TABLE
+        .get_or_init(|| ProbTable::filled(fill_table(&Schedule::Reciprocal)))
+        .clone()
+}
+
+/// Interned tables for [`Schedule::LogOverI`], keyed by the constant's
+/// bits. The set of distinct constants in a process is tiny (protocol
+/// parameters), so the map never grows past a handful of entries.
+fn log_over_i_table(c: f64) -> ProbTable {
+    static TABLES: OnceLock<Mutex<HashMap<u64, ProbTable>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut tables = tables.lock().expect("prob table lock poisoned");
+    tables
+        .entry(c.to_bits())
+        .or_insert_with(|| ProbTable::filled(fill_table(&Schedule::LogOverI { c })))
+        .clone()
+}
 
 /// A pre-defined probability schedule `i ↦ p_i`.
 #[derive(Clone)]
@@ -67,6 +189,22 @@ impl Schedule {
     /// The `h_ctrl` schedule of the paper (`c₃·log x / x`).
     pub fn h_ctrl(c3: f64) -> Self {
         Schedule::LogOverI { c: c3 }
+    }
+
+    /// An interned table of this schedule's first probabilities, shared
+    /// process-wide, for schedules whose per-call evaluation is expensive
+    /// (`log₂` on the hot path). `None` for schedules that are cheap to
+    /// evaluate directly or not internable (`Custom`).
+    ///
+    /// Entries are produced by [`prob`](Self::prob) itself, so cached and
+    /// direct evaluation are bit-identical: simulations replay exactly the
+    /// same whether or not a caller consults the table.
+    pub fn prob_table(&self) -> Option<ProbTable> {
+        match self {
+            Schedule::Reciprocal => Some(reciprocal_table()),
+            Schedule::LogOverI { c } => Some(log_over_i_table(*c)),
+            _ => None,
+        }
     }
 
     /// Label for reports.
@@ -146,6 +284,81 @@ mod tests {
             for i in [1u64, 2, 3, 10, 1000, 1 << 40] {
                 let p = s.prob(i);
                 assert!((0.0..=1.0).contains(&p), "{} at {i} gave {p}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn prob_tables_match_direct_evaluation_bitwise() {
+        for s in [Schedule::Reciprocal, Schedule::h_ctrl(4.0)] {
+            let t = s.prob_table().unwrap();
+            assert_eq!(t.len(), PROB_TABLE_LEN);
+            assert!(!t.is_empty());
+            for i in [1u64, 2, 3, 100, 4096, PROB_TABLE_LEN as u64] {
+                let cached = t.get(i).unwrap();
+                assert_eq!(
+                    cached.to_bits(),
+                    s.prob(i).to_bits(),
+                    "{} at {i}",
+                    s.label()
+                );
+            }
+            assert_eq!(t.get(PROB_TABLE_LEN as u64 + 1), None);
+            assert_eq!(t.get(0), None);
+        }
+        // Cheap / non-internable schedules opt out.
+        assert!(Schedule::Constant(0.5).prob_table().is_none());
+        assert!(Schedule::Custom(Arc::new(|_| 0.1)).prob_table().is_none());
+        // Distinct constants get distinct tables.
+        let a = Schedule::h_ctrl(2.0).prob_table().unwrap();
+        let b = Schedule::h_ctrl(3.0).prob_table().unwrap();
+        assert_ne!(a.get(100).unwrap().to_bits(), b.get(100).unwrap().to_bits());
+        assert!(format!("{a:?}").contains("ProbTable"));
+    }
+
+    #[test]
+    fn threshold_matches_float_compare() {
+        // The integer Bernoulli threshold must agree with the float
+        // compare for every possible 53-bit draw value; sample the space
+        // densely plus the boundary values.
+        let mut us = vec![0u64, 1, 2, (1 << 53) - 2, (1 << 53) - 1];
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..512 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            us.push(x >> 11);
+        }
+        const EPS: f64 = 1.0 / (1u64 << 53) as f64;
+        for s in [
+            Schedule::Reciprocal,
+            Schedule::h_ctrl(2.0),
+            Schedule::h_ctrl(10.0),
+        ] {
+            let t = s.prob_table().unwrap();
+            for i in [1u64, 2, 3, 4, 7, 10, 100, 5000, PROB_TABLE_LEN as u64] {
+                let p = s.prob(i);
+                let thr = t.threshold(i).unwrap();
+                for &u in &us {
+                    let float_send = (u as f64) * EPS < p;
+                    let int_send = match thr {
+                        THRESHOLD_CERTAIN => true,
+                        0 => false,
+                        thr => u < thr,
+                    };
+                    if p >= 1.0 {
+                        assert!(int_send, "{} i={i}: certain", s.label());
+                    } else if p <= 0.0 {
+                        assert!(!int_send, "{} i={i}: never", s.label());
+                    } else {
+                        assert_eq!(
+                            int_send,
+                            float_send,
+                            "{} i={i} p={p} u={u} thr={thr}",
+                            s.label()
+                        );
+                    }
+                }
             }
         }
     }

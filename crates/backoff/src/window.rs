@@ -108,7 +108,7 @@ impl WindowBackoff {
     }
 
     /// Advance one slot; returns whether the node transmits.
-    pub fn next(&mut self, rng: &mut dyn RngCore) -> bool {
+    pub fn next<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> bool {
         if self.pos == 0 {
             let len = self.window_len();
             self.chosen = Some(rng.gen_range(0..len));

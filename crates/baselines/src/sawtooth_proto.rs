@@ -36,7 +36,19 @@ impl Protocol for SawtoothProtocol {
         }
     }
 
+    fn act_fast(&mut self, _local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        if self.saw.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
     fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {}
+
+    fn observes_failures(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

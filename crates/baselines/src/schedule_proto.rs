@@ -64,8 +64,20 @@ impl Protocol for ScheduleProtocol {
         }
     }
 
+    fn act_fast(&mut self, _local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        if self.batch.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
     fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {
         // Non-adaptive by definition: feedback is ignored.
+    }
+
+    fn observes_failures(&self) -> bool {
+        false
     }
 }
 
@@ -116,11 +128,23 @@ impl Protocol for ResetOnSuccess {
         }
     }
 
+    fn act_fast(&mut self, _local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        if self.batch.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
     fn observe(&mut self, _local_slot: u64, feedback: Feedback) {
         if feedback.is_success() {
             self.batch = HBatch::new(self.schedule.clone());
             self.resets += 1;
         }
+    }
+
+    fn observes_failures(&self) -> bool {
+        false
     }
 }
 

@@ -61,7 +61,19 @@ impl Protocol for WindowProtocol {
         }
     }
 
+    fn act_fast(&mut self, _local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        if self.backoff.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
     fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {}
+
+    fn observes_failures(&self) -> bool {
+        false
+    }
 }
 
 /// Windowed backoff that resets to window 0 whenever it hears a success —
@@ -107,11 +119,23 @@ impl Protocol for ResettingWindowProtocol {
         }
     }
 
+    fn act_fast(&mut self, _local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        if self.backoff.next(rng) {
+            Action::Broadcast
+        } else {
+            Action::Listen
+        }
+    }
+
     fn observe(&mut self, _local_slot: u64, feedback: Feedback) {
         if feedback.is_success() {
             self.backoff.reset();
             self.resets += 1;
         }
+    }
+
+    fn observes_failures(&self) -> bool {
+        false
     }
 }
 

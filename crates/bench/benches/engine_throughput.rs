@@ -1,13 +1,15 @@
 //! B1 — raw engine slot throughput.
 //!
-//! Measures slots/second of the simulation engine itself with populations
-//! of always-listening nodes (pure engine overhead: adversary call, action
-//! collection, resolution, feedback fan-out, trace recording).
+//! Measures slots/second of the simulation engine itself: listening
+//! populations (pure engine overhead: adversary call, action collection,
+//! resolution, feedback fan-out, trace recording), colliding populations
+//! (broadcaster scratch reuse), and the aggregate-mode hot loop the
+//! endurance experiments run on.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use contention_sim::adversary::NullAdversary;
-use contention_sim::node::NeverBroadcast;
+use contention_sim::node::{AlwaysBroadcast, NeverBroadcast};
 use contention_sim::{NodeId, Protocol, SimConfig, Simulator};
 
 fn bench_engine(c: &mut Criterion) {
@@ -24,6 +26,41 @@ fn bench_engine(c: &mut Criterion) {
             },
         );
     }
+    // Every node broadcasts every slot: exercises the reusable
+    // broadcaster scratch (the pre-rewrite engine allocated here).
+    for &population in &[16u32, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("colliding_population", population),
+            &population,
+            |b, &population| {
+                let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) };
+                let mut sim = Simulator::new(
+                    SimConfig::with_seed(2).without_slot_records(),
+                    factory,
+                    NullAdversary,
+                );
+                sim.seed_nodes(population);
+                b.iter(|| black_box(sim.step()));
+            },
+        );
+    }
+    // The aggregate-mode streaming loop with a bounded history window —
+    // the configuration endurance runs use.
+    group.bench_function("aggregate_run_for_1k", |b| {
+        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(NeverBroadcast) };
+        let mut sim = Simulator::new(
+            SimConfig::with_seed(3)
+                .without_slot_records()
+                .with_history_retention(4096),
+            factory,
+            NullAdversary,
+        );
+        sim.seed_nodes(64);
+        b.iter(|| {
+            sim.run_for(1_000);
+            black_box(sim.current_slot())
+        });
+    });
     group.finish();
 }
 

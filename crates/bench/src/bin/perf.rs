@@ -1,0 +1,242 @@
+//! `perf` — the pinned performance suite and `BENCH_*.json` writer.
+//!
+//! Runs a fixed set of registry scenarios at measurement scale, times each
+//! one, and writes a machine-readable `BENCH_<date>.json` so every PR's
+//! engine throughput is recorded against the same workloads. See
+//! EXPERIMENTS.md ("Performance tracking") for the schema.
+//!
+//! ```sh
+//! # Full suite (~seconds); writes BENCH_<date>.json in the repo root.
+//! cargo run --release -p contention-bench --bin perf
+//!
+//! # Tiny horizons, same structure — keeps the harness itself from rotting
+//! # in CI without burning minutes.
+//! cargo run --release -p contention-bench --bin perf -- --smoke
+//!
+//! # Custom output path / suite label.
+//! cargo run --release -p contention-bench --bin perf -- --out bench.json --label post-rewrite
+//! ```
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use contention_bench::scenario::{lookup, Json, ScenarioRunner, ScenarioSpec};
+
+/// The pinned suite: registry name, measurement-scale seed count, and a
+/// smoke-mode seed count. Horizons come from the registry spec (smoke mode
+/// shrinks them via [`ScenarioSpec::smoke`]). Editing this list invalidates
+/// cross-PR comparisons — append, don't mutate.
+const SUITE: &[SuiteEntry] = &[
+    SuiteEntry {
+        scenario: "batch/64",
+        seeds: 512,
+        smoke_seeds: 4,
+    },
+    SuiteEntry {
+        scenario: "constant-jamming/0.25",
+        seeds: 24,
+        smoke_seeds: 2,
+    },
+    SuiteEntry {
+        scenario: "lowerbound/theorem13",
+        seeds: 96,
+        smoke_seeds: 4,
+    },
+    SuiteEntry {
+        scenario: "saturated/32",
+        seeds: 24,
+        smoke_seeds: 2,
+    },
+];
+
+struct SuiteEntry {
+    scenario: &'static str,
+    seeds: u64,
+    smoke_seeds: u64,
+}
+
+impl SuiteEntry {
+    /// The measurement spec: the registry scenario at suite scale, in
+    /// aggregate record mode (perf measures the engine, not trace storage).
+    fn spec(&self, smoke: bool) -> ScenarioSpec {
+        let spec = lookup(self.scenario)
+            .unwrap_or_else(|| panic!("pinned suite scenario `{}` must resolve", self.scenario));
+        if smoke {
+            spec.smoke().seeds(self.smoke_seeds).aggregate_only()
+        } else {
+            spec.seeds(self.seeds).aggregate_only()
+        }
+    }
+}
+
+struct Measurement {
+    scenario: &'static str,
+    seeds: u64,
+    algos: Vec<String>,
+    slots: u64,
+    delivered: u64,
+    wall_secs: f64,
+    slots_per_sec: f64,
+}
+
+/// Timed passes per scenario; the best (minimum wall time) is reported, so
+/// transient machine load does not masquerade as an engine regression.
+const PASSES: usize = 3;
+
+fn measure(entry: &SuiteEntry, smoke: bool) -> Measurement {
+    let spec = entry.spec(smoke);
+    let seeds = spec.seeds;
+    let runner = ScenarioRunner::new(spec);
+    let passes = if smoke { 1 } else { PASSES };
+    let mut wall_secs = f64::INFINITY;
+    let mut slots = 0u64;
+    let mut delivered = 0u64;
+    let mut algos = Vec::new();
+    for _ in 0..passes {
+        let start = Instant::now();
+        let report = runner.run();
+        let elapsed = start.elapsed().as_secs_f64();
+        wall_secs = wall_secs.min(elapsed);
+        slots = 0;
+        delivered = 0;
+        algos.clear();
+        for algo in &report.algos {
+            algos.push(algo.name.clone());
+            for out in &algo.outcomes {
+                slots += out.slots;
+                delivered += out.trace.total_successes();
+            }
+        }
+    }
+    Measurement {
+        scenario: entry.scenario,
+        seeds,
+        algos,
+        slots,
+        delivered,
+        wall_secs,
+        slots_per_sec: if wall_secs > 0.0 {
+            slots as f64 / wall_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Civil date from a Unix day count (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn render_report(measurements: &[Measurement], smoke: bool, label: &str, date: &str) -> String {
+    let total_slots: u64 = measurements.iter().map(|m| m.slots).sum();
+    let total_wall: f64 = measurements.iter().map(|m| m.wall_secs).sum();
+    let scenarios = measurements
+        .iter()
+        .map(|m| {
+            obj(vec![
+                ("name", Json::Str(m.scenario.to_string())),
+                ("seeds", Json::Num(m.seeds as f64)),
+                (
+                    "algos",
+                    Json::Arr(m.algos.iter().map(|a| Json::Str(a.clone())).collect()),
+                ),
+                ("slots", Json::Num(m.slots as f64)),
+                ("delivered", Json::Num(m.delivered as f64)),
+                ("wall_secs", Json::Num(m.wall_secs)),
+                ("slots_per_sec", Json::Num(m.slots_per_sec)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("schema", Json::Str("contention-bench/perf-v1".to_string())),
+        ("date", Json::Str(date.to_string())),
+        ("label", Json::Str(label.to_string())),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("passes", Json::Num(if smoke { 1.0 } else { PASSES as f64 })),
+        (
+            "threads",
+            Json::Num(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1) as f64,
+            ),
+        ),
+        ("scenarios", Json::Arr(scenarios)),
+        (
+            "totals",
+            obj(vec![
+                ("slots", Json::Num(total_slots as f64)),
+                ("wall_secs", Json::Num(total_wall)),
+                (
+                    "slots_per_sec",
+                    Json::Num(if total_wall > 0.0 {
+                        total_slots as f64 / total_wall
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let grab = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let label = grab("--label").unwrap_or_else(|| "default".to_string());
+    let date = today_utc();
+    let out_path = grab("--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+
+    println!(
+        "perf suite ({} mode, {} scenario(s))…",
+        if smoke { "smoke" } else { "full" },
+        SUITE.len()
+    );
+    let mut measurements = Vec::new();
+    for entry in SUITE {
+        let m = measure(entry, smoke);
+        println!(
+            "  {:<24} {:>12} slots  {:>8.3}s  {:>12.0} slots/sec",
+            m.scenario, m.slots, m.wall_secs, m.slots_per_sec
+        );
+        measurements.push(m);
+    }
+
+    let json = render_report(&measurements, smoke, &label, &date);
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -145,7 +145,12 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < (1u64 << 53) as f64 {
+                if !x.is_finite() {
+                    // JSON has no NaN/Infinity literals; `{x:?}` would emit
+                    // text our own parser rejects. Render as null (the
+                    // lossy-but-valid convention serde_json also uses).
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < (1u64 << 53) as f64 {
                     out.push_str(&format!("{}", *x as i64));
                 } else {
                     // `{:?}` prints the shortest representation that
@@ -812,6 +817,7 @@ impl ScenarioSpec {
                     .into(),
                 ),
             ),
+            ("history_retention", Json::opt_u64(self.history_retention)),
         ])
     }
 
@@ -870,6 +876,11 @@ impl ScenarioSpec {
             seeds: j.get("seeds")?.as_u64()?,
             seed_base: j.get("seed_base")?.as_u64()?,
             record,
+            // Absent in documents written before the knob existed.
+            history_retention: match j.get("history_retention") {
+                Ok(v) => v.as_opt_u64()?,
+                Err(_) => None,
+            },
         })
     }
 
@@ -924,5 +935,24 @@ mod tests {
                 other => panic!("expected number, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn non_finite_renders_as_null() {
+        // Regression: `{x:?}` used to emit `NaN` / `inf` — invalid JSON
+        // that our own parser rejected, breaking spec round-trips.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let text = Json::Num(x).render();
+            assert_eq!(text, "null", "non-finite {x} must render as null");
+            assert_eq!(Json::parse(&text).unwrap(), Json::Null);
+        }
+        // Embedded in a document the output stays parseable.
+        let doc = Json::Obj(vec![
+            ("p".into(), Json::Num(f64::NAN)),
+            ("q".into(), Json::Num(2.5)),
+        ]);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("p").unwrap(), &Json::Null);
+        assert_eq!(parsed.get("q").unwrap(), &Json::Num(2.5));
     }
 }

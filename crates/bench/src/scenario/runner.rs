@@ -35,28 +35,55 @@ impl TrialOutcome {
     }
 }
 
-/// Replicate a seeded computation across `seeds` seeds in parallel (one
-/// thread per seed, bounded by available parallelism).
+/// Replicate a seeded computation across `seeds` seeds, work-stealing
+/// style: `min(available_parallelism, seeds)` persistent worker threads
+/// pull the next seed index from a shared atomic cursor, so a straggler
+/// seed never idles the rest of the pool (the old implementation ran
+/// fixed chunks with a barrier between them, stalling every chunk on its
+/// slowest member). Results come back in seed order regardless of
+/// completion order, and `f(i)` is called exactly once per seed — the
+/// output is deterministic, only the schedule is dynamic.
+///
+/// On a single-core host (or for a single seed) the seeds run inline on
+/// the calling thread: no threads are spawned at all, which matters for
+/// suites replicating hundreds of sub-millisecond trials.
 pub fn replicate<T, F>(seeds: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(4)
+        .min(seeds);
+    if workers <= 1 {
+        return (0..seeds).map(f).collect();
+    }
+
+    let cursor = AtomicU64::new(0);
     let mut results: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
     let f = &f;
+    let cursor = &cursor;
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk_start in (0..seeds).step_by(max_threads.max(1)) {
-            let chunk_end = (chunk_start + max_threads as u64).min(seeds);
-            for seed in chunk_start..chunk_end {
-                handles.push((seed, scope.spawn(move || f(seed))));
-            }
-            // Join the chunk before spawning the next (bounds live threads).
-            for (seed, h) in handles.drain(..) {
-                let value = h.join().expect("trial thread panicked");
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done: Vec<(u64, T)> = Vec::new();
+                    loop {
+                        let seed = cursor.fetch_add(1, Ordering::Relaxed);
+                        if seed >= seeds {
+                            break;
+                        }
+                        done.push((seed, f(seed)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (seed, value) in handle.join().expect("trial thread panicked") {
                 results[seed as usize] = Some(value);
             }
         }
@@ -162,11 +189,14 @@ impl ScenarioRunner {
     }
 
     fn config(&self, seed: u64) -> SimConfig {
-        let config = SimConfig::with_seed(seed);
-        match self.spec.record {
-            RecordMode::Full => config,
-            RecordMode::Aggregate => config.without_slot_records(),
+        let mut config = SimConfig::with_seed(seed);
+        if let RecordMode::Aggregate = self.spec.record {
+            config = config.without_slot_records();
         }
+        if let Some(cap) = self.spec.history_retention {
+            config = config.with_history_retention(cap as usize);
+        }
+        config
     }
 
     /// Build the simulator for one (algorithm, seed) pair — the scenario's
@@ -259,9 +289,11 @@ pub fn run_batch(algo: &AlgoSpec, n: u32, jam_p: f64, seed: u64, max_slots: u64)
     .run_seed(algo, seed)
 }
 
-/// [`run_batch`] in memory-bounded mode (aggregates and departures only),
-/// for heavy-tailed completion measurements spanning hundreds of millions
-/// of slots.
+/// [`run_batch`] in memory-bounded mode (aggregates and departures only,
+/// adversary history window capped), for heavy-tailed completion
+/// measurements spanning hundreds of millions of slots. The batch
+/// adversary never reads per-slot history, so the cap cannot change its
+/// behaviour.
 pub fn run_batch_light(
     algo: &AlgoSpec,
     n: u32,
@@ -273,7 +305,8 @@ pub fn run_batch_light(
         ScenarioSpec::batch(n, jam_p)
             .algos([algo.clone()])
             .until_drained(max_slots)
-            .aggregate_only(),
+            .aggregate_only()
+            .history_retention(4096),
     )
     .run_seed(algo, seed)
 }

@@ -688,6 +688,11 @@ pub struct ScenarioSpec {
     pub seed_base: u64,
     /// Trace record policy.
     pub record: RecordMode,
+    /// Cap on the adversary-visible per-slot history window (`None` =
+    /// unlimited). A *model* knob, independent of [`RecordMode`]: bound it
+    /// explicitly for endurance runs that need O(1) history memory, knowing
+    /// it limits how far back adaptive adversaries can look.
+    pub history_retention: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -707,6 +712,7 @@ impl ScenarioSpec {
             seeds: 1,
             seed_base: 0,
             record: RecordMode::Full,
+            history_retention: None,
         }
     }
 
@@ -806,6 +812,13 @@ impl ScenarioSpec {
     /// Memory-bounded mode: aggregates and departures only.
     pub fn aggregate_only(mut self) -> Self {
         self.record = RecordMode::Aggregate;
+        self
+    }
+
+    /// Bound the adversary-visible history window to `cap` slots (see
+    /// [`ScenarioSpec::history_retention`]).
+    pub fn history_retention(mut self, cap: u64) -> Self {
+        self.history_retention = Some(cap);
         self
     }
 

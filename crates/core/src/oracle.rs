@@ -40,12 +40,18 @@ pub struct OracleParityProtocol {
     arrival_slot: u64,
     state: State,
     restarts: u64,
+    /// Pristine batches cloned on every restart (reuses the interned
+    /// probability tables instead of re-fetching them per restart).
+    ctrl_proto: HBatch,
+    data_proto: HBatch,
 }
 
 impl OracleParityProtocol {
     /// New oracle node that arrived at global slot `arrival_slot`.
     pub fn new(params: ProtocolParams, arrival_slot: u64) -> Self {
         let f = params.f();
+        let ctrl_proto = HBatch::ctrl(params.c3());
+        let data_proto = HBatch::data();
         OracleParityProtocol {
             params,
             arrival_slot,
@@ -53,6 +59,8 @@ impl OracleParityProtocol {
                 backoff: HBackoff::new(FSendCount::new(f)),
             },
             restarts: 0,
+            ctrl_proto,
+            data_proto,
         }
     }
 
@@ -70,18 +78,17 @@ impl OracleParityProtocol {
         self.restarts
     }
 
+    /// The parameters this node runs with.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
     #[inline]
     fn global_slot(&self, local_slot: u64) -> u64 {
         self.arrival_slot + local_slot
     }
-}
 
-impl Protocol for OracleParityProtocol {
-    fn name(&self) -> &'static str {
-        "cjz-oracle"
-    }
-
-    fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action {
+    fn act_impl<R: RngCore + ?Sized>(&mut self, local_slot: u64, rng: &mut R) -> Action {
         let global = self.global_slot(local_slot);
         let on_ctrl = CTRL_PARITY.contains(global);
         let send = match &mut self.state {
@@ -100,6 +107,24 @@ impl Protocol for OracleParityProtocol {
             Action::Listen
         }
     }
+}
+
+impl Protocol for OracleParityProtocol {
+    fn name(&self) -> &'static str {
+        "cjz-oracle"
+    }
+
+    fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action {
+        self.act_impl(local_slot, rng)
+    }
+
+    fn act_fast(&mut self, local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        self.act_impl(local_slot, rng)
+    }
+
+    fn observes_failures(&self) -> bool {
+        false
+    }
 
     fn observe(&mut self, local_slot: u64, feedback: Feedback) {
         if !feedback.is_success() {
@@ -113,15 +138,15 @@ impl Protocol for OracleParityProtocol {
         match &self.state {
             State::Sync { .. } => {
                 self.state = State::Batch {
-                    ctrl: HBatch::ctrl(self.params.c3()),
-                    data: HBatch::data(),
+                    ctrl: self.ctrl_proto.clone(),
+                    data: self.data_proto.clone(),
                 };
             }
             State::Batch { .. } => {
                 self.restarts += 1;
                 self.state = State::Batch {
-                    ctrl: HBatch::ctrl(self.params.c3()),
-                    data: HBatch::data(),
+                    ctrl: self.ctrl_proto.clone(),
+                    data: self.data_proto.clone(),
                 };
             }
         }

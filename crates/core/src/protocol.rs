@@ -72,6 +72,12 @@ pub struct CjzProtocol {
     f: FFunction,
     state: State,
     stats: PhaseStats,
+    /// Pristine Phase-3 batches, built once per node: every control-channel
+    /// success restarts Phase 3 for every Phase-3 node, so restart cost is
+    /// hot-path cost. Cloning these reuses the interned probability tables
+    /// instead of re-fetching them through the process-wide intern lock.
+    ctrl_proto: HBatch,
+    data_proto: HBatch,
     /// Ablation toggle: when `false`, Phase-3 restarts keep the *same*
     /// channel assignment (anchor parity forced) instead of swapping.
     swap_on_restart: bool,
@@ -82,11 +88,15 @@ impl CjzProtocol {
     pub fn new(params: ProtocolParams) -> Self {
         let f = params.f();
         let backoff = HBackoff::new(FSendCount::new(f.clone()));
+        let ctrl_proto = HBatch::ctrl(params.c3());
+        let data_proto = HBatch::data();
         CjzProtocol {
             params,
             f,
             state: State::One { backoff },
             stats: PhaseStats::default(),
+            ctrl_proto,
+            data_proto,
             swap_on_restart: true,
         }
     }
@@ -128,12 +138,12 @@ impl CjzProtocol {
     }
 }
 
-impl Protocol for CjzProtocol {
-    fn name(&self) -> &'static str {
-        "cjz"
-    }
-
-    fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action {
+impl CjzProtocol {
+    /// The act body, generic over the RNG: `act` passes `dyn RngCore`
+    /// through unchanged while `act_fast` monomorphizes over the engine's
+    /// concrete RNG (identical draw sequence, no virtual dispatch per
+    /// sample).
+    fn act_impl<R: RngCore + ?Sized>(&mut self, local_slot: u64, rng: &mut R) -> Action {
         let send = match &mut self.state {
             State::One { backoff } => {
                 // Arrival-parity channel = even local slots.
@@ -152,13 +162,12 @@ impl Protocol for CjzProtocol {
                 }
             }
             State::Three { anchor, ctrl, data } => {
+                // The two offsets partition the parities: anchor+1 is the
+                // control channel, the other parity the data channel.
                 if Self::on_channel(local_slot, *anchor, 1) {
                     ctrl.next(rng)
-                } else if Self::on_channel(local_slot, *anchor, 2) {
-                    data.next(rng)
                 } else {
-                    // Unreachable: the two offsets cover both parities.
-                    false
+                    data.next(rng)
                 }
             }
         };
@@ -167,6 +176,26 @@ impl Protocol for CjzProtocol {
         } else {
             Action::Listen
         }
+    }
+}
+
+impl Protocol for CjzProtocol {
+    fn name(&self) -> &'static str {
+        "cjz"
+    }
+
+    fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action {
+        self.act_impl(local_slot, rng)
+    }
+
+    fn act_fast(&mut self, local_slot: u64, rng: &mut rand::rngs::SmallRng) -> Action {
+        self.act_impl(local_slot, rng)
+    }
+
+    fn observes_failures(&self) -> bool {
+        // No-success feedback carries no information in this model and the
+        // state machine below only transitions on successes.
+        false
     }
 
     fn observe(&mut self, local_slot: u64, feedback: Feedback) {
@@ -190,8 +219,8 @@ impl Protocol for CjzProtocol {
                     self.stats.entered_phase3 = Some(local_slot);
                     self.state = State::Three {
                         anchor: local_slot,
-                        ctrl: HBatch::ctrl(self.params.c3()),
-                        data: HBatch::data(),
+                        ctrl: self.ctrl_proto.clone(),
+                        data: self.data_proto.clone(),
                     };
                 }
             }
@@ -210,8 +239,8 @@ impl Protocol for CjzProtocol {
                     };
                     self.state = State::Three {
                         anchor: new_anchor,
-                        ctrl: HBatch::ctrl(self.params.c3()),
-                        data: HBatch::data(),
+                        ctrl: self.ctrl_proto.clone(),
+                        data: self.data_proto.clone(),
                     };
                 }
             }

@@ -52,6 +52,19 @@ impl ArrivalBudget {
     pub fn used(&self) -> u64 {
         self.used
     }
+
+    /// Whether the budget can never admit another injection, at any future
+    /// slot. Budget curves are non-decreasing in `t` (Definition 1.1), so
+    /// evaluating the headroom at the end of time is the supremum: if even
+    /// `t = u64::MAX` leaves no headroom, the budget is spent forever.
+    ///
+    /// A curve that is not defined that far out (NaN) gets the
+    /// conservative answer `false` — claiming exhaustion wrongly would
+    /// silently truncate `run_until_drained` experiments, while the
+    /// reverse merely runs to the slot limit.
+    pub fn exhausted(&self) -> bool {
+        !(self.curve)(u64::MAX).is_nan() && self.headroom(u64::MAX) == 0
+    }
 }
 
 impl std::fmt::Debug for ArrivalBudget {
@@ -158,7 +171,11 @@ impl<Inner: Adversary> Adversary for BudgetedAdversary<Inner> {
     }
 
     fn exhausted(&self) -> bool {
-        self.inner.exhausted()
+        // Exhausted when the inner adversary is spent *or* the arrival
+        // budget can never admit another node: a never-exhausted inner
+        // under a fully-consumed budget will still never inject again, and
+        // `run_until_drained` must be able to detect that quiescence.
+        self.inner.exhausted() || self.arrivals.exhausted()
     }
 
     fn name(&self) -> &'static str {
@@ -231,6 +248,63 @@ mod tests {
         assert!(d2.jam); // cap(2) = 1
         assert_eq!(adv.injections_used(), 2);
         assert_eq!(adv.jams_used(), 1);
+    }
+
+    #[test]
+    fn arrival_budget_exhaustion() {
+        // Unlimited and linear curves never exhaust.
+        assert!(!ArrivalBudget::unlimited().exhausted());
+        let mut linear = ArrivalBudget::new(|t| t as f64);
+        linear.consume(1_000_000);
+        assert!(!linear.exhausted());
+        // A flat cap exhausts exactly when fully consumed.
+        let mut flat = ArrivalBudget::new(|_| 3.0);
+        assert!(!flat.exhausted());
+        flat.consume(3);
+        assert!(flat.exhausted());
+        // A curve undefined at the end-of-time probe (NaN) must answer
+        // conservatively: not exhausted (never truncate a run wrongly).
+        let weird = ArrivalBudget::new(|t| (1e18 - t as f64).sqrt());
+        assert!(!weird.exhausted());
+    }
+
+    #[test]
+    fn consumed_budget_exhausts_never_ending_inner() {
+        // Regression: a never-exhausted inner adversary under a fully
+        // consumed flat arrival budget must report exhaustion — no
+        // injection can ever be admitted again.
+        let greedy = FnAdversary::new("greedy", |_s, _h, _r| SlotDecision::inject(1));
+        let mut adv =
+            BudgetedAdversary::new(greedy, ArrivalBudget::new(|_| 2.0), JamBudget::unlimited());
+        let h = PublicHistory::new();
+        let mut r = SmallRng::seed_from_u64(0);
+        assert!(!adv.exhausted());
+        adv.decide(1, &h, &mut r);
+        assert!(!adv.exhausted(), "one unit of budget left");
+        adv.decide(2, &h, &mut r);
+        assert_eq!(adv.injections_used(), 2);
+        assert!(adv.exhausted(), "budget spent, inner can never inject");
+    }
+
+    #[test]
+    fn run_until_drained_detects_spent_budget() {
+        // Regression: `run_until_drained` used to spin to the slot limit
+        // because `BudgetedAdversary::exhausted` ignored spent budgets.
+        use crate::config::SimConfig;
+        use crate::engine::{Simulator, StopReason};
+        use crate::node::{AlwaysBroadcast, NodeId, Protocol};
+
+        let greedy = FnAdversary::new("greedy", |_s, _h, _r| SlotDecision::inject(1));
+        let adv =
+            BudgetedAdversary::new(greedy, ArrivalBudget::new(|_| 3.0), JamBudget::unlimited());
+        let factory = |_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) };
+        let mut sim = Simulator::new(SimConfig::with_seed(1), factory, adv);
+        // One node per slot, alone, delivers immediately: 3 successes and
+        // then the system is quiescent forever.
+        let reason = sim.run_until_drained(1_000);
+        assert_eq!(reason, StopReason::Drained);
+        assert_eq!(sim.trace().total_successes(), 3);
+        assert!(sim.current_slot() < 10, "drained promptly");
     }
 
     #[test]

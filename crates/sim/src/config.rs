@@ -14,21 +14,43 @@ pub struct SimConfig {
     /// with heavy-tailed lengths — aggregate totals and departure records
     /// are kept either way.
     pub record_slots: bool,
+    /// Cap on the adversary-visible per-slot history window (`None` =
+    /// unlimited). This is a *model* knob, not a trace knob: it bounds how
+    /// far back the adversary's per-slot lookups reach, independent of
+    /// `record_slots`. Aggregate history counters stay exact regardless.
+    ///
+    /// Defaults to `None` so that record-mode choices never change
+    /// adversary behaviour (deep-history adaptive adversaries see the same
+    /// window in full-trace and aggregate-only runs).
+    pub history_retention: Option<usize>,
 }
 
 impl SimConfig {
-    /// Config with the given master seed (slot recording on).
+    /// Config with the given master seed (slot recording on, unlimited
+    /// history).
     pub fn with_seed(seed: u64) -> Self {
         SimConfig {
             seed,
             record_slots: true,
+            history_retention: None,
         }
     }
 
     /// Disable per-slot records (O(1) trace memory; totals and departures
-    /// still recorded).
+    /// still recorded). Does **not** bound the adversary-visible history
+    /// window — use [`with_history_retention`](Self::with_history_retention)
+    /// for that.
     pub fn without_slot_records(mut self) -> Self {
         self.record_slots = false;
+        self
+    }
+
+    /// Bound the adversary-visible per-slot history window to the last
+    /// `cap` slots (O(1) history memory). Only affects adversaries that
+    /// perform per-slot lookups deeper than `cap`; aggregate counters
+    /// (successes, injections, jams, backlog) remain exact.
+    pub fn with_history_retention(mut self, cap: usize) -> Self {
+        self.history_retention = Some(cap);
         self
     }
 }
@@ -38,6 +60,7 @@ impl Default for SimConfig {
         SimConfig {
             seed: 0xC0FFEE,
             record_slots: true,
+            history_retention: None,
         }
     }
 }
@@ -54,5 +77,21 @@ mod tests {
     #[test]
     fn default_seed_is_stable() {
         assert_eq!(SimConfig::default(), SimConfig::default());
+    }
+
+    #[test]
+    fn record_mode_and_retention_are_independent() {
+        let c = SimConfig::with_seed(1);
+        assert!(c.record_slots);
+        assert_eq!(c.history_retention, None);
+        let c = c.without_slot_records();
+        assert!(!c.record_slots);
+        assert_eq!(
+            c.history_retention, None,
+            "record mode must not cap history"
+        );
+        let c = SimConfig::with_seed(1).with_history_retention(128);
+        assert!(c.record_slots);
+        assert_eq!(c.history_retention, Some(128));
     }
 }

@@ -25,13 +25,27 @@ use crate::slot::{Action, SlotOutcome};
 
 use rand::rngs::SmallRng;
 
+/// One active node. Laid out C-style with the hot-loop fields first: the
+/// per-slot act path touches only the leading 56 bytes (RNG state, the
+/// fat protocol pointer, arrival slot); `accesses` and `id` are written
+/// on broadcasts and delivery only. 72 bytes total on 64-bit targets.
+#[repr(C)]
 struct ActiveNode {
-    id: NodeId,
-    arrival_slot: u64,
-    local_slot: u64,
-    accesses: u64,
     rng: SmallRng,
     proto: Box<dyn Protocol>,
+    arrival_slot: u64,
+    accesses: u64,
+    id: NodeId,
+}
+
+impl ActiveNode {
+    /// The node's local clock in global slot `slot` (0 in its arrival
+    /// slot). Derived rather than stored so the hot path never needs a
+    /// per-node clock-increment pass.
+    #[inline]
+    fn local_slot(&self, slot: u64) -> u64 {
+        slot - self.arrival_slot
+    }
 }
 
 /// Why a run loop stopped.
@@ -56,6 +70,12 @@ pub struct Simulator<F, A> {
     trace: Trace,
     next_node: u64,
     current_slot: u64,
+    /// Scratch buffer of broadcaster indices, reused across slots so the
+    /// steady-state hot path performs no per-slot heap allocation.
+    broadcasters: Vec<u32>,
+    /// How many active nodes observe no-success feedback; when zero the
+    /// engine skips the whole no-success fan-out pass.
+    failure_observers: u64,
 }
 
 impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
@@ -64,11 +84,10 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
         let seeds = SeedSequence::new(config.seed);
         let adversary_rng = seeds.adversary_rng();
         let mut history = PublicHistory::new();
-        if !config.record_slots {
-            // Memory-bounded mode: cap the adversary-visible window too
-            // (aggregates stay exact; deep per-slot lookups return None).
-            history.set_retention(Some(4096));
-        }
+        // The adversary-visible window is a model knob, deliberately
+        // independent of trace recording: record-mode choices must never
+        // change what an adaptive adversary can see.
+        history.set_retention(config.history_retention);
         Simulator {
             config,
             seeds,
@@ -80,6 +99,8 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
             trace: Trace::new(),
             next_node: 0,
             current_slot: 0,
+            broadcasters: Vec::new(),
+            failure_observers: 0,
         }
     }
 
@@ -127,18 +148,21 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
         let rng = self.seeds.node_rng(self.next_node);
         self.next_node += 1;
         let proto = self.factory.spawn_with_arrival(id, arrival_slot);
+        self.failure_observers += u64::from(proto.observes_failures());
         self.nodes.push(ActiveNode {
-            id,
-            arrival_slot,
-            local_slot: 0,
-            accesses: 0,
             rng,
             proto,
+            arrival_slot,
+            accesses: 0,
+            id,
         });
     }
 
-    /// Execute one slot. Returns the recorded [`SlotRecord`].
-    pub fn step(&mut self) -> SlotRecord {
+    /// Execute one slot *without touching the trace*: the allocation-free
+    /// hot path. Callers decide what (if anything) to record — see
+    /// [`step`](Self::step), [`run_for`](Self::run_for) and
+    /// [`run_for_with`](Self::run_for_with).
+    fn advance(&mut self) -> SlotRecord {
         let slot = self.current_slot + 1;
 
         // 1. Adversary decision from public info only.
@@ -156,14 +180,15 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
         let population = self.nodes.len() as u64;
         let active = population > 0;
 
-        // 3. Collect actions.
-        let mut broadcasters: Vec<usize> = Vec::new();
+        // 3. Collect actions into the reusable scratch buffer.
+        let broadcasters = &mut self.broadcasters;
+        broadcasters.clear();
         for (idx, node) in self.nodes.iter_mut().enumerate() {
             debug_assert!(node.arrival_slot <= slot);
-            let action = node.proto.act(node.local_slot, &mut node.rng);
+            let action = node.proto.act_fast(node.local_slot(slot), &mut node.rng);
             if action == Action::Broadcast {
                 node.accesses += 1;
-                broadcasters.push(idx);
+                broadcasters.push(idx as u32);
             }
         }
 
@@ -175,7 +200,7 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
         } else {
             match broadcasters.len() {
                 0 => SlotOutcome::Silence,
-                1 => SlotOutcome::Delivered(self.nodes[broadcasters[0]].id),
+                1 => SlotOutcome::Delivered(self.nodes[broadcasters[0] as usize].id),
                 n => SlotOutcome::Collision {
                     broadcasters: n as u32,
                 },
@@ -186,8 +211,9 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
         // 5. Departure of the successful sender (before feedback fan-out —
         // it has left the system and needs no feedback).
         if let SlotOutcome::Delivered(_) = outcome {
-            let idx = broadcasters[0];
+            let idx = self.broadcasters[0] as usize;
             let node = self.nodes.swap_remove(idx);
+            self.failure_observers -= u64::from(node.proto.observes_failures());
             self.trace.push_departure(DepartureRecord {
                 node: node.id,
                 arrival_slot: node.arrival_slot,
@@ -196,35 +222,90 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
             });
         }
 
-        // 6. Feedback fan-out to remaining nodes; local clocks advance.
-        for node in &mut self.nodes {
-            node.proto.observe(node.local_slot, feedback);
-            node.local_slot += 1;
+        // 6. Feedback fan-out to remaining nodes. Local clocks are derived
+        // (`ActiveNode::local_slot`), so no per-node increment pass is
+        // needed; no-success feedback is skipped for protocols that
+        // declared (via `Protocol::observes_failures`) that it cannot
+        // change their state.
+        if feedback.is_success() {
+            for node in &mut self.nodes {
+                node.proto.observe(node.local_slot(slot), feedback);
+            }
+        } else if self.failure_observers > 0 {
+            for node in &mut self.nodes {
+                if node.proto.observes_failures() {
+                    node.proto.observe(node.local_slot(slot), feedback);
+                }
+            }
         }
 
-        // 7. Bookkeeping.
+        // 7. Public history (the adversary's view).
         self.history.record(feedback, arrivals, decision.jam);
-        let record = SlotRecord {
+        self.current_slot = slot;
+        SlotRecord {
             arrivals,
             broadcasters: outcome.broadcasters(),
             jammed: decision.jam,
             active,
             population,
             outcome,
-        };
+        }
+    }
+
+    /// Execute one slot and record it in the trace (per-slot record in full
+    /// mode, aggregate totals otherwise). Returns the [`SlotRecord`].
+    pub fn step(&mut self) -> SlotRecord {
+        let record = self.advance();
         if self.config.record_slots {
             self.trace.push_slot(record);
         } else {
             self.trace.note_slot(&record);
         }
-        self.current_slot = slot;
         record
     }
 
     /// Run exactly `slots` more slots.
+    ///
+    /// In aggregate record mode this loop stays on the allocation-free
+    /// path: it folds totals straight into the trace without storing (or
+    /// exposing) per-slot records.
     pub fn run_for(&mut self, slots: u64) {
+        if self.config.record_slots {
+            for _ in 0..slots {
+                self.step();
+            }
+        } else {
+            for _ in 0..slots {
+                let record = self.advance();
+                self.trace.note_slot(&record);
+            }
+        }
+    }
+
+    /// Run `slots` more slots, streaming each slot's record to `observe`
+    /// instead of storing it.
+    ///
+    /// This is the memory-O(1) observation path for experiments that fold
+    /// their own statistics (ages, counters, [`StreamingStats`]): per-slot
+    /// records are handed to the closure by reference and never pushed to
+    /// the trace, regardless of the configured record mode. Aggregate trace
+    /// totals and departures are still maintained.
+    ///
+    /// Note that in full record mode, mixing streamed and recorded slots
+    /// leaves [`Trace::slot`] indexing misaligned (stored records no longer
+    /// start at slot 1); streaming is intended for aggregate-style runs
+    /// that never index the trace by slot.
+    ///
+    /// [`StreamingStats`]: crate::observer::StreamingStats
+    /// [`Trace::slot`]: crate::metrics::Trace::slot
+    pub fn run_for_with<F2>(&mut self, slots: u64, mut observe: F2)
+    where
+        F2: FnMut(u64, &SlotRecord),
+    {
         for _ in 0..slots {
-            self.step();
+            let record = self.advance();
+            self.trace.note_slot(&record);
+            observe(self.current_slot, &record);
         }
     }
 
@@ -489,6 +570,93 @@ mod tests {
         assert_eq!(sim.trace().slot(2).unwrap().population, 7);
         assert_eq!(sim.trace().slot(2).unwrap().arrivals, 7);
         assert!(sim.trace().slot(2).unwrap().active);
+    }
+
+    #[test]
+    fn record_mode_is_invisible_to_deep_history_adversaries() {
+        // Regression: aggregate record mode used to silently cap the
+        // adversary-visible history window at 4096 slots, so an adversary
+        // reading slot `t - 5000` behaved *differently* between Full and
+        // Aggregate runs. History retention is now a SimConfig knob,
+        // default unlimited, independent of trace recording.
+        let deep = || {
+            FnAdversary::new("deep-history", |slot, h, _r| {
+                let mut d = SlotDecision::IDLE;
+                if slot % 5 == 1 {
+                    d.inject = 1;
+                }
+                // Jam iff the slot exactly 5000 back carried a success —
+                // far beyond the old hidden 4096-slot window.
+                if let Some(fb) = slot.checked_sub(5000).and_then(|s| h.feedback(s)) {
+                    d.jam = fb.is_success();
+                }
+                d
+            })
+        };
+        let run = |record_slots: bool| {
+            let config = if record_slots {
+                SimConfig::with_seed(5)
+            } else {
+                SimConfig::with_seed(5).without_slot_records()
+            };
+            let mut sim = Simulator::new(config, always(), deep());
+            sim.run_for(12_000);
+            let recorded = sim.trace().recorded_len();
+            let t = sim.trace();
+            (
+                t.total_successes(),
+                t.total_jammed(),
+                t.total_arrivals(),
+                t.total_active(),
+                recorded,
+            )
+        };
+        let full = run(true);
+        let aggregate = run(false);
+        assert_eq!(
+            full.1, aggregate.1,
+            "jam decisions diverged across record modes"
+        );
+        assert_eq!(
+            (full.0, full.2, full.3),
+            (aggregate.0, aggregate.2, aggregate.3),
+            "dynamics diverged across record modes"
+        );
+        assert!(full.1 > 0, "the deep lookup must actually trigger jams");
+        assert_eq!(full.4, 12_000);
+        assert_eq!(aggregate.4, 0, "aggregate mode stores no slot records");
+    }
+
+    #[test]
+    fn explicit_history_retention_caps_the_window() {
+        let config = SimConfig::with_seed(2).with_history_retention(16);
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 2), NoJamming);
+        let mut sim = Simulator::new(config, always(), adv);
+        sim.run_for(100);
+        let h = sim.history();
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.feedback(50), None, "evicted beyond retention");
+        assert!(h.feedback(100).is_some());
+        assert_eq!(h.iter().count(), 16);
+    }
+
+    #[test]
+    fn run_for_with_streams_without_storing() {
+        let adv = CompositeAdversary::new(BatchArrival::new(1, 4), NoJamming);
+        let mut sim = Simulator::new(SimConfig::with_seed(7), always(), adv);
+        let mut seen = Vec::new();
+        sim.run_for_with(50, |slot, rec| seen.push((slot, rec.population)));
+        assert_eq!(seen.len(), 50);
+        assert_eq!(seen[0].0, 1);
+        assert_eq!(seen[0].1, 4);
+        // Streamed slots are folded into aggregates but never stored, even
+        // though the config's record mode is Full.
+        assert_eq!(sim.trace().len(), 50);
+        assert_eq!(sim.trace().recorded_len(), 0);
+        // A subsequent step() records normally again.
+        sim.step();
+        assert_eq!(sim.trace().recorded_len(), 1);
+        assert_eq!(sim.trace().len(), 51);
     }
 
     #[test]

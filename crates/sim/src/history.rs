@@ -6,10 +6,13 @@
 //! same [`Feedback`] stream as the nodes, plus knowledge of her own past
 //! injections and jams (she made those decisions herself).
 //!
-//! For endurance runs the engine caps the retained window (see
-//! `SimConfig::without_slot_records`); aggregate counters (successes,
-//! injections, jams, backlog) are exact regardless, only per-slot lookups
-//! beyond the window return `None`.
+//! The retained per-slot window is unlimited by default. Endurance runs
+//! can cap it explicitly via `SimConfig::with_history_retention` — a
+//! *model* knob (it bounds how far back the adversary's per-slot lookups
+//! reach), deliberately independent of trace recording so that record-mode
+//! choices never change adversary behaviour. Aggregate counters
+//! (successes, injections, jams, backlog) are exact regardless; only
+//! per-slot lookups beyond the window return `None`.
 
 use std::collections::VecDeque;
 

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use rand::rngs::SmallRng;
 use rand::RngCore;
 
 use crate::slot::{Action, Feedback};
@@ -74,8 +75,33 @@ pub trait Protocol {
     /// Receive the public feedback for local slot `local_slot`.
     ///
     /// Called after every slot in which the node was in the system, including
-    /// slots in which the node itself broadcast unsuccessfully.
+    /// slots in which the node itself broadcast unsuccessfully — unless the
+    /// implementation opts out of failure feedback via
+    /// [`observes_failures`](Self::observes_failures).
     fn observe(&mut self, local_slot: u64, feedback: Feedback);
+
+    /// Hot-path variant of [`act`](Self::act) taking the engine's concrete
+    /// per-node RNG, so implementations can monomorphize their random draws
+    /// instead of going through `dyn RngCore`.
+    ///
+    /// The default delegates to [`act`](Self::act); overriding is purely a
+    /// performance optimisation and **must not** change the sequence of RNG
+    /// draws (simulations replay byte-identically either way).
+    fn act_fast(&mut self, local_slot: u64, rng: &mut SmallRng) -> Action {
+        self.act(local_slot, rng)
+    }
+
+    /// Whether this protocol reacts to no-success feedback.
+    ///
+    /// Most algorithms in the no-collision-detection model only change
+    /// state on *success* feedback (silence/collision/jam are
+    /// indistinguishable and carry no information beyond "no success").
+    /// Returning `false` lets the engine skip the per-node
+    /// [`observe`](Self::observe) call on no-success slots; local clocks
+    /// advance either way. Must be constant for the protocol's lifetime.
+    fn observes_failures(&self) -> bool {
+        true
+    }
 }
 
 /// Spawns fresh [`Protocol`] instances for nodes injected by the adversary.
@@ -173,6 +199,10 @@ impl Protocol for AlwaysBroadcast {
     }
 
     fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {}
+
+    fn observes_failures(&self) -> bool {
+        false
+    }
 }
 
 /// A trivial protocol that never broadcasts. Useful in tests (a system of
@@ -190,6 +220,10 @@ impl Protocol for NeverBroadcast {
     }
 
     fn observe(&mut self, _local_slot: u64, _feedback: Feedback) {}
+
+    fn observes_failures(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,12 @@
 //!
 //! A million-slot run in aggregate-only mode must preserve every invariant
 //! the slot-recorded mode guarantees, while storing no per-slot state.
-//! Record-mode policy comes from the scenario spec (`aggregate_only`).
+//! Record-mode policy comes from the scenario spec (`aggregate_only`);
+//! O(1) memory additionally requires bounding the adversary-visible
+//! history window (`history_retention`) — the two knobs are deliberately
+//! independent, because capping the window changes what deep-history
+//! adaptive adversaries can see (it defaults to unlimited for that
+//! reason).
 
 use contention::prelude::*;
 
@@ -18,7 +23,10 @@ fn million_slot_run_is_memory_bounded_and_consistent() {
         })
         .jamming(JammingSpec::random(0.25))
         .fixed_horizon(horizon)
-        .aggregate_only();
+        .aggregate_only()
+        // Bounded adversary window: O(1) history memory over the million
+        // slots (this workload's adversary is not history-dependent).
+        .history_retention(4096);
     let runner = ScenarioRunner::new(spec);
 
     // Stream the run manually to fold StreamingStats alongside the trace.

@@ -102,13 +102,44 @@ proptest! {
 
     /// A spec survives the JSON round-trip for arbitrary parameters.
     #[test]
-    fn spec_json_round_trip(n in 1u32..10_000, jam in 0.0f64..1.0, seeds in 1u64..50, which in algo_strategy()) {
-        let spec = ScenarioSpec::batch(n, jam)
+    fn spec_json_round_trip(n in 1u32..10_000, jam in 0.0f64..1.0, seeds in 1u64..50, which in algo_strategy(), retention in 0u64..10_000) {
+        let mut spec = ScenarioSpec::batch(n, jam)
             .algos([algo_spec(which)])
             .seeds(seeds)
             .aggregate_only();
+        if retention % 2 == 0 {
+            spec = spec.history_retention(retention);
+        }
         let parsed = ScenarioSpec::from_json_str(&spec.to_json_string());
         prop_assert_eq!(parsed.as_ref(), Ok(&spec));
+    }
+
+    /// Rendered specs are always *valid JSON*, even when parameters are
+    /// non-finite (regression: `NaN`/`inf` used to be emitted verbatim,
+    /// which the parser then rejected). Finite specs additionally
+    /// round-trip exactly.
+    #[test]
+    fn spec_json_render_is_always_parseable(which in 0u8..8, raw in -4.0f64..4.0) {
+        let p = match which {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => raw,
+        };
+        let spec = ScenarioSpec::batch(4, 0.2)
+            .algos([AlgoSpec::Baseline(BaselineSpec::Aloha(p))]);
+        let text = spec.to_json_string();
+        let parsed = contention::bench::scenario::Json::parse(&text);
+        prop_assert!(parsed.is_ok(), "rendered spec must stay parseable: {text}");
+        if p.is_finite() {
+            let round = ScenarioSpec::from_json_str(&text);
+            prop_assert_eq!(round.as_ref(), Ok(&spec));
+        } else {
+            // Non-finite parameters degrade to null; parsing then fails
+            // with a *typed* SpecError (expected number), not a JSON
+            // syntax error.
+            prop_assert!(ScenarioSpec::from_json_str(&text).is_err());
+        }
     }
 
     /// Budget wrappers never exceed their curves.
