@@ -26,6 +26,6 @@ pub mod table;
 pub use compare::{common_language_effect, normal_cdf, rank_sum, RankSum};
 pub use histogram::LogHistogram;
 pub use regression::{best_fit, fit, flatness, Fit, GrowthModel};
-pub use series::{csv_escape, Figure, Series};
+pub use series::{csv_escape, sparkline, Figure, Series};
 pub use stats::{geometric_mean, quantile, Summary};
 pub use table::{fnum, Align, Table};

@@ -162,6 +162,45 @@ impl Figure {
     }
 }
 
+/// Render values as a one-line unicode sparkline (`▁▂▃▄▅▆▇█`), scaled to
+/// the finite min/max of the data. Non-finite values render as `·`; a flat
+/// series renders at mid height. Empty input yields an empty string.
+///
+/// ```
+/// use contention_analysis::sparkline;
+/// assert_eq!(sparkline(&[0.0, 1.0, 2.0, 3.0]), "▁▃▆█");
+/// assert_eq!(sparkline(&[5.0, 5.0]), "▄▄");
+/// assert_eq!(sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                '·'
+            } else if hi <= lo {
+                BARS[3]
+            } else {
+                let idx = ((v - lo) / (hi - lo) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+impl Series {
+    /// The y values rendered as a [`sparkline`].
+    pub fn to_sparkline(&self) -> String {
+        let ys: Vec<f64> = self.points.iter().map(|p| p.1).collect();
+        sparkline(&ys)
+    }
+}
+
 /// Minimal CSV field escaping (quotes fields containing `,` or `"`).
 pub fn csv_escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
@@ -223,5 +262,16 @@ mod tests {
     fn ascii_plot_empty() {
         let fig = Figure::new("none", "x", "y");
         assert!(fig.to_ascii(10, 5).contains("(no data)"));
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_edge_cases() {
+        assert_eq!(sparkline(&[1.0, 8.0]), "▁█");
+        assert_eq!(sparkline(&[3.0]), "▄", "singleton is flat");
+        assert_eq!(sparkline(&[f64::NAN, 1.0, 2.0]), "·▁█");
+        // All-non-finite: every glyph is the placeholder.
+        assert_eq!(sparkline(&[f64::INFINITY, f64::NAN]), "··");
+        let s = Series::from_points("s", [(0.0, 0.0), (1.0, 7.0), (2.0, 14.0)]);
+        assert_eq!(s.to_sparkline(), "▁▅█");
     }
 }

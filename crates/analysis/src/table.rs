@@ -134,6 +134,48 @@ impl Table {
     }
 }
 
+impl Table {
+    /// Render as a GitHub-flavored markdown table (pipe syntax). Column
+    /// alignment maps to `:---` / `---:` markers; literal `|` in cells is
+    /// escaped. The title, if set, becomes a bold line above the table.
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "**{}**\n", esc(title));
+        }
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.aligns
+                .iter()
+                .map(|a| match a {
+                    Align::Left => ":---",
+                    Align::Right => "---:",
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+}
+
 /// Format a float compactly for table cells: 4 significant-ish digits.
 pub fn fnum(x: f64) -> String {
     if !x.is_finite() {
@@ -196,6 +238,17 @@ mod tests {
         assert!(fnum(1.0e7).contains('e'));
         assert!(fnum(0.00001).contains('e'));
         assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn markdown_renders_alignment_and_escapes_pipes() {
+        let mut t = Table::new(["algo", "rate"]).with_title("m|d");
+        t.row(["a|b", "0.5"]);
+        let md = t.to_markdown();
+        assert!(md.contains("**m\\|d**"));
+        assert!(md.contains("| algo | rate |"));
+        assert!(md.contains("|:---|---:|"));
+        assert!(md.contains("| a\\|b | 0.5 |"));
     }
 
     #[test]

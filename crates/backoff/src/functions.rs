@@ -40,6 +40,18 @@ pub fn sqrt_log2(x: f64) -> f64 {
 /// from constants (tolerating a constant fraction of jammed slots, the
 /// worst case) up to `2^Θ(√log x)` (the largest jamming budget compatible
 /// with constant throughput — Remark 2).
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::GFunction;
+///
+/// let g = GFunction::PolyLog(2);
+/// assert_eq!(g.at(1 << 16), 256.0);       // (log₂ 2¹⁶)² = 16²
+/// assert_eq!(g.label(), "g=log^2");
+/// // Evaluation clamps to [1, ∞): early slots never see a sub-1 budget.
+/// assert_eq!(GFunction::Log.eval(1.0), 1.0);
+/// ```
 #[derive(Clone)]
 pub enum GFunction {
     /// `g(x) = c` — constant-fraction jamming tolerance; yields
@@ -114,6 +126,19 @@ impl PartialEq for GFunction {
 /// `a` is the paper's global constant (also scaling the budget curves) and
 /// `c₂` the backoff density constant from Lemma 3.3. Both default to 1 and
 /// are calibrated empirically (see DESIGN.md §2).
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::{FFunction, GFunction};
+///
+/// // Constant g: f(x) = Θ(log x) — the worst-case trade-off endpoint.
+/// let f = FFunction::from_g(GFunction::Constant(2.0));
+/// assert_eq!(f.at(1 << 20), 20.0);
+/// // Maximal g = 2^√log x: f collapses to a constant (clamped at 1).
+/// let f = FFunction::from_g(GFunction::ExpSqrtLog(1.0));
+/// assert!(f.at(1 << 20) <= 20.0 / 16.0);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FFunction {
     g: GFunction,

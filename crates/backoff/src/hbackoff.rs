@@ -48,6 +48,22 @@ impl SendCount for OnePerStage {
 
 /// Driver for the `h`-backoff subroutine over an abstract channel-slot
 /// sequence.
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::hbackoff::{HBackoff, OnePerStage};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut b = HBackoff::new(OnePerStage);
+/// // Stage 0 has length 1, so a fresh backoff always sends immediately.
+/// assert!(b.next(&mut rng));
+/// // One send per stage thereafter: stages 1..=3 cover slots 2..=15.
+/// let sends: u64 = (0..14).map(|_| u64::from(b.next(&mut rng))).sum();
+/// assert_eq!(sends, 3);
+/// assert_eq!(b.total_sends(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct HBackoff<C> {
     counter: C,

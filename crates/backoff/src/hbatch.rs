@@ -15,6 +15,20 @@ use rand::RngCore;
 use crate::schedule::{ProbTable, Schedule};
 
 /// Driver for an `h`-batch over an abstract channel-slot sequence.
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::hbatch::HBatch;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// // The paper's data batch: p_k = min(1, 1/k).
+/// let mut batch = HBatch::data();
+/// assert_eq!(batch.next_prob(), 1.0); // slot 1 always sends
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// assert!(batch.next(&mut rng));
+/// assert_eq!(batch.next_prob(), 0.5); // slot 2 sends with 1/2
+/// ```
 #[derive(Debug, Clone)]
 pub struct HBatch {
     schedule: Schedule,

@@ -16,6 +16,22 @@ use rand::Rng;
 use rand::RngCore;
 
 /// Driver for sawtooth backoff over an abstract slot sequence.
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::sawtooth::Sawtooth;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut saw = Sawtooth::new();
+/// assert_eq!((saw.epoch(), saw.probability()), (1, 0.5));
+/// // Epoch 1 is one sub-phase of two p=1/2 slots; epoch 2 then sweeps
+/// // the probability upwards again: 1/4 for 4 slots, 1/2 for 2 slots.
+/// saw.next(&mut rng);
+/// saw.next(&mut rng);
+/// assert_eq!((saw.epoch(), saw.probability()), (2, 0.25));
+/// ```
 #[derive(Debug, Clone)]
 pub struct Sawtooth {
     /// Current epoch `e ≥ 1`.

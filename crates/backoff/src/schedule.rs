@@ -47,7 +47,7 @@ fn bernoulli_threshold(p: f64) -> u64 {
 /// An interned, immutable prefix of a schedule's probabilities:
 /// `probs[i-1] == schedule.prob(i)` for `1 ≤ i ≤ len` (bit-identical —
 /// the table is filled by calling [`Schedule::prob`] itself), plus the
-/// matching integer Bernoulli thresholds (see [`bernoulli_threshold`]).
+/// matching integer Bernoulli thresholds (see `bernoulli_threshold`).
 #[derive(Clone)]
 pub struct ProbTable {
     probs: Arc<[f64]>,
@@ -134,6 +134,20 @@ fn log_over_i_table(c: f64) -> ProbTable {
 }
 
 /// A pre-defined probability schedule `i ↦ p_i`.
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::Schedule;
+///
+/// let h_data = Schedule::h_data();
+/// assert_eq!(h_data.prob(1), 1.0);
+/// assert_eq!(h_data.prob(4), 0.25);
+/// // h_ctrl(x) = c₃·log₂(x)/x, clamped into [0, 1].
+/// let h_ctrl = Schedule::h_ctrl(2.0);
+/// assert_eq!(h_ctrl.prob(16), 0.5);
+/// assert_eq!(h_ctrl.prob(1), 1.0);
+/// ```
 #[derive(Clone)]
 pub enum Schedule {
     /// `p_i = min(1, 1/i)` — the `h_data` schedule (smoothed binary

@@ -56,6 +56,23 @@ impl WindowGrowth {
 }
 
 /// Driver for windowed backoff over an abstract slot sequence.
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::window::WindowBackoff;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let mut beb = WindowBackoff::binary();
+/// // Window 0 has a single slot: the first call always sends.
+/// assert_eq!(beb.window_len(), 1);
+/// assert!(beb.next(&mut rng));
+/// // Each subsequent window doubles and contains exactly one send.
+/// assert_eq!(beb.window_len(), 2);
+/// let sends: u64 = (0..6).map(|_| u64::from(beb.next(&mut rng))).sum();
+/// assert_eq!(sends, 2); // windows of length 2 and 4
+/// ```
 #[derive(Debug, Clone)]
 pub struct WindowBackoff {
     growth: WindowGrowth,

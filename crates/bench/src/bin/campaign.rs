@@ -1,0 +1,114 @@
+//! `campaign` — list, inspect, run, and report on named parameter sweeps.
+//!
+//! ```sh
+//! # What campaigns exist?
+//! cargo run --release -p contention-bench --bin campaign
+//!
+//! # Run one by name (ASCII table; --csv/--jsonl write row files).
+//! cargo run --release -p contention-bench --bin campaign -- run tradeoff
+//! cargo run --release -p contention-bench --bin campaign -- run jamming-robustness --smoke
+//! cargo run --release -p contention-bench --bin campaign -- run tradeoff --csv out.csv --jsonl out.jsonl
+//!
+//! # Print a campaign's SweepSpec as JSON, or run a spec from a file.
+//! cargo run --release -p contention-bench --bin campaign -- show tradeoff
+//! cargo run --release -p contention-bench --bin campaign -- run --spec my-sweep.json
+//!
+//! # Regenerate RESULTS.md from the report campaigns (deterministic:
+//! # byte-identical across runs on the same tree).
+//! cargo run --release -p contention-bench --bin campaign -- report
+//! cargo run --release -p contention-bench --bin campaign -- report --smoke --out RESULTS-smoke.md
+//! ```
+
+use contention_analysis::Table;
+use contention_bench::campaign::{
+    self, cells_table, render_results_md, to_csv, to_jsonl, CampaignRunner, SweepSpec,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn list() {
+    let mut table = Table::new(["name", "what it sweeps"])
+        .with_title("campaign registry (run with `run <name>`)");
+    for entry in campaign::entries() {
+        table.row([entry.name.to_string(), entry.summary.to_string()]);
+    }
+    println!("{}", table.render());
+}
+
+/// Resolve the sweep named on the command line (`<name>` or `--spec FILE`).
+fn resolve(args: &[String]) -> SweepSpec {
+    if let Some(i) = args.iter().position(|a| a == "--spec") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| fail("--spec needs a file path"));
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        return SweepSpec::from_json_str(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+    }
+    let name = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| campaign::lookup(a).is_some());
+    match name {
+        Some(name) => campaign::lookup(name).expect("checked above"),
+        None => fail("unknown campaign; run without arguments to list the registry"),
+    }
+}
+
+fn grab(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn write_or_die(path: &str, contents: String) {
+    if let Err(e) = std::fs::write(path, contents) {
+        fail(&format!("failed to write {path}: {e}"));
+    }
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    match args.first().map(String::as_str) {
+        None => list(),
+        Some("show") => {
+            let sweep = resolve(&args[1..]);
+            println!("{}", sweep.to_json_string());
+        }
+        Some("run") => {
+            let mut sweep = resolve(&args[1..]);
+            if smoke {
+                sweep = sweep.smoke();
+            }
+            if let Some(seeds) = grab(&args, "--seeds").and_then(|s| s.parse().ok()) {
+                sweep = sweep.seeds(seeds);
+            }
+            println!(
+                "campaign `{}`: {} cell(s)…\n",
+                sweep.name,
+                sweep.cell_count()
+            );
+            let result = CampaignRunner::new(sweep).run();
+            println!("{}", cells_table(&result).render());
+            if let Some(path) = grab(&args, "--csv") {
+                write_or_die(&path, to_csv(&result));
+            }
+            if let Some(path) = grab(&args, "--jsonl") {
+                write_or_die(&path, to_jsonl(&result));
+            }
+        }
+        Some("report") => {
+            let out = grab(&args, "--out").unwrap_or_else(|| "RESULTS.md".to_string());
+            write_or_die(&out, render_results_md(smoke));
+        }
+        Some(other) => fail(&format!(
+            "unknown subcommand `{other}` (expected `show`, `run`, or `report`)"
+        )),
+    }
+}

@@ -1,176 +1,77 @@
 //! **E2 — the headline figure: `Θ(t/log t)` under constant-fraction
 //! jamming.**
 //!
-//! With `g` constant (Eve jams a constant fraction of all slots — the
-//! worst-case regime), the best possible throughput is `Θ(1/log t)`
-//! (Theorems 1.2 + 1.3): the paper's algorithm delivers `Θ(t/log t)`
-//! messages in `t` slots, and nothing can do asymptotically better.
-//!
-//! Setup: the registry's `constant-jamming` scenario — arrivals offered at
-//! exactly the critical density `n_t = t/(2f(t))` with `f = Θ(log t)`, and
-//! 25% of slots jammed at random. A working algorithm *keeps up*:
-//! deliveries track arrivals (`Θ(t/log t)`) and the backlog stays bounded.
-//! Baselines run under the identical offered load for contrast — they fall
-//! behind, accumulating backlog. The growth-model fit on the paper
-//! algorithm's delivery curve should rank `c·t/log t` above both `c·t` and
-//! `c·t/log² t`.
+//! Thin wrapper over the registry campaign `constant-jamming-growth`:
+//! arrivals offered at the critical density `n_t = t/(2f(t))` with 25% of
+//! slots jammed, the paper's algorithm against three classical baselines.
+//! The campaign's dyadic checkpoint curve is the deliveries-vs-t figure;
+//! the growth-model fit on it should rank `c·t/log t` above both `c·t`
+//! and `c·t/log² t` (Theorems 1.2 + 1.3: nothing can do asymptotically
+//! better). The same campaign renders the headline section of RESULTS.md.
 
-use contention_analysis::{best_fit, fnum, Figure, GrowthModel, Series, Summary, Table};
-use contention_bench::scenario::{
-    AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, JammingSpec, ParamsSpec,
-    ScenarioRunner, ScenarioSpec,
-};
+use contention_analysis::{best_fit, fnum, GrowthModel, Table};
+use contention_bench::campaign::{self, CampaignRunner};
 use contention_bench::ExpArgs;
-
-struct AlgoRun {
-    name: String,
-    /// successes at dyadic checkpoints, mean over seeds
-    successes: Vec<f64>,
-    success_ci: Vec<f64>,
-    /// arrivals at final checkpoint (mean)
-    final_arrivals: f64,
-    /// backlog (arrivals - successes) at final checkpoint (mean)
-    final_backlog: f64,
-}
-
-/// The E2 workload: saturated arrivals clamped to the critical density
-/// `t/(2f(t))`, `jam` of all slots jammed, fixed horizon.
-fn scenario(jam: f64, horizon: u64, seeds: u64) -> ScenarioSpec {
-    ScenarioSpec::new(format!("constant-jamming/{jam}"))
-        .arrivals(ArrivalSpec::saturated())
-        .jamming(JammingSpec::random(jam))
-        .budget(BudgetSpec {
-            params: ParamsSpec::constant_jamming(),
-            arrivals: CurveSpec::CriticalArrivals { scale: 2.0 },
-            jams: CurveSpec::Unlimited,
-        })
-        .fixed_horizon(horizon)
-        .seeds(seeds)
-}
-
-fn run_algo(algo: &AlgoSpec, jam: f64, min_pow: u32, max_pow: u32, seeds: u64) -> AlgoRun {
-    let horizon = 1u64 << max_pow;
-    let runner = ScenarioRunner::new(scenario(jam, horizon, seeds));
-    let runs = runner.collect(algo, |_seed, out| {
-        let cum = out.trace.cumulative();
-        let succ: Vec<u64> = (min_pow..=max_pow)
-            .map(|p| cum.successes(1u64 << p))
-            .collect();
-        (succ, cum.arrivals(horizon))
-    });
-    let checkpoints = (max_pow - min_pow + 1) as usize;
-    let mut successes = Vec::with_capacity(checkpoints);
-    let mut success_ci = Vec::with_capacity(checkpoints);
-    for idx in 0..checkpoints {
-        let vals: Vec<f64> = runs.iter().map(|r| r.0[idx] as f64).collect();
-        let s = Summary::of(&vals).unwrap();
-        successes.push(s.mean);
-        success_ci.push(s.ci95());
-    }
-    let arr: Vec<f64> = runs.iter().map(|r| r.1 as f64).collect();
-    let final_arrivals = Summary::of(&arr).unwrap().mean;
-    let final_backlog = final_arrivals - successes.last().copied().unwrap_or(0.0);
-    AlgoRun {
-        name: algo.name(),
-        successes,
-        success_ci,
-        final_arrivals,
-        final_backlog,
-    }
-}
 
 fn main() {
     let args = ExpArgs::from_env();
-    let max_pow = if args.quick { 12 } else { 17 };
-    let min_pow = 8;
-    let jam = 0.25;
+    let mut sweep = campaign::lookup("constant-jamming-growth").expect("registry campaign");
+    if args.quick {
+        sweep = sweep.smoke();
+    }
+    sweep = sweep.seeds(args.seeds);
+    if let Some(t) = args.horizon {
+        sweep.base = sweep.base.fixed_horizon(t);
+    }
 
     println!("E2: messages delivered in t slots, 25% of slots jammed");
     println!(
-        "offered load n_t = t/(2 f(t)), f = Θ(log t); t up to 2^{max_pow}; seeds = {}\n",
-        args.seeds
+        "offered load n_t = t/(2 f(t)), f = Θ(log t); t = {}; seeds = {}\n",
+        sweep.base.horizon.cap(),
+        sweep.base.seeds
     );
+    let result = CampaignRunner::new(sweep).run();
+    print!("{}", campaign::render_section(&result));
+    if args.csv {
+        println!("\n--- CSV ---\n{}", campaign::to_csv(&result));
+    }
 
-    let algos = [
-        AlgoSpec::cjz_constant_jamming(),
-        AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
-        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
-        AlgoSpec::Baseline(BaselineSpec::Sawtooth),
-    ];
-    let results: Vec<AlgoRun> = algos
+    // Growth fit on the paper algorithm's delivery curve (asymptotic tail:
+    // checkpoints from t = 256 on).
+    let cjz = result.cells.first().expect("roster is non-empty");
+    let points: Vec<(f64, f64)> = cjz
+        .checkpoints
         .iter()
-        .map(|a| run_algo(a, jam, min_pow, max_pow, args.seeds))
+        .filter(|c| c.t >= 256)
+        .map(|c| (c.t as f64, c.mean_successes.max(1.0)))
         .collect();
-
-    // Delivery table per checkpoint for the paper algorithm.
-    let cjz = &results[0];
-    let mut table = Table::new(["t", "delivered", "t/log2(t)", "deliv·log(t)/t"])
-        .with_title("E2a: paper algorithm deliveries vs t");
-    let mut points: Vec<(f64, f64)> = Vec::new();
-    for (idx, p) in (min_pow..=max_pow).enumerate() {
-        let t = (1u64 << p) as f64;
-        let m = cjz.successes[idx];
-        table.row([
-            format!("2^{p}"),
-            format!("{} ± {}", fnum(m), fnum(cjz.success_ci[idx])),
-            fnum(t / t.log2()),
-            fnum(m * t.log2() / t),
-        ]);
-        points.push((t, m.max(1.0)));
+    if points.len() < 2 {
+        println!(
+            "\n(horizon {} leaves {} checkpoint(s) past t = 256 — too few for a growth fit; \
+             rerun with --t 1024 or larger)",
+            cjz.spec.horizon.cap(),
+            points.len()
+        );
+        return;
     }
-    println!("{}", table.render());
-
-    // Keep-up comparison at the final horizon.
-    let mut cmp = Table::new(["algorithm", "arrivals", "delivered", "backlog", "kept up?"])
-        .with_title("E2b: same offered load, final horizon");
-    for r in &results {
-        let kept = r.final_backlog <= 0.05 * r.final_arrivals.max(1.0);
-        cmp.row([
-            r.name.clone(),
-            fnum(r.final_arrivals),
-            fnum(*r.successes.last().unwrap()),
-            fnum(r.final_backlog),
-            if kept { "yes".into() } else { "NO".to_string() },
-        ]);
-    }
-    println!("{}", cmp.render());
-
-    // Growth fit for the paper algorithm.
     let ranked = best_fit(&points);
     let mut fit_table = Table::new(["model", "scale", "rel residual"])
         .with_title("E2c: growth-model ranking for deliveries(t)");
     for f in &ranked {
         fit_table.row([f.model.to_string(), fnum(f.scale), fnum(f.rel_residual)]);
     }
-    println!("{}", fit_table.render());
+    println!("\n{}", fit_table.render());
 
-    let mut fig = Figure::new("E2: deliveries(t) per algorithm", "t", "messages");
-    for r in &results {
-        let mut s = Series::new(r.name.clone());
-        for (idx, p) in (min_pow..=max_pow).enumerate() {
-            s.push((1u64 << p) as f64, r.successes[idx]);
-        }
-        fig.add(s);
-    }
-    println!("{}", fig.to_ascii(72, 18));
-    if args.csv {
-        println!("--- CSV ---\n{}", fig.to_csv());
-    }
-
-    let best = ranked.first().expect("fits exist");
     let tlog_beats_linear = ranked
         .iter()
         .position(|f| f.model == GrowthModel::LinearOverLog)
         < ranked.iter().position(|f| f.model == GrowthModel::Linear);
-    let cjz_keeps_up = cjz.final_backlog <= 0.05 * cjz.final_arrivals.max(1.0);
+    let backlog = cjz.mean_arrivals - cjz.mean_delivered;
+    let keeps_up = backlog <= 0.05 * cjz.mean_arrivals.max(1.0);
     println!(
         "best fit: {}   |   t/log t above t: {}   |   paper algorithm keeps up: {}",
-        best.model,
+        ranked[0].model,
         if tlog_beats_linear { "PASS" } else { "FAIL" },
-        if cjz_keeps_up { "PASS" } else { "FAIL" },
-    );
-    println!(
-        "(paper: with constant-fraction jamming, Θ(t/log t) messages in t slots; \
-         the channel sustains the critical offered load with bounded backlog.)"
+        if keeps_up { "PASS" } else { "FAIL" },
     );
 }

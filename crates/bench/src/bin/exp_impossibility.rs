@@ -1,97 +1,54 @@
 //! **E11 — the lower-bound mechanism: forced channel accesses
 //! (Theorem 1.3).**
 //!
-//! Theorem 1.3's proof shows that any algorithm achieving the optimal
-//! trade-off must, against the prefix-plus-random jamming adversary, make
-//! `Ω(log² t / log² g(t))` broadcasts before its first success — that
-//! spending is *forced*, and Lemma 4.1 turns overspending into a
-//! throughput violation. Impossibility theorems quantify over all
-//! algorithms and cannot be "run"; what can be run is the mechanism (the
-//! registry's `lowerbound/*` scenarios):
+//! Thin wrapper over two registry campaigns:
 //!
-//! * **E11a** — a single node under the `lowerbound/theorem13` script:
-//!   count its broadcasts before first success as the horizon grows. For
-//!   the paper's algorithm (g constant) the count should grow ≈ `log² t` —
-//!   matching the lower bound, i.e. the algorithm spends exactly the
-//!   forced budget (tightness from the algorithm side).
-//! * **E11b** — the `lowerbound/lemma41` flood against an algorithm that
-//!   *overspends* (ALOHA, constant probability): no success appears in the
-//!   whole horizon, demonstrating how the adversary converts aggression
-//!   into zero throughput.
+//! * `lowerbound/theorem13` (E11a) — a single node under the Theorem 1.3
+//!   script; its channel accesses before first success must grow
+//!   ≈ `log² t`, matching the forced budget (tightness from the algorithm
+//!   side);
+//! * `lowerbound/lemma41-flood` (E11b) — the Lemma 4.1 flood against
+//!   algorithms that overspend (constant-probability ALOHA): the
+//!   adversary converts aggression into zero throughput while the
+//!   protocol's thinning backoff survives.
 
-use contention_analysis::{best_fit, fnum, GrowthModel, Summary, Table};
-use contention_bench::scenario::{
-    AdversarySpec, AlgoSpec, BaselineSpec, ScenarioRunner, ScenarioSpec,
-};
+use contention_analysis::{best_fit, fnum, GrowthModel, Table};
+use contention_bench::campaign::{self, CampaignRunner};
 use contention_bench::ExpArgs;
 
 fn main() {
     let args = ExpArgs::from_env();
-    let max_pow = if args.quick { 12 } else { 16 };
-    let min_pow = 8;
 
-    println!("E11a: broadcasts before first success under the Theorem 1.3 adversary");
-    println!(
-        "horizon t = 2^{min_pow}..2^{max_pow}, seeds = {}\n",
-        args.seeds
-    );
-
-    let algo = AlgoSpec::cjz_constant_jamming();
-    let mut table = Table::new(["t", "accesses to 1st success", "log2^2(t)", "ratio"])
-        .with_title("E11a: forced channel accesses (cjz, g const)");
-    let mut points: Vec<(f64, f64)> = Vec::new();
-
-    for p in min_pow..=max_pow {
-        let t = 1u64 << p;
-        let runner = ScenarioRunner::new(
-            ScenarioSpec::new("lowerbound/theorem13")
-                .algo(algo.clone())
-                .adversary(AdversarySpec::Theorem13 {
-                    horizon: t,
-                    // g(t) = 2 for the constant tuning.
-                    g_of_t: 2.0,
-                })
-                .until_drained(4 * t)
-                .seeds(args.seeds),
-        );
-        let vals = runner.collect(&algo, |_seed, out| {
-            // Accesses of the single node up to its delivery (or to the
-            // horizon if censored).
-            match out.trace.departures().first() {
-                Some(d) => d.accesses as f64,
-                None => out
-                    .trace
-                    .survivors()
-                    .first()
-                    .map(|s| s.accesses as f64)
-                    .unwrap_or(0.0),
-            }
-        });
-        let s = Summary::of(&vals).unwrap();
-        let lg2 = (p as f64) * (p as f64);
-        table.row([
-            format!("2^{p}"),
-            format!("{} ± {}", fnum(s.mean), fnum(s.ci95())),
-            fnum(lg2),
-            fnum(s.mean / lg2),
-        ]);
-        points.push((t as f64, s.mean.max(1.0)));
+    // E11a: forced accesses vs horizon. Quick mode keeps 5 horizon points
+    // (2^8..2^12) rather than the generic 2-point smoke truncation: the
+    // growth-model fit below needs enough points to rank models.
+    let mut sweep = campaign::lookup("lowerbound/theorem13").expect("registry campaign");
+    if args.quick {
+        sweep.axes[0].points.truncate(5);
     }
-    println!("{}", table.render());
+    sweep = sweep.seeds(args.seeds);
+    println!("E11a: broadcasts before first success under the Theorem 1.3 adversary\n");
+    let result = CampaignRunner::new(sweep).run();
+    print!("{}", campaign::render_section(&result));
+    if args.csv {
+        println!("\n--- CSV ---\n{}", campaign::to_csv(&result));
+    }
 
+    let points: Vec<(f64, f64)> = result
+        .cells
+        .iter()
+        .map(|c| {
+            let t = c.spec.horizon.cap() / 4; // Horizon axis gives 4t drain headroom.
+            (t as f64, c.mean_first_access.unwrap_or(0.0).max(1.0))
+        })
+        .collect();
     let ranked = best_fit(&points);
-    let mut fit_table =
-        Table::new(["model", "scale", "rel residual"]).with_title("E11a: access-growth fit");
-    for f in &ranked {
-        fit_table.row([f.model.to_string(), fnum(f.scale), fnum(f.rel_residual)]);
-    }
-    println!("{}", fit_table.render());
     let polylog_best = matches!(
         ranked[0].model,
         GrowthModel::LogSq | GrowthModel::Log | GrowthModel::Constant
     );
     println!(
-        "accesses grow polylogarithmically (best: {}): {}",
+        "\naccesses grow polylogarithmically (best: {}): {}",
         ranked[0].model,
         if polylog_best { "PASS" } else { "FAIL" }
     );
@@ -101,42 +58,25 @@ fn main() {
     );
 
     // E11b: the flood that punishes overspending.
-    println!("E11b: Lemma 4.1 flood vs an aggressive schedule");
-    let horizon = 1u64 << if args.quick { 11 } else { 14 };
-    let mut flood_table = Table::new(["algorithm", "successes in t", "first success"])
-        .with_title(format!("E11b: flood horizon t = {horizon}"));
-    let flood = ScenarioRunner::new(
-        ScenarioSpec::new("lowerbound/lemma41")
-            .adversary(AdversarySpec::Lemma41 {
-                horizon,
-                batch_per_slot: 8,          // per slot for the first √t slots
-                random_total: horizon / 64, // random-injected over [1, t]
-            })
-            .fixed_horizon(horizon)
-            .seeds(args.seeds),
-    );
-    for algo in [
-        AlgoSpec::Baseline(BaselineSpec::Aloha(0.3)),
-        AlgoSpec::Baseline(BaselineSpec::Aloha(0.05)),
-        AlgoSpec::cjz_constant_jamming(),
-    ] {
-        let runs = flood.collect(&algo, |_seed, out| {
-            let first = out
-                .trace
-                .departures()
-                .first()
-                .map(|d| d.departure_slot as f64)
-                .unwrap_or(f64::INFINITY);
-            (out.trace.total_successes() as f64, first)
-        });
-        let succ = Summary::of(&runs.iter().map(|r| r.0).collect::<Vec<_>>()).unwrap();
-        let firsts: Vec<f64> = runs.iter().map(|r| r.1).filter(|f| f.is_finite()).collect();
-        let first = Summary::of(&firsts)
-            .map(|s| fnum(s.mean))
-            .unwrap_or_else(|| "never".to_string());
-        flood_table.row([algo.name(), fnum(succ.mean), first]);
+    let mut flood = campaign::lookup("lowerbound/lemma41-flood").expect("registry campaign");
+    if args.quick {
+        flood = flood.smoke();
     }
-    println!("{}", flood_table.render());
+    flood = flood.seeds(args.seeds);
+    println!("E11b: Lemma 4.1 flood vs an aggressive schedule");
+    let result = CampaignRunner::new(flood).run();
+    let mut table = Table::new(["algorithm", "successes in t", "first success"])
+        .with_title("E11b: the Lemma 4.1 flood");
+    for cell in &result.cells {
+        table.row([
+            cell.algo_name.clone(),
+            fnum(cell.mean_delivered),
+            cell.mean_first_success_slot
+                .map(fnum)
+                .unwrap_or_else(|| "never".to_string()),
+        ]);
+    }
+    println!("{}", table.render());
     println!(
         "(Aggressive constant-probability senders drown in the flood — the contention \
          horn of the lower-bound dilemma; the protocol's thinning backoff survives it.)"

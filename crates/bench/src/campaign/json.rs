@@ -1,0 +1,177 @@
+//! Serialization for [`SweepSpec`]: the same hand-rolled JSON layer the
+//! scenario API uses ([`crate::scenario::json`]), extended to axes and
+//! edits. `SweepSpec::from_json_str(spec.to_json_string())` round-trips
+//! exactly (property-tested in `tests/campaign_api.rs`).
+
+use crate::scenario::json::{algo_from_json, algo_to_json, g_from_json, g_to_json};
+use crate::scenario::{Json, ScenarioSpec, SpecError};
+
+use super::sweep::{Axis, AxisPoint, Edit, SweepSpec};
+
+fn edit_to_json(e: &Edit) -> Json {
+    match e {
+        Edit::N(n) => Json::obj(vec![
+            ("kind", Json::Str("n".into())),
+            ("v", Json::u64(u64::from(*n))),
+        ]),
+        Edit::Jam(p) => Json::obj(vec![
+            ("kind", Json::Str("jam".into())),
+            ("p", Json::Num(*p)),
+        ]),
+        Edit::Horizon(t) => Json::obj(vec![
+            ("kind", Json::Str("horizon".into())),
+            ("t", Json::u64(*t)),
+        ]),
+        Edit::Rate(r) => Json::obj(vec![
+            ("kind", Json::Str("rate".into())),
+            ("r", Json::Num(*r)),
+        ]),
+        Edit::G(g) => Json::obj(vec![("kind", Json::Str("g".into())), ("g", g_to_json(g))]),
+        Edit::Algos(algos) => Json::obj(vec![
+            ("kind", Json::Str("algos".into())),
+            ("algos", Json::Arr(algos.iter().map(algo_to_json).collect())),
+        ]),
+        Edit::Seeds(s) => Json::obj(vec![
+            ("kind", Json::Str("seeds".into())),
+            ("n", Json::u64(*s)),
+        ]),
+    }
+}
+
+fn edit_from_json(j: &Json) -> Result<Edit, SpecError> {
+    match j.kind()? {
+        "n" => Ok(Edit::N(j.get("v")?.as_u32()?)),
+        "jam" => Ok(Edit::Jam(j.get("p")?.as_f64()?)),
+        "horizon" => Ok(Edit::Horizon(j.get("t")?.as_u64()?)),
+        "rate" => Ok(Edit::Rate(j.get("r")?.as_f64()?)),
+        "g" => Ok(Edit::G(g_from_json(j.get("g")?)?)),
+        "algos" => Ok(Edit::Algos(
+            j.get("algos")?
+                .as_arr()?
+                .iter()
+                .map(algo_from_json)
+                .collect::<Result<_, _>>()?,
+        )),
+        "seeds" => Ok(Edit::Seeds(j.get("n")?.as_u64()?)),
+        other => Err(SpecError::new(format!("unknown edit kind `{other}`"))),
+    }
+}
+
+fn axis_to_json(a: &Axis) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(a.name.clone())),
+        (
+            "points",
+            Json::Arr(
+                a.points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("label", Json::Str(p.label.clone())),
+                            (
+                                "edits",
+                                Json::Arr(p.edits.iter().map(edit_to_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn axis_from_json(j: &Json) -> Result<Axis, SpecError> {
+    let mut points = Vec::new();
+    for p in j.get("points")?.as_arr()? {
+        points.push(AxisPoint {
+            label: p.get("label")?.as_str()?.to_string(),
+            edits: p
+                .get("edits")?
+                .as_arr()?
+                .iter()
+                .map(edit_from_json)
+                .collect::<Result<_, _>>()?,
+        });
+    }
+    Ok(Axis {
+        name: j.get("name")?.as_str()?.to_string(),
+        points,
+    })
+}
+
+impl SweepSpec {
+    /// Serialize to a [`Json`] tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("base", self.base.to_json()),
+            (
+                "axes",
+                Json::Arr(self.axes.iter().map(axis_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Deserialize from a [`Json`] tree.
+    pub fn from_json(j: &Json) -> Result<Self, SpecError> {
+        Ok(SweepSpec {
+            name: j.get("name")?.as_str()?.to_string(),
+            title: j.get("title")?.as_str()?.to_string(),
+            base: ScenarioSpec::from_json(j.get("base")?)?,
+            axes: j
+                .get("axes")?
+                .as_arr()?
+                .iter()
+                .map(axis_from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Deserialize from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, SpecError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AlgoSpec, BaselineSpec, GSpec, ScenarioSpec};
+
+    #[test]
+    fn sweep_round_trips_through_json() {
+        let sweep = SweepSpec::new("rt", "Round trip", ScenarioSpec::batch(16, 0.1))
+            .axis(Axis::g_spectrum())
+            .axis(Axis::horizons_pow2(8..=10))
+            .axis(Axis::algos([
+                AlgoSpec::cjz_constant_jamming(),
+                AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+            ]))
+            .axis(Axis::new(
+                "misc",
+                vec![AxisPoint::coupled(
+                    "x",
+                    [Edit::Rate(0.02), Edit::Seeds(7), Edit::G(GSpec::PolyLog(3))],
+                )],
+            ));
+        let json = sweep.to_json_string();
+        let parsed = SweepSpec::from_json_str(&json).expect("parse");
+        assert_eq!(parsed, sweep);
+        assert_eq!(parsed.to_json_string(), json, "canonical encoding");
+    }
+
+    #[test]
+    fn rejects_unknown_edit_kind() {
+        let sweep = SweepSpec::new("x", "X", ScenarioSpec::batch(4, 0.0)).axis(Axis::n([4]));
+        let bad = sweep
+            .to_json_string()
+            .replace("\"kind\":\"n\"", "\"kind\":\"nope\"");
+        assert!(SweepSpec::from_json_str(&bad).is_err());
+    }
+}

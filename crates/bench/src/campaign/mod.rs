@@ -1,0 +1,62 @@
+//! The campaign subsystem: parameter sweeps as data, regenerating the
+//! paper's trade-off *curves* rather than single points.
+//!
+//! PR 1 made one experiment declarative ([`ScenarioSpec`]); a campaign
+//! declares a *family* of them: a [`SweepSpec`] is a base scenario plus
+//! axes over its fields (population, jamming rate, horizon, tolerance
+//! function `g`, roster), expanded cartesian-style into a deterministic
+//! grid. The [`CampaignRunner`] drives every (cell × algorithm × seed)
+//! job through the work-stealing replicator with streaming (O(1)-memory)
+//! aggregation, and the results flow out as ASCII/markdown tables, CSV,
+//! JSONL, or the committed `RESULTS.md`.
+//!
+//! ```
+//! use contention_bench::campaign::{Axis, CampaignRunner, SweepSpec};
+//! use contention_bench::scenario::{AlgoSpec, ScenarioSpec};
+//!
+//! // Drain an 8-node batch at two jamming rates, 2 seeds each.
+//! let sweep = SweepSpec::new(
+//!     "demo",
+//!     "Demo sweep",
+//!     ScenarioSpec::batch(8, 0.0)
+//!         .algos([AlgoSpec::cjz_constant_jamming()])
+//!         .seeds(2)
+//!         .until_drained(100_000),
+//! )
+//! .axis(Axis::jam([0.0, 0.25]));
+//! assert_eq!(sweep.cell_count(), 2);
+//!
+//! // Sweeps serialize like scenarios do.
+//! let json = sweep.to_json_string();
+//! assert_eq!(SweepSpec::from_json_str(&json).unwrap(), sweep);
+//!
+//! let result = CampaignRunner::new(sweep).run();
+//! assert_eq!(result.cells.len(), 2);
+//! assert!(result.cells.iter().all(|c| c.drained_frac == 1.0));
+//! ```
+//!
+//! * [`sweep`] — the data model ([`SweepSpec`], [`Axis`], [`Edit`]) and
+//!   grid expansion;
+//! * [`runner`] — execution: flat job list, work-stealing replication,
+//!   streaming per-cell aggregation;
+//! * [`registry`] — named campaigns (`tradeoff`, `lowerbound/theorem13`,
+//!   `jamming-robustness`, …);
+//! * [`writer`] — CSV and JSONL row writers;
+//! * [`report`] — ASCII/markdown rendering and the `RESULTS.md`
+//!   generator;
+//! * [`json`] — `SweepSpec` serialization.
+//!
+//! [`ScenarioSpec`]: crate::scenario::ScenarioSpec
+
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+pub mod writer;
+
+pub use registry::{entries, lookup, names, report_campaigns, CampaignEntry};
+pub use report::{cells_table, render_results_md, render_section, tradeoff_ratios};
+pub use runner::{CampaignResult, CampaignRunner, CellResult};
+pub use sweep::{Axis, AxisPoint, Cell, Edit, SweepSpec};
+pub use writer::{to_csv, to_jsonl};

@@ -1,0 +1,212 @@
+//! The named campaign registry: the sweeps that regenerate the paper's
+//! trade-off curves, enumerable from one place.
+//!
+//! Every entry is a full-scale [`SweepSpec`]; `--smoke` variants come
+//! from [`SweepSpec::smoke`]. The report campaigns (`tradeoff`,
+//! `lowerbound/theorem13`, `jamming-robustness`,
+//! `constant-jamming-growth`) are the sections of `RESULTS.md`; the rest
+//! back the thin `exp_*` wrapper binaries.
+
+use crate::scenario::spec::{
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, JammingSpec,
+    ParamsSpec, ScenarioSpec,
+};
+
+use super::sweep::{Axis, SweepSpec};
+
+/// One registry entry.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignEntry {
+    /// Registry key.
+    pub name: &'static str,
+    /// What the campaign sweeps.
+    pub summary: &'static str,
+}
+
+/// The campaign names with one-line summaries.
+pub fn entries() -> Vec<CampaignEntry> {
+    vec![
+        CampaignEntry {
+            name: "tradeoff",
+            summary: "Theorem 1.2: the (f,g) trade-off across the admissible g spectrum at the critical budget",
+        },
+        CampaignEntry {
+            name: "lowerbound/theorem13",
+            summary: "Theorem 1.3: channel accesses forced before the first success, across horizons",
+        },
+        CampaignEntry {
+            name: "jamming-robustness",
+            summary: "batch drain and delivery vs jamming rate, protocol vs baselines",
+        },
+        CampaignEntry {
+            name: "constant-jamming-growth",
+            summary: "headline Θ(t/log t): deliveries at dyadic checkpoints under 25% jamming",
+        },
+        CampaignEntry {
+            name: "lowerbound/lemma41-flood",
+            summary: "Lemma 4.1: the flood that zeroes out aggressive senders",
+        },
+        CampaignEntry {
+            name: "batch-scaling",
+            summary: "batch drain time vs n across jamming rates (worst-case tuning)",
+        },
+        CampaignEntry {
+            name: "batch-scaling-clean",
+            summary: "batch drain time vs n, clean channel, constant-throughput tuning",
+        },
+    ]
+}
+
+/// The campaign names.
+pub fn names() -> Vec<&'static str> {
+    entries().into_iter().map(|e| e.name).collect()
+}
+
+/// Resolve a campaign name to its sweep.
+pub fn lookup(name: &str) -> Option<SweepSpec> {
+    let sweep = match name {
+        "tradeoff" => SweepSpec::new(
+            "tradeoff",
+            "Theorem 1.2 — the (f,g) trade-off at the critical budget",
+            ScenarioSpec::new("tradeoff")
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .arrivals(ArrivalSpec::saturated())
+                .jamming(JammingSpec::random(0.4))
+                .budget(BudgetSpec::critical(ParamsSpec::constant_jamming(), 4.0))
+                .fixed_horizon(1 << 14)
+                .seeds(3),
+        )
+        .axis(Axis::g_spectrum()),
+        "lowerbound/theorem13" => SweepSpec::new(
+            "lowerbound/theorem13",
+            "Theorem 1.3 — channel accesses forced before the first success",
+            ScenarioSpec::new("lowerbound/theorem13")
+                .algo(AlgoSpec::cjz_constant_jamming())
+                .adversary(AdversarySpec::Theorem13 {
+                    horizon: 256,
+                    g_of_t: 2.0,
+                })
+                .until_drained(1024)
+                .seeds(5),
+        )
+        .axis(Axis::horizons_pow2(8..=14)),
+        "jamming-robustness" => SweepSpec::new(
+            "jamming-robustness",
+            "Batch robustness — drain and delivery vs jamming rate",
+            ScenarioSpec::batch(128, 0.0)
+                .algos([
+                    AlgoSpec::cjz_constant_jamming(),
+                    AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+                    AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+                ])
+                .until_drained(300_000)
+                .seeds(5),
+        )
+        .axis(Axis::jam([0.0, 0.1, 0.25, 0.4])),
+        "constant-jamming-growth" => SweepSpec::new(
+            "constant-jamming-growth",
+            "Headline Θ(t/log t) — deliveries under 25% jamming at the critical load",
+            ScenarioSpec::new("constant-jamming-growth")
+                .algos([
+                    AlgoSpec::cjz_constant_jamming(),
+                    AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+                    AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+                    AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+                ])
+                .arrivals(ArrivalSpec::saturated())
+                .jamming(JammingSpec::random(0.25))
+                .budget(BudgetSpec {
+                    params: ParamsSpec::constant_jamming(),
+                    arrivals: CurveSpec::CriticalArrivals { scale: 2.0 },
+                    jams: CurveSpec::Unlimited,
+                })
+                .fixed_horizon(1 << 17)
+                .seeds(3),
+        ),
+        "lowerbound/lemma41-flood" => SweepSpec::new(
+            "lowerbound/lemma41-flood",
+            "Lemma 4.1 — the flood that punishes aggressive senders",
+            ScenarioSpec::new("lowerbound/lemma41-flood")
+                .adversary(AdversarySpec::Lemma41 {
+                    horizon: 1 << 14,
+                    batch_per_slot: 8,
+                    random_total: (1 << 14) / 64,
+                })
+                .fixed_horizon(1 << 14)
+                .seeds(5),
+        )
+        .axis(Axis::algos([
+            AlgoSpec::Baseline(BaselineSpec::Aloha(0.3)),
+            AlgoSpec::Baseline(BaselineSpec::Aloha(0.05)),
+            AlgoSpec::cjz_constant_jamming(),
+        ])),
+        "batch-scaling" => SweepSpec::new(
+            "batch-scaling",
+            "Batch drain scaling — slots to drain n nodes vs n, per jamming rate",
+            ScenarioSpec::batch(64, 0.0)
+                .until_drained(200_000_000)
+                .seeds(5),
+        )
+        .axis(Axis::jam([0.0, 0.1, 0.25]))
+        .axis(Axis::n((6..=12).map(|p| 1u32 << p))),
+        "batch-scaling-clean" => SweepSpec::new(
+            "batch-scaling-clean",
+            "Batch drain scaling — clean channel, constant-throughput tuning",
+            ScenarioSpec::batch(64, 0.0)
+                .algos([AlgoSpec::cjz_constant_throughput()])
+                .until_drained(200_000_000)
+                .seeds(5),
+        )
+        .axis(Axis::n((6..=12).map(|p| 1u32 << p))),
+        _ => return None,
+    };
+    Some(sweep)
+}
+
+/// The campaigns whose sections make up `RESULTS.md`, in render order.
+pub fn report_campaigns() -> Vec<&'static str> {
+    vec![
+        "tradeoff",
+        "lowerbound/theorem13",
+        "jamming-robustness",
+        "constant-jamming-growth",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_with_nonempty_grid() {
+        for entry in entries() {
+            let sweep = lookup(entry.name)
+                .unwrap_or_else(|| panic!("campaign {} must resolve", entry.name));
+            assert_eq!(sweep.name, entry.name);
+            assert!(sweep.cell_count() >= 1);
+            assert!(
+                sweep.cells().iter().all(|c| !c.spec.algos.is_empty()),
+                "{} has an empty roster cell",
+                entry.name
+            );
+        }
+        assert!(lookup("no-such-campaign").is_none());
+    }
+
+    #[test]
+    fn report_campaigns_are_registered() {
+        for name in report_campaigns() {
+            assert!(lookup(name).is_some(), "report campaign {name} missing");
+        }
+    }
+
+    #[test]
+    fn every_campaign_round_trips_through_json() {
+        for entry in entries() {
+            let sweep = lookup(entry.name).unwrap();
+            let parsed = SweepSpec::from_json_str(&sweep.to_json_string())
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert_eq!(parsed, sweep, "{} changed across round-trip", entry.name);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Rendering campaign results: ASCII tables for terminals and the
+//! `RESULTS.md` generator.
+//!
+//! `RESULTS.md` is a *build artifact with a contract*: regenerating it
+//! from the same source tree is byte-identical (fixed seeds, work-stealing
+//! replication that reports in seed order, no timestamps, no hash-ordered
+//! iteration), so a diff in review means the simulation itself changed.
+
+use std::fmt::Write as _;
+
+use contention_analysis::{fnum, sparkline, Table};
+
+use super::registry;
+use super::runner::{CampaignResult, CampaignRunner, CellResult, CheckpointStat};
+
+/// Generic ASCII table over a campaign's rows (axes, algorithm, headline
+/// metrics) — what `campaign run` prints.
+pub fn cells_table(result: &CampaignResult) -> Table {
+    let mut headers: Vec<String> = result.axes.clone();
+    headers.extend(
+        [
+            "algo",
+            "seeds",
+            "slots",
+            "delivered",
+            "rate",
+            "latency",
+            "drained",
+        ]
+        .map(String::from),
+    );
+    let mut table = Table::new(headers).with_title(result.title.clone());
+    for cell in &result.cells {
+        let mut row: Vec<String> = result
+            .axes
+            .iter()
+            .map(|a| cell.coord(a).unwrap_or_default().to_string())
+            .collect();
+        row.push(cell.algo_name.clone());
+        row.push(cell.seeds.to_string());
+        row.push(fnum(cell.mean_slots));
+        row.push(fnum(cell.mean_delivered));
+        row.push(fnum(cell.delivery_rate()));
+        row.push(cell.mean_latency.map(fnum).unwrap_or_else(|| "-".into()));
+        row.push(fnum(cell.drained_frac));
+        table.row(row);
+    }
+    table
+}
+
+/// Group the cells by algorithm (preserving roster order) and return
+/// `(algo name, cells)` series — the sparkline grouping.
+fn by_algo(result: &CampaignResult) -> Vec<(String, Vec<&CellResult>)> {
+    let mut out: Vec<(String, Vec<&CellResult>)> = Vec::new();
+    for cell in &result.cells {
+        match out.iter_mut().find(|(name, _)| *name == cell.algo_name) {
+            Some((_, cells)) => cells.push(cell),
+            None => out.push((cell.algo_name.clone(), vec![cell])),
+        }
+    }
+    out
+}
+
+fn spark_lines(
+    out: &mut String,
+    result: &CampaignResult,
+    metric_name: &str,
+    metric: impl Fn(&CellResult) -> f64,
+) {
+    let axis_labels: Vec<&str> = {
+        // Cells in grid order: the per-algo cell sequence follows the axes.
+        let first_algo = by_algo(result);
+        first_algo
+            .first()
+            .map(|(_, cells)| {
+                cells
+                    .iter()
+                    .map(|c| c.coords.last().map(|(_, v)| v.as_str()).unwrap_or(""))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let _ = writeln!(
+        out,
+        "\n`{}` across {} ({}):\n",
+        metric_name,
+        result.axes.join(" × "),
+        axis_labels.join(", ")
+    );
+    for (name, cells) in by_algo(result) {
+        let values: Vec<f64> = cells.iter().map(|c| metric(c)).collect();
+        let _ = writeln!(out, "    {} `{}`", sparkline(&values), name);
+    }
+}
+
+/// Render one campaign as a markdown section (table + sparkline curve).
+pub fn render_section(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {}\n", result.title);
+    let _ = writeln!(
+        out,
+        "Campaign `{}`: {} cell(s) × roster, {} seeded runs.\n",
+        result.name,
+        result.cells.len(),
+        result.total_runs()
+    );
+    match result.name.as_str() {
+        "tradeoff" => render_tradeoff(&mut out, result),
+        "lowerbound/theorem13" => render_theorem13(&mut out, result),
+        "jamming-robustness" => render_jamming(&mut out, result),
+        "constant-jamming-growth" => render_growth(&mut out, result),
+        _ => {
+            out.push_str(&cells_table(result).to_markdown());
+            if result.cells.len() > 1 {
+                spark_lines(&mut out, result, "delivery rate", CellResult::delivery_rate);
+            }
+        }
+    }
+    out
+}
+
+/// Per-protocol-cell bounded-throughput ratios
+/// `a_t / (n_t·f(t) + d_t·g(t))` for a tradeoff-shaped campaign —
+/// Theorem 1.2 holds iff these stay O(1) across the `g` axis. Baseline
+/// cells (no `(f,g)` parameters) are skipped.
+pub fn tradeoff_ratios(result: &CampaignResult) -> Vec<f64> {
+    result.cells.iter().filter_map(cell_ratio).collect()
+}
+
+/// One cell's bounded-throughput ratio (`None` for baseline cells) — the
+/// single definition behind both [`tradeoff_ratios`] (exp_tradeoff's
+/// verdict) and the RESULTS.md `ratio` column.
+fn cell_ratio(cell: &CellResult) -> Option<f64> {
+    let params = cell.algo.params()?;
+    let t = cell.spec.horizon.cap();
+    let budget = cell.mean_arrivals * params.f().at(t) + cell.mean_jammed * params.g().at(t);
+    Some(if budget > 0.0 {
+        cell.mean_active / budget
+    } else {
+        0.0
+    })
+}
+
+/// The Theorem 1.2 table: per admissible `g`, the Definition-1.1
+/// quantities and the bounded ratio `a_t / (n_t·f(t) + d_t·g(t))`.
+fn render_tradeoff(out: &mut String, result: &CampaignResult) {
+    let mut table = Table::new([
+        "g(x)",
+        "jam",
+        "f(t)",
+        "n_t",
+        "d_t",
+        "a_t",
+        "delivered",
+        "ratio",
+    ]);
+    let mut ratios = Vec::new();
+    for cell in &result.cells {
+        let t = cell.spec.horizon.cap();
+        let Some(params) = cell.algo.params() else {
+            continue;
+        };
+        let f_t = params.f().at(t);
+        let jam = match &cell.spec.adversary {
+            crate::scenario::spec::AdversarySpec::Composite {
+                jamming: crate::scenario::spec::JammingSpec::Random { p },
+                ..
+            } => *p,
+            _ => 0.0,
+        };
+        let ratio = cell_ratio(cell).expect("params checked above");
+        ratios.push(ratio);
+        table.row([
+            params.g().label(),
+            fnum(jam),
+            fnum(f_t),
+            fnum(cell.mean_arrivals),
+            fnum(cell.mean_jammed),
+            fnum(cell.mean_active),
+            fnum(cell.mean_delivered),
+            fnum(ratio),
+        ]);
+    }
+    out.push_str(&table.to_markdown());
+    let _ = writeln!(
+        out,
+        "\nTrade-off curve — `ratio` across the g spectrum (bounded ⇔ Theorem 1.2):\n"
+    );
+    let _ = writeln!(out, "    {}", sparkline(&ratios));
+    let _ = writeln!(
+        out,
+        "\nTheorem 1.2 predicts the active-slot count `a_t` stays within a\nconstant of the budget `n_t·f(t) + d_t·g(t)` for every admissible `g`\n— the `ratio` column is that constant, and it must not blow up as the\ntolerance `g` grows."
+    );
+}
+
+/// The Theorem 1.3 table: accesses to first success vs `log² t`.
+fn render_theorem13(out: &mut String, result: &CampaignResult) {
+    let mut table = Table::new(["t", "accesses to 1st success", "log2^2(t)", "ratio"]);
+    let mut accesses = Vec::new();
+    for cell in &result.cells {
+        let t = match &cell.spec.adversary {
+            crate::scenario::spec::AdversarySpec::Theorem13 { horizon, .. } => *horizon,
+            _ => cell.spec.horizon.cap(),
+        };
+        let lg = (t as f64).log2();
+        let lg2 = lg * lg;
+        let acc = cell.mean_first_access.unwrap_or(0.0);
+        accesses.push(acc);
+        table.row([
+            cell.coord("t").unwrap_or_default().to_string(),
+            fnum(acc),
+            fnum(lg2),
+            fnum(acc / lg2),
+        ]);
+    }
+    out.push_str(&table.to_markdown());
+    let _ = writeln!(
+        out,
+        "\nLower-bound curve — forced accesses across the horizon axis:\n"
+    );
+    let _ = writeln!(out, "    {}", sparkline(&accesses));
+    let _ = writeln!(
+        out,
+        "\nTheorem 1.3 forces `Ω(log²t / log²g(t))` channel accesses before the\nfirst success; the algorithm spends `Θ(log²t)` (g constant) — growing\nwith the horizon but polylogarithmically, matching the bound and making\nthe trade-off tight."
+    );
+}
+
+/// The jamming-robustness table: drain behaviour per (jam × algorithm).
+fn render_jamming(out: &mut String, result: &CampaignResult) {
+    let mut table = Table::new(["jam", "algo", "drained", "slots", "delivered", "latency"]);
+    for cell in &result.cells {
+        table.row([
+            cell.coord("jam").unwrap_or_default().to_string(),
+            cell.algo_name.clone(),
+            fnum(cell.drained_frac),
+            fnum(cell.mean_slots),
+            fnum(cell.mean_delivered),
+            cell.mean_latency.map(fnum).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    out.push_str(&table.to_markdown());
+    spark_lines(out, result, "slots to drain", |c| c.mean_slots);
+    let _ = writeln!(
+        out,
+        "\nThe paper's batch claim: the protocol drains `n` nodes in near-linear\nslots even with a constant fraction of slots jammed — its curve stays\nflat-ish while backoff baselines blow up (or stop draining at all,\n`drained < 1`)."
+    );
+}
+
+/// The headline growth table: cjz deliveries at dyadic checkpoints.
+fn render_growth(out: &mut String, result: &CampaignResult) {
+    // Keep-up comparison across the roster at the final horizon.
+    let mut cmp = Table::new(["algorithm", "arrivals", "delivered", "backlog", "kept up?"]);
+    for cell in &result.cells {
+        let backlog = cell.mean_arrivals - cell.mean_delivered;
+        let kept = backlog <= 0.05 * cell.mean_arrivals.max(1.0);
+        cmp.row([
+            cell.algo_name.clone(),
+            fnum(cell.mean_arrivals),
+            fnum(cell.mean_delivered),
+            fnum(backlog),
+            if kept { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    out.push_str(&cmp.to_markdown());
+    // The paper algorithm's delivery curve at dyadic checkpoints.
+    if let Some(cjz) = result.cells.first() {
+        let mut growth = Table::new(["t", "delivered", "t/log2(t)", "deliv·log(t)/t"]);
+        let mut curve = Vec::new();
+        for c in cell_tail(&cjz.checkpoints, 8) {
+            let tf = c.t as f64;
+            growth.row([
+                c.t.to_string(),
+                fnum(c.mean_successes),
+                fnum(tf / tf.log2()),
+                fnum(c.mean_successes * tf.log2() / tf),
+            ]);
+            curve.push(c.mean_successes);
+        }
+        let _ = writeln!(out, "\n`{}` deliveries at dyadic t:\n", cjz.algo_name);
+        out.push_str(&growth.to_markdown());
+        let _ = writeln!(out, "\nDelivery growth curve (dyadic t):\n");
+        let _ = writeln!(out, "    {}", sparkline(&curve));
+    }
+    let _ = writeln!(
+        out,
+        "\nWith constant-fraction jamming the best possible delivery count is\n`Θ(t/log t)` (Theorems 1.2 + 1.3). The paper algorithm keeps up with\nthe critical offered load with bounded backlog, and its\n`deliv·log(t)/t` column settles to a constant — the `Θ(t/log t)`\nsignature. (At this offered density the channel is easy enough that\nbaselines also keep up; the lower bound says *nothing* can deliver\nasymptotically more than this curve.)"
+    );
+}
+
+/// The last `k` checkpoints (the asymptotic tail; early dyadic points are
+/// pre-asymptotic noise).
+fn cell_tail(checkpoints: &[CheckpointStat], k: usize) -> &[CheckpointStat] {
+    &checkpoints[checkpoints.len().saturating_sub(k)..]
+}
+
+/// Run every report campaign and render the full `RESULTS.md` document.
+/// `smoke` shrinks each campaign via [`super::sweep::SweepSpec::smoke`].
+pub fn render_results_md(smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("# RESULTS — regenerated trade-off curves\n\n");
+    let _ = writeln!(
+        out,
+        "Generated by `cargo run --release -p contention-bench --bin campaign -- report{}`.",
+        if smoke { " --smoke" } else { "" }
+    );
+    out.push_str(
+        "Deterministic: fixed seeds, seed-ordered replication, no timestamps —\nrerunning on the same tree reproduces this file byte-for-byte. Numbers\nare implementation-calibrated (the paper proves constants exist, not\ntheir values); see EXPERIMENTS.md for the claim-by-claim catalogue.\n",
+    );
+    if smoke {
+        out.push_str(
+            "\n**Smoke mode**: shrunk grids and horizons — structure check, not\nmeasurement.\n",
+        );
+    }
+    for name in registry::report_campaigns() {
+        let sweep = registry::lookup(name).expect("report campaigns are registered");
+        let sweep = if smoke { sweep.smoke() } else { sweep };
+        let result = CampaignRunner::new(sweep).run();
+        out.push('\n');
+        out.push_str(&render_section(&result));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::sweep::{Axis, SweepSpec};
+    use crate::scenario::{AlgoSpec, ScenarioSpec};
+
+    fn tiny_result() -> CampaignResult {
+        let sweep = SweepSpec::new(
+            "tiny",
+            "Tiny",
+            ScenarioSpec::batch(4, 0.0)
+                .algos([AlgoSpec::cjz_constant_jamming()])
+                .until_drained(100_000),
+        )
+        .axis(Axis::jam([0.0, 0.2]));
+        CampaignRunner::new(sweep).run()
+    }
+
+    #[test]
+    fn cells_table_has_axis_columns_and_rows() {
+        let result = tiny_result();
+        let table = cells_table(&result);
+        assert_eq!(table.len(), 2);
+        let rendered = table.render();
+        assert!(rendered.contains("jam"), "axis column present:\n{rendered}");
+        assert!(rendered.contains("cjz["));
+    }
+
+    #[test]
+    fn generic_section_renders_markdown_and_sparkline() {
+        let section = render_section(&tiny_result());
+        assert!(section.starts_with("## Tiny"));
+        assert!(section.contains("| jam |"), "markdown table:\n{section}");
+        assert!(
+            section.contains('▁') || section.contains('█') || section.contains('▄'),
+            "sparkline present:\n{section}"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Tabular campaign output: flat CSV and one-object-per-cell JSONL.
+//!
+//! Both writers render a [`CampaignResult`] row-per-(cell × algorithm),
+//! with one column per sweep axis. CSV fields go through the analysis
+//! crate's [`csv_escape`] (algorithm names and axis labels may contain
+//! commas); JSONL reuses the scenario API's hand-rolled [`Json`] layer, so
+//! the whole pipeline stays inside the offline dependency set.
+
+use contention_analysis::csv_escape;
+
+use crate::scenario::Json;
+
+#[cfg(test)]
+use super::runner::CheckpointStat;
+use super::runner::{CampaignResult, CellResult};
+
+fn opt_num(v: Option<f64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_default()
+}
+
+/// Render a campaign as CSV: a header naming the axes, then one row per
+/// (cell × algorithm) in grid order.
+pub fn to_csv(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = vec!["campaign".into(), "scenario".into()];
+    header.extend(result.axes.iter().cloned());
+    header.extend(
+        [
+            "algo",
+            "seeds",
+            "slots",
+            "drained_frac",
+            "arrivals",
+            "jammed",
+            "active",
+            "delivered",
+            "delivery_rate",
+            "broadcasts",
+            "latency",
+            "first_access",
+            "first_success_slot",
+        ]
+        .map(String::from),
+    );
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| csv_escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for cell in &result.cells {
+        let mut row: Vec<String> = vec![result.name.clone(), cell.spec.name.clone()];
+        for axis in &result.axes {
+            row.push(cell.coord(axis).unwrap_or_default().to_string());
+        }
+        row.push(cell.algo_name.clone());
+        row.push(cell.seeds.to_string());
+        row.push(cell.mean_slots.to_string());
+        row.push(cell.drained_frac.to_string());
+        row.push(cell.mean_arrivals.to_string());
+        row.push(cell.mean_jammed.to_string());
+        row.push(cell.mean_active.to_string());
+        row.push(cell.mean_delivered.to_string());
+        row.push(cell.delivery_rate().to_string());
+        row.push(cell.mean_broadcasts.to_string());
+        row.push(opt_num(cell.mean_latency));
+        row.push(opt_num(cell.mean_first_access));
+        row.push(opt_num(cell.mean_first_success_slot));
+        out.push_str(
+            &row.iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+fn cell_to_json(result: &CampaignResult, cell: &CellResult) -> Json {
+    let coords = cell
+        .coords
+        .iter()
+        .map(|(a, v)| (a.clone(), Json::Str(v.clone())))
+        .collect();
+    Json::Obj(vec![
+        ("campaign".into(), Json::Str(result.name.clone())),
+        ("scenario".into(), Json::Str(cell.spec.name.clone())),
+        ("coords".into(), Json::Obj(coords)),
+        ("algo".into(), Json::Str(cell.algo_name.clone())),
+        ("seeds".into(), Json::u64(cell.seeds)),
+        ("slots".into(), Json::Num(cell.mean_slots)),
+        ("drained_frac".into(), Json::Num(cell.drained_frac)),
+        ("arrivals".into(), Json::Num(cell.mean_arrivals)),
+        ("jammed".into(), Json::Num(cell.mean_jammed)),
+        ("active".into(), Json::Num(cell.mean_active)),
+        ("delivered".into(), Json::Num(cell.mean_delivered)),
+        ("delivery_rate".into(), Json::Num(cell.delivery_rate())),
+        ("broadcasts".into(), Json::Num(cell.mean_broadcasts)),
+        ("latency".into(), Json::opt_f64(cell.mean_latency)),
+        ("first_access".into(), Json::opt_f64(cell.mean_first_access)),
+        (
+            "first_success_slot".into(),
+            Json::opt_f64(cell.mean_first_success_slot),
+        ),
+        (
+            "checkpoints".into(),
+            Json::Arr(
+                cell.checkpoints
+                    .iter()
+                    .map(|c| {
+                        Json::Arr(vec![
+                            Json::u64(c.t),
+                            Json::u64(c.seeds),
+                            Json::Num(c.mean_successes),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Render a campaign as JSON Lines: one object per (cell × algorithm)
+/// row, in grid order — streamable into jq/pandas-style tooling.
+pub fn to_jsonl(result: &CampaignResult) -> String {
+    let mut out = String::new();
+    for cell in &result.cells {
+        out.push_str(&cell_to_json(result, cell).render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AlgoSpec, ScenarioSpec};
+
+    fn fake_result() -> CampaignResult {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let cell = CellResult {
+            coords: vec![("n".into(), "a,b".into())],
+            spec: ScenarioSpec::batch(4, 0.0),
+            algo: algo.clone(),
+            algo_name: "cjz[g=const(2),tuned]".into(),
+            seeds: 2,
+            mean_slots: 10.0,
+            drained_frac: 1.0,
+            mean_arrivals: 4.0,
+            mean_jammed: 0.0,
+            mean_active: 9.0,
+            mean_delivered: 4.0,
+            mean_broadcasts: 12.0,
+            mean_latency: Some(3.5),
+            mean_first_access: Some(2.0),
+            mean_first_success_slot: None,
+            checkpoints: vec![
+                CheckpointStat {
+                    t: 1,
+                    seeds: 2,
+                    mean_successes: 0.0,
+                },
+                CheckpointStat {
+                    t: 2,
+                    seeds: 2,
+                    mean_successes: 1.0,
+                },
+            ],
+        };
+        CampaignResult {
+            name: "fake".into(),
+            title: "Fake".into(),
+            axes: vec!["n".into()],
+            cells: vec![cell],
+        }
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_labels_and_algo_names() {
+        let csv = to_csv(&fake_result());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("campaign,scenario,n,algo,seeds"));
+        assert!(
+            lines[1].contains("\"a,b\""),
+            "axis label quoted: {}",
+            lines[1]
+        );
+        assert!(
+            lines[1].contains("\"cjz[g=const(2),tuned]\""),
+            "algo name quoted: {}",
+            lines[1]
+        );
+        // A quoted field must not split the row: column count matches.
+        assert_eq!(lines[0].split(',').count(), 16);
+    }
+
+    #[test]
+    fn jsonl_rows_parse_back_as_json() {
+        let jsonl = to_jsonl(&fake_result());
+        for line in jsonl.lines() {
+            let v = Json::parse(line).expect("valid JSON per line");
+            assert_eq!(v.get("campaign").unwrap(), &Json::Str("fake".into()));
+            assert_eq!(v.get("latency").unwrap(), &Json::Num(3.5));
+            assert_eq!(v.get("first_success_slot").unwrap(), &Json::Null);
+        }
+    }
+}

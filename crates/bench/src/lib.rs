@@ -11,6 +11,12 @@
 //! [`scenario::ScenarioRunner`]. Named workloads live in
 //! [`scenario::registry`].
 //!
+//! Parameter *sweeps* are data too: a [`campaign::SweepSpec`] declares
+//! axes over scenario fields, the [`campaign::CampaignRunner`] expands
+//! and runs the grid with streaming aggregation, and the `campaign`
+//! binary regenerates `RESULTS.md` (the paper's trade-off curves) from
+//! the named campaigns in [`campaign::registry`].
+//!
 //! Binaries (`cargo run --release -p contention-bench --bin <name>`):
 //!
 //! | Binary | Claim |
@@ -28,17 +34,22 @@
 //! | `exp_impossibility` | Theorem 1.3 mechanism: forced accesses + flood |
 //! | `exp_saturation` | extension: saturated capacity + fairness table |
 //! | `run_all` | run everything above in sequence |
+//! | `scenarios` | list/run/print the named scenario registry |
+//! | `campaign` | list/run named sweeps, regenerate RESULTS.md |
+//! | `perf` | pinned throughput suite, writes `BENCH_<date>.json` |
 //!
-//! All binaries accept `--quick`, `--seeds N`, `--t N`, `--csv`.
+//! All `exp_*` binaries accept `--quick`, `--seeds N`, `--t N`, `--csv`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod args;
+pub mod campaign;
 pub mod scenario;
 
 pub use args::ExpArgs;
+pub use campaign::{CampaignRunner, SweepSpec};
 pub use scenario::{
     replicate, run_batch, run_batch_light, AlgoSpec, ScenarioRunner, ScenarioSpec, TrialOutcome,
 };

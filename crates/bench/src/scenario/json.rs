@@ -19,7 +19,7 @@ use super::spec::{
 pub struct SpecError(String);
 
 impl SpecError {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         SpecError(msg.into())
     }
 }
@@ -50,24 +50,24 @@ pub enum Json {
 }
 
 impl Json {
-    fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    pub(crate) fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
-    fn u64(v: u64) -> Json {
+    pub(crate) fn u64(v: u64) -> Json {
         debug_assert!(v <= (1 << 53), "integer too large for JSON round-trip");
         Json::Num(v as f64)
     }
 
-    fn opt_u64(v: Option<u64>) -> Json {
+    pub(crate) fn opt_u64(v: Option<u64>) -> Json {
         v.map_or(Json::Null, Json::u64)
     }
 
-    fn opt_f64(v: Option<f64>) -> Json {
+    pub(crate) fn opt_f64(v: Option<f64>) -> Json {
         v.map_or(Json::Null, Json::Num)
     }
 
-    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, SpecError> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Result<&'a Json, SpecError> {
         match self {
             Json::Obj(pairs) => pairs
                 .iter()
@@ -78,14 +78,14 @@ impl Json {
         }
     }
 
-    fn as_f64(&self) -> Result<f64, SpecError> {
+    pub(crate) fn as_f64(&self) -> Result<f64, SpecError> {
         match self {
             Json::Num(x) => Ok(*x),
             _ => Err(SpecError::new("expected number")),
         }
     }
 
-    fn as_u64(&self) -> Result<u64, SpecError> {
+    pub(crate) fn as_u64(&self) -> Result<u64, SpecError> {
         let x = self.as_f64()?;
         if x.fract() == 0.0 && (0.0..=(1u64 << 53) as f64).contains(&x) {
             Ok(x as u64)
@@ -96,40 +96,40 @@ impl Json {
         }
     }
 
-    fn as_u32(&self) -> Result<u32, SpecError> {
+    pub(crate) fn as_u32(&self) -> Result<u32, SpecError> {
         let x = self.as_u64()?;
         u32::try_from(x).map_err(|_| SpecError::new(format!("integer {x} exceeds u32")))
     }
 
-    fn as_opt_u64(&self) -> Result<Option<u64>, SpecError> {
+    pub(crate) fn as_opt_u64(&self) -> Result<Option<u64>, SpecError> {
         match self {
             Json::Null => Ok(None),
             other => other.as_u64().map(Some),
         }
     }
 
-    fn as_opt_f64(&self) -> Result<Option<f64>, SpecError> {
+    pub(crate) fn as_opt_f64(&self) -> Result<Option<f64>, SpecError> {
         match self {
             Json::Null => Ok(None),
             other => other.as_f64().map(Some),
         }
     }
 
-    fn as_str(&self) -> Result<&str, SpecError> {
+    pub(crate) fn as_str(&self) -> Result<&str, SpecError> {
         match self {
             Json::Str(s) => Ok(s),
             _ => Err(SpecError::new("expected string")),
         }
     }
 
-    fn as_arr(&self) -> Result<&[Json], SpecError> {
+    pub(crate) fn as_arr(&self) -> Result<&[Json], SpecError> {
         match self {
             Json::Arr(items) => Ok(items),
             _ => Err(SpecError::new("expected array")),
         }
     }
 
-    fn kind(&self) -> Result<&str, SpecError> {
+    pub(crate) fn kind(&self) -> Result<&str, SpecError> {
         self.get("kind")?.as_str()
     }
 
@@ -389,7 +389,7 @@ impl Parser<'_> {
 // Spec type <-> Json conversions.
 // ---------------------------------------------------------------------------
 
-fn g_to_json(g: &GSpec) -> Json {
+pub(crate) fn g_to_json(g: &GSpec) -> Json {
     match g {
         GSpec::Constant(c) => Json::obj(vec![
             ("kind", Json::Str("constant".into())),
@@ -407,7 +407,7 @@ fn g_to_json(g: &GSpec) -> Json {
     }
 }
 
-fn g_from_json(j: &Json) -> Result<GSpec, SpecError> {
+pub(crate) fn g_from_json(j: &Json) -> Result<GSpec, SpecError> {
     match j.kind()? {
         "constant" => Ok(GSpec::Constant(j.get("c")?.as_f64()?)),
         "log" => Ok(GSpec::Log),
@@ -469,7 +469,7 @@ fn baseline_from_json(j: &Json) -> Result<BaselineSpec, SpecError> {
     }
 }
 
-fn algo_to_json(a: &AlgoSpec) -> Json {
+pub(crate) fn algo_to_json(a: &AlgoSpec) -> Json {
     match a {
         AlgoSpec::Cjz(p) => Json::obj(vec![
             ("kind", Json::Str("cjz".into())),
@@ -490,7 +490,7 @@ fn algo_to_json(a: &AlgoSpec) -> Json {
     }
 }
 
-fn algo_from_json(j: &Json) -> Result<AlgoSpec, SpecError> {
+pub(crate) fn algo_from_json(j: &Json) -> Result<AlgoSpec, SpecError> {
     match j.kind()? {
         "cjz" => Ok(AlgoSpec::Cjz(params_from_json(j.get("params")?)?)),
         "cjz-noswap" => Ok(AlgoSpec::CjzNoSwap(params_from_json(j.get("params")?)?)),

@@ -16,6 +16,20 @@
 use contention_backoff::{FFunction, GFunction};
 
 /// Parameters of the Chen–Jiang–Zheng protocol.
+///
+/// # Examples
+///
+/// ```
+/// use contention_core::ProtocolParams;
+///
+/// // Worst-case tuning: g constant, so f(t) = Θ(log t).
+/// let params = ProtocolParams::constant_jamming();
+/// assert_eq!(params.g().at(1 << 20), 2.0);
+/// assert_eq!(params.f().at(1 << 20), 20.0);
+/// // Constants are overridable for calibration scans (E9).
+/// let dense = ProtocolParams::constant_jamming().with_c2(4.0);
+/// assert_eq!(dense.c2(), 4.0);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolParams {
     g: GFunction,

@@ -258,6 +258,20 @@ impl std::fmt::Debug for CjzProtocol {
 }
 
 /// Factory spawning [`CjzProtocol`] nodes with shared parameters.
+///
+/// # Examples
+///
+/// ```
+/// use contention_core::{CjzFactory, ProtocolParams};
+/// use contention_sim::prelude::*;
+///
+/// // Drain a clean 16-node batch with the worst-case tuning.
+/// let factory = CjzFactory::new(ProtocolParams::constant_jamming());
+/// let adversary = CompositeAdversary::new(BatchArrival::at_start(16), NoJamming);
+/// let mut sim = Simulator::new(SimConfig::with_seed(42), factory, adversary);
+/// assert_eq!(sim.run_until_drained(200_000), StopReason::Drained);
+/// assert_eq!(sim.trace().total_successes(), 16);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CjzFactory {
     params: ProtocolParams,

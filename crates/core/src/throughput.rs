@@ -36,6 +36,25 @@ pub struct ThroughputReport {
 }
 
 /// Checks a trace against an (f,g) budget.
+///
+/// # Examples
+///
+/// ```
+/// use contention_core::{CjzFactory, ProtocolParams, ThroughputVerifier};
+/// use contention_sim::prelude::*;
+///
+/// let params = ProtocolParams::constant_jamming();
+/// let factory = CjzFactory::new(params.clone());
+/// let adversary = CompositeAdversary::new(BatchArrival::at_start(8), NoJamming);
+/// let mut sim = Simulator::new(SimConfig::with_seed(7), factory, adversary);
+/// sim.run_until_drained(100_000);
+///
+/// // Every prefix's active-slot count must stay within the budget
+/// // n_t·f(t) + d_t·g(t), up to the calibrated constant.
+/// let report = ThroughputVerifier::for_params(&params)
+///     .check(&sim.into_trace(), 16.0);
+/// assert!(report.ok, "worst ratio {}", report.max_ratio);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ThroughputVerifier {
     f: FFunction,

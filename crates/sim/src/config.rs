@@ -5,6 +5,21 @@
 /// Kept deliberately small: everything behavioural lives in the protocol
 /// factory and the adversary; the config pins down determinism and safety
 /// rails.
+///
+/// # Examples
+///
+/// ```
+/// use contention_sim::SimConfig;
+///
+/// // Memory-bounded endurance run: no per-slot records, adversary
+/// // history capped at 4096 slots.
+/// let config = SimConfig::with_seed(7)
+///     .without_slot_records()
+///     .with_history_retention(4096);
+/// assert_eq!(config.seed, 7);
+/// assert!(!config.record_slots);
+/// assert_eq!(config.history_retention, Some(4096));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Master seed; the entire run is a deterministic function of it.

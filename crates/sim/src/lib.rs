@@ -79,7 +79,9 @@ pub mod prelude {
     pub use crate::engine::{Simulator, StopReason};
     pub use crate::history::PublicHistory;
     pub use crate::metrics::{CumulativeTrace, DepartureRecord, SlotRecord, Trace};
-    pub use crate::node::{NamedFactory, NodeId, Protocol, ProtocolFactory};
+    pub use crate::node::{
+        AlwaysBroadcast, NamedFactory, NeverBroadcast, NodeId, Protocol, ProtocolFactory,
+    };
     pub use crate::observer::StreamingStats;
     pub use crate::rng::SeedSequence;
     pub use crate::slot::{Action, Feedback, Parity, SlotOutcome};

@@ -69,6 +69,27 @@ pub struct SurvivorRecord {
 }
 
 /// Full execution trace of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use contention_sim::prelude::*;
+///
+/// let factory = (|_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) })
+///     .named("always");
+/// let adversary = CompositeAdversary::new(BatchArrival::at_start(1), NoJamming);
+/// let mut sim = Simulator::new(SimConfig::with_seed(3), factory, adversary);
+/// sim.run_until_drained(100);
+///
+/// let trace = sim.into_trace();
+/// assert_eq!(trace.total_arrivals(), 1);
+/// assert_eq!(trace.total_successes(), 1);
+/// assert_eq!(trace.mean_latency(), Some(1.0));
+/// // Prefix sums give the Definition 1.1 quantities n_t, d_t, a_t.
+/// let cum = trace.cumulative();
+/// assert_eq!(cum.arrivals(1), 1);
+/// assert_eq!(cum.successes(1), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     slots: Vec<SlotRecord>,

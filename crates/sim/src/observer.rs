@@ -9,6 +9,25 @@
 use crate::metrics::SlotRecord;
 
 /// Online accumulator of the Definition 1.1 quantities.
+///
+/// # Examples
+///
+/// ```
+/// use contention_sim::prelude::*;
+///
+/// let factory = (|_: NodeId| -> Box<dyn Protocol> { Box::new(AlwaysBroadcast) })
+///     .named("always");
+/// let adversary = CompositeAdversary::new(BatchArrival::at_start(1), NoJamming);
+/// let mut sim = Simulator::new(SimConfig::with_seed(9), factory, adversary);
+///
+/// // Fold slots online instead of storing them: O(1) memory at any horizon.
+/// let mut stats = StreamingStats::new();
+/// sim.run_for_with(8, |_, rec| stats.record(rec));
+/// assert_eq!(stats.slots(), 8);
+/// assert_eq!(stats.successes(), 1);
+/// // Dyadic snapshots back growth curves without a stored trace.
+/// assert_eq!(stats.checkpoints().len(), 4); // t = 1, 2, 4, 8
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct StreamingStats {
     slots: u64,

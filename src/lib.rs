@@ -10,8 +10,9 @@
 //!   (f,g)-throughput verifier;
 //! * [`baselines`] — classical comparison protocols;
 //! * [`analysis`] — statistics, model fitting, and report rendering;
-//! * [`bench`] — the declarative scenario API ([`bench::scenario`]) and
-//!   the experiment harness.
+//! * [`mod@bench`] — the declarative scenario API ([`bench::scenario`]),
+//!   the campaign sweep subsystem ([`bench::campaign`]), and the
+//!   experiment harness.
 //!
 //! See the `examples/` directory for runnable entry points and
 //! EXPERIMENTS.md for the experiment catalogue.

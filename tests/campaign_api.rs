@@ -1,0 +1,195 @@
+//! Integration: the campaign subsystem — deterministic grid expansion,
+//! property-based `SweepSpec` JSON round-trips (matching the
+//! `tests/scenario_api.rs` style), CSV escaping, and byte-stable report
+//! generation.
+
+use contention::bench::campaign::{
+    self, to_csv, to_jsonl, Axis, AxisPoint, CampaignRunner, Edit, SweepSpec,
+};
+use contention::prelude::*;
+use proptest::prelude::*;
+
+fn base() -> ScenarioSpec {
+    ScenarioSpec::batch(8, 0.0)
+        .algos([AlgoSpec::cjz_constant_jamming()])
+        .until_drained(100_000)
+}
+
+#[test]
+fn grid_cardinality_and_ordering_are_deterministic() {
+    let sweep = SweepSpec::new("grid", "Grid", base())
+        .axis(Axis::jam([0.0, 0.25, 0.4]))
+        .axis(Axis::n([4, 8]));
+    assert_eq!(sweep.cell_count(), 6);
+    let cells = sweep.cells();
+    assert_eq!(cells.len(), 6);
+    // Row-major, first axis slowest; names carry the coordinates.
+    let names: Vec<&str> = cells.iter().map(|c| c.spec.name.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "batch/8[jam=0,n=4]",
+            "batch/8[jam=0,n=8]",
+            "batch/8[jam=0.25,n=4]",
+            "batch/8[jam=0.25,n=8]",
+            "batch/8[jam=0.4,n=4]",
+            "batch/8[jam=0.4,n=8]",
+        ]
+    );
+    // Expansion is pure.
+    assert_eq!(sweep.cells(), cells);
+}
+
+#[test]
+fn every_registry_campaign_round_trips_through_json() {
+    for entry in campaign::entries() {
+        let sweep = campaign::lookup(entry.name).expect(entry.name);
+        let parsed = SweepSpec::from_json_str(&sweep.to_json_string())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        assert_eq!(parsed, sweep, "{} changed across round-trip", entry.name);
+    }
+}
+
+#[test]
+fn campaign_csv_escapes_algorithm_names_and_labels() {
+    // An axis label with a comma and a multi-entry roster: the CSV must
+    // quote both without breaking row arity.
+    let sweep = SweepSpec::new(
+        "csv",
+        "CSV",
+        base().algos([
+            AlgoSpec::cjz_constant_jamming(),
+            AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        ]),
+    )
+    .axis(Axis::new(
+        "combo",
+        vec![AxisPoint::coupled(
+            "n=4,jam=0.1",
+            [Edit::N(4), Edit::Jam(0.1)],
+        )],
+    ));
+    let result = CampaignRunner::new(sweep).run();
+    let csv = to_csv(&result);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 3, "header + 2 algo rows:\n{csv}");
+    assert!(
+        lines[1].contains("\"n=4,jam=0.1\""),
+        "comma-bearing label is quoted: {}",
+        lines[1]
+    );
+    // Quoting keeps the unquoted column structure parseable: strip quoted
+    // segments and the remaining field count matches the header.
+    let header_cols = lines[0].split(',').count();
+    for line in &lines[1..] {
+        let mut depth_free = String::new();
+        let mut in_quotes = false;
+        for ch in line.chars() {
+            match ch {
+                '"' => in_quotes = !in_quotes,
+                ',' if in_quotes => depth_free.push(';'),
+                c => depth_free.push(c),
+            }
+        }
+        assert_eq!(
+            depth_free.split(',').count(),
+            header_cols,
+            "row arity survives quoting: {line}"
+        );
+    }
+    // JSONL rows stay parseable too.
+    for line in to_jsonl(&result).lines() {
+        contention::bench::scenario::Json::parse(line).expect("valid JSONL row");
+    }
+}
+
+#[test]
+fn smoke_report_is_byte_stable_and_contains_the_tradeoff_table() {
+    let a = campaign::render_results_md(true);
+    let b = campaign::render_results_md(true);
+    assert_eq!(a, b, "RESULTS.md must be byte-identical across runs");
+    assert!(
+        a.contains("## Theorem 1.2 — the (f,g) trade-off at the critical budget"),
+        "trade-off section present"
+    );
+    assert!(
+        a.contains("| g(x) | jam | f(t) |"),
+        "trade-off table present"
+    );
+    assert!(
+        a.contains("accesses to 1st success"),
+        "Theorem 1.3 section present"
+    );
+    assert!(
+        a.contains("## Batch robustness — drain and delivery vs jamming rate"),
+        "jamming sweep present"
+    );
+}
+
+#[test]
+fn campaign_runner_matches_scenario_runner_totals() {
+    // A single-cell campaign must agree with the plain ScenarioRunner on
+    // the same spec: streaming aggregation is an implementation detail,
+    // not a semantic change.
+    let spec = base().seeds(2);
+    let algo = spec.algos[0].clone();
+    let campaign_out = CampaignRunner::new(SweepSpec::new("x", "X", spec.clone())).run();
+    let scenario_out = ScenarioRunner::new(spec).run_algo(&algo);
+    let mean_successes = scenario_out
+        .iter()
+        .map(|o| o.trace.total_successes() as f64)
+        .sum::<f64>()
+        / scenario_out.len() as f64;
+    let mean_slots =
+        scenario_out.iter().map(|o| o.slots as f64).sum::<f64>() / scenario_out.len() as f64;
+    assert_eq!(campaign_out.cells[0].mean_delivered, mean_successes);
+    assert_eq!(campaign_out.cells[0].mean_slots, mean_slots);
+    assert_eq!(campaign_out.cells[0].drained_frac, 1.0);
+}
+
+/// Build an arbitrary-ish sweep from proptest-driven raw values.
+fn sweep_from(raw_axes: Vec<(u8, u32, f64)>, seeds: u64) -> SweepSpec {
+    let mut sweep = SweepSpec::new("prop", "Prop", base().seeds(seeds.max(1)));
+    for (i, (kind, n, p)) in raw_axes.into_iter().enumerate() {
+        let axis = match kind % 6 {
+            0 => Axis::n([n.max(1), n.max(1) * 2]),
+            1 => Axis::jam([p, (p * 0.5).min(1.0)]),
+            2 => Axis::horizons_pow2([4 + (n % 8), 5 + (n % 8)]),
+            3 => Axis::g_spectrum(),
+            4 => Axis::algos([
+                AlgoSpec::cjz_constant_jamming(),
+                AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+            ]),
+            _ => Axis::new(
+                format!("misc{i}"),
+                vec![AxisPoint::coupled(
+                    "pt",
+                    [Edit::Rate(p), Edit::Seeds(seeds % 7 + 1)],
+                )],
+            ),
+        };
+        sweep = sweep.axis(axis);
+    }
+    sweep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any sweep the axis constructors can build survives a JSON
+    /// round-trip exactly, and its grid size is the axis-length product.
+    #[test]
+    fn sweep_json_round_trip(
+        k1 in 0u8..6, k2 in 0u8..6, n in 1u32..512, p in 0.0f64..1.0, seeds in 1u64..9
+    ) {
+        let sweep = sweep_from(vec![(k1, n, p), (k2, n / 2 + 1, p * 0.7)], seeds);
+        let json = sweep.to_json_string();
+        let parsed = SweepSpec::from_json_str(&json).expect("round-trip parse");
+        prop_assert_eq!(&parsed, &sweep);
+        // Canonical encoding: serializing again is stable.
+        prop_assert_eq!(parsed.to_json_string(), json);
+        let expected: usize = sweep.axes.iter().map(|a| a.points.len()).product();
+        prop_assert_eq!(sweep.cell_count(), expected);
+        prop_assert_eq!(sweep.cells().len(), expected);
+    }
+}
