@@ -13,6 +13,10 @@
 //! * [`sawtooth::Sawtooth`] — sawtooth (backon) backoff;
 //! * [`schedule::Schedule`] — arbitrary non-adaptive probability schedules
 //!   (the class ruled out by Theorem 4.2);
+//! * [`mimd`] — collision-*triggered* MIMD drivers
+//!   ([`mimd::CollisionWindow`], [`mimd::MimdProbability`]) for
+//!   collision-detection channel models, where failure feedback *does*
+//!   carry information;
 //! * [`functions`] — the sub-logarithmic `g` family and the derived
 //!   `f(x) = Θ(log x / log² g(x))` of Theorem 1.2.
 //!
@@ -27,6 +31,7 @@
 pub mod functions;
 pub mod hbackoff;
 pub mod hbatch;
+pub mod mimd;
 pub mod sawtooth;
 pub mod schedule;
 pub mod window;
@@ -34,6 +39,7 @@ pub mod window;
 pub use functions::{log2c, sqrt_log2, FFunction, GFunction};
 pub use hbackoff::{HBackoff, OnePerStage, SendCount};
 pub use hbatch::HBatch;
+pub use mimd::{CollisionWindow, MimdProbability};
 pub use sawtooth::Sawtooth;
 pub use schedule::{ProbTable, Schedule};
 pub use window::{WindowBackoff, WindowGrowth};

@@ -1,0 +1,268 @@
+//! Multiplicative-increase / multiplicative-decrease (MIMD) primitives
+//! driven by *explicit channel signals*.
+//!
+//! The classical drivers in this crate ([`WindowBackoff`], [`Schedule`])
+//! are oblivious: they advance on a fixed program regardless of what the
+//! channel reports, because under the paper's no-collision-detection model
+//! failure feedback carries no information. Collision-detection channels
+//! change that: a listener can tell an *empty* slot from a *noisy* one, so
+//! an algorithm can back off exactly when the channel is contended and
+//! speed up exactly when it is idle. These primitives package that control
+//! law; the protocol wrappers live in `contention-baselines`
+//! (`cd-beb`, `cd-aloha`).
+//!
+//! Both drivers are pure state machines over `on_noise` / `on_clear`
+//! signals and draw randomness only from caller-provided RNGs, so they
+//! compose deterministically inside the simulator like everything else
+//! here.
+//!
+//! [`WindowBackoff`]: crate::window::WindowBackoff
+//! [`Schedule`]: crate::schedule::Schedule
+
+use rand::{Rng, RngCore};
+
+/// Hard cap on [`CollisionWindow`] growth: beyond this the expected wait
+/// exceeds any horizon the experiments run.
+const MAX_WINDOW: u64 = 1 << 32;
+
+/// A collision-triggered contention window (Ethernet-style MIMD).
+///
+/// The driver counts down a uniformly drawn backoff inside the current
+/// window and transmits when it reaches zero. The window *doubles* on
+/// [`on_noise`](Self::on_noise) (the channel reported a collision — in
+/// particular after the caller's own failed transmission) and *halves* on
+/// [`on_clear`](Self::on_clear) (the channel was verifiably idle, so
+/// contention is low).
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::CollisionWindow;
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut w = CollisionWindow::new();
+/// assert!(w.next(&mut rng), "window 1: transmit immediately");
+/// w.on_noise(); // collision: window doubles, backoff redrawn
+/// assert_eq!(w.window(), 2);
+/// w.on_clear(); // idle slot observed: window halves again
+/// assert_eq!(w.window(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollisionWindow {
+    window: u64,
+    remaining: u64,
+    /// A pending noise signal: the redraw is deferred to the next
+    /// [`next`](Self::next) call because signals arrive in `observe`
+    /// context, where no RNG is available.
+    redraw: bool,
+}
+
+impl Default for CollisionWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollisionWindow {
+    /// A fresh driver: window 1, transmitting at the first opportunity.
+    pub fn new() -> Self {
+        CollisionWindow {
+            window: 1,
+            remaining: 0,
+            redraw: false,
+        }
+    }
+
+    /// Current window size (≥ 1).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Advance one slot: `true` means transmit now.
+    pub fn next<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.redraw {
+            self.remaining = rng.gen_range(0..self.window);
+            self.redraw = false;
+        }
+        if self.remaining == 0 {
+            true
+        } else {
+            self.remaining -= 1;
+            false
+        }
+    }
+
+    /// The channel reported noise (a collision, or the caller's own
+    /// transmission failed): double the window and redraw the backoff.
+    pub fn on_noise(&mut self) {
+        self.window = (self.window * 2).min(MAX_WINDOW);
+        self.redraw = true;
+    }
+
+    /// The channel was verifiably idle: halve the window (contention is
+    /// low). The current countdown is clamped into the shrunk window so
+    /// the driver never waits longer than one full window.
+    pub fn on_clear(&mut self) {
+        self.window = (self.window / 2).max(1);
+        if !self.redraw {
+            self.remaining = self.remaining.min(self.window - 1);
+        }
+    }
+}
+
+/// A MIMD *transmission probability* (collision-aware slotted ALOHA).
+///
+/// Halves the probability on [`on_noise`](Self::on_noise), doubles it on
+/// [`on_clear`](Self::on_clear), clamped to `[min_p, max_p]`.
+///
+/// # Examples
+///
+/// ```
+/// use contention_backoff::MimdProbability;
+///
+/// let mut p = MimdProbability::new(0.5, 1.0 / 1024.0, 1.0);
+/// p.on_noise();
+/// assert_eq!(p.prob(), 0.25);
+/// p.on_clear();
+/// p.on_clear();
+/// assert_eq!(p.prob(), 1.0, "clamped at max_p");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MimdProbability {
+    p: f64,
+    min_p: f64,
+    max_p: f64,
+}
+
+impl MimdProbability {
+    /// A driver starting at `p0`, clamped to `[min_p, max_p]` forever.
+    pub fn new(p0: f64, min_p: f64, max_p: f64) -> Self {
+        let min_p = min_p.clamp(0.0, 1.0);
+        let max_p = max_p.clamp(min_p, 1.0);
+        MimdProbability {
+            p: p0.clamp(min_p, max_p),
+            min_p,
+            max_p,
+        }
+    }
+
+    /// Current transmission probability.
+    pub fn prob(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw this slot's transmission decision.
+    pub fn decide<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p)
+    }
+
+    /// Noise heard: halve the probability.
+    pub fn on_noise(&mut self) {
+        self.p = (self.p / 2.0).max(self.min_p);
+    }
+
+    /// Idle slot heard: double the probability.
+    pub fn on_clear(&mut self) {
+        self.p = (self.p * 2.0).min(self.max_p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collision_window_waits_within_window() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut w = CollisionWindow::new();
+        assert!(w.next(&mut rng));
+        // Grow a few times; after each noise the next transmission comes
+        // within `window` slots.
+        for _ in 0..6 {
+            w.on_noise();
+            let window = w.window();
+            let mut waited = 0;
+            while !w.next(&mut rng) {
+                waited += 1;
+                assert!(waited <= window, "waited past a full window");
+            }
+        }
+        assert_eq!(w.window(), 64);
+    }
+
+    #[test]
+    fn clear_signal_halves_and_clamps() {
+        let mut w = CollisionWindow::new();
+        w.on_noise();
+        w.on_noise();
+        assert_eq!(w.window(), 4);
+        w.on_clear();
+        assert_eq!(w.window(), 2);
+        w.on_clear();
+        w.on_clear();
+        assert_eq!(w.window(), 1, "never shrinks below 1");
+        // With window 1 the driver transmits every slot.
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(w.next(&mut rng));
+        assert!(w.next(&mut rng));
+    }
+
+    #[test]
+    fn window_growth_is_capped() {
+        let mut w = CollisionWindow::new();
+        for _ in 0..80 {
+            w.on_noise();
+        }
+        assert_eq!(w.window(), MAX_WINDOW);
+    }
+
+    #[test]
+    fn countdown_clamps_when_window_shrinks() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut w = CollisionWindow::new();
+        for _ in 0..8 {
+            w.on_noise();
+        }
+        // Materialize the redraw, then shrink hard: the pending wait must
+        // clamp to the new window.
+        let _ = w.next(&mut rng);
+        for _ in 0..10 {
+            w.on_clear();
+        }
+        assert_eq!(w.window(), 1);
+        let mut waited = 0;
+        while !w.next(&mut rng) {
+            waited += 1;
+            assert!(waited <= 1);
+        }
+    }
+
+    #[test]
+    fn mimd_probability_clamps_both_ends() {
+        let mut p = MimdProbability::new(0.25, 0.01, 0.5);
+        for _ in 0..20 {
+            p.on_noise();
+        }
+        assert_eq!(p.prob(), 0.01);
+        for _ in 0..20 {
+            p.on_clear();
+        }
+        assert_eq!(p.prob(), 0.5);
+        // Degenerate construction stays in range.
+        let q = MimdProbability::new(5.0, -1.0, 2.0);
+        assert!((0.0..=1.0).contains(&q.prob()));
+    }
+
+    #[test]
+    fn mimd_decide_matches_probability_roughly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let p = MimdProbability::new(0.3, 0.0, 1.0);
+        let hits = (0..20_000).filter(|_| p.decide(&mut rng)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.25..0.35).contains(&frac), "{frac}");
+    }
+}

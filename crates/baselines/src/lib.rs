@@ -13,9 +13,14 @@
 //! | [`SawtoothProtocol`] | sweep | backon-style baseline |
 //! | [`FBackoffProtocol`] | stage-adaptive | the paper's backoff subroutine in isolation |
 //! | [`ResetOnSuccess`] / [`ResettingWindowProtocol`] | adaptive repair | naive re-synchronization heuristics |
+//! | [`CdBackoffProtocol`] / [`CdAlohaProtocol`] | collision-triggered MIMD | what richer (collision-detection) feedback buys |
 //!
 //! [`Baseline`] is a uniform registry (and [`ProtocolFactory`]) over all of
-//! them, used by the comparison experiments.
+//! them, used by the comparison experiments. The `cd-*` protocols only
+//! receive their silence/noise signals under the collision-detection
+//! channel model; under the paper's model they degrade to a
+//! success-reactive multiplicative backoff — only own failures and heard
+//! successes remain informative (see [`cd_proto`]).
 //!
 //! [`ProtocolFactory`]: contention_sim::ProtocolFactory
 
@@ -23,12 +28,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cd_proto;
 pub mod fbackoff;
 pub mod registry;
 pub mod sawtooth_proto;
 pub mod schedule_proto;
 pub mod window_proto;
 
+pub use cd_proto::{CdAlohaProtocol, CdBackoffProtocol};
 pub use fbackoff::FBackoffProtocol;
 pub use registry::Baseline;
 pub use sawtooth_proto::SawtoothProtocol;

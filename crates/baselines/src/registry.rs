@@ -3,6 +3,7 @@
 use contention_backoff::{GFunction, Schedule};
 use contention_sim::{NodeId, Protocol, ProtocolFactory};
 
+use crate::cd_proto::{CdAlohaProtocol, CdBackoffProtocol};
 use crate::fbackoff::FBackoffProtocol;
 use crate::sawtooth_proto::SawtoothProtocol;
 use crate::schedule_proto::{ResetOnSuccess, ScheduleProtocol};
@@ -32,6 +33,12 @@ pub enum Baseline {
     ResetBeb,
     /// Windowed BEB that resets its window on every heard success.
     ResetWindowBeb,
+    /// Collision-triggered MIMD window (needs the collision-detection
+    /// channel model to hear its silence/noise signals).
+    CdBackoff,
+    /// Collision-aware MIMD slotted ALOHA starting at the given
+    /// probability.
+    CdAloha(f64),
     /// Arbitrary non-adaptive schedule.
     NonAdaptive(Schedule),
 }
@@ -50,6 +57,8 @@ impl Baseline {
             Baseline::FBackoff(_) => "f-backoff",
             Baseline::ResetBeb => "reset-beb",
             Baseline::ResetWindowBeb => "reset-window-beb",
+            Baseline::CdBackoff => "cd-beb",
+            Baseline::CdAloha(_) => "cd-aloha",
             Baseline::NonAdaptive(_) => "non-adaptive",
         }
     }
@@ -82,6 +91,8 @@ impl ProtocolFactory for Baseline {
             Baseline::FBackoff(g) => Box::new(FBackoffProtocol::new(g.clone(), 1.0, 1.0)),
             Baseline::ResetBeb => Box::new(ResetOnSuccess::smoothed_beb()),
             Baseline::ResetWindowBeb => Box::new(ResettingWindowProtocol::binary_exponential()),
+            Baseline::CdBackoff => Box::new(CdBackoffProtocol::new()),
+            Baseline::CdAloha(p) => Box::new(CdAlohaProtocol::new(*p)),
             Baseline::NonAdaptive(s) => Box::new(ScheduleProtocol::new("non-adaptive", s.clone())),
         }
     }
@@ -108,6 +119,8 @@ mod tests {
         for b in [
             Baseline::Linear,
             Baseline::ResetWindowBeb,
+            Baseline::CdBackoff,
+            Baseline::CdAloha(0.5),
             Baseline::NonAdaptive(Schedule::PowerLaw { exponent: 0.5 }),
         ] {
             let p = b.spawn(NodeId::new(1));

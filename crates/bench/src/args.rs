@@ -1,6 +1,7 @@
 //! Minimal command-line argument handling shared by all experiment
 //! binaries (no external parser crates — the offline dependency set is
-//! deliberately small).
+//! deliberately small), plus the closest-match suggester the registry
+//! CLIs use for unknown names.
 
 /// Common experiment options.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,96 @@ impl ExpArgs {
     }
 }
 
+/// Levenshtein edit distance (iterative two-row DP; names are short).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Rank `candidates` by similarity to `input` and return the closest few.
+///
+/// Intended for "unknown registry name" CLI errors: registry names are
+/// `base` or `base/param`, so the comparison uses whichever of the full
+/// name and its base family is closer, and a candidate sharing the
+/// input's base is always suggested. Returns at most 3 names, best first;
+/// empty when nothing is remotely close (distance > half the input
+/// length + 2, so arbitrary typo garbage stays suggestion-free).
+pub fn closest_matches<'a>(
+    input: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Vec<String> {
+    let base = |s: &str| s.split('/').next().unwrap_or(s).to_string();
+    let input_base = base(input);
+    let cutoff = input.chars().count() / 2 + 2;
+    let mut scored: Vec<(usize, String)> = candidates
+        .into_iter()
+        .map(|c| {
+            let d = edit_distance(input, c)
+                .min(edit_distance(&input_base, &base(c)) + 1)
+                .min(edit_distance(input, &base(c)));
+            (d, c.to_string())
+        })
+        .filter(|(d, _)| *d <= cutoff)
+        .collect();
+    scored.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    scored.truncate(3);
+    scored.into_iter().map(|(_, c)| c).collect()
+}
+
+/// The first positional (non-flag) argument, skipping the *values* of
+/// the named value-taking flags.
+///
+/// Shared by the registry CLIs so each binary declares its value-taking
+/// flags in one place instead of hand-rolling the skip logic (and
+/// silently misparsing a flag value as a registry name when a new flag
+/// is added).
+pub fn first_positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip_value = value_flags.contains(&arg.as_str());
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+/// Shared "unknown registry name" exit for the registry CLIs: print the
+/// error and the closest-match suggestions to stderr, then exit 2.
+///
+/// `kind` names the registry ("scenario", "campaign") in the message.
+pub fn unknown_name_exit<'a>(
+    kind: &str,
+    name: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> ! {
+    eprintln!("unknown {kind} `{name}`; run without arguments to list the registry");
+    let suggestions = closest_matches(name, candidates);
+    if !suggestions.is_empty() {
+        eprintln!("did you mean:");
+        for s in suggestions {
+            eprintln!("  {s}");
+        }
+    }
+    std::process::exit(2);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +209,49 @@ mod tests {
     fn unknown_flags_ignored() {
         let a = parse(&["--wat", "--quick"]);
         assert!(a.quick);
+    }
+
+    #[test]
+    fn first_positional_skips_flags_and_their_values() {
+        let args: Vec<String> = ["--smoke", "--seeds", "5", "batch/64", "--csv", "out.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            first_positional(&args, &["--seeds", "--csv"]),
+            Some("batch/64")
+        );
+        // A value-taking flag not declared would misparse — declared, its
+        // value is skipped even when it comes first.
+        let args: Vec<String> = ["--channel", "cd", "bursty"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(first_positional(&args, &["--channel"]), Some("bursty"));
+        assert_eq!(first_positional(&args, &[]), Some("cd"));
+        assert_eq!(first_positional(&[], &[]), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn closest_matches_ranks_typos() {
+        let names = ["batch/32", "batch-jammed/256", "bursty", "tradeoff"];
+        let got = closest_matches("bacth/32", names);
+        assert_eq!(got.first().map(String::as_str), Some("batch/32"));
+        // Same base family with a different parameter still matches.
+        let got = closest_matches("batch/999x", names);
+        assert!(got.iter().any(|s| s == "batch/32"), "{got:?}");
+        // Garbage yields nothing.
+        assert!(closest_matches("qqq", names).is_empty());
+        // At most three suggestions.
+        assert!(closest_matches("b", ["ba", "bb", "bc", "bd"]).len() <= 3);
     }
 }

@@ -23,6 +23,7 @@ use contention_analysis::Table;
 use contention_bench::campaign::{
     self, cells_table, render_results_md, to_csv, to_jsonl, CampaignRunner, SweepSpec,
 };
+use contention_bench::{first_positional, unknown_name_exit};
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -49,13 +50,14 @@ fn resolve(args: &[String]) -> SweepSpec {
         return SweepSpec::from_json_str(&text)
             .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
     }
-    let name = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .find(|a| campaign::lookup(a).is_some());
+    // The first non-flag token that is not a flag *value* is the name.
+    let name = first_positional(args, &["--seeds", "--csv", "--jsonl", "--out"]);
     match name {
-        Some(name) => campaign::lookup(name).expect("checked above"),
-        None => fail("unknown campaign; run without arguments to list the registry"),
+        Some(name) => match campaign::lookup(name) {
+            Some(sweep) => sweep,
+            None => unknown_name_exit("campaign", name, campaign::names()),
+        },
+        None => fail("missing campaign name; run without arguments to list the registry"),
     }
 }
 

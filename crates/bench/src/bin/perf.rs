@@ -15,6 +15,11 @@
 //!
 //! # Custom output path / suite label.
 //! cargo run --release -p contention-bench --bin perf -- --out bench.json --label post-rewrite
+//!
+//! # Regression gate: rerun the suite and compare slots/s against the
+//! # newest committed BENCH_*.json (or --baseline FILE); exits 1 if any
+//! # pinned scenario regresses by more than 10% (--tolerance to adjust).
+//! cargo run --release -p contention-bench --bin perf -- --check
 //! ```
 
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -206,9 +211,133 @@ fn render_report(measurements: &[Measurement], smoke: bool, label: &str, date: &
     .render()
 }
 
+/// The newest committed `BENCH_*.json` in the current directory (dates
+/// are zero-padded ISO, so the lexicographically greatest name is the
+/// newest).
+fn newest_baseline() -> Option<String> {
+    let mut names: Vec<String> = std::fs::read_dir(".")
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names.pop()
+}
+
+/// Load and validate a baseline report *before* any measurement runs:
+/// the file must exist, parse, and carry the same mode as this run —
+/// all pure file I/O, so a typo'd path or mode mismatch fails in
+/// milliseconds instead of after a full measurement suite.
+fn load_baseline(path: &str, smoke: bool) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot parse baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mode = baseline
+        .get("mode")
+        .and_then(|m| m.as_str().map(str::to_string))
+        .unwrap_or_default();
+    let run_mode = if smoke { "smoke" } else { "full" };
+    if mode != run_mode {
+        eprintln!(
+            "baseline {path} was measured in `{mode}` mode but this run is `{run_mode}`; \
+             slots/s are not comparable (re-run without the mismatch or pick another --baseline)"
+        );
+        std::process::exit(1);
+    }
+    baseline
+}
+
+/// Compare fresh measurements against a validated baseline report. Fails
+/// (exit 1) when any pinned scenario's slots/s drops more than
+/// `tolerance` below the baseline. Scenarios absent from the baseline
+/// (suite additions) are reported but never fail — append, don't mutate.
+fn check_against_baseline(
+    measurements: &[Measurement],
+    baseline: &Json,
+    path: &str,
+    tolerance: f64,
+) {
+    let baseline_rate = |name: &str| -> Option<f64> {
+        baseline
+            .get("scenarios")
+            .ok()?
+            .as_arr()
+            .ok()?
+            .iter()
+            .find(|s| {
+                s.get("name")
+                    .and_then(|n| n.as_str())
+                    .is_ok_and(|n| n == name)
+            })?
+            .get("slots_per_sec")
+            .ok()?
+            .as_f64()
+            .ok()
+    };
+
+    println!(
+        "\nchecking against {path} (tolerance {:.0}%):",
+        tolerance * 100.0
+    );
+    let mut regressions = Vec::new();
+    for m in measurements {
+        match baseline_rate(m.scenario) {
+            Some(base) => {
+                let ratio = if base > 0.0 {
+                    m.slots_per_sec / base
+                } else {
+                    1.0
+                };
+                let verdict = if ratio + tolerance < 1.0 {
+                    regressions.push(m.scenario);
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {:<24} {:>12.0} vs {:>12.0} slots/sec  ({:>6.1}%)  {}",
+                    m.scenario,
+                    m.slots_per_sec,
+                    base,
+                    ratio * 100.0,
+                    verdict
+                );
+            }
+            None => println!(
+                "  {:<24} {:>12.0} slots/sec  (no baseline entry — new scenario)",
+                m.scenario, m.slots_per_sec
+            ),
+        }
+    }
+    if regressions.is_empty() {
+        println!("perf check passed: no scenario regressed beyond tolerance");
+    } else {
+        eprintln!(
+            "perf check FAILED: {} scenario(s) regressed more than {:.0}%: {}",
+            regressions.len(),
+            tolerance * 100.0,
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
     let grab = |flag: &str| -> Option<String> {
         args.iter()
             .position(|a| a == flag)
@@ -217,6 +346,36 @@ fn main() {
     let label = grab("--label").unwrap_or_else(|| "default".to_string());
     let date = today_utc();
     let out_path = grab("--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let tolerance = match grab("--tolerance") {
+        None => 0.10,
+        Some(t) => match t.parse::<f64>() {
+            // A tolerance of 1.0+ would make the gate unfailable; a
+            // percentage like `--tolerance 10` is almost certainly meant
+            // as a fraction. Reject instead of silently passing.
+            Ok(v) if v > 0.0 && v < 1.0 => v,
+            Ok(v) => {
+                eprintln!("--tolerance {v} is not a fraction in (0, 1) — e.g. 0.10 for 10%");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("--tolerance `{t}` is not a number — e.g. 0.10 for 10%");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    // Resolve and validate the baseline up front in check mode: pure
+    // file I/O that must not wait for (or waste) a measurement run.
+    let baseline = if check {
+        let path = grab("--baseline").or_else(newest_baseline);
+        let Some(path) = path else {
+            eprintln!("--check needs a committed BENCH_*.json (or --baseline FILE)");
+            std::process::exit(1);
+        };
+        Some((load_baseline(&path, smoke), path))
+    } else {
+        None
+    };
 
     println!(
         "perf suite ({} mode, {} scenario(s))…",
@@ -231,6 +390,13 @@ fn main() {
             m.scenario, m.slots, m.wall_secs, m.slots_per_sec
         );
         measurements.push(m);
+    }
+
+    if let Some((baseline, path)) = baseline {
+        // Check mode compares and gates; it never writes a report, so a
+        // failing CI run cannot clobber the committed baseline.
+        check_against_baseline(&measurements, &baseline, &path, tolerance);
+        return;
     }
 
     let json = render_report(&measurements, smoke, &label, &date);

@@ -7,17 +7,25 @@
 //! # Run one by name (parameterized names work: batch/64, poisson/0.1, …)
 //! cargo run --release -p contention-bench --bin scenarios -- batch-jammed/128
 //!
+//! # Replay any workload under a different channel-feedback model
+//! cargo run --release -p contention-bench --bin scenarios -- batch/64 --channel cd
+//!
 //! # Print a scenario as JSON instead of running it
 //! cargo run --release -p contention-bench --bin scenarios -- --json smooth
 //! ```
 
 use contention_analysis::{fnum, Table};
-use contention_bench::scenario::{entries, lookup, ScenarioRunner};
+use contention_bench::scenario::{entries, lookup, ChannelSpec, ScenarioRunner};
+use contention_bench::{first_positional, unknown_name_exit};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let name = args.iter().find(|a| !a.starts_with("--"));
+    let channel = args
+        .iter()
+        .position(|a| a == "--channel")
+        .and_then(|i| args.get(i + 1));
+    let name = first_positional(&args, &["--channel"]);
 
     let Some(name) = name else {
         let mut table = Table::new(["name", "what it exercises"])
@@ -29,17 +37,29 @@ fn main() {
         return;
     };
 
-    let Some(spec) = lookup(name) else {
-        eprintln!("unknown scenario `{name}`; run without arguments to list the registry");
-        std::process::exit(2);
+    let Some(mut spec) = lookup(name) else {
+        unknown_name_exit("scenario", name, entries().iter().map(|e| e.name));
     };
+
+    if let Some(channel) = channel {
+        let Some(channel_spec) = ChannelSpec::by_name(channel) else {
+            eprintln!("unknown channel model `{channel}` (expected no-cd, cd, or ack-only)");
+            std::process::exit(2);
+        };
+        spec = spec.channel(channel_spec);
+    }
 
     if json {
         println!("{}", spec.to_json_string());
         return;
     }
 
-    println!("running `{}` ({} seed(s))…\n", spec.name, spec.seeds);
+    println!(
+        "running `{}` ({} seed(s), channel {})…\n",
+        spec.name,
+        spec.seeds,
+        spec.channel.name()
+    );
     let report = ScenarioRunner::new(spec).run();
     let mut table = Table::new([
         "algorithm",

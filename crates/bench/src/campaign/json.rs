@@ -3,7 +3,9 @@
 //! edits. `SweepSpec::from_json_str(spec.to_json_string())` round-trips
 //! exactly (property-tested in `tests/campaign_api.rs`).
 
-use crate::scenario::json::{algo_from_json, algo_to_json, g_from_json, g_to_json};
+use crate::scenario::json::{
+    algo_from_json, algo_to_json, channel_from_json, channel_to_json, g_from_json, g_to_json,
+};
 use crate::scenario::{Json, ScenarioSpec, SpecError};
 
 use super::sweep::{Axis, AxisPoint, Edit, SweepSpec};
@@ -35,6 +37,10 @@ fn edit_to_json(e: &Edit) -> Json {
             ("kind", Json::Str("seeds".into())),
             ("n", Json::u64(*s)),
         ]),
+        Edit::Channel(c) => Json::obj(vec![
+            ("kind", Json::Str("channel".into())),
+            ("channel", channel_to_json(c)),
+        ]),
     }
 }
 
@@ -53,6 +59,7 @@ fn edit_from_json(j: &Json) -> Result<Edit, SpecError> {
                 .collect::<Result<_, _>>()?,
         )),
         "seeds" => Ok(Edit::Seeds(j.get("n")?.as_u64()?)),
+        "channel" => Ok(Edit::Channel(channel_from_json(j.get("channel")?)?)),
         other => Err(SpecError::new(format!("unknown edit kind `{other}`"))),
     }
 }
@@ -152,6 +159,10 @@ mod tests {
             .axis(Axis::algos([
                 AlgoSpec::cjz_constant_jamming(),
                 AlgoSpec::Baseline(BaselineSpec::Sawtooth),
+            ]))
+            .axis(Axis::channels([
+                crate::scenario::ChannelSpec::collision_detection().with_listen_cost(0.5),
+                crate::scenario::ChannelSpec::ack_only(),
             ]))
             .axis(Axis::new(
                 "misc",

@@ -4,8 +4,8 @@
 //! PR 1 made one experiment declarative ([`ScenarioSpec`]); a campaign
 //! declares a *family* of them: a [`SweepSpec`] is a base scenario plus
 //! axes over its fields (population, jamming rate, horizon, tolerance
-//! function `g`, roster), expanded cartesian-style into a deterministic
-//! grid. The [`CampaignRunner`] drives every (cell × algorithm × seed)
+//! function `g`, roster, channel-feedback model), expanded
+//! cartesian-style into a deterministic grid. The [`CampaignRunner`] drives every (cell × algorithm × seed)
 //! job through the work-stealing replicator with streaming (O(1)-memory)
 //! aggregation, and the results flow out as ASCII/markdown tables, CSV,
 //! JSONL, or the committed `RESULTS.md`.

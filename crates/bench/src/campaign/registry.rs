@@ -7,12 +7,25 @@
 //! `constant-jamming-growth`) are the sections of `RESULTS.md`; the rest
 //! back the thin `exp_*` wrapper binaries.
 
+use crate::scenario::registry::cross_model_roster;
 use crate::scenario::spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, JammingSpec,
-    ParamsSpec, ScenarioSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec,
+    JammingSpec, ParamsSpec, ScenarioSpec,
 };
 
 use super::sweep::{Axis, SweepSpec};
+
+/// The channel axis the `cd-vs-nocd` campaigns sweep: the paper's model,
+/// ternary collision detection (listening priced at 0.2 — a CD radio must
+/// decode every slot), and ack-only (listening free — the radio can sleep
+/// between attempts).
+fn channel_axis() -> Axis {
+    Axis::channels([
+        ChannelSpec::no_collision_detection().with_listen_cost(0.1),
+        ChannelSpec::collision_detection().with_listen_cost(0.2),
+        ChannelSpec::ack_only(),
+    ])
+}
 
 /// One registry entry.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +58,14 @@ pub fn entries() -> Vec<CampaignEntry> {
         CampaignEntry {
             name: "lowerbound/lemma41-flood",
             summary: "Lemma 4.1: the flood that zeroes out aggressive senders",
+        },
+        CampaignEntry {
+            name: "cd-vs-nocd/batch",
+            summary: "the same clean batch under no-CD, ternary-CD, and ack-only feedback",
+        },
+        CampaignEntry {
+            name: "cd-vs-nocd/jamming",
+            summary: "the same 25%-jammed batch across feedback models (jam reads as noise under CD)",
         },
         CampaignEntry {
             name: "batch-scaling",
@@ -140,6 +161,24 @@ pub fn lookup(name: &str) -> Option<SweepSpec> {
             AlgoSpec::Baseline(BaselineSpec::Aloha(0.05)),
             AlgoSpec::cjz_constant_jamming(),
         ])),
+        "cd-vs-nocd/batch" => SweepSpec::new(
+            "cd-vs-nocd/batch",
+            "Feedback models — the same clean batch under no-CD, CD, and ack-only",
+            ScenarioSpec::batch(128, 0.0)
+                .algos(cross_model_roster())
+                .until_drained(300_000)
+                .seeds(5),
+        )
+        .axis(channel_axis()),
+        "cd-vs-nocd/jamming" => SweepSpec::new(
+            "cd-vs-nocd/jamming",
+            "Feedback models — the same 25%-jammed batch across feedback regimes",
+            ScenarioSpec::batch(128, 0.25)
+                .algos(cross_model_roster())
+                .until_drained(300_000)
+                .seeds(5),
+        )
+        .axis(channel_axis()),
         "batch-scaling" => SweepSpec::new(
             "batch-scaling",
             "Batch drain scaling — slots to drain n nodes vs n, per jamming rate",
@@ -170,6 +209,8 @@ pub fn report_campaigns() -> Vec<&'static str> {
         "lowerbound/theorem13",
         "jamming-robustness",
         "constant-jamming-growth",
+        "cd-vs-nocd/batch",
+        "cd-vs-nocd/jamming",
     ]
 }
 
@@ -197,6 +238,34 @@ mod tests {
     fn report_campaigns_are_registered() {
         for name in report_campaigns() {
             assert!(lookup(name).is_some(), "report campaign {name} missing");
+        }
+    }
+
+    #[test]
+    fn cd_vs_nocd_campaigns_sweep_the_channel_axis() {
+        use contention_sim::ChannelModel;
+        for name in ["cd-vs-nocd/batch", "cd-vs-nocd/jamming"] {
+            let sweep = lookup(name).unwrap();
+            assert_eq!(sweep.axes.len(), 1);
+            assert_eq!(sweep.axes[0].name, "channel");
+            let cells = sweep.cells();
+            assert_eq!(cells.len(), 3);
+            let models: Vec<ChannelModel> = cells.iter().map(|c| c.spec.channel.model).collect();
+            assert_eq!(
+                models,
+                vec![
+                    ChannelModel::NoCollisionDetection,
+                    ChannelModel::CollisionDetection,
+                    ChannelModel::AckOnly,
+                ],
+                "{name}"
+            );
+            // Every cell runs the identical workload and roster: only the
+            // feedback model differs.
+            for cell in &cells {
+                assert_eq!(cell.spec.algos, cells[0].spec.algos, "{name}");
+                assert_eq!(cell.spec.adversary, cells[0].spec.adversary, "{name}");
+            }
         }
     }
 

@@ -31,7 +31,13 @@ struct SeedStats {
     active: u64,
     successes: u64,
     broadcasts: u64,
+    /// Ground-truth silent slots (no broadcasters, unjammed).
+    silence: u64,
+    /// Ground-truth collision slots (≥ 2 broadcasters, unjammed).
+    collisions: u64,
     mean_latency: Option<f64>,
+    /// Mean per-delivery energy under the cell's listen cost.
+    mean_energy: Option<f64>,
     /// Channel accesses of the first delivered node (or of the first
     /// survivor when nothing was delivered) — the Theorem 1.3 metric.
     first_access: Option<u64>,
@@ -68,8 +74,16 @@ pub struct CellResult {
     pub mean_delivered: f64,
     /// Mean broadcast attempts (channel accesses, summed over nodes).
     pub mean_broadcasts: f64,
+    /// Mean ground-truth silent slots (no broadcasters, unjammed) — the
+    /// privileged tally the feedback models hide or reveal.
+    pub mean_silence: f64,
+    /// Mean ground-truth collision slots (≥ 2 broadcasters, unjammed).
+    pub mean_collisions: f64,
     /// Mean delivered latency (over seeds that delivered anything).
     pub mean_latency: Option<f64>,
+    /// Mean model-aware energy per delivered node (accesses + the cell's
+    /// `listen_cost` × listening slots; over seeds that delivered).
+    pub mean_energy: Option<f64>,
     /// Mean channel accesses to the first success (Theorem 1.3 metric;
     /// over seeds, survivors counted when nothing was delivered).
     pub mean_first_access: Option<f64>,
@@ -101,6 +115,16 @@ impl CellResult {
     pub fn delivery_rate(&self) -> f64 {
         if self.mean_slots > 0.0 {
             self.mean_delivered / self.mean_slots
+        } else {
+            0.0
+        }
+    }
+
+    /// Ground-truth collisions per executed slot — reportable without
+    /// record mode, whatever the feedback model hides from listeners.
+    pub fn collision_rate(&self) -> f64 {
+        if self.mean_slots > 0.0 {
+            self.mean_collisions / self.mean_slots
         } else {
             0.0
         }
@@ -227,7 +251,10 @@ fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedStats {
         active: stats.active(),
         successes: stats.successes(),
         broadcasts: stats.broadcasts(),
+        silence: stats.silence(),
+        collisions: stats.collisions(),
         mean_latency: trace.mean_latency(),
+        mean_energy: trace.mean_energy(spec.channel.listen_cost),
         first_access,
         first_success_slot: trace.departures().first().map(|d| d.departure_slot),
         checkpoints: stats
@@ -273,7 +300,10 @@ fn aggregate(cell: &Cell, algo: &AlgoSpec, rows: &[SeedStats]) -> CellResult {
         mean_active: mean(&|r| r.active as f64),
         mean_delivered: mean(&|r| r.successes as f64),
         mean_broadcasts: mean(&|r| r.broadcasts as f64),
+        mean_silence: mean(&|r| r.silence as f64),
+        mean_collisions: mean(&|r| r.collisions as f64),
         mean_latency: opt_mean(&|r| r.mean_latency),
+        mean_energy: opt_mean(&|r| r.mean_energy),
         mean_first_access: opt_mean(&|r| r.first_access.map(|a| a as f64)),
         mean_first_success_slot: opt_mean(&|r| r.first_success_slot.map(|s| s as f64)),
         checkpoints: by_t
@@ -327,6 +357,18 @@ mod tests {
             assert!(cell.delivery_rate() > 0.0);
             assert!(cell.mean_latency.is_some());
             assert!(cell.mean_first_access.is_some());
+            // Ground-truth tallies partition the executed slots.
+            assert!(
+                (cell.mean_silence + cell.mean_collisions + cell.mean_jammed + cell.mean_delivered
+                    - cell.mean_slots)
+                    .abs()
+                    < 1e-9,
+                "tallies must partition slots in {}",
+                cell.spec.name
+            );
+            // Free listening: energy reduces to accesses per delivery.
+            let energy = cell.mean_energy.expect("all seeds delivered");
+            assert!(energy >= 1.0, "every delivery costs at least one access");
             assert!(!cell.checkpoints.is_empty());
             // The checkpoint curve is monotone in t.
             for pair in cell.checkpoints.windows(2) {

@@ -11,7 +11,8 @@
 //! so the cell list — and hence every downstream table — is deterministic.
 
 use crate::scenario::spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, GSpec, HorizonSpec, JammingSpec, RecordMode, ScenarioSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, ChannelSpec, GSpec, HorizonSpec, JammingSpec, RecordMode,
+    ScenarioSpec,
 };
 
 /// One field edit applied to a [`ScenarioSpec`] by an axis point.
@@ -44,6 +45,9 @@ pub enum Edit {
     Algos(Vec<AlgoSpec>),
     /// Replication count.
     Seeds(u64),
+    /// Replace the channel-feedback model (and its listening cost) — the
+    /// cross-model comparison axis.
+    Channel(ChannelSpec),
 }
 
 impl Edit {
@@ -113,6 +117,7 @@ impl Edit {
             }
             Edit::Algos(roster) => spec.algos = roster.clone(),
             Edit::Seeds(s) => spec.seeds = (*s).max(1),
+            Edit::Channel(c) => spec.channel = *c,
         }
     }
 }
@@ -209,6 +214,18 @@ impl Axis {
             cases
                 .into_iter()
                 .map(|(label, g, jam)| AxisPoint::coupled(label, [Edit::G(g), Edit::Jam(jam)]))
+                .collect(),
+        )
+    }
+
+    /// Channel-model axis: one point per feedback model, labelled by the
+    /// model's stable name (`no-cd`, `cd`, `ack-only`).
+    pub fn channels(channels: impl IntoIterator<Item = ChannelSpec>) -> Self {
+        Axis::new(
+            "channel",
+            channels
+                .into_iter()
+                .map(|c| AxisPoint::new(c.name(), Edit::Channel(c)))
                 .collect(),
         )
     }
@@ -464,6 +481,24 @@ mod tests {
             .smoke();
         assert_eq!(sweep.axes[0].points.len(), 2);
         assert_eq!(sweep.base.seeds, 1);
+    }
+
+    #[test]
+    fn channel_axis_sweeps_the_feedback_model() {
+        let axis = Axis::channels([
+            ChannelSpec::no_collision_detection(),
+            ChannelSpec::collision_detection().with_listen_cost(0.2),
+            ChannelSpec::ack_only(),
+        ]);
+        assert_eq!(axis.name, "channel");
+        let labels: Vec<&str> = axis.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["no-cd", "cd", "ack-only"]);
+        let mut spec = base();
+        axis.points[1].edits[0].apply(&mut spec);
+        assert_eq!(
+            spec.channel,
+            ChannelSpec::collision_detection().with_listen_cost(0.2)
+        );
     }
 
     #[test]

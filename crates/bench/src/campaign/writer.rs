@@ -36,7 +36,11 @@ pub fn to_csv(result: &CampaignResult) -> String {
             "delivered",
             "delivery_rate",
             "broadcasts",
+            "silence",
+            "collisions",
+            "collision_rate",
             "latency",
+            "energy",
             "first_access",
             "first_success_slot",
         ]
@@ -65,7 +69,11 @@ pub fn to_csv(result: &CampaignResult) -> String {
         row.push(cell.mean_delivered.to_string());
         row.push(cell.delivery_rate().to_string());
         row.push(cell.mean_broadcasts.to_string());
+        row.push(cell.mean_silence.to_string());
+        row.push(cell.mean_collisions.to_string());
+        row.push(cell.collision_rate().to_string());
         row.push(opt_num(cell.mean_latency));
+        row.push(opt_num(cell.mean_energy));
         row.push(opt_num(cell.mean_first_access));
         row.push(opt_num(cell.mean_first_success_slot));
         out.push_str(
@@ -99,7 +107,11 @@ fn cell_to_json(result: &CampaignResult, cell: &CellResult) -> Json {
         ("delivered".into(), Json::Num(cell.mean_delivered)),
         ("delivery_rate".into(), Json::Num(cell.delivery_rate())),
         ("broadcasts".into(), Json::Num(cell.mean_broadcasts)),
+        ("silence".into(), Json::Num(cell.mean_silence)),
+        ("collisions".into(), Json::Num(cell.mean_collisions)),
+        ("collision_rate".into(), Json::Num(cell.collision_rate())),
         ("latency".into(), Json::opt_f64(cell.mean_latency)),
+        ("energy".into(), Json::opt_f64(cell.mean_energy)),
         ("first_access".into(), Json::opt_f64(cell.mean_first_access)),
         (
             "first_success_slot".into(),
@@ -154,7 +166,10 @@ mod tests {
             mean_active: 9.0,
             mean_delivered: 4.0,
             mean_broadcasts: 12.0,
+            mean_silence: 3.0,
+            mean_collisions: 2.0,
             mean_latency: Some(3.5),
+            mean_energy: Some(4.25),
             mean_first_access: Some(2.0),
             mean_first_success_slot: None,
             checkpoints: vec![
@@ -195,7 +210,13 @@ mod tests {
             lines[1]
         );
         // A quoted field must not split the row: column count matches.
-        assert_eq!(lines[0].split(',').count(), 16);
+        assert_eq!(lines[0].split(',').count(), 20);
+        assert!(
+            lines[0].contains("silence,collisions,collision_rate"),
+            "ground-truth tally columns present: {}",
+            lines[0]
+        );
+        assert!(lines[0].contains("energy"));
     }
 
     #[test]
@@ -206,6 +227,10 @@ mod tests {
             assert_eq!(v.get("campaign").unwrap(), &Json::Str("fake".into()));
             assert_eq!(v.get("latency").unwrap(), &Json::Num(3.5));
             assert_eq!(v.get("first_success_slot").unwrap(), &Json::Null);
+            assert_eq!(v.get("silence").unwrap(), &Json::Num(3.0));
+            assert_eq!(v.get("collisions").unwrap(), &Json::Num(2.0));
+            assert_eq!(v.get("collision_rate").unwrap(), &Json::Num(0.2));
+            assert_eq!(v.get("energy").unwrap(), &Json::Num(4.25));
         }
     }
 }

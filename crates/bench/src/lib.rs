@@ -48,7 +48,7 @@ pub mod args;
 pub mod campaign;
 pub mod scenario;
 
-pub use args::ExpArgs;
+pub use args::{closest_matches, first_positional, unknown_name_exit, ExpArgs};
 pub use campaign::{CampaignRunner, SweepSpec};
 pub use scenario::{
     replicate, run_batch, run_batch_light, AlgoSpec, ScenarioRunner, ScenarioSpec, TrialOutcome,

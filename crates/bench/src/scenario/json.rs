@@ -10,8 +10,8 @@
 use std::fmt;
 
 use super::spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, GSpec, HorizonSpec,
-    JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
+    HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
 };
 
 /// Error raised while parsing or interpreting a spec document.
@@ -67,7 +67,9 @@ impl Json {
         v.map_or(Json::Null, Json::Num)
     }
 
-    pub(crate) fn get<'a>(&'a self, key: &str) -> Result<&'a Json, SpecError> {
+    /// Field `key` of an object, or an error for non-objects and missing
+    /// keys.
+    pub fn get<'a>(&'a self, key: &str) -> Result<&'a Json, SpecError> {
         match self {
             Json::Obj(pairs) => pairs
                 .iter()
@@ -78,7 +80,8 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Result<f64, SpecError> {
+    /// The numeric value, or an error for non-numbers.
+    pub fn as_f64(&self) -> Result<f64, SpecError> {
         match self {
             Json::Num(x) => Ok(*x),
             _ => Err(SpecError::new("expected number")),
@@ -115,14 +118,16 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_str(&self) -> Result<&str, SpecError> {
+    /// The string value, or an error for non-strings.
+    pub fn as_str(&self) -> Result<&str, SpecError> {
         match self {
             Json::Str(s) => Ok(s),
             _ => Err(SpecError::new("expected string")),
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Result<&[Json], SpecError> {
+    /// The array items, or an error for non-arrays.
+    pub fn as_arr(&self) -> Result<&[Json], SpecError> {
         match self {
             Json::Arr(items) => Ok(items),
             _ => Err(SpecError::new("expected array")),
@@ -447,6 +452,8 @@ fn baseline_to_json(b: &BaselineSpec) -> Json {
         BaselineSpec::FBackoff(g) => ("f-backoff", vec![("g", g_to_json(g))]),
         BaselineSpec::ResetBeb => ("reset-beb", vec![]),
         BaselineSpec::ResetWindowBeb => ("reset-window-beb", vec![]),
+        BaselineSpec::CdBackoff => ("cd-beb", vec![]),
+        BaselineSpec::CdAloha(p) => ("cd-aloha", vec![("p", Json::Num(*p))]),
     };
     let mut pairs = vec![("kind", Json::Str(kind.into()))];
     pairs.extend(extra);
@@ -465,6 +472,8 @@ fn baseline_from_json(j: &Json) -> Result<BaselineSpec, SpecError> {
         "f-backoff" => Ok(BaselineSpec::FBackoff(g_from_json(j.get("g")?)?)),
         "reset-beb" => Ok(BaselineSpec::ResetBeb),
         "reset-window-beb" => Ok(BaselineSpec::ResetWindowBeb),
+        "cd-beb" => Ok(BaselineSpec::CdBackoff),
+        "cd-aloha" => Ok(BaselineSpec::CdAloha(j.get("p")?.as_f64()?)),
         other => Err(SpecError::new(format!("unknown baseline `{other}`"))),
     }
 }
@@ -725,6 +734,26 @@ fn adversary_from_json(j: &Json) -> Result<AdversarySpec, SpecError> {
     }
 }
 
+pub(crate) fn channel_to_json(c: &ChannelSpec) -> Json {
+    Json::obj(vec![
+        ("model", Json::Str(c.model.name().into())),
+        ("listen_cost", Json::Num(c.listen_cost)),
+    ])
+}
+
+pub(crate) fn channel_from_json(j: &Json) -> Result<ChannelSpec, SpecError> {
+    let name = j.get("model")?.as_str()?;
+    let base = ChannelSpec::by_name(name)
+        .ok_or_else(|| SpecError::new(format!("unknown channel model `{name}`")))?;
+    // Optional, like every constructor's default: hand-written specs may
+    // give just the model.
+    let listen_cost = match j.get("listen_cost") {
+        Ok(v) => v.as_opt_f64()?.unwrap_or(0.0),
+        Err(_) => 0.0,
+    };
+    Ok(base.with_listen_cost(listen_cost))
+}
+
 fn curve_to_json(c: &CurveSpec) -> Json {
     match c {
         CurveSpec::Unlimited => Json::obj(vec![("kind", Json::Str("unlimited".into()))]),
@@ -818,6 +847,7 @@ impl ScenarioSpec {
                 ),
             ),
             ("history_retention", Json::opt_u64(self.history_retention)),
+            ("channel", channel_to_json(&self.channel)),
         ])
     }
 
@@ -881,6 +911,12 @@ impl ScenarioSpec {
                 Ok(v) => v.as_opt_u64()?,
                 Err(_) => None,
             },
+            // Likewise: documents predating pluggable channel models get
+            // the paper's default.
+            channel: match j.get("channel") {
+                Ok(v) => channel_from_json(v)?,
+                Err(_) => ChannelSpec::default(),
+            },
         })
     }
 
@@ -935,6 +971,43 @@ mod tests {
                 other => panic!("expected number, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn channel_spec_round_trips_and_rejects_unknown_models() {
+        for model in contention_sim::ChannelModel::all() {
+            let spec = ChannelSpec::by_name(model.name())
+                .unwrap()
+                .with_listen_cost(0.125);
+            let parsed = channel_from_json(&channel_to_json(&spec)).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        let bad = Json::obj(vec![
+            ("model", Json::Str("duplex".into())),
+            ("listen_cost", Json::Num(0.0)),
+        ]);
+        assert!(channel_from_json(&bad).is_err());
+        // Hand-written specs may give just the model: listen_cost is
+        // optional and defaults to free listening.
+        let bare = Json::obj(vec![("model", Json::Str("cd".into()))]);
+        assert_eq!(
+            channel_from_json(&bare).unwrap(),
+            ChannelSpec::collision_detection()
+        );
+    }
+
+    #[test]
+    fn pre_channel_documents_parse_with_the_default_model() {
+        // A spec serialized before the channel field existed must load as
+        // the paper's model.
+        let spec = ScenarioSpec::batch(4, 0.0);
+        let mut json = spec.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "channel");
+        }
+        let parsed = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(parsed.channel, ChannelSpec::no_collision_detection());
+        assert_eq!(parsed, spec);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use runner::{
     replicate, run_batch, run_batch_light, AlgoReport, ScenarioReport, ScenarioRunner, TrialOutcome,
 };
 pub use spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, GSpec, HorizonSpec,
-    JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
+    HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
 };

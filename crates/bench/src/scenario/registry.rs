@@ -8,8 +8,8 @@
 //! runs); [`entries`] adds a one-line summary per family.
 
 use super::spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, GSpec, JammingSpec,
-    ParamsSpec, ScenarioSpec, SmoothSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
+    JammingSpec, ParamsSpec, ScenarioSpec, SmoothSpec,
 };
 
 /// One registry family.
@@ -67,6 +67,14 @@ pub fn entries() -> Vec<RegistryEntry> {
         RegistryEntry {
             name: "smooth",
             summary: "greedy adversary constrained to Corollary-3.6 smoothness windows",
+        },
+        RegistryEntry {
+            name: "cd-batch/64",
+            summary: "jammed batch of n on a ternary collision-detection channel, CD-aware roster (param: n)",
+        },
+        RegistryEntry {
+            name: "ack-only-batch/64",
+            summary: "jammed batch of n with ack-only feedback: listeners and adversary hear nothing (param: n)",
         },
         RegistryEntry {
             name: "uniform-random",
@@ -226,6 +234,26 @@ pub fn lookup(name: &str) -> Option<ScenarioSpec> {
                 .fixed_horizon(60_000)
                 .seeds(5)
         }
+        "cd-batch" => {
+            let n = parse_u32(64)?;
+            ScenarioSpec::new(format!("cd-batch/{n}"))
+                .algos(cross_model_roster())
+                .arrivals(ArrivalSpec::batch(n))
+                .jamming(JammingSpec::random(0.25))
+                .channel(ChannelSpec::collision_detection().with_listen_cost(0.1))
+                .until_drained(drain_cap(n))
+                .seeds(5)
+        }
+        "ack-only-batch" => {
+            let n = parse_u32(64)?;
+            ScenarioSpec::new(format!("ack-only-batch/{n}"))
+                .algos(cross_model_roster())
+                .arrivals(ArrivalSpec::batch(n))
+                .jamming(JammingSpec::random(0.25))
+                .channel(ChannelSpec::ack_only())
+                .until_drained(drain_cap(n))
+                .seeds(5)
+        }
         "smooth" => {
             let params = ParamsSpec::constant_jamming();
             ScenarioSpec::new("smooth")
@@ -297,6 +325,19 @@ fn drain_cap(n: u32) -> u64 {
     4096u64.saturating_mul(u64::from(n).max(64))
 }
 
+/// The roster the cross-model scenarios (and the `cd-vs-nocd` campaigns)
+/// share: the paper's protocol, an oblivious classical baseline, a
+/// success-reactive baseline (blinded under ack-only), and a
+/// collision-triggered one (empowered under collision detection).
+pub fn cross_model_roster() -> Vec<AlgoSpec> {
+    vec![
+        AlgoSpec::cjz_constant_jamming(),
+        AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        AlgoSpec::Baseline(BaselineSpec::ResetBeb),
+        AlgoSpec::Baseline(BaselineSpec::CdBackoff),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +379,21 @@ mod tests {
         assert!(lookup("batch/not-a-number").is_none());
         assert!(lookup("no-such-scenario").is_none());
         assert!(lookup("lowerbound/unknown").is_none());
+    }
+
+    #[test]
+    fn cross_model_entries_set_their_channel() {
+        use contention_sim::ChannelModel;
+        let cd = lookup("cd-batch/32").unwrap();
+        assert_eq!(cd.channel.model, ChannelModel::CollisionDetection);
+        assert!(cd.channel.listen_cost > 0.0);
+        let ack = lookup("ack-only-batch/32").unwrap();
+        assert_eq!(ack.channel.model, ChannelModel::AckOnly);
+        // The default entries keep the paper's model.
+        assert_eq!(
+            lookup("batch/64").unwrap().channel.model,
+            ChannelModel::NoCollisionDetection
+        );
     }
 
     #[test]

@@ -189,7 +189,7 @@ impl ScenarioRunner {
     }
 
     fn config(&self, seed: u64) -> SimConfig {
-        let mut config = SimConfig::with_seed(seed);
+        let mut config = SimConfig::with_seed(seed).with_channel(self.spec.channel.model);
         if let RecordMode::Aggregate = self.spec.record {
             config = config.without_slot_records();
         }

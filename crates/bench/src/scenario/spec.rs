@@ -31,7 +31,7 @@ use contention_sim::adversary::{
     SaturatedArrival, ScriptedArrival, ScriptedJamming, SmoothAdversary, SmoothConfig,
     UniformRandomArrival,
 };
-use contention_sim::{NodeId, Protocol, ProtocolFactory};
+use contention_sim::{ChannelModel, NodeId, Protocol, ProtocolFactory};
 
 /// A serializable jamming-tolerance function `g` — the closed-form family
 /// of [`GFunction`] (everything except `Custom`).
@@ -160,6 +160,11 @@ pub enum BaselineSpec {
     ResetBeb,
     /// Windowed BEB resetting its window on every heard success.
     ResetWindowBeb,
+    /// Collision-triggered MIMD window (informative only under the
+    /// collision-detection channel model).
+    CdBackoff,
+    /// Collision-aware MIMD slotted ALOHA starting at probability `p`.
+    CdAloha(f64),
 }
 
 impl BaselineSpec {
@@ -176,6 +181,8 @@ impl BaselineSpec {
             BaselineSpec::FBackoff(g) => Baseline::FBackoff(g.build()),
             BaselineSpec::ResetBeb => Baseline::ResetBeb,
             BaselineSpec::ResetWindowBeb => Baseline::ResetWindowBeb,
+            BaselineSpec::CdBackoff => Baseline::CdBackoff,
+            BaselineSpec::CdAloha(p) => Baseline::CdAloha(*p),
         }
     }
 
@@ -627,6 +634,80 @@ impl SmoothSpec {
     }
 }
 
+/// A serializable channel-feedback model plus its energy accounting: the
+/// scenario-level face of [`ChannelModel`].
+///
+/// The paper's model ([`ChannelModel::NoCollisionDetection`]) is the
+/// default, with free listening — so energy reduces to the classical
+/// channel-access count and every pre-existing spec is unchanged.
+/// `listen_cost` prices one listening slot relative to one broadcast
+/// (cost 1): collision-detection radios that must decode every slot set
+/// it positive; ack-only radios that sleep between attempts keep it at 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelSpec {
+    /// The feedback model the engine applies per slot.
+    pub model: ChannelModel,
+    /// Energy cost of one listening slot (a broadcast costs 1).
+    pub listen_cost: f64,
+}
+
+impl Default for ChannelSpec {
+    fn default() -> Self {
+        Self::no_collision_detection()
+    }
+}
+
+impl ChannelSpec {
+    /// The paper's model: binary feedback, free listening.
+    pub fn no_collision_detection() -> Self {
+        ChannelSpec {
+            model: ChannelModel::NoCollisionDetection,
+            listen_cost: 0.0,
+        }
+    }
+
+    /// Ternary collision-detection feedback (silence / success / noise),
+    /// free listening.
+    pub fn collision_detection() -> Self {
+        ChannelSpec {
+            model: ChannelModel::CollisionDetection,
+            listen_cost: 0.0,
+        }
+    }
+
+    /// Acknowledgement-only feedback: listeners hear nothing.
+    pub fn ack_only() -> Self {
+        ChannelSpec {
+            model: ChannelModel::AckOnly,
+            listen_cost: 0.0,
+        }
+    }
+
+    /// Price listening slots at `cost` broadcasts each (energy metrics
+    /// only; the simulation dynamics are unchanged).
+    pub fn with_listen_cost(mut self, cost: f64) -> Self {
+        self.listen_cost = cost;
+        self
+    }
+
+    /// The spec for a model by its stable name (`no-cd`, `cd`,
+    /// `ack-only`), as printed by [`ChannelModel::name`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        ChannelModel::all()
+            .into_iter()
+            .find(|m| m.name() == name)
+            .map(|model| ChannelSpec {
+                model,
+                listen_cost: 0.0,
+            })
+    }
+
+    /// Stable short name (the model's name).
+    pub fn name(&self) -> &'static str {
+        self.model.name()
+    }
+}
+
 /// When a run stops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HorizonSpec {
@@ -693,6 +774,9 @@ pub struct ScenarioSpec {
     /// explicitly for endurance runs that need O(1) history memory, knowing
     /// it limits how far back adaptive adversaries can look.
     pub history_retention: Option<u64>,
+    /// The channel-feedback model (default: the paper's
+    /// no-collision-detection channel with free listening).
+    pub channel: ChannelSpec,
 }
 
 impl ScenarioSpec {
@@ -713,6 +797,7 @@ impl ScenarioSpec {
             seed_base: 0,
             record: RecordMode::Full,
             history_retention: None,
+            channel: ChannelSpec::no_collision_detection(),
         }
     }
 
@@ -819,6 +904,12 @@ impl ScenarioSpec {
     /// [`ScenarioSpec::history_retention`]).
     pub fn history_retention(mut self, cap: u64) -> Self {
         self.history_retention = Some(cap);
+        self
+    }
+
+    /// Select the channel-feedback model (see [`ChannelSpec`]).
+    pub fn channel(mut self, channel: ChannelSpec) -> Self {
+        self.channel = channel;
         self
     }
 
@@ -1040,6 +1131,29 @@ mod tests {
             }
             other => panic!("unexpected adversary {other:?}"),
         }
+    }
+
+    #[test]
+    fn channel_defaults_to_no_cd_with_free_listening() {
+        let spec = ScenarioSpec::batch(8, 0.0);
+        assert_eq!(spec.channel, ChannelSpec::no_collision_detection());
+        assert_eq!(spec.channel.model, ChannelModel::NoCollisionDetection);
+        assert_eq!(spec.channel.listen_cost, 0.0);
+        let cd = ScenarioSpec::batch(8, 0.0)
+            .channel(ChannelSpec::collision_detection().with_listen_cost(0.25));
+        assert_eq!(cd.channel.model, ChannelModel::CollisionDetection);
+        assert_eq!(cd.channel.listen_cost, 0.25);
+    }
+
+    #[test]
+    fn channel_spec_by_name_covers_every_model() {
+        for model in ChannelModel::all() {
+            let spec = ChannelSpec::by_name(model.name())
+                .unwrap_or_else(|| panic!("{} must resolve", model.name()));
+            assert_eq!(spec.model, model);
+            assert_eq!(spec.name(), model.name());
+        }
+        assert_eq!(ChannelSpec::by_name("simplex"), None);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Pluggable channel-feedback models: what listeners (and the adversary)
+//! can extract from a slot's ground truth.
+//!
+//! The engine always computes privileged ground truth per slot
+//! ([`SlotOutcome`]: silence / delivery / collision / jamming). A
+//! [`ChannelModel`] is the lens between that ground truth and the public
+//! [`Feedback`] every listener — including the adaptive adversary — hears.
+//! The paper's defining modeling choice, *no collision detection*, is the
+//! default lens; the other models reproduce the channels studied by the
+//! related work (ternary collision-detection channels in Bender et al.,
+//! "Contention Resolution without Collision Detection", and the
+//! restricted-feedback settings of Jiang–Zheng, "Robust and Optimal
+//! Contention Resolution without Collision Detection").
+//!
+//! The model is a [`SimConfig`](crate::config::SimConfig) knob
+//! (`with_channel`), so the same protocol roster and adversary can be
+//! replayed under different feedback regimes from one seed. The mapping is
+//! a pure, allocation-free function of the outcome: the engine's
+//! steady-state hot path stays zero-allocation under every model, and the
+//! default model is bit-identical to the original hard-wired behaviour.
+
+use std::fmt;
+
+use crate::slot::{Feedback, SlotOutcome};
+
+/// A channel-feedback model: the map from per-slot ground truth to the
+/// public feedback heard by listeners and the adversary.
+///
+/// # Examples
+///
+/// ```
+/// use contention_sim::prelude::*;
+///
+/// let collision = SlotOutcome::Collision { broadcasters: 3 };
+/// // The paper's model cannot tell collision from silence...
+/// assert_eq!(
+///     ChannelModel::NoCollisionDetection.feedback(collision),
+///     Feedback::NoSuccess,
+/// );
+/// assert_eq!(
+///     ChannelModel::NoCollisionDetection.feedback(SlotOutcome::Silence),
+///     Feedback::NoSuccess,
+/// );
+/// // ...a ternary collision-detection channel can.
+/// assert_eq!(
+///     ChannelModel::CollisionDetection.feedback(collision),
+///     Feedback::Noise,
+/// );
+/// assert_eq!(
+///     ChannelModel::CollisionDetection.feedback(SlotOutcome::Silence),
+///     Feedback::Silence,
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelModel {
+    /// The paper's model (the default): binary feedback. Exactly one
+    /// unjammed broadcaster ⇒ [`Feedback::Success`]; silence, collision
+    /// and jamming are indistinguishable ⇒ [`Feedback::NoSuccess`].
+    #[default]
+    NoCollisionDetection,
+    /// Ternary feedback: listeners can tell an *empty* slot
+    /// ([`Feedback::Silence`]) from one that carried undecodable energy
+    /// ([`Feedback::Noise`]). Jamming is still indistinguishable from a
+    /// collision — both are noise.
+    CollisionDetection,
+    /// Acknowledgement-only feedback: the successful sender learns of its
+    /// success (it departs), but listeners — and the adversary — hear
+    /// nothing at all ([`Feedback::Nothing`]), success or not.
+    AckOnly,
+}
+
+impl ChannelModel {
+    /// Map a slot's privileged ground truth to the public feedback this
+    /// model delivers to every listener and to the adversary.
+    ///
+    /// Pure and branch-only: safe on the engine's zero-allocation hot
+    /// path. Under [`NoCollisionDetection`](Self::NoCollisionDetection)
+    /// this is exactly [`SlotOutcome::feedback`].
+    #[inline]
+    pub fn feedback(self, outcome: SlotOutcome) -> Feedback {
+        match self {
+            ChannelModel::NoCollisionDetection => outcome.feedback(),
+            ChannelModel::CollisionDetection => match outcome {
+                SlotOutcome::Delivered(id) => Feedback::Success(id),
+                SlotOutcome::Silence => Feedback::Silence,
+                SlotOutcome::Collision { .. } | SlotOutcome::Jammed { .. } => Feedback::Noise,
+            },
+            ChannelModel::AckOnly => Feedback::Nothing,
+        }
+    }
+
+    /// Stable short name used in reports and serialized specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelModel::NoCollisionDetection => "no-cd",
+            ChannelModel::CollisionDetection => "cd",
+            ChannelModel::AckOnly => "ack-only",
+        }
+    }
+
+    /// Whether listeners can ever observe a success under this model.
+    ///
+    /// `false` only for [`AckOnly`](Self::AckOnly), where protocols that
+    /// react to heard successes (and adversaries that jam reactively)
+    /// are structurally blind.
+    #[inline]
+    pub fn reveals_success(self) -> bool {
+        !matches!(self, ChannelModel::AckOnly)
+    }
+
+    /// All models, in registry order.
+    pub fn all() -> [ChannelModel; 3] {
+        [
+            ChannelModel::NoCollisionDetection,
+            ChannelModel::CollisionDetection,
+            ChannelModel::AckOnly,
+        ]
+    }
+}
+
+impl fmt::Display for ChannelModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn outcomes() -> [SlotOutcome; 4] {
+        [
+            SlotOutcome::Silence,
+            SlotOutcome::Delivered(NodeId::new(3)),
+            SlotOutcome::Collision { broadcasters: 2 },
+            SlotOutcome::Jammed { broadcasters: 1 },
+        ]
+    }
+
+    #[test]
+    fn default_model_matches_outcome_feedback_exactly() {
+        // The hard bit-identity constraint: the default model must be the
+        // original hard-wired mapping for every outcome.
+        for outcome in outcomes() {
+            assert_eq!(
+                ChannelModel::NoCollisionDetection.feedback(outcome),
+                outcome.feedback(),
+                "{outcome:?}"
+            );
+        }
+        assert_eq!(ChannelModel::default(), ChannelModel::NoCollisionDetection);
+    }
+
+    #[test]
+    fn cd_splits_silence_from_noise_but_not_jam_from_collision() {
+        let cd = ChannelModel::CollisionDetection;
+        assert_eq!(cd.feedback(SlotOutcome::Silence), Feedback::Silence);
+        assert_eq!(
+            cd.feedback(SlotOutcome::Collision { broadcasters: 5 }),
+            Feedback::Noise
+        );
+        assert_eq!(
+            cd.feedback(SlotOutcome::Jammed { broadcasters: 0 }),
+            Feedback::Noise
+        );
+        assert_eq!(
+            cd.feedback(SlotOutcome::Delivered(NodeId::new(1))),
+            Feedback::Success(NodeId::new(1))
+        );
+    }
+
+    #[test]
+    fn ack_only_reveals_nothing_to_listeners() {
+        for outcome in outcomes() {
+            assert_eq!(
+                ChannelModel::AckOnly.feedback(outcome),
+                Feedback::Nothing,
+                "{outcome:?}"
+            );
+        }
+        assert!(!ChannelModel::AckOnly.reveals_success());
+        assert!(ChannelModel::NoCollisionDetection.reveals_success());
+        assert!(ChannelModel::CollisionDetection.reveals_success());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ChannelModel::NoCollisionDetection.name(), "no-cd");
+        assert_eq!(ChannelModel::CollisionDetection.name(), "cd");
+        assert_eq!(ChannelModel::AckOnly.name(), "ack-only");
+        assert_eq!(ChannelModel::AckOnly.to_string(), "ack-only");
+        assert_eq!(ChannelModel::all().len(), 3);
+    }
+}

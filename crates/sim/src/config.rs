@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::channel::ChannelModel;
+
 /// Configuration for a [`crate::engine::Simulator`] run.
 ///
 /// Kept deliberately small: everything behavioural lives in the protocol
@@ -38,6 +40,10 @@ pub struct SimConfig {
     /// adversary behaviour (deep-history adaptive adversaries see the same
     /// window in full-trace and aggregate-only runs).
     pub history_retention: Option<usize>,
+    /// The channel-feedback model: how per-slot ground truth is reported
+    /// to listeners and the adversary. Defaults to the paper's
+    /// [`ChannelModel::NoCollisionDetection`].
+    pub channel: ChannelModel,
 }
 
 impl SimConfig {
@@ -48,6 +54,7 @@ impl SimConfig {
             seed,
             record_slots: true,
             history_retention: None,
+            channel: ChannelModel::NoCollisionDetection,
         }
     }
 
@@ -68,6 +75,15 @@ impl SimConfig {
         self.history_retention = Some(cap);
         self
     }
+
+    /// Select the channel-feedback model (default:
+    /// [`ChannelModel::NoCollisionDetection`], the paper's model). The
+    /// model changes what listeners *and the adversary* hear; the
+    /// privileged trace always records ground truth.
+    pub fn with_channel(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -76,6 +92,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             record_slots: true,
             history_retention: None,
+            channel: ChannelModel::NoCollisionDetection,
         }
     }
 }
@@ -108,5 +125,19 @@ mod tests {
         let c = SimConfig::with_seed(1).with_history_retention(128);
         assert!(c.record_slots);
         assert_eq!(c.history_retention, Some(128));
+    }
+
+    #[test]
+    fn channel_defaults_to_no_collision_detection() {
+        assert_eq!(
+            SimConfig::with_seed(1).channel,
+            ChannelModel::NoCollisionDetection
+        );
+        assert_eq!(
+            SimConfig::default().channel,
+            ChannelModel::NoCollisionDetection
+        );
+        let c = SimConfig::with_seed(1).with_channel(ChannelModel::AckOnly);
+        assert_eq!(c.channel, ChannelModel::AckOnly);
     }
 }

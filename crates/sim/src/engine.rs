@@ -8,8 +8,10 @@
 //! 3. every active node picks [`Action::Broadcast`] or [`Action::Listen`];
 //! 4. the slot resolves: jammed ⇒ no success; exactly one broadcaster ⇒
 //!    success (sender leaves); otherwise ⇒ no success;
-//! 5. all remaining nodes and the adversary observe the same, *collision-
-//!    detection-free* feedback.
+//! 5. all remaining nodes and the adversary observe the same feedback,
+//!    produced from the slot's ground truth by the configured
+//!    [`ChannelModel`](crate::channel::ChannelModel) (the default is the
+//!    paper's collision-detection-free binary feedback).
 //!
 //! The engine is fully deterministic given the master seed in
 //! [`SimConfig`]: nodes and the adversary each draw from independent derived
@@ -225,10 +227,15 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
                 },
             }
         };
-        let feedback = outcome.feedback();
+        // The channel model maps privileged ground truth to what listeners
+        // and the adversary actually hear (a pure branch: the hot path
+        // stays allocation-free under every model).
+        let feedback = self.config.channel.feedback(outcome);
 
         // 5. Departure of the successful sender (before feedback fan-out —
-        // it has left the system and needs no feedback).
+        // it has left the system and needs no feedback). Departure is
+        // ground truth, not feedback: the sender leaves even under models
+        // where listeners hear nothing.
         if let SlotOutcome::Delivered(_) = outcome {
             let idx = self.broadcasters[0] as usize;
             let node = self.nodes.swap_remove(idx);
@@ -725,6 +732,91 @@ mod tests {
         let mut plain = Simulator::new(SimConfig::with_seed(7), always(), adv);
         assert_eq!(plain.run_until_drained(100_000), StopReason::Drained);
         assert_eq!(plain.current_slot(), sim.current_slot());
+    }
+
+    #[test]
+    fn channel_model_shapes_listener_feedback() {
+        use crate::channel::ChannelModel;
+
+        // One listener alongside two permanent colliders: what it hears per
+        // slot depends only on the configured model.
+        struct Recorder {
+            heard: Vec<Feedback>,
+        }
+        impl Protocol for Recorder {
+            fn name(&self) -> &'static str {
+                "recorder"
+            }
+            fn act(&mut self, _: u64, _: &mut dyn RngCore) -> Action {
+                Action::Listen
+            }
+            fn observe(&mut self, _: u64, fb: Feedback) {
+                self.heard.push(fb);
+            }
+        }
+        let run = |model: ChannelModel| {
+            // Slot 1: all three listen (recorder protocol only acts for
+            // node 0; the colliders broadcast every slot). Build the mix
+            // via a factory switching on node id.
+            let factory = |id: NodeId| -> Box<dyn Protocol> {
+                if id.raw() == 0 {
+                    Box::new(Recorder { heard: vec![] })
+                } else {
+                    Box::new(AlwaysBroadcast)
+                }
+            };
+            let adv = FnAdversary::new("script", |slot, _h, _r| match slot {
+                1 => SlotDecision::inject(1), // recorder, alone: silence
+                2 => SlotDecision::inject(2), // colliders join: collision
+                3 => SlotDecision {
+                    jam: true,
+                    inject: 0,
+                }, // jammed collision
+                _ => SlotDecision::IDLE,
+            });
+            let mut sim = Simulator::new(SimConfig::with_seed(5).with_channel(model), factory, adv);
+            sim.run_for(3);
+            // Ground truth is model-independent.
+            assert_eq!(sim.trace().slot(1).unwrap().outcome, SlotOutcome::Silence);
+            assert_eq!(
+                sim.trace().slot(2).unwrap().outcome,
+                SlotOutcome::Collision { broadcasters: 2 }
+            );
+            assert_eq!(
+                sim.trace().slot(3).unwrap().outcome,
+                SlotOutcome::Jammed { broadcasters: 2 }
+            );
+            sim.history().iter().map(|(_, fb)| fb).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(ChannelModel::NoCollisionDetection),
+            vec![Feedback::NoSuccess; 3]
+        );
+        assert_eq!(
+            run(ChannelModel::CollisionDetection),
+            vec![Feedback::Silence, Feedback::Noise, Feedback::Noise]
+        );
+        assert_eq!(run(ChannelModel::AckOnly), vec![Feedback::Nothing; 3]);
+    }
+
+    #[test]
+    fn ack_only_hides_successes_from_the_adversary() {
+        // A lone broadcaster succeeds in slot 1. Under the default model
+        // the public history records the success; under ack-only the
+        // adversary's view shows nothing, though the trace (ground truth)
+        // still records the departure.
+        let run = |model: crate::channel::ChannelModel| {
+            let adv = CompositeAdversary::new(BatchArrival::new(1, 1), NoJamming);
+            let mut sim =
+                Simulator::new(SimConfig::with_seed(2).with_channel(model), always(), adv);
+            sim.run_for(1);
+            (sim.history().successes(), sim.trace().total_successes())
+        };
+        assert_eq!(
+            run(crate::channel::ChannelModel::NoCollisionDetection),
+            (1, 1)
+        );
+        assert_eq!(run(crate::channel::ChannelModel::AckOnly), (0, 1));
     }
 
     #[test]

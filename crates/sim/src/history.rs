@@ -119,12 +119,18 @@ impl PublicHistory {
         self.jammed_total
     }
 
-    /// Nodes injected but not yet successful — the *backlog* the adversary
-    /// can infer from public information (her injections minus observed
-    /// successes).
+    /// Nodes injected but not yet *heard* successful — the backlog the
+    /// adversary can infer from public information (her injections minus
+    /// observed successes).
     ///
-    /// This equals the true number of nodes in the system because a node
-    /// leaves exactly when its message succeeds.
+    /// Under the success-revealing channel models (`no-cd`, `cd`) this
+    /// equals the true number of nodes in the system, because a node
+    /// leaves exactly when its message succeeds. Under
+    /// [`ChannelModel::AckOnly`](crate::channel::ChannelModel) successes
+    /// are never heard, so this stays at the injection total and
+    /// overestimates the true population — deliberately: the adversary
+    /// (and anything keyed off her view, e.g. `SaturatedArrival`) knows
+    /// only what the model reveals.
     #[inline]
     pub fn backlog(&self) -> u64 {
         self.injected_total.saturating_sub(self.successes)

@@ -14,9 +14,11 @@
 //! * Exactly one broadcaster in an unjammed slot ⇒ success; the sender
 //!   leaves immediately. Zero or ≥ 2 broadcasters, or a jammed slot ⇒
 //!   failure.
-//! * **No collision detection**: silence, collision and jamming produce
-//!   identical feedback ([`Feedback::NoSuccess`]) for nodes *and* for the
-//!   adversary.
+//! * **No collision detection** (the default [`ChannelModel`]): silence,
+//!   collision and jamming produce identical feedback
+//!   ([`Feedback::NoSuccess`]) for nodes *and* for the adversary. Richer
+//!   feedback regimes — ternary collision detection, ack-only — are
+//!   selectable via [`SimConfig::with_channel`].
 //! * The adversary is adaptive: before each slot she sees all past public
 //!   feedback and decides whether to jam and how many nodes to inject.
 //!
@@ -47,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
+pub mod channel;
 pub mod config;
 pub mod dual;
 pub mod engine;
@@ -58,6 +61,7 @@ pub mod rng;
 pub mod slot;
 
 pub use adversary::{Adversary, SlotDecision};
+pub use channel::ChannelModel;
 pub use config::SimConfig;
 pub use engine::{Simulator, StopReason};
 pub use history::PublicHistory;
@@ -75,6 +79,7 @@ pub mod prelude {
         PoissonArrival, RandomJamming, SaturatedArrival, ScriptedArrival, ScriptedJamming,
         SlotDecision,
     };
+    pub use crate::channel::ChannelModel;
     pub use crate::config::SimConfig;
     pub use crate::engine::{Simulator, StopReason};
     pub use crate::history::PublicHistory;

@@ -55,6 +55,24 @@ impl DepartureRecord {
     pub fn latency(&self) -> u64 {
         self.departure_slot - self.arrival_slot + 1
     }
+
+    /// Slots the node spent listening (in the system but not
+    /// broadcasting).
+    #[inline]
+    pub fn listens(&self) -> u64 {
+        self.latency() - self.accesses
+    }
+
+    /// Model-aware energy: broadcast attempts at unit cost plus listening
+    /// slots at `listen_cost` each. With `listen_cost = 0` this is the
+    /// classical channel-access complexity (`accesses`); channel models
+    /// where listening is expensive (full-decode collision detection) or
+    /// free (ack-only radios that sleep between attempts) set their own
+    /// cost via the scenario's `ChannelSpec`.
+    #[inline]
+    pub fn energy(&self, listen_cost: f64) -> f64 {
+        self.accesses as f64 + listen_cost * self.listens() as f64
+    }
 }
 
 /// Snapshot of a node still in the system when the simulation stopped.
@@ -243,6 +261,16 @@ impl Trace {
     /// Maximum channel accesses over delivered nodes.
     pub fn max_accesses(&self) -> Option<u64> {
         self.departures.iter().map(|d| d.accesses).max()
+    }
+
+    /// Mean model-aware energy per delivered node (see
+    /// [`DepartureRecord::energy`]), if any were delivered.
+    pub fn mean_energy(&self, listen_cost: f64) -> Option<f64> {
+        if self.departures.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.departures.iter().map(|d| d.energy(listen_cost)).sum();
+        Some(sum / self.departures.len() as f64)
     }
 
     /// The `q`-quantile of delivered-node latency (`0 ≤ q ≤ 1`), linear
@@ -493,6 +521,13 @@ mod tests {
         assert_eq!(t.mean_latency(), Some(2.5));
         assert_eq!(t.mean_accesses(), Some(2.0));
         assert_eq!(t.max_accesses(), Some(3));
+        // Energy: free listening reduces to mean accesses; with a listening
+        // cost each departed node pays for its idle slots too. Departure 1:
+        // latency 1, accesses 1, listens 0. Departure 2: latency 4,
+        // accesses 3, listens 1.
+        assert_eq!(t.mean_energy(0.0), Some(2.0));
+        assert_eq!(t.mean_energy(0.5), Some((1.0 + 3.5) / 2.0));
+        assert_eq!(Trace::new().mean_energy(1.0), None);
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub struct StreamingStats {
     active: u64,
     successes: u64,
     broadcasts: u64,
+    silence: u64,
+    collisions: u64,
     max_population: u64,
     /// `(t, arrivals, jammed, active, successes)` at dyadic t.
     checkpoints: Vec<(u64, u64, u64, u64, u64)>,
@@ -59,6 +61,15 @@ impl StreamingStats {
         self.active += u64::from(rec.active);
         self.successes += u64::from(rec.is_success());
         self.broadcasts += u64::from(rec.broadcasters);
+        // Ground-truth outcome tallies (privileged view): the jammed count
+        // above tracks adversary *decisions*; these classify what actually
+        // happened on the channel, so cross-model campaigns can report
+        // collision rates without record mode.
+        match rec.outcome {
+            crate::slot::SlotOutcome::Silence => self.silence += 1,
+            crate::slot::SlotOutcome::Collision { .. } => self.collisions += 1,
+            crate::slot::SlotOutcome::Delivered(_) | crate::slot::SlotOutcome::Jammed { .. } => {}
+        }
         self.max_population = self.max_population.max(rec.population);
         if self.slots == self.next_checkpoint {
             self.checkpoints.push((
@@ -100,6 +111,16 @@ impl StreamingStats {
     /// Total broadcast attempts (summed contention).
     pub fn broadcasts(&self) -> u64 {
         self.broadcasts
+    }
+
+    /// Ground-truth silent slots (no broadcasters, not jammed).
+    pub fn silence(&self) -> u64 {
+        self.silence
+    }
+
+    /// Ground-truth collision slots (≥ 2 broadcasters, not jammed).
+    pub fn collisions(&self) -> u64 {
+        self.collisions
     }
 
     /// Largest population ever in the system.
@@ -161,6 +182,16 @@ mod tests {
         assert_eq!(s.successes(), 1);
         assert_eq!(s.broadcasts(), 4);
         assert_eq!(s.max_population(), 3);
+        assert_eq!(s.collisions(), 1);
+        assert_eq!(s.silence(), 0);
+        s.record(&rec(0, false, false, SlotOutcome::Silence));
+        assert_eq!(s.silence(), 1);
+        // Tallies partition the slots: silence + collisions + jammed +
+        // successes = slots.
+        assert_eq!(
+            s.silence() + s.collisions() + s.jammed() + s.successes(),
+            s.slots()
+        );
     }
 
     #[test]

@@ -12,14 +12,20 @@ use crate::node::NodeId;
 
 /// Channel feedback delivered to every listener at the end of a slot.
 ///
-/// The model has **no collision detection**: a slot with zero broadcasters
-/// (silence), a slot with two or more broadcasters (collision), and a jammed
-/// slot are all reported identically as [`Feedback::NoSuccess`]. Only a slot
-/// in which exactly one node broadcast — and which was not jammed — produces
-/// [`Feedback::Success`].
+/// Which variants can actually occur is decided by the configured
+/// [`ChannelModel`](crate::channel::ChannelModel) — the paper's model is
+/// [`ChannelModel::NoCollisionDetection`](crate::channel::ChannelModel),
+/// under which a slot with zero broadcasters (silence), a slot with two or
+/// more broadcasters (collision), and a jammed slot are all reported
+/// identically as [`Feedback::NoSuccess`]. Only a slot in which exactly one
+/// node broadcast — and which was not jammed — produces
+/// [`Feedback::Success`]. Richer models split `NoSuccess` into
+/// [`Feedback::Silence`] / [`Feedback::Noise`] (ternary collision
+/// detection) or collapse everything to [`Feedback::Nothing`] (ack-only).
 ///
-/// The adversary receives the *same* feedback stream; she cannot distinguish
-/// silence from collision either (Section 1, "Additional model details").
+/// The adversary receives the *same* feedback stream as the listeners;
+/// under the paper's model she cannot distinguish silence from collision
+/// either (Section 1, "Additional model details").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Feedback {
     /// Exactly one node broadcast in an unjammed slot; its message was
@@ -27,8 +33,21 @@ pub enum Feedback {
     /// that bookkeeping (and the sender itself) can tell whose message got
     /// through; protocols must not extract any other information from it.
     Success(NodeId),
-    /// Anything else: silence, collision, or jamming — indistinguishable.
+    /// No message got through: silence, collision, or jamming —
+    /// indistinguishable. The only failure feedback of the paper's
+    /// no-collision-detection model.
     NoSuccess,
+    /// Collision-detection models only: the slot was verifiably *empty*
+    /// (no broadcasters, not jammed).
+    Silence,
+    /// Collision-detection models only: the channel carried energy but no
+    /// decodable message — a collision or a jammed slot. (Jamming is
+    /// indistinguishable from collision even with collision detection.)
+    Noise,
+    /// Ack-only models: listeners receive no channel feedback at all.
+    /// A node can still infer that its *own* broadcast failed from the
+    /// fact that it is still in the system.
+    Nothing,
 }
 
 impl Feedback {
@@ -43,7 +62,7 @@ impl Feedback {
     pub fn sender(self) -> Option<NodeId> {
         match self {
             Feedback::Success(id) => Some(id),
-            Feedback::NoSuccess => None,
+            _ => None,
         }
     }
 }
@@ -52,7 +71,10 @@ impl fmt::Display for Feedback {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Feedback::Success(id) => write!(f, "success({id})"),
-            Feedback::NoSuccess => write!(f, "no-success"),
+            Feedback::NoSuccess => f.write_str("no-success"),
+            Feedback::Silence => f.write_str("silence"),
+            Feedback::Noise => f.write_str("noise"),
+            Feedback::Nothing => f.write_str("nothing"),
         }
     }
 }
@@ -158,8 +180,11 @@ pub enum SlotOutcome {
 }
 
 impl SlotOutcome {
-    /// The public feedback corresponding to this outcome — the only part
-    /// visible to nodes and the adversary.
+    /// The public feedback corresponding to this outcome under the
+    /// paper's **no-collision-detection** model — the only part visible to
+    /// nodes and the adversary. Other models map outcomes differently; see
+    /// [`ChannelModel::feedback`](crate::channel::ChannelModel::feedback),
+    /// for which this is the default case.
     #[inline]
     pub fn feedback(self) -> Feedback {
         match self {
@@ -190,8 +215,22 @@ mod tests {
         let fb = Feedback::Success(NodeId::new(7));
         assert!(fb.is_success());
         assert_eq!(fb.sender(), Some(NodeId::new(7)));
-        assert!(!Feedback::NoSuccess.is_success());
-        assert_eq!(Feedback::NoSuccess.sender(), None);
+        for fb in [
+            Feedback::NoSuccess,
+            Feedback::Silence,
+            Feedback::Noise,
+            Feedback::Nothing,
+        ] {
+            assert!(!fb.is_success());
+            assert_eq!(fb.sender(), None);
+        }
+    }
+
+    #[test]
+    fn feedback_display_names_are_stable() {
+        assert_eq!(Feedback::Silence.to_string(), "silence");
+        assert_eq!(Feedback::Noise.to_string(), "noise");
+        assert_eq!(Feedback::Nothing.to_string(), "nothing");
     }
 
     #[test]

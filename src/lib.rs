@@ -33,9 +33,9 @@ pub mod prelude {
     pub use contention_backoff::{FFunction, GFunction, Schedule};
     pub use contention_baselines::Baseline;
     pub use contention_bench::scenario::{
-        AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, CurveSpec, GSpec,
-        HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioRunner, ScenarioSpec, SmoothSpec,
-        TrialOutcome,
+        AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec,
+        GSpec, HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioRunner, ScenarioSpec,
+        SmoothSpec, TrialOutcome,
     };
     pub use contention_core::{
         CjzFactory, CjzProtocol, PhaseKind, ProtocolParams, ThroughputReport, ThroughputVerifier,

@@ -8,11 +8,17 @@
 //! reusable broadcaster scratch, derived local clocks, and aggregate-mode
 //! recording that never materializes per-slot storage.
 //!
-//! The whole check runs inside a single `#[test]` so concurrent test
-//! threads cannot pollute the counter.
+//! The counter is **per-thread**: the libtest harness runs its own
+//! threads concurrently with the test body and occasionally allocates
+//! (observed as a rare flake on loaded single-core machines, where a
+//! process-global counter picked up 1–2 foreign allocations inside the
+//! measured window). A const-initialized thread-local (`Cell<u64>` has
+//! no destructor, so first access neither allocates nor registers a TLS
+//! dtor) counts only this thread's allocations, keeping the assertions
+//! exact and immune to harness noise.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use contention::prelude::*;
 use contention::sim::adversary::{BatchArrival, CompositeAdversary, NullAdversary, RandomJamming};
@@ -21,13 +27,22 @@ use contention::sim::{NodeId, Protocol, SimConfig, Simulator};
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Count one allocator call on the current thread. `try_with` because
+/// allocation can happen during thread teardown, after TLS destruction;
+/// those calls are outside any measured window and safe to drop.
+fn count_one() {
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 // SAFETY: delegates every operation to the system allocator unchanged; the
 // counter is a side effect only.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
@@ -36,12 +51,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 }
@@ -49,8 +64,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
+/// Allocations made by the current thread so far.
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    THREAD_ALLOCATIONS.with(|c| c.get())
 }
 
 /// Run `steps` slots and return how many allocations they performed.

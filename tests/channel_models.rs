@@ -1,0 +1,150 @@
+//! Integration: the pluggable channel-feedback model layer.
+//!
+//! Pins the three contracts of the redesign:
+//!
+//! 1. **Default equivalence** — the no-collision-detection model is the
+//!    default and behaves exactly like the pre-redesign engine (the golden
+//!    fingerprints in `tests/determinism.rs` pin the byte-identity; here
+//!    we pin spec-level equivalence and cross-model ground-truth parity).
+//! 2. **Model-dependent visibility** — listeners and the adversary hear
+//!    exactly what the configured model says, nothing more.
+//! 3. **Serialization** — `ChannelSpec` round-trips through JSON,
+//!    property-tested over the whole model × listen-cost space.
+
+use contention::bench::scenario::lookup;
+use contention::prelude::*;
+use proptest::prelude::*;
+
+/// Slot-outcome fingerprint of a trace (ground truth only, no feedback).
+fn outcome_fingerprint(trace: &Trace) -> Vec<(u32, bool, u64)> {
+    trace
+        .slots()
+        .iter()
+        .map(|r| (r.broadcasters, r.jammed, r.population))
+        .collect()
+}
+
+fn batch_spec(channel: ChannelSpec, algo: AlgoSpec) -> ScenarioSpec {
+    ScenarioSpec::new("cross-model")
+        .algos([algo])
+        .arrivals(ArrivalSpec::batch(16))
+        .jamming(JammingSpec::Scripted {
+            slots: (1..200).step_by(7).collect(),
+        })
+        .channel(channel)
+        .fixed_horizon(600)
+}
+
+/// CD and no-CD agree on ground truth for identical seeds when the
+/// protocol ignores feedback content: aloha never reads feedback, and the
+/// scripted adversary cannot adapt. Only what listeners *hear* differs.
+#[test]
+fn feedback_oblivious_runs_agree_on_ground_truth_across_models() {
+    let algo = AlgoSpec::Baseline(BaselineSpec::Aloha(0.2));
+    let run = |channel: ChannelSpec| {
+        let runner = ScenarioRunner::new(batch_spec(channel, algo.clone()));
+        runner.run_seed(&algo, 42).trace
+    };
+    let nocd = run(ChannelSpec::no_collision_detection());
+    let cd = run(ChannelSpec::collision_detection());
+    let ack = run(ChannelSpec::ack_only());
+    assert_eq!(outcome_fingerprint(&nocd), outcome_fingerprint(&cd));
+    assert_eq!(outcome_fingerprint(&nocd), outcome_fingerprint(&ack));
+    assert_eq!(nocd.departures(), cd.departures());
+    assert_eq!(nocd.departures(), ack.departures());
+    assert!(nocd.total_successes() > 0, "the run must actually deliver");
+}
+
+/// The cross-model scenarios diverge when the protocol *does* read
+/// feedback: cd-beb under CD reacts to silence/noise it never hears under
+/// the paper's model.
+#[test]
+fn feedback_aware_runs_diverge_across_models() {
+    let algo = AlgoSpec::Baseline(BaselineSpec::CdBackoff);
+    let run = |channel: ChannelSpec| {
+        let runner = ScenarioRunner::new(batch_spec(channel, algo.clone()));
+        let out = runner.run_seed(&algo, 42);
+        (outcome_fingerprint(&out.trace), out.trace.total_successes())
+    };
+    let (nocd, _) = run(ChannelSpec::no_collision_detection());
+    let (cd, cd_successes) = run(ChannelSpec::collision_detection());
+    assert_ne!(nocd, cd, "richer feedback must change cd-beb's behaviour");
+    assert!(cd_successes > 0);
+}
+
+/// The adversary sees exactly what the model says: a reactive jammer
+/// (jams after every *observed* success) fires under no-CD and CD but is
+/// structurally blind under ack-only feedback.
+#[test]
+fn reactive_jamming_is_blind_under_ack_only() {
+    let algo = AlgoSpec::Baseline(BaselineSpec::Aloha(0.3));
+    let run = |channel: ChannelSpec| {
+        let spec = ScenarioSpec::new("reactive-visibility")
+            .algos([algo.clone()])
+            .arrivals(ArrivalSpec::batch(8))
+            .jamming(JammingSpec::Reactive { burst: 3 })
+            .channel(channel)
+            .fixed_horizon(2000);
+        let out = ScenarioRunner::new(spec).run_seed(&algo, 7);
+        out.trace.total_jammed()
+    };
+    assert!(run(ChannelSpec::no_collision_detection()) > 0);
+    assert!(run(ChannelSpec::collision_detection()) > 0);
+    assert_eq!(run(ChannelSpec::ack_only()), 0, "nothing to react to");
+}
+
+/// Registry entries select models end to end, and the default path is the
+/// paper's model.
+#[test]
+fn registry_cross_model_scenarios_run() {
+    for (name, model) in [
+        ("cd-batch/8", ChannelModel::CollisionDetection),
+        ("ack-only-batch/8", ChannelModel::AckOnly),
+    ] {
+        let spec = lookup(name).unwrap_or_else(|| panic!("{name} must resolve"));
+        assert_eq!(spec.channel.model, model);
+        let algo = spec.algos[0].clone();
+        let out = ScenarioRunner::new(spec.seeds(1)).run_seed(&algo, 1);
+        assert!(out.drained, "{name} must drain at smoke scale");
+    }
+}
+
+/// Model-aware energy: with a positive listening cost, energy strictly
+/// exceeds the access count whenever any delivered node ever listened.
+#[test]
+fn listen_cost_prices_energy() {
+    let algo = AlgoSpec::cjz_constant_jamming();
+    let spec = ScenarioSpec::batch(8, 0.0)
+        .algos([algo.clone()])
+        .until_drained(100_000);
+    let trace = ScenarioRunner::new(spec).run_seed(&algo, 3).trace;
+    let free = trace.mean_energy(0.0).unwrap();
+    let costly = trace.mean_energy(0.5).unwrap();
+    assert_eq!(Some(free), trace.mean_accesses());
+    assert!(costly > free, "listening slots must be priced in");
+}
+
+proptest! {
+    /// `ChannelSpec` JSON round-trips across the whole model ×
+    /// listen-cost space, embedded in a full scenario document.
+    #[test]
+    fn channel_spec_round_trips_through_json(
+        model_idx in 0usize..3,
+        listen_cost in 0.0f64..4.0,
+        n in 1u32..512,
+    ) {
+        let model = ChannelModel::all()[model_idx];
+        let channel = ChannelSpec::by_name(model.name())
+            .unwrap()
+            .with_listen_cost(listen_cost);
+        let spec = ScenarioSpec::batch(n, 0.1)
+            .algo(AlgoSpec::Baseline(BaselineSpec::CdAloha(0.25)))
+            .channel(channel);
+        let json = spec.to_json_string();
+        let parsed = ScenarioSpec::from_json_str(&json).unwrap();
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(parsed.channel.model, model);
+        // Canonical encoding: re-serializing is stable.
+        prop_assert_eq!(parsed.to_json_string(), json);
+    }
+}
