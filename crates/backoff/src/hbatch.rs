@@ -12,7 +12,7 @@
 use rand::Rng;
 use rand::RngCore;
 
-use crate::schedule::{ProbTable, Schedule};
+use crate::schedule::{walk_next_send, ProbTable, Schedule, SurvivalTable};
 
 /// Driver for an `h`-batch over an abstract channel-slot sequence.
 ///
@@ -37,6 +37,9 @@ pub struct HBatch {
     /// once per batch so the per-slot path skips transcendental
     /// re-evaluation and is a single bounds check.
     table: ProbTable,
+    /// Interned log-survival prefix sums for skip-ahead sampling
+    /// (`None` for closed-form or non-internable schedules).
+    survival: Option<SurvivalTable>,
     /// Next slot index `k` (1-based) to be consumed.
     next_index: u64,
     total_sends: u64,
@@ -47,6 +50,7 @@ impl HBatch {
     pub fn new(schedule: Schedule) -> Self {
         HBatch {
             table: schedule.prob_table().unwrap_or_else(ProbTable::empty),
+            survival: schedule.survival_table(),
             schedule,
             next_index: 1,
             total_sends: 0,
@@ -121,6 +125,92 @@ impl HBatch {
         }
         send
     }
+
+    /// Skip-ahead counterpart of [`next`](Self::next): sample and consume
+    /// the slots up to and including the batch's next send, bounded by
+    /// `within` slots.
+    ///
+    /// Returns `Some(gap)` when the next send happens after `gap`
+    /// silent slots (`gap < within`; the batch advances `gap + 1`
+    /// slots), or `None` when no send occurs within the bound (the batch
+    /// advances exactly `within` slots). Distribution-identical to
+    /// calling [`next`](Self::next) `within` times — constant schedules
+    /// invert the geometric law in closed form, others invert the exact
+    /// survival function via the interned [`SurvivalTable`] (binary
+    /// search) or the per-slot walk for `Custom` schedules — but uses a
+    /// single uniform draw, so the RNG stream differs.
+    pub fn next_send_within<R: RngCore + ?Sized>(
+        &mut self,
+        within: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        if within == 0 {
+            return None;
+        }
+        let start = self.next_index;
+        let last = start.saturating_add(within - 1);
+        // Reciprocal survival telescopes: ∏_{i=a..k}(1 − 1/i) = (a−1)/k,
+        // so inversion is closed-form — O(1) with no table at any index.
+        // This is the workhorse schedule (smoothed BEB / h_data) of every
+        // mega-scale scenario.
+        if let Schedule::Reciprocal = self.schedule {
+            let hit = if start == 1 {
+                Some(1) // p_1 = 1: certain send
+            } else {
+                let u = 1.0 - rng.gen::<f64>(); // (0, 1]
+                                                // Smallest k with (start−1)/k < u, i.e. k > (start−1)/u.
+                let kf = (start - 1) as f64 / u;
+                if kf >= last as f64 {
+                    None
+                } else {
+                    Some(((kf.floor() as u64) + 1).clamp(start, last))
+                }
+            };
+            return self.consume(hit, start, last);
+        }
+        let hit = if let Schedule::Constant(p) = self.schedule {
+            if p >= 1.0 {
+                Some(start)
+            } else if p <= 0.0 {
+                None
+            } else {
+                // Geometric inversion: gap = ⌊ln u / ln(1−p)⌋.
+                let u = 1.0 - rng.gen::<f64>(); // (0, 1]
+                let gap = u.ln() / (-p).ln_1p();
+                if gap.is_finite() && gap < within as f64 {
+                    Some(start + gap as u64)
+                } else {
+                    None
+                }
+            }
+        } else {
+            let u = 1.0 - rng.gen::<f64>(); // (0, 1]
+            let ln_u = u.ln();
+            match &self.survival {
+                Some(table) => table.next_send(start, last, ln_u),
+                None => walk_next_send(&self.schedule, start, last, ln_u),
+            }
+        };
+        self.consume(hit, start, last)
+    }
+
+    /// Advance the batch state past a sampled outcome: to just after the
+    /// send index, or past the whole bound on a no-send.
+    fn consume(&mut self, hit: Option<u64>, start: u64, last: u64) -> Option<u64> {
+        match hit {
+            Some(k) => {
+                debug_assert!((start..=last).contains(&k));
+                let gap = k - start;
+                self.next_index = k + 1;
+                self.total_sends += 1;
+                Some(gap)
+            }
+            None => {
+                self.next_index = last.saturating_add(1);
+                None
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +218,7 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)
@@ -225,5 +316,97 @@ mod tests {
     fn schedule_accessor() {
         let b = HBatch::ctrl(3.0);
         assert!(b.schedule().label().contains("log"));
+    }
+
+    #[test]
+    fn next_send_within_consumes_state_correctly() {
+        let mut b = HBatch::data(); // p_1 = 1: certain immediate send
+        let mut r = rng(0);
+        assert_eq!(b.next_send_within(16, &mut r), Some(0));
+        assert_eq!(b.position(), 2);
+        assert_eq!(b.total_sends(), 1);
+        // A zero-width bound consumes nothing.
+        assert_eq!(b.next_send_within(0, &mut r), None);
+        assert_eq!(b.position(), 2);
+        // A no-send outcome consumes exactly the bound.
+        let mut never = HBatch::new(Schedule::Constant(0.0));
+        assert_eq!(never.next_send_within(37, &mut r), None);
+        assert_eq!(never.position(), 38);
+        assert_eq!(never.total_sends(), 0);
+        let mut always = HBatch::new(Schedule::Constant(1.0));
+        assert_eq!(always.next_send_within(5, &mut r), Some(0));
+        assert_eq!(always.position(), 2);
+    }
+
+    /// The sampled "slots until next send" law must match per-slot
+    /// Bernoulli stepping for every schedule family (deterministic
+    /// seeds, 5σ tolerance on the mean and the no-send mass).
+    #[test]
+    fn next_send_within_matches_stepping_distribution() {
+        let schedules = [
+            Schedule::Reciprocal,
+            Schedule::h_ctrl(2.0),
+            Schedule::Constant(0.15),
+            Schedule::PowerLaw { exponent: 1.5 },
+            Schedule::ScaledReciprocal { c: 3.0 },
+            Schedule::Custom(Arc::new(|i| 0.5 / (i as f64).sqrt())),
+        ];
+        const TRIALS: u64 = 4000;
+        const BOUND: u64 = 64;
+        for s in &schedules {
+            let mut step_sum = 0.0f64;
+            let mut step_sq = 0.0f64;
+            let mut step_none = 0u64;
+            let mut skip_sum = 0.0f64;
+            let mut skip_none = 0u64;
+            for t in 0..TRIALS {
+                // Stepping reference.
+                let mut b = HBatch::new(s.clone());
+                let mut r = rng(t);
+                let mut hit = None;
+                for k in 0..BOUND {
+                    if b.next(&mut r) {
+                        hit = Some(k);
+                        break;
+                    }
+                }
+                match hit {
+                    Some(k) => {
+                        step_sum += k as f64;
+                        step_sq += (k * k) as f64;
+                    }
+                    None => step_none += 1,
+                }
+                // Skip-ahead sample.
+                let mut b = HBatch::new(s.clone());
+                let mut r = rng(t + 1_000_000);
+                match b.next_send_within(BOUND, &mut r) {
+                    Some(gap) => {
+                        assert!(gap < BOUND, "{}: gap {gap} out of bound", s.label());
+                        skip_sum += gap as f64;
+                    }
+                    None => skip_none += 1,
+                }
+            }
+            let n = TRIALS as f64;
+            // 5σ band on the mean gap (conditional on sending, compared
+            // via unconditional sums) and on the no-send mass.
+            let var = (step_sq / n - (step_sum / n).powi(2)).max(1.0);
+            let tol_mean = 5.0 * (var / n).sqrt() * 2.0 + 1e-9;
+            assert!(
+                ((step_sum - skip_sum) / n).abs() < tol_mean,
+                "{}: mean gap diverged ({} vs {})",
+                s.label(),
+                step_sum / n,
+                skip_sum / n
+            );
+            let p_none = step_none as f64 / n;
+            let tol_none = 5.0 * (p_none.max(0.002) * (1.0 - p_none.max(0.002)) / n).sqrt() * 2.0;
+            assert!(
+                ((step_none as f64 - skip_none as f64) / n).abs() < tol_none + 0.01,
+                "{}: no-send mass diverged ({step_none} vs {skip_none})",
+                s.label()
+            );
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::functions::log2c;
 
@@ -104,6 +104,173 @@ impl fmt::Debug for ProbTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ProbTable(len={})", self.probs.len())
     }
+}
+
+/// Cap on interned survival-table growth: 2²⁴ entries ≈ 134 MB of prefix
+/// sums per schedule (materialized only when a run actually reaches that
+/// deep), covering 16M-slot local horizons. Samples reaching past the
+/// cap fall back to the exact per-slot walk. The Reciprocal schedule
+/// never builds a table at all — its inversion is closed-form.
+const SURVIVAL_TABLE_MAX: u64 = 1 << 24;
+
+/// Exact per-slot inversion walk: the smallest `k ∈ [from, last]` with
+/// cumulative log-survival `Σ_{i=from..k} ln(1 − p_i) < target`, treating
+/// `p_i ≥ 1` as a certain send and `p_i ≤ 0` as a skipped slot. The slow
+/// but always-correct backstop behind [`SurvivalTable`]; also used
+/// directly for non-internable (`Custom`) schedules.
+pub(crate) fn walk_next_send(
+    schedule: &Schedule,
+    from: u64,
+    last: u64,
+    target: f64,
+) -> Option<u64> {
+    let mut cum = 0.0f64;
+    for i in from..=last {
+        let p = schedule.prob(i);
+        if p >= 1.0 {
+            return Some(i);
+        }
+        if p > 0.0 {
+            cum += (-p).ln_1p();
+            if cum < target {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Interned, lazily grown **log-survival prefix sums** of a schedule:
+/// `prefix[k] = Σ_{i=1..k} ln(1 − p_i)` over the non-certain entries
+/// (certain sends `p_i ≥ 1` contribute 0 and are tracked as *barriers*;
+/// `p_i ≤ 0` entries contribute 0 and can never be selected).
+///
+/// This is the engine of skip-ahead sampling: the next-send index of a
+/// node following the schedule from position `start` is
+/// `min { k : exp(prefix[k] − prefix[start−1]) < u }` for one uniform
+/// draw `u` — found by binary search in O(log table) instead of one
+/// Bernoulli draw per slot. Tables are interned per schedule (shared
+/// process-wide) and grow on demand up to 2²⁴ entries
+/// (`SURVIVAL_TABLE_MAX`); deeper lookups fall back to the exact walk.
+#[derive(Clone)]
+pub struct SurvivalTable {
+    inner: Arc<RwLock<SurvivalCore>>,
+}
+
+struct SurvivalCore {
+    schedule: Schedule,
+    /// `prefix[0] = 0`; `prefix[k]` covers indices `1..=k`.
+    prefix: Vec<f64>,
+    /// Sorted 1-based indices with `p_i ≥ 1`.
+    barriers: Vec<u64>,
+}
+
+impl SurvivalCore {
+    fn covered(&self) -> u64 {
+        (self.prefix.len() - 1) as u64
+    }
+}
+
+impl SurvivalTable {
+    fn new(schedule: Schedule) -> Self {
+        SurvivalTable {
+            inner: Arc::new(RwLock::new(SurvivalCore {
+                schedule,
+                prefix: vec![0.0],
+                barriers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Number of schedule indices currently covered by the prefix sums.
+    pub fn covered(&self) -> u64 {
+        self.inner
+            .read()
+            .expect("survival table poisoned")
+            .covered()
+    }
+
+    fn ensure(&self, upto: u64) {
+        let upto = upto.min(SURVIVAL_TABLE_MAX);
+        if self
+            .inner
+            .read()
+            .expect("survival table poisoned")
+            .covered()
+            >= upto
+        {
+            return;
+        }
+        let mut core = self.inner.write().expect("survival table poisoned");
+        while core.covered() < upto {
+            let i = core.covered() + 1;
+            let p = core.schedule.prob(i);
+            let last = *core.prefix.last().expect("prefix[0] exists");
+            if p >= 1.0 {
+                core.barriers.push(i);
+                core.prefix.push(last);
+            } else if p > 0.0 {
+                core.prefix.push(last + (-p).ln_1p());
+            } else {
+                core.prefix.push(last);
+            }
+        }
+    }
+
+    /// The next-send index in `[start, last]` for log-uniform draw
+    /// `ln_u = ln(u)`, `u ∈ (0, 1]`, or `None` when the draw survives the
+    /// whole range. Deterministic given `ln_u`; exact inversion of the
+    /// Bernoulli schedule (see the `survival_sampling_matches_bernoulli`
+    /// test).
+    pub fn next_send(&self, start: u64, last: u64, ln_u: f64) -> Option<u64> {
+        debug_assert!(start >= 1 && start <= last);
+        self.ensure(last);
+        let core = self.inner.read().expect("survival table poisoned");
+        let covered = core.covered();
+        let in_table_last = last.min(covered);
+        if start > in_table_last {
+            return walk_next_send(&core.schedule, start, last, ln_u);
+        }
+        let base = core.prefix[start as usize - 1];
+        let limit = base + ln_u;
+        // First barrier in range caps the search: survival past it is 0.
+        let bpos = core.barriers.partition_point(|&b| b < start);
+        let barrier = core
+            .barriers
+            .get(bpos)
+            .copied()
+            .filter(|&b| b <= in_table_last);
+        let hi = barrier.map(|b| b - 1).unwrap_or(in_table_last);
+        if start <= hi {
+            let slice = &core.prefix[start as usize..=hi as usize];
+            let off = slice.partition_point(|&v| v >= limit);
+            if off < slice.len() {
+                return Some(start + off as u64);
+            }
+        }
+        if let Some(b) = barrier {
+            return Some(b);
+        }
+        if last <= covered {
+            return None;
+        }
+        // Continue past the table with the residual log-survival budget.
+        let residual = limit - core.prefix[in_table_last as usize];
+        walk_next_send(&core.schedule, in_table_last + 1, last, residual)
+    }
+}
+
+impl fmt::Debug for SurvivalTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SurvivalTable(covered={})", self.covered())
+    }
+}
+
+/// Interned survival tables, keyed by schedule identity (variant +
+/// parameter bits).
+fn survival_tables() -> &'static Mutex<HashMap<(u8, u64), SurvivalTable>> {
+    static TABLES: OnceLock<Mutex<HashMap<(u8, u64), SurvivalTable>>> = OnceLock::new();
+    TABLES.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 fn fill_table(schedule: &Schedule) -> Arc<[f64]> {
@@ -219,6 +386,28 @@ impl Schedule {
             Schedule::LogOverI { c } => Some(log_over_i_table(*c)),
             _ => None,
         }
+    }
+
+    /// An interned [`SurvivalTable`] of this schedule's log-survival
+    /// prefix sums, shared process-wide, for skip-ahead next-send
+    /// sampling. `None` for schedules sampled in closed form
+    /// (`Constant` is geometric) or not internable (`Custom`, which
+    /// falls back to the exact per-slot walk).
+    pub fn survival_table(&self) -> Option<SurvivalTable> {
+        let key = match self {
+            Schedule::Reciprocal => (0u8, 0u64),
+            Schedule::LogOverI { c } => (1, c.to_bits()),
+            Schedule::ScaledReciprocal { c } => (2, c.to_bits()),
+            Schedule::PowerLaw { exponent } => (3, exponent.to_bits()),
+            Schedule::Constant(_) | Schedule::Custom(_) => return None,
+        };
+        let mut tables = survival_tables().lock().expect("survival intern poisoned");
+        Some(
+            tables
+                .entry(key)
+                .or_insert_with(|| SurvivalTable::new(self.clone()))
+                .clone(),
+        )
     }
 
     /// Label for reports.
@@ -375,6 +564,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Reference inversion by direct survival-product walk.
+    fn reference_next_send(s: &Schedule, start: u64, last: u64, u: f64) -> Option<u64> {
+        let mut surv = 1.0f64;
+        for i in start..=last {
+            surv *= 1.0 - s.prob(i);
+            if surv < u {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn survival_table_inversion_matches_direct_product() {
+        let schedules = [
+            Schedule::Reciprocal,
+            Schedule::h_ctrl(2.0), // barriers at 2, 3, 4
+            Schedule::ScaledReciprocal { c: 3.0 },
+            Schedule::PowerLaw { exponent: 1.5 },
+        ];
+        let us: [f64; 6] = [0.9371, 0.5003, 0.2442, 0.0613, 0.0071, 0.000913];
+        for s in &schedules {
+            let t = s.survival_table().expect("internable");
+            for &start in &[1u64, 2, 5, 17, 300] {
+                for &span in &[1u64, 3, 50, 2000] {
+                    let last = start + span - 1;
+                    for &u in &us {
+                        assert_eq!(
+                            t.next_send(start, last, u.ln()),
+                            reference_next_send(s, start, last, u),
+                            "{} start={start} last={last} u={u}",
+                            s.label()
+                        );
+                    }
+                }
+            }
+            assert!(t.covered() >= 300, "{:?} grew on demand", t);
+        }
+    }
+
+    #[test]
+    fn survival_table_certain_and_zero_entries() {
+        // h_ctrl(2): p_1..p_4 ≥ 1 (log2c clamps to ≥ 1). From any index
+        // inside the barrier run the next send is certain and immediate,
+        // regardless of the draw.
+        let s = Schedule::h_ctrl(2.0);
+        let t = s.survival_table().unwrap();
+        assert_eq!(t.next_send(1, 10, (0.99f64).ln()), Some(1));
+        assert_eq!(t.next_send(3, 10, (1e-9f64).ln()), Some(3));
+        // An all-zero schedule never sends, whatever the draw.
+        let zero = Schedule::ScaledReciprocal { c: 0.0 };
+        let tz = zero.survival_table().unwrap();
+        assert_eq!(tz.next_send(1, 500, (0.999f64).ln()), None);
+        assert_eq!(tz.next_send(1, 500, (1e-12f64).ln()), None);
+    }
+
+    #[test]
+    fn walk_matches_table_for_equivalent_schedules() {
+        // A Custom clone of Reciprocal goes down the walk path; results
+        // must agree with the interned table for the same draws.
+        let custom = Schedule::Custom(Arc::new(|i| 1.0 / i as f64));
+        assert!(custom.survival_table().is_none());
+        let table = Schedule::Reciprocal.survival_table().unwrap();
+        for &u in &[0.8123f64, 0.3301, 0.0442] {
+            for &start in &[1u64, 4, 60] {
+                assert_eq!(
+                    walk_next_send(&custom, start, start + 500, u.ln()),
+                    table.next_send(start, start + 500, u.ln()),
+                    "start={start} u={u}"
+                );
+            }
+        }
+        // Constant schedules intern nothing (closed form at the caller).
+        assert!(Schedule::Constant(0.5).survival_table().is_none());
     }
 
     #[test]

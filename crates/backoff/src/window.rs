@@ -148,6 +148,74 @@ impl WindowBackoff {
         self.pos = 0;
         self.chosen = None;
     }
+
+    /// Probability that the next [`next`](Self::next) call transmits: at
+    /// a window start the slot is drawn uniformly (`1/|W|`); mid-window
+    /// the decision is already determined (0 or 1).
+    pub fn next_send_prob(&self) -> f64 {
+        if self.pos == 0 {
+            1.0 / self.window_len() as f64
+        } else if self.chosen == Some(self.pos) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Skip-ahead counterpart of [`next`](Self::next): sample and consume
+    /// the slots up to and including the next transmission, bounded by
+    /// `within` slots.
+    ///
+    /// Returns `Some(gap)` when the next transmission happens after
+    /// `gap` silent slots (`gap < within`; state advances `gap + 1`
+    /// slots), or `None` when no transmission occurs within the bound
+    /// (state advances exactly `within` slots). One uniform draw per
+    /// window visited — the same draws [`next`](Self::next) makes — so
+    /// the transmission pattern is distribution-identical.
+    pub fn next_send_within<R: RngCore + ?Sized>(
+        &mut self,
+        within: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        let mut left = within;
+        let mut gap = 0u64;
+        while left > 0 {
+            let len = self.window_len();
+            if self.pos == 0 {
+                self.chosen = Some(rng.gen_range(0..len));
+            }
+            let chosen = self.chosen.expect("chosen drawn at window start");
+            if chosen >= self.pos {
+                // The window's transmission is still ahead.
+                let offset = chosen - self.pos;
+                if offset < left {
+                    gap += offset;
+                    self.total_sends += 1;
+                    self.pos = chosen + 1;
+                    if self.pos >= len {
+                        self.pos = 0;
+                        self.window = self.window.saturating_add(1);
+                    }
+                    return Some(gap);
+                }
+                // Bound ends before the transmission: stay mid-window
+                // (chosen < len, so no wrap is possible here).
+                self.pos += left;
+                return None;
+            }
+            // Already transmitted this window: burn the remainder.
+            let rest = len - self.pos;
+            if rest > left {
+                self.pos += left;
+                return None;
+            }
+            gap += rest;
+            left -= rest;
+            self.pos = 0;
+            self.window = self.window.saturating_add(1);
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -242,5 +310,59 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    /// Both APIs draw one uniform per window in the same order, so under
+    /// the same seed the transmission slots must match *exactly* — even
+    /// when the skip-ahead bound truncates mid-window.
+    #[test]
+    fn next_send_within_replays_next_exactly() {
+        for growth in [
+            WindowGrowth::Binary,
+            WindowGrowth::Polynomial(2.0),
+            WindowGrowth::Linear,
+        ] {
+            const HORIZON: u64 = 4000;
+            let mut dense = WindowBackoff::new(growth);
+            let mut rd = rng(42);
+            let dense_sends: Vec<u64> = (0..HORIZON).filter(|_| dense.next(&mut rd)).collect();
+            for chunk in [HORIZON, 7, 64] {
+                let mut sparse = WindowBackoff::new(growth);
+                let mut rs = rng(42);
+                let mut sends = Vec::new();
+                let mut slot = 0u64; // slots consumed so far
+                while slot < HORIZON {
+                    let within = chunk.min(HORIZON - slot);
+                    match sparse.next_send_within(within, &mut rs) {
+                        Some(gap) => {
+                            sends.push(slot + gap);
+                            slot += gap + 1;
+                        }
+                        None => slot += within,
+                    }
+                }
+                assert_eq!(
+                    sends,
+                    dense_sends,
+                    "growth {} chunk {chunk}",
+                    growth.label()
+                );
+                assert_eq!(sparse.total_sends(), dense.total_sends());
+            }
+        }
+    }
+
+    #[test]
+    fn next_send_prob_tracks_window_state() {
+        let mut b = WindowBackoff::binary();
+        let mut r = rng(1);
+        // Window 0 (length 1): certain send.
+        assert_eq!(b.next_send_prob(), 1.0);
+        assert!(b.next(&mut r));
+        // Window 1 start: uniform over 2 slots.
+        assert_eq!(b.next_send_prob(), 0.5);
+        let sent_first = b.next(&mut r);
+        // Mid-window the decision is determined.
+        assert_eq!(b.next_send_prob(), if sent_first { 0.0 } else { 1.0 });
     }
 }

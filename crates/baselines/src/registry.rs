@@ -24,6 +24,10 @@ pub enum Baseline {
     LogBackoff(f64),
     /// Slotted ALOHA with fixed probability.
     Aloha(f64),
+    /// Polynomially decaying schedule `p_i = i^(−e)` — the canonical
+    /// sparse mega-scale workload (for `e > 1` each node's expected
+    /// lifetime send count is the constant `ζ(e)`).
+    PolySchedule(f64),
     /// Sawtooth (backon) backoff.
     Sawtooth,
     /// The paper's `(f/a)`-backoff run standalone, tuned for jamming
@@ -53,6 +57,7 @@ impl Baseline {
             Baseline::SmoothedBeb => "smoothed-beb",
             Baseline::LogBackoff(_) => "log-backoff",
             Baseline::Aloha(_) => "aloha",
+            Baseline::PolySchedule(_) => "poly-schedule",
             Baseline::Sawtooth => "sawtooth",
             Baseline::FBackoff(_) => "f-backoff",
             Baseline::ResetBeb => "reset-beb",
@@ -87,6 +92,10 @@ impl ProtocolFactory for Baseline {
             Baseline::SmoothedBeb => Box::new(ScheduleProtocol::smoothed_beb()),
             Baseline::LogBackoff(c) => Box::new(ScheduleProtocol::log_backoff(*c)),
             Baseline::Aloha(p) => Box::new(ScheduleProtocol::aloha(*p)),
+            Baseline::PolySchedule(e) => Box::new(ScheduleProtocol::new(
+                "poly-schedule",
+                Schedule::PowerLaw { exponent: *e },
+            )),
             Baseline::Sawtooth => Box::new(SawtoothProtocol::new()),
             Baseline::FBackoff(g) => Box::new(FBackoffProtocol::new(g.clone(), 1.0, 1.0)),
             Baseline::ResetBeb => Box::new(ResetOnSuccess::smoothed_beb()),

@@ -79,6 +79,18 @@ impl Protocol for ScheduleProtocol {
     fn observes_failures(&self) -> bool {
         false
     }
+
+    fn current_prob(&self) -> Option<f64> {
+        Some(self.batch.next_prob())
+    }
+
+    fn static_until_feedback(&self) -> bool {
+        true
+    }
+
+    fn next_send_within(&mut self, within: u64, rng: &mut rand::rngs::SmallRng) -> Option<u64> {
+        self.batch.next_send_within(within, rng)
+    }
 }
 
 /// A schedule protocol that *restarts* its schedule from `i = 1` whenever it
@@ -145,6 +157,22 @@ impl Protocol for ResetOnSuccess {
 
     fn observes_failures(&self) -> bool {
         false
+    }
+
+    fn current_prob(&self) -> Option<f64> {
+        Some(self.batch.next_prob())
+    }
+
+    fn static_until_feedback(&self) -> bool {
+        true
+    }
+
+    fn restarts_on_success(&self) -> bool {
+        true
+    }
+
+    fn next_send_within(&mut self, within: u64, rng: &mut rand::rngs::SmallRng) -> Option<u64> {
+        self.batch.next_send_within(within, rng)
     }
 }
 

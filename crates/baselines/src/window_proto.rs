@@ -74,6 +74,18 @@ impl Protocol for WindowProtocol {
     fn observes_failures(&self) -> bool {
         false
     }
+
+    fn current_prob(&self) -> Option<f64> {
+        Some(self.backoff.next_send_prob())
+    }
+
+    fn static_until_feedback(&self) -> bool {
+        true
+    }
+
+    fn next_send_within(&mut self, within: u64, rng: &mut rand::rngs::SmallRng) -> Option<u64> {
+        self.backoff.next_send_within(within, rng)
+    }
 }
 
 /// Windowed backoff that resets to window 0 whenever it hears a success —
@@ -136,6 +148,22 @@ impl Protocol for ResettingWindowProtocol {
 
     fn observes_failures(&self) -> bool {
         false
+    }
+
+    fn current_prob(&self) -> Option<f64> {
+        Some(self.backoff.next_send_prob())
+    }
+
+    fn static_until_feedback(&self) -> bool {
+        true
+    }
+
+    fn restarts_on_success(&self) -> bool {
+        true
+    }
+
+    fn next_send_within(&mut self, within: u64, rng: &mut rand::rngs::SmallRng) -> Option<u64> {
+        self.backoff.next_send_within(within, rng)
     }
 }
 

@@ -25,38 +25,73 @@
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use contention_bench::scenario::{lookup, Json, ScenarioRunner, ScenarioSpec};
+use contention_sim::Execution;
 
-/// The pinned suite: registry name, measurement-scale seed count, and a
-/// smoke-mode seed count. Horizons come from the registry spec (smoke mode
-/// shrinks them via [`ScenarioSpec::smoke`]). Editing this list invalidates
-/// cross-PR comparisons — append, don't mutate.
+/// The pinned suite: report name, registry scenario, measurement-scale
+/// seed count, a smoke-mode seed count, and an optional execution-mode
+/// override. Horizons come from the registry spec (smoke mode shrinks
+/// them via [`ScenarioSpec::smoke`]). The `sparse-wall` pair runs the
+/// *same* workload under both engines, so every `BENCH_*.json` records
+/// the skip-ahead speedup next to the exact baseline. Editing this list
+/// invalidates cross-PR comparisons — append, don't mutate.
 const SUITE: &[SuiteEntry] = &[
     SuiteEntry {
+        name: "batch/64",
         scenario: "batch/64",
         seeds: 512,
         smoke_seeds: 4,
+        execution: None,
     },
     SuiteEntry {
+        name: "constant-jamming/0.25",
         scenario: "constant-jamming/0.25",
         seeds: 24,
         smoke_seeds: 2,
+        execution: None,
     },
     SuiteEntry {
+        name: "lowerbound/theorem13",
         scenario: "lowerbound/theorem13",
         seeds: 96,
         smoke_seeds: 4,
+        execution: None,
     },
     SuiteEntry {
+        name: "saturated/32",
         scenario: "saturated/32",
         seeds: 24,
         smoke_seeds: 2,
+        execution: None,
+    },
+    SuiteEntry {
+        name: "sparse-wall/exact",
+        scenario: "sparse-wall/65536",
+        seeds: 8,
+        smoke_seeds: 2,
+        execution: Some(Execution::Exact),
+    },
+    SuiteEntry {
+        name: "sparse-wall/skip-ahead",
+        scenario: "sparse-wall/65536",
+        seeds: 8,
+        smoke_seeds: 2,
+        execution: Some(Execution::SkipAhead),
+    },
+    SuiteEntry {
+        name: "sparse-batch/100000",
+        scenario: "sparse-batch/100000",
+        seeds: 2,
+        smoke_seeds: 2,
+        execution: None,
     },
 ];
 
 struct SuiteEntry {
+    name: &'static str,
     scenario: &'static str,
     seeds: u64,
     smoke_seeds: u64,
+    execution: Option<Execution>,
 }
 
 impl SuiteEntry {
@@ -65,10 +100,14 @@ impl SuiteEntry {
     fn spec(&self, smoke: bool) -> ScenarioSpec {
         let spec = lookup(self.scenario)
             .unwrap_or_else(|| panic!("pinned suite scenario `{}` must resolve", self.scenario));
-        if smoke {
+        let spec = if smoke {
             spec.smoke().seeds(self.smoke_seeds).aggregate_only()
         } else {
             spec.seeds(self.seeds).aggregate_only()
+        };
+        match self.execution {
+            Some(execution) => spec.execution(execution),
+            None => spec,
         }
     }
 }
@@ -113,7 +152,7 @@ fn measure(entry: &SuiteEntry, smoke: bool) -> Measurement {
         }
     }
     Measurement {
-        scenario: entry.scenario,
+        scenario: entry.name,
         seeds,
         algos,
         slots,
@@ -292,6 +331,7 @@ fn check_against_baseline(
         tolerance * 100.0
     );
     let mut regressions = Vec::new();
+    let mut deltas = Vec::new();
     for m in measurements {
         match baseline_rate(m.scenario) {
             Some(base) => {
@@ -300,6 +340,8 @@ fn check_against_baseline(
                 } else {
                     1.0
                 };
+                let delta = (ratio - 1.0) * 100.0;
+                deltas.push(delta);
                 let verdict = if ratio + tolerance < 1.0 {
                     regressions.push(m.scenario);
                     "REGRESSED"
@@ -307,12 +349,8 @@ fn check_against_baseline(
                     "ok"
                 };
                 println!(
-                    "  {:<24} {:>12.0} vs {:>12.0} slots/sec  ({:>6.1}%)  {}",
-                    m.scenario,
-                    m.slots_per_sec,
-                    base,
-                    ratio * 100.0,
-                    verdict
+                    "  {:<24} {:>12.0} vs {:>12.0} slots/sec  ({:>+7.1}%)  {}",
+                    m.scenario, m.slots_per_sec, base, delta, verdict
                 );
             }
             None => println!(
@@ -322,7 +360,18 @@ fn check_against_baseline(
         }
     }
     if regressions.is_empty() {
-        println!("perf check passed: no scenario regressed beyond tolerance");
+        // Per-scenario deltas are printed above on success too; add the
+        // aggregate so a passing run still quantifies its drift.
+        let mean = if deltas.is_empty() {
+            0.0
+        } else {
+            deltas.iter().sum::<f64>() / deltas.len() as f64
+        };
+        println!(
+            "perf check passed: no scenario regressed beyond tolerance \
+             (mean delta {mean:+.1}% over {} compared scenario(s))",
+            deltas.len()
+        );
     } else {
         eprintln!(
             "perf check FAILED: {} scenario(s) regressed more than {:.0}%: {}",
@@ -343,6 +392,10 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
+    // `--filter SUBSTR` runs the suite subset whose names contain the
+    // substring (cargo-test ergonomics); check mode compares only the
+    // measured subset.
+    let filter = grab("--filter");
     let label = grab("--label").unwrap_or_else(|| "default".to_string());
     let date = today_utc();
     let out_path = grab("--out").unwrap_or_else(|| format!("BENCH_{date}.json"));
@@ -377,13 +430,25 @@ fn main() {
         None
     };
 
+    let selected: Vec<&SuiteEntry> = SUITE
+        .iter()
+        .filter(|e| filter.as_deref().is_none_or(|f| e.name.contains(f)))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "--filter `{}` matches no suite entry (suite: {})",
+            filter.unwrap_or_default(),
+            SUITE.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
     println!(
         "perf suite ({} mode, {} scenario(s))…",
         if smoke { "smoke" } else { "full" },
-        SUITE.len()
+        selected.len()
     );
     let mut measurements = Vec::new();
-    for entry in SUITE {
+    for entry in selected {
         let m = measure(entry, smoke);
         println!(
             "  {:<24} {:>12} slots  {:>8.3}s  {:>12.0} slots/sec",
@@ -396,6 +461,14 @@ fn main() {
         // Check mode compares and gates; it never writes a report, so a
         // failing CI run cannot clobber the committed baseline.
         check_against_baseline(&measurements, &baseline, &path, tolerance);
+        return;
+    }
+
+    if filter.is_some() && grab("--out").is_none() {
+        // A filtered run covers a suite subset; writing it under the
+        // default BENCH_<date>.json name would masquerade as a full
+        // baseline. Require an explicit --out for that.
+        println!("filtered run: not writing a BENCH file (pass --out FILE to keep it)");
         return;
     }
 

@@ -10,6 +10,10 @@
 //! # Replay any workload under a different channel-feedback model
 //! cargo run --release -p contention-bench --bin scenarios -- batch/64 --channel cd
 //!
+//! # Force an execution strategy (exact | skip-ahead); skip-ahead falls
+//! # back to exact automatically for slot-adaptive workloads
+//! cargo run --release -p contention-bench --bin scenarios -- batch/4096 --execution skip-ahead
+//!
 //! # Print a scenario as JSON instead of running it
 //! cargo run --release -p contention-bench --bin scenarios -- --json smooth
 //! ```
@@ -17,6 +21,7 @@
 use contention_analysis::{fnum, Table};
 use contention_bench::scenario::{entries, lookup, ChannelSpec, ScenarioRunner};
 use contention_bench::{first_positional, unknown_name_exit};
+use contention_sim::Execution;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,7 +30,11 @@ fn main() {
         .iter()
         .position(|a| a == "--channel")
         .and_then(|i| args.get(i + 1));
-    let name = first_positional(&args, &["--channel"]);
+    let execution = args
+        .iter()
+        .position(|a| a == "--execution")
+        .and_then(|i| args.get(i + 1));
+    let name = first_positional(&args, &["--channel", "--execution"]);
 
     let Some(name) = name else {
         let mut table = Table::new(["name", "what it exercises"])
@@ -49,16 +58,25 @@ fn main() {
         spec = spec.channel(channel_spec);
     }
 
+    if let Some(execution) = execution {
+        let Some(strategy) = Execution::by_name(execution) else {
+            eprintln!("unknown execution strategy `{execution}` (expected exact or skip-ahead)");
+            std::process::exit(2);
+        };
+        spec = spec.execution(strategy);
+    }
+
     if json {
         println!("{}", spec.to_json_string());
         return;
     }
 
     println!(
-        "running `{}` ({} seed(s), channel {})…\n",
+        "running `{}` ({} seed(s), channel {}, {} execution)…\n",
         spec.name,
         spec.seeds,
-        spec.channel.name()
+        spec.channel.name(),
+        spec.execution.name()
     );
     let report = ScenarioRunner::new(spec).run();
     let mut table = Table::new([

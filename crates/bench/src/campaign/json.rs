@@ -41,6 +41,10 @@ fn edit_to_json(e: &Edit) -> Json {
             ("kind", Json::Str("channel".into())),
             ("channel", channel_to_json(c)),
         ]),
+        Edit::Execution(e) => Json::obj(vec![
+            ("kind", Json::Str("execution".into())),
+            ("strategy", Json::Str(e.name().into())),
+        ]),
     }
 }
 
@@ -60,6 +64,12 @@ fn edit_from_json(j: &Json) -> Result<Edit, SpecError> {
         )),
         "seeds" => Ok(Edit::Seeds(j.get("n")?.as_u64()?)),
         "channel" => Ok(Edit::Channel(channel_from_json(j.get("channel")?)?)),
+        "execution" => {
+            let name = j.get("strategy")?.as_str()?;
+            contention_sim::Execution::by_name(name)
+                .map(Edit::Execution)
+                .ok_or_else(|| SpecError::new(format!("unknown execution strategy `{name}`")))
+        }
         other => Err(SpecError::new(format!("unknown edit kind `{other}`"))),
     }
 }

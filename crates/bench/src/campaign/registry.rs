@@ -75,6 +75,10 @@ pub fn entries() -> Vec<CampaignEntry> {
             name: "batch-scaling-clean",
             summary: "batch drain time vs n, clean channel, constant-throughput tuning",
         },
+        CampaignEntry {
+            name: "mega-batch-scaling",
+            summary: "skip-ahead batch drain up to n = 10^6 smoothed-BEB nodes (exact is infeasible)",
+        },
     ]
 }
 
@@ -197,6 +201,35 @@ pub fn lookup(name: &str) -> Option<SweepSpec> {
                 .seeds(5),
         )
         .axis(Axis::n((6..=12).map(|p| 1u32 << p))),
+        // Mega-scale: the sparse engine sweeps n into the millions. Each
+        // point couples the population with a drain cap that scales with
+        // it (the base's `until_drained` is rewritten by Edit::Horizon's
+        // 4x headroom rule).
+        "mega-batch-scaling" => {
+            let points = [10_000u32, 100_000, 1_000_000];
+            SweepSpec::new(
+                "mega-batch-scaling",
+                "Mega-scale batch drain — skip-ahead execution, n up to 10^6",
+                crate::scenario::registry::lookup("sparse-batch/10000")
+                    .expect("sparse-batch registry family")
+                    .seeds(1),
+            )
+            .axis(Axis::new(
+                "n",
+                points
+                    .into_iter()
+                    .map(|n| {
+                        super::sweep::AxisPoint::coupled(
+                            n.to_string(),
+                            [
+                                super::sweep::Edit::N(n),
+                                super::sweep::Edit::Horizon(16 * u64::from(n)),
+                            ],
+                        )
+                    })
+                    .collect(),
+            ))
+        }
         _ => return None,
     };
     Some(sweep)

@@ -10,6 +10,8 @@
 //! axis slowest, and nothing about it depends on thread count or hashing,
 //! so the cell list — and hence every downstream table — is deterministic.
 
+use contention_sim::Execution;
+
 use crate::scenario::spec::{
     AdversarySpec, AlgoSpec, ArrivalSpec, ChannelSpec, GSpec, HorizonSpec, JammingSpec, RecordMode,
     ScenarioSpec,
@@ -48,6 +50,9 @@ pub enum Edit {
     /// Replace the channel-feedback model (and its listening cost) — the
     /// cross-model comparison axis.
     Channel(ChannelSpec),
+    /// Replace the execution strategy (exact vs skip-ahead) — the
+    /// engine-comparison axis, and the knob mega-scale sweeps flip.
+    Execution(Execution),
 }
 
 impl Edit {
@@ -118,6 +123,7 @@ impl Edit {
             Edit::Algos(roster) => spec.algos = roster.clone(),
             Edit::Seeds(s) => spec.seeds = (*s).max(1),
             Edit::Channel(c) => spec.channel = *c,
+            Edit::Execution(e) => spec.execution = *e,
         }
     }
 }
@@ -226,6 +232,18 @@ impl Axis {
             channels
                 .into_iter()
                 .map(|c| AxisPoint::new(c.name(), Edit::Channel(c)))
+                .collect(),
+        )
+    }
+
+    /// Execution-strategy axis: one point per strategy, labelled by the
+    /// strategy's stable name (`exact`, `skip-ahead`).
+    pub fn executions(executions: impl IntoIterator<Item = Execution>) -> Self {
+        Axis::new(
+            "execution",
+            executions
+                .into_iter()
+                .map(|e| AxisPoint::new(e.name(), Edit::Execution(e)))
                 .collect(),
         )
     }

@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use contention_sim::Execution;
+
 use super::spec::{
     AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
     HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
@@ -448,6 +450,7 @@ fn baseline_to_json(b: &BaselineSpec) -> Json {
         BaselineSpec::SmoothedBeb => ("smoothed-beb", vec![]),
         BaselineSpec::LogBackoff(c) => ("log-backoff", vec![("c", Json::Num(*c))]),
         BaselineSpec::Aloha(p) => ("aloha", vec![("p", Json::Num(*p))]),
+        BaselineSpec::PolySchedule(e) => ("poly-schedule", vec![("exponent", Json::Num(*e))]),
         BaselineSpec::Sawtooth => ("sawtooth", vec![]),
         BaselineSpec::FBackoff(g) => ("f-backoff", vec![("g", g_to_json(g))]),
         BaselineSpec::ResetBeb => ("reset-beb", vec![]),
@@ -468,6 +471,7 @@ fn baseline_from_json(j: &Json) -> Result<BaselineSpec, SpecError> {
         "smoothed-beb" => Ok(BaselineSpec::SmoothedBeb),
         "log-backoff" => Ok(BaselineSpec::LogBackoff(j.get("c")?.as_f64()?)),
         "aloha" => Ok(BaselineSpec::Aloha(j.get("p")?.as_f64()?)),
+        "poly-schedule" => Ok(BaselineSpec::PolySchedule(j.get("exponent")?.as_f64()?)),
         "sawtooth" => Ok(BaselineSpec::Sawtooth),
         "f-backoff" => Ok(BaselineSpec::FBackoff(g_from_json(j.get("g")?)?)),
         "reset-beb" => Ok(BaselineSpec::ResetBeb),
@@ -848,6 +852,7 @@ impl ScenarioSpec {
             ),
             ("history_retention", Json::opt_u64(self.history_retention)),
             ("channel", channel_to_json(&self.channel)),
+            ("execution", Json::Str(self.execution.name().into())),
         ])
     }
 
@@ -916,6 +921,16 @@ impl ScenarioSpec {
             channel: match j.get("channel") {
                 Ok(v) => channel_from_json(v)?,
                 Err(_) => ChannelSpec::default(),
+            },
+            // Likewise: documents predating the execution knob run exact.
+            execution: match j.get("execution") {
+                Ok(v) => {
+                    let name = v.as_str()?;
+                    Execution::by_name(name).ok_or_else(|| {
+                        SpecError::new(format!("unknown execution strategy `{name}`"))
+                    })?
+                }
+                Err(_) => Execution::Exact,
             },
         })
     }

@@ -7,6 +7,8 @@
 //! [`names`] lists the canonical instances (what the registry smoke test
 //! runs); [`entries`] adds a one-line summary per family.
 
+use contention_sim::Execution;
+
 use super::spec::{
     AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
     JammingSpec, ParamsSpec, ScenarioSpec, SmoothSpec,
@@ -75,6 +77,18 @@ pub fn entries() -> Vec<RegistryEntry> {
         RegistryEntry {
             name: "ack-only-batch/64",
             summary: "jammed batch of n with ack-only feedback: listeners and adversary hear nothing (param: n)",
+        },
+        RegistryEntry {
+            name: "sparse-wall/65536",
+            summary: "256 smoothed-BEB nodes behind a J-slot jam wall, skip-ahead execution (param: J)",
+        },
+        RegistryEntry {
+            name: "sparse-batch/100000",
+            summary: "mega batch of n smoothed-BEB nodes, only feasible under skip-ahead (param: n)",
+        },
+        RegistryEntry {
+            name: "sparse-poly/1000000",
+            summary: "n nodes on the polynomial schedule i^-1.5, skip-ahead mega-scale (param: n)",
         },
         RegistryEntry {
             name: "uniform-random",
@@ -267,6 +281,49 @@ pub fn lookup(name: &str) -> Option<ScenarioSpec> {
                 })
                 .fixed_horizon(1 << 14)
                 .seeds(5)
+        }
+        // The skip-ahead showcase: a `lowerbound/theorem13`-class sparse
+        // workload (long jam wall, decaying send probabilities) that the
+        // exact engine must grind through slot by slot. The perf suite
+        // pins it in both execution modes to record the speedup.
+        "sparse-wall" => {
+            let j = parse_u64(65_536)?;
+            ScenarioSpec::new(format!("sparse-wall/{j}"))
+                .algo(AlgoSpec::Baseline(BaselineSpec::SmoothedBeb))
+                .arrivals(ArrivalSpec::batch(256))
+                .jamming(JammingSpec::FrontLoaded { until: j })
+                .fixed_horizon(j.saturating_mul(4))
+                .seeds(8)
+                .aggregate_only()
+                .execution(Execution::SkipAhead)
+        }
+        // Mega-scale batch: ~n·ln n broadcast events regardless of the
+        // horizon, so skip-ahead drains 100k nodes in seconds where the
+        // exact engine would need ~n slots of work per slot.
+        "sparse-batch" => {
+            let n = parse_u32(100_000)?;
+            ScenarioSpec::new(format!("sparse-batch/{n}"))
+                .algo(AlgoSpec::Baseline(BaselineSpec::SmoothedBeb))
+                .arrivals(ArrivalSpec::batch(n))
+                .until_drained(64u64.saturating_mul(u64::from(n).max(1024)))
+                .seeds(3)
+                .aggregate_only()
+                .history_retention(4096)
+                .execution(Execution::SkipAhead)
+        }
+        // Mega-scale polynomial schedule (`p_i = i^-1.5`): each node's
+        // expected lifetime send count is ζ(1.5) ≈ 2.6, so even a
+        // million-node population generates only a few million events.
+        "sparse-poly" => {
+            let n = parse_u32(1_000_000)?;
+            ScenarioSpec::new(format!("sparse-poly/{n}"))
+                .algo(AlgoSpec::Baseline(BaselineSpec::PolySchedule(1.5)))
+                .arrivals(ArrivalSpec::batch(n))
+                .fixed_horizon(1 << 20)
+                .seeds(1)
+                .aggregate_only()
+                .history_retention(4096)
+                .execution(Execution::SkipAhead)
         }
         "uniform-random" => ScenarioSpec::new("uniform-random")
             .algo(AlgoSpec::cjz_constant_jamming())

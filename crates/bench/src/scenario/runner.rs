@@ -44,9 +44,12 @@ impl TrialOutcome {
 /// completion order, and `f(i)` is called exactly once per seed — the
 /// output is deterministic, only the schedule is dynamic.
 ///
-/// On a single-core host (or for a single seed) the seeds run inline on
-/// the calling thread: no threads are spawned at all, which matters for
-/// suites replicating hundreds of sub-millisecond trials.
+/// No worker thread is ever spawned when it could not help: zero or one
+/// job, or a single-core host, runs inline on the calling thread — even
+/// smoke suites that replicate hundreds of sub-millisecond trials one
+/// seed at a time never pay thread spawn/join churn. With more jobs the
+/// pool is capped at `min(threads, jobs)` so no worker can sit idle from
+/// the start.
 pub fn replicate<T, F>(seeds: u64, f: F) -> Vec<T>
 where
     T: Send,
@@ -54,13 +57,14 @@ where
 {
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    let workers = std::thread::available_parallelism()
+    let jobs = seeds;
+    let threads = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
-        .unwrap_or(4)
-        .min(seeds);
-    if workers <= 1 {
-        return (0..seeds).map(f).collect();
+        .unwrap_or(4);
+    if jobs <= 1 || threads == 1 {
+        return (0..jobs).map(f).collect();
     }
+    let workers = threads.min(jobs);
 
     let cursor = AtomicU64::new(0);
     let mut results: Vec<Option<T>> = (0..seeds).map(|_| None).collect();
@@ -189,7 +193,9 @@ impl ScenarioRunner {
     }
 
     fn config(&self, seed: u64) -> SimConfig {
-        let mut config = SimConfig::with_seed(seed).with_channel(self.spec.channel.model);
+        let mut config = SimConfig::with_seed(seed)
+            .with_channel(self.spec.channel.model)
+            .with_execution(self.spec.execution);
         if let RecordMode::Aggregate = self.spec.record {
             config = config.without_slot_records();
         }
@@ -355,6 +361,16 @@ mod tests {
     fn replicate_is_ordered_and_deterministic() {
         let xs = replicate(8, |seed| seed * 2);
         assert_eq!(xs, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn replicate_runs_single_jobs_inline() {
+        // Zero or one job must never leave the calling thread (no pool
+        // spawn/join churn on smoke runs).
+        let caller = std::thread::current().id();
+        let ran_on = replicate(1, |_| std::thread::current().id());
+        assert_eq!(ran_on, vec![caller]);
+        assert!(replicate(0, |seed| seed).is_empty());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use contention_sim::adversary::{
     SaturatedArrival, ScriptedArrival, ScriptedJamming, SmoothAdversary, SmoothConfig,
     UniformRandomArrival,
 };
-use contention_sim::{ChannelModel, NodeId, Protocol, ProtocolFactory};
+use contention_sim::{ChannelModel, Execution, NodeId, Protocol, ProtocolFactory};
 
 /// A serializable jamming-tolerance function `g` — the closed-form family
 /// of [`GFunction`] (everything except `Custom`).
@@ -152,6 +152,8 @@ pub enum BaselineSpec {
     LogBackoff(f64),
     /// Slotted ALOHA with fixed probability.
     Aloha(f64),
+    /// Polynomially decaying schedule `p_i = i^(−e)`.
+    PolySchedule(f64),
     /// Sawtooth backoff.
     Sawtooth,
     /// The paper's `(f/a)`-backoff standalone, tuned for `g`.
@@ -177,6 +179,7 @@ impl BaselineSpec {
             BaselineSpec::SmoothedBeb => Baseline::SmoothedBeb,
             BaselineSpec::LogBackoff(c) => Baseline::LogBackoff(*c),
             BaselineSpec::Aloha(p) => Baseline::Aloha(*p),
+            BaselineSpec::PolySchedule(e) => Baseline::PolySchedule(*e),
             BaselineSpec::Sawtooth => Baseline::Sawtooth,
             BaselineSpec::FBackoff(g) => Baseline::FBackoff(g.build()),
             BaselineSpec::ResetBeb => Baseline::ResetBeb,
@@ -777,6 +780,11 @@ pub struct ScenarioSpec {
     /// The channel-feedback model (default: the paper's
     /// no-collision-detection channel with free listening).
     pub channel: ChannelSpec,
+    /// The execution strategy (default [`Execution::Exact`]).
+    /// [`Execution::SkipAhead`] engages the event-driven sparse engine
+    /// for static-phase workloads and falls back to exact automatically
+    /// when the adversary, channel model, or protocol is slot-adaptive.
+    pub execution: Execution,
 }
 
 impl ScenarioSpec {
@@ -798,6 +806,7 @@ impl ScenarioSpec {
             record: RecordMode::Full,
             history_retention: None,
             channel: ChannelSpec::no_collision_detection(),
+            execution: Execution::Exact,
         }
     }
 
@@ -911,6 +920,19 @@ impl ScenarioSpec {
     pub fn channel(mut self, channel: ChannelSpec) -> Self {
         self.channel = channel;
         self
+    }
+
+    /// Select the execution strategy (default [`Execution::Exact`]).
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Convenience: request the event-driven sparse engine
+    /// ([`Execution::SkipAhead`]); always safe, falls back to exact for
+    /// slot-adaptive workloads.
+    pub fn skip_ahead(self) -> Self {
+        self.execution(Execution::SkipAhead)
     }
 
     /// Materialize the fully wrapped adversary

@@ -14,6 +14,27 @@ use rand::RngCore;
 
 use crate::history::PublicHistory;
 
+/// An arrival process's promise about its next injection, queried by the
+/// sparse execution engine (see
+/// [`Forecast`](crate::adversary::Forecast)).
+///
+/// A non-[`Unknown`](ArrivalForecast::Unknown) answer promises that the
+/// process injects nothing strictly before the named slot *and* that
+/// skipping the intermediate [`arrivals`](ArrivalProcess::arrivals) calls
+/// does not change its behaviour (its state must be a pure function of
+/// the slots at which it actually fires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalForecast {
+    /// Cannot promise anything (randomized or history-driven); the full
+    /// adversary must be consulted every slot.
+    Unknown,
+    /// No injections at the queried slot or ever after.
+    Never,
+    /// The next slot (≥ the queried slot) at which an injection may
+    /// happen; [`arrivals`](ArrivalProcess::arrivals) must run there.
+    At(u64),
+}
+
 /// Decides how many nodes to inject at each slot.
 ///
 /// Arrival processes see the same public history as the full adversary, so
@@ -25,6 +46,14 @@ pub trait ArrivalProcess {
     /// `true` once no further injections will ever happen.
     fn exhausted(&self) -> bool {
         false
+    }
+
+    /// Forecast the next injection at or after slot `from` (see
+    /// [`ArrivalForecast`]). Conservative default:
+    /// [`ArrivalForecast::Unknown`].
+    fn next_arrival(&self, from: u64) -> ArrivalForecast {
+        let _ = from;
+        ArrivalForecast::Unknown
     }
 
     /// Short name for reports.
@@ -45,6 +74,10 @@ impl ArrivalProcess for Box<dyn ArrivalProcess> {
         (**self).exhausted()
     }
 
+    fn next_arrival(&self, from: u64) -> ArrivalForecast {
+        (**self).next_arrival(from)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -61,6 +94,10 @@ impl ArrivalProcess for NoArrivals {
 
     fn exhausted(&self) -> bool {
         true
+    }
+
+    fn next_arrival(&self, _: u64) -> ArrivalForecast {
+        ArrivalForecast::Never
     }
 
     fn name(&self) -> &'static str {
@@ -107,6 +144,14 @@ impl ArrivalProcess for BatchArrival {
 
     fn exhausted(&self) -> bool {
         self.done
+    }
+
+    fn next_arrival(&self, from: u64) -> ArrivalForecast {
+        if self.done || from > self.at {
+            ArrivalForecast::Never
+        } else {
+            ArrivalForecast::At(self.at)
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -226,6 +271,18 @@ impl ArrivalProcess for BurstyArrival {
         self.bursts_left == 0
     }
 
+    fn next_arrival(&self, from: u64) -> ArrivalForecast {
+        if self.bursts_left == 0 {
+            return ArrivalForecast::Never;
+        }
+        let next = if from <= self.phase {
+            self.phase
+        } else {
+            self.phase + (from - self.phase).div_ceil(self.period) * self.period
+        };
+        ArrivalForecast::At(next)
+    }
+
     fn name(&self) -> &'static str {
         "bursty"
     }
@@ -271,6 +328,13 @@ impl ArrivalProcess for ScriptedArrival {
         // only a truly empty script reports exhaustion. `BudgetedAdversary`
         // or `run_for` bound the run anyway.
         self.script.is_empty()
+    }
+
+    fn next_arrival(&self, from: u64) -> ArrivalForecast {
+        match self.script.range(from..).next() {
+            Some((&slot, _)) => ArrivalForecast::At(slot),
+            None => ArrivalForecast::Never,
+        }
     }
 
     fn name(&self) -> &'static str {

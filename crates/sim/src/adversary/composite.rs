@@ -2,7 +2,10 @@
 
 use rand::RngCore;
 
-use crate::adversary::{Adversary, ArrivalProcess, JammingStrategy, SlotDecision};
+use crate::adversary::{
+    Adversary, ArrivalForecast, ArrivalProcess, Forecast, JamForecast, JammingStrategy,
+    SlotDecision,
+};
 use crate::history::PublicHistory;
 
 /// An adversary built from an [`ArrivalProcess`] plus a [`JammingStrategy`].
@@ -46,6 +49,25 @@ impl<A: ArrivalProcess, J: JammingStrategy> Adversary for CompositeAdversary<A, 
 
     fn exhausted(&self) -> bool {
         self.arrivals.exhausted()
+    }
+
+    fn forecast(&self, from: u64) -> Forecast {
+        let (jam, jam_until) = match self.jamming.jam_span(from) {
+            JamForecast::Unknown => return Forecast::Adaptive,
+            JamForecast::Constant { jam, until } => (jam, until.max(from)),
+        };
+        match self.arrivals.next_arrival(from) {
+            ArrivalForecast::Unknown => Forecast::Adaptive,
+            ArrivalForecast::At(slot) if slot <= from => Forecast::Consult,
+            ArrivalForecast::At(slot) => Forecast::Quiet {
+                until: jam_until.min(slot - 1),
+                jam,
+            },
+            ArrivalForecast::Never => Forecast::Quiet {
+                until: jam_until,
+                jam,
+            },
+        }
     }
 
     fn name(&self) -> &'static str {

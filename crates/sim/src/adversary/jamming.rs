@@ -13,10 +13,39 @@ use rand::RngCore;
 
 use crate::history::PublicHistory;
 
+/// A jamming strategy's promise about an upcoming slot range, queried by
+/// the sparse execution engine (see
+/// [`Forecast`](crate::adversary::Forecast)).
+///
+/// A [`Constant`](JamForecast::Constant) answer promises that the jam
+/// state holds for every slot from the queried one through `until`, *and*
+/// that skipping the intermediate [`jam`](JammingStrategy::jam) calls does
+/// not change the strategy's behaviour (pure function of the slot index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JamForecast {
+    /// Cannot promise anything (randomized or history-driven).
+    Unknown,
+    /// Every slot from the queried one through `until` (inclusive) is
+    /// jammed iff `jam`.
+    Constant {
+        /// Whether the span is jammed.
+        jam: bool,
+        /// Last slot covered (inclusive; `u64::MAX` = forever).
+        until: u64,
+    },
+}
+
 /// Decides whether to jam each slot.
 pub trait JammingStrategy {
     /// Whether to jam global slot `slot` (1-based).
     fn jam(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> bool;
+
+    /// Forecast the jam state from slot `from` onwards (see
+    /// [`JamForecast`]). Conservative default: [`JamForecast::Unknown`].
+    fn jam_span(&self, from: u64) -> JamForecast {
+        let _ = from;
+        JamForecast::Unknown
+    }
 
     /// Short name for reports.
     fn name(&self) -> &'static str {
@@ -32,6 +61,10 @@ impl JammingStrategy for Box<dyn JammingStrategy> {
         (**self).jam(slot, history, rng)
     }
 
+    fn jam_span(&self, from: u64) -> JamForecast {
+        (**self).jam_span(from)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -44,6 +77,13 @@ pub struct NoJamming;
 impl JammingStrategy for NoJamming {
     fn jam(&mut self, _: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
         false
+    }
+
+    fn jam_span(&self, _: u64) -> JamForecast {
+        JamForecast::Constant {
+            jam: false,
+            until: u64::MAX,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -110,6 +150,24 @@ impl JammingStrategy for PeriodicJamming {
         slot >= self.phase && (slot - self.phase).is_multiple_of(self.period)
     }
 
+    fn jam_span(&self, from: u64) -> JamForecast {
+        if from >= self.phase && (from - self.phase).is_multiple_of(self.period) {
+            return JamForecast::Constant {
+                jam: true,
+                until: from,
+            };
+        }
+        let next = if from < self.phase {
+            self.phase
+        } else {
+            self.phase + (from - self.phase).div_ceil(self.period) * self.period
+        };
+        JamForecast::Constant {
+            jam: false,
+            until: next - 1,
+        }
+    }
+
     fn name(&self) -> &'static str {
         "periodic"
     }
@@ -134,6 +192,20 @@ impl FrontLoadedJamming {
 impl JammingStrategy for FrontLoadedJamming {
     fn jam(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
         slot <= self.until
+    }
+
+    fn jam_span(&self, from: u64) -> JamForecast {
+        if from <= self.until {
+            JamForecast::Constant {
+                jam: true,
+                until: self.until,
+            }
+        } else {
+            JamForecast::Constant {
+                jam: false,
+                until: u64::MAX,
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -290,6 +362,25 @@ impl ScriptedJamming {
 impl JammingStrategy for ScriptedJamming {
     fn jam(&mut self, slot: u64, _: &PublicHistory, _: &mut dyn RngCore) -> bool {
         self.slots.contains(&slot)
+    }
+
+    fn jam_span(&self, from: u64) -> JamForecast {
+        if self.slots.contains(&from) {
+            return JamForecast::Constant {
+                jam: true,
+                until: from,
+            };
+        }
+        match self.slots.range(from..).next() {
+            Some(&next) => JamForecast::Constant {
+                jam: false,
+                until: next - 1,
+            },
+            None => JamForecast::Constant {
+                jam: false,
+                until: u64::MAX,
+            },
+        }
     }
 
     fn name(&self) -> &'static str {

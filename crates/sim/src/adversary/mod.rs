@@ -23,14 +23,14 @@ pub mod lowerbound;
 mod smooth;
 
 pub use arrival::{
-    ArrivalProcess, BatchArrival, BurstyArrival, NoArrivals, PoissonArrival, SaturatedArrival,
-    ScriptedArrival, UniformRandomArrival,
+    ArrivalForecast, ArrivalProcess, BatchArrival, BurstyArrival, NoArrivals, PoissonArrival,
+    SaturatedArrival, ScriptedArrival, UniformRandomArrival,
 };
 pub use budget::{ArrivalBudget, BudgetedAdversary, JamBudget};
 pub use composite::CompositeAdversary;
 pub use jamming::{
-    FrontLoadedJamming, GilbertElliottJamming, JammingStrategy, NoJamming, PeriodicJamming,
-    RandomJamming, ReactiveJamming, ScriptedJamming,
+    FrontLoadedJamming, GilbertElliottJamming, JamForecast, JammingStrategy, NoJamming,
+    PeriodicJamming, RandomJamming, ReactiveJamming, ScriptedJamming,
 };
 pub use smooth::{SmoothAdversary, SmoothConfig};
 
@@ -72,6 +72,38 @@ impl SlotDecision {
     }
 }
 
+/// What an adversary can promise about an upcoming slot range, queried by
+/// the sparse execution engine before skipping slots (see
+/// [`Execution::SkipAhead`](crate::config::Execution)).
+///
+/// The contract of a non-[`Adaptive`](Forecast::Adaptive) forecast is that
+/// the adversary's [`decide`](Adversary::decide) calls may be *skipped*
+/// for the promised quiet slots without changing its behaviour: the
+/// promise must be derivable from the adversary's current state alone,
+/// with no per-slot bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forecast {
+    /// The adversary must be consulted every slot (it is randomized,
+    /// reads the history, or counts `decide` calls). Skip-ahead execution
+    /// falls back to the exact engine.
+    Adaptive,
+    /// [`decide`](Adversary::decide) must run for exactly the queried
+    /// slot (an arrival or other state change is due there); forecasting
+    /// may resume afterwards.
+    Consult,
+    /// For every slot from the queried slot through `until` (inclusive)
+    /// the decision is: inject nothing, jam iff `jam`. The engine may
+    /// resolve the whole span without calling
+    /// [`decide`](Adversary::decide).
+    Quiet {
+        /// Last slot covered by the promise (inclusive; `u64::MAX` =
+        /// forever).
+        until: u64,
+        /// Whether every slot in the span is jammed.
+        jam: bool,
+    },
+}
+
 /// An adaptive adversary: decides jamming and injections slot by slot from
 /// public information only.
 pub trait Adversary {
@@ -87,6 +119,18 @@ pub trait Adversary {
     /// `false` (never claims exhaustion).
     fn exhausted(&self) -> bool {
         false
+    }
+
+    /// Forecast the adversary's behaviour from slot `from` (1-based)
+    /// onwards, for the sparse execution engine. The conservative default
+    /// is [`Forecast::Adaptive`] — "consult me every slot" — which makes
+    /// [`Execution::SkipAhead`](crate::config::Execution) fall back to the
+    /// exact engine. Override only for adversaries whose decisions are a
+    /// pure function of the slot index and their current state (see
+    /// [`Forecast`]).
+    fn forecast(&self, from: u64) -> Forecast {
+        let _ = from;
+        Forecast::Adaptive
     }
 
     /// Short name for reports.
@@ -111,6 +155,10 @@ impl Adversary for Box<dyn Adversary> {
         (**self).exhausted()
     }
 
+    fn forecast(&self, from: u64) -> Forecast {
+        (**self).forecast(from)
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -128,6 +176,13 @@ impl Adversary for NullAdversary {
 
     fn exhausted(&self) -> bool {
         true
+    }
+
+    fn forecast(&self, _from: u64) -> Forecast {
+        Forecast::Quiet {
+            until: u64::MAX,
+            jam: false,
+        }
     }
 
     fn name(&self) -> &'static str {

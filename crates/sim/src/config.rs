@@ -2,6 +2,54 @@
 
 use crate::channel::ChannelModel;
 
+/// Which execution strategy the simulator uses to advance time.
+///
+/// * [`Execution::Exact`] (the default) runs the slot-synchronous engine:
+///   every active node's protocol is consulted every slot. Fixed-seed runs
+///   are byte-identical across releases (the golden fingerprints in
+///   `tests/determinism.rs` pin this).
+/// * [`Execution::SkipAhead`] enables the event-driven sparse engine: when
+///   every protocol is in a *static phase*
+///   ([`Protocol::static_until_feedback`](crate::node::Protocol::static_until_feedback))
+///   and the adversary's behaviour is forecastable
+///   ([`Adversary::forecast`](crate::adversary::Adversary::forecast)), each
+///   node's next broadcast slot is sampled directly from its schedule's
+///   survival function and silent slots are resolved in O(1) batches.
+///   Runs are *distribution-equivalent* to [`Execution::Exact`] (identical
+///   per-node send-process laws, hence identical statistics) but not
+///   RNG-stream-identical. When the adversary, channel model, or protocol
+///   is slot-adaptive the simulator **falls back to the exact engine
+///   automatically** — `SkipAhead` is always safe to request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Slot-synchronous engine; bit-identical replay across releases.
+    #[default]
+    Exact,
+    /// Event-driven sparse engine; skips silent slots, falls back to
+    /// [`Execution::Exact`] when the workload is slot-adaptive.
+    SkipAhead,
+}
+
+impl Execution {
+    /// Stable short name (`exact` / `skip-ahead`), used by serializers
+    /// and CLIs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Execution::Exact => "exact",
+            Execution::SkipAhead => "skip-ahead",
+        }
+    }
+
+    /// Parse a stable short name (inverse of [`name`](Self::name)).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "exact" => Some(Execution::Exact),
+            "skip-ahead" => Some(Execution::SkipAhead),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for a [`crate::engine::Simulator`] run.
 ///
 /// Kept deliberately small: everything behavioural lives in the protocol
@@ -44,6 +92,9 @@ pub struct SimConfig {
     /// to listeners and the adversary. Defaults to the paper's
     /// [`ChannelModel::NoCollisionDetection`].
     pub channel: ChannelModel,
+    /// The execution strategy (default [`Execution::Exact`]). See
+    /// [`Execution`] for the skip-ahead eligibility and fallback rules.
+    pub execution: Execution,
 }
 
 impl SimConfig {
@@ -55,6 +106,7 @@ impl SimConfig {
             record_slots: true,
             history_retention: None,
             channel: ChannelModel::NoCollisionDetection,
+            execution: Execution::Exact,
         }
     }
 
@@ -84,6 +136,15 @@ impl SimConfig {
         self.channel = channel;
         self
     }
+
+    /// Select the execution strategy (default [`Execution::Exact`]).
+    /// Requesting [`Execution::SkipAhead`] is always safe: the simulator
+    /// falls back to the exact engine when the workload is slot-adaptive
+    /// (see [`Execution`]).
+    pub fn with_execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -93,6 +154,7 @@ impl Default for SimConfig {
             record_slots: true,
             history_retention: None,
             channel: ChannelModel::NoCollisionDetection,
+            execution: Execution::Exact,
         }
     }
 }
@@ -125,6 +187,18 @@ mod tests {
         let c = SimConfig::with_seed(1).with_history_retention(128);
         assert!(c.record_slots);
         assert_eq!(c.history_retention, Some(128));
+    }
+
+    #[test]
+    fn execution_defaults_to_exact_and_round_trips_names() {
+        assert_eq!(SimConfig::with_seed(1).execution, Execution::Exact);
+        assert_eq!(SimConfig::default().execution, Execution::Exact);
+        let c = SimConfig::with_seed(1).with_execution(Execution::SkipAhead);
+        assert_eq!(c.execution, Execution::SkipAhead);
+        for e in [Execution::Exact, Execution::SkipAhead] {
+            assert_eq!(Execution::by_name(e.name()), Some(e));
+        }
+        assert_eq!(Execution::by_name("warp"), None);
     }
 
     #[test]

@@ -18,12 +18,13 @@
 //! streams (see [`crate::rng::SeedSequence`]).
 
 use crate::adversary::Adversary;
-use crate::config::SimConfig;
+use crate::config::{Execution, SimConfig};
 use crate::history::PublicHistory;
 use crate::metrics::{DepartureRecord, SlotRecord, SurvivorRecord, Trace};
 use crate::node::{NodeId, Protocol, ProtocolFactory};
 use crate::rng::SeedSequence;
 use crate::slot::{Action, SlotOutcome};
+use crate::sparse::SparseMode;
 
 use rand::rngs::SmallRng;
 
@@ -32,12 +33,12 @@ use rand::rngs::SmallRng;
 /// fat protocol pointer, arrival slot); `accesses` and `id` are written
 /// on broadcasts and delivery only. 72 bytes total on 64-bit targets.
 #[repr(C)]
-struct ActiveNode {
-    rng: SmallRng,
-    proto: Box<dyn Protocol>,
-    arrival_slot: u64,
-    accesses: u64,
-    id: NodeId,
+pub(crate) struct ActiveNode {
+    pub(crate) rng: SmallRng,
+    pub(crate) proto: Box<dyn Protocol>,
+    pub(crate) arrival_slot: u64,
+    pub(crate) accesses: u64,
+    pub(crate) id: NodeId,
 }
 
 impl ActiveNode {
@@ -81,22 +82,25 @@ pub enum StopReason {
 /// assert_eq!(trace.departures()[0].departure_slot, 11);
 /// ```
 pub struct Simulator<F, A> {
-    config: SimConfig,
+    pub(crate) config: SimConfig,
     seeds: SeedSequence,
-    factory: F,
-    adversary: A,
-    adversary_rng: SmallRng,
-    history: PublicHistory,
-    nodes: Vec<ActiveNode>,
-    trace: Trace,
+    pub(crate) factory: F,
+    pub(crate) adversary: A,
+    pub(crate) adversary_rng: SmallRng,
+    pub(crate) history: PublicHistory,
+    pub(crate) nodes: Vec<ActiveNode>,
+    pub(crate) trace: Trace,
     next_node: u64,
-    current_slot: u64,
+    pub(crate) current_slot: u64,
     /// Scratch buffer of broadcaster indices, reused across slots so the
     /// steady-state hot path performs no per-slot heap allocation.
-    broadcasters: Vec<u32>,
+    pub(crate) broadcasters: Vec<u32>,
     /// How many active nodes observe no-success feedback; when zero the
     /// engine skips the whole no-success fan-out pass.
-    failure_observers: u64,
+    pub(crate) failure_observers: u64,
+    /// Sparse-execution state: undecided until the first run call, then
+    /// either declined (exact engine) or engaged (see [`crate::sparse`]).
+    pub(crate) sparse: SparseMode,
 }
 
 impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
@@ -122,6 +126,7 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
             current_slot: 0,
             broadcasters: Vec::new(),
             failure_observers: 0,
+            sparse: SparseMode::Undecided,
         }
     }
 
@@ -159,12 +164,17 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
     /// at the *next* slot. Useful for pre-seeding test populations.
     pub fn seed_nodes(&mut self, count: u32) {
         let at = self.current_slot + 1;
+        let first = self.nodes.len();
         for _ in 0..count {
             self.spawn_node(at);
         }
+        // If the sparse engine is already engaged, the new nodes must
+        // enter its planning structures (pre-engagement seeding is
+        // adopted wholesale when skip-ahead resolves).
+        self.sparse_adopt(first);
     }
 
-    fn spawn_node(&mut self, arrival_slot: u64) {
+    pub(crate) fn spawn_node(&mut self, arrival_slot: u64) {
         let id = NodeId::new(self.next_node);
         let rng = self.seeds.node_rng(self.next_node);
         self.next_node += 1;
@@ -278,9 +288,26 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
         }
     }
 
+    /// The execution strategy actually in effect for this run:
+    /// [`Execution::SkipAhead`] when the sparse engine engaged,
+    /// [`Execution::Exact`] otherwise (requested exact, or skip-ahead
+    /// fell back because the adversary, channel model, or protocol is
+    /// slot-adaptive). Resolved on first call and sticky for the
+    /// simulator's lifetime.
+    pub fn execution_in_effect(&mut self) -> Execution {
+        if self.sparse_active() {
+            Execution::SkipAhead
+        } else {
+            Execution::Exact
+        }
+    }
+
     /// Execute one slot and record it in the trace (per-slot record in full
     /// mode, aggregate totals otherwise). Returns the [`SlotRecord`].
     pub fn step(&mut self) -> SlotRecord {
+        if self.sparse_active() {
+            return self.sparse_step();
+        }
         let record = self.advance();
         if self.config.record_slots {
             self.trace.push_slot(record);
@@ -296,6 +323,10 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
     /// path: it folds totals straight into the trace without storing (or
     /// exposing) per-slot records.
     pub fn run_for(&mut self, slots: u64) {
+        if self.sparse_active() {
+            self.run_sparse(slots, false, true, None);
+            return;
+        }
         if self.config.record_slots {
             for _ in 0..slots {
                 self.step();
@@ -328,6 +359,10 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
     where
         F2: FnMut(u64, &SlotRecord),
     {
+        if self.sparse_active() {
+            self.run_sparse(slots, false, false, Some(&mut observe));
+            return;
+        }
         for _ in 0..slots {
             let record = self.advance();
             self.trace.note_slot(&record);
@@ -350,6 +385,9 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
     where
         F2: FnMut(u64, &SlotRecord),
     {
+        if self.sparse_active() {
+            return self.run_sparse(max_slots, true, false, Some(&mut observe));
+        }
         for _ in 0..max_slots {
             if self.nodes.is_empty() && self.adversary.exhausted() {
                 return StopReason::Drained;
@@ -368,6 +406,9 @@ impl<F: ProtocolFactory, A: Adversary> Simulator<F, A> {
     /// Run until the system drains (no active nodes and the adversary is
     /// exhausted) or `max_slots` elapse, whichever comes first.
     pub fn run_until_drained(&mut self, max_slots: u64) -> StopReason {
+        if self.sparse_active() {
+            return self.run_sparse(max_slots, true, true, None);
+        }
         for _ in 0..max_slots {
             if self.nodes.is_empty() && self.adversary.exhausted() {
                 return StopReason::Drained;

@@ -174,6 +174,40 @@ impl PublicHistory {
         self.evict();
     }
 
+    /// Record `count` consecutive slots that all carry the same
+    /// *non-success* feedback, no injections, and the same jam state —
+    /// the sparse engine's bulk path for skipped silent spans. Equivalent
+    /// to `count` [`record`](Self::record) calls, but O(min(count, cap))
+    /// for capped windows.
+    pub(crate) fn record_span(&mut self, feedback: Feedback, jammed: bool, count: u64) {
+        debug_assert!(!feedback.is_success(), "spans must be success-free");
+        if count == 0 {
+            return;
+        }
+        self.len += count;
+        if jammed {
+            self.jammed_total += count;
+        }
+        let entry = Entry {
+            feedback,
+            injections: 0,
+            jammed,
+        };
+        let stored = match self.retention {
+            // A span longer than the cap evicts everything before it:
+            // keep only the last `cap` copies.
+            Some(cap) if count >= cap as u64 => {
+                self.window.clear();
+                self.first_retained = self.len - cap as u64 + 1;
+                cap as u64
+            }
+            _ => count,
+        };
+        self.window
+            .extend(std::iter::repeat_n(entry, stored as usize));
+        self.evict();
+    }
+
     /// Eve's injection count in a completed slot (1-based index); `None`
     /// outside the retained window.
     pub fn injections_in(&self, slot: u64) -> Option<u32> {
@@ -273,6 +307,43 @@ mod tests {
         assert_eq!(h.iter().count(), 3);
         // last_feedback still works.
         assert_eq!(h.last_feedback(), Some(Feedback::NoSuccess));
+    }
+
+    #[test]
+    fn record_span_matches_slotwise_recording() {
+        // Unlimited retention: span == loop.
+        let mut bulk = PublicHistory::new();
+        let mut slotwise = PublicHistory::new();
+        bulk.record(Feedback::NoSuccess, 2, false);
+        slotwise.record(Feedback::NoSuccess, 2, false);
+        bulk.record_span(Feedback::NoSuccess, true, 5);
+        for _ in 0..5 {
+            slotwise.record(Feedback::NoSuccess, 0, true);
+        }
+        assert_eq!(bulk.len(), slotwise.len());
+        assert_eq!(bulk.jammed(), slotwise.jammed());
+        assert_eq!(bulk.injected(), slotwise.injected());
+        for s in 1..=6 {
+            assert_eq!(bulk.feedback(s), slotwise.feedback(s));
+            assert_eq!(bulk.jammed_in(s), slotwise.jammed_in(s));
+            assert_eq!(bulk.injections_in(s), slotwise.injections_in(s));
+        }
+        // Capped retention: a span longer than the window keeps only the
+        // tail, with exact aggregates.
+        let mut capped = PublicHistory::new();
+        capped.set_retention(Some(3));
+        capped.record(Feedback::NoSuccess, 1, false);
+        capped.record_span(Feedback::NoSuccess, true, 10);
+        assert_eq!(capped.len(), 11);
+        assert_eq!(capped.jammed(), 10);
+        assert_eq!(capped.iter().count(), 3);
+        assert_eq!(capped.iter().next().unwrap().0, 9);
+        assert_eq!(capped.feedback(8), None);
+        assert_eq!(capped.jammed_in(9), Some(true));
+        // Zero-length spans are no-ops.
+        let before = capped.len();
+        capped.record_span(Feedback::NoSuccess, false, 0);
+        assert_eq!(capped.len(), before);
     }
 
     #[test]

@@ -59,10 +59,11 @@ pub mod node;
 pub mod observer;
 pub mod rng;
 pub mod slot;
+mod sparse;
 
-pub use adversary::{Adversary, SlotDecision};
+pub use adversary::{Adversary, Forecast, SlotDecision};
 pub use channel::ChannelModel;
-pub use config::SimConfig;
+pub use config::{Execution, SimConfig};
 pub use engine::{Simulator, StopReason};
 pub use history::PublicHistory;
 pub use metrics::{CumulativeTrace, DepartureRecord, SlotRecord, SurvivorRecord, Trace};
@@ -74,13 +75,13 @@ pub use slot::{Action, Feedback, Parity, SlotOutcome};
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::adversary::{
-        Adversary, ArrivalProcess, BatchArrival, BurstyArrival, CompositeAdversary,
+        Adversary, ArrivalProcess, BatchArrival, BurstyArrival, CompositeAdversary, Forecast,
         FrontLoadedJamming, JammingStrategy, NoArrivals, NoJamming, NullAdversary, PeriodicJamming,
         PoissonArrival, RandomJamming, SaturatedArrival, ScriptedArrival, ScriptedJamming,
         SlotDecision,
     };
     pub use crate::channel::ChannelModel;
-    pub use crate::config::SimConfig;
+    pub use crate::config::{Execution, SimConfig};
     pub use crate::engine::{Simulator, StopReason};
     pub use crate::history::PublicHistory;
     pub use crate::metrics::{CumulativeTrace, DepartureRecord, SlotRecord, Trace};

@@ -140,6 +140,22 @@ impl Trace {
         self.agg_active += u64::from(rec.active);
     }
 
+    /// Fold `count` identical slots into the aggregates without storing
+    /// them (sparse-engine bulk path).
+    pub(crate) fn note_span(&mut self, rec: &SlotRecord, count: u64) {
+        self.agg_slots += count;
+        self.agg_arrivals += u64::from(rec.arrivals) * count;
+        self.agg_jammed += u64::from(rec.jammed) * count;
+        self.agg_active += u64::from(rec.active) * count;
+    }
+
+    /// Store `count` copies of one slot record (sparse-engine bulk path
+    /// for full record mode).
+    pub(crate) fn push_slot_span(&mut self, rec: SlotRecord, count: u64) {
+        self.note_span(&rec, count);
+        self.slots.extend(std::iter::repeat_n(rec, count as usize));
+    }
+
     pub(crate) fn push_departure(&mut self, rec: DepartureRecord) {
         self.departures.push(rec);
     }

@@ -102,6 +102,79 @@ pub trait Protocol {
     fn observes_failures(&self) -> bool {
         true
     }
+
+    /// Probability that the *next* [`act`](Self::act) call broadcasts,
+    /// when the protocol can introspect it; `None` (the default) for
+    /// protocols whose next action is not a simple Bernoulli of known
+    /// probability over their remaining randomness.
+    ///
+    /// Used by the sparse execution engine's diagnostics and by the
+    /// static-phase property tests (`current_prob` must match the
+    /// empirical broadcast frequency of [`act_fast`](Self::act_fast)).
+    fn current_prob(&self) -> Option<f64> {
+        None
+    }
+
+    /// Whether the protocol is *static until feedback*: between the
+    /// success feedbacks it observes, its act-sequence is a fixed random
+    /// process — independent of non-success feedback and of anything else
+    /// it could hear. This is the eligibility hook for
+    /// [`Execution::SkipAhead`](crate::config::Execution).
+    ///
+    /// Returning `true` is a contract with the sparse engine:
+    ///
+    /// * [`next_send_within`](Self::next_send_within) must be implemented
+    ///   (it samples the send process directly);
+    /// * [`observe`](Self::observe) must be a no-op for every non-success
+    ///   feedback;
+    /// * on success feedback, the protocol either ignores it entirely
+    ///   ([`restarts_on_success`](Self::restarts_on_success) `false`) or
+    ///   restarts its send process from scratch, discarding all prior
+    ///   process state (`true`) — so that state pre-consumed by
+    ///   skip-ahead sampling can never leak across a success.
+    ///
+    /// Must be constant for the protocol's lifetime. Default `false`.
+    fn static_until_feedback(&self) -> bool {
+        false
+    }
+
+    /// Whether observing a success restarts the send process from scratch
+    /// (e.g. the reset-on-success baselines). Only meaningful when
+    /// [`static_until_feedback`](Self::static_until_feedback) is `true`:
+    /// the sparse engine re-samples every such protocol's next broadcast
+    /// after delivering success feedback. Must be constant for the
+    /// protocol's lifetime. Default `false`.
+    fn restarts_on_success(&self) -> bool {
+        false
+    }
+
+    /// Skip-ahead sampling hook: sample and *consume* the protocol's
+    /// slots up to and including its next broadcast, bounded by `within`
+    /// act-calls.
+    ///
+    /// Returns `Some(gap)` when the next broadcast happens after exactly
+    /// `gap` listen slots (`gap < within`); the protocol's state advances
+    /// by `gap + 1` slots, as if [`act`](Self::act) had been called that
+    /// many times and returned [`Action::Listen`] `gap` times followed by
+    /// one [`Action::Broadcast`]. Returns `None` when no broadcast occurs
+    /// within the bound; the state advances by exactly `within` all-listen
+    /// slots.
+    ///
+    /// The sampled gap must follow exactly the distribution the repeated
+    /// `act` calls would induce (only the RNG stream may differ) — the
+    /// distribution-equivalence tests enforce this per protocol. Only
+    /// called when [`static_until_feedback`](Self::static_until_feedback)
+    /// returns `true`; the default implementation consumes nothing and
+    /// reports no broadcast.
+    fn next_send_within(&mut self, within: u64, rng: &mut SmallRng) -> Option<u64> {
+        debug_assert!(
+            !self.static_until_feedback(),
+            "{}: static_until_feedback() requires a next_send_within() implementation",
+            self.name()
+        );
+        let _ = (within, rng);
+        None
+    }
 }
 
 /// Spawns fresh [`Protocol`] instances for nodes injected by the adversary.
@@ -203,6 +276,22 @@ impl Protocol for AlwaysBroadcast {
     fn observes_failures(&self) -> bool {
         false
     }
+
+    fn current_prob(&self) -> Option<f64> {
+        Some(1.0)
+    }
+
+    fn static_until_feedback(&self) -> bool {
+        true
+    }
+
+    fn next_send_within(&mut self, within: u64, _rng: &mut SmallRng) -> Option<u64> {
+        if within == 0 {
+            None
+        } else {
+            Some(0)
+        }
+    }
 }
 
 /// A trivial protocol that never broadcasts. Useful in tests (a system of
@@ -223,6 +312,18 @@ impl Protocol for NeverBroadcast {
 
     fn observes_failures(&self) -> bool {
         false
+    }
+
+    fn current_prob(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn static_until_feedback(&self) -> bool {
+        true
+    }
+
+    fn next_send_within(&mut self, _within: u64, _rng: &mut SmallRng) -> Option<u64> {
+        None
     }
 }
 
