@@ -1,0 +1,304 @@
+//! `benchctl` — client for the `benchd` campaign daemon.
+//!
+//! ```sh
+//! # Address comes from --addr or the daemon's --port-file.
+//! benchctl --port-file benchd.port ping
+//!
+//! # Submit a registry campaign (optionally shrunk to its smoke grid),
+//! # an inline sweep file, or a single-scenario file.
+//! benchctl --port-file benchd.port submit tradeoff --smoke
+//! benchctl --port-file benchd.port submit --spec sweep.json --priority 5
+//! benchctl --port-file benchd.port submit --scenario scenario.json --id mine
+//!
+//! # Observe and manage.
+//! benchctl --port-file benchd.port list
+//! benchctl --port-file benchd.port status job-1
+//! benchctl --port-file benchd.port watch job-1         # streams progress, slots/s, ETA
+//! benchctl --port-file benchd.port results job-1 --format csv --out results.csv
+//! benchctl --port-file benchd.port cancel job-1
+//! benchctl --port-file benchd.port shutdown
+//! ```
+//!
+//! `watch` re-attaches to running jobs: it starts from the daemon's
+//! status snapshot and streams events from there, so a disconnected
+//! watcher loses nothing but display time.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use contention_bench::campaign::SweepSpec;
+use contention_bench::scenario::ScenarioSpec;
+use contention_bench::service::{
+    JobEvent, JobSource, JobStatusInfo, Request, Response, ResultFormat, SubmitRequest,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| fail(&format!("cannot reach benchd at {addr}: {e}")));
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone socket")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, req: &Request) {
+        self.writer
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .unwrap_or_else(|e| fail(&format!("lost connection to benchd: {e}")));
+    }
+
+    fn read(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| fail(&format!("lost connection to benchd: {e}")));
+        if n == 0 {
+            fail("benchd closed the connection");
+        }
+        Response::from_line(line.trim_end())
+            .unwrap_or_else(|e| fail(&format!("bad response from benchd: {e}")))
+    }
+
+    /// One request, one response; protocol errors exit 2 (matching the
+    /// CLI's unknown-name convention — the daemon embeds `did you mean`
+    /// suggestions in the message).
+    fn call(&mut self, req: &Request) -> Response {
+        self.send(req);
+        match self.read() {
+            Response::Error { message } => fail(&message),
+            resp => resp,
+        }
+    }
+}
+
+fn status_line(s: &JobStatusInfo) -> String {
+    format!(
+        "{:<10} {:<10} prio {:<4} {:>4}/{:<4} cells ({} recovered){}",
+        s.id,
+        s.state,
+        s.priority,
+        s.done_units,
+        s.total_units,
+        s.recovered_units,
+        s.error
+            .as_ref()
+            .map(|e| format!("  error: {e}"))
+            .unwrap_or_default()
+    )
+}
+
+fn read_spec_file(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+fn submit(conn: &mut Conn, args: &[String]) {
+    let grab = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let source = if let Some(path) = grab("--spec") {
+        let sweep = SweepSpec::from_json_str(&read_spec_file(&path))
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        JobSource::Sweep(sweep)
+    } else if let Some(path) = grab("--scenario") {
+        let spec = ScenarioSpec::from_json_str(&read_spec_file(&path))
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        JobSource::Scenario(spec)
+    } else {
+        let name = contention_bench::first_positional(args, &["--id", "--priority"])
+            .unwrap_or_else(|| {
+                fail("submit needs a campaign name, --spec FILE, or --scenario FILE")
+            });
+        JobSource::Campaign {
+            name: name.to_string(),
+            smoke: args.iter().any(|a| a == "--smoke"),
+        }
+    };
+    let req = Request::Submit(Box::new(SubmitRequest {
+        source,
+        id: grab("--id"),
+        priority: grab("--priority")
+            .map(|p| {
+                p.parse()
+                    .unwrap_or_else(|_| fail(&format!("--priority `{p}` is not an integer")))
+            })
+            .unwrap_or(0),
+    }));
+    match conn.call(&req) {
+        Response::Submitted { id, units } => println!("submitted {id} ({units} cells)"),
+        other => fail(&format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Stream events, deriving slots/s and an ETA from successive updates.
+fn watch(conn: &mut Conn, id: &str) -> ! {
+    conn.send(&Request::Events { id: id.to_string() });
+    let started = Instant::now();
+    let mut base: Option<JobEvent> = None;
+    loop {
+        let event = match conn.read() {
+            Response::Event(e) => e,
+            Response::Error { message } => fail(&message),
+            other => fail(&format!("unexpected response: {other:?}")),
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+        let base = base.get_or_insert_with(|| event.clone());
+        // Rates come from what *this* watcher observed (work since
+        // attach), so re-attaching to a half-done job stays honest.
+        let cells_done = event.done_units.saturating_sub(base.done_units);
+        let rate = if elapsed > 0.0 {
+            (event.slots_done - base.slots_done) / elapsed
+        } else {
+            0.0
+        };
+        let remaining = event.total_units.saturating_sub(event.done_units);
+        let eta = if cells_done > 0 && remaining > 0 {
+            format!(
+                "  ETA {:.0}s",
+                elapsed / cells_done as f64 * remaining as f64
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "{} {:<9} {:>4}/{:<4} cells  {:>12.0} slots/s{}{}",
+            event.id,
+            event.state,
+            event.done_units,
+            event.total_units,
+            rate,
+            eta,
+            if event.label.is_empty() {
+                String::new()
+            } else {
+                format!("  {}", event.label)
+            }
+        );
+        if event.terminal {
+            std::process::exit(match event.state.as_str() {
+                "done" => 0,
+                "cancelled" => 3,
+                _ => 1,
+            });
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let addr = match (grab("--addr"), grab("--port-file")) {
+        (Some(addr), _) => addr,
+        (None, Some(path)) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read port file {path}: {e}")))
+            .trim()
+            .to_string(),
+        (None, None) => fail("need --addr HOST:PORT or --port-file FILE (written by benchd)"),
+    };
+    // The subcommand is the first token that is not a connection flag.
+    let rest: Vec<String> = {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--addr" || a == "--port-file" {
+                skip = true;
+                continue;
+            }
+            out.push(a.clone());
+        }
+        out
+    };
+    let mut conn = Conn::connect(&addr);
+    match rest.first().map(String::as_str) {
+        Some("ping") => {
+            conn.call(&Request::Ping);
+            println!("ok");
+        }
+        Some("submit") => submit(&mut conn, &rest[1..]),
+        Some("status") => {
+            let id = rest.get(1).unwrap_or_else(|| fail("status needs a job id"));
+            match conn.call(&Request::Status { id: id.clone() }) {
+                Response::Status(s) => println!("{}", status_line(&s)),
+                other => fail(&format!("unexpected response: {other:?}")),
+            }
+        }
+        Some("list") => match conn.call(&Request::List) {
+            Response::List(jobs) if jobs.is_empty() => println!("no jobs"),
+            Response::List(jobs) => {
+                for s in jobs {
+                    println!("{}", status_line(&s));
+                }
+            }
+            other => fail(&format!("unexpected response: {other:?}")),
+        },
+        Some("results") => {
+            let id = rest
+                .get(1)
+                .unwrap_or_else(|| fail("results needs a job id"));
+            let format = match grab("--format").as_deref() {
+                None => ResultFormat::Csv,
+                Some(name) => ResultFormat::by_name(name).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown --format `{name}` (expected csv, jsonl, or report)"
+                    ))
+                }),
+            };
+            match conn.call(&Request::Results {
+                id: id.clone(),
+                format,
+            }) {
+                Response::Results { body, .. } => match grab("--out") {
+                    Some(path) => {
+                        std::fs::write(&path, body)
+                            .unwrap_or_else(|e| fail(&format!("failed to write {path}: {e}")));
+                        println!("wrote {path}");
+                    }
+                    None => print!("{body}"),
+                },
+                other => fail(&format!("unexpected response: {other:?}")),
+            }
+        }
+        Some("cancel") => {
+            let id = rest.get(1).unwrap_or_else(|| fail("cancel needs a job id"));
+            conn.call(&Request::Cancel { id: id.clone() });
+            println!("cancelled {id}");
+        }
+        Some("watch") => {
+            let id = rest.get(1).unwrap_or_else(|| fail("watch needs a job id"));
+            watch(&mut conn, id);
+        }
+        Some("shutdown") => {
+            conn.call(&Request::Shutdown);
+            println!("benchd shutting down");
+        }
+        Some(other) => fail(&format!(
+            "unknown subcommand `{other}` (expected ping, submit, status, list, \
+             results, cancel, watch, or shutdown)"
+        )),
+        None => fail(
+            "missing subcommand (ping, submit, status, list, results, cancel, watch, shutdown)",
+        ),
+    }
+}

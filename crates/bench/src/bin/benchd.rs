@@ -1,0 +1,66 @@
+//! `benchd` — the long-running campaign daemon.
+//!
+//! Accepts `ScenarioSpec`/`SweepSpec` jobs over a local TCP socket
+//! (line-delimited JSON; see `contention_bench::service::protocol`),
+//! schedules their cells on one shared priority work pool, and journals
+//! every completed cell to `<jobs-dir>/<id>/journal.jsonl` — fsync'd per
+//! line, so `kill -9` mid-campaign costs at most one torn line and a
+//! restarted daemon resumes each unfinished job at its last completed
+//! cell with byte-identical final output.
+//!
+//! ```sh
+//! # Start on an OS-assigned port, advertise it via a port file.
+//! cargo run --release -p contention-bench --bin benchd -- --jobs-dir jobs --port-file benchd.port
+//!
+//! # Fixed address, explicit worker count.
+//! cargo run --release -p contention-bench --bin benchd -- --addr 127.0.0.1:7341 --threads 8
+//! ```
+//!
+//! Drive it with `benchctl` (`submit`, `status`, `list`, `results`,
+//! `cancel`, `watch`, `shutdown`).
+
+use std::path::PathBuf;
+
+use contention_bench::service::{Daemon, DaemonConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let config = DaemonConfig {
+        addr: grab("--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        jobs_dir: PathBuf::from(grab("--jobs-dir").unwrap_or_else(|| "jobs".into())),
+        threads: grab("--threads")
+            .map(|t| {
+                t.parse()
+                    .unwrap_or_else(|_| fail(&format!("--threads `{t}` is not a number")))
+            })
+            .unwrap_or(0),
+    };
+    let jobs_dir = config.jobs_dir.clone();
+    let daemon =
+        Daemon::bind(config).unwrap_or_else(|e| fail(&format!("benchd failed to start: {e}")));
+    let addr = daemon
+        .local_addr()
+        .unwrap_or_else(|e| fail(&format!("benchd has no local address: {e}")));
+    if let Some(path) = grab("--port-file") {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            fail(&format!("cannot write port file {path}: {e}"));
+        }
+    }
+    eprintln!(
+        "benchd listening on {addr}, journaling to {}",
+        jobs_dir.display()
+    );
+    if let Err(e) = daemon.run() {
+        fail(&format!("benchd terminated: {e}"));
+    }
+}

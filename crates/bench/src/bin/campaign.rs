@@ -4,10 +4,21 @@
 //! # What campaigns exist?
 //! cargo run --release -p contention-bench --bin campaign
 //!
-//! # Run one by name (ASCII table; --csv/--jsonl write row files).
+//! # Run one by name (ASCII table; --csv/--jsonl stream row files).
 //! cargo run --release -p contention-bench --bin campaign -- run tradeoff
 //! cargo run --release -p contention-bench --bin campaign -- run jamming-robustness --smoke
 //! cargo run --release -p contention-bench --bin campaign -- run tradeoff --csv out.csv --jsonl out.jsonl
+//!
+//! # Journaled (resumable) runs: every completed cell is fsync'd to
+//! # DIR/journal.jsonl. Ctrl-C finishes in-flight cells, keeps the
+//! # journal, and exits 130; kill -9 costs at most one torn line. Either
+//! # way, rerunning with --resume continues at the last completed cell
+//! # and produces byte-identical final output.
+//! cargo run --release -p contention-bench --bin campaign -- run mega-batch-scaling --journal jobs/mega
+//! cargo run --release -p contention-bench --bin campaign -- run mega-batch-scaling --journal jobs/mega --resume
+//!
+//! # Worker count is a wall-clock knob only (output is byte-identical
+//! # regardless): `--threads N` caps the pool, default = all cores.
 //!
 //! # Print a campaign's SweepSpec as JSON, or run a spec from a file.
 //! cargo run --release -p contention-bench --bin campaign -- show tradeoff
@@ -19,11 +30,20 @@
 //! cargo run --release -p contention-bench --bin campaign -- report --smoke --out RESULTS-smoke.md
 //! ```
 
+use std::path::PathBuf;
+
 use contention_analysis::Table;
-use contention_bench::campaign::{
-    self, cells_table, render_results_md, to_csv, to_jsonl, CampaignRunner, SweepSpec,
-};
+use contention_bench::campaign::{self, cells_table, render_results_md, SweepSpec};
+use contention_bench::service::{run_local, LocalOptions};
 use contention_bench::{first_positional, unknown_name_exit};
+
+#[path = "helpers/sigint.rs"]
+mod sigint;
+
+/// Exit code for a SIGINT-drained run (the shell convention, 128 + 2);
+/// distinct from usage errors (2) and crashes, so wrappers can tell "I
+/// interrupted it and the journal is resumable" apart from failure.
+const EXIT_INTERRUPTED: i32 = 130;
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -51,7 +71,17 @@ fn resolve(args: &[String]) -> SweepSpec {
             .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
     }
     // The first non-flag token that is not a flag *value* is the name.
-    let name = first_positional(args, &["--seeds", "--csv", "--jsonl", "--out"]);
+    let name = first_positional(
+        args,
+        &[
+            "--seeds",
+            "--csv",
+            "--jsonl",
+            "--out",
+            "--journal",
+            "--threads",
+        ],
+    );
     match name {
         Some(name) => match campaign::lookup(name) {
             Some(sweep) => sweep,
@@ -74,6 +104,77 @@ fn write_or_die(path: &str, contents: String) {
     println!("wrote {path}");
 }
 
+fn run(args: &[String], smoke: bool) {
+    let mut sweep = resolve(args);
+    if smoke {
+        sweep = sweep.smoke();
+    }
+    if let Some(seeds) = grab(args, "--seeds").and_then(|s| s.parse().ok()) {
+        sweep = sweep.seeds(seeds);
+    }
+    let journal = grab(args, "--journal").map(PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && journal.is_none() {
+        fail("--resume needs --journal DIR (the directory of the interrupted run)");
+    }
+    let csv = grab(args, "--csv");
+    let jsonl = grab(args, "--jsonl");
+    println!(
+        "campaign `{}`: {} cell(s)…\n",
+        sweep.name,
+        sweep.cell_count()
+    );
+    let opts = LocalOptions {
+        dir: journal.clone(),
+        resume,
+        interrupt: Some(sigint::install()),
+        csv: csv.as_ref().map(PathBuf::from),
+        jsonl: jsonl.as_ref().map(PathBuf::from),
+        // Worker count never changes the output (results assemble in
+        // grid order), only the wall clock.
+        threads: grab(args, "--threads").map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| fail(&format!("--threads `{t}` is not a number")))
+        }),
+    };
+    let name = sweep.name.clone();
+    let outcome = run_local(sweep, opts).unwrap_or_else(|e| fail(&e.to_string()));
+    if outcome.recovered_units > 0 {
+        println!(
+            "resumed {} of {} cell(s) from the journal",
+            outcome.recovered_units, outcome.total_units
+        );
+    }
+    if outcome.interrupted {
+        // Streamed CSV/JSONL prefixes and the journal are on disk;
+        // nothing further to write.
+        eprintln!(
+            "interrupted: {}/{} cell(s) completed and journaled{}",
+            outcome.done_units,
+            outcome.total_units,
+            match &journal {
+                Some(dir) => format!(
+                    "; rerun with `--journal {} --resume` to continue",
+                    dir.display()
+                ),
+                None => "; rerun with --journal DIR to make runs resumable".into(),
+            }
+        );
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+    let result = outcome
+        .result
+        .unwrap_or_else(|| fail(&format!("campaign `{name}` ended incomplete")));
+    println!("{}", cells_table(&result).render());
+    // Row files were streamed (and flushed per cell) while running.
+    if let Some(path) = csv {
+        println!("wrote {path}");
+    }
+    if let Some(path) = jsonl {
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -83,28 +184,7 @@ fn main() {
             let sweep = resolve(&args[1..]);
             println!("{}", sweep.to_json_string());
         }
-        Some("run") => {
-            let mut sweep = resolve(&args[1..]);
-            if smoke {
-                sweep = sweep.smoke();
-            }
-            if let Some(seeds) = grab(&args, "--seeds").and_then(|s| s.parse().ok()) {
-                sweep = sweep.seeds(seeds);
-            }
-            println!(
-                "campaign `{}`: {} cell(s)…\n",
-                sweep.name,
-                sweep.cell_count()
-            );
-            let result = CampaignRunner::new(sweep).run();
-            println!("{}", cells_table(&result).render());
-            if let Some(path) = grab(&args, "--csv") {
-                write_or_die(&path, to_csv(&result));
-            }
-            if let Some(path) = grab(&args, "--jsonl") {
-                write_or_die(&path, to_jsonl(&result));
-            }
-        }
+        Some("run") => run(&args[1..], smoke),
         Some("report") => {
             let out = grab(&args, "--out").unwrap_or_else(|| "RESULTS.md".to_string());
             write_or_die(&out, render_results_md(smoke));

@@ -1,0 +1,42 @@
+//! Minimal SIGINT hook for binaries, dependency-free.
+//!
+//! The bench *library* forbids `unsafe`, and the container has no `libc`
+//! crate, so the one `extern` call lives here in a binary-only helper
+//! (files under `src/bin/helpers/` are not binaries; binaries include
+//! this module via `#[path]`). The handler only stores to an atomic —
+//! the async-signal-safe subset — and re-arms the default disposition,
+//! so a second Ctrl-C kills the process the usual way.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SIGINT: i32 = 2;
+const SIG_DFL: usize = 0;
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_sigint(_: i32) {
+    if let Some(flag) = FLAG.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+    unsafe {
+        signal(SIGINT, SIG_DFL);
+    }
+}
+
+/// Install the handler and return the flag it raises. The first SIGINT
+/// sets the flag (callers drain gracefully and exit 130); the second
+/// falls through to the default disposition and kills the process.
+pub fn install() -> Arc<AtomicBool> {
+    let flag = FLAG
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    flag
+}

@@ -435,11 +435,19 @@ fn main() {
         .filter(|e| filter.as_deref().is_none_or(|f| e.name.contains(f)))
         .collect();
     if selected.is_empty() {
+        let pattern = filter.unwrap_or_default();
         eprintln!(
-            "--filter `{}` matches no suite entry (suite: {})",
-            filter.unwrap_or_default(),
+            "--filter `{pattern}` matches no suite entry (suite: {})",
             SUITE.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
         );
+        // Same UX as unknown registry names: exit 2 with suggestions.
+        let suggestions = contention_bench::closest_matches(&pattern, SUITE.iter().map(|e| e.name));
+        if !suggestions.is_empty() {
+            eprintln!("did you mean:");
+            for s in suggestions {
+                eprintln!("  {s}");
+            }
+        }
         std::process::exit(2);
     }
     println!(

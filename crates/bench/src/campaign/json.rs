@@ -2,12 +2,20 @@
 //! scenario API uses ([`crate::scenario::json`]), extended to axes and
 //! edits. `SweepSpec::from_json_str(spec.to_json_string())` round-trips
 //! exactly (property-tested in `tests/campaign_api.rs`).
+//!
+//! Completed cells round-trip too ([`cell_result_to_json`] /
+//! [`cell_result_from_json`]): the service layer's write-ahead journal
+//! stores one full [`CellResult`] per line, and resuming a campaign must
+//! rebuild rows *exactly* (every float recovers bit-identical via the
+//! shortest-round-trip rendering), so resumed CSV/JSONL/report output is
+//! byte-equal to an uninterrupted run.
 
 use crate::scenario::json::{
     algo_from_json, algo_to_json, channel_from_json, channel_to_json, g_from_json, g_to_json,
 };
 use crate::scenario::{Json, ScenarioSpec, SpecError};
 
+use super::runner::{CellResult, CheckpointStat};
 use super::sweep::{Axis, AxisPoint, Edit, SweepSpec};
 
 fn edit_to_json(e: &Edit) -> Json {
@@ -156,6 +164,108 @@ impl SweepSpec {
     }
 }
 
+/// Serialize one completed [`CellResult`] row — the write-ahead journal's
+/// per-line payload. Carries the *full* materialized cell (coordinates,
+/// scenario spec, algorithm) so a journal alone suffices to rebuild the
+/// row without re-expanding the sweep.
+pub fn cell_result_to_json(cell: &CellResult) -> Json {
+    Json::obj(vec![
+        (
+            "coords",
+            Json::Arr(
+                cell.coords
+                    .iter()
+                    .map(|(a, v)| Json::Arr(vec![Json::Str(a.clone()), Json::Str(v.clone())]))
+                    .collect(),
+            ),
+        ),
+        ("spec", cell.spec.to_json()),
+        ("algo", algo_to_json(&cell.algo)),
+        ("algo_name", Json::Str(cell.algo_name.clone())),
+        ("seeds", Json::u64(cell.seeds)),
+        ("mean_slots", Json::Num(cell.mean_slots)),
+        ("drained_frac", Json::Num(cell.drained_frac)),
+        ("mean_arrivals", Json::Num(cell.mean_arrivals)),
+        ("mean_jammed", Json::Num(cell.mean_jammed)),
+        ("mean_active", Json::Num(cell.mean_active)),
+        ("mean_delivered", Json::Num(cell.mean_delivered)),
+        ("mean_broadcasts", Json::Num(cell.mean_broadcasts)),
+        ("mean_silence", Json::Num(cell.mean_silence)),
+        ("mean_collisions", Json::Num(cell.mean_collisions)),
+        ("mean_latency", Json::opt_f64(cell.mean_latency)),
+        ("mean_energy", Json::opt_f64(cell.mean_energy)),
+        ("mean_first_access", Json::opt_f64(cell.mean_first_access)),
+        (
+            "mean_first_success_slot",
+            Json::opt_f64(cell.mean_first_success_slot),
+        ),
+        (
+            "checkpoints",
+            Json::Arr(
+                cell.checkpoints
+                    .iter()
+                    .map(|c| {
+                        Json::Arr(vec![
+                            Json::u64(c.t),
+                            Json::u64(c.seeds),
+                            Json::Num(c.mean_successes),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserialize a [`CellResult`] journal line. Exact inverse of
+/// [`cell_result_to_json`]: every field (floats included) recovers
+/// bit-identical, so journal-recovered rows render byte-equal output.
+pub fn cell_result_from_json(j: &Json) -> Result<CellResult, SpecError> {
+    let mut coords = Vec::new();
+    for pair in j.get("coords")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return Err(SpecError::new("cell coords entries are [axis, label]"));
+        }
+        coords.push((pair[0].as_str()?.to_string(), pair[1].as_str()?.to_string()));
+    }
+    let mut checkpoints = Vec::new();
+    for c in j.get("checkpoints")?.as_arr()? {
+        let c = c.as_arr()?;
+        if c.len() != 3 {
+            return Err(SpecError::new(
+                "checkpoint entries are [t, seeds, mean_successes]",
+            ));
+        }
+        checkpoints.push(CheckpointStat {
+            t: c[0].as_u64()?,
+            seeds: c[1].as_u64()?,
+            mean_successes: c[2].as_f64()?,
+        });
+    }
+    Ok(CellResult {
+        coords,
+        spec: ScenarioSpec::from_json(j.get("spec")?)?,
+        algo: algo_from_json(j.get("algo")?)?,
+        algo_name: j.get("algo_name")?.as_str()?.to_string(),
+        seeds: j.get("seeds")?.as_u64()?,
+        mean_slots: j.get("mean_slots")?.as_f64()?,
+        drained_frac: j.get("drained_frac")?.as_f64()?,
+        mean_arrivals: j.get("mean_arrivals")?.as_f64()?,
+        mean_jammed: j.get("mean_jammed")?.as_f64()?,
+        mean_active: j.get("mean_active")?.as_f64()?,
+        mean_delivered: j.get("mean_delivered")?.as_f64()?,
+        mean_broadcasts: j.get("mean_broadcasts")?.as_f64()?,
+        mean_silence: j.get("mean_silence")?.as_f64()?,
+        mean_collisions: j.get("mean_collisions")?.as_f64()?,
+        mean_latency: j.get("mean_latency")?.as_opt_f64()?,
+        mean_energy: j.get("mean_energy")?.as_opt_f64()?,
+        mean_first_access: j.get("mean_first_access")?.as_opt_f64()?,
+        mean_first_success_slot: j.get("mean_first_success_slot")?.as_opt_f64()?,
+        checkpoints,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +295,50 @@ mod tests {
         let parsed = SweepSpec::from_json_str(&json).expect("parse");
         assert_eq!(parsed, sweep);
         assert_eq!(parsed.to_json_string(), json, "canonical encoding");
+    }
+
+    #[test]
+    fn cell_result_round_trips_exactly() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let cell = CellResult {
+            coords: vec![("jam".into(), "0.25".into()), ("n".into(), "64".into())],
+            spec: ScenarioSpec::batch(64, 0.25),
+            algo: algo.clone(),
+            algo_name: algo.name(),
+            seeds: 3,
+            mean_slots: 1234.5,
+            drained_frac: 2.0 / 3.0,
+            mean_arrivals: 64.0,
+            mean_jammed: 0.1 + 0.2, // deliberately non-representable sum
+            mean_active: 1000.0,
+            mean_delivered: 63.333333333333336,
+            mean_broadcasts: 410.25,
+            mean_silence: 700.0,
+            mean_collisions: 100.0,
+            mean_latency: Some(1.0 / 3.0),
+            mean_energy: None,
+            mean_first_access: Some(2.0),
+            mean_first_success_slot: None,
+            checkpoints: vec![
+                CheckpointStat {
+                    t: 1,
+                    seeds: 3,
+                    mean_successes: 0.0,
+                },
+                CheckpointStat {
+                    t: 1024,
+                    seeds: 2,
+                    mean_successes: 17.5,
+                },
+            ],
+        };
+        let json = cell_result_to_json(&cell);
+        let parsed = cell_result_from_json(&json).expect("parse");
+        assert_eq!(parsed, cell);
+        // Text round-trip too: the journal stores rendered lines.
+        let reparsed =
+            cell_result_from_json(&Json::parse(&json.render()).expect("text")).expect("parse");
+        assert_eq!(reparsed, cell);
     }
 
     #[test]

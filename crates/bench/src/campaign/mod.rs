@@ -59,4 +59,4 @@ pub use registry::{entries, lookup, names, report_campaigns, CampaignEntry};
 pub use report::{cells_table, render_results_md, render_section, tradeoff_ratios};
 pub use runner::{CampaignResult, CampaignRunner, CellResult};
 pub use sweep::{Axis, AxisPoint, Cell, Edit, SweepSpec};
-pub use writer::{to_csv, to_jsonl};
+pub use writer::{csv_header, csv_row, jsonl_row, to_csv, to_jsonl, OrderedLineWriter};

@@ -1,29 +1,33 @@
 //! Executing a [`SweepSpec`]: grid expansion, work-stealing replication
 //! across *scenarios × algorithms × seeds*, and streaming aggregation.
 //!
-//! Every (cell, algorithm, seed) triple is one job in a single flat index
-//! space handed to the scenario layer's work-stealing
-//! [`replicate`](crate::scenario::runner::replicate()), so a straggler cell never
-//! idles the pool. Each job streams its slots through a
-//! [`StreamingStats`] accumulator via the engine's `run_for_with` /
-//! `run_until_drained_with` observers — no per-slot storage anywhere, so
-//! campaign memory stays O(axes × checkpoints), independent of horizon.
-//! Job results fold into per-cell [`CellResult`]s in deterministic order
-//! (seed order within algorithm within cell), so campaign output — and
-//! the `RESULTS.md` rendered from it — is byte-stable across runs and
-//! thread counts.
+//! Every (cell, algorithm, seed) triple is one task in a single flat
+//! index space handed to the service layer's persistent
+//! [`Scheduler`](crate::service::Scheduler) (the multi-job successor of
+//! the scenario layer's work-stealing
+//! [`replicate`](crate::scenario::runner::replicate()) pool), so a
+//! straggler cell never idles the pool. Each task streams its slots
+//! through a [`StreamingStats`] accumulator via the engine's
+//! `run_for_with` / `run_until_drained_with` observers — no per-slot
+//! storage anywhere, so campaign memory stays O(axes × checkpoints),
+//! independent of horizon. Task results fold into per-cell
+//! [`CellResult`]s in deterministic order (seed order within algorithm
+//! within cell), so campaign output — and the `RESULTS.md` rendered from
+//! it — is byte-stable across runs, thread counts, and (because cells
+//! are journaled as they complete) across kill/resume boundaries.
 
 use contention_sim::observer::StreamingStats;
 use contention_sim::StopReason;
 
 use crate::scenario::spec::{AlgoSpec, HorizonSpec, ScenarioSpec};
-use crate::scenario::{replicate, ScenarioRunner};
+use crate::scenario::ScenarioRunner;
+use crate::service::{run_local, LocalOptions};
 
 use super::sweep::{Cell, SweepSpec};
 
 /// Online statistics from one (cell, algorithm, seed) run.
 #[derive(Debug, Clone)]
-struct SeedStats {
+pub(crate) struct SeedStats {
     slots: u64,
     drained: bool,
     arrivals: u64,
@@ -48,7 +52,7 @@ struct SeedStats {
 }
 
 /// Aggregated results of one grid cell for one roster algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Cell coordinates: `(axis name, point label)` in axis order.
     pub coords: Vec<(String, String)>,
@@ -176,54 +180,26 @@ impl CampaignRunner {
         &self.sweep
     }
 
-    /// Expand the grid and run every (cell, algorithm, seed) job through
-    /// the work-stealing replicator, folding results into cell rows.
+    /// Expand the grid and run every (cell, algorithm, seed) task through
+    /// the service layer's shared scheduler, folding results into cell
+    /// rows. This is the exact same codepath `benchd` jobs and journaled
+    /// `campaign run --resume` runs take (minus the journal), so an
+    /// in-process campaign and a daemon job over the same sweep produce
+    /// byte-identical output.
     pub fn run(&self) -> CampaignResult {
-        let cells = self.sweep.cells();
-        // Flatten (cell × algo × seed) into one job list. Roster size and
-        // seed count may vary per cell (Edit::Algos / Edit::Seeds), so the
-        // mapping is an explicit table rather than stride arithmetic.
-        let mut jobs: Vec<(usize, usize, u64)> = Vec::new();
-        for (ci, cell) in cells.iter().enumerate() {
-            for ai in 0..cell.spec.algos.len() {
-                for s in 0..cell.spec.seeds {
-                    jobs.push((ci, ai, cell.spec.seed_base + s));
-                }
-            }
-        }
-        let cells_ref = &cells;
-        let jobs_ref = &jobs;
-        let stats: Vec<SeedStats> = replicate(jobs.len() as u64, |j| {
-            let (ci, ai, seed) = jobs_ref[j as usize];
-            let cell = &cells_ref[ci];
-            run_seed(&cell.spec, &cell.spec.algos[ai], seed)
-        });
-
-        // Fold job results (already in deterministic job order) into one
-        // CellResult per (cell, algo).
-        let mut out = Vec::new();
-        let mut cursor = 0usize;
-        for cell in &cells {
-            for algo in &cell.spec.algos {
-                let n = cell.spec.seeds as usize;
-                let rows = &stats[cursor..cursor + n];
-                cursor += n;
-                out.push(aggregate(cell, algo, rows));
-            }
-        }
-        CampaignResult {
-            name: self.sweep.name.clone(),
-            title: self.sweep.title.clone(),
-            axes: self.sweep.axes.iter().map(|a| a.name.clone()).collect(),
-            cells: out,
+        match run_local(self.sweep.clone(), LocalOptions::default()) {
+            Ok(outcome) => outcome
+                .result
+                .expect("uninterrupted local campaign must complete"),
+            Err(e) => panic!("campaign `{}` failed: {e}", self.sweep.name),
         }
     }
 }
 
-/// Run one (cell, algorithm, seed) job, streaming slots through a
+/// Run one (cell, algorithm, seed) task, streaming slots through a
 /// [`StreamingStats`] accumulator (the cell spec is already in aggregate
 /// record mode, so nothing stores per-slot records).
-fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedStats {
+pub(crate) fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedStats {
     let runner = ScenarioRunner::new(spec.clone());
     let mut sim = runner.sim(algo, seed);
     let mut stats = StreamingStats::new();
@@ -265,7 +241,9 @@ fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedStats {
     }
 }
 
-fn aggregate(cell: &Cell, algo: &AlgoSpec, rows: &[SeedStats]) -> CellResult {
+/// Fold one unit's per-seed statistics (in seed order) into its
+/// [`CellResult`] row.
+pub(crate) fn aggregate(cell: &Cell, algo: &AlgoSpec, rows: &[SeedStats]) -> CellResult {
     let n = rows.len().max(1) as f64;
     let mean = |f: &dyn Fn(&SeedStats) -> f64| rows.iter().map(f).sum::<f64>() / n;
     let opt_mean = |f: &dyn Fn(&SeedStats) -> Option<f64>| {

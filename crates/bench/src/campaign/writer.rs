@@ -5,6 +5,21 @@
 //! crate's [`csv_escape`] (algorithm names and axis labels may contain
 //! commas); JSONL reuses the scenario API's hand-rolled [`Json`] layer, so
 //! the whole pipeline stays inside the offline dependency set.
+//!
+//! Output is *row-oriented* all the way down: [`csv_header`],
+//! [`csv_row`], and [`jsonl_row`] render individual lines, and
+//! [`to_csv`] / [`to_jsonl`] are nothing but loops over them — so the
+//! streaming path (`campaign run` writing each cell as it completes, the
+//! service layer finalizing journaled jobs) and the batch path are the
+//! same bytes by construction. [`OrderedLineWriter`] is the streaming
+//! sink: rows pushed in any completion order come out in grid order, one
+//! flushed line per completed cell, so `tail -f` follows a running
+//! campaign and a crash leaves a valid row-prefix on disk.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
 
 use contention_analysis::csv_escape;
 
@@ -18,12 +33,11 @@ fn opt_num(v: Option<f64>) -> String {
     v.map(|x| x.to_string()).unwrap_or_default()
 }
 
-/// Render a campaign as CSV: a header naming the axes, then one row per
-/// (cell × algorithm) in grid order.
-pub fn to_csv(result: &CampaignResult) -> String {
-    let mut out = String::new();
+/// The CSV header line (no trailing newline) for a campaign sweeping the
+/// given axes.
+pub fn csv_header(axes: &[String]) -> String {
     let mut header: Vec<String> = vec!["campaign".into(), "scenario".into()];
-    header.extend(result.axes.iter().cloned());
+    header.extend(axes.iter().cloned());
     header.extend(
         [
             "algo",
@@ -46,55 +60,62 @@ pub fn to_csv(result: &CampaignResult) -> String {
         ]
         .map(String::from),
     );
-    out.push_str(
-        &header
-            .iter()
-            .map(|h| csv_escape(h))
-            .collect::<Vec<_>>()
-            .join(","),
-    );
+    header
+        .iter()
+        .map(|h| csv_escape(h))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One CSV row (no trailing newline) for a (cell × algorithm) result.
+pub fn csv_row(campaign: &str, axes: &[String], cell: &CellResult) -> String {
+    let mut row: Vec<String> = vec![campaign.to_string(), cell.spec.name.clone()];
+    for axis in axes {
+        row.push(cell.coord(axis).unwrap_or_default().to_string());
+    }
+    row.push(cell.algo_name.clone());
+    row.push(cell.seeds.to_string());
+    row.push(cell.mean_slots.to_string());
+    row.push(cell.drained_frac.to_string());
+    row.push(cell.mean_arrivals.to_string());
+    row.push(cell.mean_jammed.to_string());
+    row.push(cell.mean_active.to_string());
+    row.push(cell.mean_delivered.to_string());
+    row.push(cell.delivery_rate().to_string());
+    row.push(cell.mean_broadcasts.to_string());
+    row.push(cell.mean_silence.to_string());
+    row.push(cell.mean_collisions.to_string());
+    row.push(cell.collision_rate().to_string());
+    row.push(opt_num(cell.mean_latency));
+    row.push(opt_num(cell.mean_energy));
+    row.push(opt_num(cell.mean_first_access));
+    row.push(opt_num(cell.mean_first_success_slot));
+    row.iter()
+        .map(|c| csv_escape(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Render a campaign as CSV: a header naming the axes, then one row per
+/// (cell × algorithm) in grid order.
+pub fn to_csv(result: &CampaignResult) -> String {
+    let mut out = csv_header(&result.axes);
     out.push('\n');
     for cell in &result.cells {
-        let mut row: Vec<String> = vec![result.name.clone(), cell.spec.name.clone()];
-        for axis in &result.axes {
-            row.push(cell.coord(axis).unwrap_or_default().to_string());
-        }
-        row.push(cell.algo_name.clone());
-        row.push(cell.seeds.to_string());
-        row.push(cell.mean_slots.to_string());
-        row.push(cell.drained_frac.to_string());
-        row.push(cell.mean_arrivals.to_string());
-        row.push(cell.mean_jammed.to_string());
-        row.push(cell.mean_active.to_string());
-        row.push(cell.mean_delivered.to_string());
-        row.push(cell.delivery_rate().to_string());
-        row.push(cell.mean_broadcasts.to_string());
-        row.push(cell.mean_silence.to_string());
-        row.push(cell.mean_collisions.to_string());
-        row.push(cell.collision_rate().to_string());
-        row.push(opt_num(cell.mean_latency));
-        row.push(opt_num(cell.mean_energy));
-        row.push(opt_num(cell.mean_first_access));
-        row.push(opt_num(cell.mean_first_success_slot));
-        out.push_str(
-            &row.iter()
-                .map(|c| csv_escape(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&csv_row(&result.name, &result.axes, cell));
         out.push('\n');
     }
     out
 }
 
-fn cell_to_json(result: &CampaignResult, cell: &CellResult) -> Json {
+fn cell_to_json(campaign: &str, cell: &CellResult) -> Json {
     let coords = cell
         .coords
         .iter()
         .map(|(a, v)| (a.clone(), Json::Str(v.clone())))
         .collect();
     Json::Obj(vec![
-        ("campaign".into(), Json::Str(result.name.clone())),
+        ("campaign".into(), Json::Str(campaign.to_string())),
         ("scenario".into(), Json::Str(cell.spec.name.clone())),
         ("coords".into(), Json::Obj(coords)),
         ("algo".into(), Json::Str(cell.algo_name.clone())),
@@ -135,15 +156,77 @@ fn cell_to_json(result: &CampaignResult, cell: &CellResult) -> Json {
     ])
 }
 
+/// One JSONL row (no trailing newline) for a (cell × algorithm) result.
+pub fn jsonl_row(campaign: &str, cell: &CellResult) -> String {
+    cell_to_json(campaign, cell).render()
+}
+
 /// Render a campaign as JSON Lines: one object per (cell × algorithm)
 /// row, in grid order — streamable into jq/pandas-style tooling.
 pub fn to_jsonl(result: &CampaignResult) -> String {
     let mut out = String::new();
     for cell in &result.cells {
-        out.push_str(&cell_to_json(result, cell).render());
+        out.push_str(&jsonl_row(&result.name, cell));
         out.push('\n');
     }
     out
+}
+
+/// A streaming line sink that restores grid order.
+///
+/// Cells finish in whatever order the worker pool schedules them, but the
+/// on-disk CSV/JSONL must match the batch writers byte-for-byte. The
+/// writer accepts `(index, line)` pairs in any order and emits lines
+/// strictly by ascending index, holding out-of-order arrivals in a small
+/// buffer. Every emitted line is flushed immediately, so `tail -f` sees
+/// each row as soon as its turn comes and a crash leaves a clean
+/// row-prefix of the final file.
+#[derive(Debug)]
+pub struct OrderedLineWriter {
+    file: File,
+    next: usize,
+    pending: BTreeMap<usize, String>,
+}
+
+impl OrderedLineWriter {
+    /// Create (truncating) the file at `path` and write the header line,
+    /// if any, flushed.
+    pub fn create(path: &Path, header: Option<&str>) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        if let Some(h) = header {
+            file.write_all(h.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        Ok(OrderedLineWriter {
+            file,
+            next: 0,
+            pending: BTreeMap::new(),
+        })
+    }
+
+    /// Submit the line for row `index` (no trailing newline). Lines are
+    /// written in ascending index order; an out-of-order line is buffered
+    /// until its predecessors arrive. Each written line is flushed.
+    pub fn push(&mut self, index: usize, line: String) -> io::Result<()> {
+        self.pending.insert(index, line);
+        let mut wrote = false;
+        while let Some(line) = self.pending.remove(&self.next) {
+            self.file.write_all(line.as_bytes())?;
+            self.file.write_all(b"\n")?;
+            self.next += 1;
+            wrote = true;
+        }
+        if wrote {
+            self.file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Number of lines physically written so far (excluding the header).
+    pub fn written(&self) -> usize {
+        self.next
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +300,48 @@ mod tests {
             lines[0]
         );
         assert!(lines[0].contains("energy"));
+    }
+
+    #[test]
+    fn row_writers_match_batch_writers() {
+        let result = fake_result();
+        let mut csv = csv_header(&result.axes);
+        csv.push('\n');
+        let mut jsonl = String::new();
+        for cell in &result.cells {
+            csv.push_str(&csv_row(&result.name, &result.axes, cell));
+            csv.push('\n');
+            jsonl.push_str(&jsonl_row(&result.name, cell));
+            jsonl.push('\n');
+        }
+        assert_eq!(csv, to_csv(&result));
+        assert_eq!(jsonl, to_jsonl(&result));
+    }
+
+    #[test]
+    fn ordered_writer_restores_grid_order_and_flushes_per_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "olw-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let mut w = OrderedLineWriter::create(&path, Some("h")).unwrap();
+        // Out-of-order arrival: 2 buffers, 0 drains, 1 drains 1 and 2.
+        w.push(2, "two".into()).unwrap();
+        assert_eq!(w.written(), 0);
+        w.push(0, "zero".into()).unwrap();
+        assert_eq!(w.written(), 1);
+        // Flushed per line: the prefix is already on disk mid-stream.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "h\nzero\n");
+        w.push(1, "one".into()).unwrap();
+        assert_eq!(w.written(), 3);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "h\nzero\none\ntwo\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! binary regenerates `RESULTS.md` (the paper's trade-off curves) from
 //! the named campaigns in [`campaign::registry`].
 //!
+//! Long campaigns run as **jobs**: the [`service`] layer journals every
+//! completed cell to disk (fsync'd write-ahead log, byte-identical
+//! resume after a crash) and hosts them either in-process
+//! ([`service::run_local`], the `campaign run --journal` path) or in the
+//! `benchd` daemon, driven by `benchctl` over local TCP.
+//!
 //! Binaries (`cargo run --release -p contention-bench --bin <name>`):
 //!
 //! | Binary | Claim |
@@ -35,8 +41,10 @@
 //! | `exp_saturation` | extension: saturated capacity + fairness table |
 //! | `run_all` | run everything above in sequence |
 //! | `scenarios` | list/run/print the named scenario registry |
-//! | `campaign` | list/run named sweeps, regenerate RESULTS.md |
+//! | `campaign` | list/run named sweeps (journaled + resumable), regenerate RESULTS.md |
 //! | `perf` | pinned throughput suite, writes `BENCH_<date>.json` |
+//! | `benchd` | campaign daemon: jobs over local TCP, journaled + crash-resumable |
+//! | `benchctl` | client for `benchd`: submit/status/watch/results/cancel |
 //!
 //! All `exp_*` binaries accept `--quick`, `--seeds N`, `--t N`, `--csv`.
 
@@ -47,6 +55,7 @@
 pub mod args;
 pub mod campaign;
 pub mod scenario;
+pub mod service;
 
 pub use args::{closest_matches, first_positional, unknown_name_exit, ExpArgs};
 pub use campaign::{CampaignRunner, SweepSpec};

@@ -69,6 +69,14 @@ impl Json {
         v.map_or(Json::Null, Json::Num)
     }
 
+    pub(crate) fn i64(v: i64) -> Json {
+        debug_assert!(
+            v.abs() <= (1 << 53),
+            "integer too large for JSON round-trip"
+        );
+        Json::Num(v as f64)
+    }
+
     /// Field `key` of an object, or an error for non-objects and missing
     /// keys.
     pub fn get<'a>(&'a self, key: &str) -> Result<&'a Json, SpecError> {
@@ -117,6 +125,22 @@ impl Json {
         match self {
             Json::Null => Ok(None),
             other => other.as_f64().map(Some),
+        }
+    }
+
+    pub(crate) fn as_i64(&self) -> Result<i64, SpecError> {
+        let x = self.as_f64()?;
+        if x.fract() == 0.0 && x.abs() <= (1u64 << 53) as f64 {
+            Ok(x as i64)
+        } else {
+            Err(SpecError::new(format!("expected integer, got {x}")))
+        }
+    }
+
+    pub(crate) fn as_bool(&self) -> Result<bool, SpecError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(SpecError::new("expected boolean")),
         }
     }
 

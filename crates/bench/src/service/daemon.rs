@@ -1,0 +1,564 @@
+//! The `benchd` daemon: jobs over a local TCP socket, journaled to disk.
+//!
+//! One [`Daemon`] owns a [`Scheduler`] and a jobs directory. Every
+//! submitted job gets `jobs/<id>/` holding:
+//!
+//! * `job.json` — the materialized sweep + priority, fsync'd *before*
+//!   the job is scheduled, so a crashed daemon knows what it was running;
+//! * `journal.jsonl` — the write-ahead result journal (one synced line
+//!   per completed unit);
+//! * `results.csv` / `results.jsonl` / `report.md` / `state` — final
+//!   artifacts, written atomically on completion.
+//!
+//! On startup the daemon rescans the jobs directory and resubmits every
+//! job that has a `job.json` but no terminal `state` marker — so
+//! `kill -9` mid-campaign costs at most the one torn journal line, and
+//! the restarted daemon continues from the last completed cell.
+//!
+//! The protocol is line-delimited JSON ([`super::protocol`]), one thread
+//! per connection. `events` switches a connection into streaming mode
+//! until the watched job ends.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::args::closest_matches;
+use crate::campaign::{registry as campaigns, to_csv, to_jsonl, SweepSpec};
+use crate::scenario::Json;
+
+use super::protocol::{JobSource, Request, Response, ResultFormat, SubmitRequest};
+use super::scheduler::{JobSpec, Scheduler};
+use super::ServiceError;
+
+/// Daemon settings.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address; default `127.0.0.1:0` (kernel-assigned port).
+    pub addr: String,
+    /// Directory holding one subdirectory per job.
+    pub jobs_dir: PathBuf,
+    /// Worker threads; 0 = available parallelism.
+    pub threads: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs_dir: PathBuf::from("jobs"),
+            threads: 0,
+        }
+    }
+}
+
+struct Inner {
+    sched: Scheduler,
+    jobs_dir: PathBuf,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("jobs_dir", &self.jobs_dir)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A bound, resumed, ready-to-serve daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Daemon {
+    /// Bind the listener, create the jobs directory, and resubmit every
+    /// unfinished journaled job found there.
+    pub fn bind(config: DaemonConfig) -> Result<Daemon, ServiceError> {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.threads
+        };
+        fs::create_dir_all(&config.jobs_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let inner = Arc::new(Inner {
+            sched: Scheduler::new(threads),
+            jobs_dir: config.jobs_dir,
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        inner.resume_unfinished()?;
+        Ok(Daemon { listener, inner })
+    }
+
+    /// The bound address (write it to a port file for clients).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve connections until a `shutdown` request arrives. In-flight
+    /// cells are journaled as they finish; an abrupt kill is equally
+    /// safe, which is the point of the journal.
+    pub fn run(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let stream = stream?;
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&inner, stream);
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Inner {
+    /// Rescan the jobs directory: anything with a `job.json` but no
+    /// terminal `state` marker is resubmitted in resume mode.
+    fn resume_unfinished(&self) -> Result<(), ServiceError> {
+        let mut max_id = 0u64;
+        let mut pending = Vec::new();
+        for entry in fs::read_dir(&self.jobs_dir)? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            if let Some(n) = dir
+                .file_name()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("job-"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max_id = max_id.max(n);
+            }
+            if dir.join("job.json").exists() && !dir.join("state").exists() {
+                pending.push(dir);
+            }
+        }
+        self.next_id.store(max_id + 1, Ordering::SeqCst);
+        for dir in pending {
+            let text = fs::read_to_string(dir.join("job.json"))?;
+            let j = Json::parse(&text).map_err(|e| {
+                ServiceError::new(format!(
+                    "unreadable {}: {e}",
+                    dir.join("job.json").display()
+                ))
+            })?;
+            let id = j
+                .get("id")
+                .and_then(|v| v.as_str().map(String::from))
+                .map_err(|e| ServiceError::new(e.to_string()))?;
+            let priority = j
+                .get("priority")
+                .and_then(|v| v.as_i64())
+                .map_err(|e| ServiceError::new(e.to_string()))?;
+            let sweep = j
+                .get("sweep")
+                .map_err(|e| ServiceError::new(e.to_string()))
+                .and_then(|v| {
+                    SweepSpec::from_json(v).map_err(|e| ServiceError::new(e.to_string()))
+                })?;
+            let job = self.sched.submit(JobSpec {
+                id,
+                sweep,
+                priority,
+                dir: Some(dir),
+                resume: true,
+            })?;
+            self.sched.activate(&job);
+        }
+        Ok(())
+    }
+
+    /// Resolve a submission source to a concrete sweep.
+    fn materialize(&self, source: &JobSource) -> Result<SweepSpec, ServiceError> {
+        match source {
+            JobSource::Campaign { name, smoke } => {
+                let sweep = campaigns::lookup(name).ok_or_else(|| {
+                    let mut msg = format!("unknown campaign `{name}`");
+                    let suggestions = closest_matches(name, campaigns::names().iter().copied());
+                    if !suggestions.is_empty() {
+                        msg.push_str("; did you mean: ");
+                        msg.push_str(&suggestions.join(", "));
+                    }
+                    ServiceError::new(msg)
+                })?;
+                Ok(if *smoke { sweep.smoke() } else { sweep })
+            }
+            JobSource::Sweep(sweep) => Ok(sweep.clone()),
+            JobSource::Scenario(spec) => Ok(SweepSpec::new(
+                spec.name.clone(),
+                spec.name.clone(),
+                spec.clone(),
+            )),
+        }
+    }
+
+    fn submit(&self, req: &SubmitRequest) -> Result<Response, ServiceError> {
+        let sweep = self.materialize(&req.source)?;
+        let id = match &req.id {
+            Some(id)
+                if id.is_empty()
+                    || !id.chars().all(|c| c.is_alphanumeric() || "-_.".contains(c)) =>
+            {
+                return Err(ServiceError::new(format!(
+                    "job id `{id}` must be non-empty alphanumeric/dash/underscore/dot"
+                )));
+            }
+            Some(id) => id.clone(),
+            None => format!("job-{}", self.next_id.fetch_add(1, Ordering::SeqCst)),
+        };
+        let dir = self.jobs_dir.join(&id);
+        if dir.exists() {
+            return Err(ServiceError::new(format!(
+                "job directory `{}` already exists; pick a fresh id (resume happens \
+                 automatically at daemon startup)",
+                dir.display()
+            )));
+        }
+        fs::create_dir_all(&dir)?;
+        // Persist the job spec before scheduling anything, so a crashed
+        // daemon can resume this job by rescanning the directory.
+        let manifest = Json::obj(vec![
+            ("id", Json::Str(id.clone())),
+            ("priority", Json::i64(req.priority)),
+            ("sweep", sweep.to_json()),
+        ]);
+        let mut f = fs::File::create(dir.join("job.json"))?;
+        f.write_all(manifest.render().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_data()?;
+        let job = self.sched.submit(JobSpec {
+            id: id.clone(),
+            sweep,
+            priority: req.priority,
+            dir: Some(dir),
+            resume: false,
+        })?;
+        self.sched.activate(&job);
+        Ok(Response::Submitted {
+            id,
+            units: job.units.len() as u64,
+        })
+    }
+
+    fn results(&self, id: &str, format: ResultFormat) -> Result<Response, ServiceError> {
+        let job = self
+            .sched
+            .job(id)
+            .ok_or_else(|| ServiceError::new(format!("unknown job `{id}`")))?;
+        // Render whatever is complete so far; a running job yields its
+        // journal-backed prefix.
+        let result = job.partial_result();
+        let body = match format {
+            ResultFormat::Csv => to_csv(&result),
+            ResultFormat::Jsonl => to_jsonl(&result),
+            ResultFormat::Report => crate::campaign::render_section(&result),
+        };
+        Ok(Response::Results {
+            id: id.to_string(),
+            format,
+            body,
+        })
+    }
+}
+
+fn handle(inner: &Inner, req: &Request) -> Result<Option<Response>, ServiceError> {
+    match req {
+        Request::Ping => Ok(Some(Response::Ok)),
+        Request::Submit(s) => inner.submit(s).map(Some),
+        Request::Status { id } => match inner.sched.job(id) {
+            Some(job) => Ok(Some(Response::Status(job.status()))),
+            None => Err(ServiceError::new(format!("unknown job `{id}`"))),
+        },
+        Request::List => Ok(Some(Response::List(
+            inner.sched.jobs().iter().map(|j| j.status()).collect(),
+        ))),
+        Request::Results { id, format } => inner.results(id, *format).map(Some),
+        Request::Cancel { id } => match inner.sched.job(id) {
+            Some(job) => {
+                inner.sched.cancel(&job);
+                Ok(Some(Response::Ok))
+            }
+            None => Err(ServiceError::new(format!("unknown job `{id}`"))),
+        },
+        // Events and Shutdown are connection-level; handled by the caller.
+        Request::Events { .. } | Request::Shutdown => Ok(None),
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    stream.write_all(resp.to_line().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::from_line(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                send(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match &req {
+            Request::Shutdown => {
+                send(&mut writer, &Response::Ok)?;
+                inner.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop with a loopback connection.
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+            Request::Events { id } => match inner.sched.job(id) {
+                None => send(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("unknown job `{id}`"),
+                    },
+                )?,
+                Some(job) => {
+                    let (snapshot, rx) = job.subscribe_events();
+                    let terminal = snapshot.terminal;
+                    send(&mut writer, &Response::Event(snapshot))?;
+                    if !terminal {
+                        for event in rx {
+                            send(&mut writer, &Response::Event(event))?;
+                        }
+                        // The channel closes right after the terminal
+                        // event, so the loop above delivered it.
+                    }
+                }
+            },
+            _ => {
+                let resp = match handle(inner, &req) {
+                    Ok(Some(r)) => r,
+                    Ok(None) => unreachable!("connection-level requests handled above"),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                send(&mut writer, &resp)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Axis;
+    use crate::scenario::{AlgoSpec, ScenarioSpec};
+
+    fn tiny_sweep() -> SweepSpec {
+        SweepSpec::new(
+            "wiretest",
+            "Wire test",
+            ScenarioSpec::batch(4, 0.0)
+                .algos([AlgoSpec::cjz_constant_jamming()])
+                .seeds(1)
+                .until_drained(10_000),
+        )
+        .axis(Axis::jam([0.0, 0.1]))
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+            }
+        }
+
+        fn call(&mut self, req: &Request) -> Response {
+            self.writer
+                .write_all(format!("{}\n", req.to_line()).as_bytes())
+                .unwrap();
+            self.read()
+        }
+
+        fn read(&mut self) -> Response {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            Response::from_line(line.trim_end()).unwrap()
+        }
+    }
+
+    /// One in-process daemon exercising the full request surface,
+    /// including restart-resume. The kill -9 path is covered by the e2e
+    /// binary test (`tests/service_e2e.rs`) and the CI smoke job.
+    #[test]
+    fn daemon_serves_submit_status_results_events_and_resume() {
+        let dir = std::env::temp_dir().join(format!("daemon-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let daemon = Daemon::bind(DaemonConfig {
+            jobs_dir: dir.join("jobs"),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = daemon.local_addr().unwrap();
+        let server = std::thread::spawn(move || daemon.run().unwrap());
+
+        let mut c = Client::connect(addr);
+        assert_eq!(c.call(&Request::Ping), Response::Ok);
+
+        // Unknown campaign: error with suggestions, connection survives.
+        let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Campaign {
+                name: "tradeoof".into(),
+                smoke: true,
+            },
+            id: None,
+            priority: 0,
+        })));
+        match resp {
+            Response::Error { message } => {
+                assert!(message.contains("did you mean"), "{message}");
+                assert!(message.contains("tradeoff"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        // Submit an inline sweep and watch it to completion.
+        let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Sweep(tiny_sweep()),
+            id: None,
+            priority: 0,
+        })));
+        let id = match resp {
+            Response::Submitted { id, units } => {
+                assert_eq!(units, 2);
+                id
+            }
+            other => panic!("expected submitted, got {other:?}"),
+        };
+        assert_eq!(id, "job-1");
+
+        let mut watcher = Client::connect(addr);
+        watcher
+            .writer
+            .write_all(format!("{}\n", Request::Events { id: id.clone() }.to_line()).as_bytes())
+            .unwrap();
+        let mut last = match watcher.read() {
+            Response::Event(e) => e,
+            other => panic!("expected event, got {other:?}"),
+        };
+        while !last.terminal {
+            last = match watcher.read() {
+                Response::Event(e) => e,
+                other => panic!("expected event, got {other:?}"),
+            };
+        }
+        assert_eq!(last.state, "done");
+        assert_eq!(last.done_units, 2);
+
+        // Status + results reflect the finished job.
+        match c.call(&Request::Status { id: id.clone() }) {
+            Response::Status(s) => {
+                assert_eq!(s.state, "done");
+                assert_eq!(s.done_units, 2);
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        let csv_body = match c.call(&Request::Results {
+            id: id.clone(),
+            format: ResultFormat::Csv,
+        }) {
+            Response::Results { body, .. } => body,
+            other => panic!("expected results, got {other:?}"),
+        };
+        assert_eq!(
+            csv_body,
+            fs::read_to_string(dir.join("jobs").join(&id).join("results.csv")).unwrap()
+        );
+        match c.call(&Request::List) {
+            Response::List(jobs) => assert_eq!(jobs.len(), 1),
+            other => panic!("expected list, got {other:?}"),
+        }
+
+        // Duplicate job directories refuse.
+        let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Sweep(tiny_sweep()),
+            id: Some(id.clone()),
+            priority: 0,
+        })));
+        assert!(matches!(resp, Response::Error { .. }));
+
+        assert_eq!(c.call(&Request::Shutdown), Response::Ok);
+        server.join().unwrap();
+
+        // Restart over the same jobs dir: the finished job (terminal
+        // marker present) is NOT resubmitted; a journal stripped of its
+        // marker IS, and completes from the journal alone.
+        fs::remove_file(dir.join("jobs").join(&id).join("state")).unwrap();
+        let daemon = Daemon::bind(DaemonConfig {
+            jobs_dir: dir.join("jobs"),
+            threads: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = daemon.local_addr().unwrap();
+        let server = std::thread::spawn(move || daemon.run().unwrap());
+        let mut c = Client::connect(addr);
+        match c.call(&Request::Status { id: id.clone() }) {
+            Response::Status(s) => {
+                assert_eq!(s.state, "done");
+                assert_eq!(s.recovered_units, 2, "resumed entirely from journal");
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+        // Fresh ids continue past recovered ones.
+        let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Scenario(
+                ScenarioSpec::batch(4, 0.0)
+                    .algos([AlgoSpec::cjz_constant_jamming()])
+                    .seeds(1)
+                    .until_drained(10_000),
+            ),
+            id: None,
+            priority: 1,
+        })));
+        match resp {
+            Response::Submitted { id, units } => {
+                assert_eq!(id, "job-2");
+                assert_eq!(units, 1);
+            }
+            other => panic!("expected submitted, got {other:?}"),
+        }
+        assert_eq!(c.call(&Request::Shutdown), Response::Ok);
+        server.join().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

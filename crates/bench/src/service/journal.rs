@@ -1,0 +1,431 @@
+//! The write-ahead result journal: crash-safe campaign progress.
+//!
+//! A journal is an append-only JSONL file (`journal.jsonl` inside a job
+//! directory). Line 1 is a header binding the file to one exact sweep — a
+//! schema id, an FNV-1a fingerprint of the sweep's canonical JSON, and
+//! the unit count — and every later line is one completed unit:
+//! `{"unit":i,"result":<cell row>}`, `fsync`'d before the scheduler
+//! acknowledges the cell. Because every (cell × algorithm) unit is
+//! deterministic and the row serialization round-trips floats exactly
+//! ([`cell_result_to_json`]), a killed run resumed from its journal
+//! produces byte-identical final output.
+//!
+//! [`recover`] is deliberately conservative about what it accepts:
+//!
+//! * a **truncated tail** (the crash landed mid-`write`) is dropped and
+//!   its unit re-runs — that is the normal kill -9 case, not an error;
+//! * **duplicate** unit lines (a crash after `write` but before the
+//!   in-memory cursor advanced, then a resume) keep the first copy —
+//!   determinism makes the copies identical anyway;
+//! * a **schema/fingerprint/unit-count mismatch** means the journal
+//!   belongs to a different sweep (or a different code version) and
+//!   recovery refuses with an error naming the mismatch, rather than
+//!   silently mixing results;
+//! * garbage anywhere *before* the last line is corruption and also
+//!   refuses — only the tail can be half-written by a crash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::campaign::json::{cell_result_from_json, cell_result_to_json};
+use crate::campaign::{CellResult, SweepSpec};
+use crate::scenario::Json;
+
+/// Journal format id; bump on any incompatible layout change.
+pub const JOURNAL_SCHEMA: &str = "contention-bench/journal-v1";
+
+/// FNV-1a 64-bit fingerprint of the sweep's canonical JSON encoding.
+///
+/// Two sweeps fingerprint equal iff they serialize identically, which is
+/// exactly the "same experiment" notion the journal needs: any edit to
+/// the base scenario, axes, seeds or roster changes the canonical JSON.
+pub fn sweep_fingerprint(sweep: &SweepSpec) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sweep.to_json_string().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Why a journal could not be recovered.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem failure reading the journal.
+    Io(io::Error),
+    /// The journal is damaged somewhere other than its final line.
+    Corrupt(String),
+    /// The journal belongs to a different sweep or format version.
+    Mismatch(String),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "journal I/O error: {e}"),
+            RecoverError::Corrupt(m) => write!(f, "journal corrupt: {m}"),
+            RecoverError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for RecoverError {
+    fn from(e: io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+/// What [`recover`] salvaged from an existing journal.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Completed rows by unit index (first copy wins on duplicates).
+    pub results: BTreeMap<usize, CellResult>,
+    /// A half-written final line was dropped (its unit will re-run).
+    pub truncated: bool,
+    /// Duplicate unit lines skipped.
+    pub duplicates: usize,
+    /// Byte length of the valid prefix; resume truncates the file here.
+    pub valid_len: u64,
+}
+
+/// Parse an existing journal for `sweep`, salvaging every intact row.
+///
+/// Returns `Ok(None)` when no journal exists (fresh run). See the module
+/// docs for the exact tolerance/refusal rules.
+pub fn recover(
+    path: &Path,
+    sweep: &SweepSpec,
+    units: usize,
+) -> Result<Option<Recovered>, RecoverError> {
+    let text = match File::open(path) {
+        Ok(mut f) => {
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            String::from_utf8(bytes)
+                .map_err(|_| RecoverError::Corrupt("journal is not valid UTF-8".into()))?
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+
+    // Split into newline-terminated lines, remembering whether the final
+    // chunk was cut off mid-write.
+    let mut lines: Vec<&str> = Vec::new();
+    let mut tail_complete = true;
+    let mut rest = text.as_str();
+    while !rest.is_empty() {
+        match rest.find('\n') {
+            Some(i) => {
+                lines.push(&rest[..i]);
+                rest = &rest[i + 1..];
+            }
+            None => {
+                lines.push(rest);
+                tail_complete = false;
+                rest = "";
+            }
+        }
+    }
+    if lines.is_empty() {
+        return Err(RecoverError::Corrupt("journal is empty".into()));
+    }
+
+    // Header: refuse anything that is not exactly this sweep.
+    let header = (tail_complete || lines.len() > 1)
+        .then(|| Json::parse(lines[0]).ok())
+        .flatten()
+        .ok_or_else(|| RecoverError::Corrupt("unreadable header line".into()))?;
+    let schema = header
+        .get("schema")
+        .and_then(|s| s.as_str().map(String::from))
+        .map_err(|_| RecoverError::Corrupt("header has no schema field".into()))?;
+    if schema != JOURNAL_SCHEMA {
+        return Err(RecoverError::Mismatch(format!(
+            "journal schema is `{schema}`, this build writes `{JOURNAL_SCHEMA}`"
+        )));
+    }
+    let fp = header
+        .get("fingerprint")
+        .and_then(|s| s.as_str().map(String::from))
+        .map_err(|_| RecoverError::Corrupt("header has no fingerprint field".into()))?;
+    let want_fp = sweep_fingerprint(sweep);
+    if fp != want_fp {
+        return Err(RecoverError::Mismatch(format!(
+            "journal was written for a different sweep (fingerprint {fp}, \
+             this spec is {want_fp}); remove the job directory to start over"
+        )));
+    }
+    let got_units = header
+        .get("units")
+        .and_then(|u| u.as_u64())
+        .map_err(|_| RecoverError::Corrupt("header has no units field".into()))?
+        as usize;
+    if got_units != units {
+        return Err(RecoverError::Mismatch(format!(
+            "journal expects {got_units} units, this sweep has {units}"
+        )));
+    }
+
+    let mut results = BTreeMap::new();
+    let mut duplicates = 0usize;
+    let mut truncated = !tail_complete;
+    let mut valid_len = lines[0].len() as u64 + 1;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let last = i == lines.len() - 1;
+        let parsed = Json::parse(line).ok().and_then(|j| {
+            let unit = j.get("unit").ok()?.as_u64().ok()? as usize;
+            let cell = cell_result_from_json(j.get("result").ok()?).ok()?;
+            Some((unit, cell))
+        });
+        match parsed {
+            Some((unit, _)) if unit >= units => {
+                return Err(RecoverError::Corrupt(format!(
+                    "line {} names unit {unit} of {units}",
+                    i + 1
+                )));
+            }
+            Some((unit, cell)) if !last || tail_complete => {
+                if let std::collections::btree_map::Entry::Vacant(e) = results.entry(unit) {
+                    e.insert(cell);
+                } else {
+                    duplicates += 1;
+                }
+                valid_len += line.len() as u64 + 1;
+            }
+            // A parseable but unterminated final line still lacks its
+            // fsync'd newline: treat it as the torn tail and re-run it.
+            Some(_) => truncated = true,
+            None if last => truncated = true,
+            None => {
+                return Err(RecoverError::Corrupt(format!(
+                    "unparseable line {} (only the final line may be torn)",
+                    i + 1
+                )));
+            }
+        }
+    }
+
+    Ok(Some(Recovered {
+        results,
+        truncated,
+        duplicates,
+        valid_len,
+    }))
+}
+
+/// An open journal in append mode. Every [`append`](Journal::append) is
+/// written *and synced* before returning, so an acknowledged cell is
+/// guaranteed to survive kill -9.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Create a fresh journal for `sweep` (truncating any existing file),
+    /// writing and syncing the header line.
+    pub fn create(path: &Path, sweep: &SweepSpec, units: usize) -> io::Result<Journal> {
+        let mut file = File::create(path)?;
+        let header = Json::obj(vec![
+            ("schema", Json::Str(JOURNAL_SCHEMA.into())),
+            ("sweep", Json::Str(sweep.name.clone())),
+            ("fingerprint", Json::Str(sweep_fingerprint(sweep))),
+            ("units", Json::u64(units as u64)),
+        ]);
+        file.write_all(header.render().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopen an existing journal after [`recover`], truncating the torn
+    /// tail (if any) and positioning at the end of the valid prefix.
+    pub fn resume(path: &Path, valid_len: u64) -> io::Result<Journal> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.sync_data()?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one completed unit, synced to disk before returning.
+    pub fn append(&mut self, unit: usize, cell: &CellResult) -> io::Result<()> {
+        let line = Json::obj(vec![
+            ("unit", Json::u64(unit as u64)),
+            ("result", cell_result_to_json(cell)),
+        ]);
+        self.file.write_all(line.render().as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Axis, CampaignRunner};
+    use crate::scenario::{AlgoSpec, ScenarioSpec};
+
+    fn sweep() -> SweepSpec {
+        SweepSpec::new(
+            "jtest",
+            "Journal test",
+            ScenarioSpec::batch(4, 0.0)
+                .algos([AlgoSpec::cjz_constant_jamming()])
+                .seeds(1)
+                .until_drained(10_000),
+        )
+        .axis(Axis::jam([0.0, 0.1]))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// Write a complete 2-unit journal and return (path, cells).
+    fn full_journal(name: &str) -> (PathBuf, Vec<CellResult>) {
+        let path = tmp(name);
+        let s = sweep();
+        let result = CampaignRunner::new(s.clone()).run();
+        let mut j = Journal::create(&path, &s, 2).unwrap();
+        for (i, cell) in result.cells.iter().enumerate() {
+            j.append(i, cell).unwrap();
+        }
+        (path, result.cells)
+    }
+
+    #[test]
+    fn fingerprint_tracks_spec_identity() {
+        let a = sweep();
+        let mut b = sweep();
+        assert_eq!(sweep_fingerprint(&a), sweep_fingerprint(&b));
+        b.base.seeds = 99;
+        assert_ne!(sweep_fingerprint(&a), sweep_fingerprint(&b));
+    }
+
+    #[test]
+    fn missing_journal_is_a_fresh_start() {
+        let r = recover(&tmp("nope.jsonl"), &sweep(), 2).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn full_journal_recovers_every_row() {
+        let (path, cells) = full_journal("full.jsonl");
+        let r = recover(&path, &sweep(), 2).unwrap().unwrap();
+        assert_eq!(r.results.len(), 2);
+        assert!(!r.truncated);
+        assert_eq!(r.duplicates, 0);
+        assert_eq!(r.valid_len, std::fs::metadata(&path).unwrap().len());
+        // Bit-identical recovery: the resumed rows ARE the original rows.
+        assert_eq!(r.results[&0], cells[0]);
+        assert_eq!(r.results[&1], cells[1]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_rerun() {
+        let (path, cells) = full_journal("torn.jsonl");
+        // Chop the last line mid-way: the kill -9 case.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().rfind('\n').unwrap() + 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        let r = recover(&path, &sweep(), 2).unwrap().unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.results.len(), 1);
+        assert_eq!(r.results[&0], cells[0]);
+        // valid_len points at the end of the intact prefix.
+        assert_eq!(
+            text.as_bytes()[r.valid_len as usize - 1],
+            b'\n',
+            "valid prefix ends on a line boundary"
+        );
+        // Resuming truncates the tear so appends continue cleanly.
+        let mut j = Journal::resume(&path, r.valid_len).unwrap();
+        j.append(1, &cells[1]).unwrap();
+        let r2 = recover(&path, &sweep(), 2).unwrap().unwrap();
+        assert!(!r2.truncated);
+        assert_eq!(r2.results.len(), 2);
+        assert_eq!(r2.results[&1], cells[1]);
+    }
+
+    #[test]
+    fn parseable_but_unterminated_tail_still_reruns() {
+        let (path, _) = full_journal("noterm.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end()).unwrap();
+        let r = recover(&path, &sweep(), 2).unwrap().unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.results.len(), 1, "unterminated line lacks its sync");
+    }
+
+    #[test]
+    fn duplicate_lines_dedupe_keeping_first() {
+        let (path, cells) = full_journal("dup.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let dup_line = text.lines().nth(1).unwrap();
+        std::fs::write(&path, format!("{text}{dup_line}\n")).unwrap();
+        let r = recover(&path, &sweep(), 2).unwrap().unwrap();
+        assert_eq!(r.duplicates, 1);
+        assert_eq!(r.results.len(), 2);
+        assert_eq!(r.results[&0], cells[0]);
+    }
+
+    #[test]
+    fn wrong_sweep_refuses_with_mismatch() {
+        let (path, _) = full_journal("mismatch.jsonl");
+        let mut other = sweep();
+        other.base.seeds = 7;
+        match recover(&path, &other, 2) {
+            Err(RecoverError::Mismatch(m)) => assert!(m.contains("different sweep"), "{m}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_schema_and_units_refuse() {
+        let (path, _) = full_journal("schema.jsonl");
+        match recover(&path, &sweep(), 3) {
+            Err(RecoverError::Mismatch(m)) => assert!(m.contains("units"), "{m}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("journal-v1", "journal-v0")).unwrap();
+        match recover(&path, &sweep(), 2) {
+            Err(RecoverError::Mismatch(m)) => assert!(m.contains("schema"), "{m}"),
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_before_tail_is_corruption() {
+        let (path, _) = full_journal("corrupt.jsonl");
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        lines[1] = "{\"not\":\"a cell\"".into();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        match recover(&path, &sweep(), 2) {
+            Err(RecoverError::Corrupt(m)) => assert!(m.contains("line 2"), "{m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

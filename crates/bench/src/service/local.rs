@@ -1,0 +1,332 @@
+//! In-process campaign execution over the service scheduler: the one
+//! codepath behind `CampaignRunner::run()`, `campaign run` (with or
+//! without `--journal`), and interrupted-then-resumed runs.
+//!
+//! [`run_local`] spins up a private [`Scheduler`], submits the sweep as
+//! a single job, and streams completed rows into optional CSV/JSONL
+//! files through [`OrderedLineWriter`] — each row flushed the moment its
+//! grid-order turn comes, so `tail -f` follows along and a crash leaves
+//! a clean prefix. With a journal directory the job is resumable; with
+//! an interrupt flag (the CLI's SIGINT handler sets it) the pool drains:
+//! in-flight cells finish and journal, nothing new starts, and the
+//! outcome reports `interrupted` so the caller can exit distinctly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::campaign::{
+    csv_header, csv_row, jsonl_row, CampaignResult, CellResult, OrderedLineWriter, SweepSpec,
+};
+
+use super::scheduler::{JobSpec, Scheduler};
+use super::ServiceError;
+
+/// Knobs for [`run_local`].
+#[derive(Debug, Default)]
+pub struct LocalOptions {
+    /// Journal/artifact directory; `None` runs purely in memory.
+    pub dir: Option<PathBuf>,
+    /// Resume an existing journal in `dir` (error to find one otherwise).
+    pub resume: bool,
+    /// Checked between rows: when set, drain and return early.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Stream rows to this CSV file (header + one flushed row per cell).
+    pub csv: Option<PathBuf>,
+    /// Stream rows to this JSONL file (one flushed row per cell).
+    pub jsonl: Option<PathBuf>,
+    /// Worker threads; default = available parallelism.
+    pub threads: Option<usize>,
+}
+
+/// What [`run_local`] accomplished.
+#[derive(Debug)]
+pub struct LocalOutcome {
+    /// The complete campaign, when every unit finished.
+    pub result: Option<CampaignResult>,
+    /// Units completed (recovered ones included).
+    pub done_units: usize,
+    /// Grid size.
+    pub total_units: usize,
+    /// Units restored from the journal instead of executed.
+    pub recovered_units: usize,
+    /// The run stopped early on the interrupt flag.
+    pub interrupted: bool,
+}
+
+fn writers(
+    sweep: &SweepSpec,
+    opts: &LocalOptions,
+) -> Result<(Option<OrderedLineWriter>, Option<OrderedLineWriter>), ServiceError> {
+    let axes: Vec<String> = sweep.axes.iter().map(|a| a.name.clone()).collect();
+    let csv = opts
+        .csv
+        .as_ref()
+        .map(|p| OrderedLineWriter::create(p, Some(&csv_header(&axes))))
+        .transpose()?;
+    let jsonl = opts
+        .jsonl
+        .as_ref()
+        .map(|p| OrderedLineWriter::create(p, None))
+        .transpose()?;
+    Ok((csv, jsonl))
+}
+
+/// Run one sweep on a private scheduler, streaming rows as they
+/// complete. See the module docs for journal/interrupt semantics.
+pub fn run_local(sweep: SweepSpec, opts: LocalOptions) -> Result<LocalOutcome, ServiceError> {
+    let threads = opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let (mut csv, mut jsonl) = writers(&sweep, &opts)?;
+    let axes: Vec<String> = sweep.axes.iter().map(|a| a.name.clone()).collect();
+    let name = sweep.name.clone();
+    let mut push_row = move |unit: usize, cell: &CellResult| -> Result<(), ServiceError> {
+        if let Some(w) = &mut csv {
+            w.push(unit, csv_row(&name, &axes, cell))?;
+        }
+        if let Some(w) = &mut jsonl {
+            w.push(unit, jsonl_row(&name, cell))?;
+        }
+        Ok(())
+    };
+
+    let sched = Scheduler::new(threads);
+    let job = sched.submit(JobSpec {
+        id: sweep.name.clone(),
+        sweep,
+        priority: 0,
+        dir: opts.dir.clone(),
+        resume: opts.resume,
+    })?;
+
+    // Subscribe before activation so no live row can slip between the
+    // recovered snapshot and the stream.
+    let (recovered, rx) = job.subscribe_results();
+    for (unit, cell) in &recovered {
+        push_row(*unit, cell)?;
+    }
+    let interrupt_set = || {
+        opts.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::SeqCst))
+    };
+    // A flag raised before we start means: recover/journal bookkeeping
+    // only, schedule nothing.
+    let mut interrupted = interrupt_set();
+    if interrupted {
+        sched.drain();
+    }
+    sched.activate(&job);
+
+    loop {
+        // Check the flag on every pass — including between back-to-back
+        // rows, which on a fast grid arrive well inside the recv
+        // timeout — so a signal always stops the run before the next
+        // unclaimed cell, never only on a quiet channel.
+        if !interrupted && interrupt_set() {
+            interrupted = true;
+            sched.drain();
+        }
+        if interrupted {
+            // In-flight cells finish and journal; flush what arrived.
+            job.wait_quiesced();
+            for (unit, cell) in rx.try_iter() {
+                push_row(unit, &cell)?;
+            }
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok((unit, cell)) => push_row(unit, &cell)?,
+            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+
+    let status = job.status();
+    if status.state == "failed" {
+        return Err(ServiceError::new(format!(
+            "campaign `{}` failed: {}",
+            job.sweep.name,
+            status.error.clone().unwrap_or_default()
+        )));
+    }
+
+    Ok(LocalOutcome {
+        result: job.result(),
+        done_units: status.done_units as usize,
+        total_units: status.total_units as usize,
+        recovered_units: status.recovered_units as usize,
+        interrupted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{to_csv, to_jsonl, Axis, CampaignRunner};
+    use crate::scenario::{AlgoSpec, ScenarioSpec};
+    use std::path::Path;
+
+    fn sweep() -> SweepSpec {
+        SweepSpec::new(
+            "local",
+            "Local test",
+            ScenarioSpec::batch(4, 0.0)
+                .algos([AlgoSpec::cjz_constant_jamming()])
+                .seeds(2)
+                .until_drained(10_000),
+        )
+        .axis(Axis::jam([0.0, 0.1]))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("runlocal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn streamed_files_equal_batch_writers() {
+        let csv_path = tmp("stream.csv");
+        let jsonl_path = tmp("stream.jsonl");
+        let outcome = run_local(
+            sweep(),
+            LocalOptions {
+                csv: Some(csv_path.clone()),
+                jsonl: Some(jsonl_path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let result = outcome.result.expect("complete");
+        assert!(!outcome.interrupted);
+        assert_eq!(outcome.done_units, 2);
+        assert_eq!(
+            std::fs::read_to_string(&csv_path).unwrap(),
+            to_csv(&result),
+            "streamed CSV is byte-equal to the batch writer"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&jsonl_path).unwrap(),
+            to_jsonl(&result)
+        );
+    }
+
+    #[test]
+    fn journaled_run_resumes_byte_identical() {
+        let dir = tmp("journaled");
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = run_local(
+            sweep(),
+            LocalOptions {
+                dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let full_csv = to_csv(&a.result.unwrap());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("results.csv")).unwrap(),
+            full_csv
+        );
+
+        // Simulate a kill -9 after the first journaled unit: drop the
+        // artifacts, truncate the journal after one result line, and
+        // garble the tail like a torn write.
+        truncate_journal(&dir, 1);
+        let csv_path = tmp("resumed.csv");
+        let b = run_local(
+            sweep(),
+            LocalOptions {
+                dir: Some(dir.clone()),
+                resume: true,
+                csv: Some(csv_path.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(b.recovered_units, 1);
+        assert_eq!(b.done_units, 2);
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), full_csv);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("results.csv")).unwrap(),
+            full_csv,
+            "resumed final artifact is byte-identical"
+        );
+        // Without --resume the journal refuses.
+        let err = run_local(
+            sweep(),
+            LocalOptions {
+                dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Keep the header + `keep` result lines, then append a torn tail.
+    fn truncate_journal(dir: &Path, keep: usize) {
+        let path = dir.join("journal.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(1 + keep).collect();
+        std::fs::write(&path, format!("{}\n{{\"unit\":9", kept.join("\n"))).unwrap();
+        for f in ["results.csv", "results.jsonl", "report.md", "state"] {
+            let _ = std::fs::remove_file(dir.join(f));
+        }
+    }
+
+    #[test]
+    fn delegated_runner_path_matches_direct_scheduler() {
+        // CampaignRunner::run() routes through run_local; sanity-check
+        // equality with an explicit run_local call.
+        let direct = CampaignRunner::new(sweep()).run();
+        let via = run_local(sweep(), LocalOptions::default())
+            .unwrap()
+            .result
+            .unwrap();
+        assert_eq!(direct.cells, via.cells);
+    }
+
+    #[test]
+    fn preset_interrupt_flag_stops_early_but_keeps_journal() {
+        let dir = tmp("interrupted");
+        let _ = std::fs::remove_dir_all(&dir);
+        let flag = Arc::new(AtomicBool::new(true));
+        let outcome = run_local(
+            sweep(),
+            LocalOptions {
+                dir: Some(dir.clone()),
+                interrupt: Some(flag),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.done_units, 0, "flag preset: nothing scheduled");
+        // A drain is not a cancel: no terminal marker, so a restart with
+        // --resume continues the job.
+        assert!(!dir.join("state").exists());
+        let resumed = run_local(
+            sweep(),
+            LocalOptions {
+                dir: Some(dir.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.done_units, 2);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("results.csv")).unwrap(),
+            to_csv(&resumed.result.unwrap())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

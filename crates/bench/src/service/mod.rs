@@ -1,0 +1,94 @@
+//! The campaign service layer: resumable, observable, multi-job
+//! experiment execution — `benchd`, its journal, and its scheduler.
+//!
+//! The batch CLI runs a campaign and prays; this subsystem makes heavy
+//! campaigns survivable infrastructure instead:
+//!
+//! * [`scheduler`] — a persistent work-stealing pool (the multi-job
+//!   successor of [`replicate`](crate::scenario::replicate())'s
+//!   atomic-cursor pool) that interleaves jobs by priority at (cell ×
+//!   algorithm × seed) task granularity;
+//! * [`journal`] — an append-only write-ahead journal: every completed
+//!   cell is one fsync'd JSONL line, so `kill -9` costs at most the one
+//!   torn line and a resumed campaign is **byte-identical** to an
+//!   uninterrupted one (cells are deterministic; floats round-trip
+//!   exactly);
+//! * [`local`] — [`run_local`], the one execution path shared by
+//!   `CampaignRunner::run()`, `campaign run` (streaming, journaled,
+//!   SIGINT-drainable via `--journal`/`--resume`), and tests;
+//! * [`protocol`] — the line-delimited JSON wire types (`submit`,
+//!   `status`, `list`, `results`, `cancel`, `events`) with exact
+//!   round-trip encoding;
+//! * [`daemon`] — the `benchd` TCP daemon: jobs directory, crash
+//!   rescan-and-resume, streaming progress events for `benchctl watch`.
+//!
+//! ```
+//! use contention_bench::campaign::{Axis, SweepSpec};
+//! use contention_bench::scenario::{AlgoSpec, ScenarioSpec};
+//! use contention_bench::service::{run_local, LocalOptions};
+//!
+//! let sweep = SweepSpec::new(
+//!     "demo",
+//!     "Demo",
+//!     ScenarioSpec::batch(8, 0.0)
+//!         .algos([AlgoSpec::cjz_constant_jamming()])
+//!         .seeds(2)
+//!         .until_drained(100_000),
+//! )
+//! .axis(Axis::jam([0.0, 0.25]));
+//! let outcome = run_local(sweep, LocalOptions::default()).unwrap();
+//! assert_eq!(outcome.done_units, 2);
+//! assert!(outcome.result.is_some());
+//! ```
+
+use std::fmt;
+use std::io;
+
+pub mod daemon;
+pub mod journal;
+pub mod local;
+pub mod protocol;
+pub mod scheduler;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use journal::{recover, sweep_fingerprint, Journal, RecoverError, Recovered, JOURNAL_SCHEMA};
+pub use local::{run_local, LocalOptions, LocalOutcome};
+pub use protocol::{
+    JobEvent, JobSource, JobStatusInfo, Request, Response, ResultFormat, SubmitRequest,
+};
+pub use scheduler::{JobHandle, JobSpec, JobState, Scheduler};
+
+/// Anything the service layer can fail with, as one displayable error.
+#[derive(Debug)]
+pub struct ServiceError {
+    message: String,
+}
+
+impl ServiceError {
+    /// An error with the given message.
+    pub fn new(message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::new(e.to_string())
+    }
+}
+
+impl From<crate::scenario::SpecError> for ServiceError {
+    fn from(e: crate::scenario::SpecError) -> Self {
+        ServiceError::new(e.to_string())
+    }
+}

@@ -1,0 +1,552 @@
+//! The line-delimited JSON wire protocol between `benchctl` (or any
+//! client) and the `benchd` daemon.
+//!
+//! Every message is one JSON object on one line. Clients send
+//! [`Request`]s; the daemon answers each with exactly one [`Response`] —
+//! except [`Request::Events`], which switches the connection into
+//! streaming mode: the daemon emits one [`Response::Event`] line per
+//! progress update until a terminal event, then resumes request/response.
+//!
+//! The encoding reuses the crate's hand-rolled [`Json`] layer (no serde,
+//! no external deps) and round-trips exactly — property-tested below —
+//! so protocol messages can embed full [`SweepSpec`]/[`ScenarioSpec`]
+//! payloads with the same fidelity the journal relies on.
+
+use crate::scenario::{Json, ScenarioSpec, SpecError};
+use crate::SweepSpec;
+
+/// What a submitted job should run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// A named campaign from the campaign registry.
+    Campaign {
+        /// Registry key, e.g. `tradeoff`.
+        name: String,
+        /// Shrink to the smoke-test grid before running.
+        smoke: bool,
+    },
+    /// An inline sweep, shipped in full.
+    Sweep(SweepSpec),
+    /// A single scenario (wrapped into an axis-free one-cell sweep).
+    Scenario(ScenarioSpec),
+}
+
+/// A job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// What to run.
+    pub source: JobSource,
+    /// Client-chosen job id; the daemon assigns `job-N` when absent.
+    pub id: Option<String>,
+    /// Scheduling priority: higher runs first; ties run in submit order.
+    pub priority: i64,
+}
+
+/// Which rendered artifact a `results` request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultFormat {
+    /// Flat CSV (the `to_csv` writer).
+    Csv,
+    /// JSON Lines (the `to_jsonl` writer).
+    Jsonl,
+    /// The markdown report section.
+    Report,
+}
+
+impl ResultFormat {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResultFormat::Csv => "csv",
+            ResultFormat::Jsonl => "jsonl",
+            ResultFormat::Report => "report",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn by_name(name: &str) -> Option<ResultFormat> {
+        match name {
+            "csv" => Some(ResultFormat::Csv),
+            "jsonl" => Some(ResultFormat::Jsonl),
+            "report" => Some(ResultFormat::Report),
+            _ => None,
+        }
+    }
+}
+
+/// A client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job. Boxed: the inline-sweep payload dwarfs every other
+    /// variant.
+    Submit(Box<SubmitRequest>),
+    /// One status snapshot of a job.
+    Status {
+        /// Job id.
+        id: String,
+    },
+    /// Status snapshots of every job the daemon knows.
+    List,
+    /// A rendered artifact of a finished (or partially finished) job.
+    Results {
+        /// Job id.
+        id: String,
+        /// Artifact to render.
+        format: ResultFormat,
+    },
+    /// Stop scheduling new cells of a job (in-flight cells finish and
+    /// are journaled).
+    Cancel {
+        /// Job id.
+        id: String,
+    },
+    /// Switch this connection into streaming progress events for a job.
+    Events {
+        /// Job id.
+        id: String,
+    },
+    /// Liveness check.
+    Ping,
+    /// Ask the daemon to exit (journals are already synced per cell).
+    Shutdown,
+}
+
+/// One job's status snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatusInfo {
+    /// Job id.
+    pub id: String,
+    /// `queued` / `running` / `done` / `cancelled` / `failed`.
+    pub state: String,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Total (cell × algorithm) units in the grid.
+    pub total_units: u64,
+    /// Units completed so far (journal-recovered ones included).
+    pub done_units: u64,
+    /// Units restored from the journal rather than executed.
+    pub recovered_units: u64,
+    /// Mean simulated slots summed over completed units × seeds — the
+    /// throughput numerator clients turn into slots/s and an ETA.
+    pub slots_done: f64,
+    /// Failure message, when `state == "failed"`.
+    pub error: Option<String>,
+}
+
+/// One streamed progress event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEvent {
+    /// Job id.
+    pub id: String,
+    /// Job state at the time of the event.
+    pub state: String,
+    /// Units completed so far.
+    pub done_units: u64,
+    /// Total units in the grid.
+    pub total_units: u64,
+    /// Units restored from the journal.
+    pub recovered_units: u64,
+    /// Cumulative mean-slots work completed (see [`JobStatusInfo`]).
+    pub slots_done: f64,
+    /// Name of the cell that just completed (empty for state changes).
+    pub label: String,
+    /// No further events will follow.
+    pub terminal: bool,
+}
+
+/// A daemon response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Acknowledged (ping, cancel, shutdown).
+    Ok,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable reason (may embed `did you mean` suggestions).
+        message: String,
+    },
+    /// A job was accepted.
+    Submitted {
+        /// Assigned job id.
+        id: String,
+        /// Grid size, so clients can scale progress immediately.
+        units: u64,
+    },
+    /// Status of one job.
+    Status(JobStatusInfo),
+    /// Status of every job.
+    List(Vec<JobStatusInfo>),
+    /// A rendered artifact.
+    Results {
+        /// Job id.
+        id: String,
+        /// Which artifact.
+        format: ResultFormat,
+        /// The artifact text, verbatim.
+        body: String,
+    },
+    /// One streamed progress event.
+    Event(JobEvent),
+}
+
+fn source_to_json(s: &JobSource) -> Json {
+    match s {
+        JobSource::Campaign { name, smoke } => Json::obj(vec![
+            ("kind", Json::Str("campaign".into())),
+            ("name", Json::Str(name.clone())),
+            ("smoke", Json::Bool(*smoke)),
+        ]),
+        JobSource::Sweep(sweep) => Json::obj(vec![
+            ("kind", Json::Str("sweep".into())),
+            ("sweep", sweep.to_json()),
+        ]),
+        JobSource::Scenario(spec) => Json::obj(vec![
+            ("kind", Json::Str("scenario".into())),
+            ("scenario", spec.to_json()),
+        ]),
+    }
+}
+
+fn source_from_json(j: &Json) -> Result<JobSource, SpecError> {
+    match j.kind()? {
+        "campaign" => Ok(JobSource::Campaign {
+            name: j.get("name")?.as_str()?.to_string(),
+            smoke: j.get("smoke")?.as_bool()?,
+        }),
+        "sweep" => Ok(JobSource::Sweep(SweepSpec::from_json(j.get("sweep")?)?)),
+        "scenario" => Ok(JobSource::Scenario(ScenarioSpec::from_json(
+            j.get("scenario")?,
+        )?)),
+        other => Err(SpecError::new(format!("unknown job source `{other}`"))),
+    }
+}
+
+fn opt_str(v: &Option<String>) -> Json {
+    v.as_ref().map_or(Json::Null, |s| Json::Str(s.clone()))
+}
+
+fn as_opt_str(j: &Json) -> Result<Option<String>, SpecError> {
+    match j {
+        Json::Null => Ok(None),
+        other => Ok(Some(other.as_str()?.to_string())),
+    }
+}
+
+impl Request {
+    /// Serialize to a [`Json`] tree.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Submit(s) => Json::obj(vec![
+                ("op", Json::Str("submit".into())),
+                ("source", source_to_json(&s.source)),
+                ("id", opt_str(&s.id)),
+                ("priority", Json::i64(s.priority)),
+            ]),
+            Request::Status { id } => Json::obj(vec![
+                ("op", Json::Str("status".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            Request::List => Json::obj(vec![("op", Json::Str("list".into()))]),
+            Request::Results { id, format } => Json::obj(vec![
+                ("op", Json::Str("results".into())),
+                ("id", Json::Str(id.clone())),
+                ("format", Json::Str(format.name().into())),
+            ]),
+            Request::Cancel { id } => Json::obj(vec![
+                ("op", Json::Str("cancel".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            Request::Events { id } => Json::obj(vec![
+                ("op", Json::Str("events".into())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            Request::Ping => Json::obj(vec![("op", Json::Str("ping".into()))]),
+            Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse one wire line.
+    pub fn from_line(line: &str) -> Result<Request, SpecError> {
+        let j = Json::parse(line)?;
+        match j.get("op")?.as_str()? {
+            "submit" => Ok(Request::Submit(Box::new(SubmitRequest {
+                source: source_from_json(j.get("source")?)?,
+                id: as_opt_str(j.get("id")?)?,
+                priority: j.get("priority")?.as_i64()?,
+            }))),
+            "status" => Ok(Request::Status {
+                id: j.get("id")?.as_str()?.to_string(),
+            }),
+            "list" => Ok(Request::List),
+            "results" => {
+                let name = j.get("format")?.as_str()?.to_string();
+                let format = ResultFormat::by_name(&name)
+                    .ok_or_else(|| SpecError::new(format!("unknown result format `{name}`")))?;
+                Ok(Request::Results {
+                    id: j.get("id")?.as_str()?.to_string(),
+                    format,
+                })
+            }
+            "cancel" => Ok(Request::Cancel {
+                id: j.get("id")?.as_str()?.to_string(),
+            }),
+            "events" => Ok(Request::Events {
+                id: j.get("id")?.as_str()?.to_string(),
+            }),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(SpecError::new(format!("unknown request op `{other}`"))),
+        }
+    }
+}
+
+fn status_to_json(s: &JobStatusInfo) -> Json {
+    Json::obj(vec![
+        ("id", Json::Str(s.id.clone())),
+        ("state", Json::Str(s.state.clone())),
+        ("priority", Json::i64(s.priority)),
+        ("total_units", Json::u64(s.total_units)),
+        ("done_units", Json::u64(s.done_units)),
+        ("recovered_units", Json::u64(s.recovered_units)),
+        ("slots_done", Json::Num(s.slots_done)),
+        ("error", opt_str(&s.error)),
+    ])
+}
+
+fn status_from_json(j: &Json) -> Result<JobStatusInfo, SpecError> {
+    Ok(JobStatusInfo {
+        id: j.get("id")?.as_str()?.to_string(),
+        state: j.get("state")?.as_str()?.to_string(),
+        priority: j.get("priority")?.as_i64()?,
+        total_units: j.get("total_units")?.as_u64()?,
+        done_units: j.get("done_units")?.as_u64()?,
+        recovered_units: j.get("recovered_units")?.as_u64()?,
+        slots_done: j.get("slots_done")?.as_f64()?,
+        error: as_opt_str(j.get("error")?)?,
+    })
+}
+
+fn event_to_json(e: &JobEvent) -> Json {
+    Json::obj(vec![
+        ("id", Json::Str(e.id.clone())),
+        ("state", Json::Str(e.state.clone())),
+        ("done_units", Json::u64(e.done_units)),
+        ("total_units", Json::u64(e.total_units)),
+        ("recovered_units", Json::u64(e.recovered_units)),
+        ("slots_done", Json::Num(e.slots_done)),
+        ("label", Json::Str(e.label.clone())),
+        ("terminal", Json::Bool(e.terminal)),
+    ])
+}
+
+fn event_from_json(j: &Json) -> Result<JobEvent, SpecError> {
+    Ok(JobEvent {
+        id: j.get("id")?.as_str()?.to_string(),
+        state: j.get("state")?.as_str()?.to_string(),
+        done_units: j.get("done_units")?.as_u64()?,
+        total_units: j.get("total_units")?.as_u64()?,
+        recovered_units: j.get("recovered_units")?.as_u64()?,
+        slots_done: j.get("slots_done")?.as_f64()?,
+        label: j.get("label")?.as_str()?.to_string(),
+        terminal: j.get("terminal")?.as_bool()?,
+    })
+}
+
+impl Response {
+    /// Serialize to a [`Json`] tree.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok => Json::obj(vec![("kind", Json::Str("ok".into()))]),
+            Response::Error { message } => Json::obj(vec![
+                ("kind", Json::Str("error".into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+            Response::Submitted { id, units } => Json::obj(vec![
+                ("kind", Json::Str("submitted".into())),
+                ("id", Json::Str(id.clone())),
+                ("units", Json::u64(*units)),
+            ]),
+            Response::Status(s) => Json::obj(vec![
+                ("kind", Json::Str("status".into())),
+                ("status", status_to_json(s)),
+            ]),
+            Response::List(jobs) => Json::obj(vec![
+                ("kind", Json::Str("list".into())),
+                ("jobs", Json::Arr(jobs.iter().map(status_to_json).collect())),
+            ]),
+            Response::Results { id, format, body } => Json::obj(vec![
+                ("kind", Json::Str("results".into())),
+                ("id", Json::Str(id.clone())),
+                ("format", Json::Str(format.name().into())),
+                ("body", Json::Str(body.clone())),
+            ]),
+            Response::Event(e) => Json::obj(vec![
+                ("kind", Json::Str("event".into())),
+                ("event", event_to_json(e)),
+            ]),
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse one wire line.
+    pub fn from_line(line: &str) -> Result<Response, SpecError> {
+        let j = Json::parse(line)?;
+        match j.kind()? {
+            "ok" => Ok(Response::Ok),
+            "error" => Ok(Response::Error {
+                message: j.get("message")?.as_str()?.to_string(),
+            }),
+            "submitted" => Ok(Response::Submitted {
+                id: j.get("id")?.as_str()?.to_string(),
+                units: j.get("units")?.as_u64()?,
+            }),
+            "status" => Ok(Response::Status(status_from_json(j.get("status")?)?)),
+            "list" => Ok(Response::List(
+                j.get("jobs")?
+                    .as_arr()?
+                    .iter()
+                    .map(status_from_json)
+                    .collect::<Result<_, _>>()?,
+            )),
+            "results" => {
+                let name = j.get("format")?.as_str()?.to_string();
+                let format = ResultFormat::by_name(&name)
+                    .ok_or_else(|| SpecError::new(format!("unknown result format `{name}`")))?;
+                Ok(Response::Results {
+                    id: j.get("id")?.as_str()?.to_string(),
+                    format,
+                    body: j.get("body")?.as_str()?.to_string(),
+                })
+            }
+            "event" => Ok(Response::Event(event_from_json(j.get("event")?)?)),
+            other => Err(SpecError::new(format!("unknown response kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Axis;
+    use crate::scenario::AlgoSpec;
+
+    fn round_trip_request(r: Request) {
+        let line = r.to_line();
+        assert!(!line.contains('\n'), "wire lines are single lines");
+        let parsed = Request::from_line(&line).expect("parse");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_line(), line, "canonical encoding");
+    }
+
+    fn round_trip_response(r: Response) {
+        let line = r.to_line();
+        assert!(!line.contains('\n'), "wire lines are single lines");
+        let parsed = Response::from_line(&line).expect("parse");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_line(), line, "canonical encoding");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let sweep = SweepSpec::new(
+            "wire",
+            "Wire test",
+            ScenarioSpec::batch(8, 0.25).algos([AlgoSpec::cjz_constant_jamming()]),
+        )
+        .axis(Axis::jam([0.0, 0.5]));
+        round_trip_request(Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Campaign {
+                name: "tradeoff".into(),
+                smoke: true,
+            },
+            id: None,
+            priority: 0,
+        })));
+        round_trip_request(Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Sweep(sweep),
+            id: Some("mine".into()),
+            priority: -3,
+        })));
+        round_trip_request(Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Scenario(ScenarioSpec::batch(16, 0.1)),
+            id: None,
+            priority: 7,
+        })));
+        round_trip_request(Request::Status { id: "job-1".into() });
+        round_trip_request(Request::List);
+        round_trip_request(Request::Results {
+            id: "job-2".into(),
+            format: ResultFormat::Jsonl,
+        });
+        round_trip_request(Request::Cancel { id: "job-3".into() });
+        round_trip_request(Request::Events { id: "job-4".into() });
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let info = JobStatusInfo {
+            id: "job-1".into(),
+            state: "running".into(),
+            priority: 2,
+            total_units: 12,
+            done_units: 5,
+            recovered_units: 3,
+            slots_done: 123456.75,
+            error: None,
+        };
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::Error {
+            message: "unknown campaign `tradeoof`; did you mean tradeoff?".into(),
+        });
+        round_trip_response(Response::Submitted {
+            id: "job-9".into(),
+            units: 40,
+        });
+        round_trip_response(Response::Status(info.clone()));
+        round_trip_response(Response::List(vec![
+            info,
+            JobStatusInfo {
+                id: "job-2".into(),
+                state: "failed".into(),
+                priority: 0,
+                total_units: 4,
+                done_units: 1,
+                recovered_units: 0,
+                slots_done: 9.5,
+                error: Some("seed panicked".into()),
+            },
+        ]));
+        round_trip_response(Response::Results {
+            id: "job-1".into(),
+            format: ResultFormat::Csv,
+            body: "campaign,scenario\nfake,\"a,b\"\n".into(),
+        });
+        round_trip_response(Response::Event(JobEvent {
+            id: "job-1".into(),
+            state: "running".into(),
+            done_units: 6,
+            total_units: 12,
+            recovered_units: 3,
+            slots_done: 200000.0,
+            label: "batch[jam=0.25]".into(),
+            terminal: false,
+        }));
+    }
+
+    #[test]
+    fn unknown_ops_and_kinds_reject() {
+        assert!(Request::from_line("{\"op\":\"destroy\"}").is_err());
+        assert!(Response::from_line("{\"kind\":\"nope\"}").is_err());
+        assert!(Request::from_line("not json").is_err());
+    }
+}

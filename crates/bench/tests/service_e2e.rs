@@ -1,0 +1,381 @@
+//! Process-level tests for the service layer: `benchd`, `benchctl`,
+//! `campaign`, and `perf` run as real binaries.
+//!
+//! The headline assertions are the crash-recovery guarantees:
+//!
+//! * `kill -9` a mid-campaign `benchd`, restart it over the same jobs
+//!   directory, and the finished job's CSV/JSONL output is *byte
+//!   identical* to an uninterrupted run;
+//! * SIGINT a journaled `campaign run`, get exit code 130, rerun with
+//!   `--resume`, and the streamed row files are byte identical too.
+//!
+//! Workloads are sized so the kill window is wide even on slow machines,
+//! with a deterministic fallback (truncate the journal by hand) should a
+//! run ever finish before the signal lands.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use contention_bench::campaign::{Axis, SweepSpec};
+use contention_bench::scenario::{AlgoSpec, ScenarioSpec};
+use contention_bench::service::{run_local, JobStatusInfo, LocalOptions, Request, Response};
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("contention-svc-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The sweep both crash tests run: enough cells that a signal landing
+/// anywhere mid-run leaves work on both sides of it, each cell heavy
+/// enough (debug build included) that polling cannot miss the window.
+fn crash_sweep() -> SweepSpec {
+    SweepSpec::new(
+        "svc-e2e",
+        "Service e2e crash-recovery sweep",
+        ScenarioSpec::batch(512, 0.0)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .seeds(2)
+            .until_drained(2_000_000),
+    )
+    .axis(Axis::jam([0.0, 0.05, 0.1, 0.15, 0.2, 0.25]))
+}
+
+fn spawn_benchd(jobs_dir: &Path, port_file: &Path) -> (Child, String) {
+    let child = Command::new(env!("CARGO_BIN_EXE_benchd"))
+        .arg("--jobs-dir")
+        .arg(jobs_dir)
+        .arg("--port-file")
+        .arg(port_file)
+        .arg("--threads")
+        .arg("2")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn benchd");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if text.ends_with('\n') {
+                break text.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "benchd never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (child, addr)
+}
+
+/// One request/response exchange over a fresh connection.
+fn call(addr: &str, req: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect to benchd");
+    stream
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send request");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read response");
+    Response::from_line(line.trim_end()).expect("parse response")
+}
+
+fn status(addr: &str, id: &str) -> JobStatusInfo {
+    match call(addr, &Request::Status { id: id.to_string() }) {
+        Response::Status(s) => s,
+        other => panic!("unexpected status response: {other:?}"),
+    }
+}
+
+fn benchctl(addr: &str, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_benchctl"))
+        .arg("--addr")
+        .arg(addr)
+        .args(args)
+        .output()
+        .expect("run benchctl")
+}
+
+fn read_bytes(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Deterministic stand-in for a mid-run crash, used only if the job
+/// outraces the poller: keep the journal header plus one cell, and
+/// remove the completion artifacts so the restart has work to do.
+fn force_partial(job_dir: &Path) {
+    let journal = job_dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal).expect("read journal");
+    let kept: Vec<&str> = text.lines().take(2).collect();
+    assert!(kept.len() == 2, "journal has no completed cell to keep");
+    std::fs::write(&journal, format!("{}\n", kept.join("\n"))).expect("truncate journal");
+    for artifact in ["state", "results.csv", "results.jsonl", "report.md"] {
+        let _ = std::fs::remove_file(job_dir.join(artifact));
+    }
+}
+
+#[test]
+fn benchd_kill9_restart_resumes_byte_identical() {
+    let dir = scratch("benchd");
+    let jobs = dir.join("jobs");
+    let sweep = crash_sweep();
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, sweep.to_json_string()).expect("write spec");
+
+    // Uninterrupted in-process reference run, through the same writers.
+    let ref_csv = dir.join("ref.csv");
+    let ref_jsonl = dir.join("ref.jsonl");
+    run_local(
+        sweep.clone(),
+        LocalOptions {
+            csv: Some(ref_csv.clone()),
+            jsonl: Some(ref_jsonl.clone()),
+            ..LocalOptions::default()
+        },
+    )
+    .expect("reference run");
+
+    // Daemon #1: submit, then SIGKILL as soon as one cell is journaled.
+    let (mut child, addr) = spawn_benchd(&jobs, &dir.join("port1"));
+    let out = benchctl(
+        &addr,
+        &[
+            "submit",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--id",
+            "e2e",
+        ],
+    );
+    assert!(out.status.success(), "submit failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("submitted e2e"));
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut caught_mid_run = false;
+    loop {
+        let s = status(&addr, "e2e");
+        if s.done_units >= 1 && s.done_units < s.total_units {
+            caught_mid_run = true;
+            break;
+        }
+        if s.state == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never progressed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("kill -9 benchd");
+    child.wait().expect("reap benchd");
+    if !caught_mid_run {
+        // The grid finished before the poller saw a mid-run state; fall
+        // back to a hand-made partial journal so recovery still runs.
+        force_partial(&jobs.join("e2e"));
+    }
+
+    // Daemon #2 over the same jobs dir: it must pick the job back up
+    // from the journal and finish it without resubmission.
+    let (mut child2, addr2) = spawn_benchd(&jobs, &dir.join("port2"));
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let final_status = loop {
+        let s = status(&addr2, "e2e");
+        if s.state == "done" {
+            break s;
+        }
+        assert!(
+            s.state == "queued" || s.state == "running",
+            "job failed after restart: {s:?}"
+        );
+        assert!(Instant::now() < deadline, "resumed job never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        final_status.recovered_units >= 1,
+        "restart did not recover journaled cells: {final_status:?}"
+    );
+    assert!(
+        final_status.recovered_units < final_status.total_units,
+        "nothing was left to re-run: {final_status:?}"
+    );
+
+    // `watch` on a finished job prints its terminal event and exits 0.
+    let out = benchctl(&addr2, &["watch", "e2e"]);
+    assert!(out.status.success(), "watch failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("done"));
+
+    // The resumed output must be byte-identical to the reference run —
+    // both over the wire and as the journal directory artifacts.
+    let got_csv = dir.join("got.csv");
+    let out = benchctl(
+        &addr2,
+        &[
+            "results",
+            "e2e",
+            "--format",
+            "csv",
+            "--out",
+            got_csv.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "results failed: {out:?}");
+    assert_eq!(
+        read_bytes(&got_csv),
+        read_bytes(&ref_csv),
+        "CSV differs after resume"
+    );
+    let out = benchctl(&addr2, &["results", "e2e", "--format", "jsonl"]);
+    assert!(out.status.success(), "results failed: {out:?}");
+    assert_eq!(
+        out.stdout,
+        read_bytes(&ref_jsonl),
+        "JSONL differs after resume"
+    );
+    assert_eq!(
+        read_bytes(&jobs.join("e2e").join("results.csv")),
+        read_bytes(&ref_csv),
+        "on-disk results.csv differs after resume"
+    );
+    assert_eq!(
+        read_bytes(&jobs.join("e2e").join("results.jsonl")),
+        read_bytes(&ref_jsonl),
+        "on-disk results.jsonl differs after resume"
+    );
+
+    // Unknown campaign names come back as suggestions over the wire.
+    let out = benchctl(&addr2, &["submit", "tradeof"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("did you mean"));
+
+    let out = benchctl(&addr2, &["shutdown"]);
+    assert!(out.status.success(), "shutdown failed: {out:?}");
+    let code = child2.wait().expect("reap benchd");
+    assert!(code.success(), "benchd exited abnormally: {code:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_sigint_exits_130_then_resume_is_byte_identical() {
+    let dir = scratch("campaign");
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, crash_sweep().to_json_string()).expect("write spec");
+    let journal_dir = dir.join("j");
+    let journal = journal_dir.join("journal.jsonl");
+    let (ref_csv, ref_jsonl) = (dir.join("ref.csv"), dir.join("ref.jsonl"));
+    let (out_csv, out_jsonl) = (dir.join("out.csv"), dir.join("out.jsonl"));
+
+    // Reference: one uninterrupted run of the same binary.
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["run", "--spec", spec_path.to_str().unwrap()])
+        .args(["--csv", ref_csv.to_str().unwrap()])
+        .args(["--jsonl", ref_jsonl.to_str().unwrap()])
+        .output()
+        .expect("reference campaign run");
+    assert!(out.status.success(), "reference run failed: {out:?}");
+
+    // Journaled run, SIGINT'd once the journal holds a completed cell.
+    // `--threads 1` serializes the cells (the output is thread-count
+    // independent), so after the first journal line there is a whole
+    // grid's worth of wall clock left for the signal to land in — on a
+    // release build a parallel run can finish the entire grid within
+    // the poller's resolution.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["run", "--spec", spec_path.to_str().unwrap()])
+        .args(["--journal", journal_dir.to_str().unwrap()])
+        .args(["--csv", out_csv.to_str().unwrap()])
+        .args(["--jsonl", out_jsonl.to_str().unwrap()])
+        .args(["--threads", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn journaled campaign run");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let lines = std::fs::read_to_string(&journal)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if lines >= 2 {
+            break; // header plus at least one fsync'd cell
+        }
+        assert!(Instant::now() < deadline, "journal never gained a cell");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let interrupt = Command::new("kill")
+        .args(["-2", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(interrupt.success(), "kill -2 failed");
+    let code = child.wait().expect("reap campaign run");
+    assert_eq!(
+        code.code(),
+        Some(130),
+        "interrupted run must exit 130 (got {code:?})"
+    );
+
+    // The journal survived the interrupt with a valid prefix; resuming
+    // completes the grid and rewrites byte-identical row files.
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["run", "--spec", spec_path.to_str().unwrap()])
+        .args(["--journal", journal_dir.to_str().unwrap(), "--resume"])
+        .args(["--csv", out_csv.to_str().unwrap()])
+        .args(["--jsonl", out_jsonl.to_str().unwrap()])
+        .output()
+        .expect("resume campaign run");
+    assert!(out.status.success(), "resume failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("resumed"),
+        "resume did not report recovered cells: {out:?}"
+    );
+    assert_eq!(
+        read_bytes(&out_csv),
+        read_bytes(&ref_csv),
+        "CSV differs after resume"
+    );
+    assert_eq!(
+        read_bytes(&out_jsonl),
+        read_bytes(&ref_jsonl),
+        "JSONL differs after resume"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_unknown_names_exit_2_with_suggestions() {
+    // perf: a zero-match --filter lists the suite and suggests.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args(["--filter", "bach"])
+        .output()
+        .expect("run perf");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("matches no suite entry"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("did you mean"), "stderr: {stderr}");
+    assert!(stderr.contains("batch/64"), "stderr: {stderr}");
+
+    // perf: nothing close still exits 2, just without suggestions.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args(["--filter", "zzzz-nothing"])
+        .output()
+        .expect("run perf");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("did you mean"));
+
+    // campaign: unknown registry names get the same treatment.
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["run", "tradeof"])
+        .output()
+        .expect("run campaign");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tradeoff"), "stderr: {stderr}");
+}
