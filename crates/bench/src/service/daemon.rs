@@ -32,7 +32,7 @@ use crate::scenario::Json;
 
 use super::protocol::{JobSource, Request, Response, ResultFormat, SubmitRequest};
 use super::scheduler::{JobSpec, Scheduler};
-use super::ServiceError;
+use super::{write_atomic, ServiceError};
 
 /// Daemon settings.
 #[derive(Debug, Clone)]
@@ -126,6 +126,11 @@ impl Daemon {
 impl Inner {
     /// Rescan the jobs directory: anything with a `job.json` but no
     /// terminal `state` marker is resubmitted in resume mode.
+    ///
+    /// A job directory that cannot be recovered (torn `job.json`, corrupt
+    /// journal) must not brick the daemon and strand every healthy job:
+    /// it is marked `failed` in its `state` file, logged, and skipped, and
+    /// startup proceeds. Only jobs-directory-level I/O errors fail bind.
     fn resume_unfinished(&self) -> Result<(), ServiceError> {
         let mut max_id = 0u64;
         let mut pending = Vec::new();
@@ -148,36 +153,49 @@ impl Inner {
         }
         self.next_id.store(max_id + 1, Ordering::SeqCst);
         for dir in pending {
-            let text = fs::read_to_string(dir.join("job.json"))?;
-            let j = Json::parse(&text).map_err(|e| {
-                ServiceError::new(format!(
-                    "unreadable {}: {e}",
-                    dir.join("job.json").display()
-                ))
-            })?;
-            let id = j
-                .get("id")
-                .and_then(|v| v.as_str().map(String::from))
-                .map_err(|e| ServiceError::new(e.to_string()))?;
-            let priority = j
-                .get("priority")
-                .and_then(|v| v.as_i64())
-                .map_err(|e| ServiceError::new(e.to_string()))?;
-            let sweep = j
-                .get("sweep")
-                .map_err(|e| ServiceError::new(e.to_string()))
-                .and_then(|v| {
-                    SweepSpec::from_json(v).map_err(|e| ServiceError::new(e.to_string()))
-                })?;
-            let job = self.sched.submit(JobSpec {
-                id,
-                sweep,
-                priority,
-                dir: Some(dir),
-                resume: true,
-            })?;
-            self.sched.activate(&job);
+            if let Err(e) = self.resume_job(&dir) {
+                eprintln!(
+                    "benchd: skipping unrecoverable job directory {}: {e}",
+                    dir.display()
+                );
+                let _ = write_atomic(
+                    &dir.join("state"),
+                    &format!("failed: unrecoverable at startup: {e}\n"),
+                );
+            }
         }
+        Ok(())
+    }
+
+    /// Resubmit one unfinished job directory in resume mode.
+    fn resume_job(&self, dir: &std::path::Path) -> Result<(), ServiceError> {
+        let text = fs::read_to_string(dir.join("job.json"))?;
+        let j = Json::parse(&text).map_err(|e| {
+            ServiceError::new(format!(
+                "unreadable {}: {e}",
+                dir.join("job.json").display()
+            ))
+        })?;
+        let id = j
+            .get("id")
+            .and_then(|v| v.as_str().map(String::from))
+            .map_err(|e| ServiceError::new(e.to_string()))?;
+        let priority = j
+            .get("priority")
+            .and_then(|v| v.as_i64())
+            .map_err(|e| ServiceError::new(e.to_string()))?;
+        let sweep = j
+            .get("sweep")
+            .map_err(|e| ServiceError::new(e.to_string()))
+            .and_then(|v| SweepSpec::from_json(v).map_err(|e| ServiceError::new(e.to_string())))?;
+        let job = self.sched.submit(JobSpec {
+            id,
+            sweep,
+            priority,
+            dir: Some(dir.to_path_buf()),
+            resume: true,
+        })?;
+        self.sched.activate(&job);
         Ok(())
     }
 
@@ -229,16 +247,16 @@ impl Inner {
         }
         fs::create_dir_all(&dir)?;
         // Persist the job spec before scheduling anything, so a crashed
-        // daemon can resume this job by rescanning the directory.
+        // daemon can resume this job by rescanning the directory. Written
+        // atomically: a crash mid-submit leaves either no job.json (the
+        // rescan skips the directory) or a complete one, never a torn
+        // file that poisons every later startup.
         let manifest = Json::obj(vec![
             ("id", Json::Str(id.clone())),
             ("priority", Json::i64(req.priority)),
             ("sweep", sweep.to_json()),
         ]);
-        let mut f = fs::File::create(dir.join("job.json"))?;
-        f.write_all(manifest.render().as_bytes())?;
-        f.write_all(b"\n")?;
-        f.sync_data()?;
+        write_atomic(&dir.join("job.json"), &format!("{}\n", manifest.render()))?;
         let job = self.sched.submit(JobSpec {
             id: id.clone(),
             sweep,
@@ -413,6 +431,96 @@ mod tests {
             self.reader.read_line(&mut line).unwrap();
             Response::from_line(line.trim_end()).unwrap()
         }
+    }
+
+    /// A job directory that cannot be recovered must not brick startup:
+    /// it is marked failed and skipped, and healthy jobs still resume.
+    #[test]
+    fn startup_skips_unrecoverable_job_dirs() {
+        let dir = std::env::temp_dir().join(format!("daemon-badjob-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let jobs = dir.join("jobs");
+        // A torn job.json, as a pre-atomic-write crash could leave.
+        fs::create_dir_all(jobs.join("job-1")).unwrap();
+        fs::write(
+            jobs.join("job-1").join("job.json"),
+            "{\"id\":\"job-1\",\"pri",
+        )
+        .unwrap();
+        // A healthy unfinished job: complete manifest, no journal yet
+        // (the daemon died right after persisting job.json).
+        let sweep = tiny_sweep();
+        let manifest = Json::obj(vec![
+            ("id", Json::Str("job-2".into())),
+            ("priority", Json::i64(0)),
+            ("sweep", sweep.to_json()),
+        ]);
+        fs::create_dir_all(jobs.join("job-2")).unwrap();
+        fs::write(
+            jobs.join("job-2").join("job.json"),
+            format!("{}\n", manifest.render()),
+        )
+        .unwrap();
+
+        let daemon = Daemon::bind(DaemonConfig {
+            jobs_dir: jobs.clone(),
+            threads: 1,
+            ..Default::default()
+        })
+        .expect("a bad job dir must not fail bind");
+        let addr = daemon.local_addr().unwrap();
+        let server = std::thread::spawn(move || daemon.run().unwrap());
+
+        // The bad directory is marked failed on disk and not registered.
+        let state = fs::read_to_string(jobs.join("job-1").join("state")).unwrap();
+        assert!(state.starts_with("failed:"), "{state}");
+        let mut c = Client::connect(addr);
+        assert!(matches!(
+            c.call(&Request::Status { id: "job-1".into() }),
+            Response::Error { .. }
+        ));
+
+        // The healthy job resumed and runs to completion.
+        let mut watcher = Client::connect(addr);
+        watcher
+            .writer
+            .write_all(format!("{}\n", Request::Events { id: "job-2".into() }.to_line()).as_bytes())
+            .unwrap();
+        let mut last = match watcher.read() {
+            Response::Event(e) => e,
+            other => panic!("expected event, got {other:?}"),
+        };
+        while !last.terminal {
+            last = match watcher.read() {
+                Response::Event(e) => e,
+                other => panic!("expected event, got {other:?}"),
+            };
+        }
+        assert_eq!(last.state, "done");
+
+        // Fresh ids continue past both directories, bad one included.
+        let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Sweep(tiny_sweep()),
+            id: None,
+            priority: 0,
+        })));
+        match resp {
+            Response::Submitted { id, .. } => assert_eq!(id, "job-3"),
+            other => panic!("expected submitted, got {other:?}"),
+        }
+        assert_eq!(c.call(&Request::Shutdown), Response::Ok);
+        server.join().unwrap();
+
+        // A restart finds terminal markers everywhere: the failed dir is
+        // skipped without a second warning, nothing re-runs.
+        let daemon = Daemon::bind(DaemonConfig {
+            jobs_dir: jobs,
+            threads: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        drop(daemon);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     /// One in-process daemon exercising the full request surface,

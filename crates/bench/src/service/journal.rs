@@ -12,6 +12,9 @@
 //!
 //! [`recover`] is deliberately conservative about what it accepts:
 //!
+//! * an **empty file or lone torn header line** (the crash landed before
+//!   [`Journal::create`]'s sync) acknowledged nothing and counts as no
+//!   journal at all — it is recreated, not an error;
 //! * a **truncated tail** (the crash landed mid-`write`) is dropped and
 //!   its unit re-runs — that is the normal kill -9 case, not an error;
 //! * **duplicate** unit lines (a crash after `write` but before the
@@ -129,15 +132,22 @@ pub fn recover(
             }
         }
     }
+    // A journal that never got past its header write — empty file, or a
+    // single torn/unparseable line — cannot have acknowledged any unit,
+    // so it is equivalent to no journal at all: recreate it. (A crash
+    // between `Journal::create`'s write and sync produces exactly these
+    // files, and they must not brick later startups.)
     if lines.is_empty() {
-        return Err(RecoverError::Corrupt("journal is empty".into()));
+        return Ok(None);
+    }
+    let header_parsed = Json::parse(lines[0]).ok();
+    if lines.len() == 1 && (!tail_complete || header_parsed.is_none()) {
+        return Ok(None);
     }
 
     // Header: refuse anything that is not exactly this sweep.
-    let header = (tail_complete || lines.len() > 1)
-        .then(|| Json::parse(lines[0]).ok())
-        .flatten()
-        .ok_or_else(|| RecoverError::Corrupt("unreadable header line".into()))?;
+    let header =
+        header_parsed.ok_or_else(|| RecoverError::Corrupt("unreadable header line".into()))?;
     let schema = header
         .get("schema")
         .and_then(|s| s.as_str().map(String::from))
@@ -324,6 +334,42 @@ mod tests {
     fn missing_journal_is_a_fresh_start() {
         let r = recover(&tmp("nope.jsonl"), &sweep(), 2).unwrap();
         assert!(r.is_none());
+    }
+
+    #[test]
+    fn empty_or_header_torn_journal_is_a_fresh_start() {
+        // Crash after File::create, before the header write.
+        let path = tmp("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(recover(&path, &sweep(), 2).unwrap().is_none());
+        // Crash mid-header-write: an unterminated prefix of the header.
+        std::fs::write(&path, "{\"schema\":\"contention-be").unwrap();
+        assert!(recover(&path, &sweep(), 2).unwrap().is_none());
+        // A lone terminated-but-unparseable line also acknowledged
+        // nothing: still a fresh start.
+        std::fs::write(&path, "garbage\n").unwrap();
+        assert!(recover(&path, &sweep(), 2).unwrap().is_none());
+        // Journal::create over such a file truncates and starts over.
+        let s = sweep();
+        let j = Journal::create(&path, &s, 2).unwrap();
+        drop(j);
+        let r = recover(&path, &s, 2).unwrap().unwrap();
+        assert!(r.results.is_empty());
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn unreadable_header_with_results_after_it_is_corruption() {
+        // Once result lines follow, a broken header can no longer be
+        // dismissed as a pre-sync crash: refuse loudly.
+        let (path, _) = full_journal("badheader.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rest = text.split_once('\n').unwrap().1;
+        std::fs::write(&path, format!("garbage\n{rest}")).unwrap();
+        match recover(&path, &sweep(), 2) {
+            Err(RecoverError::Corrupt(m)) => assert!(m.contains("header"), "{m}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

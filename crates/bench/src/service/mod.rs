@@ -42,7 +42,9 @@
 //! ```
 
 use std::fmt;
-use std::io;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
 
 pub mod daemon;
 pub mod journal;
@@ -57,6 +59,28 @@ pub use protocol::{
     JobEvent, JobSource, JobStatusInfo, Request, Response, ResultFormat, SubmitRequest,
 };
 pub use scheduler::{JobHandle, JobSpec, JobState, Scheduler};
+
+/// Write `text` to `path` via a sibling temp file + rename, so readers
+/// never see a half-written file. The temp name extends the full file
+/// name (`results.csv` → `results.csv.tmp`), so distinct targets in one
+/// directory never share a temp file, and the parent directory is synced
+/// after the rename so the swap itself survives power loss.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_data()?;
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
 
 /// Anything the service layer can fail with, as one displayable error.
 #[derive(Debug)]

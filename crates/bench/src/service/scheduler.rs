@@ -20,9 +20,8 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -34,7 +33,7 @@ use crate::campaign::{render_section, to_csv, to_jsonl, CampaignResult, CellResu
 
 use super::journal::{recover, Journal, RecoverError};
 use super::protocol::{JobEvent, JobStatusInfo};
-use super::ServiceError;
+use super::{write_atomic, ServiceError};
 
 /// Scheduling state of a job.
 #[derive(Debug, Clone, PartialEq)]
@@ -273,16 +272,6 @@ impl JobHandle {
         p.result_subs.clear();
         self.cv.notify_all();
     }
-}
-
-/// Write `text` to `path` via a temp file + rename, so readers never see
-/// a half-written artifact.
-fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    let mut f = fs::File::create(&tmp)?;
-    f.write_all(text.as_bytes())?;
-    f.sync_data()?;
-    fs::rename(&tmp, path)
 }
 
 #[derive(Debug)]
@@ -555,7 +544,11 @@ fn worker_loop(shared: &Shared) {
         let (ci, ai) = job.units[unit];
         let cell = &job.cells[ci];
         let algo = cell.spec.algos[ai].clone();
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(&cell.spec, &algo, seed)));
+        // `seed` is the 0-based replication index (it also indexes the
+        // unit's stats slots); the simulator seed is offset by the
+        // spec's `seed_base`, exactly like `ScenarioRunner` replication.
+        let sim_seed = cell.spec.seed_base + seed;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(&cell.spec, &algo, sim_seed)));
         complete_task(&job, unit, seed, outcome);
         shared.work_cv.notify_all();
     }
@@ -710,6 +703,53 @@ mod tests {
         // Both produce the same rows as a direct in-process run.
         let direct = crate::campaign::CampaignRunner::new(sweep("a", 2)).run();
         assert_eq!(a.result().unwrap().cells, direct.cells);
+    }
+
+    #[test]
+    fn seed_base_offsets_replication_seeds() {
+        // A spec with a nonzero seed_base replicates seeds
+        // seed_base..seed_base+seeds. The scheduler must match
+        // ScenarioRunner, the independent reference implementation.
+        let base = ScenarioSpec::batch(8, 0.3)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .seeds(3)
+            .seed_base(100)
+            .until_drained(10_000);
+        let algo = base.algos[0].clone();
+        let runner = crate::scenario::ScenarioRunner::new(base.clone());
+        let reference: f64 = runner
+            .run_algo(&algo)
+            .iter()
+            .map(|o| o.slots as f64)
+            .sum::<f64>()
+            / 3.0;
+        // Sanity: the reference discriminates base 100 from base 0, so
+        // a scheduler that drops seed_base cannot pass by coincidence.
+        let mut zero_base = base.clone();
+        zero_base.seed_base = 0;
+        let zero_ref: f64 = crate::scenario::ScenarioRunner::new(zero_base)
+            .run_algo(&algo)
+            .iter()
+            .map(|o| o.slots as f64)
+            .sum::<f64>()
+            / 3.0;
+        assert_ne!(reference, zero_ref, "seeds 100..103 must differ from 0..3");
+
+        let sched = Scheduler::new(2);
+        let job = sched
+            .submit(JobSpec {
+                id: "sb".to_string(),
+                sweep: SweepSpec::new("sb", "Seed base", base),
+                priority: 0,
+                dir: None,
+                resume: false,
+            })
+            .unwrap();
+        sched.activate(&job);
+        assert_eq!(job.wait(), JobState::Done);
+        let result = job.result().unwrap();
+        assert_eq!(result.cells.len(), 1);
+        assert_eq!(result.cells[0].mean_slots, reference);
     }
 
     #[test]
