@@ -190,7 +190,7 @@ mod tests {
         // count, but it stays in [1, 4] for stages of length >= 4.
         let mut b = HBackoff::new(|_len: u64| 4u64);
         let mut r = rng(5);
-        let mut per_stage = std::collections::HashMap::new();
+        let mut per_stage = std::collections::BTreeMap::new();
         for _ in 0..((1u64 << 12) - 1) {
             let stage = b.stage();
             if b.next(&mut r) {

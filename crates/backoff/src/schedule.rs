@@ -6,7 +6,7 @@
 //! schedule; so is "send with probability 1/i in slot i" (the smoothed
 //! binary exponential backoff of Claim 3.5.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -268,9 +268,9 @@ impl fmt::Debug for SurvivalTable {
 
 /// Interned survival tables, keyed by schedule identity (variant +
 /// parameter bits).
-fn survival_tables() -> &'static Mutex<HashMap<(u8, u64), SurvivalTable>> {
-    static TABLES: OnceLock<Mutex<HashMap<(u8, u64), SurvivalTable>>> = OnceLock::new();
-    TABLES.get_or_init(|| Mutex::new(HashMap::new()))
+fn survival_tables() -> &'static Mutex<BTreeMap<(u8, u64), SurvivalTable>> {
+    static TABLES: OnceLock<Mutex<BTreeMap<(u8, u64), SurvivalTable>>> = OnceLock::new();
+    TABLES.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 fn fill_table(schedule: &Schedule) -> Arc<[f64]> {
@@ -291,8 +291,8 @@ fn reciprocal_table() -> ProbTable {
 /// bits. The set of distinct constants in a process is tiny (protocol
 /// parameters), so the map never grows past a handful of entries.
 fn log_over_i_table(c: f64) -> ProbTable {
-    static TABLES: OnceLock<Mutex<HashMap<u64, ProbTable>>> = OnceLock::new();
-    let tables = TABLES.get_or_init(|| Mutex::new(HashMap::new()));
+    static TABLES: OnceLock<Mutex<BTreeMap<u64, ProbTable>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| Mutex::new(BTreeMap::new()));
     let mut tables = tables.lock().expect("prob table lock poisoned");
     tables
         .entry(c.to_bits())

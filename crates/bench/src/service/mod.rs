@@ -72,6 +72,7 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
         .to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
+    // detlint::allow(atomic-writes-only): write_atomic's own temp file; renamed into place below
     let mut f = fs::File::create(&tmp)?;
     f.write_all(text.as_bytes())?;
     f.sync_data()?;

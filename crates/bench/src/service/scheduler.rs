@@ -148,7 +148,7 @@ pub struct JobHandle {
 impl JobHandle {
     /// A status snapshot.
     pub fn status(&self) -> JobStatusInfo {
-        let p = self.progress.lock().unwrap();
+        let p = self.progress.lock().expect("job progress mutex poisoned");
         self.status_locked(&p)
     }
 
@@ -183,9 +183,9 @@ impl JobHandle {
 
     /// Current terminal state, blocking until the job reaches one.
     pub fn wait(&self) -> JobState {
-        let mut p = self.progress.lock().unwrap();
+        let mut p = self.progress.lock().expect("job progress mutex poisoned");
         while !p.state.terminal() {
-            p = self.cv.wait(p).unwrap();
+            p = self.cv.wait(p).expect("job progress mutex poisoned");
         }
         p.state.clone()
     }
@@ -193,9 +193,9 @@ impl JobHandle {
     /// Block until no task of this job is executing (used after a drain:
     /// in-flight cells finish and journal, nothing new starts).
     pub fn wait_quiesced(&self) {
-        let mut p = self.progress.lock().unwrap();
+        let mut p = self.progress.lock().expect("job progress mutex poisoned");
         while p.in_flight > 0 {
-            p = self.cv.wait(p).unwrap();
+            p = self.cv.wait(p).expect("job progress mutex poisoned");
         }
     }
 
@@ -205,7 +205,7 @@ impl JobHandle {
     pub fn subscribe_results(
         &self,
     ) -> (BTreeMap<usize, CellResult>, Receiver<(usize, CellResult)>) {
-        let mut p = self.progress.lock().unwrap();
+        let mut p = self.progress.lock().expect("job progress mutex poisoned");
         let (tx, rx) = mpsc::channel();
         let snapshot = p.results.clone();
         if !p.state.terminal() {
@@ -217,7 +217,7 @@ impl JobHandle {
     /// Subscribe to progress events: atomically returns a snapshot event
     /// plus a channel for the rest (closed after the terminal event).
     pub fn subscribe_events(&self) -> (JobEvent, Receiver<JobEvent>) {
-        let mut p = self.progress.lock().unwrap();
+        let mut p = self.progress.lock().expect("job progress mutex poisoned");
         let (tx, rx) = mpsc::channel();
         let snapshot = self.event_locked(&p, "");
         if !p.state.terminal() {
@@ -228,13 +228,13 @@ impl JobHandle {
 
     /// The assembled campaign result, once every unit is done.
     pub fn result(&self) -> Option<CampaignResult> {
-        let p = self.progress.lock().unwrap();
+        let p = self.progress.lock().expect("job progress mutex poisoned");
         (p.results.len() == self.units.len()).then(|| self.assemble(&p.results))
     }
 
     /// Rows completed so far, in grid order (may be a partial grid).
     pub fn partial_result(&self) -> CampaignResult {
-        let p = self.progress.lock().unwrap();
+        let p = self.progress.lock().expect("job progress mutex poisoned");
         self.assemble(&p.results)
     }
 
@@ -391,7 +391,11 @@ impl Scheduler {
             .map(|c| c.mean_slots * c.seeds as f64)
             .sum();
 
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .expect("scheduler state mutex poisoned");
         if st.jobs.iter().any(|j| j.id == id) {
             return Err(ServiceError::new(format!("duplicate job id `{id}`")));
         }
@@ -428,7 +432,7 @@ impl Scheduler {
     /// Make a submitted job claimable. A job whose every unit was
     /// recovered finalizes immediately.
     pub fn activate(&self, job: &Arc<JobHandle>) {
-        let mut p = job.progress.lock().unwrap();
+        let mut p = job.progress.lock().expect("job progress mutex poisoned");
         if p.active || p.state.terminal() {
             return;
         }
@@ -448,19 +452,28 @@ impl Scheduler {
 
     /// Look up a job by id.
     pub fn job(&self, id: &str) -> Option<Arc<JobHandle>> {
-        let st = self.shared.state.lock().unwrap();
+        let st = self
+            .shared
+            .state
+            .lock()
+            .expect("scheduler state mutex poisoned");
         st.jobs.iter().find(|j| j.id == id).cloned()
     }
 
     /// All jobs, in submission order.
     pub fn jobs(&self) -> Vec<Arc<JobHandle>> {
-        self.shared.state.lock().unwrap().jobs.clone()
+        self.shared
+            .state
+            .lock()
+            .expect("scheduler state mutex poisoned")
+            .jobs
+            .clone()
     }
 
     /// Cancel a job: unclaimed tasks are abandoned; in-flight ones
     /// finish (and journal) normally.
     pub fn cancel(&self, job: &Arc<JobHandle>) {
-        let mut p = job.progress.lock().unwrap();
+        let mut p = job.progress.lock().expect("job progress mutex poisoned");
         if p.state.terminal() {
             return;
         }
@@ -501,7 +514,7 @@ impl Drop for Scheduler {
 fn claim(st: &SchedState) -> Option<(Arc<JobHandle>, usize, u64)> {
     let mut best: Option<&Arc<JobHandle>> = None;
     for job in &st.jobs {
-        let p = job.progress.lock().unwrap();
+        let p = job.progress.lock().expect("job progress mutex poisoned");
         if !p.active || p.state.terminal() || p.next_task >= p.tasks.len() {
             continue;
         }
@@ -513,7 +526,7 @@ fn claim(st: &SchedState) -> Option<(Arc<JobHandle>, usize, u64)> {
         }
     }
     let job = Arc::clone(best?);
-    let mut p = job.progress.lock().unwrap();
+    let mut p = job.progress.lock().expect("job progress mutex poisoned");
     let (unit, seed) = p.tasks[p.next_task];
     p.next_task += 1;
     p.in_flight += 1;
@@ -527,7 +540,7 @@ fn claim(st: &SchedState) -> Option<(Arc<JobHandle>, usize, u64)> {
 fn worker_loop(shared: &Shared) {
     loop {
         let claimed = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = shared.state.lock().expect("scheduler state mutex poisoned");
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -537,7 +550,10 @@ fn worker_loop(shared: &Shared) {
                         break c;
                     }
                 }
-                st = shared.work_cv.wait(st).unwrap();
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .expect("scheduler state mutex poisoned");
             }
         };
         let (job, unit, seed) = claimed;
@@ -561,7 +577,7 @@ fn complete_task(
     seed: u64,
     outcome: Result<SeedStats, Box<dyn std::any::Any + Send>>,
 ) {
-    let mut p = job.progress.lock().unwrap();
+    let mut p = job.progress.lock().expect("job progress mutex poisoned");
     p.in_flight -= 1;
     match outcome {
         Err(panic) => {

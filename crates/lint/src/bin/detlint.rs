@@ -1,0 +1,172 @@
+//! `detlint` — the workspace invariant checker.
+//!
+//! ```text
+//! detlint check [--root DIR] [--format text|json] [--deny-warnings] [--quiet]
+//! detlint check-file FILE --as VIRTUAL_PATH [--format text|json] [--deny-warnings]
+//! detlint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found (errors, stale/bad
+//! pragmas, or warnings under `--deny-warnings`), `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use contention_lint::rules::{Severity, RULES};
+use contention_lint::{Report, Workspace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut deny_warnings = false;
+    let mut quiet = false;
+    let mut file: Option<PathBuf> = None;
+    let mut virtual_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "check-file" | "list-rules" if cmd.is_none() => {
+                cmd = Some(match a.as_str() {
+                    "check" => "check",
+                    "check-file" => "check-file",
+                    _ => "list-rules",
+                })
+            }
+            "--list-rules" => cmd = Some("list-rules"),
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage("--format is text or json"),
+            },
+            "--as" => match it.next() {
+                Some(v) => virtual_path = Some(v.clone()),
+                None => return usage("--as needs a workspace-relative path"),
+            },
+            "--deny-warnings" => deny_warnings = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            other if cmd == Some("check-file") && file.is_none() && !other.starts_with('-') => {
+                file = Some(PathBuf::from(other));
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    match cmd.unwrap_or("check") {
+        "list-rules" => {
+            list_rules();
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let ws = match Workspace::load(&root) {
+                Ok(ws) => ws,
+                Err(e) => {
+                    eprintln!("detlint: cannot load workspace at {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            finish(ws.check(), &format, deny_warnings, quiet)
+        }
+        "check-file" => {
+            let Some(file) = file else {
+                return usage("check-file needs a file path");
+            };
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("detlint: cannot read {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let vpath = match &virtual_path {
+                Some(v) => v.clone(),
+                // Default: lint the file at its real workspace-relative
+                // location (must be under a src/ tree to resolve).
+                None => file
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            };
+            let Some(ws) = Workspace::single_file(&vpath, &text) else {
+                eprintln!(
+                    "detlint: `{vpath}` is not inside a crate src/ tree; \
+                     pass --as crates/<name>/src/<file>.rs to place it"
+                );
+                return ExitCode::from(2);
+            };
+            finish(ws.check(), &format, deny_warnings, quiet)
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn finish(report: Report, format: &str, deny_warnings: bool, quiet: bool) -> ExitCode {
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if !quiet {
+            println!("{}", report.summary());
+        }
+    }
+    if report.passes(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn list_rules() {
+    println!("detlint rules (suppress one line: // detlint::allow(<rule>): <reason>)\n");
+    for r in RULES {
+        println!(
+            "  {:<26} {:<8} {}",
+            r.name,
+            match r.severity {
+                Severity::Error => "error",
+                Severity::Warn => "warn",
+            },
+            r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
+        println!("  {:<26} {:<8} scope: {}", "", "", r.scope);
+    }
+    println!(
+        "\n  {:<26} {:<8} an allow pragma that suppresses nothing is itself an error",
+        "stale-pragma", "error"
+    );
+    println!(
+        "  {:<26} {:<8} a malformed detlint:: comment is itself an error",
+        "bad-pragma", "error"
+    );
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\n\n{HELP}");
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+detlint — workspace static analysis for determinism, layering, and durability invariants
+
+USAGE:
+    detlint check [--root DIR] [--format text|json] [--deny-warnings] [--quiet]
+    detlint check-file FILE [--as VIRTUAL_PATH] [--format text|json] [--deny-warnings]
+    detlint --list-rules
+
+Scans src/ and crates/*/src/ (tests, benches, examples, and vendor/ are
+out of scope; #[cfg(test)] code inside src files is exempt). Exit code
+0 when clean, 1 on diagnostics, 2 on usage errors.
+";

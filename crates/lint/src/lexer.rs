@@ -1,0 +1,583 @@
+//! A small comment/string-aware scanner for Rust source.
+//!
+//! `detlint` does not parse Rust — it *blanks* everything that is not
+//! code (comments, string/char literals) while preserving byte layout
+//! and line structure, so the rule engine can match tokens on the
+//! remaining text without false positives from doc prose or literals.
+//! On top of the blanked text it computes two maps the rules need:
+//!
+//! * **test regions** — lines covered by a `#[cfg(test)]` or `#[test]`
+//!   item (attribute through the matching close brace). Test code is
+//!   exempt from every rule: tests legitimately iterate hash maps, take
+//!   wall-clock timestamps, and `unwrap()`.
+//! * **allow pragmas** — `// detlint::allow(<rule>): <reason>` line
+//!   comments, each suppressing one rule on one line (its own line when
+//!   trailing code, otherwise the next line).
+//!
+//! The scanner handles nested block comments, escapes in string and
+//! char literals, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte
+//! and raw-byte strings, byte chars, raw identifiers (`r#type`), and
+//! the char-literal/lifetime ambiguity (`'a'` vs `<'a>`).
+
+/// One `// detlint::allow(rule): reason` pragma, resolved to the line
+/// it suppresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 0-based line the pragma suppresses (its own line when the
+    /// comment trails code, otherwise the line below the comment).
+    pub target_line: usize,
+    /// 0-based line the pragma comment itself sits on.
+    pub comment_line: usize,
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// Justification text after the colon (always non-empty; a missing
+    /// reason is reported as a `bad-pragma` diagnostic instead).
+    pub reason: String,
+}
+
+/// A malformed `detlint::` pragma comment and why it was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPragma {
+    /// 0-based line of the offending comment.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub why: String,
+}
+
+/// The scan result for one source file.
+#[derive(Debug)]
+pub struct SourceMap {
+    /// Source text with comments and string/char literals replaced by
+    /// spaces (newlines kept), split into lines.
+    pub lines: Vec<String>,
+    /// Per-line flag: line is inside a `#[cfg(test)]`/`#[test]` item.
+    pub test_mask: Vec<bool>,
+    /// Well-formed allow pragmas, in file order.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragma comments (missing reason, unknown shape).
+    pub bad_pragmas: Vec<BadPragma>,
+}
+
+impl SourceMap {
+    /// Whether 0-based `line` lies in test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_mask.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Line comments extracted during blanking: `(0-based line, text after
+/// the `//`, had code before it on the line)`.
+struct LineComment {
+    line: usize,
+    text: String,
+    trailing: bool,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan `src` into a [`SourceMap`]. `known_rules` is consulted for
+/// pragma validation: an `allow()` naming an unknown rule is reported
+/// as a bad pragma rather than silently never matching.
+pub fn scan(src: &str, known_rules: &[&str]) -> SourceMap {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut blanked = String::with_capacity(src.len());
+    let mut comments: Vec<LineComment> = Vec::new();
+    let mut line = 0usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Push a blanked (space) char, preserving newlines.
+    macro_rules! blank {
+        ($c:expr) => {{
+            if $c == '\n' {
+                blanked.push('\n');
+                line += 1;
+                line_has_code = false;
+            } else {
+                blanked.push(' ');
+            }
+        }};
+    }
+    macro_rules! code {
+        ($c:expr) => {{
+            if $c == '\n' {
+                blanked.push('\n');
+                line += 1;
+                line_has_code = false;
+            } else {
+                blanked.push($c);
+                if !$c.is_whitespace() {
+                    line_has_code = true;
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        let next = if i + 1 < n { chars[i + 1] } else { '\0' };
+        let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+
+        if c == '/' && next == '/' {
+            // Line comment (incl. /// and //! doc comments).
+            let start_line = line;
+            let trailing = line_has_code;
+            let mut text = String::new();
+            i += 2;
+            while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
+                i += 1;
+            }
+            blanked.push(' ');
+            blanked.push(' ');
+            for _ in 0..text.chars().count() {
+                blanked.push(' ');
+            }
+            comments.push(LineComment {
+                line: start_line,
+                text,
+                trailing,
+            });
+            continue;
+        }
+        if c == '/' && next == '*' {
+            // Block comment, possibly nested.
+            let mut depth = 1usize;
+            blank!(c);
+            blank!(next);
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    blank!('/');
+                    blank!('*');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    blank!('*');
+                    blank!('/');
+                    i += 2;
+                } else {
+                    blank!(chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c == '"' {
+            i = blank_string(&chars, i, &mut |ch| blank!(ch));
+            continue;
+        }
+        if (c == 'b' || c == 'r') && !prev_ident {
+            // b"…", br#"…"#, r"…", r#"…"# — or a raw identifier r#foo.
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            let after_b = j;
+            if j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let hash_start = j;
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            let hashes = j - hash_start;
+            let is_raw = after_b < n && chars[after_b] == 'r';
+            if j < n && chars[j] == '"' && (is_raw || hashes == 0) && (is_raw || j == i + 1) {
+                for &ch in &chars[i..j] {
+                    blank!(ch);
+                }
+                i = if is_raw {
+                    blank_raw_string(&chars, j, hashes, &mut |ch| blank!(ch))
+                } else {
+                    blank_string(&chars, j, &mut |ch| blank!(ch))
+                };
+                continue;
+            }
+            if c == 'b' && next == '\'' {
+                blank!(c);
+                i = blank_char_literal(&chars, i + 1, &mut |ch| blank!(ch));
+                continue;
+            }
+            // Raw identifier (r#type) or plain code.
+            code!(c);
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal or lifetime/label.
+            let third = if i + 2 < n { chars[i + 2] } else { '\0' };
+            let is_char_lit = next == '\\' || (next != '\'' && third == '\'' && next != '\0');
+            if is_char_lit {
+                i = blank_char_literal(&chars, i, &mut |ch| blank!(ch));
+            } else {
+                code!(c);
+                i += 1;
+            }
+            continue;
+        }
+        code!(c);
+        i += 1;
+    }
+
+    let lines: Vec<String> = blanked.split('\n').map(str::to_string).collect();
+    let test_mask = mark_test_regions(&lines);
+    let (pragmas, bad_pragmas) = collect_pragmas(&comments, known_rules);
+    SourceMap {
+        lines,
+        test_mask,
+        pragmas,
+        bad_pragmas,
+    }
+}
+
+/// Blank a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote (or end of input).
+fn blank_string(chars: &[char], start: usize, blank: &mut impl FnMut(char)) -> usize {
+    let n = chars.len();
+    let mut i = start;
+    blank(chars[i]); // opening quote
+    i += 1;
+    while i < n {
+        if chars[i] == '\\' && i + 1 < n {
+            blank(chars[i]);
+            blank(chars[i + 1]);
+            i += 2;
+        } else if chars[i] == '"' {
+            blank(chars[i]);
+            return i + 1;
+        } else {
+            blank(chars[i]);
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Blank a raw string starting at the opening quote (hashes already
+/// consumed); returns the index just past the final hash.
+fn blank_raw_string(
+    chars: &[char],
+    start: usize,
+    hashes: usize,
+    blank: &mut impl FnMut(char),
+) -> usize {
+    let n = chars.len();
+    let mut i = start;
+    blank(chars[i]); // opening quote
+    i += 1;
+    while i < n {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if i + 1 + k >= n || chars[i + 1 + k] != '#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for k in 0..=hashes {
+                    blank(chars[i + k]);
+                }
+                return i + 1 + hashes;
+            }
+        }
+        blank(chars[i]);
+        i += 1;
+    }
+    i
+}
+
+/// Blank a `'…'` char literal starting at the opening quote; returns
+/// the index just past the closing quote.
+fn blank_char_literal(chars: &[char], start: usize, blank: &mut impl FnMut(char)) -> usize {
+    let n = chars.len();
+    let mut i = start;
+    blank(chars[i]); // opening quote
+    i += 1;
+    while i < n {
+        if chars[i] == '\\' && i + 1 < n {
+            blank(chars[i]);
+            blank(chars[i + 1]);
+            i += 2;
+        } else if chars[i] == '\'' {
+            blank(chars[i]);
+            return i + 1;
+        } else {
+            blank(chars[i]);
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Mark every line covered by a `#[cfg(test)]` or `#[test]` item:
+/// from the attribute through the matching close brace (or semicolon
+/// for brace-less items like `mod tests;`).
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let text: String = lines.join("\n");
+    let bytes: Vec<char> = text.chars().collect();
+    // Offsets of line starts, for offset -> line conversion.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    {
+        let mut l = 0usize;
+        for &c in &bytes {
+            line_of.push(l);
+            if c == '\n' {
+                l += 1;
+            }
+        }
+        line_of.push(l);
+    }
+    for pat in ["#[cfg(test)", "#[test]"] {
+        let mut search_from = 0usize;
+        while let Some(rel) = find_chars(&bytes[search_from..], pat) {
+            let att = search_from + rel;
+            search_from = att + 1;
+            // Skip to the end of this attribute block.
+            let mut i = att;
+            let mut bracket = 0isize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    '[' => bracket += 1,
+                    ']' => {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            // Skip whitespace and any further attributes.
+            loop {
+                while i < bytes.len() && bytes[i].is_whitespace() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == '#' {
+                    while i < bytes.len() && bytes[i] != ']' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            // Scan the item: ends at the matching `}` of its first
+            // brace, or at a top-level `;` before any brace.
+            let mut depth = 0isize;
+            let mut end = i;
+            while end < bytes.len() {
+                match bytes[end] {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ';' if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            let from = line_of[att.min(line_of.len() - 1)];
+            let to = line_of[end.min(line_of.len() - 1)];
+            for flag in mask.iter_mut().take(to + 1).skip(from) {
+                *flag = true;
+            }
+        }
+    }
+    mask
+}
+
+/// Substring search over a char slice (std has no regex; the corpus is
+/// small enough that naive search is fine).
+fn find_chars(haystack: &[char], needle: &str) -> Option<usize> {
+    let pat: Vec<char> = needle.chars().collect();
+    if pat.is_empty() || haystack.len() < pat.len() {
+        return None;
+    }
+    (0..=haystack.len() - pat.len()).find(|&s| haystack[s..s + pat.len()] == pat[..])
+}
+
+const PRAGMA_PREFIX: &str = "detlint::allow(";
+
+fn collect_pragmas(
+    comments: &[LineComment],
+    known_rules: &[&str],
+) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Plain `//` comments only; doc comments are prose.
+        let body = c.text.trim_start();
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let body = body.trim();
+        if !body.contains("detlint::") {
+            continue;
+        }
+        let Some(rest) = body.strip_prefix(PRAGMA_PREFIX) else {
+            bad.push(BadPragma {
+                line: c.line,
+                why: format!(
+                    "unrecognized detlint comment; expected `// {PRAGMA_PREFIX}<rule>): <reason>`"
+                ),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(BadPragma {
+                line: c.line,
+                why: "unterminated rule name in detlint::allow(...)".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known_rules.contains(&rule.as_str()) {
+            bad.push(BadPragma {
+                line: c.line,
+                why: format!("unknown rule `{rule}` in detlint::allow (see --list-rules)"),
+            });
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad.push(BadPragma {
+                line: c.line,
+                why: format!("detlint::allow({rule}) needs a justification: `: <reason>`"),
+            });
+            continue;
+        }
+        pragmas.push(Pragma {
+            target_line: if c.trailing { c.line } else { c.line + 1 },
+            comment_line: c.line,
+            rule,
+            reason: reason.to_string(),
+        });
+    }
+    (pragmas, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["no-wall-clock", "no-unwrap"];
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"Instant::now\"; // Instant::now\nlet y = 1; /* Instant */";
+        let map = scan(src, RULES);
+        assert!(!map.lines[0].contains("Instant"));
+        assert!(!map.lines[1].contains("Instant"));
+        assert!(map.lines[0].contains("let x ="));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let src = "a(r#\"Instant \" quote\"#); b(br\"x\"); c(b\"y\"); d(r\"z\");";
+        let map = scan(src, RULES);
+        assert!(!map.lines[0].contains("Instant"));
+        assert!(map.lines[0].contains("a("));
+        assert!(map.lines[0].contains("d("));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_code() {
+        let map = scan("let r#type = 1; let b = 2;", RULES);
+        assert!(map.lines[0].contains("r#type"));
+        assert!(map.lines[0].contains("let b"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let map = scan(
+            "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }",
+            RULES,
+        );
+        assert!(map.lines[0].contains("<'a>"));
+        assert!(map.lines[0].contains("&'a str"));
+        assert!(!map.lines[0].contains('x') || !map.lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let map = scan("a /* x /* y */ z */ b", RULES);
+        assert_eq!(map.lines[0].trim(), "a                   b".trim());
+        assert!(map.lines[0].contains('a') && map.lines[0].contains('b'));
+        assert!(!map.lines[0].contains('y'));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let map = scan(src, RULES);
+        assert!(!map.is_test_line(0));
+        assert!(map.is_test_line(1));
+        assert!(map.is_test_line(2));
+        assert!(map.is_test_line(3));
+        assert!(map.is_test_line(4));
+        assert!(!map.is_test_line(5));
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    body();\n}\nfn b() {}\n";
+        let map = scan(src, RULES);
+        assert!(!map.is_test_line(0));
+        assert!(map.is_test_line(2));
+        assert!(map.is_test_line(3));
+        assert!(!map.is_test_line(5));
+    }
+
+    #[test]
+    fn pragma_targets_next_line_when_standalone() {
+        let src = "// detlint::allow(no-wall-clock): timing UI only\nlet t = now();\n";
+        let map = scan(src, RULES);
+        assert_eq!(map.pragmas.len(), 1);
+        assert_eq!(map.pragmas[0].target_line, 1);
+        assert_eq!(map.pragmas[0].rule, "no-wall-clock");
+        assert_eq!(map.pragmas[0].reason, "timing UI only");
+    }
+
+    #[test]
+    fn pragma_targets_own_line_when_trailing() {
+        let src = "let t = now(); // detlint::allow(no-wall-clock): measured path\n";
+        let map = scan(src, RULES);
+        assert_eq!(map.pragmas.len(), 1);
+        assert_eq!(map.pragmas[0].target_line, 0);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_bad() {
+        let map = scan("// detlint::allow(no-wall-clock)\nx();\n", RULES);
+        assert!(map.pragmas.is_empty());
+        assert_eq!(map.bad_pragmas.len(), 1);
+        assert!(map.bad_pragmas[0].why.contains("justification"));
+    }
+
+    #[test]
+    fn pragma_unknown_rule_is_bad() {
+        let map = scan("// detlint::allow(no-such-rule): because\nx();\n", RULES);
+        assert!(map.pragmas.is_empty());
+        assert!(map.bad_pragmas[0].why.contains("unknown rule"));
+    }
+
+    #[test]
+    fn pragma_in_doc_comment_is_ignored() {
+        let map = scan("/// detlint::allow(no-unwrap): prose\nfn f() {}\n", RULES);
+        assert!(map.pragmas.is_empty());
+        assert!(map.bad_pragmas.is_empty());
+    }
+}

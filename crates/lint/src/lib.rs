@@ -1,0 +1,567 @@
+//! # contention-lint
+//!
+//! `detlint`: a workspace static-analysis pass that machine-checks the
+//! invariants the reproduction's guarantees rest on — byte-identical
+//! traces, golden FNV fingerprints, crash-resumable journals, and the
+//! crate layering that keeps the hot path inlineable. The rules are
+//! listed in [`rules::RULES`] and documented in ARCHITECTURE.md
+//! ("Invariants"); run `detlint --list-rules` for the live catalogue.
+//!
+//! The pass is **lexical**, not syntactic: [`lexer`] blanks comments
+//! and string/char literals (and masks `#[cfg(test)]` regions) so
+//! [`rules`] can match tokens without a Rust parser — the crate is
+//! std-only, matching the workspace's vendored-deps constraint. False
+//! positives are handled per line with
+//! `// detlint::allow(<rule>): <reason>` pragmas; a pragma that stops
+//! suppressing anything becomes a `stale-pragma` error so escapes
+//! cannot outlive their justification.
+//!
+//! CI runs `cargo run --release -p contention-lint -- check` alongside
+//! fmt/clippy/doc; the `tests/` corpus pins each rule firing on a
+//! known-bad fixture and the live workspace staying clean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{severity_of, FileCtx, Severity};
+
+/// One reported problem, after pragma suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (`stale-pragma` / `bad-pragma` for pragma hygiene).
+    pub rule: String,
+    /// Severity (stale/bad pragmas are errors).
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}] {}",
+            self.path,
+            self.line,
+            self.severity.label(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run passes: no errors (warnings allowed unless
+    /// `deny_warnings`).
+    pub fn passes(&self, deny_warnings: bool) -> bool {
+        self.errors() == 0 && (!deny_warnings || self.warnings() == 0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "detlint: {} error{}, {} warning{} across {} file{}",
+            self.errors(),
+            if self.errors() == 1 { "" } else { "s" },
+            self.warnings(),
+            if self.warnings() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        )
+    }
+
+    /// Render as JSON (hand-rolled, same style as the bench crate's
+    /// `Json` layer — no serde in the offline workspace).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"ok\":{},\"errors\":{},\"warnings\":{},\"files_scanned\":{},\"diagnostics\":[",
+            self.errors() == 0,
+            self.errors(),
+            self.warnings(),
+            self.files_scanned
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"severity\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(&d.rule),
+                json_str(d.severity.label()),
+                json_str(&d.path),
+                d.line,
+                json_str(&d.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed `Cargo.toml`: just the internal (`contention-*`) deps with
+/// their line numbers, which is all the layering rule needs.
+#[derive(Debug)]
+pub struct Manifest {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Crate short name (`sim`, …, `contention` for the root).
+    pub crate_name: String,
+    /// `(dep short name, 0-based line, section)` entries.
+    pub internal_deps: Vec<(String, usize, String)>,
+    /// Whether the manifest declares any dependency at all (the lint
+    /// crate itself must stay std-only).
+    pub has_any_dep: bool,
+}
+
+fn parse_manifest(rel_path: &str, crate_name: &str, text: &str) -> Manifest {
+    let mut section = String::new();
+    let mut internal_deps = Vec::new();
+    let mut has_any_dep = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let dep_section = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        );
+        if !dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|&c| c.is_alphanumeric() || c == '-' || c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        has_any_dep = true;
+        if let Some(short) = name.strip_prefix("contention-") {
+            internal_deps.push((short.to_string(), ln, section.clone()));
+        }
+    }
+    Manifest {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        internal_deps,
+        has_any_dep,
+    }
+}
+
+/// The loaded workspace: every `src/` tree plus the crate manifests.
+#[derive(Debug)]
+pub struct Workspace {
+    files: Vec<FileCtx>,
+    manifests: Vec<Manifest>,
+}
+
+impl Workspace {
+    /// Load every source file under `root`'s `src/` and `crates/*/src/`
+    /// trees, plus the crate manifests. Tests, benches, examples, and
+    /// `vendor/` are out of scope by construction: rules police the
+    /// shipped library/binary code, and test code is exempt anyway.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let known = rules::rule_names();
+        let mut files = Vec::new();
+        let mut src_roots: Vec<PathBuf> = vec![root.join("src")];
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            entries.sort();
+            for c in entries {
+                src_roots.push(c.join("src"));
+            }
+        }
+        for src_root in src_roots {
+            if !src_root.is_dir() {
+                continue;
+            }
+            let mut paths = Vec::new();
+            walk_rs(&src_root, &mut paths)?;
+            paths.sort();
+            for path in paths {
+                let rel = rel_to(root, &path);
+                let Some((crate_name, is_bin)) = FileCtx::coords(&rel) else {
+                    continue;
+                };
+                let text = fs::read_to_string(&path)?;
+                files.push(FileCtx {
+                    rel_path: rel,
+                    crate_name,
+                    is_bin,
+                    map: lexer::scan(&text, &known),
+                });
+            }
+        }
+        let mut manifests = Vec::new();
+        let root_manifest = root.join("Cargo.toml");
+        if root_manifest.is_file() {
+            let text = fs::read_to_string(&root_manifest)?;
+            manifests.push(parse_manifest("Cargo.toml", "contention", &text));
+        }
+        if crates_dir.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            entries.sort();
+            for c in entries {
+                let name = c
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let text = fs::read_to_string(c.join("Cargo.toml"))?;
+                manifests.push(parse_manifest(
+                    &rel_to(root, &c.join("Cargo.toml")),
+                    &name,
+                    &text,
+                ));
+            }
+        }
+        Ok(Workspace { files, manifests })
+    }
+
+    /// Lint a single file as if it lived at workspace-relative
+    /// `virtual_path` — the fixture-corpus entry point. Workspace-wide
+    /// checks (manifest layering, crate-root attributes) don't run.
+    pub fn single_file(virtual_path: &str, text: &str) -> Option<Workspace> {
+        let (crate_name, is_bin) = FileCtx::coords(virtual_path)?;
+        Some(Workspace {
+            files: vec![FileCtx {
+                rel_path: virtual_path.to_string(),
+                crate_name,
+                is_bin,
+                map: lexer::scan(text, &rules::rule_names()),
+            }],
+            manifests: Vec::new(),
+        })
+    }
+
+    /// Run every rule and apply pragmas; the returned report is fully
+    /// deterministic (sorted, no timestamps).
+    pub fn check(&self) -> Report {
+        let mut diagnostics = Vec::new();
+        for ctx in &self.files {
+            let findings = rules::check_file(ctx);
+            // A pragma suppresses one rule on one line; count uses so
+            // stale pragmas can be reported.
+            let mut used = vec![false; ctx.map.pragmas.len()];
+            for f in findings {
+                let suppressed = ctx
+                    .map
+                    .pragmas
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| p.rule == f.rule && p.target_line == f.line);
+                match suppressed {
+                    Some((i, _)) => used[i] = true,
+                    None => diagnostics.push(Diagnostic {
+                        rule: f.rule.to_string(),
+                        severity: severity_of(f.rule),
+                        path: ctx.rel_path.clone(),
+                        line: f.line + 1,
+                        message: f.message,
+                    }),
+                }
+            }
+            for (p, was_used) in ctx.map.pragmas.iter().zip(&used) {
+                if !was_used {
+                    diagnostics.push(Diagnostic {
+                        rule: "stale-pragma".to_string(),
+                        severity: Severity::Error,
+                        path: ctx.rel_path.clone(),
+                        line: p.comment_line + 1,
+                        message: format!(
+                            "detlint::allow({}) no longer suppresses anything; \
+                             remove it (reason was: {})",
+                            p.rule, p.reason
+                        ),
+                    });
+                }
+            }
+            for b in &ctx.map.bad_pragmas {
+                diagnostics.push(Diagnostic {
+                    rule: "bad-pragma".to_string(),
+                    severity: Severity::Error,
+                    path: ctx.rel_path.clone(),
+                    line: b.line + 1,
+                    message: b.why.clone(),
+                });
+            }
+        }
+        self.check_manifests(&mut diagnostics);
+        self.check_crate_roots(&mut diagnostics);
+        diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+        });
+        diagnostics.dedup();
+        Report {
+            diagnostics,
+            files_scanned: self.files.len(),
+        }
+    }
+
+    /// Manifest side of the layering rule: internal deps must follow
+    /// the DAG, and the lint crate itself must stay dependency-free.
+    fn check_manifests(&self, out: &mut Vec<Diagnostic>) {
+        for m in &self.manifests {
+            let allowed = rules::allowed_internal(&m.crate_name);
+            for (dep, ln, section) in &m.internal_deps {
+                if !allowed.contains(&dep.as_str()) {
+                    out.push(Diagnostic {
+                        rule: "layering".to_string(),
+                        severity: Severity::Error,
+                        path: m.rel_path.clone(),
+                        line: ln + 1,
+                        message: format!(
+                            "[{section}] of crate `{}` lists `contention-{dep}`, \
+                             outside its allowed internal deps ({})",
+                            m.crate_name,
+                            if allowed.is_empty() {
+                                "none".to_string()
+                            } else {
+                                allowed.join(", ")
+                            }
+                        ),
+                    });
+                }
+            }
+            if m.crate_name == "lint" && m.has_any_dep {
+                out.push(Diagnostic {
+                    rule: "layering".to_string(),
+                    severity: Severity::Error,
+                    path: m.rel_path.clone(),
+                    line: 1,
+                    message: "the lint crate is std-only by contract: it checks the \
+                              layering rules, so it must not acquire dependencies"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    /// `#![forbid(unsafe_code)]` must be present in every crate root.
+    fn check_crate_roots(&self, out: &mut Vec<Diagnostic>) {
+        for ctx in &self.files {
+            let is_crate_root = ctx.rel_path == "src/lib.rs"
+                || (ctx.rel_path.starts_with("crates/") && ctx.rel_path.ends_with("/src/lib.rs"));
+            if !is_crate_root {
+                continue;
+            }
+            let has = ctx
+                .map
+                .lines
+                .iter()
+                .any(|l| l.contains("#![forbid(unsafe_code)]"));
+            if !has {
+                out.push(Diagnostic {
+                    rule: "forbid-unsafe-everywhere".to_string(),
+                    severity: Severity::Error,
+                    path: ctx.rel_path.clone(),
+                    line: 1,
+                    message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_suppresses_and_stale_pragma_errors() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }\n";
+        let ws = Workspace::single_file("crates/sim/src/x.rs", bad).expect("ctx");
+        let report = ws.check();
+        assert_eq!(report.errors(), 1);
+
+        let ok = "// detlint::allow(no-wall-clock): fixture justification\n\
+                  fn f() { let t = std::time::Instant::now(); }\n";
+        let ws = Workspace::single_file("crates/sim/src/x.rs", ok).expect("ctx");
+        let report = ws.check();
+        assert_eq!(report.errors(), 0, "{:?}", report.diagnostics);
+
+        let stale = "// detlint::allow(no-wall-clock): nothing to suppress\n\
+                     fn f() {}\n";
+        let ws = Workspace::single_file("crates/sim/src/x.rs", stale).expect("ctx");
+        let report = ws.check();
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diagnostics[0].rule, "stale-pragma");
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "fn f() { let t = std::time::Instant::now(); } \
+                   // detlint::allow(no-wall-clock): same-line escape\n";
+        let ws = Workspace::single_file("crates/sim/src/x.rs", src).expect("ctx");
+        assert_eq!(ws.check().errors(), 0);
+    }
+
+    #[test]
+    fn warnings_do_not_fail_unless_denied() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let ws = Workspace::single_file("crates/sim/src/x.rs", src).expect("ctx");
+        let report = ws.check();
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.warnings(), 1);
+        assert!(report.passes(false));
+        assert!(!report.passes(true));
+    }
+
+    #[test]
+    fn json_output_is_valid_and_escaped() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let ws = Workspace::single_file("crates/sim/src/x.rs", src).expect("ctx");
+        let json = ws.check().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"rule\":\"no-wall-clock\""));
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn manifest_layering_parses_and_checks() {
+        let m = parse_manifest(
+            "crates/sim/Cargo.toml",
+            "sim",
+            "[package]\nname = \"contention-sim\"\n\n[dependencies]\n\
+             rand.workspace = true\ncontention-bench.workspace = true\n",
+        );
+        assert_eq!(m.internal_deps.len(), 1);
+        assert_eq!(m.internal_deps[0].0, "bench");
+        let ws = Workspace {
+            files: Vec::new(),
+            manifests: vec![m],
+        };
+        let report = ws.check();
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diagnostics[0].rule, "layering");
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_not_an_edge() {
+        let m = parse_manifest(
+            "Cargo.toml",
+            "contention",
+            "[workspace.dependencies]\ncontention-lint = { path = \"x\" }\n\
+             [dependencies]\ncontention-sim.workspace = true\n",
+        );
+        // Only the [dependencies] entry counts, and sim is allowed.
+        assert_eq!(m.internal_deps.len(), 1);
+        let ws = Workspace {
+            files: Vec::new(),
+            manifests: vec![m],
+        };
+        assert_eq!(ws.check().errors(), 0);
+    }
+
+    #[test]
+    fn lint_crate_must_be_dependency_free() {
+        let m = parse_manifest(
+            "crates/lint/Cargo.toml",
+            "lint",
+            "[dependencies]\nrand.workspace = true\n",
+        );
+        let ws = Workspace {
+            files: Vec::new(),
+            manifests: vec![m],
+        };
+        let report = ws.check();
+        assert_eq!(report.errors(), 1);
+        assert!(report.diagnostics[0].message.contains("std-only"));
+    }
+
+    #[test]
+    fn crate_root_must_forbid_unsafe() {
+        let ws = Workspace::single_file("crates/sim/src/lib.rs", "//! docs\npub fn f() {}\n")
+            .expect("ctx");
+        let report = ws.check();
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diagnostics[0].rule, "forbid-unsafe-everywhere");
+    }
+}

@@ -1,0 +1,759 @@
+//! The `detlint` rule set: each rule encodes one invariant the repo's
+//! determinism/durability guarantees rest on (see ARCHITECTURE.md,
+//! "Invariants"). Rules are lexical — they match tokens on
+//! comment/string-blanked source (see [`crate::lexer`]) — so each one
+//! documents its approximation and offers the
+//! `// detlint::allow(<rule>): <reason>` escape hatch for deliberate,
+//! justified exceptions.
+
+use crate::lexer::SourceMap;
+
+/// How a diagnostic affects the exit code: `Error`s (and stale or
+/// malformed pragmas) fail the run; `Warn`ings are advisory unless
+/// `--deny-warnings` promotes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; reported but does not fail `check` by default.
+    Warn,
+    /// Fails `check`.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and pragma
+/// validation.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name as used in pragmas and diagnostics.
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+}
+
+/// Every rule, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "no-hash-iteration",
+        severity: Severity::Error,
+        summary: "iterating a HashMap/HashSet yields platform/seed-dependent order; \
+                  use BTreeMap/BTreeSet or sort first",
+        scope: "deterministic crates (sim, core, backoff, analysis) and bench's \
+                campaign/ + scenario/ paths",
+    },
+    RuleInfo {
+        name: "no-wall-clock",
+        severity: Severity::Error,
+        summary: "Instant/SystemTime/thread::current leak wall-clock or scheduler state \
+                  into results that must be byte-stable",
+        scope: "all source except perf.rs, benchctl.rs, and service/daemon.rs",
+    },
+    RuleInfo {
+        name: "atomic-writes-only",
+        severity: Severity::Error,
+        summary: "job artifacts must go through write_atomic or the Journal; bare \
+                  File::create/fs::write can tear on crash",
+        scope: "crates/bench/src/service/ (journal.rs is the durability layer itself)",
+    },
+    RuleInfo {
+        name: "layering",
+        severity: Severity::Error,
+        summary: "internal crate dependencies must follow the workspace DAG \
+                  (backoff/sim/analysis/lint depend on nothing internal; \
+                  core/baselines on backoff+sim; bench on all five)",
+        scope: "Cargo.toml manifests and contention_* paths in source",
+    },
+    RuleInfo {
+        name: "forbid-unsafe-everywhere",
+        severity: Severity::Error,
+        summary: "every crate root carries #![forbid(unsafe_code)]; the only unsafe \
+                  block allowed is the binary-only signal shim",
+        scope: "all crate roots; all source except src/bin/helpers/sigint.rs",
+    },
+    RuleInfo {
+        name: "no-println-in-libs",
+        severity: Severity::Error,
+        summary: "library code reports through observers/returned values, not stdout \
+                  (println!/print!/dbg!); stderr logging is allowed",
+        scope: "library source (everything outside src/bin/)",
+    },
+    RuleInfo {
+        name: "no-unwrap",
+        severity: Severity::Warn,
+        summary: "bare .unwrap() in library code hides the invariant it relies on; \
+                  prefer expect(\"<why this cannot fail>\") or error propagation",
+        scope: "library source (everything outside src/bin/)",
+    },
+];
+
+/// Names of all rules (pragma validation).
+pub fn rule_names() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.name).collect()
+}
+
+/// Look up a rule's default severity.
+pub fn severity_of(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|r| r.name == rule)
+        .map(|r| r.severity)
+        .unwrap_or(Severity::Error)
+}
+
+/// One finding, before pragma suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// 0-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A source file plus the workspace coordinates the rules key off.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path with `/` separators
+    /// (e.g. `crates/sim/src/engine.rs`).
+    pub rel_path: String,
+    /// Crate short name: `sim`, `core`, `backoff`, `baselines`,
+    /// `analysis`, `bench`, `lint`, or `contention` for the root
+    /// umbrella's `src/`.
+    pub crate_name: String,
+    /// Whether the file is binary-target code (under `src/bin/`).
+    pub is_bin: bool,
+    /// Blanked source + masks + pragmas.
+    pub map: SourceMap,
+}
+
+impl FileCtx {
+    /// Derive crate coordinates from a workspace-relative path.
+    /// Returns `None` for paths outside any `src/` tree.
+    pub fn coords(rel_path: &str) -> Option<(String, bool)> {
+        let is_bin = rel_path.contains("/src/bin/");
+        if let Some(rest) = rel_path.strip_prefix("crates/") {
+            let name = rest.split('/').next()?;
+            if !rest[name.len()..].starts_with("/src/") {
+                return None;
+            }
+            return Some((name.to_string(), is_bin));
+        }
+        if rel_path.starts_with("src/") {
+            return Some(("contention".to_string(), rel_path.starts_with("src/bin/")));
+        }
+        None
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// All identifier-boundary occurrences of `pat` in `line`: the chars
+/// immediately before/after the match must not extend an identifier
+/// (so `println!` does not match inside `eprintln!`, and `unsafe`
+/// does not match inside `unsafe_code`).
+fn token_cols(line: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let first_ident = pat.chars().next().map(is_ident_char).unwrap_or(false);
+    let last_ident = pat.chars().last().map(is_ident_char).unwrap_or(false);
+    let mut from = 0usize;
+    while let Some(off) = line[from..].find(pat) {
+        let at = from + off;
+        let before_ok = !first_ident
+            || !line[..at]
+                .chars()
+                .next_back()
+                .map(is_ident_char)
+                .unwrap_or(false);
+        let after_ok = !last_ident
+            || !line[at + pat.len()..]
+                .chars()
+                .next()
+                .map(is_ident_char)
+                .unwrap_or(false);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + pat.len().max(1);
+    }
+    out
+}
+
+/// Lines (0-based) of non-test code containing `pat` as a token.
+fn token_lines(ctx: &FileCtx, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (ln, line) in ctx.map.lines.iter().enumerate() {
+        if ctx.map.is_test_line(ln) {
+            continue;
+        }
+        if !token_cols(line, pat).is_empty() {
+            out.push(ln);
+        }
+    }
+    out
+}
+
+/// Run every per-file rule over one file.
+pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    no_hash_iteration(ctx, &mut out);
+    no_wall_clock(ctx, &mut out);
+    atomic_writes_only(ctx, &mut out);
+    layering_in_source(ctx, &mut out);
+    forbid_unsafe(ctx, &mut out);
+    no_println_in_libs(ctx, &mut out);
+    no_unwrap(ctx, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    // One diagnostic per (rule, line): pragmas suppress at line
+    // granularity, and a line that trips a rule twice (e.g. a for-loop
+    // over `m.iter()` matching both forms) is still one violation.
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+// ---------------------------------------------------------------- rules
+
+/// Paths whose iteration order feeds reports, journals, or golden
+/// fingerprints — one hash iteration here breaks byte-stability.
+fn in_deterministic_scope(ctx: &FileCtx) -> bool {
+    match ctx.crate_name.as_str() {
+        "sim" | "core" | "backoff" | "analysis" => true,
+        "bench" => {
+            ctx.rel_path.contains("/campaign/")
+                || ctx.rel_path.contains("/scenario/")
+                || ctx.rel_path.contains("/service/")
+        }
+        _ => false,
+    }
+}
+
+fn no_hash_iteration(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_deterministic_scope(ctx) {
+        return;
+    }
+    // Pass 1: collect identifiers declared with a hash-ordered type.
+    // Lexical approximation: `ident: [&[mut]] [path::]Hash{Map,Set}`
+    // and `ident = Hash{Map,Set}…`. Wrapped types (`Mutex<HashMap>`)
+    // and cross-file fields are not tracked — reviewers and the
+    // BTreeMap-by-default convention cover those.
+    let mut idents: Vec<String> = Vec::new();
+    for line in &ctx.map.lines {
+        for pat in ["HashMap", "HashSet"] {
+            for col in token_cols(line, pat) {
+                if let Some(id) = decl_ident(&line[..col]) {
+                    if !idents.contains(&id) {
+                        idents.push(id);
+                    }
+                }
+            }
+        }
+    }
+    const ITER_METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+        ".drain(",
+        ".retain(",
+    ];
+    for (ln, line) in ctx.map.lines.iter().enumerate() {
+        if ctx.map.is_test_line(ln) {
+            continue;
+        }
+        for id in &idents {
+            for m in ITER_METHODS {
+                let pat = format!("{id}{m}");
+                if !token_cols(line, &pat).is_empty() {
+                    out.push(Finding {
+                        rule: "no-hash-iteration",
+                        line: ln,
+                        message: format!(
+                            "`{id}{m}` iterates a HashMap/HashSet in a deterministic \
+                             path; order varies across runs — use BTreeMap/BTreeSet \
+                             or collect-and-sort"
+                        ),
+                    });
+                }
+            }
+            if token_cols(line, "for ").is_empty() && token_cols(line, "for(").is_empty() {
+                continue;
+            }
+            for form in [
+                format!(" in {id}"),
+                format!(" in &{id}"),
+                format!(" in &mut {id}"),
+            ] {
+                if !token_cols(line, &form).is_empty() {
+                    out.push(Finding {
+                        rule: "no-hash-iteration",
+                        line: ln,
+                        message: format!(
+                            "`for … in {id}` iterates a HashMap/HashSet in a \
+                             deterministic path; order varies across runs — use \
+                             BTreeMap/BTreeSet or collect-and-sort"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The identifier being declared/assigned just before a type token,
+/// from patterns like `name: &mut path::HashMap` or `name = HashMap`.
+fn decl_ident(before: &str) -> Option<String> {
+    let mut t = before.trim_end();
+    // Strip a trailing path prefix (`std::collections::`).
+    while let Some(stripped) = t.strip_suffix("::") {
+        t = stripped.trim_end_matches(is_ident_char);
+    }
+    let mut t = t.trim_end();
+    // Strip reference/mutability noise between `:` and the type.
+    loop {
+        let before_len = t.len();
+        t = t.trim_end();
+        if let Some(s) = t.strip_suffix("mut") {
+            // Only strip `mut` as a whole word.
+            if s.chars().next_back().map(is_ident_char).unwrap_or(false) {
+                break;
+            }
+            t = s;
+            continue;
+        }
+        if let Some(s) = t.strip_suffix('&') {
+            t = s;
+            continue;
+        }
+        // Lifetime like `&'a `.
+        if let Some(pos) = t.rfind('\'') {
+            if t[pos + 1..].chars().all(is_ident_char) && !t[pos + 1..].is_empty() {
+                t = &t[..pos];
+                continue;
+            }
+        }
+        if t.len() == before_len {
+            break;
+        }
+    }
+    let t = t.trim_end();
+    let rest = if let Some(s) = t.strip_suffix(':') {
+        // Type ascription — but not a path `::`.
+        if s.ends_with(':') {
+            return None;
+        }
+        s
+    } else if let Some(s) = t.strip_suffix('=') {
+        // Assignment — but not `==`, `=>`, `<=`, `>=`, `!=`, `+=`…
+        if s.ends_with(['=', '<', '>', '!', '+', '-', '*', '/', '|', '&', '^']) {
+            return None;
+        }
+        s
+    } else {
+        return None;
+    };
+    let rest = rest.trim_end();
+    let id: String = rest
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident_char(c))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    const KEYWORDS: &[&str] = &[
+        "let", "mut", "in", "ref", "pub", "const", "static", "return",
+    ];
+    if KEYWORDS.contains(&id.as_str()) {
+        return None;
+    }
+    Some(id)
+}
+
+/// Files allowed to read wall-clock or thread identity: the perf
+/// harness (it measures), the client UI (ETA display), and the daemon
+/// (operational timing). None of these feed deterministic artifacts.
+const WALL_CLOCK_ALLOW: &[&str] = &[
+    "crates/bench/src/bin/perf.rs",
+    "crates/bench/src/bin/benchctl.rs",
+    "crates/bench/src/service/daemon.rs",
+];
+
+fn no_wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if WALL_CLOCK_ALLOW.contains(&ctx.rel_path.as_str()) {
+        return;
+    }
+    for (pat, what) in [
+        ("Instant", "std::time::Instant"),
+        ("SystemTime", "std::time::SystemTime"),
+        ("UNIX_EPOCH", "std::time::UNIX_EPOCH"),
+        ("thread::current", "std::thread::current (thread identity)"),
+    ] {
+        for ln in token_lines(ctx, pat) {
+            out.push(Finding {
+                rule: "no-wall-clock",
+                line: ln,
+                message: format!(
+                    "{what} leaks nondeterministic state into a path that must be \
+                     byte-stable; keep timing in perf.rs/benchctl.rs/daemon.rs or \
+                     pass timestamps in explicitly"
+                ),
+            });
+        }
+    }
+}
+
+fn atomic_writes_only(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.rel_path.starts_with("crates/bench/src/service/") {
+        return;
+    }
+    // journal.rs IS the durability layer: its File handling defines the
+    // fsync discipline the rest of the service must route through.
+    if ctx.rel_path.ends_with("/journal.rs") {
+        return;
+    }
+    for pat in ["File::create", "fs::write", "OpenOptions", "File::options"] {
+        for ln in token_lines(ctx, pat) {
+            out.push(Finding {
+                rule: "atomic-writes-only",
+                line: ln,
+                message: format!(
+                    "`{pat}` in the service layer can leave torn artifacts on crash; \
+                     write job artifacts via write_atomic() or the Journal"
+                ),
+            });
+        }
+    }
+}
+
+/// Internal crates each crate may depend on (the workspace DAG).
+pub fn allowed_internal(crate_name: &str) -> &'static [&'static str] {
+    match crate_name {
+        "backoff" | "sim" | "analysis" | "lint" => &[],
+        "core" | "baselines" => &["backoff", "sim"],
+        "bench" => &["backoff", "sim", "core", "baselines", "analysis"],
+        // The root umbrella re-exports everything.
+        "contention" => &["backoff", "sim", "core", "baselines", "analysis", "bench"],
+        _ => &[],
+    }
+}
+
+/// Occurrences of `pat` that start an identifier (the char before must
+/// not extend one, but the identifier may continue past the match —
+/// needed to treat `contention_` as a crate-name prefix).
+fn prefix_cols(line: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = line[from..].find(pat) {
+        let at = from + off;
+        let before_ok = !line[..at]
+            .chars()
+            .next_back()
+            .map(is_ident_char)
+            .unwrap_or(false);
+        if before_ok {
+            out.push(at);
+        }
+        from = at + pat.len();
+    }
+    out
+}
+
+fn layering_in_source(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let allowed = allowed_internal(&ctx.crate_name);
+    for (ln, line) in ctx.map.lines.iter().enumerate() {
+        if ctx.map.is_test_line(ln) {
+            continue;
+        }
+        for col in prefix_cols(line, "contention_") {
+            let suffix: String = line[col + "contention_".len()..]
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            if suffix.is_empty() || suffix == ctx.crate_name {
+                continue;
+            }
+            if !allowed.contains(&suffix.as_str()) {
+                out.push(Finding {
+                    rule: "layering",
+                    line: ln,
+                    message: format!(
+                        "crate `{}` must not reference `contention_{suffix}` \
+                         (allowed internal deps: {})",
+                        ctx.crate_name,
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The one documented `unsafe` exception: the binary-only SIGINT shim
+/// (see its module docs — the library crates all forbid unsafe).
+const UNSAFE_ALLOW: &str = "crates/bench/src/bin/helpers/sigint.rs";
+
+fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.rel_path == UNSAFE_ALLOW {
+        return;
+    }
+    for ln in token_lines(ctx, "unsafe") {
+        out.push(Finding {
+            rule: "forbid-unsafe-everywhere",
+            line: ln,
+            message: "`unsafe` outside the documented signal-shim exception \
+                      (crates/bench/src/bin/helpers/sigint.rs)"
+                .to_string(),
+        });
+    }
+}
+
+fn no_println_in_libs(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    for pat in ["println!", "print!", "dbg!"] {
+        for ln in token_lines(ctx, pat) {
+            out.push(Finding {
+                rule: "no-println-in-libs",
+                line: ln,
+                message: format!(
+                    "`{pat}` writes to stdout from library code; report through \
+                     observers or returned values (stderr via eprintln! is fine \
+                     for operational logging)"
+                ),
+            });
+        }
+    }
+}
+
+fn no_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.is_bin {
+        return;
+    }
+    for ln in token_lines(ctx, ".unwrap()") {
+        out.push(Finding {
+            rule: "no-unwrap",
+            line: ln,
+            message: "bare `.unwrap()` in library code; prefer \
+                      `.expect(\"<invariant that makes this infallible>\")` or \
+                      propagate the error"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn ctx(rel_path: &str, src: &str) -> FileCtx {
+        let (crate_name, is_bin) = FileCtx::coords(rel_path).expect("coords");
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            is_bin,
+            map: scan(src, &rule_names()),
+        }
+    }
+
+    fn rules_fired(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn coords_derivation() {
+        assert_eq!(
+            FileCtx::coords("crates/sim/src/engine.rs"),
+            Some(("sim".into(), false))
+        );
+        assert_eq!(
+            FileCtx::coords("crates/bench/src/bin/perf.rs"),
+            Some(("bench".into(), true))
+        );
+        assert_eq!(
+            FileCtx::coords("src/lib.rs"),
+            Some(("contention".into(), false))
+        );
+        assert_eq!(FileCtx::coords("crates/sim/tests/x.rs"), None);
+        assert_eq!(FileCtx::coords("tests/x.rs"), None);
+    }
+
+    #[test]
+    fn hash_iteration_fires_on_tracked_ident() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n\
+                   let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                   for (k, v) in &m { use_it(k, v); }\n\
+                   }\n";
+        let f = check_file(&ctx("crates/sim/src/x.rs", src));
+        assert_eq!(
+            rules_fired(&f)
+                .iter()
+                .filter(|r| **r == "no-hash-iteration")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn hash_iteration_method_calls_fire() {
+        let src = "struct S { table: std::collections::HashMap<u64, u64> }\n\
+                   impl S { fn dump(&self) -> Vec<u64> { self.table.keys().copied().collect() } }\n";
+        let f = check_file(&ctx("crates/core/src/x.rs", src));
+        assert!(rules_fired(&f).contains(&"no-hash-iteration"));
+    }
+
+    #[test]
+    fn hash_entry_lookup_is_fine() {
+        let src = "fn f(m: &mut std::collections::HashMap<u64, u64>) {\n\
+                   m.entry(3).or_insert(4);\n\
+                   let _ = m.get(&3);\n\
+                   }\n";
+        let f = check_file(&ctx("crates/backoff/src/x.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-hash-iteration"));
+    }
+
+    #[test]
+    fn hash_iteration_out_of_scope_crate_is_fine() {
+        let src = "fn f(m: &std::collections::HashMap<u64, u64>) -> Vec<u64> {\n\
+                   m.keys().copied().collect()\n\
+                   }\n";
+        let f = check_file(&ctx("crates/baselines/src/x.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-hash-iteration"));
+    }
+
+    #[test]
+    fn vec_iteration_is_fine() {
+        let src = "fn f(v: Vec<u64>, m: std::collections::HashMap<u8, u8>) -> u64 {\n\
+                   let _ = m.get(&1);\n\
+                   v.iter().sum()\n\
+                   }\n";
+        let f = check_file(&ctx("crates/sim/src/x.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-hash-iteration"));
+    }
+
+    #[test]
+    fn wall_clock_fires_and_allowlist_holds() {
+        let src = "fn t() { let s = std::time::Instant::now(); }\n";
+        let f = check_file(&ctx("crates/sim/src/x.rs", src));
+        assert!(rules_fired(&f).contains(&"no-wall-clock"));
+        let f = check_file(&ctx("crates/bench/src/bin/perf.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-wall-clock"));
+        let f = check_file(&ctx("crates/bench/src/service/daemon.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-wall-clock"));
+    }
+
+    #[test]
+    fn wall_clock_in_test_code_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let s = std::time::Instant::now(); }\n}\n";
+        let f = check_file(&ctx("crates/sim/src/x.rs", src));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn atomic_writes_scoped_to_service() {
+        let src = "fn w(p: &std::path::Path) { std::fs::write(p, \"x\").unwrap(); }\n";
+        let f = check_file(&ctx("crates/bench/src/service/local.rs", src));
+        assert!(rules_fired(&f).contains(&"atomic-writes-only"));
+        // journal.rs is the durability layer itself.
+        let f = check_file(&ctx("crates/bench/src/service/journal.rs", src));
+        assert!(!rules_fired(&f).contains(&"atomic-writes-only"));
+        // Outside service/, plain writes are not the journal's business.
+        let f = check_file(&ctx("crates/bench/src/campaign/writer.rs", src));
+        assert!(!rules_fired(&f).contains(&"atomic-writes-only"));
+    }
+
+    #[test]
+    fn layering_violation_fires() {
+        let src = "use contention_bench::campaign::SweepSpec;\n";
+        let f = check_file(&ctx("crates/sim/src/x.rs", src));
+        assert!(rules_fired(&f).contains(&"layering"));
+        // bench may use sim.
+        let src = "use contention_sim::Simulator;\n";
+        let f = check_file(&ctx("crates/bench/src/scenario/mod.rs", src));
+        assert!(!rules_fired(&f).contains(&"layering"));
+        // Self-reference (bins of the same crate) is fine.
+        let src = "use contention_bench::scenario::ScenarioSpec;\n";
+        let f = check_file(&ctx("crates/bench/src/bin/campaign.rs", src));
+        assert!(!rules_fired(&f).contains(&"layering"));
+    }
+
+    #[test]
+    fn unsafe_fires_outside_shim() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let f = check_file(&ctx("crates/core/src/x.rs", src));
+        assert!(rules_fired(&f).contains(&"forbid-unsafe-everywhere"));
+        let f = check_file(&ctx("crates/bench/src/bin/helpers/sigint.rs", src));
+        assert!(!rules_fired(&f).contains(&"forbid-unsafe-everywhere"));
+        // The attribute itself must not trip the token match.
+        let f = check_file(&ctx("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n"));
+        assert!(!rules_fired(&f).contains(&"forbid-unsafe-everywhere"));
+    }
+
+    #[test]
+    fn println_fires_in_lib_not_bin() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"log\"); }\n";
+        let f = check_file(&ctx("crates/analysis/src/x.rs", src));
+        assert_eq!(
+            rules_fired(&f)
+                .iter()
+                .filter(|r| **r == "no-println-in-libs")
+                .count(),
+            1,
+            "eprintln! must not match"
+        );
+        let f = check_file(&ctx("crates/bench/src/bin/campaign.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-println-in-libs"));
+    }
+
+    #[test]
+    fn unwrap_warns_in_lib_code() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = check_file(&ctx("crates/sim/src/x.rs", src));
+        assert!(rules_fired(&f).contains(&"no-unwrap"));
+        assert_eq!(severity_of("no-unwrap"), Severity::Warn);
+        let f = check_file(&ctx("crates/bench/src/bin/campaign.rs", src));
+        assert!(!rules_fired(&f).contains(&"no-unwrap"));
+    }
+
+    #[test]
+    fn decl_ident_shapes() {
+        assert_eq!(decl_ident("    let mut tables: "), Some("tables".into()));
+        assert_eq!(decl_ident("    pub sends: &'a mut "), Some("sends".into()));
+        assert_eq!(decl_ident("    let m = "), Some("m".into()));
+        assert_eq!(
+            decl_ident("    foo(m: &std::collections::"),
+            Some("m".into())
+        );
+        assert_eq!(decl_ident("    if x == "), None);
+        assert_eq!(decl_ident("    Vec<"), None);
+        assert_eq!(decl_ident("    match x => "), None);
+    }
+}

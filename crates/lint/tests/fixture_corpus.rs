@@ -1,0 +1,184 @@
+//! The known-bad corpus: every rule must fire on its fixture — exactly
+//! once — and the `detlint` binary must exit non-zero on each. Clean
+//! fixtures (negative controls: justified pragmas, cfg(test) code,
+//! tokens inside strings/comments) must produce no diagnostics at all.
+//!
+//! Fixture header convention (ordinary comments, ignored by the lexer):
+//!
+//! ```text
+//! //@ as: crates/sim/src/fixture.rs      (virtual workspace path)
+//! //@ expect: no-wall-clock              (rule that must fire once)
+//! //@ clean                              (instead of expect: no diagnostics)
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use contention_lint::Workspace;
+
+struct Fixture {
+    path: PathBuf,
+    name: String,
+    text: String,
+    virtual_path: String,
+    expect: Option<String>,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut out = Vec::new();
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures found in {}", dir.display());
+    for path in paths {
+        let text = fs::read_to_string(&path).expect("read fixture");
+        let header = |key: &str| -> Option<String> {
+            text.lines()
+                .find_map(|l| l.strip_prefix(key).map(|v| v.trim().to_string()))
+        };
+        let virtual_path = header("//@ as:").expect("fixture missing //@ as: header");
+        let expect = header("//@ expect:");
+        let clean = text.lines().any(|l| l.trim() == "//@ clean");
+        assert!(
+            expect.is_some() != clean,
+            "{}: exactly one of //@ expect / //@ clean required",
+            path.display()
+        );
+        out.push(Fixture {
+            name: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            path,
+            text,
+            virtual_path,
+            expect,
+        });
+    }
+    out
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_its_fixture() {
+    let mut rules_covered = Vec::new();
+    for fx in fixtures() {
+        let ws = Workspace::single_file(&fx.virtual_path, &fx.text)
+            .unwrap_or_else(|| panic!("{}: bad virtual path {}", fx.name, fx.virtual_path));
+        let report = ws.check();
+        match &fx.expect {
+            Some(rule) => {
+                let hits = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| &d.rule == rule)
+                    .count();
+                assert_eq!(
+                    hits, 1,
+                    "{}: rule `{rule}` fired {hits} times, want exactly 1; got {:#?}",
+                    fx.name, report.diagnostics
+                );
+                rules_covered.push(rule.clone());
+            }
+            None => {
+                assert!(
+                    report.diagnostics.is_empty(),
+                    "{}: clean fixture produced {:#?}",
+                    fx.name,
+                    report.diagnostics
+                );
+            }
+        }
+    }
+    // The corpus must cover every shipped rule plus pragma hygiene.
+    for r in contention_lint::rules::RULES {
+        assert!(
+            rules_covered.iter().any(|c| c == r.name),
+            "no known-bad fixture covers rule `{}`",
+            r.name
+        );
+    }
+    for hygiene in ["stale-pragma", "bad-pragma"] {
+        assert!(
+            rules_covered.iter().any(|c| c == hygiene),
+            "no known-bad fixture covers `{hygiene}`"
+        );
+    }
+}
+
+#[test]
+fn detlint_binary_exits_nonzero_on_every_bad_fixture() {
+    for fx in fixtures() {
+        let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+            .args([
+                "check-file",
+                fx.path.to_str().expect("utf-8 path"),
+                "--as",
+                &fx.virtual_path,
+                "--deny-warnings",
+            ])
+            .output()
+            .expect("run detlint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        if fx.expect.is_some() {
+            assert!(
+                !out.status.success(),
+                "{}: detlint exited 0 on a known-bad fixture\n{stdout}",
+                fx.name
+            );
+        } else {
+            assert!(
+                out.status.success(),
+                "{}: detlint failed a clean fixture\n{stdout}",
+                fx.name
+            );
+        }
+    }
+}
+
+#[test]
+fn json_format_round_trips_the_verdict() {
+    for fx in fixtures() {
+        let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+            .args([
+                "check-file",
+                fx.path.to_str().expect("utf-8 path"),
+                "--as",
+                &fx.virtual_path,
+                "--format",
+                "json",
+            ])
+            .output()
+            .expect("run detlint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let ok = stdout.contains("\"ok\":true");
+        match &fx.expect {
+            // Warn-only fixtures report ok:true errors:0 but list the
+            // diagnostic; everything else is an error.
+            Some(rule) => assert!(
+                stdout.contains(&format!("\"rule\":\"{rule}\"")),
+                "{}: JSON missing rule\n{stdout}",
+                fx.name
+            ),
+            None => assert!(ok, "{}: JSON not ok\n{stdout}", fx.name),
+        }
+    }
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .arg("--list-rules")
+        .output()
+        .expect("run detlint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for r in contention_lint::rules::RULES {
+        assert!(stdout.contains(r.name), "--list-rules missing {}", r.name);
+    }
+    assert!(stdout.contains("stale-pragma"));
+}

@@ -1,0 +1,8 @@
+//@ as: crates/bench/src/service/fixture.rs
+//@ expect: atomic-writes-only
+// Known-bad: a bare fs::write in the service layer. A crash mid-write
+// leaves a torn artifact that a resumed job would trust.
+
+pub fn save(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    std::fs::write(path, text)
+}

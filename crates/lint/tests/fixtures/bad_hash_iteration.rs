@@ -1,0 +1,14 @@
+//@ as: crates/sim/src/fixture.rs
+//@ expect: no-hash-iteration
+// Known-bad: iterating a HashMap in a deterministic crate. Report order
+// would depend on the hasher's per-process seed.
+
+use std::collections::HashMap;
+
+pub fn totals(counts: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for (_, v) in counts.iter() {
+        sum += v;
+    }
+    sum
+}

@@ -1,0 +1,10 @@
+//@ as: crates/sim/src/fixture.rs
+//@ expect: layering
+// Known-bad: the simulator reaching up into the bench harness. The DAG
+// is backoff/sim/analysis at the bottom, bench at the top.
+
+use contention_bench::campaign::SweepSpec;
+
+pub fn smuggle(spec: &SweepSpec) -> usize {
+    spec.axes.len()
+}

@@ -1,0 +1,9 @@
+//@ as: crates/sim/src/fixture.rs
+//@ expect: bad-pragma
+// Known-bad: a pragma without a written justification. The reason is
+// the contract — no reason, no escape.
+
+// detlint::allow(no-wall-clock)
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

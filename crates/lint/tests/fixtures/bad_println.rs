@@ -1,0 +1,8 @@
+//@ as: crates/analysis/src/fixture.rs
+//@ expect: no-println-in-libs
+// Known-bad: stdout reporting from library code. Output belongs to
+// observers/returned values; binaries own stdout.
+
+pub fn report(x: f64) {
+    println!("result: {x}");
+}

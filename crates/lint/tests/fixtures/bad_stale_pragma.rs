@@ -1,0 +1,9 @@
+//@ as: crates/sim/src/fixture.rs
+//@ expect: stale-pragma
+// Known-bad: an allow pragma with nothing left to suppress. Escapes
+// must not outlive their justification.
+
+// detlint::allow(no-wall-clock): the Instant::now this excused is gone
+pub fn quiet() -> u64 {
+    42
+}

@@ -1,0 +1,8 @@
+//@ as: crates/sim/src/fixture.rs
+//@ expect: no-wall-clock
+// Known-bad: thread identity is scheduler state; anything keyed on it
+// varies run to run.
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,7 @@
+//@ as: crates/backoff/src/fixture.rs
+//@ expect: forbid-unsafe-everywhere
+// Known-bad: an unsafe block outside the documented signal-shim file.
+
+pub fn sneaky(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

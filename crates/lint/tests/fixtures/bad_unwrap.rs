@@ -1,0 +1,9 @@
+//@ as: crates/sim/src/fixture.rs
+//@ expect: no-unwrap
+//@ severity: warn
+// Known-bad (advisory): bare unwrap in library code hides the invariant
+// it relies on.
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,8 @@
+//@ as: crates/core/src/fixture.rs
+//@ expect: no-wall-clock
+// Known-bad: wall-clock timestamp in a deterministic crate. Any value
+// derived from it diverges between runs and poisons golden fingerprints.
+
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

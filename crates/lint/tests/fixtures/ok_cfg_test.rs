@@ -1,0 +1,25 @@
+//@ as: crates/sim/src/fixture.rs
+//@ clean
+// Negative control: test code is exempt from every rule — tests may
+// time things, iterate hash maps, and unwrap freely.
+
+pub fn live() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn timing_and_hashes_are_fine_here() {
+        let t = std::time::Instant::now();
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        let total: u32 = m.values().sum();
+        assert_eq!(total, 2);
+        assert!(t.elapsed().as_secs() < 3600);
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//@ as: crates/sim/src/fixture.rs
+//@ clean
+// Negative control: a justified pragma suppresses the diagnostic and
+// is counted as used (no stale-pragma follow-up).
+
+pub fn stamp() -> u128 {
+    // detlint::allow(no-wall-clock): fixture demonstrating a justified escape
+    std::time::Instant::now().elapsed().as_nanos()
+}

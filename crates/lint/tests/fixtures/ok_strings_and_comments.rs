@@ -1,0 +1,14 @@
+//@ as: crates/sim/src/fixture.rs
+//@ clean
+// Negative control: forbidden tokens inside comments, doc prose, and
+// string literals must not fire — the lexer blanks them.
+
+/// Docs may say Instant::now or HashMap.iter() or unsafe freely.
+pub fn describe() -> &'static str {
+    // A comment mentioning println! and SystemTime is fine too.
+    "Instant::now unsafe println! fs::write .unwrap() for x in map.iter()"
+}
+
+pub fn raw() -> &'static str {
+    r#"SystemTime::now() and thread::current() in a raw string"#
+}

@@ -1,0 +1,78 @@
+//! The self-check: `detlint` must run clean on the live workspace, so
+//! the tree and CI can never drift apart — a change that introduces a
+//! violation fails `cargo test` locally exactly like the CI step.
+
+use std::path::Path;
+use std::process::Command;
+
+use contention_lint::Workspace;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+#[test]
+fn live_workspace_has_no_errors_and_no_stale_pragmas() {
+    let ws = Workspace::load(workspace_root()).expect("load workspace");
+    let report = ws.check();
+    let errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == contention_lint::rules::Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "the workspace violates its own invariants:\n{}",
+        errors
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Warnings are advisory, but the tree currently carries none in
+    // non-test library code — keep it that way or justify the change.
+    assert_eq!(
+        report.warnings(),
+        0,
+        "new advisory warnings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == contention_lint::rules::Severity::Warn)
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn sanity_the_scan_actually_covers_the_workspace() {
+    let ws = Workspace::load(workspace_root()).expect("load workspace");
+    let report = ws.check();
+    // All six product crates plus the lint crate and the root umbrella
+    // have src trees; a scan that sees too few files is scanning the
+    // wrong place and would vacuously pass.
+    assert!(
+        report.files_scanned > 60,
+        "only {} files scanned — wrong root?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn detlint_check_binary_passes_on_the_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .args(["check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run detlint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "detlint check failed on the live workspace:\n{stdout}"
+    );
+}
