@@ -13,6 +13,8 @@
 //! * [`sawtooth::Sawtooth`] — sawtooth (backon) backoff;
 //! * [`schedule::Schedule`] — arbitrary non-adaptive probability schedules
 //!   (the class ruled out by Theorem 4.2);
+//! * [`lanes::LaneBatch`] — the bit-parallel form of `h`-batch: up to 64
+//!   independent schedule copies advanced one lane word at a time;
 //! * [`mimd`] — collision-*triggered* MIMD drivers
 //!   ([`mimd::CollisionWindow`], [`mimd::MimdProbability`]) for
 //!   collision-detection channel models, where failure feedback *does*
@@ -31,6 +33,7 @@
 pub mod functions;
 pub mod hbackoff;
 pub mod hbatch;
+pub mod lanes;
 pub mod mimd;
 pub mod sawtooth;
 pub mod schedule;
@@ -39,7 +42,8 @@ pub mod window;
 pub use functions::{log2c, sqrt_log2, FFunction, GFunction};
 pub use hbackoff::{HBackoff, OnePerStage, SendCount};
 pub use hbatch::HBatch;
+pub use lanes::{LaneBatch, LaneDraws};
 pub use mimd::{CollisionWindow, MimdProbability};
 pub use sawtooth::Sawtooth;
-pub use schedule::{ProbTable, Schedule};
+pub use schedule::{bernoulli_threshold, threshold_send_mask, ProbTable, Schedule};
 pub use window::{WindowBackoff, WindowGrowth};

@@ -32,7 +32,7 @@ pub const THRESHOLD_CERTAIN: u64 = u64::MAX;
 /// every `u`. `p ≥ 1` maps to [`THRESHOLD_CERTAIN`] (no draw) and `p ≤ 0`
 /// to `0` (no draw), mirroring the short-circuit branches of the float
 /// path so the RNG consumption stays byte-identical.
-fn bernoulli_threshold(p: f64) -> u64 {
+pub fn bernoulli_threshold(p: f64) -> u64 {
     if p >= 1.0 {
         THRESHOLD_CERTAIN
     } else if p > 0.0 {
@@ -41,6 +41,33 @@ fn bernoulli_threshold(p: f64) -> u64 {
         (p * (1u64 << 53) as f64).ceil() as u64
     } else {
         0
+    }
+}
+
+/// Resolve one Bernoulli threshold against a whole word of lanes at once:
+/// the mask of lanes in `active` whose 53-bit draw sends under `thr`.
+///
+/// `draws[l]` is lane `l`'s raw `next_u64` output; entries outside
+/// `active` are ignored (they may be garbage). Per lane this is exactly
+/// the scalar compare `(draws[l] >> 11) < thr` — the whole-word form of
+/// [`bernoulli_threshold`] — so `popcount(mask)` equals the number of
+/// scalar sends the same draws would produce. The sentinel thresholds
+/// short-circuit without reading `draws` at all, mirroring the scalar
+/// no-draw branches.
+#[inline]
+pub fn threshold_send_mask(thr: u64, active: u64, draws: &[u64; 64]) -> u64 {
+    match thr {
+        THRESHOLD_CERTAIN => active,
+        0 => 0,
+        thr => {
+            // Branch-free over the full word (inactive lanes masked out
+            // afterwards) so the compare loop vectorizes.
+            let mut send = 0u64;
+            for (l, &u) in draws.iter().enumerate() {
+                send |= u64::from((u >> 11) < thr) << l;
+            }
+            send & active
+        }
     }
 }
 
@@ -87,6 +114,15 @@ impl ProbTable {
     #[inline]
     pub fn threshold(&self, i: u64) -> Option<u64> {
         self.thresholds.get((i as usize).wrapping_sub(1)).copied()
+    }
+
+    /// Resolve index `i` against a whole word of lanes: the send mask of
+    /// the lanes in `active` under this table's threshold for `i` (see
+    /// [`threshold_send_mask`]), or `None` beyond the table.
+    #[inline]
+    pub fn send_mask(&self, i: u64, active: u64, draws: &[u64; 64]) -> Option<u64> {
+        self.threshold(i)
+            .map(|thr| threshold_send_mask(thr, active, draws))
     }
 
     /// Number of cached entries.

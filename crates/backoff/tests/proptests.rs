@@ -1,11 +1,48 @@
 //! Property tests for the backoff primitives.
 
+use contention_backoff::schedule::THRESHOLD_CERTAIN;
 use contention_backoff::{
-    FFunction, GFunction, HBackoff, HBatch, Sawtooth, Schedule, WindowBackoff, WindowGrowth,
+    bernoulli_threshold, threshold_send_mask, FFunction, GFunction, HBackoff, HBatch, LaneBatch,
+    LaneDraws, Sawtooth, Schedule, WindowBackoff, WindowGrowth,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+
+/// Lane-draw adapter over 64 scalar `SmallRng`s that also counts how many
+/// draws each lane has consumed, so tests can assert inactive lanes'
+/// streams stay untouched.
+struct CountingBank {
+    rngs: Vec<SmallRng>,
+    counts: [u64; 64],
+}
+
+impl CountingBank {
+    fn new(offset: u64) -> Self {
+        CountingBank {
+            rngs: (0..64)
+                .map(|l| SmallRng::seed_from_u64(offset + l))
+                .collect(),
+            counts: [0; 64],
+        }
+    }
+}
+
+impl LaneDraws for CountingBank {
+    fn draw(&mut self, lane: usize) -> u64 {
+        self.counts[lane] += 1;
+        self.rngs[lane].next_u64()
+    }
+}
+
+fn lane_schedule(which: u8) -> Schedule {
+    match which {
+        0 => Schedule::Reciprocal,
+        1 => Schedule::h_ctrl(2.0),
+        2 => Schedule::Constant(0.3),
+        _ => Schedule::PowerLaw { exponent: 1.5 },
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -145,5 +182,108 @@ proptest! {
         let len = 1u64 << k;
         let c = f.backoff_send_count(len);
         prop_assert!(c >= 1 && c <= len);
+    }
+
+    /// popcount(send mask) == number of active lanes whose 53-bit draw
+    /// clears the threshold, for arbitrary probabilities, masks, and
+    /// draws; set bits are always a subset of the active mask; the
+    /// certain/zero thresholds resolve without looking at the draws.
+    #[test]
+    fn send_mask_popcount_matches_scalar_compare(
+        p in 0.0f64..1.2,
+        active in 0u64..=u64::MAX,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws: [u64; 64] = std::array::from_fn(|_| rng.next_u64());
+        let thr = bernoulli_threshold(p.min(1.0));
+        let mask = threshold_send_mask(thr, active, &draws);
+        prop_assert_eq!(mask & !active, 0, "sent from an inactive lane");
+        let scalar_sends = (0..64u32)
+            .filter(|&l| active >> l & 1 == 1 && (draws[l as usize] >> 11) < thr)
+            .count() as u32;
+        prop_assert_eq!(mask.count_ones(), scalar_sends);
+        for l in 0..64u32 {
+            let expect = active >> l & 1 == 1 && (draws[l as usize] >> 11) < thr;
+            prop_assert_eq!(mask >> l & 1 == 1, expect, "lane {} disagrees", l);
+        }
+        prop_assert_eq!(threshold_send_mask(THRESHOLD_CERTAIN, active, &draws), active);
+        prop_assert_eq!(threshold_send_mask(0, active, &draws), 0);
+    }
+
+    /// The interned table's whole-word resolution agrees with the free
+    /// function at its own threshold, at every cached index.
+    #[test]
+    fn prob_table_send_mask_consistent(
+        which in 0u8..2,
+        i in 1u64..32_768,
+        active in 0u64..=u64::MAX,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let schedule = if which == 0 { Schedule::Reciprocal } else { Schedule::h_ctrl(2.0) };
+        let table = schedule.prob_table().expect("interned schedule has a table");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws: [u64; 64] = std::array::from_fn(|_| rng.next_u64());
+        let thr = table.threshold(i).expect("index inside table");
+        prop_assert_eq!(thr, bernoulli_threshold(schedule.prob(i)));
+        prop_assert_eq!(
+            table.send_mask(i, active, &draws).expect("index inside table"),
+            threshold_send_mask(thr, active, &draws)
+        );
+    }
+
+    /// LaneBatch vs 64 scalar HBatch twins under a random schedule and a
+    /// random sequence of active/restart masks: every lane bit equals the
+    /// scalar decision, popcount equals total scalar sends per slot, sends
+    /// are a subset of the active mask, and inactive lanes move neither
+    /// their schedule position nor their RNG stream.
+    #[test]
+    fn lane_batch_matches_scalar_hbatch(
+        which in 0u8..4,
+        seed in 0u64..1_000_000,
+        steps in 1usize..120,
+    ) {
+        let schedule = lane_schedule(which);
+        let mut lanes = LaneBatch::new(schedule.clone());
+        let mut bank = CountingBank::new(seed);
+        let mut scalars: Vec<(HBatch, SmallRng)> = (0..64)
+            .map(|l| (HBatch::new(schedule.clone()), SmallRng::seed_from_u64(seed + l)))
+            .collect();
+        let mut driver = SmallRng::seed_from_u64(seed ^ 0xD1CE_D1CE_D1CE_D1CE);
+        for step in 0..steps {
+            let active = driver.next_u64();
+            let positions_before: Vec<u64> = (0..64).map(|l| lanes.position(l)).collect();
+            let counts_before = bank.counts;
+            let mask = lanes.next_mask(active, &mut bank);
+            prop_assert_eq!(mask & !active, 0, "step {}: sent outside active", step);
+            let mut scalar_sends = 0u32;
+            for l in 0..64usize {
+                if active >> l & 1 == 1 {
+                    let (batch, rng) = &mut scalars[l];
+                    let scalar = batch.next(rng);
+                    prop_assert_eq!(mask >> l & 1 == 1, scalar, "step {} lane {}", step, l);
+                    scalar_sends += u32::from(scalar);
+                } else {
+                    prop_assert_eq!(
+                        lanes.position(l), positions_before[l],
+                        "step {}: inactive lane {} moved", step, l
+                    );
+                    prop_assert_eq!(
+                        bank.counts[l], counts_before[l],
+                        "step {}: inactive lane {} drew", step, l
+                    );
+                }
+            }
+            prop_assert_eq!(mask.count_ones(), scalar_sends, "step {}", step);
+            // Restart a random (sparse) subset, mirrored on the scalar twins.
+            let restart = active & driver.next_u64() & driver.next_u64();
+            lanes.restart(restart);
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                if restart >> l & 1 == 1 {
+                    scalar.0 = HBatch::new(schedule.clone());
+                    prop_assert_eq!(lanes.position(l), 1);
+                }
+            }
+        }
     }
 }

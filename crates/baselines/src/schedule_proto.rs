@@ -10,14 +10,41 @@
 //! * the "modified backoff" `p_i = c·log i / i` (the `h_ctrl` schedule),
 //! * slotted ALOHA `p_i = p`.
 
-use contention_backoff::{HBatch, Schedule};
+use contention_backoff::{HBatch, LaneBatch, LaneDraws, Schedule};
+use contention_sim::lanes::LaneRngs;
 use contention_sim::{Action, Feedback, Protocol};
 use rand::RngCore;
+
+/// [`LaneDraws`] adapter over the simulator's per-lane RNG bank. Lives
+/// here because `contention-backoff` and `contention-sim` are independent
+/// crates (neither may depend on the other); the baselines layer sees
+/// both and supplies the glue.
+struct LaneDrawSource<'a>(&'a mut LaneRngs);
+
+impl LaneDraws for LaneDrawSource<'_> {
+    #[inline]
+    fn draw(&mut self, lane: usize) -> u64 {
+        self.0.step_lane(lane)
+    }
+
+    #[inline]
+    fn draw_block(&mut self, need: u64, out: &mut [u64; 64]) {
+        self.0.draw_block(need, out);
+    }
+
+    #[inline]
+    fn draw_mask(&mut self, need: u64, thr: u64) -> u64 {
+        self.0.draw_mask(need, thr)
+    }
+}
 
 /// A protocol that follows a fixed probability schedule.
 #[derive(Debug, Clone)]
 pub struct ScheduleProtocol {
     batch: HBatch,
+    /// Per-lane schedule state, materialized on the first
+    /// [`Protocol::act_lanes`] call (scalar runs never allocate it).
+    lanes: Option<LaneBatch>,
     name: &'static str,
 }
 
@@ -26,6 +53,7 @@ impl ScheduleProtocol {
     pub fn new(name: &'static str, schedule: Schedule) -> Self {
         ScheduleProtocol {
             batch: HBatch::new(schedule),
+            lanes: None,
             name,
         }
     }
@@ -91,6 +119,18 @@ impl Protocol for ScheduleProtocol {
     fn next_send_within(&mut self, within: u64, rng: &mut rand::rngs::SmallRng) -> Option<u64> {
         self.batch.next_send_within(within, rng)
     }
+
+    fn lane_capable(&self) -> bool {
+        true
+    }
+
+    fn act_lanes(&mut self, _local_slot: u64, rngs: &mut LaneRngs, active: u64) -> u64 {
+        let batch = &self.batch;
+        let lanes = self
+            .lanes
+            .get_or_insert_with(|| LaneBatch::new(batch.schedule().clone()));
+        lanes.next_mask(active, &mut LaneDrawSource(rngs))
+    }
 }
 
 /// A schedule protocol that *restarts* its schedule from `i = 1` whenever it
@@ -101,6 +141,9 @@ impl Protocol for ScheduleProtocol {
 pub struct ResetOnSuccess {
     schedule: Schedule,
     batch: HBatch,
+    /// Per-lane schedule state, materialized on the first
+    /// [`Protocol::act_lanes`] call (scalar runs never allocate it).
+    lanes: Option<LaneBatch>,
     name: &'static str,
     resets: u64,
 }
@@ -111,6 +154,7 @@ impl ResetOnSuccess {
         ResetOnSuccess {
             batch: HBatch::new(schedule.clone()),
             schedule,
+            lanes: None,
             name,
             resets: 0,
         }
@@ -173,6 +217,25 @@ impl Protocol for ResetOnSuccess {
 
     fn next_send_within(&mut self, within: u64, rng: &mut rand::rngs::SmallRng) -> Option<u64> {
         self.batch.next_send_within(within, rng)
+    }
+
+    fn lane_capable(&self) -> bool {
+        true
+    }
+
+    fn act_lanes(&mut self, _local_slot: u64, rngs: &mut LaneRngs, active: u64) -> u64 {
+        let schedule = &self.schedule;
+        let lanes = self
+            .lanes
+            .get_or_insert_with(|| LaneBatch::new(schedule.clone()));
+        lanes.next_mask(active, &mut LaneDrawSource(rngs))
+    }
+
+    fn observe_success_lanes(&mut self, lanes: u64) {
+        if let Some(batch) = &mut self.lanes {
+            batch.restart(lanes);
+        }
+        self.resets += u64::from(lanes.count_ones());
     }
 }
 

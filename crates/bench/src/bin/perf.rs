@@ -30,10 +30,11 @@ use contention_sim::Execution;
 /// The pinned suite: report name, registry scenario, measurement-scale
 /// seed count, a smoke-mode seed count, and an optional execution-mode
 /// override. Horizons come from the registry spec (smoke mode shrinks
-/// them via [`ScenarioSpec::smoke`]). The `sparse-wall` pair runs the
-/// *same* workload under both engines, so every `BENCH_*.json` records
-/// the skip-ahead speedup next to the exact baseline. Editing this list
-/// invalidates cross-PR comparisons — append, don't mutate.
+/// them via [`ScenarioSpec::smoke`]). The `sparse-wall` and `lane-batch`
+/// pairs each run the *same* workload under two engines, so every
+/// `BENCH_*.json` records the skip-ahead and bit-parallel speedups next
+/// to their exact baselines. Editing this list invalidates cross-PR
+/// comparisons — append, don't mutate.
 const SUITE: &[SuiteEntry] = &[
     SuiteEntry {
         name: "batch/64",
@@ -83,6 +84,23 @@ const SUITE: &[SuiteEntry] = &[
         seeds: 2,
         smoke_seeds: 2,
         execution: None,
+    },
+    // The bit-parallel pair: one lane-eligible workload, scalar exact vs
+    // 64 seeds per engine pass. Smoke mode keeps a full 64-seed block so
+    // the lane path (not its scalar fallback) is what CI exercises.
+    SuiteEntry {
+        name: "lane-batch/exact",
+        scenario: "lane-batch/256",
+        seeds: 512,
+        smoke_seeds: 64,
+        execution: Some(Execution::Exact),
+    },
+    SuiteEntry {
+        name: "lane-batch/bit-parallel",
+        scenario: "lane-batch/256",
+        seeds: 512,
+        smoke_seeds: 64,
+        execution: Some(Execution::BitParallel),
     },
 ];
 

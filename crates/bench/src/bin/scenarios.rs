@@ -10,9 +10,11 @@
 //! # Replay any workload under a different channel-feedback model
 //! cargo run --release -p contention-bench --bin scenarios -- batch/64 --channel cd
 //!
-//! # Force an execution strategy (exact | skip-ahead); skip-ahead falls
-//! # back to exact automatically for slot-adaptive workloads
+//! # Force an execution strategy (exact | skip-ahead | bit-parallel);
+//! # both accelerated engines fall back to exact automatically for
+//! # workloads outside their eligibility envelope
 //! cargo run --release -p contention-bench --bin scenarios -- batch/4096 --execution skip-ahead
+//! cargo run --release -p contention-bench --bin scenarios -- lane-batch/256 --execution bit-parallel
 //!
 //! # Print a scenario as JSON instead of running it
 //! cargo run --release -p contention-bench --bin scenarios -- --json smooth
@@ -60,7 +62,9 @@ fn main() {
 
     if let Some(execution) = execution {
         let Some(strategy) = Execution::by_name(execution) else {
-            eprintln!("unknown execution strategy `{execution}` (expected exact or skip-ahead)");
+            eprintln!(
+                "unknown execution strategy `{execution}` (expected exact, skip-ahead, or bit-parallel)"
+            );
             std::process::exit(2);
         };
         spec = spec.execution(strategy);

@@ -17,7 +17,7 @@
 //! are journaled as they complete) across kill/resume boundaries.
 
 use contention_sim::observer::StreamingStats;
-use contention_sim::StopReason;
+use contention_sim::{StopReason, Trace};
 
 use crate::scenario::spec::{AlgoSpec, HorizonSpec, ScenarioSpec};
 use crate::scenario::ScenarioRunner;
@@ -196,24 +196,16 @@ impl CampaignRunner {
     }
 }
 
-/// Run one (cell, algorithm, seed) task, streaming slots through a
-/// [`StreamingStats`] accumulator (the cell spec is already in aggregate
-/// record mode, so nothing stores per-slot records).
-pub(crate) fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedStats {
-    let runner = ScenarioRunner::new(spec.clone());
-    let mut sim = runner.sim(algo, seed);
-    let mut stats = StreamingStats::new();
-    let drained = match spec.horizon {
-        HorizonSpec::Fixed { slots } => {
-            sim.run_for_with(slots, |_, rec| stats.record(rec));
-            sim.active_count() == 0 && sim.adversary().exhausted()
-        }
-        HorizonSpec::UntilDrained { max_slots } => {
-            sim.run_until_drained_with(max_slots, |_, rec| stats.record(rec)) == StopReason::Drained
-        }
-    };
-    let slots = sim.current_slot();
-    let trace = sim.into_trace();
+/// Fold one finished run — its streamed accumulator plus its trace —
+/// into the [`SeedStats`] row. Shared by the scalar task path and the
+/// 64-wide lane-block path so both extract the exact same metrics.
+fn finish_seed(
+    spec: &ScenarioSpec,
+    slots: u64,
+    drained: bool,
+    stats: &StreamingStats,
+    trace: &Trace,
+) -> SeedStats {
     let first_access = trace
         .departures()
         .first()
@@ -239,6 +231,69 @@ pub(crate) fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedS
             .map(|&(t, _, _, _, s)| (t, s))
             .collect(),
     }
+}
+
+/// Run one (cell, algorithm, seed) task, streaming slots through a
+/// [`StreamingStats`] accumulator (the cell spec is already in aggregate
+/// record mode, so nothing stores per-slot records).
+pub(crate) fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedStats {
+    let runner = ScenarioRunner::new(spec.clone());
+    let mut sim = runner.sim(algo, seed);
+    let mut stats = StreamingStats::new();
+    let drained = match spec.horizon {
+        HorizonSpec::Fixed { slots } => {
+            sim.run_for_with(slots, |_, rec| stats.record(rec));
+            sim.active_count() == 0 && sim.adversary().exhausted()
+        }
+        HorizonSpec::UntilDrained { max_slots } => {
+            sim.run_until_drained_with(max_slots, |_, rec| stats.record(rec)) == StopReason::Drained
+        }
+    };
+    let slots = sim.current_slot();
+    let trace = sim.into_trace();
+    finish_seed(spec, slots, drained, &stats, &trace)
+}
+
+/// Seeds per scheduler task for this (cell, algorithm) unit: 64 when the
+/// cell is lane-eligible under bit-parallel execution, 1 otherwise. The
+/// scheduler calls this when laying out tasks and again in workers when
+/// claiming them — it is a pure function of the unit, so the two always
+/// agree.
+pub(crate) fn lane_block(spec: &ScenarioSpec, algo: &AlgoSpec) -> u64 {
+    ScenarioRunner::new(spec.clone()).lane_block(algo)
+}
+
+/// Lane counterpart of [`run_seed`]: run the seed block
+/// `first_seed .. first_seed + n` through the bit-parallel engine in one
+/// pass, streaming each lane's slots through its own [`StreamingStats`],
+/// and return one row per seed in seed order — bit-for-bit the rows
+/// [`run_seed`] would produce for the same seeds one at a time.
+pub(crate) fn run_seed_block(
+    spec: &ScenarioSpec,
+    algo: &AlgoSpec,
+    first_seed: u64,
+    n: u64,
+) -> Vec<SeedStats> {
+    let runner = ScenarioRunner::new(spec.clone());
+    let mut sim = runner.lane_sim(algo, first_seed, n);
+    let mut stats: Vec<StreamingStats> = (0..n).map(|_| StreamingStats::new()).collect();
+    match spec.horizon {
+        HorizonSpec::Fixed { slots } => {
+            sim.run_for_with(slots, |j, _, rec| stats[j].record(rec));
+        }
+        HorizonSpec::UntilDrained { max_slots } => {
+            sim.run_until_drained_with(max_slots, |j, _, rec| stats[j].record(rec));
+        }
+    }
+    let per_lane: Vec<(u64, bool)> = (0..n as usize)
+        .map(|j| (sim.lane_slots(j), sim.lane_drained(j)))
+        .collect();
+    sim.into_traces()
+        .into_iter()
+        .zip(per_lane)
+        .zip(&stats)
+        .map(|((trace, (slots, drained)), st)| finish_seed(spec, slots, drained, st, &trace))
+        .collect()
 }
 
 /// Fold one unit's per-seed statistics (in seed order) into its

@@ -50,8 +50,9 @@ pub enum Edit {
     /// Replace the channel-feedback model (and its listening cost) — the
     /// cross-model comparison axis.
     Channel(ChannelSpec),
-    /// Replace the execution strategy (exact vs skip-ahead) — the
-    /// engine-comparison axis, and the knob mega-scale sweeps flip.
+    /// Replace the execution strategy (exact, skip-ahead, or
+    /// bit-parallel) — the engine-comparison axis, and the knob
+    /// mega-scale sweeps flip.
     Execution(Execution),
 }
 
@@ -237,7 +238,7 @@ impl Axis {
     }
 
     /// Execution-strategy axis: one point per strategy, labelled by the
-    /// strategy's stable name (`exact`, `skip-ahead`).
+    /// strategy's stable name (`exact`, `skip-ahead`, `bit-parallel`).
     pub fn executions(executions: impl IntoIterator<Item = Execution>) -> Self {
         Axis::new(
             "execution",

@@ -91,6 +91,14 @@ pub fn entries() -> Vec<RegistryEntry> {
             summary: "n nodes on the polynomial schedule i^-1.5, skip-ahead mega-scale (param: n)",
         },
         RegistryEntry {
+            name: "lane-batch/256",
+            summary: "batch of n poly-schedule nodes, bit-parallel execution: 64 seeds per engine pass (param: n)",
+        },
+        RegistryEntry {
+            name: "lane-batch-jammed/256",
+            summary: "jammed bit-parallel batch of n; restart-on-success roster exercises lane divergence (param: n)",
+        },
+        RegistryEntry {
             name: "uniform-random",
             summary: "nodes injected at uniformly random slots (Lemma 4.1's random nodes)",
         },
@@ -324,6 +332,48 @@ pub fn lookup(name: &str) -> Option<ScenarioSpec> {
                 .aggregate_only()
                 .history_retention(4096)
                 .execution(Execution::SkipAhead)
+        }
+        // The bit-parallel showcase: a lane-eligible batch (non-adaptive
+        // adversary, default channel, feedback-static schedule protocol)
+        // that the lane engine advances 64 seeds at a time. The perf
+        // suite pins it in both execution modes to record the speedup.
+        //
+        // The roster is the polynomial schedule `p_i = i^-1.5` — a
+        // deliberately non-interned schedule (no ProbTable), so the
+        // scalar engine re-evaluates the power law for every node in
+        // every slot while the lane engine evaluates it once per cell
+        // and resolves all 64 lanes against the shared threshold. A
+        // fixed horizon keeps the batch population standing (ζ(1.5) is
+        // finite, so the population never drains) and every cell in the
+        // lockstep fast path.
+        "lane-batch" => {
+            let n = parse_u32(256)?;
+            ScenarioSpec::new(format!("lane-batch/{n}"))
+                .algo(AlgoSpec::Baseline(BaselineSpec::PolySchedule(1.5)))
+                .arrivals(ArrivalSpec::batch(n))
+                .fixed_horizon(1024)
+                .seeds(64)
+                .aggregate_only()
+                .execution(Execution::BitParallel)
+        }
+        // Lane divergence under fire: periodic jamming (forecastable, so
+        // still lane-eligible — random jamming is not) plus the
+        // restart-on-success roster makes per-lane schedule positions
+        // diverge, so the engine's masked resample path does real work.
+        "lane-batch-jammed" => {
+            let n = parse_u32(256)?;
+            ScenarioSpec::new(format!("lane-batch-jammed/{n}"))
+                .algo(AlgoSpec::Baseline(BaselineSpec::SmoothedBeb))
+                .algo(AlgoSpec::Baseline(BaselineSpec::ResetBeb))
+                .arrivals(ArrivalSpec::batch(n))
+                .jamming(JammingSpec::Periodic {
+                    period: 4,
+                    phase: 2,
+                })
+                .until_drained(drain_cap(n))
+                .seeds(64)
+                .aggregate_only()
+                .execution(Execution::BitParallel)
         }
         "uniform-random" => ScenarioSpec::new("uniform-random")
             .algo(AlgoSpec::cjz_constant_jamming())

@@ -8,6 +8,7 @@
 //! thread-bounded replication live in exactly one place.
 
 use contention_sim::adversary::Adversary;
+use contention_sim::lanes::{lane_eligible, LaneSimulator, LANES};
 use contention_sim::{SimConfig, Simulator, StopReason, Trace};
 
 use super::registry;
@@ -212,6 +213,71 @@ impl ScenarioRunner {
         Simulator::new(self.config(seed), algo.clone(), self.spec.build_adversary())
     }
 
+    /// Seeds advanced per engine instance for `algo`: [`LANES`] when the
+    /// scenario is lane-eligible under [`Execution::BitParallel`]
+    /// (non-adaptive forecastable adversary, default channel, feedback-static
+    /// lane-capable protocol), 1 otherwise. Replication layers — [`collect`]
+    /// here, the campaign scheduler — use this to decide whether seeds are
+    /// handed out one at a time or in 64-wide blocks.
+    ///
+    /// [`Execution::BitParallel`]: contention_sim::Execution::BitParallel
+    /// [`collect`]: Self::collect
+    pub fn lane_block(&self, algo: &AlgoSpec) -> u64 {
+        let adversary = self.spec.build_adversary();
+        if lane_eligible(&self.config(self.spec.seed_base), algo, adversary.as_ref()) {
+            LANES as u64
+        } else {
+            1
+        }
+    }
+
+    /// Build the lane simulator for the seed block
+    /// `first_seed .. first_seed + n` — one lane per seed, each with its
+    /// own adversary instance, nothing run yet. Callers must have checked
+    /// [`lane_block`](Self::lane_block) first; the lane engine itself
+    /// asserts `1 <= n <= 64`.
+    pub fn lane_sim(
+        &self,
+        algo: &AlgoSpec,
+        first_seed: u64,
+        n: u64,
+    ) -> LaneSimulator<AlgoSpec, Box<dyn Adversary>> {
+        let lane_seeds: Vec<u64> = (first_seed..first_seed + n).collect();
+        let adversaries: Vec<Box<dyn Adversary>> =
+            (0..n).map(|_| self.spec.build_adversary()).collect();
+        LaneSimulator::new(
+            self.config(first_seed),
+            &lane_seeds,
+            algo.clone(),
+            adversaries,
+        )
+    }
+
+    /// Lane counterpart of [`run_seed`](Self::run_seed): run the seed
+    /// block `first_seed .. first_seed + n` in lockstep under the
+    /// scenario's horizon policy and return one outcome per seed, in seed
+    /// order — bit-for-bit the outcomes [`run_seed`](Self::run_seed)
+    /// would produce for the same seeds one at a time.
+    pub fn run_seed_block(&self, algo: &AlgoSpec, first_seed: u64, n: u64) -> Vec<TrialOutcome> {
+        let mut sim = self.lane_sim(algo, first_seed, n);
+        match self.spec.horizon {
+            HorizonSpec::UntilDrained { max_slots } => sim.run_until_drained(max_slots),
+            HorizonSpec::Fixed { slots } => sim.run_for(slots),
+        }
+        let per_lane: Vec<(u64, bool)> = (0..n as usize)
+            .map(|j| (sim.lane_slots(j), sim.lane_drained(j)))
+            .collect();
+        sim.into_traces()
+            .into_iter()
+            .zip(per_lane)
+            .map(|(trace, (slots, drained))| TrialOutcome {
+                trace,
+                slots,
+                drained,
+            })
+            .collect()
+    }
+
     /// Run one (algorithm, seed) pair under the scenario's horizon policy.
     pub fn run_seed(&self, algo: &AlgoSpec, seed: u64) -> TrialOutcome {
         let mut sim = self.sim(algo, seed);
@@ -257,11 +323,31 @@ impl ScenarioRunner {
 
     /// Run one algorithm across all seeds, extracting a custom metric
     /// from each outcome. `f` receives `(seed, outcome)`.
+    ///
+    /// Lane-eligible specs (see [`lane_block`](Self::lane_block)) are
+    /// replicated in 64-seed blocks through the bit-parallel engine —
+    /// same outcomes per seed, one engine pass per block; everything else
+    /// replicates one scalar run per seed.
     pub fn collect<T, F>(&self, algo: &AlgoSpec, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(u64, TrialOutcome) -> T + Sync,
     {
+        let block = self.lane_block(algo);
+        if block > 1 {
+            let blocks = self.spec.seeds.div_ceil(block);
+            let outcomes = replicate(blocks, |b| {
+                let first = self.spec.seed_base + b * block;
+                let n = block.min(self.spec.seeds - b * block);
+                self.run_seed_block(algo, first, n)
+            });
+            return outcomes
+                .into_iter()
+                .flatten()
+                .enumerate()
+                .map(|(i, outcome)| f(self.spec.seed_base + i as u64, outcome))
+                .collect();
+        }
         replicate(self.spec.seeds, |i| {
             let seed = self.spec.seed_base + i;
             f(seed, self.run_seed(algo, seed))

@@ -27,7 +27,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crate::campaign::runner::{aggregate, run_seed, SeedStats};
+use crate::campaign::runner::{aggregate, lane_block, run_seed, run_seed_block, SeedStats};
 use crate::campaign::sweep::Cell;
 use crate::campaign::{render_section, to_csv, to_jsonl, CampaignResult, CellResult, SweepSpec};
 
@@ -369,7 +369,7 @@ impl Scheduler {
         let recovered = results.len();
         let mut tasks = Vec::new();
         let mut unit_progress = Vec::with_capacity(units.len());
-        for (u, &(ci, _)) in units.iter().enumerate() {
+        for (u, &(ci, ai)) in units.iter().enumerate() {
             let seeds = cells[ci].spec.seeds;
             if results.contains_key(&u) {
                 unit_progress.push(UnitProgress {
@@ -377,8 +377,15 @@ impl Scheduler {
                     stats: Vec::new(),
                 });
             } else {
-                for s in 0..seeds {
+                // Lane-eligible units hand out 64-seed blocks, one engine
+                // pass per task; everything else one seed per task. The
+                // claiming worker recomputes the same block size from the
+                // unit, so layout and execution always agree.
+                let block = lane_block(&cells[ci].spec, &cells[ci].spec.algos[ai]);
+                let mut s = 0;
+                while s < seeds {
                     tasks.push((u, s));
+                    s += block;
                 }
                 unit_progress.push(UnitProgress {
                     seeds_done: 0,
@@ -560,22 +567,34 @@ fn worker_loop(shared: &Shared) {
         let (ci, ai) = job.units[unit];
         let cell = &job.cells[ci];
         let algo = cell.spec.algos[ai].clone();
-        // `seed` is the 0-based replication index (it also indexes the
-        // unit's stats slots); the simulator seed is offset by the
-        // spec's `seed_base`, exactly like `ScenarioRunner` replication.
+        // `seed` is the 0-based replication index of the task's first
+        // seed (it also indexes the unit's stats slots); the simulator
+        // seed is offset by the spec's `seed_base`, exactly like
+        // `ScenarioRunner` replication. Lane-eligible units run a whole
+        // block of seeds through one bit-parallel engine pass.
         let sim_seed = cell.spec.seed_base + seed;
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(&cell.spec, &algo, sim_seed)));
+        let block = lane_block(&cell.spec, &algo);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if block > 1 {
+                let n = block.min(cell.spec.seeds - seed);
+                run_seed_block(&cell.spec, &algo, sim_seed, n)
+            } else {
+                vec![run_seed(&cell.spec, &algo, sim_seed)]
+            }
+        }));
         complete_task(&job, unit, seed, outcome);
         shared.work_cv.notify_all();
     }
 }
 
-/// Fold one finished (or panicked) task back into its job.
+/// Fold one finished (or panicked) task back into its job. `batch`
+/// holds the task's rows starting at replication index `seed` — one row
+/// for a scalar task, up to 64 for a lane-block task.
 fn complete_task(
     job: &Arc<JobHandle>,
     unit: usize,
     seed: u64,
-    outcome: Result<SeedStats, Box<dyn std::any::Any + Send>>,
+    outcome: Result<Vec<SeedStats>, Box<dyn std::any::Any + Send>>,
 ) {
     let mut p = job.progress.lock().expect("job progress mutex poisoned");
     p.in_flight -= 1;
@@ -588,10 +607,12 @@ fn complete_task(
                 .unwrap_or_else(|| "task panicked".into());
             fail(job, &mut p, format!("unit {unit} seed {seed}: {msg}"));
         }
-        Ok(stats) => {
+        Ok(batch) => {
             let up = &mut p.units[unit];
-            up.stats[seed as usize] = Some(stats);
-            up.seeds_done += 1;
+            up.seeds_done += batch.len() as u64;
+            for (k, stats) in batch.into_iter().enumerate() {
+                up.stats[seed as usize + k] = Some(stats);
+            }
             if up.seeds_done == up.stats.len() as u64 {
                 // Last seed of the unit: fold in seed order, journal,
                 // then publish.

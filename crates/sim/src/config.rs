@@ -20,6 +20,17 @@ use crate::channel::ChannelModel;
 ///   RNG-stream-identical. When the adversary, channel model, or protocol
 ///   is slot-adaptive the simulator **falls back to the exact engine
 ///   automatically** — `SkipAhead` is always safe to request.
+/// * [`Execution::BitParallel`] enables the lane engine
+///   ([`LaneSimulator`](crate::lanes::LaneSimulator)): up to 64 *seeds*
+///   advance in lockstep, one bit per lane, with per-node send decisions
+///   resolved as threshold compares over a whole lane word. Unlike
+///   skip-ahead, lane runs are **bit-for-bit identical** to per-seed exact
+///   runs (each lane replays the exact engine's RNG streams); the
+///   conformance suite in `tests/lane_equivalence.rs` pins this per seed.
+///   Eligibility mirrors skip-ahead — static-until-feedback protocols,
+///   forecastable adversaries, the default no-collision-detection channel
+///   — and ineligible workloads fall back to per-seed [`Execution::Exact`]
+///   runs, so `BitParallel` is always safe to request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Execution {
     /// Slot-synchronous engine; bit-identical replay across releases.
@@ -28,15 +39,20 @@ pub enum Execution {
     /// Event-driven sparse engine; skips silent slots, falls back to
     /// [`Execution::Exact`] when the workload is slot-adaptive.
     SkipAhead,
+    /// Bit-parallel lane engine; advances 64 seeds per word, falls back
+    /// to per-seed [`Execution::Exact`] when the workload is
+    /// slot-adaptive.
+    BitParallel,
 }
 
 impl Execution {
-    /// Stable short name (`exact` / `skip-ahead`), used by serializers
-    /// and CLIs.
+    /// Stable short name (`exact` / `skip-ahead` / `bit-parallel`), used
+    /// by serializers and CLIs.
     pub fn name(self) -> &'static str {
         match self {
             Execution::Exact => "exact",
             Execution::SkipAhead => "skip-ahead",
+            Execution::BitParallel => "bit-parallel",
         }
     }
 
@@ -45,6 +61,7 @@ impl Execution {
         match name {
             "exact" => Some(Execution::Exact),
             "skip-ahead" => Some(Execution::SkipAhead),
+            "bit-parallel" => Some(Execution::BitParallel),
             _ => None,
         }
     }
@@ -195,7 +212,11 @@ mod tests {
         assert_eq!(SimConfig::default().execution, Execution::Exact);
         let c = SimConfig::with_seed(1).with_execution(Execution::SkipAhead);
         assert_eq!(c.execution, Execution::SkipAhead);
-        for e in [Execution::Exact, Execution::SkipAhead] {
+        for e in [
+            Execution::Exact,
+            Execution::SkipAhead,
+            Execution::BitParallel,
+        ] {
             assert_eq!(Execution::by_name(e.name()), Some(e));
         }
         assert_eq!(Execution::by_name("warp"), None);

@@ -54,6 +54,7 @@ pub mod config;
 pub mod dual;
 pub mod engine;
 pub mod history;
+pub mod lanes;
 pub mod metrics;
 pub mod node;
 pub mod observer;
@@ -66,6 +67,7 @@ pub use channel::ChannelModel;
 pub use config::{Execution, SimConfig};
 pub use engine::{Simulator, StopReason};
 pub use history::PublicHistory;
+pub use lanes::{lane_eligible, LaneRng, LaneRngs, LaneSimulator, LANES};
 pub use metrics::{CumulativeTrace, DepartureRecord, SlotRecord, SurvivorRecord, Trace};
 pub use node::{NamedFactory, NodeId, Protocol, ProtocolFactory};
 pub use observer::StreamingStats;
@@ -84,6 +86,7 @@ pub mod prelude {
     pub use crate::config::{Execution, SimConfig};
     pub use crate::engine::{Simulator, StopReason};
     pub use crate::history::PublicHistory;
+    pub use crate::lanes::{lane_eligible, LaneRngs, LaneSimulator, LANES};
     pub use crate::metrics::{CumulativeTrace, DepartureRecord, SlotRecord, Trace};
     pub use crate::node::{
         AlwaysBroadcast, NamedFactory, NeverBroadcast, NodeId, Protocol, ProtocolFactory,

@@ -148,6 +148,72 @@ pub trait Protocol {
         false
     }
 
+    /// Whether this protocol supports native lane-mask driving via
+    /// [`act_lanes`](Self::act_lanes): a single instance can hold the
+    /// state for all [`LANES`](crate::lanes::LANES) lanes and resolve a
+    /// whole lane word per call.
+    ///
+    /// Returning `true` is a contract with the lane engine
+    /// ([`crate::lanes::LaneSimulator`]):
+    ///
+    /// * [`act`](Self::act)/[`act_fast`](Self::act_fast) must ignore
+    ///   `local_slot` (lane-capable protocols track their own position;
+    ///   the engine passes `0` in lane mode);
+    /// * [`act_lanes`](Self::act_lanes) must be overridden with a
+    ///   genuinely per-lane implementation whose lane `l` draws and
+    ///   decisions exactly replay what a dedicated scalar instance would
+    ///   produce for that lane's stream;
+    /// * if success feedback affects state
+    ///   ([`restarts_on_success`](Self::restarts_on_success)),
+    ///   [`observe_success_lanes`](Self::observe_success_lanes) must be
+    ///   overridden to apply it per lane.
+    ///
+    /// Must be constant for the protocol's lifetime. Default `false`: the
+    /// engine then runs one scalar instance per lane through the default
+    /// [`act_lanes`](Self::act_lanes), which is always correct.
+    fn lane_capable(&self) -> bool {
+        false
+    }
+
+    /// Lane-mask variant of [`act`](Self::act): decide the action for
+    /// every lane in `active` at once, returning the mask of lanes that
+    /// broadcast (`send ⊆ active`). Lane `l`'s randomness comes from lane
+    /// `l` of `rngs`; lanes outside `active` must not be stepped (except
+    /// via the bank's declared free lanes) and must not have state
+    /// mutated.
+    ///
+    /// The default loops over the active lanes calling
+    /// [`act`](Self::act) with that lane's RNG column — draw-for-draw
+    /// identical to a scalar run by the [`act_fast`](Self::act_fast)
+    /// contract. Lane-capable protocols override this with a word-level
+    /// implementation (one threshold compare per lane word).
+    fn act_lanes(
+        &mut self,
+        local_slot: u64,
+        rngs: &mut crate::lanes::LaneRngs,
+        active: u64,
+    ) -> u64 {
+        let mut send = 0u64;
+        let mut m = active;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.act(local_slot, &mut rngs.lane(l)).is_broadcast() {
+                send |= 1 << l;
+            }
+        }
+        send
+    }
+
+    /// Lane-mask variant of [`observe`](Self::observe) for success
+    /// feedback: the lanes in `lanes` each heard a success this slot.
+    /// Only called on lane-capable protocols; the default is a no-op,
+    /// correct for protocols that ignore successes
+    /// ([`restarts_on_success`](Self::restarts_on_success) `false`).
+    fn observe_success_lanes(&mut self, lanes: u64) {
+        let _ = lanes;
+    }
+
     /// Skip-ahead sampling hook: sample and *consume* the protocol's
     /// slots up to and including its next broadcast, bounded by `within`
     /// act-calls.
@@ -292,6 +358,19 @@ impl Protocol for AlwaysBroadcast {
             Some(0)
         }
     }
+
+    fn lane_capable(&self) -> bool {
+        true
+    }
+
+    fn act_lanes(
+        &mut self,
+        _local_slot: u64,
+        _rngs: &mut crate::lanes::LaneRngs,
+        active: u64,
+    ) -> u64 {
+        active
+    }
 }
 
 /// A trivial protocol that never broadcasts. Useful in tests (a system of
@@ -324,6 +403,19 @@ impl Protocol for NeverBroadcast {
 
     fn next_send_within(&mut self, _within: u64, _rng: &mut SmallRng) -> Option<u64> {
         None
+    }
+
+    fn lane_capable(&self) -> bool {
+        true
+    }
+
+    fn act_lanes(
+        &mut self,
+        _local_slot: u64,
+        _rngs: &mut crate::lanes::LaneRngs,
+        _active: u64,
+    ) -> u64 {
+        0
     }
 }
 

@@ -4,6 +4,7 @@
 //! closure-adversary budget test drives the simulator directly.
 
 use contention::prelude::*;
+use contention::sim::Execution;
 use proptest::prelude::*;
 
 /// Pick one of the protocol stacks under test.
@@ -193,6 +194,98 @@ proptest! {
             let b = v.budget(&cum, t);
             prop_assert!(b >= prev - 1e-9, "budget dipped at t={t}: {b} < {prev}");
             prev = b;
+        }
+    }
+
+    /// The lane engine replays each seed's scalar run bit-for-bit for
+    /// arbitrary lane-eligible workloads: random population, forecastable
+    /// jamming, either horizon kind, random seed base, and partial lane
+    /// blocks (including single-lane blocks).
+    #[test]
+    fn lane_engine_matches_scalar(
+        n in 1u32..20,
+        which in 0u8..3,
+        jam in 0u8..3,
+        horizon in 0u8..2,
+        lanes in 1u64..8,
+        base in 0u64..10_000,
+    ) {
+        let algo = match which {
+            0 => AlgoSpec::Baseline(BaselineSpec::SmoothedBeb),
+            1 => AlgoSpec::Baseline(BaselineSpec::ResetBeb),
+            _ => AlgoSpec::Baseline(BaselineSpec::BinaryExponential),
+        };
+        let mut spec = ScenarioSpec::new("lane-prop")
+            .algo(algo.clone())
+            .arrivals(ArrivalSpec::batch(n))
+            .execution(Execution::BitParallel)
+            .seed_base(base);
+        spec = match jam {
+            0 => spec,
+            1 => spec.jamming(JammingSpec::Periodic { period: 5, phase: 1 }),
+            _ => spec.jamming(JammingSpec::FrontLoaded { until: 128 }),
+        };
+        spec = if horizon == 0 {
+            spec.fixed_horizon(512)
+        } else {
+            spec.until_drained(20_000)
+        };
+        let runner = ScenarioRunner::new(spec);
+        prop_assert_eq!(runner.lane_block(&algo), 64, "spec must be lane-eligible");
+        let block = runner.run_seed_block(&algo, base, lanes);
+        prop_assert_eq!(block.len() as u64, lanes);
+        for (j, got) in block.iter().enumerate() {
+            let want = runner.run_seed(&algo, base + j as u64);
+            prop_assert_eq!(got.slots, want.slots, "lane {}", j);
+            prop_assert_eq!(got.drained, want.drained, "lane {}", j);
+            prop_assert_eq!(got.trace.slots(), want.trace.slots(), "lane {}", j);
+            prop_assert_eq!(got.trace.departures(), want.trace.departures(), "lane {}", j);
+            prop_assert_eq!(got.trace.survivors(), want.trace.survivors(), "lane {}", j);
+        }
+    }
+
+    /// During a drain run the active lane set only shrinks: every lane
+    /// reports slot 1, a frozen lane never reports again, and each lane's
+    /// last reported slot is exactly its drain slot.
+    #[test]
+    fn lane_active_set_monotone(n in 2u32..16, lanes in 2u64..33, base in 0u64..5_000) {
+        let algo = AlgoSpec::Baseline(BaselineSpec::SmoothedBeb);
+        let spec = ScenarioSpec::new("lane-monotone")
+            .algo(algo.clone())
+            .arrivals(ArrivalSpec::batch(n))
+            .until_drained(30_000)
+            .execution(Execution::BitParallel)
+            .seed_base(base);
+        let runner = ScenarioRunner::new(spec);
+        prop_assert_eq!(runner.lane_block(&algo), 64);
+        let mut sim = runner.lane_sim(&algo, base, lanes);
+        let mut masks: Vec<u64> = Vec::new();
+        sim.run_until_drained_with(30_000, |j, slot, _rec| {
+            let k = slot as usize - 1;
+            if masks.len() <= k {
+                masks.resize(k + 1, 0);
+            }
+            masks[k] |= 1 << j;
+        });
+        prop_assert!(!masks.is_empty());
+        prop_assert_eq!(masks[0], (1u64 << lanes) - 1, "every lane reports slot 1");
+        for w in masks.windows(2) {
+            prop_assert_eq!(
+                w[1] & !w[0], 0,
+                "frozen lane reappeared: {:#x} -> {:#x}", w[0], w[1]
+            );
+        }
+        for j in 0..lanes as usize {
+            let last = masks
+                .iter()
+                .rposition(|m| m >> j & 1 == 1)
+                .expect("lane reported at least slot 1");
+            prop_assert_eq!(sim.lane_slots(j), last as u64 + 1, "lane {} trace length", j);
+            if !sim.lane_drained(j) {
+                // A lane that never drained must have run to the cap —
+                // only drained lanes may vanish from the active set.
+                prop_assert_eq!(last + 1, masks.len(), "live lane {} vanished early", j);
+            }
         }
     }
 }
