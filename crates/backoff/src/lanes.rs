@@ -41,8 +41,8 @@ pub trait LaneDraws {
     /// one shared Bernoulli threshold in a single pass, returning the
     /// mask of lanes whose draw clears it (lane `l` sends iff
     /// `(draw >> 11) < thr`, the scalar convention — see
-    /// [`threshold_send_mask`]). Equivalent to [`draw_block`]
-    /// (Self::draw_block) followed by the compare, but lets
+    /// [`threshold_send_mask`]). Equivalent to
+    /// [`draw_block`](Self::draw_block) followed by the compare, but lets
     /// implementations fuse the two so the draws never round-trip
     /// through a buffer. `thr` must be an actual-draw threshold
     /// (neither 0 nor certain): callers resolve those without drawing.

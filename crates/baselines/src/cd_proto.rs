@@ -79,6 +79,10 @@ impl Protocol for CdBackoffProtocol {
         "cd-beb"
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {
         self.sent_last = self.window.next(rng);
         if self.sent_last {
@@ -137,6 +141,10 @@ impl CdAlohaProtocol {
 impl Protocol for CdAlohaProtocol {
     fn name(&self) -> &'static str {
         "cd-aloha"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {

@@ -27,6 +27,7 @@ impl contention_backoff::SendCount for FCount {
 }
 
 /// Standalone `(f/a)`-backoff protocol.
+#[derive(Clone)]
 pub struct FBackoffProtocol {
     backoff: HBackoff<FCount>,
 }
@@ -60,6 +61,10 @@ impl FBackoffProtocol {
 impl Protocol for FBackoffProtocol {
     fn name(&self) -> &'static str {
         "f-backoff"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {

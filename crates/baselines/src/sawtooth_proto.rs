@@ -28,6 +28,10 @@ impl Protocol for SawtoothProtocol {
         "sawtooth"
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {
         if self.saw.next(rng) {
             Action::Broadcast

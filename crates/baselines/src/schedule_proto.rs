@@ -84,6 +84,10 @@ impl Protocol for ScheduleProtocol {
         self.name
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {
         if self.batch.next(rng) {
             Action::Broadcast
@@ -174,6 +178,10 @@ impl ResetOnSuccess {
 impl Protocol for ResetOnSuccess {
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {

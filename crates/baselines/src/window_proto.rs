@@ -53,6 +53,10 @@ impl Protocol for WindowProtocol {
         self.name
     }
 
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {
         if self.backoff.next(rng) {
             Action::Broadcast
@@ -121,6 +125,10 @@ impl ResettingWindowProtocol {
 impl Protocol for ResettingWindowProtocol {
     fn name(&self) -> &'static str {
         self.name
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn act(&mut self, _local_slot: u64, rng: &mut dyn RngCore) -> Action {

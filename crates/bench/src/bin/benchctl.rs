@@ -17,6 +17,11 @@
 //! benchctl --port-file benchd.port results job-1 --format csv --out results.csv
 //! benchctl --port-file benchd.port cancel job-1
 //! benchctl --port-file benchd.port shutdown
+//!
+//! # Replay a full-fidelity slot window of one (cell, algo, seed) run —
+//! # works post-hoc against done jobs, across daemon restarts.
+//! benchctl --port-file benchd.port window job-1 --window 8000000..8000128 \
+//!     --cell 3 --algo 0 --seed 0 --out window.csv
 //! ```
 //!
 //! `watch` re-attaches to running jobs: it starts from the daemon's
@@ -280,6 +285,54 @@ fn main() {
                 other => fail(&format!("unexpected response: {other:?}")),
             }
         }
+        Some("window") => {
+            let id = rest.get(1).unwrap_or_else(|| fail("window needs a job id"));
+            let range = grab("--window")
+                .unwrap_or_else(|| fail("window needs --window LO..HI (1-based, end exclusive)"));
+            let (lo, hi) = range
+                .split_once("..")
+                .and_then(|(lo, hi)| Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)))
+                .unwrap_or_else(|| fail(&format!("bad --window `{range}` (expected LO..HI)")));
+            let coord = |flag: &str| -> u64 {
+                grab(flag)
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| fail(&format!("{flag} `{v}` is not an integer")))
+                    })
+                    .unwrap_or(0)
+            };
+            match conn.call(&Request::Window {
+                id: id.clone(),
+                cell: coord("--cell"),
+                algo: coord("--algo"),
+                seed: coord("--seed"),
+                lo,
+                hi,
+            }) {
+                Response::Window {
+                    lo,
+                    hi,
+                    slots,
+                    fingerprint,
+                    body,
+                    ..
+                } => {
+                    eprintln!(
+                        "window [{lo}, {hi}) of {id} (run executed {slots} slots), \
+                         fingerprint {fingerprint}"
+                    );
+                    match grab("--out") {
+                        Some(path) => {
+                            std::fs::write(&path, body)
+                                .unwrap_or_else(|e| fail(&format!("failed to write {path}: {e}")));
+                            println!("wrote {path}");
+                        }
+                        None => print!("{body}"),
+                    }
+                }
+                other => fail(&format!("unexpected response: {other:?}")),
+            }
+        }
         Some("cancel") => {
             let id = rest.get(1).unwrap_or_else(|| fail("cancel needs a job id"));
             conn.call(&Request::Cancel { id: id.clone() });
@@ -295,10 +348,11 @@ fn main() {
         }
         Some(other) => fail(&format!(
             "unknown subcommand `{other}` (expected ping, submit, status, list, \
-             results, cancel, watch, or shutdown)"
+             results, window, cancel, watch, or shutdown)"
         )),
         None => fail(
-            "missing subcommand (ping, submit, status, list, results, cancel, watch, shutdown)",
+            "missing subcommand (ping, submit, status, list, results, window, cancel, watch, \
+             shutdown)",
         ),
     }
 }

@@ -240,13 +240,32 @@ pub(crate) fn run_seed(spec: &ScenarioSpec, algo: &AlgoSpec, seed: u64) -> SeedS
     let runner = ScenarioRunner::new(spec.clone());
     let mut sim = runner.sim(algo, seed);
     let mut stats = StreamingStats::new();
-    let drained = match spec.horizon {
-        HorizonSpec::Fixed { slots } => {
-            sim.run_for_with(slots, |_, rec| stats.record(rec));
-            sim.active_count() == 0 && sim.adversary().exhausted()
+    let drained = if let Some(policy) = spec.checkpoint {
+        // Checkpointed cells advance chunk by chunk — the exact call
+        // pattern capture passes and window replays use — so a window
+        // replayed post-hoc from this cell's checkpoint handle walks the
+        // same trajectory the journaled aggregates came from, even under
+        // sparse execution. Drain is detected at chunk boundaries.
+        let drain_bounded = matches!(spec.horizon, HorizonSpec::UntilDrained { .. });
+        loop {
+            if runner.advance_chunk(&mut sim, policy.every, |_, rec| stats.record(rec)) == 0 {
+                break;
+            }
+            if drain_bounded && sim.active_count() == 0 && sim.adversary().exhausted() {
+                break;
+            }
         }
-        HorizonSpec::UntilDrained { max_slots } => {
-            sim.run_until_drained_with(max_slots, |_, rec| stats.record(rec)) == StopReason::Drained
+        sim.active_count() == 0 && sim.adversary().exhausted()
+    } else {
+        match spec.horizon {
+            HorizonSpec::Fixed { slots } => {
+                sim.run_for_with(slots, |_, rec| stats.record(rec));
+                sim.active_count() == 0 && sim.adversary().exhausted()
+            }
+            HorizonSpec::UntilDrained { max_slots } => {
+                sim.run_until_drained_with(max_slots, |_, rec| stats.record(rec))
+                    == StopReason::Drained
+            }
         }
     };
     let slots = sim.current_slot();
@@ -428,6 +447,25 @@ mod tests {
             assert_eq!(x.checkpoints, y.checkpoints);
             assert_eq!(x.mean_latency, y.mean_latency);
         }
+    }
+
+    #[test]
+    fn checkpointed_cells_stream_the_same_aggregates() {
+        let spec = ScenarioSpec::batch(8, 0.2)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .fixed_horizon(500)
+            .aggregate_only();
+        let algo = spec.algos[0].clone();
+        let plain = run_seed(&spec, &algo, 3);
+        let chunked = run_seed(&spec.clone().checkpoint_every(64), &algo, 3);
+        assert_eq!(plain.slots, chunked.slots);
+        assert_eq!(plain.drained, chunked.drained);
+        assert_eq!(plain.arrivals, chunked.arrivals);
+        assert_eq!(plain.jammed, chunked.jammed);
+        assert_eq!(plain.successes, chunked.successes);
+        assert_eq!(plain.broadcasts, chunked.broadcasts);
+        assert_eq!(plain.checkpoints, chunked.checkpoints);
+        assert_eq!(plain.mean_latency, chunked.mean_latency);
     }
 
     #[test]

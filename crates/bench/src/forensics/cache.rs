@@ -1,0 +1,143 @@
+//! A byte-bounded LRU cache of replayed windows.
+//!
+//! Replaying a window is seconds of work; re-reading one should be free.
+//! The cache is keyed by `(lo, hi)` and bounded by **bytes**, not entry
+//! count — windows vary from dozens to millions of records, so an entry
+//! cap would either starve big windows or let small ones balloon memory.
+//! Windows larger than the whole budget are returned to the caller but
+//! never cached (caching one would evict everything for a single-use
+//! entry).
+
+use std::sync::Arc;
+
+use super::replay::WindowTrace;
+
+/// Byte-bounded LRU store of [`WindowTrace`]s, keyed by `(lo, hi)`.
+#[derive(Debug)]
+pub struct WindowCache {
+    cap: u64,
+    bytes: u64,
+    /// Insertion/recency order: the back is the most recently used.
+    entries: Vec<((u64, u64), Arc<WindowTrace>)>,
+}
+
+impl WindowCache {
+    /// An empty cache bounded at `cap_bytes`.
+    pub fn new(cap_bytes: u64) -> Self {
+        WindowCache {
+            cap: cap_bytes,
+            bytes: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The byte budget.
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cached windows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a window, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, lo: u64, hi: u64) -> Option<Arc<WindowTrace>> {
+        let idx = self.entries.iter().position(|(k, _)| *k == (lo, hi))?;
+        let entry = self.entries.remove(idx);
+        let win = Arc::clone(&entry.1);
+        self.entries.push(entry);
+        Some(win)
+    }
+
+    /// Insert a window, evicting least-recently-used entries until the
+    /// budget holds. A window exceeding the whole budget is not cached.
+    pub fn insert(&mut self, win: Arc<WindowTrace>) {
+        let cost = win.approx_bytes();
+        if cost > self.cap {
+            return;
+        }
+        let key = (win.lo, win.hi);
+        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
+            let (_, old) = self.entries.remove(idx);
+            self.bytes -= old.approx_bytes();
+        }
+        while self.bytes + cost > self.cap {
+            let (_, evicted) = self.entries.remove(0);
+            self.bytes -= evicted.approx_bytes();
+        }
+        self.bytes += cost;
+        self.entries.push((key, win));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(lo: u64, hi: u64) -> Arc<WindowTrace> {
+        let records = (lo..hi)
+            .map(|_| contention_sim::SlotRecord {
+                arrivals: 0,
+                broadcasters: 0,
+                jammed: false,
+                active: false,
+                population: 0,
+                outcome: contention_sim::SlotOutcome::Silence,
+            })
+            .collect::<Vec<_>>();
+        let fingerprint = crate::forensics::window_fingerprint(lo, &records);
+        Arc::new(WindowTrace {
+            lo,
+            hi,
+            records,
+            fingerprint,
+        })
+    }
+
+    #[test]
+    fn evicts_least_recently_used_by_bytes() {
+        let unit = window(0, 10).approx_bytes();
+        let mut cache = WindowCache::new(unit * 3);
+        cache.insert(window(0, 10));
+        cache.insert(window(10, 20));
+        cache.insert(window(20, 30));
+        assert_eq!(cache.len(), 3);
+        // Touch the oldest so it survives the next eviction.
+        assert!(cache.get(0, 10).is_some());
+        cache.insert(window(30, 40));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(10, 20).is_none(), "LRU entry evicted");
+        assert!(cache.get(0, 10).is_some(), "promoted entry survived");
+        assert!(cache.bytes() <= cache.cap_bytes());
+    }
+
+    #[test]
+    fn oversized_windows_are_not_cached() {
+        let unit = window(0, 10).approx_bytes();
+        let mut cache = WindowCache::new(unit - 1);
+        cache.insert(window(0, 10));
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_it() {
+        let unit = window(0, 10).approx_bytes();
+        let mut cache = WindowCache::new(unit * 4);
+        cache.insert(window(0, 10));
+        cache.insert(window(0, 10));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), unit);
+    }
+}

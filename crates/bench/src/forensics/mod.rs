@@ -1,0 +1,136 @@
+//! Post-hoc forensics: full-fidelity slot windows at mega scale, on
+//! demand.
+//!
+//! An aggregate-mode campaign run at 10⁶ nodes × 10⁷ slots keeps totals
+//! and departures but throws per-slot records away — storing them would
+//! cost tens of gigabytes. When such a run then shows an anomaly
+//! ("drain stalled around slot 8M"), this layer materializes any
+//! requested `[lo, hi)` slot window in **full record fidelity** without
+//! rerunning from slot 0:
+//!
+//! * a checkpoint-capture pass
+//!   ([`ScenarioRunner::run_seed_checkpointed`]) snapshots the complete
+//!   simulator state every `K` slots while running in fast aggregate
+//!   mode;
+//! * a [`WindowReplayer`] resumes from the nearest checkpoint at or
+//!   before `lo` and replays forward, streaming the window's
+//!   [`SlotRecord`]s into a [`WindowTrace`] — seconds of work for any
+//!   window, wherever it sits in the run;
+//! * replayed windows land in a byte-bounded LRU [`WindowCache`], and
+//!   independent windows replay in parallel on the existing
+//!   work-stealing pool ([`replicate`](crate::scenario::replicate()));
+//! * [`CheckpointHandle`]s persist the rebuild recipe (spec + seed +
+//!   checkpoint digests) through the service layer's atomic-write
+//!   discipline, so `benchctl window` answers queries against jobs that
+//!   finished in an earlier daemon life.
+//!
+//! # Fidelity contract
+//!
+//! Determinism does the heavy lifting: a run is a pure function of its
+//! spec and seed, checkpointed runs always advance chunk by chunk
+//! ([`ScenarioRunner::advance_chunk`]), and a resumed simulator is
+//! bit-identical to the uninterrupted original under that chunking. On
+//! top of that the layer *verifies* rather than trusts: every checkpoint
+//! carries an FNV-1a state digest, replays cross-check the digest at
+//! each checkpoint boundary they pass
+//! ([`ReplayError::FingerprintMismatch`] on divergence), and every
+//! window carries a [`window_fingerprint`] so two materializations of
+//! the same window can be compared byte-for-byte by comparing one u64.
+//!
+//! [`ScenarioRunner::run_seed_checkpointed`]: crate::scenario::ScenarioRunner::run_seed_checkpointed
+//! [`ScenarioRunner::advance_chunk`]: crate::scenario::ScenarioRunner::advance_chunk
+//! [`SlotRecord`]: contention_sim::SlotRecord
+
+use contention_sim::{SlotOutcome, SlotRecord};
+
+pub mod cache;
+pub mod replay;
+pub mod store;
+
+pub use cache::WindowCache;
+pub use replay::{ReplayError, WindowReplayer, WindowTrace};
+pub use store::CheckpointHandle;
+
+/// Default checkpoint spacing when a spec carries no policy of its own:
+/// 64k slots, so a window replay costs at most one chunk of overshoot.
+pub const DEFAULT_CHUNK: u64 = 1 << 16;
+
+/// Default byte budget for a replayer's window cache (64 MiB).
+pub const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
+
+/// FNV-1a over a stream of u64s, folded little-endian byte by byte —
+/// the same folding [`Snapshot::digest`](contention_sim::Snapshot::digest)
+/// uses for simulator state.
+pub(crate) fn fnv1a(values: impl Iterator<Item = u64>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// FNV-1a fingerprint of a slot window: folds the starting slot and
+/// every field of every record (outcome included), so two windows agree
+/// on the fingerprint iff they are byte-identical and cover the same
+/// slots.
+pub fn window_fingerprint(lo: u64, records: &[SlotRecord]) -> u64 {
+    fnv1a(std::iter::once(lo).chain(records.iter().flat_map(|r| {
+        let (tag, payload) = match r.outcome {
+            SlotOutcome::Silence => (0, 0),
+            SlotOutcome::Delivered(id) => (1, id.raw()),
+            SlotOutcome::Collision { broadcasters } => (2, u64::from(broadcasters)),
+            SlotOutcome::Jammed { broadcasters } => (3, u64::from(broadcasters)),
+        };
+        [
+            u64::from(r.arrivals),
+            u64::from(r.broadcasters),
+            u64::from(r.jammed),
+            u64::from(r.active),
+            r.population,
+            tag,
+            payload,
+        ]
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_sim::NodeId;
+
+    fn rec(arrivals: u32, outcome: SlotOutcome) -> SlotRecord {
+        SlotRecord {
+            arrivals,
+            broadcasters: 1,
+            jammed: false,
+            active: true,
+            population: 3,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_offset_and_content() {
+        let a = [
+            rec(1, SlotOutcome::Silence),
+            rec(0, SlotOutcome::Delivered(NodeId::new(7))),
+        ];
+        let b = [
+            rec(1, SlotOutcome::Silence),
+            rec(0, SlotOutcome::Delivered(NodeId::new(8))),
+        ];
+        assert_eq!(window_fingerprint(10, &a), window_fingerprint(10, &a));
+        assert_ne!(window_fingerprint(10, &a), window_fingerprint(11, &a));
+        assert_ne!(window_fingerprint(10, &a), window_fingerprint(10, &b));
+        assert_ne!(
+            window_fingerprint(10, &a[..1]),
+            window_fingerprint(10, &a),
+            "length is part of the fingerprint"
+        );
+    }
+}

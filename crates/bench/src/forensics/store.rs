@@ -1,0 +1,252 @@
+//! Durable checkpoint handles: the rebuild recipe for a replayer.
+//!
+//! Snapshots themselves never touch disk — they hold live RNG cores and
+//! boxed protocol state, and determinism makes persisting them
+//! unnecessary. What persists is the *recipe*: the scenario spec (policy
+//! included), the roster index, the seed, and the capture pass's
+//! `(slot, digest)` fingerprint trail. [`CheckpointHandle::rebuild`]
+//! re-runs the capture and cross-checks every digest, so a handle
+//! written by one daemon life answers window queries in the next — or
+//! fails loudly if the code has drifted out from under it.
+
+use std::io;
+use std::path::Path;
+
+use crate::scenario::{Json, ScenarioSpec, SpecError};
+
+use super::replay::{ReplayError, WindowReplayer};
+
+/// Why a handle could not be saved, loaded, or rebuilt.
+#[derive(Debug)]
+pub enum HandleError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file is not a handle (or was written by an incompatible
+    /// version).
+    Spec(SpecError),
+    /// The rebuilt capture diverged from the stored fingerprint trail.
+    Replay(ReplayError),
+    /// The rebuilt capture ran a different shape (slot count, drain
+    /// status, or checkpoint count) than the handle recorded.
+    Shape {
+        /// What the handle recorded.
+        expected: String,
+        /// What the rebuild produced.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for HandleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandleError::Io(e) => write!(f, "checkpoint handle I/O: {e}"),
+            HandleError::Spec(e) => write!(f, "malformed checkpoint handle: {e}"),
+            HandleError::Replay(e) => write!(f, "checkpoint handle rebuild: {e}"),
+            HandleError::Shape { expected, actual } => write!(
+                f,
+                "checkpoint handle rebuild produced a different run shape: \
+                 handle recorded {expected}, rebuild produced {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HandleError {}
+
+impl From<io::Error> for HandleError {
+    fn from(e: io::Error) -> Self {
+        HandleError::Io(e)
+    }
+}
+
+impl From<SpecError> for HandleError {
+    fn from(e: SpecError) -> Self {
+        HandleError::Spec(e)
+    }
+}
+
+impl From<ReplayError> for HandleError {
+    fn from(e: ReplayError) -> Self {
+        HandleError::Replay(e)
+    }
+}
+
+/// The durable rebuild recipe for one (scenario, algorithm, seed)
+/// capture: everything needed to reconstruct a [`WindowReplayer`] in a
+/// fresh process and prove the reconstruction walks the same trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointHandle {
+    /// The scenario, checkpoint policy included.
+    pub scenario: ScenarioSpec,
+    /// Roster index into `scenario.algos`.
+    pub algo: usize,
+    /// The seed of the captured run.
+    pub seed: u64,
+    /// Slots the captured run executed.
+    pub slots: u64,
+    /// Whether the captured run drained.
+    pub drained: bool,
+    /// `(slot, digest)` per checkpoint, ascending.
+    pub digests: Vec<(u64, u64)>,
+}
+
+/// u64 as a fixed-width hex string. Digests (and seeds) use the full
+/// 64-bit range; the JSON layer's f64-backed numbers only cover 2⁵³.
+fn hex(v: u64) -> Json {
+    Json::Str(format!("{v:016x}"))
+}
+
+fn from_hex(j: &Json) -> Result<u64, SpecError> {
+    let s = j.as_str()?;
+    u64::from_str_radix(s, 16).map_err(|_| SpecError::new(format!("expected hex u64, got `{s}`")))
+}
+
+impl CheckpointHandle {
+    /// Serialize to the hand-rolled JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str("checkpoint-handle".into())),
+            ("scenario", self.scenario.to_json()),
+            ("algo", Json::u64(self.algo as u64)),
+            ("seed", hex(self.seed)),
+            ("slots", Json::u64(self.slots)),
+            ("drained", Json::Bool(self.drained)),
+            (
+                "digests",
+                Json::Arr(
+                    self.digests
+                        .iter()
+                        .map(|&(slot, digest)| Json::Arr(vec![Json::u64(slot), hex(digest)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse back from [`to_json`](Self::to_json) output.
+    pub fn from_json(j: &Json) -> Result<CheckpointHandle, SpecError> {
+        if j.kind()? != "checkpoint-handle" {
+            return Err(SpecError::new("expected kind `checkpoint-handle`"));
+        }
+        let digests = j
+            .get("digests")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_arr()?;
+                if pair.len() != 2 {
+                    return Err(SpecError::new("digest entry must be [slot, digest]"));
+                }
+                Ok((pair[0].as_u64()?, from_hex(&pair[1])?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CheckpointHandle {
+            scenario: ScenarioSpec::from_json(j.get("scenario")?)?,
+            algo: j.get("algo")?.as_u64()? as usize,
+            seed: from_hex(j.get("seed")?)?,
+            slots: j.get("slots")?.as_u64()?,
+            drained: j.get("drained")?.as_bool()?,
+            digests,
+        })
+    }
+
+    /// Write atomically (temp file + rename), the service layer's
+    /// durability discipline.
+    pub fn save(&self, path: &Path) -> Result<(), HandleError> {
+        let mut text = self.to_json().render();
+        text.push('\n');
+        crate::service::write_atomic(path, &text)?;
+        Ok(())
+    }
+
+    /// Load a handle previously [`save`](Self::save)d.
+    pub fn load(path: &Path) -> Result<CheckpointHandle, HandleError> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(CheckpointHandle::from_json(&Json::parse(&text)?)?)
+    }
+
+    /// Re-run the capture pass and verify it reproduces this handle's
+    /// trajectory — every checkpoint digest, the slot count, and the
+    /// drain status must match. Returns the live replayer on success.
+    pub fn rebuild(&self) -> Result<WindowReplayer, HandleError> {
+        let replayer = WindowReplayer::capture(self.scenario.clone(), self.algo, self.seed)?;
+        let shape = |slots: u64, drained: bool, checkpoints: usize| {
+            format!("{slots} slots, drained={drained}, {checkpoints} checkpoints")
+        };
+        if replayer.slots() != self.slots
+            || replayer.drained() != self.drained
+            || replayer.digests().len() != self.digests.len()
+        {
+            return Err(HandleError::Shape {
+                expected: shape(self.slots, self.drained, self.digests.len()),
+                actual: shape(
+                    replayer.slots(),
+                    replayer.drained(),
+                    replayer.digests().len(),
+                ),
+            });
+        }
+        for (&(slot, expected), &(reslot, actual)) in self.digests.iter().zip(replayer.digests()) {
+            if slot != reslot || expected != actual {
+                return Err(HandleError::Replay(ReplayError::FingerprintMismatch {
+                    slot,
+                    expected,
+                    actual,
+                }));
+            }
+        }
+        Ok(replayer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AlgoSpec;
+
+    fn handle() -> CheckpointHandle {
+        let spec = ScenarioSpec::batch(8, 0.2)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .fixed_horizon(300)
+            .aggregate_only()
+            .checkpoint_every(100);
+        WindowReplayer::capture(spec, 0, 5)
+            .expect("capture")
+            .handle()
+    }
+
+    #[test]
+    fn handle_round_trips_through_json() {
+        let h = handle();
+        let text = h.to_json().render();
+        let back = CheckpointHandle::from_json(&Json::parse(&text).expect("parse")).expect("from");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn handle_persists_and_rebuilds() {
+        let h = handle();
+        let dir = std::env::temp_dir().join(format!("ckpt-handle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cell0-algo0-seed5.json");
+        h.save(&path).expect("save");
+        let loaded = CheckpointHandle::load(&path).expect("load");
+        assert_eq!(loaded, h);
+        let replayer = loaded
+            .rebuild()
+            .expect("rebuild must reproduce the trajectory");
+        assert_eq!(replayer.slots(), h.slots);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebuild_detects_tampered_digests() {
+        let mut h = handle();
+        let last = h.digests.len() - 1;
+        h.digests[last].1 ^= 1;
+        match h.rebuild() {
+            Err(HandleError::Replay(ReplayError::FingerprintMismatch { .. })) => {}
+            other => panic!("tampered handle must fail rebuild, got {other:?}"),
+        }
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod args;
 pub mod campaign;
+pub mod forensics;
 pub mod scenario;
 pub mod service;
 

@@ -12,8 +12,8 @@ use std::fmt;
 use contention_sim::Execution;
 
 use super::spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
-    HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CheckpointPolicy,
+    CurveSpec, GSpec, HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
 };
 
 /// Error raised while parsing or interpreting a spec document.
@@ -877,6 +877,12 @@ impl ScenarioSpec {
             ("history_retention", Json::opt_u64(self.history_retention)),
             ("channel", channel_to_json(&self.channel)),
             ("execution", Json::Str(self.execution.name().into())),
+            (
+                "checkpoint",
+                self.checkpoint.map_or(Json::Null, |c| {
+                    Json::obj(vec![("every", Json::u64(c.every))])
+                }),
+            ),
         ])
     }
 
@@ -955,6 +961,13 @@ impl ScenarioSpec {
                     })?
                 }
                 Err(_) => Execution::Exact,
+            },
+            // Likewise: documents predating checkpoints have none.
+            checkpoint: match j.get("checkpoint") {
+                Ok(Json::Null) | Err(_) => None,
+                Ok(c) => Some(CheckpointPolicy {
+                    every: c.get("every")?.as_u64()?,
+                }),
             },
         })
     }

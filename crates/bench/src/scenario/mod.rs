@@ -40,9 +40,10 @@ pub mod spec;
 pub use json::{Json, SpecError};
 pub use registry::{entries, lookup, names, RegistryEntry};
 pub use runner::{
-    replicate, run_batch, run_batch_light, AlgoReport, ScenarioReport, ScenarioRunner, TrialOutcome,
+    replicate, run_batch, run_batch_light, AlgoReport, CheckpointedTrial, FootprintError,
+    ScenarioReport, ScenarioRunner, TrialOutcome, DEFAULT_RECORD_CAP_BYTES,
 };
 pub use spec::{
-    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CurveSpec, GSpec,
-    HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
+    AdversarySpec, AlgoSpec, ArrivalSpec, BaselineSpec, BudgetSpec, ChannelSpec, CheckpointPolicy,
+    CurveSpec, GSpec, HorizonSpec, JammingSpec, ParamsSpec, RecordMode, ScenarioSpec, SmoothSpec,
 };

@@ -9,10 +9,47 @@
 
 use contention_sim::adversary::Adversary;
 use contention_sim::lanes::{lane_eligible, LaneSimulator, LANES};
-use contention_sim::{SimConfig, Simulator, StopReason, Trace};
+use contention_sim::SlotRecord;
+use contention_sim::{SimConfig, Simulator, Snapshot, SnapshotError, StopReason, Trace};
 
 use super::registry;
 use super::spec::{AlgoSpec, HorizonSpec, RecordMode, ScenarioSpec};
+
+/// Default cap on the estimated in-memory slot-record footprint of a
+/// full-record run: 1 GiB. Runs estimated above the cap are refused with
+/// a [`FootprintError`] pointing at window replay; raise or lower it per
+/// runner with [`ScenarioRunner::record_cap_bytes`].
+pub const DEFAULT_RECORD_CAP_BYTES: u64 = 1 << 30;
+
+/// A full-record run was refused because its estimated slot-record
+/// footprint exceeds the runner's cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintError {
+    /// Scenario name, for the message.
+    pub name: String,
+    /// Estimated bytes of stored slot records across the whole run.
+    pub estimated: u64,
+    /// The configured cap.
+    pub cap: u64,
+}
+
+impl std::fmt::Display for FootprintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario `{}`: a full-record run would store an estimated {} MiB of slot \
+             records (cap {} MiB); run aggregate-only with a checkpoint policy and \
+             replay just the slots you need (`scenarios {} --window LO..HI`), or raise \
+             the cap with ScenarioRunner::record_cap_bytes",
+            self.name,
+            self.estimated >> 20,
+            self.cap >> 20,
+            self.name,
+        )
+    }
+}
+
+impl std::error::Error for FootprintError {}
 
 /// Outcome of one simulation trial.
 #[derive(Debug, Clone)]
@@ -165,16 +202,36 @@ pub struct ScenarioReport {
     pub algos: Vec<AlgoReport>,
 }
 
+/// One (algorithm, seed) trial run in checkpoint-capture mode: the
+/// outcome plus every [`Snapshot`] taken along the way (slot 0 included),
+/// in slot order. Produced by
+/// [`ScenarioRunner::run_seed_checkpointed`]; consumed by the forensics
+/// layer's window replayer.
+#[derive(Debug)]
+pub struct CheckpointedTrial {
+    /// The seed that ran.
+    pub seed: u64,
+    /// The trial outcome (aggregate trace; per-slot records are never
+    /// stored on the checkpointed path — replay a window instead).
+    pub outcome: TrialOutcome,
+    /// Snapshots at slot 0 and at every chunk boundary the run crossed.
+    pub snapshots: Vec<Snapshot<AlgoSpec>>,
+}
+
 /// Executes [`ScenarioSpec`]s.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
     spec: ScenarioSpec,
+    record_cap: u64,
 }
 
 impl ScenarioRunner {
     /// Runner for a spec.
     pub fn new(spec: ScenarioSpec) -> Self {
-        ScenarioRunner { spec }
+        ScenarioRunner {
+            spec,
+            record_cap: DEFAULT_RECORD_CAP_BYTES,
+        }
     }
 
     /// Runner for a named registry scenario (see
@@ -191,6 +248,52 @@ impl ScenarioRunner {
     /// Recover the spec.
     pub fn into_spec(self) -> ScenarioSpec {
         self.spec
+    }
+
+    /// Override the full-record footprint cap
+    /// ([`DEFAULT_RECORD_CAP_BYTES`] by default). `u64::MAX` disables the
+    /// guard entirely.
+    pub fn record_cap_bytes(mut self, bytes: u64) -> Self {
+        self.record_cap = bytes;
+        self
+    }
+
+    /// Estimated bytes of slot records a full roster run would store:
+    /// `algos × seeds × horizon-cap × sizeof(SlotRecord)`. Zero in
+    /// aggregate mode (nothing is stored). An upper-bound estimate —
+    /// drained runs stop early — which is exactly what a memory guard
+    /// wants.
+    pub fn estimated_record_bytes(&self) -> u64 {
+        match self.spec.record {
+            RecordMode::Aggregate => 0,
+            RecordMode::Full => self
+                .spec
+                .horizon
+                .cap()
+                .saturating_mul(std::mem::size_of::<SlotRecord>() as u64)
+                .saturating_mul(self.spec.seeds)
+                .saturating_mul(self.spec.algos.len().max(1) as u64),
+        }
+    }
+
+    /// The guard rail: refuse full-record runs whose estimated
+    /// slot-record footprint exceeds the configured cap. [`run`] and
+    /// [`run_algo`] enforce this (panicking with the error's message);
+    /// [`try_run`] surfaces it as a `Result` for CLIs.
+    ///
+    /// [`run`]: Self::run
+    /// [`run_algo`]: Self::run_algo
+    /// [`try_run`]: Self::try_run
+    pub fn check_record_footprint(&self) -> Result<(), FootprintError> {
+        let estimated = self.estimated_record_bytes();
+        if estimated > self.record_cap {
+            return Err(FootprintError {
+                name: self.spec.name.clone(),
+                estimated,
+                cap: self.record_cap,
+            });
+        }
+        Ok(())
     }
 
     fn config(&self, seed: u64) -> SimConfig {
@@ -279,7 +382,34 @@ impl ScenarioRunner {
     }
 
     /// Run one (algorithm, seed) pair under the scenario's horizon policy.
+    ///
+    /// With a [`CheckpointPolicy`](super::spec::CheckpointPolicy) on the spec, the run advances in
+    /// `every`-slot chunks through the streaming path instead — the exact
+    /// call pattern checkpoint capture and window replay use — so sparse
+    /// (`SkipAhead`) trajectories are identical across plain runs,
+    /// capture passes and replays. On that path per-slot records are
+    /// never stored (replay a window for full fidelity) and drain is
+    /// detected at chunk boundaries.
     pub fn run_seed(&self, algo: &AlgoSpec, seed: u64) -> TrialOutcome {
+        if let Some(policy) = self.spec.checkpoint {
+            let mut sim = self.sim(algo, seed);
+            let drain_bounded = matches!(self.spec.horizon, HorizonSpec::UntilDrained { .. });
+            loop {
+                if self.advance_chunk(&mut sim, policy.every, |_, _| {}) == 0 {
+                    break;
+                }
+                if drain_bounded && sim.active_count() == 0 && sim.adversary().exhausted() {
+                    break;
+                }
+            }
+            let drained = sim.active_count() == 0 && sim.adversary().exhausted();
+            let slots = sim.current_slot();
+            return TrialOutcome {
+                trace: sim.into_trace(),
+                slots,
+                drained,
+            };
+        }
         let mut sim = self.sim(algo, seed);
         let drained = match self.spec.horizon {
             HorizonSpec::UntilDrained { max_slots } => {
@@ -298,14 +428,107 @@ impl ScenarioRunner {
         }
     }
 
+    /// Advance `sim` to the next checkpoint chunk boundary (the next
+    /// multiple of `every`, clipped at the horizon cap), streaming each
+    /// slot's record to `observe`. Returns the slots advanced; 0 means
+    /// the horizon cap is reached.
+    ///
+    /// This is **the** chunk-advancement primitive: checkpointed runs,
+    /// capture passes and window replays all route through it, which is
+    /// what pins the sparse engine (whose trajectory depends on each run
+    /// call's end bound) to one reproducible trajectory per (spec, seed).
+    pub fn advance_chunk<A: Adversary>(
+        &self,
+        sim: &mut Simulator<AlgoSpec, A>,
+        every: u64,
+        observe: impl FnMut(u64, &SlotRecord),
+    ) -> u64 {
+        let cap = self.spec.horizon.cap();
+        let pos = sim.current_slot();
+        if pos >= cap {
+            return 0;
+        }
+        let next = (pos / every + 1).saturating_mul(every);
+        let chunk = next.min(cap) - pos;
+        sim.run_for_with(chunk, observe);
+        chunk
+    }
+
+    /// Run one (algorithm, seed) pair in checkpoint-capture mode: same
+    /// trajectory and outcome as [`run_seed`](Self::run_seed) with the
+    /// policy set, plus a [`Snapshot`] at slot 0 and at every chunk
+    /// boundary crossed. Fails without side effects if any live
+    /// component is not snapshot-capable.
+    ///
+    /// # Panics
+    ///
+    /// When the spec carries no [`CheckpointPolicy`](super::spec::CheckpointPolicy).
+    pub fn run_seed_checkpointed(
+        &self,
+        algo: &AlgoSpec,
+        seed: u64,
+    ) -> Result<CheckpointedTrial, SnapshotError> {
+        let policy = self
+            .spec
+            .checkpoint
+            .expect("run_seed_checkpointed requires a checkpoint policy on the spec");
+        let mut sim = self.sim(algo, seed);
+        let mut snapshots = vec![sim.snapshot()?];
+        let drain_bounded = matches!(self.spec.horizon, HorizonSpec::UntilDrained { .. });
+        loop {
+            if self.advance_chunk(&mut sim, policy.every, |_, _| {}) == 0 {
+                break;
+            }
+            snapshots.push(sim.snapshot()?);
+            if drain_bounded && sim.active_count() == 0 && sim.adversary().exhausted() {
+                break;
+            }
+        }
+        let drained = sim.active_count() == 0 && sim.adversary().exhausted();
+        let slots = sim.current_slot();
+        Ok(CheckpointedTrial {
+            seed,
+            outcome: TrialOutcome {
+                trace: sim.into_trace(),
+                slots,
+                drained,
+            },
+            snapshots,
+        })
+    }
+
     /// Run one algorithm across all seeds (`seed_base .. seed_base+seeds`,
     /// replicated in parallel).
+    ///
+    /// # Panics
+    ///
+    /// When the full-record footprint guard trips (see
+    /// [`check_record_footprint`](Self::check_record_footprint)).
     pub fn run_algo(&self, algo: &AlgoSpec) -> Vec<TrialOutcome> {
+        if let Err(e) = self.check_record_footprint() {
+            panic!("{e}");
+        }
         self.collect(algo, |_, outcome| outcome)
     }
 
+    /// Run the whole roster, or refuse with a [`FootprintError`] when the
+    /// full-record footprint guard trips.
+    pub fn try_run(&self) -> Result<ScenarioReport, FootprintError> {
+        self.check_record_footprint()?;
+        Ok(self.run())
+    }
+
     /// Run the whole roster.
+    ///
+    /// # Panics
+    ///
+    /// When the full-record footprint guard trips (see
+    /// [`check_record_footprint`](Self::check_record_footprint)); CLIs
+    /// should prefer [`try_run`](Self::try_run).
     pub fn run(&self) -> ScenarioReport {
+        if let Err(e) = self.check_record_footprint() {
+            panic!("{e}");
+        }
         ScenarioReport {
             name: self.spec.name.clone(),
             algos: self
@@ -495,6 +718,65 @@ mod tests {
             assert!(algo.mean_latency().is_some());
             assert!(algo.mean_slots() > 0.0);
         }
+    }
+
+    #[test]
+    fn footprint_guard_refuses_oversized_full_record_runs() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let runner = ScenarioRunner::new(
+            ScenarioSpec::batch(8, 0.0)
+                .algos([algo.clone()])
+                .until_drained(1 << 40),
+        );
+        let err = runner.check_record_footprint().unwrap_err();
+        assert!(err.estimated > err.cap);
+        assert!(err.to_string().contains("--window"), "{err}");
+        assert!(runner.try_run().is_err());
+        // Aggregate mode stores nothing and always passes.
+        let aggregate = ScenarioRunner::new(
+            ScenarioSpec::batch(8, 0.0)
+                .until_drained(1 << 40)
+                .aggregate_only(),
+        );
+        assert_eq!(aggregate.estimated_record_bytes(), 0);
+        assert!(aggregate.check_record_footprint().is_ok());
+        // Raising the cap clears the refusal.
+        assert!(runner
+            .record_cap_bytes(u64::MAX)
+            .check_record_footprint()
+            .is_ok());
+    }
+
+    #[test]
+    fn checkpointed_run_matches_chunked_plain_run() {
+        let algo = AlgoSpec::cjz_constant_jamming();
+        let base = ScenarioSpec::batch(16, 0.2)
+            .algos([algo.clone()])
+            .until_drained(100_000)
+            .aggregate_only();
+        let plain = ScenarioRunner::new(base.clone()).run_seed(&algo, 5);
+        let chunked = ScenarioRunner::new(base.clone().checkpoint_every(64)).run_seed(&algo, 5);
+        // The exact engine is chunk-invariant, so totals agree; the
+        // chunked run only overshoots the drain slot to its boundary.
+        assert!(plain.drained && chunked.drained);
+        assert_eq!(
+            plain.trace.total_successes(),
+            chunked.trace.total_successes()
+        );
+        assert_eq!(chunked.slots % 64, 0, "drain detected at a chunk boundary");
+        assert!(chunked.slots >= plain.slots);
+
+        let trial = ScenarioRunner::new(base.checkpoint_every(64))
+            .run_seed_checkpointed(&algo, 5)
+            .expect("capture");
+        assert_eq!(trial.outcome.slots, chunked.slots);
+        assert_eq!(
+            trial.outcome.trace.total_successes(),
+            chunked.trace.total_successes()
+        );
+        assert!(trial.snapshots.len() >= 2);
+        assert_eq!(trial.snapshots[0].slot(), 0);
+        assert_eq!(trial.snapshots[1].slot(), 64);
     }
 
     #[test]

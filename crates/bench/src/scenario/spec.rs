@@ -557,7 +557,7 @@ pub enum CurveSpec {
 }
 
 impl CurveSpec {
-    fn curve(&self, params: &ProtocolParams) -> Box<dyn Fn(u64) -> f64> {
+    fn curve(&self, params: &ProtocolParams) -> Box<dyn Fn(u64) -> f64 + Send + Sync> {
         match self {
             CurveSpec::Unlimited => Box::new(|_| f64::INFINITY),
             CurveSpec::Constant(cap) => {
@@ -747,6 +747,38 @@ pub enum RecordMode {
     Aggregate,
 }
 
+/// Checkpoint cadence for post-hoc window replay (the forensics layer).
+///
+/// With a policy set, the runner snapshots the complete simulator state
+/// every `every` slots while running in fast aggregate mode, and — to keep
+/// sparse-engine trajectories reproducible — advances every run in
+/// `every`-slot chunks. Any `[lo, hi)` slot window can then be
+/// rematerialized in full record fidelity by replaying from the nearest
+/// checkpoint (see `forensics::WindowReplayer`), bit-identical to an
+/// uninterrupted full-record run of the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot cadence in slots (also the chunk size runs advance in).
+    pub every: u64,
+}
+
+impl CheckpointPolicy {
+    /// Snapshot every `every` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn every(every: u64) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        CheckpointPolicy { every }
+    }
+
+    /// The checkpoint slot at or below `slot` (0 = the pristine start).
+    pub fn floor(&self, slot: u64) -> u64 {
+        slot - slot % self.every
+    }
+}
+
 /// A complete, serializable experiment description.
 ///
 /// Build one with the constructors and builder methods, hand it to a
@@ -785,6 +817,9 @@ pub struct ScenarioSpec {
     /// for static-phase workloads and falls back to exact automatically
     /// when the adversary, channel model, or protocol is slot-adaptive.
     pub execution: Execution,
+    /// Optional checkpoint cadence for post-hoc window replay (`None` =
+    /// no snapshots). See [`CheckpointPolicy`].
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl ScenarioSpec {
@@ -807,6 +842,7 @@ impl ScenarioSpec {
             history_retention: None,
             channel: ChannelSpec::no_collision_detection(),
             execution: Execution::Exact,
+            checkpoint: None,
         }
     }
 
@@ -933,6 +969,13 @@ impl ScenarioSpec {
     /// slot-adaptive workloads.
     pub fn skip_ahead(self) -> Self {
         self.execution(Execution::SkipAhead)
+    }
+
+    /// Snapshot the simulator every `every` slots for post-hoc window
+    /// replay (see [`CheckpointPolicy`]).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint = Some(CheckpointPolicy::every(every));
+        self
     }
 
     /// Materialize the fully wrapped adversary

@@ -28,7 +28,9 @@ use std::sync::Arc;
 
 use crate::args::closest_matches;
 use crate::campaign::{registry as campaigns, to_csv, to_jsonl, SweepSpec};
+use crate::forensics::{CheckpointHandle, WindowReplayer, WindowTrace, DEFAULT_CHUNK};
 use crate::scenario::Json;
+use contention_sim::{Execution, SlotOutcome};
 
 use super::protocol::{JobSource, Request, Response, ResultFormat, SubmitRequest};
 use super::scheduler::{JobSpec, Scheduler};
@@ -271,6 +273,124 @@ impl Inner {
         })
     }
 
+    /// Materialize a full-fidelity slot window of one (cell, algorithm,
+    /// seed) run of a job, replaying from checkpoints.
+    ///
+    /// The first query for a run captures its checkpoints and persists a
+    /// [`CheckpointHandle`] under `jobs/<id>/checkpoints/`; later queries
+    /// — including ones in a later daemon life, against a long-`done`
+    /// job — rebuild from the handle, cross-checking every stored digest
+    /// so a drifted binary fails loudly instead of answering with a
+    /// different trajectory.
+    fn window(
+        &self,
+        id: &str,
+        cell: u64,
+        algo: u64,
+        seed: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Response, ServiceError> {
+        // Jobs that finished in an earlier daemon life carry a terminal
+        // state marker and are not re-registered with the scheduler, but
+        // their manifest is still on disk — window queries against them
+        // are the whole point of persisted checkpoint handles.
+        let sweep = match self.sched.job(id) {
+            Some(job) => job.sweep.clone(),
+            None => {
+                let manifest = self.jobs_dir.join(id).join("job.json");
+                if !manifest.exists() {
+                    return Err(ServiceError::new(format!("unknown job `{id}`")));
+                }
+                let text = fs::read_to_string(&manifest)?;
+                let j = Json::parse(&text).map_err(|e| {
+                    ServiceError::new(format!("unreadable {}: {e}", manifest.display()))
+                })?;
+                j.get("sweep").and_then(SweepSpec::from_json).map_err(|e| {
+                    ServiceError::new(format!("unreadable {}: {e}", manifest.display()))
+                })?
+            }
+        };
+        let cells = sweep.cells();
+        let cell_spec = cells.get(cell as usize).ok_or_else(|| {
+            ServiceError::new(format!(
+                "cell {cell} out of range (grid has {} cells)",
+                cells.len()
+            ))
+        })?;
+        let mut spec = cell_spec.spec.clone();
+        if algo as usize >= spec.algos.len() {
+            return Err(ServiceError::new(format!(
+                "algo {algo} out of range (roster has {})",
+                spec.algos.len()
+            )));
+        }
+        if seed >= spec.seeds {
+            return Err(ServiceError::new(format!(
+                "seed offset {seed} out of range (cell runs {} seeds)",
+                spec.seeds
+            )));
+        }
+        if spec.checkpoint.is_none() {
+            // Sparse trajectories depend on the chunking of the original
+            // run; without a policy on the spec there is no chunking to
+            // reproduce, so a replayed window would not correspond to
+            // the run being investigated. Exact (and bit-parallel, whose
+            // scalar replay runs exact) is chunk-invariant, so a default
+            // policy can be attached after the fact.
+            if spec.execution == Execution::SkipAhead {
+                return Err(ServiceError::new(
+                    "this cell ran with skip-ahead execution and no checkpoint policy; \
+                     its trajectory is chunk-dependent and cannot be replayed post-hoc. \
+                     Re-run the sweep with `checkpoint_every` on the base scenario.",
+                ));
+            }
+            spec = spec.checkpoint_every(DEFAULT_CHUNK);
+        }
+        let run_seed = spec.seed_base + seed;
+        let handle_path = self
+            .jobs_dir
+            .join(id)
+            .join("checkpoints")
+            .join(format!("cell{cell}-algo{algo}-seed{seed}.json"));
+        let mut replayer = if handle_path.exists() {
+            let handle = CheckpointHandle::load(&handle_path)
+                .map_err(|e| ServiceError::new(e.to_string()))?;
+            if handle.scenario != spec || handle.algo != algo as usize || handle.seed != run_seed {
+                return Err(ServiceError::new(format!(
+                    "stored checkpoint handle {} does not match the job's cell spec; \
+                     delete it to re-capture",
+                    handle_path.display()
+                )));
+            }
+            handle
+                .rebuild()
+                .map_err(|e| ServiceError::new(e.to_string()))?
+        } else {
+            let replayer = WindowReplayer::capture(spec, algo as usize, run_seed)
+                .map_err(|e| ServiceError::new(e.to_string()))?;
+            if let Some(parent) = handle_path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            replayer
+                .handle()
+                .save(&handle_path)
+                .map_err(|e| ServiceError::new(e.to_string()))?;
+            replayer
+        };
+        let win = replayer
+            .window(lo, hi)
+            .map_err(|e| ServiceError::new(e.to_string()))?;
+        Ok(Response::Window {
+            id: id.to_string(),
+            lo: win.lo,
+            hi: win.hi,
+            slots: replayer.slots(),
+            fingerprint: format!("{:016x}", win.fingerprint),
+            body: window_csv(&win),
+        })
+    }
+
     fn results(&self, id: &str, format: ResultFormat) -> Result<Response, ServiceError> {
         let job = self
             .sched
@@ -292,6 +412,30 @@ impl Inner {
     }
 }
 
+/// Render one window as CSV, one line per slot.
+fn window_csv(win: &WindowTrace) -> String {
+    let mut out = String::from("slot,arrivals,broadcasters,jammed,active,population,outcome\n");
+    for (i, rec) in win.records.iter().enumerate() {
+        let outcome = match rec.outcome {
+            SlotOutcome::Silence => "silence".to_string(),
+            SlotOutcome::Delivered(node) => format!("delivered:{}", node.raw()),
+            SlotOutcome::Collision { broadcasters } => format!("collision:{broadcasters}"),
+            SlotOutcome::Jammed { broadcasters } => format!("jammed:{broadcasters}"),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            win.lo + i as u64,
+            rec.arrivals,
+            rec.broadcasters,
+            u8::from(rec.jammed),
+            u8::from(rec.active),
+            rec.population,
+            outcome
+        ));
+    }
+    out
+}
+
 fn handle(inner: &Inner, req: &Request) -> Result<Option<Response>, ServiceError> {
     match req {
         Request::Ping => Ok(Some(Response::Ok)),
@@ -304,6 +448,14 @@ fn handle(inner: &Inner, req: &Request) -> Result<Option<Response>, ServiceError
             inner.sched.jobs().iter().map(|j| j.status()).collect(),
         ))),
         Request::Results { id, format } => inner.results(id, *format).map(Some),
+        Request::Window {
+            id,
+            cell,
+            algo,
+            seed,
+            lo,
+            hi,
+        } => inner.window(id, *cell, *algo, *seed, *lo, *hi).map(Some),
         Request::Cancel { id } => match inner.sched.job(id) {
             Some(job) => {
                 inner.sched.cancel(&job);
@@ -520,6 +672,138 @@ mod tests {
         })
         .unwrap();
         drop(daemon);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Window queries replay a done job's cells in full fidelity: the
+    /// first query captures checkpoints and persists a handle, repeat
+    /// queries (the restart path) answer byte-identically from it.
+    #[test]
+    fn window_queries_replay_done_jobs() {
+        let dir = std::env::temp_dir().join(format!("daemon-window-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let daemon = Daemon::bind(DaemonConfig {
+            jobs_dir: dir.join("jobs"),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = daemon.local_addr().unwrap();
+        let server = std::thread::spawn(move || daemon.run().unwrap());
+        let mut c = Client::connect(addr);
+
+        let spec = ScenarioSpec::batch(8, 0.2)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .seeds(1)
+            .until_drained(10_000)
+            .checkpoint_every(64);
+        let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+            source: JobSource::Scenario(spec),
+            id: Some("winjob".into()),
+            priority: 0,
+        })));
+        assert!(matches!(resp, Response::Submitted { .. }), "{resp:?}");
+        let mut watcher = Client::connect(addr);
+        watcher
+            .writer
+            .write_all(
+                format!(
+                    "{}\n",
+                    Request::Events {
+                        id: "winjob".into()
+                    }
+                    .to_line()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        loop {
+            match watcher.read() {
+                Response::Event(e) if e.terminal => {
+                    assert_eq!(e.state, "done");
+                    break;
+                }
+                Response::Event(_) => {}
+                other => panic!("expected event, got {other:?}"),
+            }
+        }
+
+        let query = Request::Window {
+            id: "winjob".into(),
+            cell: 0,
+            algo: 0,
+            seed: 0,
+            lo: 10,
+            hi: 42,
+        };
+        let first = c.call(&query);
+        let (fp1, body1) = match &first {
+            Response::Window {
+                lo,
+                hi,
+                fingerprint,
+                body,
+                ..
+            } => {
+                assert_eq!((*lo, *hi), (10, 42));
+                assert_eq!(body.lines().count(), 33, "header + 32 slots");
+                (fingerprint.clone(), body.clone())
+            }
+            other => panic!("expected window, got {other:?}"),
+        };
+        // The first query persisted the rebuild recipe.
+        assert!(dir
+            .join("jobs/winjob/checkpoints/cell0-algo0-seed0.json")
+            .exists());
+        // A repeat query rebuilds from the handle (digest-checked) and
+        // answers byte-identically.
+        match c.call(&query) {
+            Response::Window {
+                fingerprint, body, ..
+            } => {
+                assert_eq!(fingerprint, fp1);
+                assert_eq!(body, body1);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+        // Out-of-range coordinates fail cleanly.
+        let resp = c.call(&Request::Window {
+            id: "winjob".into(),
+            cell: 9,
+            algo: 0,
+            seed: 0,
+            lo: 1,
+            hi: 2,
+        });
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+
+        assert_eq!(c.call(&Request::Shutdown), Response::Ok);
+        server.join().unwrap();
+
+        // A new daemon life: the job is done (terminal marker, not
+        // re-registered with the scheduler), yet the window query still
+        // answers — manifest from disk, trajectory from the persisted,
+        // digest-checked handle — byte-identical to the first life.
+        let daemon = Daemon::bind(DaemonConfig {
+            jobs_dir: dir.join("jobs"),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = daemon.local_addr().unwrap();
+        let server = std::thread::spawn(move || daemon.run().unwrap());
+        let mut c = Client::connect(addr);
+        match c.call(&query) {
+            Response::Window {
+                fingerprint, body, ..
+            } => {
+                assert_eq!(fingerprint, fp1);
+                assert_eq!(body, body1);
+            }
+            other => panic!("expected window, got {other:?}"),
+        }
+        assert_eq!(c.call(&Request::Shutdown), Response::Ok);
+        server.join().unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

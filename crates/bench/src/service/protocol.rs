@@ -105,6 +105,25 @@ pub enum Request {
         /// Job id.
         id: String,
     },
+    /// Materialize a full-fidelity slot window of one (cell, algorithm,
+    /// seed) run of a job, replayed from checkpoints — works post-hoc
+    /// against `done` jobs, across daemon restarts (the daemon persists
+    /// a checkpoint handle per queried run and cross-checks its digests
+    /// on every rebuild).
+    Window {
+        /// Job id.
+        id: String,
+        /// Grid-order cell index into the job's sweep.
+        cell: u64,
+        /// Roster index into the cell's algorithm list.
+        algo: u64,
+        /// Seed offset within the cell (`0 .. spec.seeds`).
+        seed: u64,
+        /// First slot of the window (1-based).
+        lo: u64,
+        /// One past the last slot.
+        hi: u64,
+    },
     /// Liveness check.
     Ping,
     /// Ask the daemon to exit (journals are already synced per cell).
@@ -186,6 +205,22 @@ pub enum Response {
     },
     /// One streamed progress event.
     Event(JobEvent),
+    /// A materialized slot window.
+    Window {
+        /// Job id.
+        id: String,
+        /// First slot of the window (1-based).
+        lo: u64,
+        /// One past the last slot.
+        hi: u64,
+        /// Slots the captured run executed.
+        slots: u64,
+        /// The window's FNV-1a fingerprint, 16 hex digits — compare two
+        /// materializations of the same window by comparing this string.
+        fingerprint: String,
+        /// The window as CSV (`slot,arrivals,broadcasters,jammed,active,population,outcome`).
+        body: String,
+    },
 }
 
 fn source_to_json(s: &JobSource) -> Json {
@@ -259,6 +294,22 @@ impl Request {
                 ("op", Json::Str("events".into())),
                 ("id", Json::Str(id.clone())),
             ]),
+            Request::Window {
+                id,
+                cell,
+                algo,
+                seed,
+                lo,
+                hi,
+            } => Json::obj(vec![
+                ("op", Json::Str("window".into())),
+                ("id", Json::Str(id.clone())),
+                ("cell", Json::u64(*cell)),
+                ("algo", Json::u64(*algo)),
+                ("seed", Json::u64(*seed)),
+                ("lo", Json::u64(*lo)),
+                ("hi", Json::u64(*hi)),
+            ]),
             Request::Ping => Json::obj(vec![("op", Json::Str("ping".into()))]),
             Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
         }
@@ -296,6 +347,14 @@ impl Request {
             }),
             "events" => Ok(Request::Events {
                 id: j.get("id")?.as_str()?.to_string(),
+            }),
+            "window" => Ok(Request::Window {
+                id: j.get("id")?.as_str()?.to_string(),
+                cell: j.get("cell")?.as_u64()?,
+                algo: j.get("algo")?.as_u64()?,
+                seed: j.get("seed")?.as_u64()?,
+                lo: j.get("lo")?.as_u64()?,
+                hi: j.get("hi")?.as_u64()?,
             }),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
@@ -388,6 +447,22 @@ impl Response {
                 ("kind", Json::Str("event".into())),
                 ("event", event_to_json(e)),
             ]),
+            Response::Window {
+                id,
+                lo,
+                hi,
+                slots,
+                fingerprint,
+                body,
+            } => Json::obj(vec![
+                ("kind", Json::Str("window".into())),
+                ("id", Json::Str(id.clone())),
+                ("lo", Json::u64(*lo)),
+                ("hi", Json::u64(*hi)),
+                ("slots", Json::u64(*slots)),
+                ("fingerprint", Json::Str(fingerprint.clone())),
+                ("body", Json::Str(body.clone())),
+            ]),
         }
     }
 
@@ -427,6 +502,14 @@ impl Response {
                 })
             }
             "event" => Ok(Response::Event(event_from_json(j.get("event")?)?)),
+            "window" => Ok(Response::Window {
+                id: j.get("id")?.as_str()?.to_string(),
+                lo: j.get("lo")?.as_u64()?,
+                hi: j.get("hi")?.as_u64()?,
+                slots: j.get("slots")?.as_u64()?,
+                fingerprint: j.get("fingerprint")?.as_str()?.to_string(),
+                body: j.get("body")?.as_str()?.to_string(),
+            }),
             other => Err(SpecError::new(format!("unknown response kind `{other}`"))),
         }
     }
@@ -488,6 +571,14 @@ mod tests {
         });
         round_trip_request(Request::Cancel { id: "job-3".into() });
         round_trip_request(Request::Events { id: "job-4".into() });
+        round_trip_request(Request::Window {
+            id: "job-5".into(),
+            cell: 3,
+            algo: 1,
+            seed: 12,
+            lo: 8_000_000,
+            hi: 8_000_128,
+        });
         round_trip_request(Request::Ping);
         round_trip_request(Request::Shutdown);
     }
@@ -541,6 +632,14 @@ mod tests {
             label: "batch[jam=0.25]".into(),
             terminal: false,
         }));
+        round_trip_response(Response::Window {
+            id: "job-5".into(),
+            lo: 8_000_000,
+            hi: 8_000_128,
+            slots: 16_777_216,
+            fingerprint: "75032eb0a4d51143".into(),
+            body: "slot,arrivals\n8000000,0\n".into(),
+        });
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::protocol::FSendCount;
 
 const CTRL_PARITY: Parity = Parity::Odd;
 
+#[derive(Clone)]
 enum State {
     /// Phase 2 equivalent: waiting for a control-channel success.
     Sync { backoff: HBackoff<FSendCount> },
@@ -35,6 +36,7 @@ enum State {
 }
 
 /// Oracle node with a global clock.
+#[derive(Clone)]
 pub struct OracleParityProtocol {
     params: ProtocolParams,
     arrival_slot: u64,
@@ -112,6 +114,10 @@ impl OracleParityProtocol {
 impl Protocol for OracleParityProtocol {
     fn name(&self) -> &'static str {
         "cjz-oracle"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action {

@@ -51,6 +51,7 @@ impl SendCount for FSendCount {
     }
 }
 
+#[derive(Clone)]
 enum State {
     One {
         backoff: HBackoff<FSendCount>,
@@ -67,6 +68,7 @@ enum State {
 }
 
 /// The paper's algorithm, one instance per node.
+#[derive(Clone)]
 pub struct CjzProtocol {
     params: ProtocolParams,
     f: FFunction,
@@ -182,6 +184,10 @@ impl CjzProtocol {
 impl Protocol for CjzProtocol {
     fn name(&self) -> &'static str {
         "cjz"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn act(&mut self, local_slot: u64, rng: &mut dyn RngCore) -> Action {

@@ -425,7 +425,11 @@ fn no_wall_clock(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 fn atomic_writes_only(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    if !ctx.rel_path.starts_with("crates/bench/src/service/") {
+    // The service layer persists job artifacts; the forensics layer
+    // persists checkpoint handles. Both promise crash-safe files.
+    if !ctx.rel_path.starts_with("crates/bench/src/service/")
+        && !ctx.rel_path.starts_with("crates/bench/src/forensics/")
+    {
         return;
     }
     // journal.rs IS the durability layer: its File handling defines the
@@ -439,8 +443,9 @@ fn atomic_writes_only(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 rule: "atomic-writes-only",
                 line: ln,
                 message: format!(
-                    "`{pat}` in the service layer can leave torn artifacts on crash; \
-                     write job artifacts via write_atomic() or the Journal"
+                    "`{pat}` in a durability-promising layer can leave torn artifacts \
+                     on crash; write job artifacts and checkpoint handles via \
+                     write_atomic() or the Journal"
                 ),
             });
         }
@@ -688,6 +693,11 @@ mod tests {
         // Outside service/, plain writes are not the journal's business.
         let f = check_file(&ctx("crates/bench/src/campaign/writer.rs", src));
         assert!(!rules_fired(&f).contains(&"atomic-writes-only"));
+        // The forensics layer persists checkpoint handles and makes the
+        // same crash-safety promise.
+        let src = "fn w(p: &std::path::Path) { let _ = std::fs::File::create(p); }\n";
+        let f = check_file(&ctx("crates/bench/src/forensics/store.rs", src));
+        assert!(rules_fired(&f).contains(&"atomic-writes-only"));
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//@ as: crates/bench/src/forensics/fixture.rs
+//@ expect: atomic-writes-only
+// Known-bad: a bare File::create in the forensics layer. Checkpoint
+// handles promise crash-safe persistence; a torn handle would make a
+// later daemon life answer window queries against a half-written
+// rebuild recipe instead of failing loudly.
+
+use std::io::Write;
+
+pub fn save_handle(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(text.as_bytes())
+}

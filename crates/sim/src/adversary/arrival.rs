@@ -60,6 +60,13 @@ pub trait ArrivalProcess {
     fn name(&self) -> &'static str {
         "arrivals"
     }
+
+    /// Checkpoint hook: a boxed deep copy of this process's current state,
+    /// or `None` (the default) when it is not snapshot-capable. The copy
+    /// must continue bit-identically to the original.
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        None
+    }
 }
 
 /// Boxed arrival processes delegate, so spec-driven scenario tables can
@@ -80,6 +87,33 @@ impl ArrivalProcess for Box<dyn ArrivalProcess> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        (**self).try_clone_box()
+    }
+}
+
+/// `Send`-bounded boxes delegate too (checkpoint clones use this shape).
+impl ArrivalProcess for Box<dyn ArrivalProcess + Send> {
+    fn arrivals(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> u32 {
+        (**self).arrivals(slot, history, rng)
+    }
+
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
+    }
+
+    fn next_arrival(&self, from: u64) -> ArrivalForecast {
+        (**self).next_arrival(from)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        (**self).try_clone_box()
     }
 }
 
@@ -102,6 +136,10 @@ impl ArrivalProcess for NoArrivals {
 
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -156,6 +194,10 @@ impl ArrivalProcess for BatchArrival {
 
     fn name(&self) -> &'static str {
         "batch"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -224,6 +266,10 @@ impl ArrivalProcess for PoissonArrival {
     fn name(&self) -> &'static str {
         "poisson"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Periodic bursts: `size` nodes every `period` slots, starting at `phase`,
@@ -286,6 +332,10 @@ impl ArrivalProcess for BurstyArrival {
     fn name(&self) -> &'static str {
         "bursty"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Fully scripted arrivals: an explicit slot → count map.
@@ -339,6 +389,10 @@ impl ArrivalProcess for ScriptedArrival {
 
     fn name(&self) -> &'static str {
         "scripted"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -402,6 +456,10 @@ impl ArrivalProcess for UniformRandomArrival {
 
     fn name(&self) -> &'static str {
         "uniform-random"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -473,6 +531,10 @@ impl ArrivalProcess for SaturatedArrival {
 
     fn name(&self) -> &'static str {
         "saturated"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn ArrivalProcess + Send>> {
+        Some(Box::new(*self))
     }
 }
 

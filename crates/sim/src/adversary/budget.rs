@@ -8,22 +8,28 @@
 //! adversary and clamps its decisions to such curves, so experiments can
 //! drive the system exactly at the critical load.
 
+use std::sync::Arc;
+
 use rand::RngCore;
 
 use crate::adversary::{Adversary, SlotDecision};
 use crate::history::PublicHistory;
 
 /// A cumulative injection budget: at most `curve(t)` nodes in slots `1..=t`.
+///
+/// The curve is shared behind an [`Arc`] so budgets are cheaply cloneable
+/// for checkpoints; it is pure (`Fn`), so sharing never changes behaviour.
+#[derive(Clone)]
 pub struct ArrivalBudget {
-    curve: Box<dyn Fn(u64) -> f64>,
+    curve: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
     used: u64,
 }
 
 impl ArrivalBudget {
     /// Budget defined by an arbitrary non-decreasing curve.
-    pub fn new(curve: impl Fn(u64) -> f64 + 'static) -> Self {
+    pub fn new(curve: impl Fn(u64) -> f64 + Send + Sync + 'static) -> Self {
         ArrivalBudget {
-            curve: Box::new(curve),
+            curve: Arc::new(curve),
             used: 0,
         }
     }
@@ -76,16 +82,19 @@ impl std::fmt::Debug for ArrivalBudget {
 }
 
 /// A cumulative jamming budget: at most `curve(t)` jams in slots `1..=t`.
+///
+/// Cheaply cloneable for checkpoints, like [`ArrivalBudget`].
+#[derive(Clone)]
 pub struct JamBudget {
-    curve: Box<dyn Fn(u64) -> f64>,
+    curve: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
     used: u64,
 }
 
 impl JamBudget {
     /// Budget defined by an arbitrary non-decreasing curve.
-    pub fn new(curve: impl Fn(u64) -> f64 + 'static) -> Self {
+    pub fn new(curve: impl Fn(u64) -> f64 + Send + Sync + 'static) -> Self {
         JamBudget {
-            curve: Box::new(curve),
+            curve: Arc::new(curve),
             used: 0,
         }
     }
@@ -180,6 +189,15 @@ impl<Inner: Adversary> Adversary for BudgetedAdversary<Inner> {
 
     fn name(&self) -> &'static str {
         "budgeted"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        let inner = self.inner.try_clone_box()?;
+        Some(Box::new(BudgetedAdversary {
+            inner,
+            arrivals: self.arrivals.clone(),
+            jams: self.jams.clone(),
+        }))
     }
 }
 

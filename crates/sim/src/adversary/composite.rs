@@ -73,6 +73,12 @@ impl<A: ArrivalProcess, J: JammingStrategy> Adversary for CompositeAdversary<A, 
     fn name(&self) -> &'static str {
         "composite"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        let arrivals = self.arrivals.try_clone_box()?;
+        let jamming = self.jamming.try_clone_box()?;
+        Some(Box::new(CompositeAdversary { arrivals, jamming }))
+    }
 }
 
 impl<A: std::fmt::Debug, J: std::fmt::Debug> std::fmt::Debug for CompositeAdversary<A, J> {

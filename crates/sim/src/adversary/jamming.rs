@@ -51,6 +51,13 @@ pub trait JammingStrategy {
     fn name(&self) -> &'static str {
         "jamming"
     }
+
+    /// Checkpoint hook: a boxed deep copy of this strategy's current state,
+    /// or `None` (the default) when it is not snapshot-capable. The copy
+    /// must continue bit-identically to the original.
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        None
+    }
 }
 
 /// Boxed jamming strategies delegate, so spec-driven scenario tables can
@@ -67,6 +74,29 @@ impl JammingStrategy for Box<dyn JammingStrategy> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        (**self).try_clone_box()
+    }
+}
+
+/// `Send`-bounded boxes delegate too (checkpoint clones use this shape).
+impl JammingStrategy for Box<dyn JammingStrategy + Send> {
+    fn jam(&mut self, slot: u64, history: &PublicHistory, rng: &mut dyn RngCore) -> bool {
+        (**self).jam(slot, history, rng)
+    }
+
+    fn jam_span(&self, from: u64) -> JamForecast {
+        (**self).jam_span(from)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        (**self).try_clone_box()
     }
 }
 
@@ -88,6 +118,10 @@ impl JammingStrategy for NoJamming {
 
     fn name(&self) -> &'static str {
         "none"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -122,6 +156,10 @@ impl JammingStrategy for RandomJamming {
 
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -171,6 +209,10 @@ impl JammingStrategy for PeriodicJamming {
     fn name(&self) -> &'static str {
         "periodic"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Jams every slot in `[1, until]` — the prefix-jamming attack that defeats
@@ -211,6 +253,10 @@ impl JammingStrategy for FrontLoadedJamming {
     fn name(&self) -> &'static str {
         "front-loaded"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Adaptive strategy: after every observed success, jam the next `burst`
@@ -248,6 +294,10 @@ impl JammingStrategy for ReactiveJamming {
 
     fn name(&self) -> &'static str {
         "reactive"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -337,6 +387,10 @@ impl JammingStrategy for GilbertElliottJamming {
     fn name(&self) -> &'static str {
         "gilbert-elliott"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// Jams exactly the scripted set of slots.
@@ -385,6 +439,10 @@ impl JammingStrategy for ScriptedJamming {
 
     fn name(&self) -> &'static str {
         "scripted"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn JammingStrategy + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

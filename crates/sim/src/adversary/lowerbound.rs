@@ -29,7 +29,7 @@ use crate::history::PublicHistory;
 /// The Lemma 4.1 workload over a horizon of `t` slots: `batch_per_slot`
 /// nodes in each of the first `⌊√t⌋` slots plus `random_total` nodes at
 /// uniformly random slots of `[1, t]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Lemma41Adversary {
     horizon: u64,
     sqrt_horizon: u64,
@@ -94,11 +94,15 @@ impl Adversary for Lemma41Adversary {
     fn name(&self) -> &'static str {
         "lemma-4.1"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// The Theorem 1.3 adversary over horizon `t`: one node at slot 1, jam
 /// `[1, prefix]`, jam `extra` random slots of `(prefix, t]`, jam slot `t`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Theorem13Adversary {
     horizon: u64,
     prefix: u64,
@@ -179,11 +183,15 @@ impl Adversary for Theorem13Adversary {
     fn name(&self) -> &'static str {
         "theorem-1.3"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// The Theorem 4.2 adversary over horizon `t`: jam `[1, prefix]` and slot
 /// `t`; inject 2 nodes at slot 1 and `final_crowd` nodes at slot `t`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Theorem42Adversary {
     horizon: u64,
     prefix: u64,
@@ -240,6 +248,10 @@ impl Adversary for Theorem42Adversary {
 
     fn name(&self) -> &'static str {
         "theorem-4.2"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

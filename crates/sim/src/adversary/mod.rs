@@ -137,6 +137,16 @@ pub trait Adversary {
     fn name(&self) -> &'static str {
         "adversary"
     }
+
+    /// Checkpoint hook: a boxed deep copy of this adversary's current
+    /// state, or `None` (the default) when the adversary is not
+    /// snapshot-capable. Implementations that are `Clone` should return
+    /// `Some(Box::new(self.clone()))`; the copy must continue
+    /// bit-identically to the original. The `Send` bound lets snapshots
+    /// move to replay workers.
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        None
+    }
 }
 
 /// Boxed adversaries delegate, so heterogeneous scenario tables can hand
@@ -161,6 +171,38 @@ impl Adversary for Box<dyn Adversary> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        (**self).try_clone_box()
+    }
+}
+
+/// `Send`-bounded boxes delegate too (checkpoint clones use this shape).
+impl Adversary for Box<dyn Adversary + Send> {
+    fn decide(
+        &mut self,
+        slot: u64,
+        history: &PublicHistory,
+        rng: &mut dyn RngCore,
+    ) -> SlotDecision {
+        (**self).decide(slot, history, rng)
+    }
+
+    fn exhausted(&self) -> bool {
+        (**self).exhausted()
+    }
+
+    fn forecast(&self, from: u64) -> Forecast {
+        (**self).forecast(from)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        (**self).try_clone_box()
     }
 }
 
@@ -187,6 +229,10 @@ impl Adversary for NullAdversary {
 
     fn name(&self) -> &'static str {
         "null"
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        Some(Box::new(*self))
     }
 }
 

@@ -14,17 +14,23 @@
 //! two dyadic ones, so this preserves smoothness up to a factor of 2 in the
 //! constants — invisible inside the O(·).
 
+use std::sync::Arc;
+
 use rand::RngCore;
 
 use crate::adversary::{Adversary, SlotDecision};
 use crate::history::PublicHistory;
 
 /// Window budget curves for smoothness.
+///
+/// Curves are shared behind [`Arc`]s so configs are cheaply cloneable for
+/// checkpoints; they are pure (`Fn`), so sharing never changes behaviour.
+#[derive(Clone)]
 pub struct SmoothConfig {
     /// Max arrivals allowed in any suffix window of length `j`.
-    pub arrival_curve: Box<dyn Fn(u64) -> f64>,
+    pub arrival_curve: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
     /// Max jams allowed in any suffix window of length `j`.
-    pub jam_curve: Box<dyn Fn(u64) -> f64>,
+    pub jam_curve: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
 }
 
 impl SmoothConfig {
@@ -36,14 +42,14 @@ impl SmoothConfig {
     /// allowance per window is within the `O(·)` of the smoothness
     /// definition.
     pub fn from_fg(
-        f: impl Fn(u64) -> f64 + 'static,
-        g: impl Fn(u64) -> f64 + 'static,
+        f: impl Fn(u64) -> f64 + Send + Sync + 'static,
+        g: impl Fn(u64) -> f64 + Send + Sync + 'static,
         ca: f64,
         cd: f64,
     ) -> Self {
         SmoothConfig {
-            arrival_curve: Box::new(move |j| (ca * j as f64 / f(j).max(1.0)).max(1.0)),
-            jam_curve: Box::new(move |j| (cd * j as f64 / g(j).max(1.0)).max(1.0)),
+            arrival_curve: Arc::new(move |j| (ca * j as f64 / f(j).max(1.0)).max(1.0)),
+            jam_curve: Arc::new(move |j| (cd * j as f64 / g(j).max(1.0)).max(1.0)),
         }
     }
 }
@@ -156,6 +162,16 @@ impl<Inner: Adversary> Adversary for SmoothAdversary<Inner> {
     fn name(&self) -> &'static str {
         "smooth"
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Adversary + Send>> {
+        let inner = self.inner.try_clone_box()?;
+        Some(Box::new(SmoothAdversary {
+            inner,
+            config: self.config.clone(),
+            cum_arrivals: self.cum_arrivals.clone(),
+            cum_jams: self.cum_jams.clone(),
+        }))
+    }
 }
 
 impl<Inner: std::fmt::Debug> std::fmt::Debug for SmoothAdversary<Inner> {
@@ -185,8 +201,8 @@ mod tests {
         // Any window of length j allows 2j arrivals and 0 jams, so the
         // binding constraint is the length-1 window: 2 arrivals per slot.
         let config = SmoothConfig {
-            arrival_curve: Box::new(|j| 2.0 * j as f64),
-            jam_curve: Box::new(|_j| 0.0),
+            arrival_curve: Arc::new(|j| 2.0 * j as f64),
+            jam_curve: Arc::new(|_j| 0.0),
         };
         let mut adv = SmoothAdversary::new(greedy(), config);
         let h = PublicHistory::new();
@@ -203,8 +219,8 @@ mod tests {
         // Arrivals: at most j in window length j  => at most 1 per slot and
         // the long-run rate is 1/slot.
         let config = SmoothConfig {
-            arrival_curve: Box::new(|j| j as f64),
-            jam_curve: Box::new(|j| (j as f64 / 2.0).max(1.0)),
+            arrival_curve: Arc::new(|j| j as f64),
+            jam_curve: Arc::new(|j| (j as f64 / 2.0).max(1.0)),
         };
         let mut adv = SmoothAdversary::new(greedy(), config);
         let h = PublicHistory::new();

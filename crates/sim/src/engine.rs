@@ -83,14 +83,14 @@ pub enum StopReason {
 /// ```
 pub struct Simulator<F, A> {
     pub(crate) config: SimConfig,
-    seeds: SeedSequence,
+    pub(crate) seeds: SeedSequence,
     pub(crate) factory: F,
     pub(crate) adversary: A,
     pub(crate) adversary_rng: SmallRng,
     pub(crate) history: PublicHistory,
     pub(crate) nodes: Vec<ActiveNode>,
     pub(crate) trace: Trace,
-    next_node: u64,
+    pub(crate) next_node: u64,
     pub(crate) current_slot: u64,
     /// Scratch buffer of broadcaster indices, reused across slots so the
     /// steady-state hot path performs no per-slot heap allocation.

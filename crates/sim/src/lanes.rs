@@ -60,7 +60,7 @@ pub const LANES: usize = 64;
 
 /// A bank of 64 independent xoshiro256++ streams in structure-of-arrays
 /// layout, bit-for-bit compatible with the scalar
-/// [`SmallRng`](rand::rngs::SmallRng): lane `l` seeded from `u64` seed `s`
+/// [`SmallRng`]: lane `l` seeded from `u64` seed `s`
 /// yields exactly the stream of `SmallRng::seed_from_u64(s)`.
 ///
 /// The layout exists so that drawing one `u64` from *every* lane

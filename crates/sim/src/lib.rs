@@ -50,6 +50,7 @@
 
 pub mod adversary;
 pub mod channel;
+pub mod checkpoint;
 pub mod config;
 pub mod dual;
 pub mod engine;
@@ -64,6 +65,7 @@ mod sparse;
 
 pub use adversary::{Adversary, Forecast, SlotDecision};
 pub use channel::ChannelModel;
+pub use checkpoint::{Snapshot, SnapshotError};
 pub use config::{Execution, SimConfig};
 pub use engine::{Simulator, StopReason};
 pub use history::PublicHistory;
@@ -83,6 +85,7 @@ pub mod prelude {
         SlotDecision,
     };
     pub use crate::channel::ChannelModel;
+    pub use crate::checkpoint::{Snapshot, SnapshotError};
     pub use crate::config::{Execution, SimConfig};
     pub use crate::engine::{Simulator, StopReason};
     pub use crate::history::PublicHistory;

@@ -119,12 +119,35 @@ pub struct Trace {
     agg_arrivals: u64,
     agg_jammed: u64,
     agg_active: u64,
+    // Successes delivered before this trace started recording (non-zero
+    // only for traces of simulators resumed from a checkpoint, whose
+    // departure records cover the continuation alone).
+    prior_successes: u64,
 }
 
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A trace resumed from checkpointed aggregates: totals carry on from
+    /// the snapshot, per-slot/departure records cover the continuation.
+    pub(crate) fn resumed(
+        agg_slots: u64,
+        agg_arrivals: u64,
+        agg_jammed: u64,
+        agg_active: u64,
+        prior_successes: u64,
+    ) -> Self {
+        Trace {
+            agg_slots,
+            agg_arrivals,
+            agg_jammed,
+            agg_active,
+            prior_successes,
+            ..Trace::default()
+        }
     }
 
     pub(crate) fn push_slot(&mut self, rec: SlotRecord) {
@@ -211,9 +234,10 @@ impl Trace {
         self.agg_arrivals
     }
 
-    /// Total successes over the whole trace.
+    /// Total successes over the whole trace (including, for resumed
+    /// simulators, successes delivered before the checkpoint).
     pub fn total_successes(&self) -> u64 {
-        self.departures.len() as u64
+        self.prior_successes + self.departures.len() as u64
     }
 
     /// Total jammed slots over the whole trace.

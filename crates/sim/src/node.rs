@@ -241,6 +241,21 @@ pub trait Protocol {
         let _ = (within, rng);
         None
     }
+
+    /// Checkpoint hook: a boxed deep copy of this protocol's current
+    /// state, or `None` (the default) when the protocol is not
+    /// snapshot-capable.
+    ///
+    /// Implementations must return a copy whose future behaviour is
+    /// bit-identical to the original's under the same RNG streams — the
+    /// checkpoint/replay layer ([`crate::checkpoint`]) relies on this to
+    /// make resumed runs indistinguishable from uninterrupted ones. For
+    /// `Clone` protocols this is one line:
+    /// `Some(Box::new(self.clone()))`. The returned box is `Send` so
+    /// snapshots can move to replay workers on other threads.
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        None
+    }
 }
 
 /// Spawns fresh [`Protocol`] instances for nodes injected by the adversary.
@@ -371,6 +386,10 @@ impl Protocol for AlwaysBroadcast {
     ) -> u64 {
         active
     }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(*self))
+    }
 }
 
 /// A trivial protocol that never broadcasts. Useful in tests (a system of
@@ -416,6 +435,10 @@ impl Protocol for NeverBroadcast {
         _active: u64,
     ) -> u64 {
         0
+    }
+
+    fn try_clone_box(&self) -> Option<Box<dyn Protocol + Send>> {
+        Some(Box::new(*self))
     }
 }
 

@@ -64,7 +64,7 @@ use crate::slot::SlotOutcome;
 
 /// Whether the simulator runs sparse, resolved lazily at the first run
 /// call and sticky thereafter.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) enum SparseMode {
     /// Not yet resolved (no run call has happened).
     #[default]
@@ -79,7 +79,7 @@ pub(crate) enum SparseMode {
 const DEAD: u32 = u32::MAX;
 
 /// One node's skip-ahead bookkeeping.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Plan {
     /// Index into the engine's node vector (maintained across
     /// `swap_remove`); [`DEAD`] once the node departed.
@@ -100,7 +100,7 @@ impl Plan {
 }
 
 /// Calendar and per-node plans of an engaged sparse run.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct SparseState {
     /// Scheduled broadcasts: `Reverse((slot, node id, seq))`.
     heap: BinaryHeap<Reverse<(u64, u64, u64)>>,
