@@ -11,6 +11,7 @@
 //! benchctl --port-file benchd.port submit --scenario scenario.json --id mine
 //!
 //! # Observe and manage.
+//! benchctl --port-file benchd.port health              # heartbeat: jobs, active, fault fires
 //! benchctl --port-file benchd.port list
 //! benchctl --port-file benchd.port status job-1
 //! benchctl --port-file benchd.port watch job-1         # streams progress, slots/s, ETA
@@ -27,6 +28,13 @@
 //! `watch` re-attaches to running jobs: it starts from the daemon's
 //! status snapshot and streams events from there, so a disconnected
 //! watcher loses nothing but display time.
+//!
+//! Every connection and call self-heals: connects retry under a capped
+//! binary-exponential backoff with deterministic jitter (the same
+//! window discipline as `crates/backoff`), dropped or torn connections
+//! reconnect and resend idempotent requests, and `watch` silently
+//! re-attaches its event stream (events carry full progress state, so
+//! a re-attach loses nothing).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -35,7 +43,7 @@ use std::time::Instant;
 use contention_bench::campaign::SweepSpec;
 use contention_bench::scenario::ScenarioSpec;
 use contention_bench::service::{
-    JobEvent, JobSource, JobStatusInfo, Request, Response, ResultFormat, SubmitRequest,
+    JobEvent, JobSource, JobStatusInfo, Request, Response, ResultFormat, RetryPolicy, SubmitRequest,
 };
 
 fn fail(msg: &str) -> ! {
@@ -43,48 +51,102 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The client backoff policy, jitter-seeded per process so concurrent
+/// clients hammering one daemon don't march in lockstep.
+fn policy() -> RetryPolicy {
+    RetryPolicy::connect().with_seed(u64::from(std::process::id()))
+}
+
 struct Conn {
+    addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// A transport-level retry happened during the current call (used
+    /// by `submit` to recognize an `already exists` replay as success).
+    retried: bool,
 }
 
 impl Conn {
     fn connect(addr: &str) -> Conn {
-        let stream = TcpStream::connect(addr)
-            .unwrap_or_else(|e| fail(&format!("cannot reach benchd at {addr}: {e}")));
+        let stream = policy()
+            .run(|_| TcpStream::connect(addr))
+            .unwrap_or_else(|e| fail(&format!("cannot reach benchd at {addr} after retries: {e}")));
         Conn {
+            addr: addr.to_string(),
             reader: BufReader::new(stream.try_clone().expect("clone socket")),
             writer: stream,
+            retried: false,
         }
     }
 
-    fn send(&mut self, req: &Request) {
-        self.writer
-            .write_all(format!("{}\n", req.to_line()).as_bytes())
-            .unwrap_or_else(|e| fail(&format!("lost connection to benchd: {e}")));
+    /// One reconnect attempt; on failure the old (broken) socket stays
+    /// in place and the next send/read fails into the retry loop again.
+    fn reconnect_once(&mut self) -> Result<(), String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot reach benchd at {}: {e}", self.addr))?;
+        self.reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        self.writer = stream;
+        Ok(())
     }
 
-    fn read(&mut self) -> Response {
+    fn try_send(&mut self, req: &Request) -> Result<(), String> {
+        self.writer
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .map_err(|e| format!("lost connection to benchd: {e}"))
+    }
+
+    fn try_read(&mut self) -> Result<Response, String> {
         let mut line = String::new();
         let n = self
             .reader
             .read_line(&mut line)
-            .unwrap_or_else(|e| fail(&format!("lost connection to benchd: {e}")));
+            .map_err(|e| format!("lost connection to benchd: {e}"))?;
         if n == 0 {
-            fail("benchd closed the connection");
+            return Err("benchd closed the connection".into());
         }
-        Response::from_line(line.trim_end())
-            .unwrap_or_else(|e| fail(&format!("bad response from benchd: {e}")))
+        Response::from_line(line.trim_end()).map_err(|e| format!("bad response from benchd: {e}"))
     }
 
     /// One request, one response; protocol errors exit 2 (matching the
     /// CLI's unknown-name convention — the daemon embeds `did you mean`
     /// suggestions in the message).
     fn call(&mut self, req: &Request) -> Response {
-        self.send(req);
-        match self.read() {
+        match self.call_raw(req, true) {
             Response::Error { message } => fail(&message),
             resp => resp,
+        }
+    }
+
+    /// Like [`call`](Conn::call) but returns `Response::Error` instead
+    /// of exiting. With `retry`, transport failures (dropped or torn
+    /// connections, injected chaos) reconnect and resend under the
+    /// backoff policy, and a daemon-side `bad request` for a line that
+    /// parsed locally — a torn inbound frame — resends too. Callers
+    /// must only pass `retry` for requests that are safe to replay.
+    fn call_raw(&mut self, req: &Request, retry: bool) -> Response {
+        let policy = policy();
+        self.retried = false;
+        let mut k = 0;
+        loop {
+            match self.try_send(req).and_then(|()| self.try_read()) {
+                Ok(Response::Error { message })
+                    if retry && message.starts_with("bad request:") && k + 1 < policy.attempts =>
+                {
+                    // The daemon saw a torn inbound frame; the
+                    // connection itself is fine, so just resend.
+                    self.retried = true;
+                }
+                Ok(resp) => return resp,
+                Err(e) => {
+                    if !retry || k + 1 >= policy.attempts {
+                        fail(&e);
+                    }
+                    self.retried = true;
+                    std::thread::sleep(policy.delay(k));
+                    let _ = self.reconnect_once();
+                }
+            }
+            k += 1;
         }
     }
 }
@@ -143,62 +205,105 @@ fn submit(conn: &mut Conn, args: &[String]) {
             })
             .unwrap_or(0),
     }));
-    match conn.call(&req) {
+    // Submit is only replay-safe when the caller chose the id: the
+    // daemon's duplicate-directory check turns a resent-but-applied
+    // submit into `already exists`, which we then count as success.
+    // Auto-named submits get a single attempt so a retry can never
+    // silently enqueue the job twice.
+    let explicit_id = grab("--id");
+    match conn.call_raw(&req, explicit_id.is_some()) {
         Response::Submitted { id, units } => println!("submitted {id} ({units} cells)"),
+        Response::Error { message } if conn.retried && message.contains("already exists") => {
+            let id = explicit_id.expect("transport retry implies --id");
+            println!("submitted {id} (accepted on an earlier attempt)");
+        }
+        Response::Error { message } => fail(&message),
         other => fail(&format!("unexpected response: {other:?}")),
     }
 }
 
 /// Stream events, deriving slots/s and an ETA from successive updates.
+///
+/// A dropped connection (daemon restart, socket timeout, injected
+/// chaos) re-attaches under the backoff policy and re-issues the
+/// `Events` request: the re-attach snapshot carries the job's full
+/// progress, so nothing is missed and the observed-rate baseline is
+/// simply re-founded on it.
 fn watch(conn: &mut Conn, id: &str) -> ! {
-    conn.send(&Request::Events { id: id.to_string() });
-    let started = Instant::now();
+    let policy = policy();
+    let mut started = Instant::now();
     let mut base: Option<JobEvent> = None;
-    loop {
-        let event = match conn.read() {
-            Response::Event(e) => e,
-            Response::Error { message } => fail(&message),
-            other => fail(&format!("unexpected response: {other:?}")),
-        };
-        let elapsed = started.elapsed().as_secs_f64();
-        let base = base.get_or_insert_with(|| event.clone());
-        // Rates come from what *this* watcher observed (work since
-        // attach), so re-attaching to a half-done job stays honest.
-        let cells_done = event.done_units.saturating_sub(base.done_units);
-        let rate = if elapsed > 0.0 {
-            (event.slots_done - base.slots_done) / elapsed
-        } else {
-            0.0
-        };
-        let remaining = event.total_units.saturating_sub(event.done_units);
-        let eta = if cells_done > 0 && remaining > 0 {
-            format!(
-                "  ETA {:.0}s",
-                elapsed / cells_done as f64 * remaining as f64
-            )
-        } else {
-            String::new()
-        };
-        println!(
-            "{} {:<9} {:>4}/{:<4} cells  {:>12.0} slots/s{}{}",
-            event.id,
-            event.state,
-            event.done_units,
-            event.total_units,
-            rate,
-            eta,
-            if event.label.is_empty() {
-                String::new()
-            } else {
-                format!("  {}", event.label)
+    let mut failures: u32 = 0;
+    'attach: loop {
+        if let Err(e) = conn.try_send(&Request::Events { id: id.to_string() }) {
+            failures += 1;
+            if failures >= policy.attempts {
+                fail(&format!("lost connection while watching {id}: {e}"));
             }
-        );
-        if event.terminal {
-            std::process::exit(match event.state.as_str() {
-                "done" => 0,
-                "cancelled" => 3,
-                _ => 1,
-            });
+            std::thread::sleep(policy.delay(failures - 1));
+            let _ = conn.reconnect_once();
+            continue 'attach;
+        }
+        loop {
+            let event = match conn.try_read() {
+                Ok(Response::Event(e)) => e,
+                Ok(Response::Error { message }) => fail(&message),
+                Ok(other) => fail(&format!("unexpected response: {other:?}")),
+                Err(e) => {
+                    failures += 1;
+                    if failures >= policy.attempts {
+                        fail(&format!("lost connection while watching {id}: {e}"));
+                    }
+                    std::thread::sleep(policy.delay(failures - 1));
+                    let _ = conn.reconnect_once();
+                    // Re-found the rate baseline on the re-attach
+                    // snapshot: the gap's progress is not ours.
+                    base = None;
+                    started = Instant::now();
+                    continue 'attach;
+                }
+            };
+            failures = 0;
+            let elapsed = started.elapsed().as_secs_f64();
+            let base = base.get_or_insert_with(|| event.clone());
+            // Rates come from what *this* watcher observed (work since
+            // attach), so re-attaching to a half-done job stays honest.
+            let cells_done = event.done_units.saturating_sub(base.done_units);
+            let rate = if elapsed > 0.0 {
+                (event.slots_done - base.slots_done) / elapsed
+            } else {
+                0.0
+            };
+            let remaining = event.total_units.saturating_sub(event.done_units);
+            let eta = if cells_done > 0 && remaining > 0 {
+                format!(
+                    "  ETA {:.0}s",
+                    elapsed / cells_done as f64 * remaining as f64
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "{} {:<9} {:>4}/{:<4} cells  {:>12.0} slots/s{}{}",
+                event.id,
+                event.state,
+                event.done_units,
+                event.total_units,
+                rate,
+                eta,
+                if event.label.is_empty() {
+                    String::new()
+                } else {
+                    format!("  {}", event.label)
+                }
+            );
+            if event.terminal {
+                std::process::exit(match event.state.as_str() {
+                    "done" => 0,
+                    "cancelled" => 3,
+                    _ => 1,
+                });
+            }
         }
     }
 }
@@ -342,17 +447,25 @@ fn main() {
             let id = rest.get(1).unwrap_or_else(|| fail("watch needs a job id"));
             watch(&mut conn, id);
         }
+        Some("health") => match conn.call(&Request::Health) {
+            Response::Health {
+                jobs,
+                active,
+                fault_fires,
+            } => println!("ok: {jobs} job(s), {active} active, {fault_fires} injected fault(s)"),
+            other => fail(&format!("unexpected response: {other:?}")),
+        },
         Some("shutdown") => {
             conn.call(&Request::Shutdown);
             println!("benchd shutting down");
         }
         Some(other) => fail(&format!(
-            "unknown subcommand `{other}` (expected ping, submit, status, list, \
+            "unknown subcommand `{other}` (expected ping, health, submit, status, list, \
              results, window, cancel, watch, or shutdown)"
         )),
         None => fail(
-            "missing subcommand (ping, submit, status, list, results, window, cancel, watch, \
-             shutdown)",
+            "missing subcommand (ping, health, submit, status, list, results, window, cancel, \
+             watch, shutdown)",
         ),
     }
 }

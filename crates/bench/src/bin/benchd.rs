@@ -17,11 +17,12 @@
 //! ```
 //!
 //! Drive it with `benchctl` (`submit`, `status`, `list`, `results`,
-//! `cancel`, `watch`, `shutdown`).
+//! `cancel`, `watch`, `health`, `shutdown`).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
-use contention_bench::service::{Daemon, DaemonConfig};
+use contention_bench::service::{faults, Daemon, DaemonConfig, FaultSchedule};
 
 fn fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -44,7 +45,27 @@ fn main() {
                     .unwrap_or_else(|_| fail(&format!("--threads `{t}` is not a number")))
             })
             .unwrap_or(0),
+        // --io-timeout-ms 0 disables the socket timeouts entirely.
+        io_timeout: match grab("--io-timeout-ms") {
+            None => DaemonConfig::default().io_timeout,
+            Some(ms) => {
+                let ms: u64 = ms
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--io-timeout-ms `{ms}` is not a number")));
+                (ms > 0).then(|| Duration::from_millis(ms))
+            }
+        },
     };
+    // Operational chaos mode: arm the deterministic fault injector for
+    // the daemon's whole life (used by the CI chaos smoke and for
+    // manual resilience drills; never on by default).
+    if let Some(seed) = grab("--chaos-seed") {
+        let seed: u64 = seed
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("--chaos-seed `{seed}` is not a number")));
+        faults::install_global(FaultSchedule::chaos(seed));
+        eprintln!("benchd: CHAOS MODE armed with seed {seed} — faults will be injected");
+    }
     let jobs_dir = config.jobs_dir.clone();
     let daemon =
         Daemon::bind(config).unwrap_or_else(|e| fail(&format!("benchd failed to start: {e}")));

@@ -25,6 +25,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::args::closest_matches;
 use crate::campaign::{registry as campaigns, to_csv, to_jsonl, SweepSpec};
@@ -32,9 +33,10 @@ use crate::forensics::{CheckpointHandle, WindowReplayer, WindowTrace, DEFAULT_CH
 use crate::scenario::Json;
 use contention_sim::{Execution, SlotOutcome};
 
+use super::faults::{self, FaultPoint};
 use super::protocol::{JobSource, Request, Response, ResultFormat, SubmitRequest};
 use super::scheduler::{JobSpec, Scheduler};
-use super::{write_atomic, ServiceError};
+use super::{write_atomic_retrying, ServiceError};
 
 /// Daemon settings.
 #[derive(Debug, Clone)]
@@ -45,6 +47,12 @@ pub struct DaemonConfig {
     pub jobs_dir: PathBuf,
     /// Worker threads; 0 = available parallelism.
     pub threads: usize,
+    /// Socket read/write timeout per connection (`None` = unbounded).
+    /// A stalled or vanished client hits the timeout and its handler
+    /// thread closes the connection instead of wedging forever; the
+    /// client reconnects (`events` re-attach sends a full snapshot, so
+    /// nothing is lost).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for DaemonConfig {
@@ -53,6 +61,7 @@ impl Default for DaemonConfig {
             addr: "127.0.0.1:0".into(),
             jobs_dir: PathBuf::from("jobs"),
             threads: 0,
+            io_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -62,6 +71,7 @@ struct Inner {
     jobs_dir: PathBuf,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    io_timeout: Option<Duration>,
 }
 
 impl std::fmt::Debug for Inner {
@@ -97,6 +107,7 @@ impl Daemon {
             jobs_dir: config.jobs_dir,
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            io_timeout: config.io_timeout,
         });
         inner.resume_unfinished()?;
         Ok(Daemon { listener, inner })
@@ -112,10 +123,19 @@ impl Daemon {
     /// safe, which is the point of the journal.
     pub fn run(&self) -> io::Result<()> {
         for stream in self.listener.incoming() {
+            // The shutdown check runs BEFORE the fault consult, so the
+            // loopback connection that unblocks this loop can never be
+            // eaten by an injected accept drop.
             if self.inner.shutdown.load(Ordering::SeqCst) {
                 return Ok(());
             }
             let stream = stream?;
+            if faults::fire(FaultPoint::DaemonAccept).is_some() {
+                // Drop the fresh connection on the floor: the client
+                // sees a closed socket and reconnects with backoff.
+                drop(stream);
+                continue;
+            }
             let inner = Arc::clone(&self.inner);
             std::thread::spawn(move || {
                 let _ = serve_connection(&inner, stream);
@@ -160,7 +180,7 @@ impl Inner {
                     "benchd: skipping unrecoverable job directory {}: {e}",
                     dir.display()
                 );
-                let _ = write_atomic(
+                let _ = write_atomic_retrying(
                     &dir.join("state"),
                     &format!("failed: unrecoverable at startup: {e}\n"),
                 );
@@ -258,14 +278,27 @@ impl Inner {
             ("priority", Json::i64(req.priority)),
             ("sweep", sweep.to_json()),
         ]);
-        write_atomic(&dir.join("job.json"), &format!("{}\n", manifest.render()))?;
-        let job = self.sched.submit(JobSpec {
+        if let Err(e) =
+            write_atomic_retrying(&dir.join("job.json"), &format!("{}\n", manifest.render()))
+        {
+            // Remove the half-made directory so a client retry of the
+            // same id is not rejected as a duplicate.
+            let _ = fs::remove_dir_all(&dir);
+            return Err(e.into());
+        }
+        let job = match self.sched.submit(JobSpec {
             id: id.clone(),
             sweep,
             priority: req.priority,
-            dir: Some(dir),
+            dir: Some(dir.clone()),
             resume: false,
-        })?;
+        }) {
+            Ok(job) => job,
+            Err(e) => {
+                let _ = fs::remove_dir_all(&dir);
+                return Err(e);
+            }
+        };
         self.sched.activate(&job);
         Ok(Response::Submitted {
             id,
@@ -439,6 +472,18 @@ fn window_csv(win: &WindowTrace) -> String {
 fn handle(inner: &Inner, req: &Request) -> Result<Option<Response>, ServiceError> {
     match req {
         Request::Ping => Ok(Some(Response::Ok)),
+        Request::Health => {
+            let jobs = inner.sched.jobs();
+            let active = jobs
+                .iter()
+                .filter(|j| !matches!(j.status().state.as_str(), "done" | "cancelled" | "failed"))
+                .count() as u64;
+            Ok(Some(Response::Health {
+                jobs: jobs.len() as u64,
+                active,
+                fault_fires: faults::fired_total(),
+            }))
+        }
         Request::Submit(s) => inner.submit(s).map(Some),
         Request::Status { id } => match inner.sched.job(id) {
             Some(job) => Ok(Some(Response::Status(job.status()))),
@@ -469,20 +514,55 @@ fn handle(inner: &Inner, req: &Request) -> Result<Option<Response>, ServiceError
 }
 
 fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    stream.write_all(resp.to_line().as_bytes())?;
-    stream.write_all(b"\n")?;
+    let mut line = resp.to_line();
+    line.push('\n');
+    if let Some(lot) = faults::fire(FaultPoint::DaemonWriteTorn) {
+        // A torn frame cannot be resynced on a line protocol, so the
+        // only safe heal is dropping the connection: write a proper
+        // prefix, then error out of the serve loop (the client
+        // reconnects and retries).
+        let _ = stream.write_all(&line.as_bytes()[..lot.cut(line.len())]);
+        let _ = stream.flush();
+        return Err(faults::injected_error(FaultPoint::DaemonWriteTorn));
+    }
+    stream.write_all(line.as_bytes())?;
     stream.flush()
 }
 
 fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    // A silent client must not pin this thread forever: reads and
+    // writes both carry the configured timeout, and hitting it closes
+    // the connection (clients reconnect; `events` re-attach is lossless
+    // because every event carries full progress state).
+    stream.set_read_timeout(inner.io_timeout)?;
+    stream.set_write_timeout(inner.io_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle past the io timeout: close cleanly.
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        if let Some(lot) = faults::fire(FaultPoint::DaemonReadTorn) {
+            // Torn inbound frame: keep a proper prefix. A truncated
+            // JSON object can never parse as a valid request, so this
+            // surfaces as a `bad request` error the client retries.
+            line.truncate(lot.cut(line.len()));
+        }
+        faults::stall(FaultPoint::DaemonStall);
+        let line = line.trim_end_matches(['\r', '\n']);
         if line.trim().is_empty() {
             continue;
         }
-        let req = match Request::from_line(&line) {
+        let req = match Request::from_line(line) {
             Ok(r) => r,
             Err(e) => {
                 send(
@@ -536,7 +616,6 @@ fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) -> io::Result<()> {
             }
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,460 @@
+//! Deterministic fault injection for the service layer.
+//!
+//! The paper treats interference as a first-class adversary; this module
+//! applies the same discipline to the journal/scheduler/daemon stack. A
+//! [`FaultPoint`] is a named site compiled into a service hot path
+//! (journal append, `write_atomic` rename, daemon accept/read/write,
+//! scheduler tasks). A [`FaultSchedule`] is a seeded, wall-clock-free
+//! description of which points fire: the decision for the n-th arrival
+//! at a point is a pure function of `(schedule seed, point, n)`, so a
+//! chaos run is bit-reproducible given the same arrival sequence — and
+//! the safety property the chaos soak asserts (results byte-identical
+//! to a fault-free run, or a clean quarantine) holds under *any*
+//! thread interleaving.
+//!
+//! Faultpoints are compiled in unconditionally but cost one relaxed
+//! atomic load when no schedule is installed — the disabled-branch
+//! no-op that keeps `perf --check` unaffected. Budgets cap how often
+//! each point may fire, so retry loops always converge and stalls are
+//! bounded: the zero-hang guarantee comes from deterministic caps, not
+//! timeouts.
+//!
+//! detlint's `faultpoint-catalog` rule keeps [`FaultPoint::ALL`] and
+//! the fire sites in sync: a variant missing from `ALL`, an unknown
+//! `FaultPoint::X` use, or a declared-but-never-fired point is an
+//! error.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Named faultpoints compiled into the service hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// [`Journal::create`]'s header write tears after a prefix.
+    ///
+    /// [`Journal::create`]: super::Journal::create
+    JournalHeaderWrite,
+    /// [`Journal::append`]'s line write tears after a prefix.
+    ///
+    /// [`Journal::append`]: super::Journal::append
+    JournalAppendWrite,
+    /// [`Journal::append`]'s fsync fails after a complete write.
+    ///
+    /// [`Journal::append`]: super::Journal::append
+    JournalAppendFsync,
+    /// `write_atomic`'s temp-file write tears after a prefix.
+    AtomicWriteTemp,
+    /// `write_atomic`'s rename into place fails (temp file left behind).
+    AtomicWriteRename,
+    /// The daemon drops a freshly accepted connection on the floor.
+    DaemonAccept,
+    /// The daemon truncates an inbound request line (torn frame).
+    DaemonReadTorn,
+    /// The daemon writes a response prefix, then drops the connection.
+    DaemonWriteTorn,
+    /// A daemon handler stalls for the schedule's bounded stall.
+    DaemonStall,
+    /// A scheduler worker panics mid-task.
+    SchedulerTaskPanic,
+    /// A scheduler worker stalls mid-task for the bounded stall.
+    SchedulerTaskStall,
+}
+
+/// Number of faultpoints in the catalog.
+pub const FAULT_POINT_COUNT: usize = 11;
+
+impl FaultPoint {
+    /// The catalog: every faultpoint, in declaration order. The
+    /// `faultpoint-catalog` detlint rule cross-checks this list against
+    /// the enum and against `FaultPoint::` uses across the service.
+    pub const ALL: [FaultPoint; FAULT_POINT_COUNT] = [
+        FaultPoint::JournalHeaderWrite,
+        FaultPoint::JournalAppendWrite,
+        FaultPoint::JournalAppendFsync,
+        FaultPoint::AtomicWriteTemp,
+        FaultPoint::AtomicWriteRename,
+        FaultPoint::DaemonAccept,
+        FaultPoint::DaemonReadTorn,
+        FaultPoint::DaemonWriteTorn,
+        FaultPoint::DaemonStall,
+        FaultPoint::SchedulerTaskPanic,
+        FaultPoint::SchedulerTaskStall,
+    ];
+
+    /// Stable dotted name, used in injected-error messages and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::JournalHeaderWrite => "journal.header.write",
+            FaultPoint::JournalAppendWrite => "journal.append.write",
+            FaultPoint::JournalAppendFsync => "journal.append.fsync",
+            FaultPoint::AtomicWriteTemp => "write_atomic.temp",
+            FaultPoint::AtomicWriteRename => "write_atomic.rename",
+            FaultPoint::DaemonAccept => "daemon.accept",
+            FaultPoint::DaemonReadTorn => "daemon.read.torn",
+            FaultPoint::DaemonWriteTorn => "daemon.write.torn",
+            FaultPoint::DaemonStall => "daemon.handler.stall",
+            FaultPoint::SchedulerTaskPanic => "scheduler.task.panic",
+            FaultPoint::SchedulerTaskStall => "scheduler.task.stall",
+        }
+    }
+
+    /// Catalog index of this point.
+    fn index(self) -> usize {
+        FaultPoint::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("FaultPoint::ALL lists every variant")
+    }
+}
+
+/// A seeded, wall-clock-free description of which faultpoints fire.
+///
+/// Rates are parts-per-thousand; budgets cap the total fires per point
+/// (the damage bound that makes retry loops converge). The stall
+/// duration bounds how long the two stall points may sleep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Master seed; every fire decision derives from it.
+    pub seed: u64,
+    rates: [u16; FAULT_POINT_COUNT],
+    budgets: [u32; FAULT_POINT_COUNT],
+    stall: Duration,
+}
+
+impl FaultSchedule {
+    /// A schedule that never fires (useful as a builder base).
+    pub fn off() -> FaultSchedule {
+        FaultSchedule {
+            seed: 0,
+            rates: [0; FAULT_POINT_COUNT],
+            budgets: [0; FAULT_POINT_COUNT],
+            stall: Duration::ZERO,
+        }
+    }
+
+    /// The chaos schedule for `seed`: every point fires at a
+    /// seed-derived rate in [5%, 35%) with a budget of 8 fires (stall
+    /// points: 2, to bound wall time). Every eighth seed
+    /// (`seed % 8 == 7`) forces the scheduler panic point to 100% with
+    /// an unlimited budget, so any soak over 8 consecutive seeds
+    /// deterministically exercises the quarantine path.
+    pub fn chaos(seed: u64) -> FaultSchedule {
+        let mut rates = [0u16; FAULT_POINT_COUNT];
+        let mut budgets = [8u32; FAULT_POINT_COUNT];
+        for (i, rate) in rates.iter_mut().enumerate() {
+            *rate = 50 + (mix3(seed, i as u64, u64::MAX) % 300) as u16;
+        }
+        for p in [FaultPoint::DaemonStall, FaultPoint::SchedulerTaskStall] {
+            budgets[p.index()] = 2;
+        }
+        if seed % 8 == 7 {
+            let i = FaultPoint::SchedulerTaskPanic.index();
+            rates[i] = 1000;
+            budgets[i] = u32::MAX;
+        }
+        FaultSchedule {
+            seed,
+            rates,
+            budgets,
+            stall: Duration::from_millis(20),
+        }
+    }
+
+    /// Set one point's fire rate in parts-per-thousand (1000 = always).
+    pub fn rate(mut self, point: FaultPoint, per_mille: u16) -> FaultSchedule {
+        self.rates[point.index()] = per_mille.min(1000);
+        self
+    }
+
+    /// Set one point's fire budget (maximum total fires).
+    pub fn budget(mut self, point: FaultPoint, fires: u32) -> FaultSchedule {
+        self.budgets[point.index()] = fires;
+        self
+    }
+
+    /// Set the bounded stall duration used by the stall points.
+    pub fn stall_for(mut self, d: Duration) -> FaultSchedule {
+        self.stall = d;
+        self
+    }
+
+    /// Fire decision for the `ordinal`-th arrival at `point`: a pure
+    /// function of `(seed, point, ordinal)`.
+    fn decide(&self, point: FaultPoint, ordinal: u64) -> bool {
+        let i = point.index();
+        mix3(self.seed, i as u64, ordinal) % 1000 < u64::from(self.rates[i])
+    }
+}
+
+/// One fired fault: a deterministic draw the site turns into a tear
+/// offset, plus the schedule's bounded stall duration.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultLot {
+    /// 64-bit draw derived from `(seed, point, ordinal)`.
+    pub draw: u64,
+    /// Stall duration for the stall points.
+    pub stall: Duration,
+}
+
+impl FaultLot {
+    /// A cut offset in `0..len` — a strictly proper prefix length for
+    /// torn-write sites (`0` = nothing written, never the full buffer).
+    pub fn cut(&self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            (self.draw % len as u64) as usize
+        }
+    }
+}
+
+/// Cumulative injector accounting, in catalog order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Arrivals per point (fired or not).
+    pub hits: [u64; FAULT_POINT_COUNT],
+    /// Fires per point.
+    pub fires: [u64; FAULT_POINT_COUNT],
+}
+
+impl FaultStats {
+    /// Total fires across all points.
+    pub fn total_fires(&self) -> u64 {
+        self.fires.iter().sum()
+    }
+}
+
+#[derive(Debug)]
+struct Injector {
+    schedule: FaultSchedule,
+    stats: FaultStats,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static INJECTOR: Mutex<Option<Injector>> = Mutex::new(None);
+/// Serializes fault-using tests: the injector is process-global.
+static SCOPE: Mutex<()> = Mutex::new(());
+
+fn lock_injector() -> MutexGuard<'static, Option<Injector>> {
+    // A panic while holding the lock (there are no panics in this
+    // module's locked sections, but injected panics unwind through
+    // arbitrary code) must not poison fault accounting.
+    INJECTOR.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Consult a faultpoint. Costs one relaxed atomic load when no
+/// schedule is installed — the compiled-in no-op the perf gate relies
+/// on. Returns the lot when the point fires.
+#[inline]
+pub fn fire(point: FaultPoint) -> Option<FaultLot> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    fire_armed(point)
+}
+
+#[cold]
+fn fire_armed(point: FaultPoint) -> Option<FaultLot> {
+    let mut g = lock_injector();
+    let inj = g.as_mut()?;
+    let i = point.index();
+    let ordinal = inj.stats.hits[i];
+    inj.stats.hits[i] += 1;
+    if inj.stats.fires[i] >= u64::from(inj.schedule.budgets[i]) {
+        return None;
+    }
+    if !inj.schedule.decide(point, ordinal) {
+        return None;
+    }
+    inj.stats.fires[i] += 1;
+    Some(FaultLot {
+        draw: mix3(inj.schedule.seed, (i as u64) | (1 << 32), ordinal),
+        stall: inj.schedule.stall,
+    })
+}
+
+/// Sleep for the schedule's bounded stall duration if `point` fires.
+pub fn stall(point: FaultPoint) {
+    if let Some(lot) = fire(point) {
+        if !lot.stall.is_zero() {
+            std::thread::sleep(lot.stall);
+        }
+    }
+}
+
+/// An `io::Error` marking an injected fault; the message names the
+/// point so quarantine reasons and logs stay greppable.
+pub fn injected_error(point: FaultPoint) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {}", point.name()))
+}
+
+/// Total fires so far (0 when no schedule is installed) — surfaced by
+/// the daemon's `health` response.
+pub fn fired_total() -> u64 {
+    if !ARMED.load(Ordering::Relaxed) {
+        return 0;
+    }
+    lock_injector()
+        .as_ref()
+        .map(|inj| inj.stats.total_fires())
+        .unwrap_or(0)
+}
+
+/// Arm the process-global injector with `schedule`, returning an RAII
+/// guard that serializes fault-using tests and disarms on drop.
+pub fn install(schedule: FaultSchedule) -> FaultGuard {
+    let scope = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    *lock_injector() = Some(Injector {
+        schedule,
+        stats: FaultStats::default(),
+    });
+    ARMED.store(true, Ordering::SeqCst);
+    FaultGuard { _scope: scope }
+}
+
+/// Arm the injector for the life of the process (the `benchd
+/// --chaos-seed` path); there is no guard to hold or drop.
+pub fn install_global(schedule: FaultSchedule) {
+    *lock_injector() = Some(Injector {
+        schedule,
+        stats: FaultStats::default(),
+    });
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Scope guard returned by [`install`]: holds the test-serialization
+/// lock, disarms and clears the injector on drop.
+#[derive(Debug)]
+pub struct FaultGuard {
+    _scope: MutexGuard<'static, ()>,
+}
+
+impl FaultGuard {
+    /// Accounting so far (survives [`disarm`](FaultGuard::disarm)).
+    pub fn stats(&self) -> FaultStats {
+        lock_injector()
+            .as_ref()
+            .map(|inj| inj.stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// Stop injecting (keeps the stats readable and the test scope
+    /// held); lets a test end its chaos window before clean shutdown.
+    pub fn disarm(&self) {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *lock_injector() = None;
+    }
+}
+
+/// splitmix64 finalizer — the same construction the seed-derivation
+/// paths use elsewhere in the workspace; full-avalanche, cheap, and
+/// entirely deterministic.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash three words into one draw.
+pub(crate) fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix(mix(mix(a) ^ b) ^ c)
+}
+
+#[cfg(test)]
+mod tests {
+    // These tests deliberately never call `install`: the injector is
+    // process-global, and the bench lib's unit tests run concurrently
+    // in one process. Armed-injector behavior is covered by the
+    // dedicated integration binaries (`tests/service_faults.rs`,
+    // `tests/chaos_soak.rs`), which serialize through the scope lock.
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_names_are_unique() {
+        assert_eq!(FaultPoint::ALL.len(), FAULT_POINT_COUNT);
+        let mut names: Vec<&str> = FaultPoint::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FAULT_POINT_COUNT, "duplicate faultpoint names");
+        for (i, p) in FaultPoint::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn disabled_injector_is_a_no_op() {
+        assert!(fire(FaultPoint::JournalAppendWrite).is_none());
+        assert_eq!(fired_total(), 0);
+        stall(FaultPoint::DaemonStall); // returns immediately
+    }
+
+    #[test]
+    fn chaos_schedules_are_deterministic_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FaultSchedule::chaos(seed);
+            let b = FaultSchedule::chaos(seed);
+            assert_eq!(a, b);
+            for (i, &r) in a.rates.iter().enumerate() {
+                if seed % 8 == 7 && i == FaultPoint::SchedulerTaskPanic.index() {
+                    assert_eq!(r, 1000, "forced quarantine seed");
+                } else {
+                    assert!((50..350).contains(&r), "seed {seed} point {i} rate {r}");
+                }
+            }
+        }
+        assert_ne!(
+            FaultSchedule::chaos(1).rates,
+            FaultSchedule::chaos(2).rates,
+            "seeds derive distinct rates"
+        );
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_point_ordinal() {
+        let s = FaultSchedule::chaos(3);
+        for point in FaultPoint::ALL {
+            for ordinal in 0..100 {
+                assert_eq!(s.decide(point, ordinal), s.decide(point, ordinal));
+            }
+        }
+        // A ~20% rate actually fires sometimes and skips sometimes.
+        let fires = (0..1000)
+            .filter(|&n| s.decide(FaultPoint::DaemonReadTorn, n))
+            .count();
+        assert!(fires > 10 && fires < 990, "{fires}");
+    }
+
+    #[test]
+    fn cut_is_a_proper_prefix() {
+        for draw in [0u64, 1, 7, u64::MAX] {
+            let lot = FaultLot {
+                draw,
+                stall: Duration::ZERO,
+            };
+            assert_eq!(lot.cut(0), 0);
+            for len in 1..10usize {
+                assert!(lot.cut(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn builders_override_points() {
+        let s = FaultSchedule::off()
+            .rate(FaultPoint::SchedulerTaskPanic, 1000)
+            .budget(FaultPoint::SchedulerTaskPanic, 3)
+            .stall_for(Duration::from_millis(1));
+        assert!(s.decide(FaultPoint::SchedulerTaskPanic, 0));
+        assert!(!s.decide(FaultPoint::JournalAppendWrite, 0));
+        assert_eq!(s.budgets[FaultPoint::SchedulerTaskPanic.index()], 3);
+        assert_eq!(s.stall, Duration::from_millis(1));
+    }
+}

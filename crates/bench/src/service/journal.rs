@@ -33,6 +33,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use super::faults::{self, FaultPoint};
+use super::retry::RetryPolicy;
 use crate::campaign::json::{cell_result_from_json, cell_result_to_json};
 use crate::campaign::{CellResult, SweepSpec};
 use crate::scenario::Json;
@@ -228,30 +230,51 @@ pub fn recover(
 
 /// An open journal in append mode. Every [`append`](Journal::append) is
 /// written *and synced* before returning, so an acknowledged cell is
-/// guaranteed to survive kill -9.
+/// guaranteed to survive kill -9. Appends self-heal transient write
+/// failures: the file is truncated back to its last valid length and
+/// the line rewritten under the service retry policy, so a fault never
+/// leaves garbage *before* the tail (the one corruption [`recover`]
+/// refuses).
 #[derive(Debug)]
 pub struct Journal {
     file: File,
     path: PathBuf,
+    /// Bytes of acknowledged (synced, newline-terminated) content; the
+    /// truncation target when an append heals.
+    len: u64,
+    retry: RetryPolicy,
 }
 
 impl Journal {
     /// Create a fresh journal for `sweep` (truncating any existing file),
-    /// writing and syncing the header line.
+    /// writing and syncing the header line. A torn header write retries
+    /// from scratch — `File::create` truncates, so each attempt starts
+    /// clean.
     pub fn create(path: &Path, sweep: &SweepSpec, units: usize) -> io::Result<Journal> {
-        let mut file = File::create(path)?;
         let header = Json::obj(vec![
             ("schema", Json::Str(JOURNAL_SCHEMA.into())),
             ("sweep", Json::Str(sweep.name.clone())),
             ("fingerprint", Json::Str(sweep_fingerprint(sweep))),
             ("units", Json::u64(units as u64)),
         ]);
-        file.write_all(header.render().as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_data()?;
+        let mut text = header.render();
+        text.push('\n');
+        let retry = RetryPolicy::io();
+        let file = retry.run(|_| {
+            let mut file = File::create(path)?;
+            if let Some(lot) = faults::fire(FaultPoint::JournalHeaderWrite) {
+                let _ = file.write_all(&text.as_bytes()[..lot.cut(text.len())]);
+                return Err(faults::injected_error(FaultPoint::JournalHeaderWrite));
+            }
+            file.write_all(text.as_bytes())?;
+            file.sync_data()?;
+            Ok(file)
+        })?;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
+            len: text.len() as u64,
+            retry,
         })
     }
 
@@ -265,18 +288,64 @@ impl Journal {
         Ok(Journal {
             file,
             path: path.to_path_buf(),
+            len: valid_len,
+            retry: RetryPolicy::io(),
         })
     }
 
     /// Append one completed unit, synced to disk before returning.
+    ///
+    /// On a failed or torn write the file heals — truncate back to the
+    /// acknowledged length, seek, rewrite — and retries under the I/O
+    /// policy. If every attempt fails the journal is left healed (no
+    /// torn bytes) and the error surfaces for the caller to quarantine.
     pub fn append(&mut self, unit: usize, cell: &CellResult) -> io::Result<()> {
         let line = Json::obj(vec![
             ("unit", Json::u64(unit as u64)),
             ("result", cell_result_to_json(cell)),
         ]);
-        self.file.write_all(line.render().as_bytes())?;
-        self.file.write_all(b"\n")?;
+        let mut text = line.render();
+        text.push('\n');
+        let retry = self.retry;
+        let out = retry.run(|attempt| {
+            if attempt > 0 {
+                self.heal()?;
+            }
+            self.try_append(text.as_bytes())
+        });
+        match out {
+            Ok(()) => {
+                self.len += text.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Best-effort final heal so the on-disk file never keeps
+                // a torn line that a later successful append would bury
+                // mid-file (= unrecoverable corruption).
+                let _ = self.heal();
+                Err(e)
+            }
+        }
+    }
+
+    /// One raw append attempt, with the injected-fault consults.
+    fn try_append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if let Some(lot) = faults::fire(FaultPoint::JournalAppendWrite) {
+            let _ = self.file.write_all(&bytes[..lot.cut(bytes.len())]);
+            return Err(faults::injected_error(FaultPoint::JournalAppendWrite));
+        }
+        self.file.write_all(bytes)?;
+        if faults::fire(FaultPoint::JournalAppendFsync).is_some() {
+            return Err(faults::injected_error(FaultPoint::JournalAppendFsync));
+        }
         self.file.sync_data()
+    }
+
+    /// Truncate back to the acknowledged prefix and reposition.
+    fn heal(&mut self) -> io::Result<()> {
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::Start(self.len))?;
+        Ok(())
     }
 
     /// The journal's path.

@@ -20,7 +20,13 @@
 //!   `status`, `list`, `results`, `cancel`, `events`) with exact
 //!   round-trip encoding;
 //! * [`daemon`] — the `benchd` TCP daemon: jobs directory, crash
-//!   rescan-and-resume, streaming progress events for `benchctl watch`.
+//!   rescan-and-resume, streaming progress events for `benchctl watch`;
+//! * [`faults`] — deterministic fault injection: named faultpoints in
+//!   the hot paths above, driven by a seeded wall-clock-free
+//!   [`FaultSchedule`] (disabled = one relaxed atomic load);
+//! * [`retry`] — capped binary-exponential retry with deterministic
+//!   jitter, reusing `crates/backoff`'s window discipline for I/O
+//!   self-healing.
 //!
 //! ```
 //! use contention_bench::campaign::{Axis, SweepSpec};
@@ -47,17 +53,21 @@ use std::io::{self, Write};
 use std::path::Path;
 
 pub mod daemon;
+pub mod faults;
 pub mod journal;
 pub mod local;
 pub mod protocol;
+pub mod retry;
 pub mod scheduler;
 
 pub use daemon::{Daemon, DaemonConfig};
+pub use faults::{FaultGuard, FaultLot, FaultPoint, FaultSchedule, FaultStats};
 pub use journal::{recover, sweep_fingerprint, Journal, RecoverError, Recovered, JOURNAL_SCHEMA};
 pub use local::{run_local, LocalOptions, LocalOutcome};
 pub use protocol::{
     JobEvent, JobSource, JobStatusInfo, Request, Response, ResultFormat, SubmitRequest,
 };
+pub use retry::RetryPolicy;
 pub use scheduler::{JobHandle, JobSpec, JobState, Scheduler};
 
 /// Write `text` to `path` via a sibling temp file + rename, so readers
@@ -74,13 +84,29 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
     let tmp = path.with_file_name(tmp_name);
     // detlint::allow(atomic-writes-only): write_atomic's own temp file; renamed into place below
     let mut f = fs::File::create(&tmp)?;
+    if let Some(lot) = faults::fire(FaultPoint::AtomicWriteTemp) {
+        // Torn temp write: a proper prefix lands in the temp file and
+        // the rename never happens, so the target is untouched.
+        let _ = f.write_all(&text.as_bytes()[..lot.cut(text.len())]);
+        return Err(faults::injected_error(FaultPoint::AtomicWriteTemp));
+    }
     f.write_all(text.as_bytes())?;
     f.sync_data()?;
+    if faults::fire(FaultPoint::AtomicWriteRename).is_some() {
+        return Err(faults::injected_error(FaultPoint::AtomicWriteRename));
+    }
     fs::rename(&tmp, path)?;
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         fs::File::open(parent)?.sync_all()?;
     }
     Ok(())
+}
+
+/// [`write_atomic`] under the service I/O retry policy. Each attempt
+/// rebuilds the temp file from scratch, so healing is simply
+/// re-running; the target file is only ever swapped in whole.
+pub(crate) fn write_atomic_retrying(path: &Path, text: &str) -> io::Result<()> {
+    RetryPolicy::io().run(|_| write_atomic(path, text))
 }
 
 /// Anything the service layer can fail with, as one displayable error.

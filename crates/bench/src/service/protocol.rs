@@ -126,6 +126,10 @@ pub enum Request {
     },
     /// Liveness check.
     Ping,
+    /// Heartbeat with substance: job counts and fault-injection
+    /// accounting, so a watchdog can distinguish "alive and idle" from
+    /// "alive and wedged" at a glance.
+    Health,
     /// Ask the daemon to exit (journals are already synced per cell).
     Shutdown,
 }
@@ -205,6 +209,15 @@ pub enum Response {
     },
     /// One streamed progress event.
     Event(JobEvent),
+    /// The daemon's heartbeat.
+    Health {
+        /// Jobs the daemon knows about (any state).
+        jobs: u64,
+        /// Jobs in a non-terminal state.
+        active: u64,
+        /// Total injected-fault fires (0 unless chaos is armed).
+        fault_fires: u64,
+    },
     /// A materialized slot window.
     Window {
         /// Job id.
@@ -311,6 +324,7 @@ impl Request {
                 ("hi", Json::u64(*hi)),
             ]),
             Request::Ping => Json::obj(vec![("op", Json::Str("ping".into()))]),
+            Request::Health => Json::obj(vec![("op", Json::Str("health".into()))]),
             Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
         }
     }
@@ -357,6 +371,7 @@ impl Request {
                 hi: j.get("hi")?.as_u64()?,
             }),
             "ping" => Ok(Request::Ping),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(SpecError::new(format!("unknown request op `{other}`"))),
         }
@@ -447,6 +462,16 @@ impl Response {
                 ("kind", Json::Str("event".into())),
                 ("event", event_to_json(e)),
             ]),
+            Response::Health {
+                jobs,
+                active,
+                fault_fires,
+            } => Json::obj(vec![
+                ("kind", Json::Str("health".into())),
+                ("jobs", Json::u64(*jobs)),
+                ("active", Json::u64(*active)),
+                ("fault_fires", Json::u64(*fault_fires)),
+            ]),
             Response::Window {
                 id,
                 lo,
@@ -502,6 +527,11 @@ impl Response {
                 })
             }
             "event" => Ok(Response::Event(event_from_json(j.get("event")?)?)),
+            "health" => Ok(Response::Health {
+                jobs: j.get("jobs")?.as_u64()?,
+                active: j.get("active")?.as_u64()?,
+                fault_fires: j.get("fault_fires")?.as_u64()?,
+            }),
             "window" => Ok(Response::Window {
                 id: j.get("id")?.as_str()?.to_string(),
                 lo: j.get("lo")?.as_u64()?,
@@ -580,6 +610,7 @@ mod tests {
             hi: 8_000_128,
         });
         round_trip_request(Request::Ping);
+        round_trip_request(Request::Health);
         round_trip_request(Request::Shutdown);
     }
 
@@ -632,6 +663,11 @@ mod tests {
             label: "batch[jam=0.25]".into(),
             terminal: false,
         }));
+        round_trip_response(Response::Health {
+            jobs: 4,
+            active: 1,
+            fault_fires: 17,
+        });
         round_trip_response(Response::Window {
             id: "job-5".into(),
             lo: 8_000_000,

@@ -1,0 +1,166 @@
+//! Self-healing retry schedules built on the repo's own backoff
+//! primitives.
+//!
+//! The service layer heals transient faults (torn writes, dropped
+//! connections, injected chaos) by retrying under a capped binary
+//! exponential backoff with deterministic jitter — the same
+//! [`WindowGrowth::Binary`] window discipline the paper's protocols
+//! use for contention resolution, applied to I/O contention. The k-th
+//! delay is a pure function of `(seed, k)`: a uniformly drawn slot in
+//! window `k` (length `2^k`), scaled by the slot unit and capped, so a
+//! retried chaos run sleeps the exact same schedule every time.
+
+use std::thread;
+use std::time::Duration;
+
+use contention_backoff::WindowGrowth;
+
+use super::faults::mix3;
+
+/// Capped, seeded, deterministically jittered retry policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub attempts: u32,
+    /// Duration of one backoff slot.
+    pub unit: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Jitter seed; delay `k` is a pure function of `(seed, k)`.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Journal and artifact I/O: 6 attempts, 1 ms slots, 50 ms cap.
+    /// Tight enough that a quarantine decision lands in well under a
+    /// second even when every attempt fails.
+    pub const fn io() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            unit: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            seed: 0x10,
+        }
+    }
+
+    /// Client connect/re-attach: 8 attempts, 25 ms slots, 800 ms cap.
+    pub const fn connect() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 8,
+            unit: Duration::from_millis(25),
+            cap: Duration::from_millis(800),
+            seed: 0xc0,
+        }
+    }
+
+    /// Same policy with a different jitter seed (e.g. per-process, so
+    /// concurrent clients don't march in lockstep).
+    pub const fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// Delay before retry `k` (0-based count of failures so far): slot
+    /// `1 + draw(seed, k) mod 2^k` of binary-exponential window `k`,
+    /// scaled by `unit` and capped. Always non-zero when `unit` is.
+    pub fn delay(&self, k: u32) -> Duration {
+        let window = WindowGrowth::Binary.window_len(k);
+        let slot = 1 + mix3(self.seed, u64::from(k), 0) % window;
+        let d = self
+            .unit
+            .saturating_mul(u32::try_from(slot).unwrap_or(u32::MAX));
+        d.min(self.cap)
+    }
+
+    /// Run `op` under this policy: retry on `Err`, sleeping the
+    /// jittered backoff between attempts, and return the last error
+    /// once attempts are exhausted. `op` receives the 0-based attempt
+    /// number (so callers can heal state before a re-attempt).
+    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+        let attempts = self.attempts.max(1);
+        let mut k = 0;
+        loop {
+            match op(k) {
+                Ok(v) => return Ok(v),
+                Err(e) if k + 1 >= attempts => return Err(e),
+                Err(_) => {
+                    let d = self.delay(k);
+                    if !d.is_zero() {
+                        thread::sleep(d);
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_jittered_and_capped() {
+        let p = RetryPolicy::io();
+        for k in 0..16 {
+            assert_eq!(p.delay(k), p.delay(k), "pure function of (seed, k)");
+            assert!(p.delay(k) >= p.unit, "slot index starts at 1");
+            assert!(p.delay(k) <= p.cap, "capped");
+        }
+        // Different seeds jitter differently somewhere in the range.
+        let q = p.with_seed(0x99);
+        assert!((0..16).any(|k| p.delay(k) != q.delay(k)));
+        // Early windows are small: delay 0 comes from window length 1.
+        assert_eq!(p.delay(0), p.unit);
+    }
+
+    #[test]
+    fn run_retries_until_success_and_reports_attempts() {
+        let p = RetryPolicy {
+            attempts: 5,
+            unit: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 1,
+        };
+        let mut seen = Vec::new();
+        let out: Result<u32, &str> = p.run(|k| {
+            seen.push(k);
+            if k < 3 {
+                Err("transient")
+            } else {
+                Ok(k)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_returns_last_error_after_exhaustion() {
+        let p = RetryPolicy {
+            attempts: 3,
+            unit: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 1,
+        };
+        let mut calls = 0;
+        let out: Result<(), u32> = p.run(|k| {
+            calls += 1;
+            Err(k)
+        });
+        assert_eq!(out, Err(2), "last attempt's error surfaces");
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let p = RetryPolicy {
+            attempts: 0,
+            unit: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 1,
+        };
+        let out: Result<u32, &str> = p.run(|_| Ok(7));
+        assert_eq!(out, Ok(7));
+    }
+}

@@ -31,9 +31,16 @@ use crate::campaign::runner::{aggregate, lane_block, run_seed, run_seed_block, S
 use crate::campaign::sweep::Cell;
 use crate::campaign::{render_section, to_csv, to_jsonl, CampaignResult, CellResult, SweepSpec};
 
+use super::faults::{self, FaultPoint};
 use super::journal::{recover, Journal, RecoverError};
 use super::protocol::{JobEvent, JobStatusInfo};
-use super::{write_atomic, ServiceError};
+use super::{write_atomic_retrying, ServiceError};
+
+/// Attempts per (unit, seed) task before quarantine: one initial run
+/// plus three retries. A panicking task is requeued (self-heal) until
+/// this cap, then the job fails with a `quarantined:` reason while the
+/// pool keeps serving every other job.
+const TASK_ATTEMPTS: u32 = 4;
 
 /// Scheduling state of a job.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +121,8 @@ struct JobProgress {
     units: Vec<UnitProgress>,
     /// Completed rows by unit index (journal-recovered ones included).
     results: BTreeMap<usize, CellResult>,
+    /// Executions per (unit, seed) task, for retry-then-quarantine.
+    attempts: BTreeMap<(usize, u64), u32>,
     recovered: usize,
     /// Σ mean_slots × seeds over completed units — work-done numerator
     /// for client-side slots/s and ETA.
@@ -259,11 +268,22 @@ impl JobHandle {
             };
             if p.state == JobState::Done {
                 let result = self.assemble(&p.results);
-                let _ = write_atomic(&dir.join("results.csv"), &to_csv(&result));
-                let _ = write_atomic(&dir.join("results.jsonl"), &to_jsonl(&result));
-                let _ = write_atomic(&dir.join("report.md"), &render_section(&result));
+                for (name, text) in [
+                    ("results.csv", to_csv(&result)),
+                    ("results.jsonl", to_jsonl(&result)),
+                    ("report.md", render_section(&result)),
+                ] {
+                    if let Err(e) = write_atomic_retrying(&dir.join(name), &text) {
+                        // Artifacts are derivable from the journal, so a
+                        // persistent write failure degrades to a log line
+                        // rather than failing the finished job.
+                        eprintln!("benchd: job {}: failed to write {name}: {e}", self.id);
+                    }
+                }
             }
-            let _ = write_atomic(&dir.join("state"), &format!("{marker}\n"));
+            if let Err(e) = write_atomic_retrying(&dir.join("state"), &format!("{marker}\n")) {
+                eprintln!("benchd: job {}: failed to write state marker: {e}", self.id);
+            }
         }
         let event = self.event_locked(p, "");
         for tx in p.event_subs.drain(..) {
@@ -423,6 +443,7 @@ impl Scheduler {
                 in_flight: 0,
                 units: unit_progress,
                 results,
+                attempts: BTreeMap::new(),
                 recovered,
                 slots_done,
                 journal,
@@ -574,7 +595,14 @@ fn worker_loop(shared: &Shared) {
         // block of seeds through one bit-parallel engine pass.
         let sim_seed = cell.spec.seed_base + seed;
         let block = lane_block(&cell.spec, &algo);
+        // The entire task body runs under `catch_unwind`, outside every
+        // lock, so a panicking protocol implementation (or an injected
+        // chaos panic) can never poison scheduler or job state.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if faults::fire(FaultPoint::SchedulerTaskPanic).is_some() {
+                panic!("injected fault: scheduler.task.panic");
+            }
+            faults::stall(FaultPoint::SchedulerTaskStall);
             if block > 1 {
                 let n = block.min(cell.spec.seeds - seed);
                 run_seed_block(&cell.spec, &algo, sim_seed, n)
@@ -605,7 +633,32 @@ fn complete_task(
                 .map(|s| (*s).to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "task panicked".into());
-            fail(job, &mut p, format!("unit {unit} seed {seed}: {msg}"));
+            let attempts = {
+                let n = p.attempts.entry((unit, seed)).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if attempts < TASK_ATTEMPTS && !p.cancelled && !p.state.terminal() {
+                // Self-heal: requeue the task for another pass. The
+                // caller's `notify_all` wakes a worker; determinism is
+                // unaffected because a task's rows are a pure function
+                // of (spec, seed).
+                p.tasks.push((unit, seed));
+                let event = job.event_locked(
+                    &p,
+                    &format!("retrying unit {unit} seed {seed} after panic (attempt {attempts})"),
+                );
+                p.event_subs.retain(|tx| tx.send(event.clone()).is_ok());
+            } else if !p.cancelled {
+                fail(
+                    job,
+                    &mut p,
+                    format!(
+                        "quarantined: unit {unit} seed {seed} panicked on \
+                         {attempts} attempts: {msg}"
+                    ),
+                );
+            }
         }
         Ok(batch) => {
             let up = &mut p.units[unit];
@@ -625,8 +678,15 @@ fn complete_task(
                 let cell = &job.cells[ci];
                 let cr = aggregate(cell, &cell.spec.algos[ai], &rows);
                 if let Some(j) = &mut p.journal {
+                    // `append` already healed and retried internally; an
+                    // error here is persistent, so quarantine the job
+                    // (its journal is still a valid prefix).
                     if let Err(e) = j.append(unit, &cr) {
-                        fail(job, &mut p, format!("journal write failed: {e}"));
+                        fail(
+                            job,
+                            &mut p,
+                            format!("quarantined: journal write failed after retries: {e}"),
+                        );
                         return;
                     }
                 }

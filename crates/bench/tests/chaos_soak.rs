@@ -1,0 +1,284 @@
+//! The chaos-equivalence soak: 64 seeded fault schedules thrown at a
+//! live daemon, each run asserting the service layer's whole-stack
+//! safety contract — **every job either finishes with results
+//! byte-identical to a fault-free reference run, or is cleanly
+//! quarantined with a recorded reason. Never a hang, never corruption,
+//! never a half-written artifact.**
+//!
+//! Nothing here waits unboundedly: schedules cap every faultpoint with
+//! a finite budget (stalls included), socket timeouts bound reads on
+//! both sides, and the client's reconnect/retry loops are bounded by
+//! counts, so the zero-hang property comes from deterministic caps
+//! rather than generous sleeps.
+//!
+//! `CHAOS_SOAK_SCHEDULES=<n>` runs the first `n` seeds only (the CI
+//! smoke uses a subset); any window of 8 consecutive seeds contains a
+//! forced-quarantine seed (`seed % 8 == 7`), so even short runs
+//! exercise both verdicts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use contention_bench::campaign::{Axis, SweepSpec};
+use contention_bench::scenario::{AlgoSpec, ScenarioSpec};
+use contention_bench::service::{
+    faults, run_local, Daemon, DaemonConfig, FaultSchedule, JobSource, LocalOptions, Request,
+    Response, ResultFormat, SubmitRequest,
+};
+
+/// Keep injected worker panics out of the test output (the scheduler
+/// catches them by design; the default hook's spam drowns the report).
+fn quiet_injected_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.starts_with("injected fault:"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("injected fault:"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("contention-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The soak workload: two cells, one algorithm, one seed — small
+/// enough that 64 chaos runs stay fast, real enough that the journal,
+/// artifacts, and results pipeline all engage.
+fn soak_sweep() -> SweepSpec {
+    SweepSpec::new(
+        "chaos",
+        "Chaos soak sweep",
+        ScenarioSpec::batch(4, 0.0)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .seeds(1)
+            .until_drained(10_000),
+    )
+    .axis(Axis::jam([0.0, 0.1]))
+}
+
+/// One bounded request/response exchange over a fresh connection.
+/// Chaos can drop, tear, or stall any attempt; every failure mode
+/// retries up to the cap — fault budgets guarantee the daemon turns
+/// clean long before the cap runs out.
+fn rpc(addr: SocketAddr, req: &Request) -> Response {
+    const TRIES: u32 = 60;
+    let mut last = String::from("no attempt made");
+    for _ in 0..TRIES {
+        match try_rpc(addr, req) {
+            Ok(Response::Error { message }) if message.starts_with("bad request:") => {
+                // The daemon saw a torn inbound frame; resend.
+                last = message;
+            }
+            Ok(resp) => return resp,
+            Err(e) => last = e,
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("rpc failed after {TRIES} bounded attempts: {last} ({req:?})");
+}
+
+fn try_rpc(addr: SocketAddr, req: &Request) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    let n = BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("connection dropped before a response".into());
+    }
+    Response::from_line(line.trim_end()).map_err(|e| format!("parse: {e}"))
+}
+
+/// The terminal verdict of one chaos run.
+enum Verdict {
+    /// Finished; results were byte-identical to the reference.
+    Done,
+    /// Cleanly quarantined with the recorded reason.
+    Quarantined(String),
+}
+
+/// Run one seeded chaos schedule end to end and return the verdict.
+fn chaos_run(seed: u64, reference_csv: &str) -> Verdict {
+    let dir = scratch(&format!("seed{seed}"));
+    let guard = faults::install(FaultSchedule::chaos(seed));
+    let daemon = Daemon::bind(DaemonConfig {
+        jobs_dir: dir.join("jobs"),
+        threads: 1,
+        io_timeout: Some(Duration::from_millis(250)),
+        ..Default::default()
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+
+    // Submit with an explicit id so a replay after a torn/dropped
+    // acknowledgement is recognizable: `already exists` means the
+    // first copy landed.
+    let submit = Request::Submit(Box::new(SubmitRequest {
+        source: JobSource::Sweep(soak_sweep()),
+        id: Some("chaos".into()),
+        priority: 0,
+    }));
+    const SUBMIT_TRIES: u32 = 60;
+    let mut accepted = false;
+    for _ in 0..SUBMIT_TRIES {
+        match try_rpc(addr, &submit) {
+            Ok(Response::Submitted { .. }) => {
+                accepted = true;
+                break;
+            }
+            Ok(Response::Error { message }) if message.contains("already exists") => {
+                accepted = true;
+                break;
+            }
+            Ok(Response::Error { .. }) | Ok(_) | Err(_) => {}
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(accepted, "seed {seed}: submit never accepted");
+
+    // Poll to a terminal state, bounded by a deadline that injected
+    // budgets cannot approach (stall budgets total well under a
+    // second; everything else is retry-capped).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let status = loop {
+        if let Response::Status(s) = rpc(addr, &Request::Status { id: "chaos".into() }) {
+            if s.state == "done" || s.state == "failed" || s.state == "cancelled" {
+                break s;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: job never reached a terminal state"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    let verdict = match status.state.as_str() {
+        "done" => {
+            let body = match rpc(
+                addr,
+                &Request::Results {
+                    id: "chaos".into(),
+                    format: ResultFormat::Csv,
+                },
+            ) {
+                Response::Results { body, .. } => body,
+                other => panic!("seed {seed}: unexpected results response: {other:?}"),
+            };
+            assert_eq!(
+                body, reference_csv,
+                "seed {seed}: results differ from the fault-free reference"
+            );
+            // If the on-disk artifact landed (persistent artifact-write
+            // faults degrade it to a log line — the journal remains the
+            // source of truth), it must be byte-identical too.
+            let on_disk = dir.join("jobs").join("chaos").join("results.csv");
+            if let Ok(bytes) = std::fs::read_to_string(&on_disk) {
+                assert_eq!(
+                    bytes, reference_csv,
+                    "seed {seed}: on-disk results.csv differs from the reference"
+                );
+            }
+            Verdict::Done
+        }
+        "failed" => {
+            let reason = status
+                .error
+                .unwrap_or_else(|| panic!("seed {seed}: failed without a reason"));
+            assert!(
+                reason.contains("quarantined"),
+                "seed {seed}: failure was not a clean quarantine: {reason}"
+            );
+            Verdict::Quarantined(reason)
+        }
+        other => panic!("seed {seed}: unexpected terminal state `{other}`"),
+    };
+
+    // End the chaos window before shutdown so the daemon exits cleanly.
+    guard.disarm();
+    match rpc(addr, &Request::Shutdown) {
+        Response::Ok => {}
+        other => panic!("seed {seed}: unexpected shutdown response: {other:?}"),
+    }
+    server.join().expect("daemon thread");
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict
+}
+
+#[test]
+fn chaos_soak_byte_identical_or_quarantined() {
+    quiet_injected_panics();
+    let schedules: u64 = std::env::var("CHAOS_SOAK_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    assert!(
+        schedules >= 8,
+        "a soak shorter than 8 seeds misses the forced-quarantine seed"
+    );
+
+    // Fault-free reference through the same execution path (under an
+    // off() guard: the injector is process-global).
+    let dir = scratch("reference");
+    let ref_csv_path = dir.join("ref.csv");
+    {
+        let _quiet = faults::install(FaultSchedule::off());
+        run_local(
+            soak_sweep(),
+            LocalOptions {
+                csv: Some(ref_csv_path.clone()),
+                ..LocalOptions::default()
+            },
+        )
+        .expect("reference run");
+    }
+    let reference_csv = std::fs::read_to_string(&ref_csv_path).expect("read reference");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut done = 0u64;
+    let mut quarantines = Vec::new();
+    for seed in 0..schedules {
+        match chaos_run(seed, &reference_csv) {
+            Verdict::Done => done += 1,
+            Verdict::Quarantined(reason) => quarantines.push((seed, reason)),
+        }
+    }
+    eprintln!(
+        "chaos soak: {schedules} schedules, {done} byte-identical, {} quarantined",
+        quarantines.len()
+    );
+    for (seed, reason) in &quarantines {
+        eprintln!("  seed {seed}: {reason}");
+    }
+    assert_eq!(done + quarantines.len() as u64, schedules);
+    assert!(done >= 1, "no schedule finished clean");
+    assert!(
+        !quarantines.is_empty(),
+        "no schedule quarantined (seed 7 forces worker panics)"
+    );
+}

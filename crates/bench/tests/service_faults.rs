@@ -1,0 +1,539 @@
+//! Fault-injection regression tests for the service layer: each test
+//! arms the process-global injector (via [`faults::install`], which
+//! also serializes fault-using tests through the injector's scope
+//! lock) and asserts one self-healing contract — journal appends heal
+//! by truncation, panicking workers retry then quarantine without
+//! taking the daemon down, stalled sockets time out instead of
+//! wedging, and `health` answers with substance.
+//!
+//! The full randomized sweep lives in `tests/chaos_soak.rs`; these are
+//! the targeted, one-faultpoint-at-a-time checks.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use contention_bench::campaign::{Axis, SweepSpec};
+use contention_bench::scenario::{AlgoSpec, ScenarioSpec};
+use contention_bench::service::{
+    faults, recover, run_local, Daemon, DaemonConfig, FaultPoint, FaultSchedule, JobSource,
+    Journal, LocalOptions, Request, Response, SubmitRequest,
+};
+
+/// Keep injected panics out of the test output: the scheduler catches
+/// them by design, so the default hook's backtrace spam is pure noise.
+fn quiet_injected_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.starts_with("injected fault:"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.starts_with("injected fault:"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "contention-svc-faults-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Two cells, one algorithm, one seed: small enough that even a debug
+/// build finishes in milliseconds, large enough to have a grid.
+fn tiny_sweep() -> SweepSpec {
+    SweepSpec::new(
+        "faults",
+        "Fault-injection test sweep",
+        ScenarioSpec::batch(4, 0.0)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .seeds(1)
+            .until_drained(10_000),
+    )
+    .axis(Axis::jam([0.0, 0.1]))
+}
+
+/// One cell only — the single-task victim for quarantine tests.
+fn one_cell_sweep(name: &str) -> SweepSpec {
+    SweepSpec::new(
+        name,
+        "Single-cell fault sweep",
+        ScenarioSpec::batch(4, 0.0)
+            .algos([AlgoSpec::cjz_constant_jamming()])
+            .seeds(1)
+            .until_drained(10_000),
+    )
+    .axis(Axis::jam([0.0]))
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        self.writer
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "daemon closed the connection mid-call");
+        Response::from_line(line.trim_end()).expect("parse response")
+    }
+}
+
+fn spawn_daemon(
+    jobs_dir: PathBuf,
+    io_timeout: Option<Duration>,
+) -> (std::thread::JoinHandle<()>, SocketAddr) {
+    let daemon = Daemon::bind(DaemonConfig {
+        jobs_dir,
+        threads: 1,
+        io_timeout,
+        ..Default::default()
+    })
+    .expect("bind daemon");
+    let addr = daemon.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    (handle, addr)
+}
+
+fn submit_sweep(c: &mut Client, sweep: &SweepSpec, id: &str) {
+    let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+        source: JobSource::Sweep(sweep.clone()),
+        id: Some(id.to_string()),
+        priority: 0,
+    })));
+    assert!(matches!(resp, Response::Submitted { .. }), "{resp:?}");
+}
+
+/// Poll a job to a terminal state, bounded by a generous deadline (the
+/// tests never rely on the deadline — budgets bound all injected work).
+fn wait_terminal(c: &mut Client, id: &str) -> contention_bench::service::JobStatusInfo {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match c.call(&Request::Status { id: id.to_string() }) {
+            Response::Status(s) => {
+                if s.state == "done" || s.state == "failed" || s.state == "cancelled" {
+                    return s;
+                }
+            }
+            other => panic!("unexpected status response: {other:?}"),
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job `{id}` never reached a terminal state"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn shutdown(addr: SocketAddr, server: std::thread::JoinHandle<()>) {
+    let mut c = Client::connect(addr);
+    assert!(matches!(c.call(&Request::Shutdown), Response::Ok));
+    server.join().expect("daemon thread");
+}
+
+/// Satellite 1: a client that connects and then goes silent must not
+/// wedge the daemon. Its handler hits the socket read timeout and
+/// closes; other clients get answers the whole time.
+#[test]
+fn stalled_connection_times_out_and_does_not_wedge_status() {
+    quiet_injected_panics();
+    let _guard = faults::install(FaultSchedule::off());
+    let dir = scratch("stall");
+    let (server, addr) = spawn_daemon(dir.join("jobs"), Some(Duration::from_millis(150)));
+
+    // Client A: half a request line, then silence.
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled client");
+    stalled
+        .write_all(b"{\"op\":\"stat")
+        .expect("send partial line");
+
+    // Client B keeps getting served while A is stalled.
+    let mut b = Client::connect(addr);
+    for _ in 0..3 {
+        assert!(matches!(b.call(&Request::Ping), Response::Ok));
+    }
+    submit_sweep(&mut b, &tiny_sweep(), "during-stall");
+    assert_eq!(wait_terminal(&mut b, "during-stall").state, "done");
+
+    // A's connection is closed by the server once the timeout lapses —
+    // the handler thread is released, not parked forever.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut buf = [0u8; 16];
+    let n = stalled.read(&mut buf).expect("read after server timeout");
+    assert_eq!(n, 0, "server should close the stalled connection");
+
+    shutdown(addr, server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 2a: a worker panic under the retry cap is retried and the
+/// job still finishes — with results byte-identical to a fault-free
+/// run, because tasks are deterministic and the journal only ever
+/// records acknowledged cells.
+#[test]
+fn injected_panic_retries_to_done_with_identical_results() {
+    quiet_injected_panics();
+    let dir = scratch("panic-retry");
+    let sweep = tiny_sweep();
+
+    // Fault-free reference through the same execution path. Holding an
+    // off() guard keeps concurrently-running armed tests (the injector
+    // is process-global) out of the reference run.
+    let ref_csv = dir.join("ref.csv");
+    {
+        let _quiet = faults::install(FaultSchedule::off());
+        run_local(
+            sweep.clone(),
+            LocalOptions {
+                csv: Some(ref_csv.clone()),
+                ..LocalOptions::default()
+            },
+        )
+        .expect("reference run");
+    }
+
+    // Three panics (< TASK_ATTEMPTS = 4 per task), then clean runs.
+    let guard = faults::install(
+        FaultSchedule::off()
+            .rate(FaultPoint::SchedulerTaskPanic, 1000)
+            .budget(FaultPoint::SchedulerTaskPanic, 3),
+    );
+    let (server, addr) = spawn_daemon(dir.join("jobs"), None);
+    let mut c = Client::connect(addr);
+    submit_sweep(&mut c, &sweep, "retried");
+    let s = wait_terminal(&mut c, "retried");
+    assert_eq!(s.state, "done", "{s:?}");
+    assert_eq!(
+        guard.stats().fires[9],
+        3,
+        "scheduler.task.panic fired thrice"
+    );
+
+    let body = match c.call(&Request::Results {
+        id: "retried".into(),
+        format: contention_bench::service::ResultFormat::Csv,
+    }) {
+        Response::Results { body, .. } => body,
+        other => panic!("unexpected results response: {other:?}"),
+    };
+    assert_eq!(
+        body,
+        std::fs::read_to_string(&ref_csv).expect("read reference csv"),
+        "results after panic-retries differ from the fault-free run"
+    );
+
+    guard.disarm();
+    shutdown(addr, server);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 2b: a task that panics on every attempt exhausts the cap
+/// and is quarantined — the job fails with a `quarantined:` reason and
+/// the daemon keeps serving: a second job completes normally.
+#[test]
+fn persistent_panic_quarantines_job_but_daemon_keeps_serving() {
+    quiet_injected_panics();
+    let dir = scratch("quarantine");
+    // Exactly TASK_ATTEMPTS fires: job A's single task burns all four,
+    // so job B (submitted after A is terminal) runs entirely clean.
+    let guard = faults::install(
+        FaultSchedule::off()
+            .rate(FaultPoint::SchedulerTaskPanic, 1000)
+            .budget(FaultPoint::SchedulerTaskPanic, 4),
+    );
+    let (server, addr) = spawn_daemon(dir.join("jobs"), None);
+    let mut c = Client::connect(addr);
+
+    submit_sweep(&mut c, &one_cell_sweep("victim"), "doomed");
+    let s = wait_terminal(&mut c, "doomed");
+    assert_eq!(s.state, "failed", "{s:?}");
+    let reason = s.error.expect("failed job carries a reason");
+    assert!(reason.contains("quarantined"), "{reason}");
+    assert!(reason.contains("panicked on 4 attempts"), "{reason}");
+
+    // The quarantine is durable: the on-disk state marker names it.
+    let marker = std::fs::read_to_string(dir.join("jobs").join("doomed").join("state"))
+        .expect("state marker");
+    assert!(marker.starts_with("failed:"), "{marker}");
+    assert!(marker.contains("quarantined"), "{marker}");
+
+    // Shared state survived the panics: a clean job still completes.
+    submit_sweep(&mut c, &one_cell_sweep("survivor"), "clean");
+    assert_eq!(wait_terminal(&mut c, "clean").state, "done");
+
+    guard.disarm();
+    shutdown(addr, server);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 3a: torn/failed journal appends heal by truncation. A
+/// transient fault is retried to success; a persistent fault surfaces
+/// an error but leaves the file at its valid prefix — recover() never
+/// sees garbage before the tail.
+#[test]
+fn journal_append_faults_heal_by_truncation() {
+    quiet_injected_panics();
+    let dir = scratch("journal-heal");
+    let path = dir.join("journal.jsonl");
+    let sweep = tiny_sweep();
+    // Compute the cells under an off() guard: the runner shares the
+    // service execution path, and the injector is process-global.
+    let cells = {
+        let _quiet = faults::install(FaultSchedule::off());
+        contention_bench::campaign::CampaignRunner::new(sweep.clone())
+            .run()
+            .cells
+    };
+
+    // Two torn writes, then success: append() heals and retries within
+    // one call, and the journal is byte-perfect afterwards.
+    {
+        let guard = faults::install(
+            FaultSchedule::off()
+                .rate(FaultPoint::JournalAppendWrite, 1000)
+                .budget(FaultPoint::JournalAppendWrite, 2),
+        );
+        let mut j = Journal::create(&path, &sweep, 2).expect("create journal");
+        j.append(0, &cells[0]).expect("append heals torn writes");
+        assert_eq!(
+            guard.stats().fires[1],
+            2,
+            "journal.append.write fired twice"
+        );
+        let r = recover(&path, &sweep, 2).expect("recover").expect("some");
+        assert_eq!(r.results.len(), 1);
+        assert!(!r.truncated, "healed journal has no torn tail");
+        drop(guard);
+    }
+
+    // Persistent fsync failure: the append errors out, but the file is
+    // healed back to the acknowledged prefix — the earlier cell is
+    // still recoverable and there are no torn bytes.
+    {
+        let guard = faults::install(
+            FaultSchedule::off()
+                .rate(FaultPoint::JournalAppendFsync, 1000)
+                .budget(FaultPoint::JournalAppendFsync, u32::MAX),
+        );
+        let r = recover(&path, &sweep, 2).expect("recover").expect("some");
+        let mut j = Journal::resume(&path, r.valid_len).expect("resume");
+        let err = j.append(1, &cells[1]).expect_err("fsync fault persists");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        drop(guard);
+        let r = recover(&path, &sweep, 2)
+            .expect("recover after failure")
+            .expect("some");
+        assert_eq!(r.results.len(), 1, "failed append acknowledged nothing");
+        assert!(!r.truncated, "heal leaves no torn tail");
+        // And the journal is still appendable after the fault clears.
+        let mut j = Journal::resume(&path, r.valid_len).expect("resume again");
+        j.append(1, &cells[1]).expect("clean append");
+        let r = recover(&path, &sweep, 2)
+            .expect("final recover")
+            .expect("some");
+        assert_eq!(r.results.len(), 2);
+        assert_eq!(r.results[&1], cells[1]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 3b: a torn header is a fresh start, never corruption.
+/// Transient header faults retry inside create(); a persistent fault
+/// fails create() but the leftover file still recovers as `None`.
+#[test]
+fn torn_header_recovers_as_fresh_start() {
+    quiet_injected_panics();
+    let dir = scratch("journal-header");
+    let path = dir.join("journal.jsonl");
+    let sweep = tiny_sweep();
+
+    {
+        let _guard = faults::install(
+            FaultSchedule::off()
+                .rate(FaultPoint::JournalHeaderWrite, 1000)
+                .budget(FaultPoint::JournalHeaderWrite, 2),
+        );
+        // Attempts 1 and 2 tear, attempt 3 succeeds.
+        let j = Journal::create(&path, &sweep, 2).expect("create retries past torn headers");
+        drop(j);
+        let r = recover(&path, &sweep, 2).expect("recover");
+        assert!(r.expect("some").results.is_empty());
+    }
+    {
+        let _guard = faults::install(
+            FaultSchedule::off()
+                .rate(FaultPoint::JournalHeaderWrite, 1000)
+                .budget(FaultPoint::JournalHeaderWrite, u32::MAX),
+        );
+        let err = Journal::create(&path, &sweep, 2).expect_err("persistent header fault");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+    }
+    // The torn header file acknowledged nothing: fresh start, and a
+    // clean create() simply truncates over it.
+    assert!(recover(&path, &sweep, 2)
+        .expect("recover torn header")
+        .is_none());
+    let _j = Journal::create(&path, &sweep, 2).expect("clean create over torn header");
+    assert!(recover(&path, &sweep, 2).expect("recover").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 3c: recover() accepts a truncation at *every* byte offset
+/// of a complete journal — the exhaustive crash sweep. Each prefix
+/// yields either a fresh start or a valid sub-journal whose rows are
+/// bit-identical to the originals; no offset is ever corruption.
+#[test]
+fn recover_accepts_every_truncation_offset() {
+    quiet_injected_panics();
+    let _guard = faults::install(FaultSchedule::off());
+    let dir = scratch("journal-offsets");
+    let path = dir.join("journal.jsonl");
+    let sweep = tiny_sweep();
+    let cells = contention_bench::campaign::CampaignRunner::new(sweep.clone())
+        .run()
+        .cells;
+    let mut j = Journal::create(&path, &sweep, 2).expect("create");
+    for (i, cell) in cells.iter().enumerate() {
+        j.append(i, cell).expect("append");
+    }
+    drop(j);
+    let full = std::fs::read(&path).expect("read journal");
+
+    let cut_path = dir.join("cut.jsonl");
+    for cut in 0..=full.len() {
+        std::fs::write(&cut_path, &full[..cut]).expect("write prefix");
+        match recover(&cut_path, &sweep, 2) {
+            Ok(None) => {} // header never landed: fresh start
+            Ok(Some(r)) => {
+                assert!(r.valid_len as usize <= cut, "offset {cut}");
+                for (unit, cell) in &r.results {
+                    assert_eq!(cell, &cells[*unit], "offset {cut} unit {unit}");
+                }
+            }
+            Err(e) => panic!("offset {cut}: a pure truncation must never be corruption: {e}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failed atomic rename during submit is retried; when the fault is
+/// persistent, the submit fails cleanly, the half-made job directory is
+/// removed, and the same id submits fine once the fault clears.
+#[test]
+fn submit_survives_rename_faults_and_cleans_up_on_failure() {
+    quiet_injected_panics();
+    let dir = scratch("submit-rename");
+    let sweep = one_cell_sweep("rn");
+
+    // Transient: two failed renames, then success.
+    let guard = faults::install(
+        FaultSchedule::off()
+            .rate(FaultPoint::AtomicWriteRename, 1000)
+            .budget(FaultPoint::AtomicWriteRename, 2),
+    );
+    let (server, addr) = spawn_daemon(dir.join("jobs"), None);
+    let mut c = Client::connect(addr);
+    submit_sweep(&mut c, &sweep, "healed");
+    assert_eq!(wait_terminal(&mut c, "healed").state, "done");
+    drop(guard);
+
+    // Persistent: the submit fails, but leaves no debris behind — the
+    // same id is accepted as soon as the fault clears.
+    let guard = faults::install(
+        FaultSchedule::off()
+            .rate(FaultPoint::AtomicWriteRename, 1000)
+            .budget(FaultPoint::AtomicWriteRename, u32::MAX),
+    );
+    let resp = c.call(&Request::Submit(Box::new(SubmitRequest {
+        source: JobSource::Sweep(sweep.clone()),
+        id: Some("blocked".into()),
+        priority: 0,
+    })));
+    match resp {
+        Response::Error { message } => {
+            assert!(message.contains("injected fault"), "{message}")
+        }
+        other => panic!("submit should fail under a persistent rename fault: {other:?}"),
+    }
+    assert!(
+        !dir.join("jobs").join("blocked").exists(),
+        "failed submit must clean up its job directory"
+    );
+    guard.disarm();
+    submit_sweep(&mut c, &sweep, "blocked");
+    assert_eq!(wait_terminal(&mut c, "blocked").state, "done");
+
+    shutdown(addr, server);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The health heartbeat answers with substance: job counts and the
+/// injector's cumulative fire count.
+#[test]
+fn health_reports_jobs_and_fault_fires() {
+    quiet_injected_panics();
+    let guard = faults::install(
+        FaultSchedule::off()
+            .rate(FaultPoint::DaemonStall, 1000)
+            .budget(FaultPoint::DaemonStall, 1)
+            .stall_for(Duration::from_millis(1)),
+    );
+    let dir = scratch("health");
+    let (server, addr) = spawn_daemon(dir.join("jobs"), None);
+    let mut c = Client::connect(addr);
+    submit_sweep(&mut c, &one_cell_sweep("hb"), "hb");
+    assert_eq!(wait_terminal(&mut c, "hb").state, "done");
+
+    match c.call(&Request::Health) {
+        Response::Health {
+            jobs,
+            active,
+            fault_fires,
+        } => {
+            assert_eq!(jobs, 1);
+            assert_eq!(active, 0, "the only job is terminal");
+            assert!(fault_fires >= 1, "the bounded stall fired");
+        }
+        other => panic!("unexpected health response: {other:?}"),
+    }
+
+    guard.disarm();
+    shutdown(addr, server);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -353,6 +353,7 @@ impl Workspace {
         }
         self.check_manifests(&mut diagnostics);
         self.check_crate_roots(&mut diagnostics);
+        self.check_faultpoints(&mut diagnostics);
         diagnostics.sort_by(|a, b| {
             (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
         });
@@ -397,6 +398,68 @@ impl Workspace {
                     message: "the lint crate is std-only by contract: it checks the \
                               layering rules, so it must not acquire dependencies"
                         .to_string(),
+                });
+            }
+        }
+    }
+
+    /// Cross-file half of `faultpoint-catalog`: code outside the
+    /// catalog file may only fire faultpoints the catalog declares, and
+    /// every declared faultpoint must be fired somewhere outside it —
+    /// a variant nothing fires is dead chaos surface that schedules
+    /// would silently never exercise. Skipped in single-file mode
+    /// (`check-file`), where the rest of the workspace is not visible.
+    fn check_faultpoints(&self, out: &mut Vec<Diagnostic>) {
+        if self.files.len() <= 1 {
+            return;
+        }
+        let Some(catalog) = self
+            .files
+            .iter()
+            .find(|f| f.rel_path == rules::FAULTPOINT_CATALOG)
+        else {
+            return;
+        };
+        let variants = rules::faultpoint_variants(catalog);
+        let mut referenced: Vec<&str> = Vec::new();
+        for ctx in &self.files {
+            if ctx.rel_path == rules::FAULTPOINT_CATALOG {
+                continue;
+            }
+            for (name, ln) in rules::faultpoint_refs(ctx) {
+                match variants.iter().find(|(v, _)| *v == name) {
+                    None => out.push(Diagnostic {
+                        rule: "faultpoint-catalog".to_string(),
+                        severity: Severity::Error,
+                        path: ctx.rel_path.clone(),
+                        line: ln + 1,
+                        message: format!(
+                            "`FaultPoint::{name}` is not declared in the catalog \
+                             ({}); add the variant there and register it in \
+                             `FaultPoint::ALL` first",
+                            rules::FAULTPOINT_CATALOG
+                        ),
+                    }),
+                    Some((v, _)) => {
+                        if !referenced.contains(&v.as_str()) {
+                            referenced.push(v.as_str());
+                        }
+                    }
+                }
+            }
+        }
+        for (name, ln) in &variants {
+            if !referenced.contains(&name.as_str()) {
+                out.push(Diagnostic {
+                    rule: "faultpoint-catalog".to_string(),
+                    severity: Severity::Error,
+                    path: catalog.rel_path.clone(),
+                    line: ln + 1,
+                    message: format!(
+                        "faultpoint `{name}` is declared but never fired outside \
+                         the catalog; stale faultpoints are dead chaos surface — \
+                         wire it into a hot path or remove it"
+                    ),
                 });
             }
         }
@@ -554,6 +617,62 @@ mod tests {
         let report = ws.check();
         assert_eq!(report.errors(), 1);
         assert!(report.diagnostics[0].message.contains("std-only"));
+    }
+
+    fn file(rel_path: &str, text: &str) -> FileCtx {
+        let (crate_name, is_bin) = FileCtx::coords(rel_path).expect("coords");
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            is_bin,
+            map: lexer::scan(text, &rules::rule_names()),
+        }
+    }
+
+    #[test]
+    fn faultpoint_catalog_workspace_check() {
+        let catalog = "pub enum FaultPoint {\nDaemonReadTorn,\nDaemonStall,\n}\n\
+                       impl FaultPoint {\n\
+                       pub const ALL: [FaultPoint; 2] = \
+                       [FaultPoint::DaemonReadTorn, FaultPoint::DaemonStall];\n}\n";
+        let ws = |user_src: &str| Workspace {
+            files: vec![
+                file(rules::FAULTPOINT_CATALOG, catalog),
+                file("crates/bench/src/service/daemon.rs", user_src),
+            ],
+            manifests: Vec::new(),
+        };
+        // Both variants fired somewhere: clean.
+        let r = ws("fn f() { fire(FaultPoint::DaemonReadTorn); fire(FaultPoint::DaemonStall); }\n")
+            .check();
+        assert_eq!(r.errors(), 0, "{:#?}", r.diagnostics);
+        // An unknown faultpoint errors at the usage site...
+        let r = ws(
+            "fn f() { fire(FaultPoint::DaemonReadTorn); fire(FaultPoint::Nonsense); \
+                    fire(FaultPoint::DaemonStall); }\n",
+        )
+        .check();
+        let unknown: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "faultpoint-catalog")
+            .collect();
+        assert_eq!(unknown.len(), 1, "{:#?}", r.diagnostics);
+        assert!(unknown[0].message.contains("Nonsense"));
+        assert_eq!(unknown[0].path, "crates/bench/src/service/daemon.rs");
+        // ...and a never-fired variant errors at its declaration.
+        let r = ws("fn f() { fire(FaultPoint::DaemonReadTorn); }\n").check();
+        let stale: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "faultpoint-catalog")
+            .collect();
+        assert_eq!(stale.len(), 1, "{:#?}", r.diagnostics);
+        assert!(stale[0].message.contains("DaemonStall"));
+        assert_eq!(stale[0].path, rules::FAULTPOINT_CATALOG);
+        // Single-file mode cannot see the other files: no stale check.
+        let ws = Workspace::single_file(rules::FAULTPOINT_CATALOG, catalog).expect("ctx");
+        assert_eq!(ws.check().errors(), 0);
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub const RULES: &[RuleInfo] = &[
                   prefer expect(\"<why this cannot fail>\") or error propagation",
         scope: "library source (everything outside src/bin/)",
     },
+    RuleInfo {
+        name: "faultpoint-catalog",
+        severity: Severity::Error,
+        summary: "every FaultPoint variant must be registered in FaultPoint::ALL and \
+                  fired somewhere outside the catalog file; unknown or stale \
+                  faultpoints break chaos-schedule coverage",
+        scope: "crates/bench/src/service/faults.rs plus FaultPoint:: references \
+                workspace-wide",
+    },
 ];
 
 /// Names of all rules (pragma validation).
@@ -217,6 +226,7 @@ pub fn check_file(ctx: &FileCtx) -> Vec<Finding> {
     forbid_unsafe(ctx, &mut out);
     no_println_in_libs(ctx, &mut out);
     no_unwrap(ctx, &mut out);
+    faultpoint_catalog(ctx, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     // One diagnostic per (rule, line): pragmas suppress at line
     // granularity, and a line that trips a rule twice (e.g. a for-loop
@@ -557,6 +567,114 @@ fn no_println_in_libs(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// The faultpoint catalog: the one file that declares `FaultPoint`
+/// variants and the `FaultPoint::ALL` registry every variant must
+/// appear in (chaos schedules and the docs table are built from it).
+pub const FAULTPOINT_CATALOG: &str = "crates/bench/src/service/faults.rs";
+
+/// `FaultPoint` variant declarations in the catalog file:
+/// `(name, 0-based line)`. Lexical approximation: uppercase-initial
+/// identifiers between `pub enum FaultPoint` and its closing brace
+/// (doc comments are blanked, attributes start with `#`).
+pub fn faultpoint_variants(ctx: &FileCtx) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_enum = false;
+    for (ln, line) in ctx.map.lines.iter().enumerate() {
+        if !in_enum {
+            if !token_cols(line, "pub enum FaultPoint").is_empty() {
+                in_enum = true;
+            }
+            continue;
+        }
+        let t = line.trim_start();
+        if t.starts_with('}') {
+            break;
+        }
+        let name: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            out.push((name, ln));
+        }
+    }
+    out
+}
+
+/// Variant names listed in the `FaultPoint::ALL` registry block
+/// (`pub const ALL` through the closing `];`).
+pub fn faultpoint_registered(ctx: &FileCtx) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_all = false;
+    for line in &ctx.map.lines {
+        if !in_all && token_cols(line, "pub const ALL").is_empty() {
+            continue;
+        }
+        in_all = true;
+        out.extend(faultpoint_refs_in(line));
+        if line.contains("];") {
+            break;
+        }
+    }
+    out
+}
+
+/// `FaultPoint::Variant` references on one line. Variants are
+/// CamelCase; associated consts like `FaultPoint::ALL` (no lowercase
+/// chars) are not variant references.
+fn faultpoint_refs_in(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for col in token_cols(line, "FaultPoint") {
+        let rest = &line[col + "FaultPoint".len()..];
+        let Some(rest) = rest.strip_prefix("::") else {
+            continue;
+        };
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            && name.chars().any(|c| c.is_ascii_lowercase())
+        {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// `FaultPoint::Variant` references on non-test lines:
+/// `(name, 0-based line)` — the workspace-level catalog check's input.
+pub fn faultpoint_refs(ctx: &FileCtx) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (ln, line) in ctx.map.lines.iter().enumerate() {
+        if ctx.map.is_test_line(ln) {
+            continue;
+        }
+        for name in faultpoint_refs_in(line) {
+            out.push((name, ln));
+        }
+    }
+    out
+}
+
+/// Per-file half of the catalog invariant: inside the catalog file,
+/// every declared variant must be registered in `FaultPoint::ALL`.
+/// (The cross-file half — unknown and never-fired faultpoints — runs
+/// at workspace level, where the other files are visible.)
+fn faultpoint_catalog(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.rel_path != FAULTPOINT_CATALOG {
+        return;
+    }
+    let registered = faultpoint_registered(ctx);
+    for (name, ln) in faultpoint_variants(ctx) {
+        if !registered.contains(&name) {
+            out.push(Finding {
+                rule: "faultpoint-catalog",
+                line: ln,
+                message: format!(
+                    "faultpoint `{name}` is declared but missing from \
+                     `FaultPoint::ALL`; every faultpoint must be registered so \
+                     chaos schedules and the docs table stay exhaustive"
+                ),
+            });
+        }
+    }
+}
+
 fn no_unwrap(ctx: &FileCtx, out: &mut Vec<Finding>) {
     if ctx.is_bin {
         return;
@@ -751,6 +869,62 @@ mod tests {
         assert_eq!(severity_of("no-unwrap"), Severity::Warn);
         let f = check_file(&ctx("crates/bench/src/bin/campaign.rs", src));
         assert!(!rules_fired(&f).contains(&"no-unwrap"));
+    }
+
+    const CATALOG_OK: &str = "pub enum FaultPoint {\n\
+                              /// Torn journal line.\n\
+                              JournalAppendWrite,\n\
+                              DaemonReadTorn,\n\
+                              }\n\
+                              impl FaultPoint {\n\
+                              pub const ALL: [FaultPoint; 2] = [\n\
+                              FaultPoint::JournalAppendWrite,\n\
+                              FaultPoint::DaemonReadTorn,\n\
+                              ];\n\
+                              }\n";
+
+    #[test]
+    fn faultpoint_catalog_accepts_registered_variants() {
+        let f = check_file(&ctx(FAULTPOINT_CATALOG, CATALOG_OK));
+        assert!(!rules_fired(&f).contains(&"faultpoint-catalog"), "{f:#?}");
+        // Same text anywhere else is out of the rule's scope.
+        let f = check_file(&ctx("crates/bench/src/service/other.rs", CATALOG_OK));
+        assert!(!rules_fired(&f).contains(&"faultpoint-catalog"));
+    }
+
+    #[test]
+    fn faultpoint_catalog_fires_on_unregistered_variant() {
+        let src = CATALOG_OK.replace("FaultPoint::DaemonReadTorn,\n", "");
+        let f = check_file(&ctx(FAULTPOINT_CATALOG, &src));
+        let hits: Vec<_> = f
+            .iter()
+            .filter(|v| v.rule == "faultpoint-catalog")
+            .collect();
+        assert_eq!(hits.len(), 1, "{f:#?}");
+        assert!(hits[0].message.contains("DaemonReadTorn"));
+    }
+
+    #[test]
+    fn faultpoint_helpers_parse_variants_and_refs() {
+        let c = ctx(FAULTPOINT_CATALOG, CATALOG_OK);
+        let variants: Vec<String> = faultpoint_variants(&c)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(variants, ["JournalAppendWrite", "DaemonReadTorn"]);
+        assert_eq!(
+            faultpoint_registered(&c),
+            ["JournalAppendWrite", "DaemonReadTorn"]
+        );
+        // `FaultPoint::ALL` is an associated const, not a variant ref,
+        // and refs inside #[cfg(test)] code are invisible.
+        let user = ctx(
+            "crates/bench/src/service/daemon.rs",
+            "fn f() { fire(FaultPoint::DaemonReadTorn); let n = FaultPoint::ALL.len(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { fire(FaultPoint::OnlyInTests); } }\n",
+        );
+        let refs: Vec<String> = faultpoint_refs(&user).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(refs, ["DaemonReadTorn"]);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//@ as: crates/bench/src/service/faults.rs
+//@ expect: faultpoint-catalog
+//
+// A faultpoint declared but missing from the `FaultPoint::ALL`
+// registry: chaos schedules are built from `ALL`, so the variant would
+// silently never fire. (`DaemonReadTorn` is absent; the duplicate
+// `JournalAppendWrite` entry keeps the array length honest.)
+
+pub enum FaultPoint {
+    JournalAppendWrite,
+    DaemonReadTorn,
+}
+
+impl FaultPoint {
+    pub const ALL: [FaultPoint; 2] = [
+        FaultPoint::JournalAppendWrite,
+        FaultPoint::JournalAppendWrite,
+    ];
+}
